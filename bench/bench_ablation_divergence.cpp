@@ -1,0 +1,128 @@
+// Ablation — the warp-divergence analysis in the Sync-insertion pass
+// (DESIGN.md calls this design choice out explicitly).
+//
+// The paper's Fig. 2 sync function reconverges a divergence tree by
+// rotating and merging; a Sync executed for a branch that never split
+// the warp, while an *enclosing* divergence is still open, rotates the
+// tree forever.  Real compilers avoid this with divergence analysis
+// (the paper's related work [14]); this ablation compares:
+//
+//   DivergentOnly (default) — Syncs only at joins of tid-dependent
+//                             branches: scan_signature terminates;
+//   AllBranches   (naive)   — a Sync at every branch join: the same
+//                             kernel livelocks (step bound exceeded)
+//                             whenever its bounds guard diverges.
+//
+// Also measured: the cost of the analysis itself and the number of
+// Syncs it avoids across the corpus.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+
+namespace {
+
+using namespace cac;
+
+ptx::Program lower_scan(ptx::LowerOptions::SyncPolicy policy) {
+  ptx::LowerOptions opts;
+  opts.sync_policy = policy;
+  return ptx::load_ptx(programs::scan_signature_ptx(), opts)
+      .kernel("scan_signature");
+}
+
+sem::Machine scan_machine(const ptx::Program& prg,
+                          const sem::KernelConfig& kc) {
+  sem::Launch launch(prg, kc, mem::MemSizes{0x200, 0, 0, 0, 1});
+  launch.param("data", 0).param("pattern", 0x100).param("out", 0x140)
+      .param("dlen", 8).param("plen", 3);
+  const char* data = "abcabcab";
+  launch.memory().write_init(mem::Space::Global, 0, data, 8);
+  launch.memory().write_init(mem::Space::Global, 0x100, "abc", 3);
+  return launch.machine();
+}
+
+void BM_ScanDivergentOnlyPolicy(benchmark::State& state) {
+  // 10 threads > 6 valid positions: the bounds guard diverges.
+  const ptx::Program prg =
+      lower_scan(ptx::LowerOptions::SyncPolicy::DivergentOnly);
+  const sem::KernelConfig kc{{1, 1, 1}, {10, 1, 1}, 10};
+  const sem::Machine proto = scan_machine(prg, kc);
+  for (auto _ : state) {
+    sem::Machine m = proto;
+    sched::FirstChoiceScheduler s;
+    const sched::RunResult r = sched::run(prg, kc, m, s, 4096);
+    if (!r.terminated()) throw KernelError("default policy failed");
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["terminates"] = 1;
+}
+BENCHMARK(BM_ScanDivergentOnlyPolicy);
+
+void BM_ScanAllBranchesPolicyLivelocks(benchmark::State& state) {
+  const ptx::Program prg =
+      lower_scan(ptx::LowerOptions::SyncPolicy::AllBranches);
+  const sem::KernelConfig kc{{1, 1, 1}, {10, 1, 1}, 10};
+  const sem::Machine proto = scan_machine(prg, kc);
+  for (auto _ : state) {
+    sem::Machine m = proto;
+    sched::FirstChoiceScheduler s;
+    const sched::RunResult r = sched::run(prg, kc, m, s, 4096);
+    if (r.terminated()) {
+      throw KernelError("naive policy unexpectedly terminated");
+    }
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["terminates"] = 0;  // livelock: bound exceeded
+}
+BENCHMARK(BM_ScanAllBranchesPolicyLivelocks);
+
+void BM_DivergenceAnalysisCost(benchmark::State& state) {
+  // Front-end cost with and without the analysis (AllBranches skips
+  // it): the delta is the analysis fixpoint itself.
+  const ptx::AstModule ast =
+      ptx::parse_module(programs::scan_signature_ptx());
+  ptx::LowerOptions opts;
+  opts.sync_policy = state.range(0) == 0
+                         ? ptx::LowerOptions::SyncPolicy::AllBranches
+                         : ptx::LowerOptions::SyncPolicy::DivergentOnly;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ptx::lower(ast, opts));
+  }
+  state.SetLabel(state.range(0) == 0 ? "all-branches" : "divergent-only");
+}
+BENCHMARK(BM_DivergenceAnalysisCost)->Arg(0)->Arg(1);
+
+struct Banner {
+  Banner() {
+    std::printf(
+        "Ablation — divergence-aware Sync insertion.  Syncs inserted\n"
+        "per kernel (divergent-only vs all-branches):\n");
+    for (auto src :
+         {&programs::vector_add_ptx, &programs::xor_cipher_ptx,
+          &programs::scan_signature_ptx, &programs::reduce_shared_ptx}) {
+      ptx::LowerOptions div_only, all;
+      all.sync_policy = ptx::LowerOptions::SyncPolicy::AllBranches;
+      const auto ma = ptx::load_ptx((*src)(), div_only);
+      const auto mb = ptx::load_ptx((*src)(), all);
+      for (std::size_t k = 0; k < ma.kernels.size(); ++k) {
+        std::size_t sa = 0, sb = 0;
+        for (const auto& i : ma.kernels[k].code()) {
+          if (ptx::is_sync(i)) ++sa;
+        }
+        for (const auto& i : mb.kernels[k].code()) {
+          if (ptx::is_sync(i)) ++sb;
+        }
+        std::printf("  %-16s %zu vs %zu\n", ma.kernels[k].name().c_str(),
+                    sa, sb);
+      }
+    }
+    std::printf("\n");
+  }
+} banner;
+
+}  // namespace

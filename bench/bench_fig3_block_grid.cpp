@@ -1,0 +1,117 @@
+// Experiment F3 — paper Fig. 3: block/grid rules (execb, lift-bar,
+// execg).
+//
+// Measures: choice enumeration (the source of scheduler
+// nondeterminism) as the grid grows, the lift-bar rule (barrier lift +
+// Shared commit) as the per-block Shared bank grows, and whole-grid
+// execution throughput as blocks/warps scale.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+#include "sem/step.h"
+
+namespace {
+
+using namespace cac;
+using namespace cac::ptx;
+
+/// Choice enumeration cost vs grid size (execg's nondeterminism set).
+void BM_EligibleChoices(benchmark::State& state) {
+  const auto blocks = static_cast<std::uint32_t>(state.range(0));
+  const ptx::Program prg = programs::straightline_program(4);
+  const sem::KernelConfig kc{{blocks, 1, 1}, {64, 1, 1}, 32};  // 2 warps/block
+  const sem::Grid g = sem::generate_grid(kc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sem::eligible_choices(prg, g));
+  }
+  state.counters["choices"] = static_cast<double>(blocks * 2);
+}
+BENCHMARK(BM_EligibleChoices)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// The lift-bar rule: advance all warps + commit(mu) on the block's
+/// Shared bank.
+void BM_LiftBar(benchmark::State& state) {
+  const auto shared_bytes = static_cast<std::uint64_t>(state.range(0));
+  const ptx::Program prg("bar", {IBar{}, IExit{}});
+  const sem::KernelConfig kc{{1, 1, 1}, {64, 1, 1}, 32};
+  mem::MemSizes sizes;
+  sizes.shared = shared_bytes;
+  const sem::Machine proto{sem::generate_grid(kc), mem::Memory(sizes)};
+  const sem::Choice lift{sem::Choice::Kind::LiftBar, 0, 0};
+  for (auto _ : state) {
+    sem::Machine m = proto;
+    benchmark::DoNotOptimize(sem::apply_choice(prg, kc, m, lift));
+  }
+  state.counters["shared_bytes"] = static_cast<double>(shared_bytes);
+}
+BENCHMARK(BM_LiftBar)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// Whole-grid execution throughput (execg + execb): vector add across
+/// a growing grid, deterministic schedule.
+void BM_GridRun(benchmark::State& state) {
+  const auto blocks = static_cast<std::uint32_t>(state.range(0));
+  const ptx::Program prg = programs::vector_add_listing2();
+  const sem::KernelConfig kc{{blocks, 1, 1}, {32, 1, 1}, 32};
+  const std::uint32_t n = blocks * 32;
+  const std::uint64_t A = 0, B = 4ull * n, C = 8ull * n;
+  sem::Launch launch(prg, kc, mem::MemSizes{12ull * n, 0, 0, 0, 1});
+  launch.param("arr_A", A).param("arr_B", B).param("arr_C", C)
+      .param("size", n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    launch.global_u32(A + 4 * i, i);
+    launch.global_u32(B + 4 * i, i);
+  }
+  const sem::Machine proto = launch.machine();
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    sem::Machine m = proto;
+    sched::FirstChoiceScheduler s;
+    const sched::RunResult r = sched::run(prg, kc, m, s);
+    steps += r.steps;
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["grid_steps"] =
+      static_cast<double>(steps) / static_cast<double>(state.iterations());
+  state.counters["threads"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GridRun)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Barrier-heavy grid: the reduction, scaling warps per block.
+void BM_GridReduction(benchmark::State& state) {
+  const auto tpb = static_cast<std::uint32_t>(state.range(0));
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {tpb, 1, 1}, 8};
+  sem::Launch launch(prg, kc, mem::MemSizes{4ull * tpb + 64, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 4ull * tpb);
+  for (std::uint32_t i = 0; i < tpb; ++i) launch.global_u32(4 * i, 1);
+  const sem::Machine proto = launch.machine();
+  for (auto _ : state) {
+    sem::Machine m = proto;
+    sched::RoundRobinScheduler s;
+    const sched::RunResult r = sched::run(prg, kc, m, s);
+    if (!r.terminated() ||
+        m.memory.load(mem::Space::Global, 4ull * tpb, 4) != tpb) {
+      throw KernelError("reduction failed");
+    }
+  }
+  state.counters["warps"] = static_cast<double>(kc.warps_per_block());
+}
+BENCHMARK(BM_GridReduction)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+struct Banner {
+  Banner() {
+    std::printf(
+        "F3 — Fig. 3 block/grid rules: choice enumeration (execg's\n"
+        "nondeterminism), lift-bar (Shared commit) cost, and grid\n"
+        "execution scaling in blocks and warps.\n\n");
+  }
+} banner;
+
+}  // namespace

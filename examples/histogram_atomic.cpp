@@ -1,0 +1,85 @@
+// Contended atomics: a parallel byte histogram (hist[b & mask]++ via
+// atom.add), validated three ways:
+//
+//  * concrete multi-block run checked against a host-side histogram,
+//  * the race detector confirms contended atom.adds are not races
+//    (the paper's §III-2 atomics carve-out),
+//  * the model checker proves the final counts are identical on every
+//    schedule of a small configuration — atomics commute even though
+//    each thread's fetched old value differs per schedule.
+#include <cstdio>
+#include <string>
+
+#include "check/model.h"
+#include "check/race.h"
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+
+using namespace cac;
+
+namespace {
+constexpr std::uint64_t kData = 0x000, kHist = 0x100;
+constexpr std::uint32_t kBins = 8;
+}
+
+int main() {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::histogram_ptx()).kernel("histogram");
+  const std::string data = "the quick brown gpu jumps over the lazy cpu";
+  const auto n = static_cast<std::uint32_t>(data.size());
+
+  std::printf("== histogram_atomic: contended atom.add ==\n\n");
+
+  // Concrete run: 4 blocks x 16 threads (partially out of range).
+  const sem::KernelConfig kc{{4, 1, 1}, {16, 1, 1}, 8};
+  sem::Launch launch(prg, kc, mem::MemSizes{0x200, 0, 0, 0, 1});
+  launch.param("data", kData).param("hist", kHist).param("size", n)
+      .param("mask", kBins - 1);
+  launch.memory().write_init(mem::Space::Global, kData, data.data(),
+                             data.size());
+  for (std::uint32_t b = 0; b < kBins; ++b) launch.global_u32(kHist + 4 * b, 0);
+
+  sem::Machine m = launch.machine();
+  sched::RandomScheduler rnd(7);
+  check::RaceReport rr = check::detect_races(prg, kc, m, rnd);
+  std::printf("run: %s; races: %s\n\nbin  device  host\n",
+              to_string(rr.run.status).c_str(), rr.summary().c_str());
+
+  std::uint32_t host[kBins] = {};
+  for (char c : data) ++host[static_cast<std::uint8_t>(c) & (kBins - 1)];
+  bool all_ok = true;
+  for (std::uint32_t b = 0; b < kBins; ++b) {
+    const std::uint64_t dev = m.memory.load(mem::Space::Global, kHist + 4 * b, 4);
+    all_ok &= dev == host[b];
+    std::printf("%3u  %6llu  %4u%s\n", b,
+                static_cast<unsigned long long>(dev), host[b],
+                dev == host[b] ? "" : "  MISMATCH");
+  }
+  std::printf("%s\n\n", all_ok ? "device == host" : "MISMATCH");
+
+  // All-schedules proof on a small exhaustive configuration.
+  {
+    const std::string d2 = "abcabb";
+    const sem::KernelConfig kc2{{2, 1, 1}, {4, 1, 1}, 2};  // 4 warps total
+    sem::Launch l2(prg, kc2, mem::MemSizes{0x200, 0, 0, 0, 1});
+    l2.param("data", kData).param("hist", kHist)
+        .param("size", d2.size()).param("mask", 3);
+    l2.memory().write_init(mem::Space::Global, kData, d2.data(), d2.size());
+    for (std::uint32_t b = 0; b < 4; ++b) l2.global_u32(kHist + 4 * b, 0);
+
+    check::Spec post;
+    std::uint32_t expect[4] = {};
+    for (char c : d2) ++expect[static_cast<std::uint8_t>(c) & 3];
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      post.mem_u32(mem::Space::Global, kHist + 4 * b, expect[b]);
+      post.mem_valid(mem::Space::Global, kHist + 4 * b, 4);
+    }
+    const check::Verdict v = check::prove_total(prg, kc2, l2.machine(), post);
+    std::printf("all-schedules count correctness (\"%s\", 4 bins): %s\n"
+                "  %s\n",
+                d2.c_str(), to_string(v.kind).c_str(), v.detail.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

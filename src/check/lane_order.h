@@ -1,0 +1,34 @@
+// Warp-internal lane-order independence — the *semantic* content of
+// the paper's nd_map theorem (§IV): threads of a warp execute each
+// instruction in lock-step but in an unspecified order, and a correct
+// computation's result must not depend on that order.
+//
+// check_lane_order_independence runs the full computation once per
+// lane-order permutation (up to `max_orders` of the warp_size! many)
+// and compares the final machines structurally.  A mismatch is a
+// concrete intra-warp race; `had_store_conflicts` reports whether the
+// semantics also flagged same-instruction conflicting stores, which is
+// the static symptom of the same bug.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ptx/program.h"
+#include "sem/state.h"
+
+namespace cac::check {
+
+struct LaneOrderResult {
+  bool independent = false;
+  std::size_t orders_tried = 0;
+  bool had_store_conflicts = false;
+  std::string detail;
+};
+
+LaneOrderResult check_lane_order_independence(const ptx::Program& prg,
+                                              const sem::KernelConfig& kc,
+                                              const sem::Machine& initial,
+                                              std::size_t max_orders = 24);
+
+}  // namespace cac::check

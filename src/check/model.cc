@@ -1,0 +1,93 @@
+#include "check/model.h"
+
+namespace cac::check {
+
+namespace {
+
+Verdict from_exploration(sched::ExploreResult&& ex, const Spec& post,
+                         const ModelCheckOptions& opts) {
+  Verdict v;
+  v.exploration = std::move(ex);
+  const sched::ExploreResult& e = v.exploration;
+
+  if (!e.violations.empty()) {
+    const sched::Violation& viol = e.violations.front();
+    if (viol.kind == sched::Violation::Kind::DepthExceeded) {
+      v.kind = Verdict::Kind::Unknown;
+      v.detail = "exploration depth bound hit: " + viol.message;
+      return v;
+    }
+    v.kind = Verdict::Kind::Refuted;
+    v.detail = to_string(viol.kind) + ": " + viol.message;
+    v.counterexample = viol.trace;
+    return v;
+  }
+  if (!e.exhaustive) {
+    v.kind = Verdict::Kind::Unknown;
+    v.detail = "exploration limits hit after " +
+               std::to_string(e.states_visited) + " states";
+    return v;
+  }
+  if (e.finals.empty()) {
+    v.kind = Verdict::Kind::Refuted;
+    v.detail = "no schedule reaches a terminated grid";
+    return v;
+  }
+  for (const sem::Machine& final : e.finals) {
+    const auto failures = post.eval(final);
+    if (!failures.empty()) {
+      v.kind = Verdict::Kind::Refuted;
+      v.detail = "postcondition violated: " + failures.front().description;
+      return v;
+    }
+  }
+  if (opts.require_schedule_independence && e.finals.size() != 1) {
+    v.kind = Verdict::Kind::Refuted;
+    v.detail = "schedule-dependent result: " +
+               std::to_string(e.finals.size()) + " distinct terminal states";
+    return v;
+  }
+  if (opts.expect_exact_steps != 0 &&
+      (e.min_steps_to_termination != opts.expect_exact_steps ||
+       e.max_steps_to_termination != opts.expect_exact_steps)) {
+    v.kind = Verdict::Kind::Refuted;
+    v.detail = "termination in [" +
+               std::to_string(e.min_steps_to_termination) + ", " +
+               std::to_string(e.max_steps_to_termination) +
+               "] steps, expected exactly " +
+               std::to_string(opts.expect_exact_steps);
+    return v;
+  }
+  v.kind = Verdict::Kind::Proved;
+  v.detail = "all " + std::to_string(e.states_visited) +
+             " reachable states checked; " +
+             std::to_string(e.finals.size()) + " terminal state(s)";
+  return v;
+}
+
+}  // namespace
+
+Verdict prove_total(const ptx::Program& prg, const sem::KernelConfig& kc,
+                    const sem::Machine& initial, const Spec& post,
+                    const ModelCheckOptions& opts) {
+  return from_exploration(sched::explore(prg, kc, initial, opts.explore),
+                          post, opts);
+}
+
+Verdict prove_termination(const ptx::Program& prg,
+                          const sem::KernelConfig& kc,
+                          const sem::Machine& initial,
+                          const ModelCheckOptions& opts) {
+  return prove_total(prg, kc, initial, Spec{}, opts);
+}
+
+std::string to_string(Verdict::Kind k) {
+  switch (k) {
+    case Verdict::Kind::Proved: return "proved";
+    case Verdict::Kind::Refuted: return "refuted";
+    case Verdict::Kind::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace cac::check

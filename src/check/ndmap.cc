@@ -1,0 +1,56 @@
+#include "check/ndmap.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "check/lane_order.h"
+#include "sched/scheduler.h"
+
+namespace cac::check {
+
+LaneOrderResult check_lane_order_independence(const ptx::Program& prg,
+                                              const sem::KernelConfig& kc,
+                                              const sem::Machine& initial,
+                                              std::size_t max_orders) {
+  LaneOrderResult result;
+
+  std::vector<std::uint32_t> perm(kc.warp_size);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  std::optional<sem::Machine> reference;
+  bool any_conflicts = false;
+  do {
+    sem::Machine m = initial;
+    sem::StepOptions opts;
+    opts.order.kind = sem::ThreadOrder::Kind::Permuted;
+    opts.order.perm = perm;
+    sched::FirstChoiceScheduler s;
+    const sched::RunResult r = sched::run(prg, kc, m, s, 1u << 20, opts);
+    ++result.orders_tried;
+    if (!r.terminated()) {
+      result.independent = false;
+      result.detail = "run did not terminate under a lane order: " +
+                      to_string(r.status);
+      return result;
+    }
+    any_conflicts |= !r.events.store_conflicts.empty();
+    if (!reference) {
+      reference = std::move(m);
+    } else if (!(m == *reference)) {
+      result.independent = false;
+      result.detail =
+          "lane order changed the final state (intra-warp store race)";
+      result.had_store_conflicts = any_conflicts;
+      return result;
+    }
+  } while (result.orders_tried < max_orders &&
+           std::next_permutation(perm.begin(), perm.end()));
+
+  result.independent = true;
+  result.had_store_conflicts = any_conflicts;
+  result.detail = "all " + std::to_string(result.orders_tried) +
+                  " lane orders agree";
+  return result;
+}
+
+}  // namespace cac::check

@@ -1,0 +1,118 @@
+// The paper's nd_map development (Listings 5 & 6) in executable form.
+//
+// Listing 5 defines:
+//
+//   nth_ri n l a l'   — removing the element a at position n from l
+//                       leaves l'  (an inductive relation)
+//   nd_map f l l'     — l' is f mapped over l with the elements
+//                       *processed in an arbitrary order*: each step
+//                       removes some position n from the remaining
+//                       input and requires f(a) to sit at the same
+//                       position n of the output.
+//
+// nd_map captures all possible warp-internal thread schedules: threads
+// execute in lock-step but in an unspecified order (§IV).  Listing 6's
+// theorem nd_map_eq states
+//
+//   nd_map f l l'  <->  l' = map f l
+//
+// i.e. the processing order can never change the result.  The paper
+// proves it by dependent induction; here the same statement over a
+// concrete list is a finite conjunction over all n! removal orders,
+// which check_nd_map_eq enumerates and checks — and the -> direction
+// for arbitrary lists is exercised property-style by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace cac::check {
+
+/// nth_ri as a function: remove position n from l, returning the
+/// removed element and the remainder; nullopt when n is out of range.
+template <typename A>
+std::optional<std::pair<A, std::vector<A>>> nth_ri(
+    std::size_t n, const std::vector<A>& l) {
+  if (n >= l.size()) return std::nullopt;
+  std::vector<A> rest;
+  rest.reserve(l.size() - 1);
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (i != n) rest.push_back(l[i]);
+  }
+  return std::make_pair(l[n], std::move(rest));
+}
+
+/// Relational form of nth_ri: does removing position n from l yield
+/// element a and remainder rest?  (Listing 5's inductive definition,
+/// decided by structural recursion.)
+template <typename A>
+bool nth_ri_related(std::size_t n, const std::vector<A>& l, const A& a,
+                    const std::vector<A>& rest) {
+  const auto r = nth_ri(n, l);
+  return r && r->first == a && r->second == rest;
+}
+
+/// Decide the nd_map relation: is there a derivation of nd_map f l l'?
+/// Mirrors Listing 5's NDNil/NDCons constructors: try every removal
+/// position n, require f(a) at position n of l', recurse.
+template <typename A, typename B>
+bool nd_map_related(const std::function<B(const A&)>& f,
+                    const std::vector<A>& l, const std::vector<B>& lp) {
+  if (l.empty()) return lp.empty();  // NDNil
+  if (lp.size() != l.size()) return false;
+  for (std::size_t n = 0; n < l.size(); ++n) {  // NDCons
+    const auto in = nth_ri(n, l);
+    const auto out = nth_ri(n, lp);
+    if (!in || !out) continue;
+    if (!(out->first == f(in->first))) continue;
+    if (nd_map_related(f, in->second, out->second)) return true;
+  }
+  return false;
+}
+
+/// Exhaustively enumerate *all* nd_map derivations for input l and
+/// verify each one's output equals map f l — the paper's nd_map_eq
+/// theorem as a finite check.  `derivations` counts the removal orders
+/// explored (n! for a length-n list).
+struct NdMapEqResult {
+  bool holds = false;
+  std::uint64_t derivations = 0;
+};
+
+template <typename A, typename B>
+NdMapEqResult check_nd_map_eq(const std::function<B(const A&)>& f,
+                              const std::vector<A>& l) {
+  NdMapEqResult result;
+  result.holds = true;
+
+  // A derivation NDCons(n, ...) produces output = insert(f(a), n, sub)
+  // where (a, rest) = nth_ri(n, in) and sub is a derivation output for
+  // rest.  Hence "output == map f in" decomposes into
+  //   f(a) == (map f in)[n]   and   sub == map f rest,
+  // which is exactly the induction of the paper's Listing 6; this
+  // recursion executes it over every removal order, counting the
+  // derivations (n! for a length-n input).
+  std::function<std::uint64_t(const std::vector<A>&, const std::vector<B>&)>
+      go = [&](const std::vector<A>& in,
+               const std::vector<B>& expected) -> std::uint64_t {
+    if (in.empty()) return 1;  // NDNil
+    std::uint64_t count = 0;
+    for (std::size_t n = 0; n < in.size(); ++n) {
+      const auto r = nth_ri(n, in);
+      const auto e = nth_ri(n, expected);
+      if (!(f(r->first) == e->first)) result.holds = false;
+      count += go(r->second, e->second);
+    }
+    return count;
+  };
+
+  std::vector<B> expected;
+  expected.reserve(l.size());
+  for (const A& a : l) expected.push_back(f(a));
+  result.derivations = go(l, expected);
+  return result;
+}
+
+}  // namespace cac::check

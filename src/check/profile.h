@@ -1,0 +1,59 @@
+// Execution profiling over the formal semantics: instruction mix,
+// divergence behaviour, barrier activity and memory traffic of one
+// scheduled run.  Everything is observed through the public kernel API
+// (choices, warp shapes, step events) — the profiler is an untrusted
+// consumer like the checkers.
+//
+// Useful for the workflow the paper sketches in §I: before investing
+// in full validation, inspect where a kernel diverges, how much
+// unsynchronized traffic it produces, and whether any diagnostic
+// events (invalid reads, lane conflicts, uninitialized registers)
+// fire at all.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "sched/scheduler.h"
+
+namespace cac::check {
+
+struct Profile {
+  // control
+  std::uint64_t grid_steps = 0;
+  std::uint64_t barrier_lifts = 0;
+  std::uint64_t divergence_events = 0;  // PBra steps that split a warp
+  std::uint64_t sync_steps = 0;         // Sync rule applications
+  std::size_t max_leaf_count = 1;       // widest divergence tree seen
+  std::size_t max_tree_depth = 1;
+
+  // instruction histogram, indexed by the Instr variant index
+  std::array<std::uint64_t, std::variant_size_v<ptx::Instr>> instr_counts{};
+
+  // memory traffic (per-lane accesses)
+  std::uint64_t load_lanes = 0;
+  std::uint64_t store_lanes = 0;
+  std::uint64_t atomic_lanes = 0;
+  std::uint64_t global_bytes = 0;
+  std::uint64_t shared_bytes = 0;
+
+  // diagnostics accumulated over the run
+  std::uint64_t invalid_reads = 0;
+  std::uint64_t store_conflicts = 0;
+  std::uint64_t uninit_reads = 0;
+
+  sched::RunResult run;
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string table() const;
+};
+
+/// Run the kernel to completion under `sched`, collecting the profile.
+/// `m` is mutated to the final state.
+Profile profile_run(const ptx::Program& prg, const sem::KernelConfig& kc,
+                    sem::Machine& m, sched::Scheduler& sched,
+                    std::uint64_t max_steps = 1u << 20);
+
+}  // namespace cac::check

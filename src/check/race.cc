@@ -1,0 +1,123 @@
+#include "check/race.h"
+
+#include <map>
+#include <set>
+
+namespace cac::check {
+
+namespace {
+
+struct TaggedAccess {
+  sem::StepEvents::Access access;
+  std::uint32_t block = 0;
+  std::uint32_t warp = 0;
+  std::uint32_t epoch = 0;  // per-block barrier epoch
+};
+
+bool conflicting(const TaggedAccess& x, const TaggedAccess& y) {
+  if (x.access.tid == y.access.tid) return false;
+  if (!x.access.write && !y.access.write) return false;
+  if (x.access.atomic && y.access.atomic) return false;
+  if (x.block != y.block) return true;  // no grid-level sync exists
+  if (x.warp == y.warp) return false;   // lock-step program order
+  return x.epoch == y.epoch;            // no barrier between them
+}
+
+}  // namespace
+
+std::string RaceReport::summary() const {
+  if (races.empty()) {
+    return "no races over " + std::to_string(accesses_logged) +
+           " logged accesses";
+  }
+  std::string out = std::to_string(races.size()) + " race(s); first: ";
+  const Race& r = races.front();
+  out += std::string(r.write_write ? "write-write" : "read-write") + " on " +
+         ptx::to_string(r.space) + "[" + std::to_string(r.addr) +
+         "] between threads " + std::to_string(r.tid_a) + " and " +
+         std::to_string(r.tid_b) +
+         (r.cross_block ? " (different blocks)" : " (same block)");
+  return out;
+}
+
+RaceReport detect_races(const ptx::Program& prg, const sem::KernelConfig& kc,
+                        sem::Machine& m, sched::Scheduler& sched,
+                        const RaceOptions& opts) {
+  RaceReport report;
+  std::vector<TaggedAccess> log;
+  std::vector<std::uint32_t> epoch(m.grid.blocks.size(), 0);
+
+  sem::StepOptions step_opts;
+  step_opts.order = opts.order;
+  step_opts.log_accesses = true;
+
+  sem::StepEvents events;
+  for (std::uint64_t step = 0; step < opts.max_steps; ++step) {
+    if (sem::terminated(prg, m.grid)) {
+      report.run.status = sched::RunResult::Status::Terminated;
+      report.run.steps = step;
+      break;
+    }
+    const auto eligible = sem::eligible_choices(prg, m.grid);
+    if (eligible.empty()) {
+      report.run.status = sched::RunResult::Status::Stuck;
+      report.run.steps = step;
+      report.run.message = sem::stuck_reason(prg, m.grid);
+      break;
+    }
+    const sem::Choice c = sched.pick(eligible, m);
+    report.run.trace.push_back(c);
+    events.clear();
+    const sem::StepResult sr =
+        sem::apply_choice(prg, kc, m, c, step_opts, &events);
+    if (c.kind == sem::Choice::Kind::LiftBar) {
+      ++epoch[c.block];
+    } else {
+      for (const auto& a : events.accesses) {
+        log.push_back({a, c.block, c.warp, epoch[c.block]});
+      }
+    }
+    if (!sr.ok()) {
+      report.run.status = sched::RunResult::Status::Fault;
+      report.run.steps = step + 1;
+      report.run.message = sr.fault;
+      break;
+    }
+  }
+  report.accesses_logged = log.size();
+
+  // Bucket access indices by touched byte.
+  std::map<std::pair<ptx::Space, std::uint64_t>, std::vector<std::size_t>>
+      by_byte;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& a = log[i].access;
+    for (std::uint32_t b = 0; b < a.len; ++b) {
+      by_byte[{a.space, a.addr + b}].push_back(i);
+    }
+  }
+  report.bytes_touched = by_byte.size();
+
+  std::set<std::tuple<ptx::Space, std::uint64_t, std::uint32_t,
+                      std::uint32_t>>
+      seen;
+  for (const auto& [key, indices] : by_byte) {
+    for (std::size_t i = 0;
+         i < indices.size() && report.races.size() < opts.max_races; ++i) {
+      for (std::size_t j = i + 1; j < indices.size(); ++j) {
+        const TaggedAccess& x = log[indices[i]];
+        const TaggedAccess& y = log[indices[j]];
+        if (!conflicting(x, y)) continue;
+        const std::uint32_t lo = std::min(x.access.tid, y.access.tid);
+        const std::uint32_t hi = std::max(x.access.tid, y.access.tid);
+        if (!seen.insert({key.first, key.second, lo, hi}).second) continue;
+        report.races.push_back({key.first, key.second, lo, hi,
+                                x.access.write && y.access.write,
+                                x.block != y.block});
+        if (report.races.size() >= opts.max_races) break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cac::check

@@ -1,0 +1,62 @@
+// Dynamic data-race detection over the formal semantics.
+//
+// The paper positions machine validation as the step *after* heuristic
+// race detectors (GRace, HAccRG, LDetector — its refs [12][13][15])
+// have cleaned out demonstrable bugs (§I).  This module supplies that
+// first step inside the same framework: the trusted kernel logs every
+// Global/Shared access (sem::StepEvents::Access), and the detector
+// applies the CUDA synchronization model to flag conflicting pairs:
+//
+//  * accesses from different *blocks* conflict unless both are atomic
+//    (no grid-level synchronization exists, paper §III-10);
+//  * accesses from different warps of one block conflict unless they
+//    are separated by a bar.sync (tracked as per-block barrier epochs)
+//    or both atomic;
+//  * accesses from the same warp are program-ordered by lock-step
+//    execution and never flagged (paper §III-8); same-instruction
+//    lane conflicts are reported separately by the semantics itself
+//    (StepEvents::store_conflicts).
+//
+// The detector observes one concrete schedule; combine with
+// sched::explore / check::transparency for all-schedule guarantees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace cac::check {
+
+struct RaceReport {
+  struct Race {
+    ptx::Space space;
+    std::uint64_t addr;       // effective flat address
+    std::uint32_t tid_a, tid_b;
+    bool write_write;         // false: read-write
+    bool cross_block;
+  };
+  std::vector<Race> races;            // deduplicated, capped
+  std::uint64_t accesses_logged = 0;
+  std::uint64_t bytes_touched = 0;
+  sched::RunResult run;               // the underlying execution
+
+  [[nodiscard]] bool racy() const { return !races.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+struct RaceOptions {
+  std::uint64_t max_steps = 1u << 20;
+  std::size_t max_races = 64;  // reporting cap
+  sem::ThreadOrder order;
+};
+
+/// Run the kernel once under `sched`, logging all accesses, and report
+/// conflicting pairs per the model above.  `m` is mutated to the final
+/// state, exactly as sched::run would.
+RaceReport detect_races(const ptx::Program& prg, const sem::KernelConfig& kc,
+                        sem::Machine& m, sched::Scheduler& sched,
+                        const RaceOptions& opts = {});
+
+}  // namespace cac::check

@@ -1,0 +1,50 @@
+#include "check/spec.h"
+
+namespace cac::check {
+
+Spec& Spec::require(std::string description,
+                    std::function<bool(const sem::Machine&)> pred) {
+  clauses_.push_back({std::move(description), std::move(pred)});
+  return *this;
+}
+
+Spec& Spec::mem_u32(ptx::Space ss, std::uint64_t addr,
+                    std::uint32_t expected) {
+  return require(
+      ptx::to_string(ss) + "[" + std::to_string(addr) + "..+4] == " +
+          std::to_string(expected),
+      [=](const sem::Machine& m) {
+        return m.memory.in_bounds(ss, addr, 4) &&
+               m.memory.load(ss, addr, 4) == expected;
+      });
+}
+
+Spec& Spec::mem_u8(ptx::Space ss, std::uint64_t addr, std::uint8_t expected) {
+  return require(
+      ptx::to_string(ss) + "[" + std::to_string(addr) + "] == " +
+          std::to_string(expected),
+      [=](const sem::Machine& m) {
+        return m.memory.in_bounds(ss, addr, 1) &&
+               m.memory.load(ss, addr, 1) == expected;
+      });
+}
+
+Spec& Spec::mem_valid(ptx::Space ss, std::uint64_t addr, std::uint32_t len) {
+  return require(
+      ptx::to_string(ss) + "[" + std::to_string(addr) + "..+" +
+          std::to_string(len) + "] valid",
+      [=](const sem::Machine& m) {
+        return m.memory.in_bounds(ss, addr, len) &&
+               m.memory.all_valid(ss, addr, len);
+      });
+}
+
+std::vector<ClauseFailure> Spec::eval(const sem::Machine& m) const {
+  std::vector<ClauseFailure> failures;
+  for (const Clause& c : clauses_) {
+    if (!c.pred(m)) failures.push_back({c.description});
+  }
+  return failures;
+}
+
+}  // namespace cac::check

@@ -1,0 +1,57 @@
+// Specifications: machine-checkable claims about final machine states.
+//
+// The paper states correctness as Coq propositions over the final
+// (grid, memory) pair — e.g. "A + B = C" for the vector sum (§IV).
+// A Spec is the executable counterpart: a conjunction of named clauses
+// evaluated on a final machine state.  The model checker (model.h)
+// proves a Spec by evaluating it on *every* reachable final state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sem/state.h"
+
+namespace cac::check {
+
+/// One named predicate over a final machine state.
+struct Clause {
+  std::string description;
+  std::function<bool(const sem::Machine&)> pred;
+};
+
+struct ClauseFailure {
+  std::string description;  // of the violated clause
+};
+
+class Spec {
+ public:
+  /// Add an arbitrary predicate clause.
+  Spec& require(std::string description,
+                std::function<bool(const sem::Machine&)> pred);
+
+  // --- convenience builders for common memory claims ---
+
+  /// The 32-bit little-endian word at `addr` equals `expected`.
+  Spec& mem_u32(ptx::Space ss, std::uint64_t addr, std::uint32_t expected);
+
+  /// The byte at `addr` equals `expected`.
+  Spec& mem_u8(ptx::Space ss, std::uint64_t addr, std::uint8_t expected);
+
+  /// Every byte of the range carries a set valid bit — the
+  /// synchronization claim the paper's valid-bit discipline supports.
+  Spec& mem_valid(ptx::Space ss, std::uint64_t addr, std::uint32_t len);
+
+  /// Evaluate all clauses; returns the violated ones (empty == holds).
+  [[nodiscard]] std::vector<ClauseFailure> eval(const sem::Machine& m) const;
+
+  [[nodiscard]] std::size_t size() const { return clauses_.size(); }
+  [[nodiscard]] const std::vector<Clause>& clauses() const { return clauses_; }
+
+ private:
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace cac::check

@@ -1,0 +1,56 @@
+#include "check/trace.h"
+
+#include <algorithm>
+
+namespace cac::check {
+
+ReplayResult replay(const ptx::Program& prg, const sem::KernelConfig& kc,
+                    const sem::Machine& initial,
+                    const std::vector<sem::Choice>& trace,
+                    const sem::StepOptions& opts) {
+  ReplayResult result;
+  result.final = initial;
+
+  for (const sem::Choice& c : trace) {
+    // Independent applicability check: the choice must be among the
+    // rule instances the kernel itself enumerates for this state.
+    const auto eligible = sem::eligible_choices(prg, result.final.grid);
+    if (std::find(eligible.begin(), eligible.end(), c) == eligible.end()) {
+      result.error = "step " + std::to_string(result.steps_replayed) +
+                     ": choice " + sem::to_string(c) +
+                     " is not applicable in this state";
+      return result;
+    }
+    sem::StepEvents ev;
+    const sem::StepResult sr =
+        sem::apply_choice(prg, kc, result.final, c, opts, &ev);
+    ++result.steps_replayed;
+    result.events.invalid_reads.insert(result.events.invalid_reads.end(),
+                                       ev.invalid_reads.begin(),
+                                       ev.invalid_reads.end());
+    result.events.store_conflicts.insert(result.events.store_conflicts.end(),
+                                         ev.store_conflicts.begin(),
+                                         ev.store_conflicts.end());
+    result.events.uninit_reads.insert(result.events.uninit_reads.end(),
+                                      ev.uninit_reads.begin(),
+                                      ev.uninit_reads.end());
+    if (!sr.ok()) {
+      // A fault mid-trace is valid replay evidence if and only if it
+      // is the trace's last step (a fault counterexample).
+      result.faulted = true;
+      result.fault = sr.fault;
+      result.valid = (&c == &trace.back());
+      if (!result.valid) {
+        result.error = "step " + std::to_string(result.steps_replayed - 1) +
+                       " faulted before the end of the trace: " + sr.fault;
+      }
+      return result;
+    }
+  }
+  result.valid = true;
+  result.final_terminated = sem::terminated(prg, result.final.grid);
+  result.final_stuck = sem::is_stuck(prg, result.final.grid);
+  return result;
+}
+
+}  // namespace cac::check

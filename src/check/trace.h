@@ -1,0 +1,45 @@
+// Derivation-trace replay: keeping untrusted tools out of the TCB.
+//
+// The paper stresses that its Ltac symbolic interpreter "comes without
+// any additions to the TCB, since the tactics merely automate the
+// application of the operational semantics rules" (§IV).  The same
+// architecture here: the explorer, model checker and symbolic engine
+// are untrusted, but anything they claim is accompanied by a schedule
+// trace (a list of Fig. 3 choices) that this module replays step by
+// step through the trusted kernel (sem::apply_choice), re-checking at
+// each step that the chosen rule instance was actually applicable.
+//
+// A verified counterexample trace is therefore evidence independent of
+// the tool that found it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sem/step.h"
+
+namespace cac::check {
+
+struct ReplayResult {
+  /// True iff every choice in the trace was an applicable rule
+  /// instance and no step faulted unexpectedly.
+  bool valid = false;
+  std::string error;           // first divergence from validity
+  std::uint64_t steps_replayed = 0;
+  sem::Machine final;          // machine after the trace (or at failure)
+  bool final_terminated = false;
+  bool final_stuck = false;
+  bool faulted = false;        // the last step faulted (a fault
+                               // counterexample replays as valid)
+  std::string fault;
+  sem::StepEvents events;      // accumulated diagnostics
+};
+
+/// Replay `trace` from `initial` through the trusted kernel.
+ReplayResult replay(const ptx::Program& prg, const sem::KernelConfig& kc,
+                    const sem::Machine& initial,
+                    const std::vector<sem::Choice>& trace,
+                    const sem::StepOptions& opts = {});
+
+}  // namespace cac::check

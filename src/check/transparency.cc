@@ -1,0 +1,56 @@
+#include "check/transparency.h"
+
+#include "sched/scheduler.h"
+
+namespace cac::check {
+
+TransparencyResult check_scheduler_transparency(
+    const ptx::Program& prg, const sem::KernelConfig& kc,
+    const sem::Machine& initial, const sched::ExploreOptions& opts) {
+  TransparencyResult result;
+
+  // The deterministic witness run.
+  sem::Machine det = initial;
+  sched::FirstChoiceScheduler first;
+  const sched::RunResult dr =
+      sched::run(prg, kc, det, first, opts.max_depth, opts.step_opts);
+  result.det_steps = dr.steps;
+  if (!dr.terminated()) {
+    result.detail = "deterministic schedule did not terminate: " +
+                    to_string(dr.status) +
+                    (dr.message.empty() ? "" : " (" + dr.message + ")");
+    return result;
+  }
+
+  // Every schedule.
+  result.exploration = sched::explore(prg, kc, initial, opts);
+  result.schedules_states = result.exploration.states_visited;
+  if (!result.exploration.violations.empty()) {
+    const auto& v = result.exploration.violations.front();
+    result.detail = "a schedule fails: " + to_string(v.kind) + ": " +
+                    v.message;
+    return result;
+  }
+  if (!result.exploration.exhaustive) {
+    result.detail = "exploration limits hit; transparency undecided";
+    return result;
+  }
+  if (result.exploration.finals.size() != 1) {
+    result.detail = "schedule-dependent result: " +
+                    std::to_string(result.exploration.finals.size()) +
+                    " distinct terminal states";
+    return result;
+  }
+  if (!(result.exploration.finals.front() == det)) {
+    result.detail =
+        "nondeterministic terminal state differs from the deterministic one";
+    return result;
+  }
+  result.holds = true;
+  result.detail = "deterministic result is the unique result of all " +
+                  std::to_string(result.exploration.states_visited) +
+                  "-state schedules";
+  return result;
+}
+
+}  // namespace cac::check

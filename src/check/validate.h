@@ -1,0 +1,49 @@
+// The composite validation entry point — the paper's §I workflow in
+// one call: heuristic dynamic analyses first (profile, race detection),
+// then the machine-checked guarantees (all-schedules model checking,
+// scheduler transparency, warp lane-order independence).
+//
+// This is the API a downstream user calls on a kernel + launch +
+// postcondition; the pieces are independently available in the other
+// check/ headers.
+#pragma once
+
+#include "check/lane_order.h"
+#include "check/model.h"
+#include "check/profile.h"
+#include "check/race.h"
+#include "check/transparency.h"
+
+namespace cac::check {
+
+struct ValidateOptions {
+  ModelCheckOptions model;
+  bool check_transparency = true;
+  bool check_lane_order = true;
+  std::size_t lane_orders = 24;
+  bool check_races = true;
+  bool collect_profile = true;
+};
+
+struct ValidationReport {
+  /// Dynamic pre-checks (one deterministic schedule).
+  Profile profile;
+  RaceReport races;
+
+  /// Machine-checked guarantees (exhaustive).
+  Verdict model;                    // termination + postcondition
+  TransparencyResult transparency;  // det == every schedule
+  LaneOrderResult lane_order;       // nd_map's semantic content
+
+  ValidateOptions options_used;
+
+  [[nodiscard]] bool all_passed() const;
+  [[nodiscard]] std::string text() const;
+};
+
+ValidationReport validate(const ptx::Program& prg,
+                          const sem::KernelConfig& kc,
+                          const sem::Machine& initial, const Spec& post,
+                          const ValidateOptions& opts = {});
+
+}  // namespace cac::check

@@ -1,0 +1,151 @@
+#include "mem/memory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "support/diag.h"
+
+namespace cac::mem {
+
+std::uint64_t MemSizes::of(Space ss) const {
+  switch (ss) {
+    case Space::Global: return global;
+    case Space::Const: return constant;
+    case Space::Shared: return shared;
+    case Space::Param: return param;
+  }
+  return 0;
+}
+
+Memory::Memory(const MemSizes& sizes)
+    : global_(sizes.global),
+      constant_(sizes.constant),
+      shared_(sizes.shared * sizes.shared_banks),
+      param_(sizes.param),
+      shared_per_block_(sizes.shared) {}
+
+const std::vector<Cell>& Memory::space(Space ss) const {
+  switch (ss) {
+    case Space::Global: return global_;
+    case Space::Const: return constant_;
+    case Space::Shared: return shared_;
+    case Space::Param: return param_;
+  }
+  throw KernelError("bad state space");
+}
+
+std::vector<Cell>& Memory::space(Space ss) {
+  return const_cast<std::vector<Cell>&>(
+      static_cast<const Memory*>(this)->space(ss));
+}
+
+std::uint64_t Memory::size(Space ss) const { return space(ss).size(); }
+
+bool Memory::in_bounds(Space ss, std::uint64_t addr,
+                       std::uint32_t len) const {
+  const std::uint64_t n = space(ss).size();
+  return addr <= n && len <= n - addr;
+}
+
+const Cell& Memory::cell(Space ss, std::uint64_t addr) const {
+  const auto& v = space(ss);
+  if (addr >= v.size()) {
+    throw KernelError("memory access out of bounds: " + ptx::to_string(ss) +
+                      "[" + std::to_string(addr) + "]");
+  }
+  return v[addr];
+}
+
+std::uint64_t Memory::load(Space ss, std::uint64_t addr,
+                           std::uint32_t len) const {
+  assert(len == 1 || len == 2 || len == 4 || len == 8);
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    v |= static_cast<std::uint64_t>(cell(ss, addr + i).byte) << (8 * i);
+  }
+  return v;
+}
+
+bool Memory::all_valid(Space ss, std::uint64_t addr,
+                       std::uint32_t len) const {
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (!cell(ss, addr + i).valid) return false;
+  }
+  return true;
+}
+
+void Memory::store(Space ss, std::uint64_t addr, std::uint32_t len,
+                   std::uint64_t value, bool valid) {
+  assert(len == 1 || len == 2 || len == 4 || len == 8);
+  auto& v = space(ss);
+  if (addr >= v.size() || len > v.size() - addr) {
+    throw KernelError("memory store out of bounds: " + ptx::to_string(ss) +
+                      "[" + std::to_string(addr) + "]");
+  }
+  for (std::uint32_t i = 0; i < len; ++i) {
+    v[addr + i] = Cell{static_cast<std::uint8_t>(value >> (8 * i)), valid};
+  }
+}
+
+void Memory::write_init(Space ss, std::uint64_t addr, const void* data,
+                        std::size_t len) {
+  auto& v = space(ss);
+  if (addr >= v.size() || len > v.size() - addr) {
+    throw KernelError("init write out of bounds: " + ptx::to_string(ss) +
+                      "[" + std::to_string(addr) + "]");
+  }
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) v[addr + i] = Cell{p[i], true};
+}
+
+void Memory::init_u32(Space ss, std::uint64_t addr, std::uint32_t v) {
+  std::uint8_t b[4];
+  std::memcpy(b, &v, 4);  // host is little-endian like the device
+  write_init(ss, addr, b, 4);
+}
+
+void Memory::init_u64(Space ss, std::uint64_t addr, std::uint64_t v) {
+  std::uint8_t b[8];
+  std::memcpy(b, &v, 8);
+  write_init(ss, addr, b, 8);
+}
+
+void Memory::commit_shared(std::uint32_t block) {
+  const std::uint64_t base = shared_base(block);
+  const std::uint64_t end = std::min<std::uint64_t>(
+      base + shared_per_block_, shared_.size());
+  for (std::uint64_t i = base; i < end; ++i) shared_[i].valid = true;
+}
+
+void Memory::set_all_valid(Space ss, bool valid) {
+  for (Cell& c : space(ss)) c.valid = valid;
+}
+
+std::uint64_t Memory::hash() const {
+  Hasher h;
+  for (Space ss : ptx::kAllSpaces) {
+    const auto& v = space(ss);
+    h.mix(v.size());
+    for (const Cell& c : v) {
+      h.mix(static_cast<std::uint64_t>(c.byte) << 1 | (c.valid ? 1 : 0));
+    }
+  }
+  return h.value();
+}
+
+std::string Memory::dump(Space ss, std::uint64_t addr,
+                         std::uint32_t len) const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (i && i % 16 == 0) out += '\n';
+    const Cell& c = cell(ss, addr + i);
+    out += kHex[c.byte >> 4];
+    out += kHex[c.byte & 0xf];
+    out += c.valid ? ' ' : '!';
+  }
+  return out;
+}
+
+}  // namespace cac::mem

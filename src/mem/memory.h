@@ -1,0 +1,127 @@
+// The memory state µ of the formal model (paper §III-2, Table I):
+//
+//   µ : (ss x addr) -> (byte x B)
+//
+// Every byte carries a *valid bit* — false means the value "could
+// possibly still be in flight", like a cache valid bit.  The paper's
+// valid-bit discipline, reproduced here as mechanism (policy lives in
+// the semantics kernel, src/sem/step.cc):
+//
+//  * at launch only Global and Const bytes written by the host are
+//    valid;
+//  * ordinary stores to Global leave the byte invalid — the hardware
+//    does not guarantee inter-thread synchronization of global memory
+//    (atomics excepted);
+//  * stores to Shared are invalid until the whole block reaches a
+//    barrier, at which point commit_shared() flips every Shared valid
+//    bit to true (Fig. 3's lift-bar rule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptx/dtype.h"
+#include "support/hash.h"
+
+namespace cac::mem {
+
+using ptx::Space;
+
+/// Byte sizes of each state space for a launch.  `shared` is the size
+/// of one block's Shared bank; every block gets its own bank (set
+/// `shared_banks` to the number of blocks), because Shared memory is
+/// private to a thread block (paper §III-2).
+struct MemSizes {
+  std::uint64_t global = 0;
+  std::uint64_t constant = 0;
+  std::uint64_t shared = 0;
+  std::uint64_t param = 0;
+  std::uint32_t shared_banks = 1;
+
+  [[nodiscard]] std::uint64_t of(Space ss) const;
+};
+
+/// One memory byte with its valid bit.
+struct Cell {
+  std::uint8_t byte = 0;
+  bool valid = false;
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+class Memory {
+ public:
+  Memory() = default;
+  explicit Memory(const MemSizes& sizes);
+
+  [[nodiscard]] std::uint64_t size(Space ss) const;
+  [[nodiscard]] bool in_bounds(Space ss, std::uint64_t addr,
+                               std::uint32_t len) const;
+
+  /// Raw cell access.  Callers must bounds-check first (the semantics
+  /// kernel turns out-of-bounds accesses into fault events rather than
+  /// crashing); violating that is a programming error and throws.
+  [[nodiscard]] const Cell& cell(Space ss, std::uint64_t addr) const;
+
+  /// Little-endian load of `len` bytes (1/2/4/8).
+  [[nodiscard]] std::uint64_t load(Space ss, std::uint64_t addr,
+                                   std::uint32_t len) const;
+
+  /// True iff every byte of the range has its valid bit set.
+  [[nodiscard]] bool all_valid(Space ss, std::uint64_t addr,
+                               std::uint32_t len) const;
+
+  /// Little-endian store of `len` bytes with an explicit valid bit.
+  /// The valid-bit *policy* (invalid for plain Global/Shared stores,
+  /// valid for atomics and launch-time initialization) is chosen by the
+  /// caller; see the file comment.
+  void store(Space ss, std::uint64_t addr, std::uint32_t len,
+             std::uint64_t value, bool valid);
+
+  /// Launch-time initialization: bytes arrive valid.
+  void write_init(Space ss, std::uint64_t addr, const void* data,
+                  std::size_t len);
+
+  /// Typed launch-time helpers.
+  void init_u32(Space ss, std::uint64_t addr, std::uint32_t v);
+  void init_u64(Space ss, std::uint64_t addr, std::uint64_t v);
+
+  /// Fig. 3 lift-bar: commit one block's Shared bank (valid := true).
+  void commit_shared(std::uint32_t block);
+
+  /// Shared-space addressing: block-local addresses are offset into the
+  /// block's private bank.  Returns the base of that bank within the
+  /// flat Shared space; shared_size() is the per-block bank size.
+  [[nodiscard]] std::uint64_t shared_base(std::uint32_t block) const {
+    return static_cast<std::uint64_t>(block) * shared_per_block_;
+  }
+  [[nodiscard]] std::uint64_t shared_size() const {
+    return shared_per_block_;
+  }
+
+  /// Mark every byte of a space valid; used by checkers when stating
+  /// hypotheses about the final state.
+  void set_all_valid(Space ss, bool valid);
+
+  friend bool operator==(const Memory&, const Memory&) = default;
+
+  /// Order- and representation-independent state hash (for schedule
+  /// exploration memoization).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Human-readable hex dump of a range (debugging aid).
+  [[nodiscard]] std::string dump(Space ss, std::uint64_t addr,
+                                 std::uint32_t len) const;
+
+ private:
+  [[nodiscard]] const std::vector<Cell>& space(Space ss) const;
+  [[nodiscard]] std::vector<Cell>& space(Space ss);
+
+  std::vector<Cell> global_;
+  std::vector<Cell> constant_;
+  std::vector<Cell> shared_;  // shared_banks banks of shared_per_block_
+  std::vector<Cell> param_;
+  std::uint64_t shared_per_block_ = 0;
+};
+
+}  // namespace cac::mem

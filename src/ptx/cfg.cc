@@ -1,0 +1,157 @@
+#include "ptx/cfg.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "support/diag.h"
+
+namespace cac::ptx {
+
+namespace {
+
+struct BranchInfo {
+  std::optional<std::uint32_t> target;  // branch target, if any
+  bool conditional = false;             // PBra: also falls through
+  bool terminator = false;              // ends a block
+  bool exits = false;                   // Exit
+};
+
+BranchInfo classify(const Instr& i) {
+  if (const auto* b = std::get_if<IBra>(&i)) {
+    return {b->target, false, true, false};
+  }
+  if (const auto* pb = std::get_if<IPBra>(&i)) {
+    return {pb->target, true, true, false};
+  }
+  if (std::holds_alternative<IExit>(i)) {
+    return {std::nullopt, false, true, true};
+  }
+  return {};
+}
+
+}  // namespace
+
+Cfg::Cfg(const std::vector<Instr>& code) {
+  if (code.empty()) throw KernelError("cannot build CFG of empty program");
+  const auto n = static_cast<std::uint32_t>(code.size());
+
+  // Leaders: instruction 0, branch targets, fall-throughs of terminators.
+  std::set<std::uint32_t> leaders{0};
+  for (std::uint32_t pc = 0; pc < n; ++pc) {
+    const BranchInfo bi = classify(code[pc]);
+    if (bi.target) leaders.insert(*bi.target);
+    if (bi.terminator && pc + 1 < n) leaders.insert(pc + 1);
+  }
+
+  block_of_.assign(n, 0);
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    Block b;
+    b.first = *it;
+    auto next = std::next(it);
+    b.last = next == leaders.end() ? n : *next;
+    const auto id = static_cast<std::uint32_t>(blocks_.size());
+    for (std::uint32_t pc = b.first; pc < b.last; ++pc) block_of_[pc] = id;
+    blocks_.push_back(std::move(b));
+  }
+
+  // Successor edges.  A block ends at its last instruction; anything
+  // that is not a terminator falls through to the next block.
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    Block& b = blocks_[id];
+    const BranchInfo bi = classify(code[b.last - 1]);
+    if (bi.exits) {
+      b.succs.push_back(exit_id());
+      continue;
+    }
+    if (bi.target) b.succs.push_back(block_of_[*bi.target]);
+    const bool falls_through = !bi.terminator || bi.conditional;
+    if (falls_through) {
+      if (b.last >= n) {
+        throw KernelError("instruction " + std::to_string(b.last - 1) +
+                          " falls through past the end of the program");
+      }
+      b.succs.push_back(block_of_[b.last]);
+    }
+  }
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    for (std::uint32_t s : blocks_[id].succs) {
+      if (s != exit_id()) blocks_[s].preds.push_back(id);
+    }
+  }
+}
+
+std::vector<std::uint32_t> Cfg::ipostdom() const {
+  // Cooper–Harvey–Kennedy iterative dominance on the *reverse* CFG,
+  // rooted at the virtual exit node.  In the reverse CFG the successors
+  // of a node are its forward predecessors, so a postorder numbering is
+  // computed by DFS from the exit along forward-predecessor edges.
+  const std::uint32_t nexit = exit_id();
+  const std::uint32_t num_nodes = nexit + 1;
+  constexpr std::uint32_t kUndef = 0xffffffffu;
+
+  // Forward predecessor lists, including the exit node's.
+  std::vector<std::vector<std::uint32_t>> fpreds(num_nodes);
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    for (std::uint32_t s : blocks_[id].succs) fpreds[s].push_back(id);
+  }
+
+  // Iterative DFS from exit over reverse-CFG edges to get postorder.
+  std::vector<std::uint32_t> po_num(num_nodes, kUndef);
+  std::vector<std::uint32_t> po_order;
+  {
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{nexit, 0}};
+    std::vector<bool> on_stack(num_nodes, false);
+    on_stack[nexit] = true;
+    while (!stack.empty()) {
+      auto& [node, next_child] = stack.back();
+      if (next_child < fpreds[node].size()) {
+        const std::uint32_t child = fpreds[node][next_child++];
+        if (!on_stack[child] && po_num[child] == kUndef) {
+          on_stack[child] = true;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        po_num[node] = static_cast<std::uint32_t>(po_order.size());
+        po_order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> idom(num_nodes, kUndef);
+  idom[nexit] = nexit;
+
+  auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (po_num[a] < po_num[b]) a = idom[a];
+      while (po_num[b] < po_num[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Reverse postorder of the reverse CFG, skipping the root.
+    for (auto it = po_order.rbegin(); it != po_order.rend(); ++it) {
+      const std::uint32_t id = *it;
+      if (id == nexit) continue;
+      std::uint32_t new_idom = kUndef;
+      for (std::uint32_t s : blocks_[id].succs) {  // reverse-CFG preds
+        if (idom[s] == kUndef) continue;
+        new_idom = new_idom == kUndef ? s : intersect(new_idom, s);
+      }
+      if (new_idom != kUndef && idom[id] != new_idom) {
+        idom[id] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  for (auto& d : idom) {
+    if (d == kUndef) d = nexit;  // nodes that cannot reach the exit
+  }
+  return idom;
+}
+
+}  // namespace cac::ptx

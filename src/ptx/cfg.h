@@ -1,0 +1,50 @@
+// Control-flow graph and post-dominator analysis over lowered code.
+//
+// The paper inserts the warp-reconvergence pseudo-instruction `Sync` by
+// hand at the join point of each divergent branch (Listing 2, index 18).
+// Real CUDA compilers compute that join point as the *immediate
+// post-dominator* of the branch; this module implements the analysis so
+// our lowering can insert Sync mechanically and provably at the same
+// places (see lower.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptx/instr.h"
+
+namespace cac::ptx {
+
+/// A CFG over a flat instruction list.  Block `i` covers the
+/// half-open instruction range [first, last).
+class Cfg {
+ public:
+  struct Block {
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+    std::vector<std::uint32_t> succs;  // block ids; may include exit_id()
+    std::vector<std::uint32_t> preds;
+  };
+
+  explicit Cfg(const std::vector<Instr>& code);
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+  [[nodiscard]] std::uint32_t block_of(std::uint32_t pc) const {
+    return block_of_[pc];
+  }
+  /// Id of the virtual exit node every Exit block flows into.
+  [[nodiscard]] std::uint32_t exit_id() const {
+    return static_cast<std::uint32_t>(blocks_.size());
+  }
+
+  /// Immediate post-dominator of every block (indexed by block id; the
+  /// entry for exit_id() is exit_id() itself).  Unreachable blocks map
+  /// to exit_id().
+  [[nodiscard]] std::vector<std::uint32_t> ipostdom() const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<std::uint32_t> block_of_;
+};
+
+}  // namespace cac::ptx

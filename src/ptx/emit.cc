@@ -1,0 +1,361 @@
+#include "ptx/emit.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "support/diag.h"
+
+namespace cac::ptx {
+
+namespace {
+
+/// Register naming scheme for emission: one textual prefix per
+/// (class, width) pair, mirroring nvcc's conventions where they exist.
+std::string reg_prefix(TypeClass cls, unsigned width) {
+  const bool s = cls == TypeClass::SI;
+  switch (width) {
+    case 8: return s ? "sb" : "rb";
+    case 16: return s ? "sh" : "rh";
+    case 32: return s ? "s" : "r";
+    case 64: return s ? "sd" : "rd";
+  }
+  throw PtxError("unemittable register width");
+}
+
+std::string type_suffix(const DType& t) {
+  const char c = t.cls == TypeClass::UI ? 'u'
+               : t.cls == TypeClass::SI ? 's'
+                                        : 'b';
+  return std::string(1, c) + std::to_string(t.width);
+}
+
+std::string space_name(Space ss) {
+  switch (ss) {
+    case Space::Global: return "global";
+    case Space::Const: return "const";
+    case Space::Shared: return "shared";
+    case Space::Param: return "param";
+  }
+  return "?";
+}
+
+class Emitter {
+ public:
+  Emitter(const Program& prg, const EmitOptions& opts)
+      : prg_(prg), opts_(opts) {}
+
+  std::string run() {
+    collect();
+    std::string out = ".version 6.0\n.target sm_30\n.address_size 64\n\n";
+    out += ".visible .entry " + prg_.name() + "(";
+    for (std::size_t i = 0; i < prg_.params().size(); ++i) {
+      const ParamSlot& p = prg_.params()[i];
+      out += std::string(i ? "," : "") + "\n  .param ." +
+             type_suffix(p.type) + " " + p.name;
+    }
+    out += prg_.params().empty() ? ")\n{\n" : "\n)\n{\n";
+
+    if (max_pred_) {
+      out += "  .reg .pred %p<" + std::to_string(*max_pred_ + 1) + ">;\n";
+    }
+    for (const auto& [key, max_index] : max_reg_) {
+      const auto cls = static_cast<TypeClass>(key >> 8);
+      const unsigned width = key & 0xff;
+      const char decl = cls == TypeClass::SI ? 's' : 'u';
+      out += "  .reg ." + std::string(1, decl) + std::to_string(width) +
+             " %" + reg_prefix(cls, width) + "<" +
+             std::to_string(max_index + 1) + ">;\n";
+    }
+    out += "\n";
+
+    for (std::uint32_t pc = 0; pc < prg_.size(); ++pc) {
+      if (labels_.count(pc)) out += "L" + std::to_string(pc) + ":\n";
+      const std::string line = emit_instr(prg_.fetch(pc));
+      if (!line.empty()) out += "  " + line + ";\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  void note_reg(const Reg& r) {
+    const std::uint32_t key =
+        (static_cast<std::uint32_t>(r.cls) << 8) | r.width;
+    auto [it, inserted] = max_reg_.emplace(key, r.index);
+    if (!inserted) it->second = std::max(it->second, r.index);
+  }
+
+  void note_operand(const Operand& op) {
+    if (const auto* r = std::get_if<Reg>(&op)) note_reg(*r);
+    if (const auto* ri = std::get_if<RegImm>(&op)) note_reg(ri->reg);
+  }
+
+  void collect() {
+    for (std::uint32_t pc = 0; pc < prg_.size(); ++pc) {
+      const Instr& i = prg_.fetch(pc);
+      std::visit([this](const auto& ins) { collect_instr(ins); }, i);
+      if (const auto* b = std::get_if<IBra>(&i)) labels_.insert(b->target);
+      if (const auto* pb = std::get_if<IPBra>(&i)) labels_.insert(pb->target);
+    }
+  }
+
+  void collect_instr(const INop&) {}
+  void collect_instr(const IBop& i) {
+    note_reg(i.dst);
+    note_operand(i.a);
+    note_operand(i.b);
+  }
+  void collect_instr(const ITop& i) {
+    note_reg(i.dst);
+    note_operand(i.a);
+    note_operand(i.b);
+    note_operand(i.c);
+  }
+  void collect_instr(const IUop& i) {
+    note_reg(i.dst);
+    note_operand(i.a);
+  }
+  void collect_instr(const IMov& i) {
+    note_reg(i.dst);
+    note_operand(i.src);
+  }
+  void collect_instr(const ILd& i) {
+    note_reg(i.dst);
+    note_operand(i.addr);
+  }
+  void collect_instr(const ISt& i) {
+    note_reg(i.src);
+    note_operand(i.addr);
+  }
+  void collect_instr(const IBra&) {}
+  void collect_instr(const ISetp& i) {
+    note_pred(i.dst);
+    note_operand(i.a);
+    note_operand(i.b);
+  }
+  void collect_instr(const IPBra& i) { note_pred(i.pred); }
+  void collect_instr(const ISelp& i) {
+    note_reg(i.dst);
+    note_operand(i.a);
+    note_operand(i.b);
+    note_pred(i.pred);
+  }
+  void collect_instr(const ISync&) {}
+  void collect_instr(const IBar&) {}
+  void collect_instr(const IExit&) {}
+  void collect_instr(const IVote& i) {
+    note_pred(i.src);
+    if (i.mode == VoteMode::Ballot) note_reg(i.dst_ballot);
+    else note_pred(i.dst);
+  }
+  void collect_instr(const IShfl& i) {
+    note_reg(i.dst);
+    note_reg(i.src);
+    note_operand(i.lane);
+  }
+  void collect_instr(const IAtom& i) {
+    note_reg(i.dst);
+    note_operand(i.addr);
+    note_operand(i.b);
+    note_operand(i.c);
+  }
+
+  void note_pred(const Pred& p) {
+    max_pred_ = max_pred_ ? std::max(*max_pred_, p.index) : p.index;
+  }
+
+  std::string reg_name(const Reg& r) const {
+    return "%" + reg_prefix(r.cls, r.width) + std::to_string(r.index);
+  }
+
+  std::string value_operand(const Operand& op) const {
+    if (const auto* r = std::get_if<Reg>(&op)) return reg_name(*r);
+    if (const auto* s = std::get_if<Sreg>(&op)) return to_string(*s);
+    if (const auto* i = std::get_if<Imm>(&op)) return std::to_string(i->value);
+    throw PtxError("operand kind not emittable as a value");
+  }
+
+  std::string addr_operand(const Operand& op, Space ss) const {
+    if (const auto* r = std::get_if<Reg>(&op)) {
+      return "[" + reg_name(*r) + "]";
+    }
+    if (const auto* ri = std::get_if<RegImm>(&op)) {
+      return "[" + reg_name(ri->reg) +
+             (ri->offset >= 0 ? "+" : "") + std::to_string(ri->offset) + "]";
+    }
+    if (const auto* imm = std::get_if<Imm>(&op)) {
+      if (ss == Space::Param) {
+        // Identify the parameter slot this offset addresses.
+        for (const ParamSlot& p : prg_.params()) {
+          if (p.offset == static_cast<std::uint64_t>(imm->value)) {
+            return "[" + p.name + "]";
+          }
+        }
+      }
+      return "[" + std::to_string(imm->value) + "]";
+    }
+    throw PtxError("operand kind not emittable as an address");
+  }
+
+  std::string emit_instr(const Instr& instr) {
+    struct V {
+      Emitter& e;
+      std::string operator()(const INop&) const { return "nop"; }
+      std::string operator()(const IBop& i) const {
+        std::string m;
+        switch (i.op) {
+          case BinOp::Add: m = "add"; break;
+          case BinOp::Sub: m = "sub"; break;
+          case BinOp::Mul: m = "mul.lo"; break;
+          case BinOp::MulHi: m = "mul.hi"; break;
+          case BinOp::MulWide: m = "mul.wide"; break;
+          case BinOp::Div: m = "div"; break;
+          case BinOp::Rem: m = "rem"; break;
+          case BinOp::Min: m = "min"; break;
+          case BinOp::Max: m = "max"; break;
+          case BinOp::And: m = "and"; break;
+          case BinOp::Or: m = "or"; break;
+          case BinOp::Xor: m = "xor"; break;
+          case BinOp::Shl: m = "shl"; break;
+          case BinOp::Shr: m = "shr"; break;
+        }
+        return m + "." + type_suffix(i.type) + " " + e.reg_name(i.dst) +
+               ", " + e.value_operand(i.a) + ", " + e.value_operand(i.b);
+      }
+      std::string operator()(const ITop& i) const {
+        const std::string m =
+            i.op == TerOp::MadLo ? "mad.lo" : "mad.wide";
+        return m + "." + type_suffix(i.type) + " " + e.reg_name(i.dst) +
+               ", " + e.value_operand(i.a) + ", " + e.value_operand(i.b) +
+               ", " + e.value_operand(i.c);
+      }
+      std::string operator()(const IUop& i) const {
+        if (i.op == UnOp::Cvt) {
+          return "cvt.u" + std::to_string(i.dst.width) + "." +
+                 type_suffix(i.type) + " " + e.reg_name(i.dst) + ", " +
+                 e.value_operand(i.a);
+        }
+        const char* m = "";
+        switch (i.op) {
+          case UnOp::Not: m = "not"; break;
+          case UnOp::Neg: m = "neg"; break;
+          case UnOp::Abs: m = "abs"; break;
+          case UnOp::Popc: m = "popc"; break;
+          case UnOp::Clz: m = "clz"; break;
+          case UnOp::Brev: m = "brev"; break;
+          case UnOp::Cvt: break;
+        }
+        return std::string(m) + "." + type_suffix(i.type) + " " +
+               e.reg_name(i.dst) + ", " + e.value_operand(i.a);
+      }
+      std::string operator()(const IMov& i) const {
+        return "mov.u" + std::to_string(i.dst.width) + " " +
+               e.reg_name(i.dst) + ", " + e.value_operand(i.src);
+      }
+      std::string operator()(const ILd& i) const {
+        return "ld." + space_name(i.space) + "." + type_suffix(i.type) +
+               " " + e.reg_name(i.dst) + ", " +
+               e.addr_operand(i.addr, i.space);
+      }
+      std::string operator()(const ISt& i) const {
+        return "st." + space_name(i.space) + "." + type_suffix(i.type) +
+               " " + e.addr_operand(i.addr, i.space) + ", " +
+               e.reg_name(i.src);
+      }
+      std::string operator()(const IBra& i) const {
+        return "bra L" + std::to_string(i.target);
+      }
+      std::string operator()(const ISetp& i) const {
+        const char* c = "";
+        switch (i.cmp) {
+          case CmpOp::Eq: c = "eq"; break;
+          case CmpOp::Ne: c = "ne"; break;
+          case CmpOp::Lt: c = "lt"; break;
+          case CmpOp::Le: c = "le"; break;
+          case CmpOp::Gt: c = "gt"; break;
+          case CmpOp::Ge: c = "ge"; break;
+        }
+        return std::string("setp.") + c + "." + type_suffix(i.type) + " %p" +
+               std::to_string(i.dst.index) + ", " + e.value_operand(i.a) +
+               ", " + e.value_operand(i.b);
+      }
+      std::string operator()(const IPBra& i) const {
+        return std::string("@") + (i.negated ? "!" : "") + "%p" +
+               std::to_string(i.pred.index) + " bra L" +
+               std::to_string(i.target);
+      }
+      std::string operator()(const ISelp& i) const {
+        return "selp." + type_suffix(i.type) + " " + e.reg_name(i.dst) +
+               ", " + e.value_operand(i.a) + ", " + e.value_operand(i.b) +
+               ", %p" + std::to_string(i.pred.index);
+      }
+      std::string operator()(const ISync&) const {
+        return e.opts_.emit_syncs ? "sync" : "";
+      }
+      std::string operator()(const IBar&) const { return "bar.sync 0"; }
+      std::string operator()(const IExit&) const { return "ret"; }
+      std::string operator()(const IVote& i) const {
+        switch (i.mode) {
+          case VoteMode::All:
+            return "vote.all.pred %p" + std::to_string(i.dst.index) +
+                   ", %p" + std::to_string(i.src.index);
+          case VoteMode::Any:
+            return "vote.any.pred %p" + std::to_string(i.dst.index) +
+                   ", %p" + std::to_string(i.src.index);
+          case VoteMode::Ballot:
+            return "vote.ballot.b32 " + e.reg_name(i.dst_ballot) + ", %p" +
+                   std::to_string(i.src.index);
+        }
+        return "";
+      }
+      std::string operator()(const IShfl& i) const {
+        const char* m = "";
+        switch (i.mode) {
+          case ShflMode::Idx: m = "idx"; break;
+          case ShflMode::Up: m = "up"; break;
+          case ShflMode::Down: m = "down"; break;
+          case ShflMode::Bfly: m = "bfly"; break;
+        }
+        return std::string("shfl.") + m + "." + type_suffix(i.type) + " " +
+               e.reg_name(i.dst) + ", " + e.reg_name(i.src) + ", " +
+               e.value_operand(i.lane);
+      }
+      std::string operator()(const IAtom& i) const {
+        const char* op = "";
+        switch (i.op) {
+          case AtomOp::Add: op = "add"; break;
+          case AtomOp::Exch: op = "exch"; break;
+          case AtomOp::Min: op = "min"; break;
+          case AtomOp::Max: op = "max"; break;
+          case AtomOp::And: op = "and"; break;
+          case AtomOp::Or: op = "or"; break;
+          case AtomOp::Xor: op = "xor"; break;
+          case AtomOp::Cas: op = "cas"; break;
+        }
+        std::string s = "atom." + space_name(i.space) + "." + op + "." +
+                        type_suffix(i.type) + " " + e.reg_name(i.dst) +
+                        ", " + e.addr_operand(i.addr, i.space) + ", " +
+                        e.value_operand(i.b);
+        if (i.op == AtomOp::Cas) s += ", " + e.value_operand(i.c);
+        return s;
+      }
+    };
+    return std::visit(V{*this}, instr);
+  }
+
+  const Program& prg_;
+  const EmitOptions& opts_;
+  std::map<std::uint32_t, std::uint16_t> max_reg_;  // (cls,width) -> max idx
+  std::optional<std::uint16_t> max_pred_;
+  std::set<std::uint32_t> labels_;
+};
+
+}  // namespace
+
+std::string emit_ptx(const Program& prg, const EmitOptions& opts) {
+  return Emitter(prg, opts).run();
+}
+
+}  // namespace cac::ptx

@@ -1,0 +1,27 @@
+// PTX emission: turn a model Program back into textual PTX that this
+// front end parses.  Together with the parser/lowering this gives a
+// round trip
+//
+//     emit(prg)  --parse/lower-->  prg          (modulo Sync handling)
+//
+// used by the test suite to validate both directions of the
+// translation, and by users to export programs built with the C++ API.
+#pragma once
+
+#include <string>
+
+#include "ptx/program.h"
+
+namespace cac::ptx {
+
+struct EmitOptions {
+  /// Emit the model's Sync pseudo-instruction (accepted by our parser;
+  /// not a real PTX opcode).  When false, Syncs are dropped — lowering
+  /// the emitted text with insert_syncs restores them mechanically.
+  bool emit_syncs = true;
+};
+
+/// Emit a single kernel as a `.visible .entry` PTX module.
+std::string emit_ptx(const Program& prg, const EmitOptions& opts = {});
+
+}  // namespace cac::ptx

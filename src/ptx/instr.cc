@@ -1,0 +1,166 @@
+#include "ptx/instr.h"
+
+namespace cac::ptx {
+
+bool is_bar(const Instr& i) { return std::holds_alternative<IBar>(i); }
+bool is_exit(const Instr& i) { return std::holds_alternative<IExit>(i); }
+bool is_sync(const Instr& i) { return std::holds_alternative<ISync>(i); }
+
+std::string to_string(const BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "add";
+    case BinOp::Sub: return "sub";
+    case BinOp::Mul: return "mul.lo";
+    case BinOp::MulHi: return "mul.hi";
+    case BinOp::MulWide: return "mul.wide";
+    case BinOp::Div: return "div";
+    case BinOp::Rem: return "rem";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+    case BinOp::And: return "and";
+    case BinOp::Or: return "or";
+    case BinOp::Xor: return "xor";
+    case BinOp::Shl: return "shl";
+    case BinOp::Shr: return "shr";
+  }
+  return "?";
+}
+
+std::string to_string(const TerOp op) {
+  switch (op) {
+    case TerOp::MadLo: return "mad.lo";
+    case TerOp::MadWide: return "mad.wide";
+  }
+  return "?";
+}
+
+std::string to_string(const UnOp op) {
+  switch (op) {
+    case UnOp::Not: return "not";
+    case UnOp::Neg: return "neg";
+    case UnOp::Cvt: return "cvt";
+    case UnOp::Abs: return "abs";
+    case UnOp::Popc: return "popc";
+    case UnOp::Clz: return "clz";
+    case UnOp::Brev: return "brev";
+  }
+  return "?";
+}
+
+std::string to_string(const CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq: return "eq";
+    case CmpOp::Ne: return "ne";
+    case CmpOp::Lt: return "lt";
+    case CmpOp::Le: return "le";
+    case CmpOp::Gt: return "gt";
+    case CmpOp::Ge: return "ge";
+  }
+  return "?";
+}
+
+std::string to_string(const AtomOp op) {
+  switch (op) {
+    case AtomOp::Add: return "atom.add";
+    case AtomOp::Exch: return "atom.exch";
+    case AtomOp::Min: return "atom.min";
+    case AtomOp::Max: return "atom.max";
+    case AtomOp::And: return "atom.and";
+    case AtomOp::Or: return "atom.or";
+    case AtomOp::Xor: return "atom.xor";
+    case AtomOp::Cas: return "atom.cas";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string type_suffix(const DType& t) {
+  const char c = t.cls == TypeClass::UI ? 'u'
+               : t.cls == TypeClass::SI ? 's'
+                                        : 'b';
+  return std::string(".") + c + std::to_string(t.width);
+}
+
+struct Printer {
+  std::string operator()(const INop&) const { return "nop"; }
+  std::string operator()(const IBop& i) const {
+    return to_string(i.op) + type_suffix(i.type) + " " + to_string(i.dst) +
+           ", " + to_string(i.a) + ", " + to_string(i.b);
+  }
+  std::string operator()(const ITop& i) const {
+    return to_string(i.op) + type_suffix(i.type) + " " + to_string(i.dst) +
+           ", " + to_string(i.a) + ", " + to_string(i.b) + ", " +
+           to_string(i.c);
+  }
+  std::string operator()(const IUop& i) const {
+    return to_string(i.op) + type_suffix(i.type) + " " + to_string(i.dst) +
+           ", " + to_string(i.a);
+  }
+  std::string operator()(const IMov& i) const {
+    return "mov " + to_string(i.dst) + ", " + to_string(i.src);
+  }
+  std::string operator()(const ILd& i) const {
+    return "ld." + to_string(i.space) + type_suffix(i.type) + " " +
+           to_string(i.dst) + ", [" + to_string(i.addr) + "]";
+  }
+  std::string operator()(const ISt& i) const {
+    return "st." + to_string(i.space) + type_suffix(i.type) + " [" +
+           to_string(i.addr) + "], " + to_string(i.src);
+  }
+  std::string operator()(const IBra& i) const {
+    return "bra " + std::to_string(i.target);
+  }
+  std::string operator()(const ISetp& i) const {
+    return "setp." + to_string(i.cmp) + type_suffix(i.type) + " " +
+           to_string(i.dst) + ", " + to_string(i.a) + ", " + to_string(i.b);
+  }
+  std::string operator()(const IPBra& i) const {
+    return std::string("@") + (i.negated ? "!" : "") + to_string(i.pred) +
+           " bra " + std::to_string(i.target);
+  }
+  std::string operator()(const ISelp& i) const {
+    return "selp" + type_suffix(i.type) + " " + to_string(i.dst) + ", " +
+           to_string(i.a) + ", " + to_string(i.b) + ", " + to_string(i.pred);
+  }
+  std::string operator()(const ISync&) const { return "sync"; }
+  std::string operator()(const IBar&) const { return "bar.sync 0"; }
+  std::string operator()(const IExit&) const { return "exit"; }
+  std::string operator()(const IVote& i) const {
+    switch (i.mode) {
+      case VoteMode::All:
+        return "vote.all.pred " + to_string(i.dst) + ", " + to_string(i.src);
+      case VoteMode::Any:
+        return "vote.any.pred " + to_string(i.dst) + ", " + to_string(i.src);
+      case VoteMode::Ballot:
+        return "vote.ballot.b32 " + to_string(i.dst_ballot) + ", " +
+               to_string(i.src);
+    }
+    return "vote?";
+  }
+  std::string operator()(const IShfl& i) const {
+    const char* m = "";
+    switch (i.mode) {
+      case ShflMode::Idx: m = "idx"; break;
+      case ShflMode::Up: m = "up"; break;
+      case ShflMode::Down: m = "down"; break;
+      case ShflMode::Bfly: m = "bfly"; break;
+    }
+    return std::string("shfl.") + m + type_suffix(i.type) + " " +
+           to_string(i.dst) + ", " + to_string(i.src) + ", " +
+           to_string(i.lane);
+  }
+  std::string operator()(const IAtom& i) const {
+    std::string s = to_string(i.op) + "." + to_string(i.space) +
+                    type_suffix(i.type) + " " + to_string(i.dst) + ", [" +
+                    to_string(i.addr) + "], " + to_string(i.b);
+    if (i.op == AtomOp::Cas) s += ", " + to_string(i.c);
+    return s;
+  }
+};
+
+}  // namespace
+
+std::string to_string(const Instr& i) { return std::visit(Printer{}, i); }
+
+}  // namespace cac::ptx

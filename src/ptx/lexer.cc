@@ -1,0 +1,177 @@
+#include "ptx/lexer.h"
+
+#include <cctype>
+
+namespace cac::ptx {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_space_and_comments();
+      if (at_end()) break;
+      out.push_back(next_token());
+    }
+    out.push_back(Token{TokKind::End, "", 0, loc()});
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  [[nodiscard]] SourceLoc loc() const { return {line_, col_}; }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (!at_end() &&
+             std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        const SourceLoc start = loc();
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (at_end()) throw PtxError(start, "unterminated block comment");
+          advance();
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string read_ident() {
+    std::string s;
+    while (!at_end() && ident_char(peek())) s += advance();
+    return s;
+  }
+
+  Token next_token() {
+    const SourceLoc at = loc();
+    const char c = peek();
+
+    if (c == '.') {
+      advance();
+      if (!ident_start(peek()) && !std::isdigit(static_cast<unsigned char>(peek()))) {
+        throw PtxError(at, "expected directive name after '.'");
+      }
+      return {TokKind::Directive, read_ident(), 0, at};
+    }
+
+    if (c == '%') {
+      advance();
+      if (!ident_start(peek())) {
+        throw PtxError(at, "expected register name after '%'");
+      }
+      std::string name = read_ident();
+      // Special registers carry a dimension suffix: %tid.x etc.
+      if (peek() == '.' && ident_start(peek(1))) {
+        advance();
+        name += '.';
+        name += read_ident();
+      }
+      return {TokKind::RegRef, name, 0, at};
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string lit;
+      while (!at_end() && ident_char(peek())) lit += advance();
+      int base = 10;
+      std::string digits = lit;
+      if (lit.size() > 2 && lit[0] == '0' && (lit[1] == 'x' || lit[1] == 'X')) {
+        base = 16;
+        digits = lit.substr(2);
+      }
+      // PTX allows a 'U' suffix on literals.
+      if (!digits.empty() && (digits.back() == 'U' || digits.back() == 'u')) {
+        digits.pop_back();
+      }
+      try {
+        std::size_t used = 0;
+        const auto v = static_cast<std::int64_t>(
+            std::stoull(digits, &used, base));
+        if (used != digits.size()) throw std::invalid_argument(lit);
+        return {TokKind::Int, lit, v, at};
+      } catch (const std::exception&) {
+        throw PtxError(at, "bad integer literal '" + lit + "'");
+      }
+    }
+
+    if (ident_start(c)) {
+      return {TokKind::Ident, read_ident(), 0, at};
+    }
+
+    if (c == '"') {  // file names in .file debug directives
+      advance();
+      std::string s;
+      while (!at_end() && peek() != '"') s += advance();
+      if (at_end()) throw PtxError(at, "unterminated string literal");
+      advance();
+      return {TokKind::Ident, s, 0, at};
+    }
+
+    constexpr std::string_view puncts = ",;[](){}:@!+-<>|";
+    if (puncts.find(c) != std::string_view::npos) {
+      advance();
+      return {TokKind::Punct, std::string(1, c), 0, at};
+    }
+
+    throw PtxError(at, std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Lexer(source).run(); }
+
+std::string to_string(TokKind k) {
+  switch (k) {
+    case TokKind::Directive: return "directive";
+    case TokKind::Ident: return "identifier";
+    case TokKind::RegRef: return "register";
+    case TokKind::Int: return "integer";
+    case TokKind::Punct: return "punctuation";
+    case TokKind::End: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace cac::ptx

@@ -1,0 +1,47 @@
+// Lexer for the textual PTX subset emitted by nvcc (paper Listing 1).
+//
+// Tokenization is deliberately simple: PTX is line-oriented assembly
+// with dotted directives (`.reg`, `.u32`), register references
+// (`%rd4`, `%tid.x`), integer literals, labels and a small punctuation
+// set.  Comments (`//` and `/* */`) are stripped here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace cac::ptx {
+
+enum class TokKind : std::uint8_t {
+  Directive,   // ".reg", ".u32", ".visible" — text excludes the dot
+  Ident,       // "bra", "BB0_2", "arr_A", "mad" (opcode pieces merged later)
+  RegRef,      // "%rd4", "%p1", "%tid.x" — text excludes the '%'
+  Int,         // "42", "0x1F" — value in `value`
+  Punct,       // one of , ; [ ] ( ) { } : @ ! + - < > |
+  End,         // end of input
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;         // normalized token text (see kind comments)
+  std::int64_t value = 0;   // for Int
+  SourceLoc loc;
+
+  [[nodiscard]] bool is_punct(char c) const {
+    return kind == TokKind::Punct && text.size() == 1 && text[0] == c;
+  }
+  [[nodiscard]] bool is_directive(std::string_view d) const {
+    return kind == TokKind::Directive && text == d;
+  }
+};
+
+/// Tokenize a complete PTX source text.  Throws PtxError on malformed
+/// input (unterminated comment, stray character, bad literal).
+std::vector<Token> lex(std::string_view source);
+
+std::string to_string(TokKind k);
+
+}  // namespace cac::ptx

@@ -1,0 +1,752 @@
+#include "ptx/lower.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ptx/cfg.h"
+#include "support/strings.h"
+
+namespace cac::ptx {
+
+namespace {
+
+/// Split a dotted opcode like "ld.global.u32" into its pieces.
+std::vector<std::string> opcode_pieces(const std::string& opcode) {
+  std::vector<std::string> out;
+  for (std::string_view piece : split(opcode, '.')) {
+    out.emplace_back(piece);
+  }
+  return out;
+}
+
+bool is_type_piece(const std::string& p) {
+  if (p.size() < 2) return false;
+  if (p[0] != 'u' && p[0] != 's' && p[0] != 'b') return false;
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(p[i]))) return false;
+  }
+  const std::string w = p.substr(1);
+  return w == "8" || w == "16" || w == "32" || w == "64";
+}
+
+std::optional<Space> space_piece(const std::string& p) {
+  if (p == "global") return Space::Global;
+  if (p == "shared") return Space::Shared;
+  if (p == "const") return Space::Const;
+  if (p == "param") return Space::Param;
+  return std::nullopt;
+}
+
+std::optional<Sreg> sreg_from_name(const std::string& name) {
+  const auto dot = name.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  const std::string base = name.substr(0, dot);
+  const std::string dim_s = name.substr(dot + 1);
+  SregKind kind;
+  if (base == "tid") kind = SregKind::Tid;
+  else if (base == "ctaid") kind = SregKind::CtaId;
+  else if (base == "ntid") kind = SregKind::NTid;
+  else if (base == "nctaid") kind = SregKind::NCtaId;
+  else return std::nullopt;
+  Dim dim;
+  if (dim_s == "x") dim = Dim::X;
+  else if (dim_s == "y") dim = Dim::Y;
+  else if (dim_s == "z") dim = Dim::Z;
+  else return std::nullopt;
+  return Sreg{kind, dim};
+}
+
+/// Register naming environment built from the kernel's .reg decls.
+class RegEnv {
+ public:
+  void declare(const AstRegDecl& d) {
+    if (d.type_suffix == "pred") {
+      pred_prefixes_.insert(d.prefix);
+      return;
+    }
+    const DType t = dtype_from_suffix(d.type_suffix);
+    // BD registers are stored as UI of the same width: the model's reg
+    // domain is {UI, SI} x N x N (paper Table I) and PTX b-typed
+    // registers carry uninterpreted bits.
+    const TypeClass cls = t.cls == TypeClass::BD ? TypeClass::UI : t.cls;
+    prefixes_[d.prefix] = DType{cls, t.width};
+  }
+
+  [[nodiscard]] Pred pred(const std::string& name, SourceLoc loc) const {
+    auto [prefix, index] = split_name(name, loc);
+    if (!pred_prefixes_.count(prefix)) {
+      throw PtxError(loc, "'%" + name + "' is not a declared predicate");
+    }
+    return Pred{index};
+  }
+
+  [[nodiscard]] Reg reg(const std::string& name, SourceLoc loc) const {
+    auto [prefix, index] = split_name(name, loc);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      throw PtxError(loc, "'%" + name + "' is not a declared register");
+    }
+    return Reg{it->second.cls, it->second.width, index};
+  }
+
+  [[nodiscard]] bool is_pred(const std::string& name) const {
+    std::size_t i = 0;
+    while (i < name.size() &&
+           !std::isdigit(static_cast<unsigned char>(name[i]))) {
+      ++i;
+    }
+    return pred_prefixes_.count(name.substr(0, i)) > 0;
+  }
+
+ private:
+  static std::pair<std::string, std::uint16_t> split_name(
+      const std::string& name, SourceLoc loc) {
+    std::size_t i = 0;
+    while (i < name.size() &&
+           !std::isdigit(static_cast<unsigned char>(name[i]))) {
+      ++i;
+    }
+    if (i == name.size()) return {name, 0};
+    try {
+      return {name.substr(0, i),
+              static_cast<std::uint16_t>(std::stoul(name.substr(i)))};
+    } catch (const std::exception&) {
+      throw PtxError(loc, "bad register name '%" + name + "'");
+    }
+  }
+
+  std::map<std::string, DType> prefixes_;
+  std::set<std::string> pred_prefixes_;
+};
+
+class KernelLowerer {
+ public:
+  KernelLowerer(const AstKernel& k,
+                const std::unordered_map<std::string, std::uint32_t>& shared,
+                const LowerOptions& opts)
+      : kernel_(k), shared_offsets_(shared), opts_(opts) {}
+
+  Program run() {
+    layout_params();
+    for (const auto& stmt : kernel_.body) {
+      if (const auto* d = std::get_if<AstRegDecl>(&stmt)) env_.declare(*d);
+    }
+    for (const auto& stmt : kernel_.body) {
+      std::visit([this](const auto& s) { emit_stmt(s); }, stmt);
+    }
+    resolve_labels();
+    if (opts_.insert_syncs) insert_syncs();
+    return Program(kernel_.name, std::move(code_), std::move(params_));
+  }
+
+ private:
+  void layout_params() {
+    std::uint32_t offset = 0;
+    for (const auto& p : kernel_.params) {
+      const DType t = dtype_from_suffix(p.type_suffix);
+      const std::uint32_t align = t.bytes();
+      offset = (offset + align - 1) & ~(align - 1);
+      params_.push_back(ParamSlot{p.name, t, offset});
+      offset += t.bytes();
+    }
+  }
+
+  void emit_stmt(const AstRegDecl&) {}  // handled in run()
+
+  void emit_stmt(const AstLabel& l) {
+    labels_[l.name] = static_cast<std::uint32_t>(code_.size());
+  }
+
+  void emit_stmt(const AstInstr& ins) { lower_instr(ins); }
+
+  // ---- operand helpers -------------------------------------------------
+
+  Reg as_reg(const AstOperand& op) const {
+    if (op.kind != AstOperand::Kind::Reg) {
+      throw PtxError(op.loc, "expected a register operand");
+    }
+    return env_.reg(op.reg, op.loc);
+  }
+
+  Pred as_pred(const AstOperand& op) const {
+    if (op.kind != AstOperand::Kind::Reg) {
+      throw PtxError(op.loc, "expected a predicate operand");
+    }
+    return env_.pred(op.reg, op.loc);
+  }
+
+  /// General value operand: register, special register or immediate.
+  Operand as_value(const AstOperand& op) const {
+    switch (op.kind) {
+      case AstOperand::Kind::Reg: {
+        if (auto s = sreg_from_name(op.reg)) return Operand{*s};
+        return Operand{env_.reg(op.reg, op.loc)};
+      }
+      case AstOperand::Kind::Imm:
+        return Operand{Imm{op.imm}};
+      case AstOperand::Kind::Sym: {
+        // Taking the address of a shared-space symbol.
+        auto it = shared_offsets_.find(op.symbol);
+        if (it == shared_offsets_.end()) {
+          throw PtxError(op.loc, "unknown symbol '" + op.symbol + "'");
+        }
+        return Operand{Imm{static_cast<std::int64_t>(it->second)}};
+      }
+      case AstOperand::Kind::Mem:
+      case AstOperand::Kind::RegVec:
+        throw PtxError(op.loc, "memory/vector operand not allowed here");
+    }
+    throw PtxError(op.loc, "bad operand");
+  }
+
+  /// Address operand of an Ld/St: [%r], [%r+off], [sym], [sym+off].
+  /// For Param space the symbol resolves to the parameter slot offset;
+  /// for Shared space to the shared layout offset.
+  Operand as_address(const AstOperand& op, Space space) const {
+    if (op.kind != AstOperand::Kind::Mem) {
+      throw PtxError(op.loc, "expected a memory operand");
+    }
+    if (!op.reg.empty()) {
+      const Reg base = env_.reg(op.reg, op.loc);
+      if (op.imm == 0) return Operand{base};
+      return Operand{RegImm{base, op.imm}};
+    }
+    if (op.symbol.empty()) {  // absolute [imm] address
+      return Operand{Imm{op.imm}};
+    }
+    std::int64_t base = 0;
+    if (space == Space::Param) {
+      bool found = false;
+      for (const auto& slot : params_) {
+        if (slot.name == op.symbol) {
+          base = slot.offset;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw PtxError(op.loc, "unknown parameter '" + op.symbol + "'");
+      }
+    } else {
+      auto it = shared_offsets_.find(op.symbol);
+      if (it == shared_offsets_.end()) {
+        throw PtxError(op.loc, "unknown symbol '" + op.symbol + "'");
+      }
+      base = it->second;
+    }
+    return Operand{Imm{base + op.imm}};
+  }
+
+  /// Address of the k-th element of a vector access.
+  Operand offset_address(const AstOperand& op, Space space,
+                         std::int64_t extra) const {
+    const Operand base = as_address(op, space);
+    if (extra == 0) return base;
+    if (const auto* r = std::get_if<Reg>(&base)) {
+      return Operand{RegImm{*r, extra}};
+    }
+    if (const auto* ri = std::get_if<RegImm>(&base)) {
+      return Operand{RegImm{ri->reg, ri->offset + extra}};
+    }
+    if (const auto* imm = std::get_if<Imm>(&base)) {
+      return Operand{Imm{imm->value + extra}};
+    }
+    throw PtxError(op.loc, "bad vector address");
+  }
+
+  static void check_vector_arity(const std::vector<std::string>& pieces,
+                                 const AstOperand& op, SourceLoc loc) {
+    std::size_t expected = 0;
+    if (has_piece(pieces, "v2")) expected = 2;
+    else if (has_piece(pieces, "v4")) expected = 4;
+    if (expected == 0) {
+      throw PtxError(loc, "vector operand on a non-vector access");
+    }
+    if (op.vec.size() != expected) {
+      throw PtxError(loc, "vector access expects " +
+                              std::to_string(expected) + " registers, got " +
+                              std::to_string(op.vec.size()));
+    }
+  }
+
+  // ---- instruction lowering --------------------------------------------
+
+  static DType type_of(const std::vector<std::string>& pieces,
+                       SourceLoc loc) {
+    for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+      if (is_type_piece(*it)) return dtype_from_suffix(*it);
+    }
+    throw PtxError(loc, "opcode has no type suffix");
+  }
+
+  static Space space_of(const std::vector<std::string>& pieces,
+                        Space fallback) {
+    for (const auto& p : pieces) {
+      if (auto s = space_piece(p)) return *s;
+    }
+    return fallback;
+  }
+
+  static bool has_piece(const std::vector<std::string>& pieces,
+                        std::string_view piece) {
+    return std::find(pieces.begin(), pieces.end(), piece) != pieces.end();
+  }
+
+  void require_ops(const AstInstr& ins, std::size_t n) const {
+    if (ins.ops.size() != n) {
+      throw PtxError(ins.loc, ins.opcode + " expects " + std::to_string(n) +
+                                  " operands, got " +
+                                  std::to_string(ins.ops.size()));
+    }
+  }
+
+  void push(Instr i) { code_.push_back(std::move(i)); }
+
+  void lower_instr(const AstInstr& ins) {
+    const auto pieces = opcode_pieces(ins.opcode);
+    const std::string& m = pieces[0];
+
+    // The model predicates branches only (paper §III-3): a guard on any
+    // other instruction is outside the modeled subset.
+    if (ins.guard && m != "bra") {
+      throw PtxError(ins.loc,
+                     "predicated '" + ins.opcode +
+                         "': the model supports guards on bra only");
+    }
+
+    if (m == "bra") {
+      require_ops(ins, 1);
+      if (ins.ops[0].kind != AstOperand::Kind::Sym) {
+        throw PtxError(ins.loc, "bra expects a label");
+      }
+      const std::string& label = ins.ops[0].symbol;
+      if (ins.guard) {
+        fixups_.emplace_back(code_.size(), label);
+        push(IPBra{env_.pred(ins.guard->pred, ins.loc), ins.guard->negated,
+                   0});
+      } else {
+        fixups_.emplace_back(code_.size(), label);
+        push(IBra{0});
+      }
+      return;
+    }
+    if (m == "ret" || m == "exit") {
+      push(IExit{});
+      return;
+    }
+    if (m == "nop") {
+      push(INop{});
+      return;
+    }
+    if (m == "sync" || m == "ssy") {  // explicit reconvergence point
+      push(ISync{});
+      return;
+    }
+    if (m == "bar" || m == "barrier") {
+      // bar.sync 0 — only the whole-block barrier is modeled.
+      push(IBar{});
+      return;
+    }
+    if (m == "ld") {
+      require_ops(ins, 2);
+      const Space ss = space_of(pieces, Space::Global);
+      const DType t = type_of(pieces, ins.loc);
+      if (ins.ops[0].kind == AstOperand::Kind::RegVec) {
+        // ld.v2/.v4: one scalar load per element at successive offsets.
+        check_vector_arity(pieces, ins.ops[0], ins.loc);
+        for (std::size_t k = 0; k < ins.ops[0].vec.size(); ++k) {
+          push(ILd{ss, t, env_.reg(ins.ops[0].vec[k], ins.loc),
+                   offset_address(ins.ops[1], ss,
+                                  static_cast<std::int64_t>(k) * t.bytes())});
+        }
+        return;
+      }
+      push(ILd{ss, t, as_reg(ins.ops[0]), as_address(ins.ops[1], ss)});
+      return;
+    }
+    if (m == "st") {
+      require_ops(ins, 2);
+      const Space ss = space_of(pieces, Space::Global);
+      const DType t = type_of(pieces, ins.loc);
+      if (ins.ops[1].kind == AstOperand::Kind::RegVec) {
+        check_vector_arity(pieces, ins.ops[1], ins.loc);
+        for (std::size_t k = 0; k < ins.ops[1].vec.size(); ++k) {
+          push(ISt{ss, t,
+                   offset_address(ins.ops[0], ss,
+                                  static_cast<std::int64_t>(k) * t.bytes()),
+                   env_.reg(ins.ops[1].vec[k], ins.loc)});
+        }
+        return;
+      }
+      push(ISt{ss, t, as_address(ins.ops[0], ss), as_reg(ins.ops[1])});
+      return;
+    }
+    if (m == "mov") {
+      require_ops(ins, 2);
+      push(IMov{as_reg(ins.ops[0]), as_value(ins.ops[1])});
+      return;
+    }
+    if (m == "cvta") {
+      // cvta.to.global.u64 d, s: state spaces are explicit on every
+      // Ld/St of the model, so address-space conversion is the identity
+      // (paper §IV) and lowers to Mov.
+      require_ops(ins, 2);
+      push(IMov{as_reg(ins.ops[0]), as_value(ins.ops[1])});
+      return;
+    }
+    if (m == "cvt") {
+      // cvt.<dst type>.<src type> d, a — `type` records the source
+      // interpretation; the destination width comes from the register.
+      require_ops(ins, 2);
+      if (pieces.size() < 3 || !is_type_piece(pieces[2])) {
+        throw PtxError(ins.loc, "cvt needs destination and source types");
+      }
+      push(IUop{UnOp::Cvt, dtype_from_suffix(pieces[2]), as_reg(ins.ops[0]),
+                as_value(ins.ops[1])});
+      return;
+    }
+    static const std::map<std::string, UnOp> kUops = {
+        {"not", UnOp::Not},   {"neg", UnOp::Neg},  {"abs", UnOp::Abs},
+        {"popc", UnOp::Popc}, {"clz", UnOp::Clz},  {"brev", UnOp::Brev},
+    };
+    if (auto uit = kUops.find(m); uit != kUops.end()) {
+      require_ops(ins, 2);
+      push(IUop{uit->second, type_of(pieces, ins.loc), as_reg(ins.ops[0]),
+                as_value(ins.ops[1])});
+      return;
+    }
+    if (m == "setp") {
+      require_ops(ins, 3);
+      if (pieces.size() < 2) throw PtxError(ins.loc, "setp needs a cmp op");
+      CmpOp cmp;
+      const std::string& c = pieces[1];
+      if (c == "eq") cmp = CmpOp::Eq;
+      else if (c == "ne") cmp = CmpOp::Ne;
+      else if (c == "lt" || c == "lo") cmp = CmpOp::Lt;
+      else if (c == "le" || c == "ls") cmp = CmpOp::Le;
+      else if (c == "gt" || c == "hi") cmp = CmpOp::Gt;
+      else if (c == "ge" || c == "hs") cmp = CmpOp::Ge;
+      else throw PtxError(ins.loc, "unsupported setp comparison ." + c);
+      push(ISetp{cmp, type_of(pieces, ins.loc), as_pred(ins.ops[0]),
+                 as_value(ins.ops[1]), as_value(ins.ops[2])});
+      return;
+    }
+    if (m == "selp") {
+      require_ops(ins, 4);
+      push(ISelp{type_of(pieces, ins.loc), as_reg(ins.ops[0]),
+                 as_value(ins.ops[1]), as_value(ins.ops[2]),
+                 as_pred(ins.ops[3])});
+      return;
+    }
+    if (m == "mad") {
+      require_ops(ins, 4);
+      const TerOp op = has_piece(pieces, "wide") ? TerOp::MadWide
+                                                 : TerOp::MadLo;
+      push(ITop{op, type_of(pieces, ins.loc), as_reg(ins.ops[0]),
+                as_value(ins.ops[1]), as_value(ins.ops[2]),
+                as_value(ins.ops[3])});
+      return;
+    }
+    if (m == "mul") {
+      require_ops(ins, 3);
+      BinOp op = BinOp::Mul;
+      if (has_piece(pieces, "wide")) op = BinOp::MulWide;
+      else if (has_piece(pieces, "hi")) op = BinOp::MulHi;
+      push(IBop{op, type_of(pieces, ins.loc), as_reg(ins.ops[0]),
+                as_value(ins.ops[1]), as_value(ins.ops[2])});
+      return;
+    }
+    if (m == "vote") {
+      require_ops(ins, 2);
+      if (has_piece(pieces, "ballot")) {
+        push(IVote{VoteMode::Ballot, Pred{}, as_reg(ins.ops[0]),
+                   as_pred(ins.ops[1])});
+      } else if (has_piece(pieces, "all")) {
+        push(IVote{VoteMode::All, as_pred(ins.ops[0]), Reg{},
+                   as_pred(ins.ops[1])});
+      } else if (has_piece(pieces, "any")) {
+        push(IVote{VoteMode::Any, as_pred(ins.ops[0]), Reg{},
+                   as_pred(ins.ops[1])});
+      } else {
+        throw PtxError(ins.loc, "unsupported vote mode");
+      }
+      return;
+    }
+    if (m == "shfl") {
+      // shfl[.sync].<mode>.b32 d, a, b[, c[, membermask]] — the clamp
+      // and membermask operands are accepted and ignored (the model's
+      // warps are whole).
+      if (ins.ops.size() < 3) {
+        throw PtxError(ins.loc, "shfl expects at least 3 operands");
+      }
+      ShflMode mode;
+      if (has_piece(pieces, "idx")) mode = ShflMode::Idx;
+      else if (has_piece(pieces, "up")) mode = ShflMode::Up;
+      else if (has_piece(pieces, "down")) mode = ShflMode::Down;
+      else if (has_piece(pieces, "bfly")) mode = ShflMode::Bfly;
+      else throw PtxError(ins.loc, "unsupported shfl mode");
+      push(IShfl{mode, type_of(pieces, ins.loc), as_reg(ins.ops[0]),
+                 as_reg(ins.ops[1]), as_value(ins.ops[2])});
+      return;
+    }
+    if (m == "atom") {
+      const Space ss = space_of(pieces, Space::Global);
+      AtomOp op;
+      std::string opn;
+      for (const auto& p : pieces) {
+        if (p == "add" || p == "exch" || p == "min" || p == "max" ||
+            p == "and" || p == "or" || p == "xor" || p == "cas") {
+          opn = p;
+        }
+      }
+      if (opn == "add") op = AtomOp::Add;
+      else if (opn == "exch") op = AtomOp::Exch;
+      else if (opn == "min") op = AtomOp::Min;
+      else if (opn == "max") op = AtomOp::Max;
+      else if (opn == "and") op = AtomOp::And;
+      else if (opn == "or") op = AtomOp::Or;
+      else if (opn == "xor") op = AtomOp::Xor;
+      else if (opn == "cas") op = AtomOp::Cas;
+      else throw PtxError(ins.loc, "unsupported atomic '" + ins.opcode + "'");
+      if (op == AtomOp::Cas) {
+        require_ops(ins, 4);
+        push(IAtom{op, ss, type_of(pieces, ins.loc), as_reg(ins.ops[0]),
+                   as_address(ins.ops[1], ss), as_value(ins.ops[2]),
+                   as_value(ins.ops[3])});
+      } else {
+        require_ops(ins, 3);
+        push(IAtom{op, ss, type_of(pieces, ins.loc), as_reg(ins.ops[0]),
+                   as_address(ins.ops[1], ss), as_value(ins.ops[2]),
+                   Operand{Imm{0}}});
+      }
+      return;
+    }
+
+    static const std::map<std::string, BinOp> kBops = {
+        {"add", BinOp::Add}, {"sub", BinOp::Sub}, {"div", BinOp::Div},
+        {"rem", BinOp::Rem}, {"min", BinOp::Min}, {"max", BinOp::Max},
+        {"and", BinOp::And}, {"or", BinOp::Or},   {"xor", BinOp::Xor},
+        {"shl", BinOp::Shl}, {"shr", BinOp::Shr},
+    };
+    if (auto it = kBops.find(m); it != kBops.end()) {
+      require_ops(ins, 3);
+      push(IBop{it->second, type_of(pieces, ins.loc), as_reg(ins.ops[0]),
+                as_value(ins.ops[1]), as_value(ins.ops[2])});
+      return;
+    }
+
+    throw PtxError(ins.loc, "unsupported opcode '" + ins.opcode + "'");
+  }
+
+  // ---- label resolution and sync insertion ------------------------------
+
+  void resolve_labels() {
+    for (const auto& [idx, label] : fixups_) {
+      auto it = labels_.find(label);
+      if (it == labels_.end()) {
+        throw PtxError("undefined label '" + label + "' in kernel '" +
+                       kernel_.name + "'");
+      }
+      if (auto* b = std::get_if<IBra>(&code_[idx])) b->target = it->second;
+      else if (auto* pb = std::get_if<IPBra>(&code_[idx])) {
+        pb->target = it->second;
+      }
+    }
+  }
+
+  /// Warp-divergence analysis (cf. Coutinho et al., the paper's related
+  /// work [14]): a flow-insensitive fixpoint marking registers and
+  /// predicates whose value can differ between threads *of one warp*.
+  /// Divergence sources: %tid (thread-dependent) and loads from
+  /// non-Param spaces (conservatively; lanes read different addresses).
+  /// %ctaid/%ntid/%nctaid are warp-uniform — every thread of a warp
+  /// belongs to the same block.  Only branches on divergent predicates
+  /// can split a warp, so only they need reconvergence Syncs; a Sync
+  /// executed for a branch that cannot diverge would spuriously engage
+  /// the Fig. 2 rotation cases while an enclosing divergence is open.
+  [[nodiscard]] std::vector<bool> divergent_pbras() const {
+    std::set<std::uint32_t> div_regs;   // Reg::key()
+    std::set<std::uint16_t> div_preds;  // Pred::index
+
+    auto op_divergent = [&](const Operand& op) {
+      struct V {
+        const std::set<std::uint32_t>& regs;
+        bool operator()(const Reg& r) const { return regs.count(r.key()); }
+        bool operator()(const Sreg& s) const {
+          return s.kind == SregKind::Tid;
+        }
+        bool operator()(const Imm&) const { return false; }
+        bool operator()(const RegImm& ri) const {
+          return regs.count(ri.reg.key()) > 0;
+        }
+      };
+      return std::visit(V{div_regs}, op);
+    };
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      auto mark_reg = [&](const Reg& r, bool d) {
+        if (d && div_regs.insert(r.key()).second) changed = true;
+      };
+      for (const Instr& instr : code_) {
+        if (const auto* i = std::get_if<IBop>(&instr)) {
+          mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b));
+        } else if (const auto* i = std::get_if<ITop>(&instr)) {
+          mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b) ||
+                               op_divergent(i->c));
+        } else if (const auto* i = std::get_if<IUop>(&instr)) {
+          mark_reg(i->dst, op_divergent(i->a));
+        } else if (const auto* i = std::get_if<IMov>(&instr)) {
+          mark_reg(i->dst, op_divergent(i->src));
+        } else if (const auto* i = std::get_if<ILd>(&instr)) {
+          // Param loads read launch constants; anything else may see
+          // lane-dependent data.
+          mark_reg(i->dst,
+                   i->space != Space::Param || op_divergent(i->addr));
+        } else if (const auto* i = std::get_if<IAtom>(&instr)) {
+          mark_reg(i->dst, true);  // returns the lane-order-dependent old value
+        } else if (const auto* i = std::get_if<ISelp>(&instr)) {
+          mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b) ||
+                               div_preds.count(i->pred.index) > 0);
+        } else if (const auto* i = std::get_if<ISetp>(&instr)) {
+          if ((op_divergent(i->a) || op_divergent(i->b)) &&
+              div_preds.insert(i->dst.index).second) {
+            changed = true;
+          }
+        } else if (const auto* i = std::get_if<IShfl>(&instr)) {
+          // Cross-lane data: conservatively divergent.
+          mark_reg(i->dst, true);
+        } else if (const auto* i = std::get_if<IVote>(&instr)) {
+          // Vote results are warp-uniform by construction; the ballot
+          // bitmask is the same in every lane too.
+          if (i->mode == VoteMode::Ballot) mark_reg(i->dst_ballot, false);
+        }
+      }
+    }
+
+    std::vector<bool> out(code_.size(), false);
+    for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
+      if (const auto* pb = std::get_if<IPBra>(&code_[pc])) {
+        out[pc] = div_preds.count(pb->pred.index) > 0;
+      }
+    }
+    return out;
+  }
+
+  /// Insert Sync at the immediate post-dominator of every *divergent*
+  /// predicated branch, and before every Exit when the reconvergence
+  /// point is the program exit itself.  Branch targets are remapped so
+  /// they land on the inserted Sync (the reconvergence point executes
+  /// first).
+  void insert_syncs() {
+    const bool has_pbra = std::any_of(
+        code_.begin(), code_.end(),
+        [](const Instr& i) { return std::holds_alternative<IPBra>(i); });
+    if (!has_pbra) return;
+
+    const Cfg cfg(code_);
+    const auto ipd = cfg.ipostdom();
+    std::vector<bool> divergent;
+    if (opts_.sync_policy == LowerOptions::SyncPolicy::AllBranches) {
+      divergent.resize(code_.size());
+      for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
+        divergent[pc] = std::holds_alternative<IPBra>(code_[pc]);
+      }
+    } else {
+      divergent = divergent_pbras();
+    }
+
+    std::set<std::uint32_t> sync_before;
+    for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
+      if (!divergent[pc]) continue;
+      const std::uint32_t join = ipd[cfg.block_of(pc)];
+      if (join == cfg.exit_id()) {
+        // Paths reconverge only at termination: place a Sync in front
+        // of every Exit so divergent warps collapse before retiring.
+        for (std::uint32_t q = 0; q < code_.size(); ++q) {
+          if (is_exit(code_[q])) sync_before.insert(q);
+        }
+      } else {
+        sync_before.insert(cfg.blocks()[join].first);
+      }
+    }
+    // Idempotence: no Sync in front of an existing Sync.
+    for (auto it = sync_before.begin(); it != sync_before.end();) {
+      if (is_sync(code_[*it])) it = sync_before.erase(it);
+      else ++it;
+    }
+    if (sync_before.empty()) return;
+
+    // Old index -> new index (counting insertions at or before it).
+    std::vector<std::uint32_t> remap(code_.size() + 1);
+    std::uint32_t shift = 0;
+    for (std::uint32_t pc = 0; pc <= code_.size(); ++pc) {
+      if (sync_before.count(pc)) ++shift;
+      remap[pc] = pc + shift;
+    }
+    std::vector<Instr> out;
+    out.reserve(code_.size() + sync_before.size());
+    for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
+      if (sync_before.count(pc)) out.push_back(ISync{});
+      Instr i = code_[pc];
+      if (auto* b = std::get_if<IBra>(&i)) {
+        // A branch targeting the join lands on the Sync itself.
+        b->target = remap[b->target] - (sync_before.count(b->target) ? 1 : 0);
+      } else if (auto* pb = std::get_if<IPBra>(&i)) {
+        pb->target =
+            remap[pb->target] - (sync_before.count(pb->target) ? 1 : 0);
+      }
+      out.push_back(std::move(i));
+    }
+    code_ = std::move(out);
+  }
+
+  const AstKernel& kernel_;
+  const std::unordered_map<std::string, std::uint32_t>& shared_offsets_;
+  const LowerOptions& opts_;
+
+  RegEnv env_;
+  std::vector<Instr> code_;
+  std::vector<ParamSlot> params_;
+  std::map<std::string, std::uint32_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+}  // namespace
+
+const Program& LoweredModule::kernel(const std::string& name) const& {
+  for (const auto& k : kernels) {
+    if (k.name() == name) return k;
+  }
+  throw PtxError("module has no kernel '" + name + "'");
+}
+
+Program LoweredModule::kernel(const std::string& name) && {
+  return static_cast<const LoweredModule&>(*this).kernel(name);
+}
+
+LoweredModule lower(const AstModule& m, const LowerOptions& opts) {
+  LoweredModule out;
+  std::uint32_t offset = 0;
+  for (const auto& s : m.shared) {
+    const std::uint32_t align = std::max<std::uint32_t>(1, s.align);
+    offset = (offset + align - 1) & ~(align - 1);
+    out.shared_offsets[s.name] = offset;
+    offset += s.bytes;
+  }
+  out.shared_bytes = offset;
+  for (const auto& k : m.kernels) {
+    out.kernels.push_back(KernelLowerer(k, out.shared_offsets, opts).run());
+  }
+  return out;
+}
+
+LoweredModule load_ptx(std::string_view source, const LowerOptions& opts) {
+  return lower(parse_module(source), opts);
+}
+
+}  // namespace cac::ptx

@@ -1,0 +1,66 @@
+// Lowering: AST -> core model programs.
+//
+// This is the mechanical version of the paper's Listing 1 -> Listing 2
+// hand translation (§IV):
+//
+//  * `ld.param.X r, [name]` becomes a Param-space load of the argument
+//    slot (the paper used `Mov r name`; observationally identical since
+//    Param bytes are written once at launch and never change),
+//  * `cvta.to.<space>` disappears into a plain Mov — the state space is
+//    already carried by every Ld/St in the model (§IV),
+//  * the warp-reconvergence pseudo-instruction Sync is inserted at the
+//    immediate post-dominator of every predicated branch, which is
+//    exactly where the paper placed it by hand (index 18 of Listing 2),
+//    plus before every Exit reachable from divergent code,
+//  * labels are resolved to instruction indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ptx/parser.h"
+#include "ptx/program.h"
+
+namespace cac::ptx {
+
+struct LowerOptions {
+  /// Insert Sync at reconvergence points (immediate post-dominators of
+  /// predicated branches).  Disable only to study divergence deadlocks.
+  bool insert_syncs = true;
+
+  /// Which branches receive a reconvergence Sync.  DivergentOnly runs
+  /// the warp-divergence analysis (cf. the paper's related work [14])
+  /// and skips warp-uniform branches; AllBranches is the naive policy,
+  /// kept as an ablation — a Sync executed for a uniform branch while
+  /// an enclosing divergence is open engages Fig. 2's rotation cases
+  /// forever (see DESIGN.md), so kernels like scan_signature livelock
+  /// under it.
+  enum class SyncPolicy : std::uint8_t { DivergentOnly, AllBranches };
+  SyncPolicy sync_policy = SyncPolicy::DivergentOnly;
+};
+
+/// A lowered module: one core Program per kernel, plus the layout of
+/// module-scope Shared-space declarations.
+struct LoweredModule {
+  std::vector<Program> kernels;
+  std::unordered_map<std::string, std::uint32_t> shared_offsets;
+  std::uint32_t shared_bytes = 0;
+
+  /// Look up a kernel by name; throws PtxError if absent.  On an
+  /// rvalue module the kernel is returned by value so that
+  /// `load_ptx(src).kernel("k")` cannot dangle.
+  [[nodiscard]] const Program& kernel(const std::string& name) const&;
+  [[nodiscard]] Program kernel(const std::string& name) &&;
+};
+
+/// Lower a parsed module.  Throws PtxError on constructs outside the
+/// modeled subset (e.g. a guard on a non-branch instruction, which the
+/// paper's model excludes by design, §III-3).
+LoweredModule lower(const AstModule& m, const LowerOptions& opts = {});
+
+/// Convenience: parse + lower in one step.
+LoweredModule load_ptx(std::string_view source, const LowerOptions& opts = {});
+
+}  // namespace cac::ptx

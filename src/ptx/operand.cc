@@ -1,0 +1,53 @@
+#include "ptx/operand.h"
+
+namespace cac::ptx {
+
+namespace {
+
+const char* sreg_name(SregKind k) {
+  switch (k) {
+    case SregKind::Tid: return "tid";
+    case SregKind::CtaId: return "ctaid";
+    case SregKind::NTid: return "ntid";
+    case SregKind::NCtaId: return "nctaid";
+  }
+  return "?";
+}
+
+char dim_name(Dim d) {
+  switch (d) {
+    case Dim::X: return 'x';
+    case Dim::Y: return 'y';
+    case Dim::Z: return 'z';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string to_string(const Reg& r) {
+  const char* prefix = r.cls == TypeClass::SI ? "%s" : "%r";
+  const std::string wide = r.width == 64 ? "d" : (r.width == 16 ? "h" : "");
+  return prefix + wide + std::to_string(r.index);
+}
+
+std::string to_string(const Pred& p) { return "%p" + std::to_string(p.index); }
+
+std::string to_string(const Sreg& s) {
+  return std::string("%") + sreg_name(s.kind) + "." + dim_name(s.dim);
+}
+
+std::string to_string(const Operand& op) {
+  struct Visitor {
+    std::string operator()(const Reg& r) const { return to_string(r); }
+    std::string operator()(const Sreg& s) const { return to_string(s); }
+    std::string operator()(const Imm& i) const { return std::to_string(i.value); }
+    std::string operator()(const RegImm& ri) const {
+      return "[" + to_string(ri.reg) +
+             (ri.offset >= 0 ? "+" : "") + std::to_string(ri.offset) + "]";
+    }
+  };
+  return std::visit(Visitor{}, op);
+}
+
+}  // namespace cac::ptx

@@ -1,0 +1,328 @@
+#include "ptx/parser.h"
+
+#include <cctype>
+
+namespace cac::ptx {
+
+namespace {
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  AstModule run() {
+    AstModule m;
+    while (!at(TokKind::End)) {
+      if (at(TokKind::Directive)) {
+        const std::string d = cur().text;
+        if (d == "version") {
+          advance();
+          m.version = parse_version_number();
+        } else if (d == "target") {
+          advance();
+          m.target = expect(TokKind::Ident).text;
+          while (eat_punct(',')) expect(TokKind::Ident);
+        } else if (d == "address_size") {
+          advance();
+          m.address_size =
+              static_cast<std::uint32_t>(expect(TokKind::Int).value);
+        } else if (d == "visible" || d == "entry" || d == "func") {
+          m.kernels.push_back(parse_kernel());
+        } else if (d == "shared") {
+          m.shared.push_back(parse_shared_decl());
+        } else if (d == "file" || d == "loc" || d == "extern" ||
+                   d == "weak") {
+          advance();
+          skip_loose_tail();
+        } else {
+          throw PtxError(cur().loc, "unexpected directive ." + d);
+        }
+      } else {
+        throw PtxError(cur().loc,
+                       "unexpected token at module scope: " + cur().text);
+      }
+    }
+    return m;
+  }
+
+ private:
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& peek(std::size_t ahead = 1) const {
+    const std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
+  [[nodiscard]] bool at_punct(char c) const { return cur().is_punct(c); }
+
+  const Token& advance() { return toks_[pos_++]; }
+
+  const Token& expect(TokKind k) {
+    if (!at(k)) {
+      throw PtxError(cur().loc, "expected " + to_string(k) + ", found '" +
+                                    cur().text + "'");
+    }
+    return advance();
+  }
+
+  void expect_punct(char c) {
+    if (!at_punct(c)) {
+      throw PtxError(cur().loc, std::string("expected '") + c +
+                                    "', found '" + cur().text + "'");
+    }
+    advance();
+  }
+
+  bool eat_punct(char c) {
+    if (at_punct(c)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_version_number() {
+    std::string v = std::to_string(expect(TokKind::Int).value);
+    // "6.0" lexes as Int 6 followed by directive "0".
+    if (at(TokKind::Directive) && all_digits(cur().text)) {
+      v += "." + advance().text;
+    }
+    return v;
+  }
+
+  // Consume the free-form tail of directives we do not model
+  // (.file/.loc debug info): integers, identifiers and commas.
+  void skip_loose_tail() {
+    while (at(TokKind::Int) || at(TokKind::Ident) || at_punct(',')) advance();
+    eat_punct(';');
+  }
+
+  AstSharedDecl parse_shared_decl() {
+    AstSharedDecl d;
+    expect(TokKind::Directive);  // "shared"
+    std::uint32_t elem_bytes = 1;
+    while (at(TokKind::Directive)) {
+      const std::string t = advance().text;
+      if (t == "align") {
+        d.align = static_cast<std::uint32_t>(expect(TokKind::Int).value);
+      } else if (t.size() >= 2 && all_digits(t.substr(1))) {
+        elem_bytes = static_cast<std::uint32_t>(std::stoul(t.substr(1))) / 8;
+      }
+    }
+    d.name = expect(TokKind::Ident).text;
+    if (eat_punct('[')) {
+      d.bytes = elem_bytes *
+                static_cast<std::uint32_t>(expect(TokKind::Int).value);
+      expect_punct(']');
+    } else {
+      d.bytes = elem_bytes;
+    }
+    expect_punct(';');
+    return d;
+  }
+
+  AstKernel parse_kernel() {
+    AstKernel k;
+    while (at(TokKind::Directive) &&
+           (cur().text == "visible" || cur().text == "weak")) {
+      k.visible = true;
+      advance();
+    }
+    if (!at(TokKind::Directive) ||
+        (cur().text != "entry" && cur().text != "func")) {
+      throw PtxError(cur().loc, "expected .entry or .func");
+    }
+    advance();
+    k.name = expect(TokKind::Ident).text;
+    if (eat_punct('(')) {
+      if (!at_punct(')')) {
+        do {
+          k.params.push_back(parse_param());
+        } while (eat_punct(','));
+      }
+      expect_punct(')');
+    }
+    expect_punct('{');
+    while (!at_punct('}')) {
+      if (at(TokKind::End)) {
+        throw PtxError(cur().loc, "unterminated kernel body");
+      }
+      parse_body_stmt(k);
+    }
+    expect_punct('}');
+    return k;
+  }
+
+  AstParam parse_param() {
+    AstParam p;
+    p.loc = cur().loc;
+    if (!cur().is_directive("param")) {
+      throw PtxError(cur().loc, "expected .param");
+    }
+    advance();
+    while (at(TokKind::Directive)) {
+      const std::string t = advance().text;
+      if (t == "align") {
+        expect(TokKind::Int);
+      } else if (t == "ptr") {
+        // .ptr .global .align N — the inner space/align directives are
+        // consumed by this loop.
+      } else if (t == "global" || t == "shared" || t == "const" ||
+                 t == "local") {
+        // space qualifier of a .ptr annotation
+      } else {
+        p.type_suffix = t;  // the value type, e.g. "u64"
+      }
+    }
+    if (p.type_suffix.empty()) {
+      throw PtxError(p.loc, "parameter without a type");
+    }
+    p.name = expect(TokKind::Ident).text;
+    if (eat_punct('[')) {  // array parameter; size is not modeled
+      expect(TokKind::Int);
+      expect_punct(']');
+    }
+    return p;
+  }
+
+  void parse_body_stmt(AstKernel& k) {
+    if (at(TokKind::Directive)) {
+      const std::string d = cur().text;
+      if (d == "reg") {
+        k.body.push_back(parse_reg_decl());
+      } else if (d == "shared") {
+        // Kernel-scoped shared declarations behave like module scope.
+        shared_out_.push_back(parse_shared_decl());
+      } else if (d == "loc" || d == "file" || d == "pragma") {
+        advance();
+        skip_loose_tail();
+      } else {
+        throw PtxError(cur().loc, "unsupported directive in body: ." + d);
+      }
+      return;
+    }
+    if (at(TokKind::Ident) && peek().is_punct(':')) {
+      AstLabel lbl{advance().text, cur().loc};
+      expect_punct(':');
+      k.body.push_back(std::move(lbl));
+      return;
+    }
+    k.body.push_back(parse_instr());
+  }
+
+  AstRegDecl parse_reg_decl() {
+    AstRegDecl d;
+    d.loc = cur().loc;
+    advance();  // .reg
+    d.type_suffix = expect(TokKind::Directive).text;
+    d.prefix = expect(TokKind::RegRef).text;
+    if (eat_punct('<')) {
+      d.count = static_cast<std::uint32_t>(expect(TokKind::Int).value);
+      expect_punct('>');
+    }
+    expect_punct(';');
+    return d;
+  }
+
+  AstInstr parse_instr() {
+    AstInstr ins;
+    ins.loc = cur().loc;
+    if (eat_punct('@')) {
+      AstGuard g;
+      g.negated = eat_punct('!');
+      g.pred = expect(TokKind::RegRef).text;
+      ins.guard = g;
+    }
+    ins.opcode = expect(TokKind::Ident).text;
+    while (at(TokKind::Directive)) {
+      ins.opcode += "." + advance().text;
+    }
+    if (!at_punct(';')) {
+      do {
+        ins.ops.push_back(parse_operand());
+      } while (eat_punct(','));
+    }
+    expect_punct(';');
+    return ins;
+  }
+
+  AstOperand parse_operand() {
+    AstOperand op;
+    op.loc = cur().loc;
+    if (at(TokKind::RegRef)) {
+      op.kind = AstOperand::Kind::Reg;
+      op.reg = advance().text;
+      return op;
+    }
+    if (at_punct('-')) {
+      advance();
+      op.kind = AstOperand::Kind::Imm;
+      op.imm = -expect(TokKind::Int).value;
+      return op;
+    }
+    if (at(TokKind::Int)) {
+      op.kind = AstOperand::Kind::Imm;
+      op.imm = advance().value;
+      return op;
+    }
+    if (at(TokKind::Ident)) {
+      op.kind = AstOperand::Kind::Sym;
+      op.symbol = advance().text;
+      return op;
+    }
+    if (eat_punct('{')) {  // vector operand of a v2/v4 ld/st
+      op.kind = AstOperand::Kind::RegVec;
+      do {
+        op.vec.push_back(expect(TokKind::RegRef).text);
+      } while (eat_punct(','));
+      expect_punct('}');
+      return op;
+    }
+    if (eat_punct('[')) {
+      op.kind = AstOperand::Kind::Mem;
+      if (at(TokKind::RegRef)) {
+        op.reg = advance().text;
+      } else if (at(TokKind::Int)) {
+        op.imm = advance().value;  // absolute address
+        expect_punct(']');
+        return op;
+      } else {
+        op.symbol = expect(TokKind::Ident).text;
+      }
+      if (at_punct('+') || at_punct('-')) {
+        const bool neg = cur().text[0] == '-';
+        advance();
+        const std::int64_t v = expect(TokKind::Int).value;
+        op.imm = neg ? -v : v;
+      }
+      expect_punct(']');
+      return op;
+    }
+    throw PtxError(cur().loc, "expected operand, found '" + cur().text + "'");
+  }
+
+ public:
+  std::vector<AstSharedDecl> shared_out_;
+
+ private:
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+AstModule parse_module(std::string_view source) {
+  Parser p(lex(source));
+  AstModule m = p.run();
+  for (auto& s : p.shared_out_) m.shared.push_back(std::move(s));
+  return m;
+}
+
+}  // namespace cac::ptx

@@ -1,0 +1,182 @@
+#include "sched/explore.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+namespace cac::sched {
+
+namespace {
+
+struct MachineHash {
+  std::size_t operator()(const sem::Machine* m) const { return m->hash(); }
+};
+struct MachineEq {
+  bool operator()(const sem::Machine* a, const sem::Machine* b) const {
+    return *a == *b;
+  }
+};
+
+enum class Color : std::uint8_t { OnStack, Done };
+
+/// Is the instruction register-local (touches only its own warp's
+/// state)?  Such steps commute with every other warp's steps and never
+/// disable them, so {that step} is a persistent set.
+bool register_local(const ptx::Instr& i) {
+  return std::holds_alternative<ptx::INop>(i) ||
+         std::holds_alternative<ptx::IBop>(i) ||
+         std::holds_alternative<ptx::ITop>(i) ||
+         std::holds_alternative<ptx::IUop>(i) ||
+         std::holds_alternative<ptx::IMov>(i) ||
+         std::holds_alternative<ptx::ISetp>(i) ||
+         std::holds_alternative<ptx::ISelp>(i) ||
+         std::holds_alternative<ptx::IBra>(i) ||
+         std::holds_alternative<ptx::IPBra>(i) ||
+         std::holds_alternative<ptx::ISync>(i);
+}
+
+/// Persistent-set reduction: pick one register-local choice if any.
+void reduce_choices(const ptx::Program& prg, const sem::Grid& g,
+                    std::vector<sem::Choice>& eligible) {
+  for (const sem::Choice& c : eligible) {
+    if (c.kind != sem::Choice::Kind::ExecWarp) continue;
+    const sem::Warp& w = g.blocks[c.block].warps[c.warp];
+    if (register_local(prg.fetch(w.pc()))) {
+      const sem::Choice keep = c;
+      eligible.assign(1, keep);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
+                      const sem::Machine& initial,
+                      const ExploreOptions& opts) {
+  ExploreResult result;
+  result.min_steps_to_termination = ~0ull;
+
+  // Node ownership: machines live in `arena`; the color map and the
+  // DFS frames reference them by pointer.  Structural equality in the
+  // map means a revisit is detected even across different paths.
+  std::vector<std::unique_ptr<sem::Machine>> arena;
+  std::unordered_map<const sem::Machine*, Color, MachineHash, MachineEq>
+      colors;
+
+  struct Frame {
+    const sem::Machine* state;
+    std::vector<sem::Choice> eligible;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<sem::Choice> path;
+
+  bool limits_hit = false;
+
+  auto add_violation = [&](Violation::Kind kind, std::string msg) {
+    result.violations.push_back({kind, std::move(msg), path});
+  };
+
+  auto enter = [&](sem::Machine&& m) -> bool {
+    // Returns true if a new frame was pushed.
+    auto owned = std::make_unique<sem::Machine>(std::move(m));
+    const sem::Machine* ptr = owned.get();
+    auto it = colors.find(ptr);
+    if (it != colors.end()) {
+      if (it->second == Color::OnStack) {
+        add_violation(Violation::Kind::Cycle,
+                      "schedule revisits an earlier state: a scheduler can "
+                      "loop forever");
+      }
+      return false;
+    }
+    if (colors.size() >= opts.max_states) {
+      limits_hit = true;
+      return false;
+    }
+    arena.push_back(std::move(owned));
+    ++result.states_visited;
+
+    if (sem::terminated(prg, ptr->grid)) {
+      colors.emplace(ptr, Color::Done);
+      result.min_steps_to_termination =
+          std::min<std::uint64_t>(result.min_steps_to_termination,
+                                  path.size());
+      result.max_steps_to_termination =
+          std::max<std::uint64_t>(result.max_steps_to_termination,
+                                  path.size());
+      if (std::find(result.finals.begin(), result.finals.end(), *ptr) ==
+          result.finals.end()) {
+        result.finals.push_back(*ptr);
+      }
+      return false;
+    }
+    auto eligible = sem::eligible_choices(prg, ptr->grid);
+    if (opts.partial_order_reduction) {
+      reduce_choices(prg, ptr->grid, eligible);
+    }
+    if (eligible.empty()) {
+      colors.emplace(ptr, Color::Done);
+      add_violation(Violation::Kind::Stuck,
+                    sem::stuck_reason(prg, ptr->grid));
+      return false;
+    }
+    if (path.size() >= opts.max_depth) {
+      colors.emplace(ptr, Color::Done);
+      limits_hit = true;
+      add_violation(Violation::Kind::DepthExceeded,
+                    "path exceeded the exploration depth bound");
+      return false;
+    }
+    colors.emplace(ptr, Color::OnStack);
+    stack.push_back(Frame{ptr, std::move(eligible), 0});
+    return true;
+  };
+
+  enter(sem::Machine(initial));
+
+  auto should_stop = [&] {
+    return opts.stop_at_first_violation && !result.violations.empty();
+  };
+
+  while (!stack.empty() && !should_stop()) {
+    Frame& top = stack.back();
+    if (top.next >= top.eligible.size()) {
+      colors[top.state] = Color::Done;
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+    const sem::Choice c = top.eligible[top.next++];
+    sem::Machine child(*top.state);
+    const sem::StepResult sr =
+        sem::apply_choice(prg, kc, child, c, opts.step_opts, nullptr);
+    ++result.transitions;
+    path.push_back(c);
+    if (!sr.ok()) {
+      add_violation(Violation::Kind::Fault, sr.fault);
+      path.pop_back();
+      continue;
+    }
+    if (!enter(std::move(child))) path.pop_back();
+  }
+
+  if (result.min_steps_to_termination == ~0ull) {
+    result.min_steps_to_termination = 0;
+  }
+  result.exhaustive = !limits_hit && stack.empty();
+  return result;
+}
+
+std::string to_string(Violation::Kind k) {
+  switch (k) {
+    case Violation::Kind::Stuck: return "stuck";
+    case Violation::Kind::Fault: return "fault";
+    case Violation::Kind::Cycle: return "cycle";
+    case Violation::Kind::DepthExceeded: return "depth-exceeded";
+  }
+  return "?";
+}
+
+}  // namespace cac::sched

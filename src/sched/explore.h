@@ -1,0 +1,89 @@
+// Exhaustive schedule exploration — the executable analogue of the
+// paper's universal quantification over schedules.
+//
+// The paper's theorems ("for every scheduler, ...") are proved in Coq
+// by induction; with a finite configuration the same statement is a
+// finite conjunction, and this module checks it by enumerating *every*
+// reachable machine state under *every* eligible choice (Fig. 3's
+// nondeterminism), with memoization on full machine states (no hash
+// truncation — states are compared structurally, so a hash collision
+// cannot fake a visit).
+//
+// On top of the state graph the explorer decides:
+//  * universal termination (no stuck state, no fault, no cycle),
+//  * schedule independence (all terminal states identical),
+//  * min/max schedule length to termination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sem/step.h"
+
+namespace cac::sched {
+
+struct ExploreOptions {
+  /// Abort a path longer than this many steps (guards against
+  /// exploring unboundedly growing state, e.g. a counter loop).
+  std::uint64_t max_depth = 1u << 16;
+  /// Abort after visiting this many distinct states.
+  std::uint64_t max_states = 1u << 20;
+  sem::StepOptions step_opts;
+  /// Stop at the first stuck/fault/cycle instead of cataloguing all.
+  bool stop_at_first_violation = true;
+  /// Persistent-set partial-order reduction: when some warp's next
+  /// instruction is *register-local* (no memory access, no barrier —
+  /// Bop/Top/Uop/Mov/Setp/Selp/Nop/Bra/PBra/Sync), that single step
+  /// commutes with every step of every other warp and cannot disable
+  /// any of them, so exploring it alone is a sound persistent set.
+  /// Interleavings then branch only at Ld/St/Atom/Bar boundaries —
+  /// often an exponential saving (see bench_ablation_por).  Verdicts
+  /// on termination, stuck states, faults and *final memory* states
+  /// are preserved; intermediate-state counts differ by construction.
+  bool partial_order_reduction = false;
+};
+
+struct Violation {
+  enum class Kind : std::uint8_t { Stuck, Fault, Cycle, DepthExceeded };
+  Kind kind = Kind::Stuck;
+  std::string message;
+  /// The schedule that reaches the violating state — a replayable
+  /// counterexample (see check/trace.h).
+  std::vector<sem::Choice> trace;
+};
+
+struct ExploreResult {
+  /// True iff every reachable state was expanded within the limits —
+  /// only then do the "for all schedules" verdicts below constitute a
+  /// complete finite-configuration proof.
+  bool exhaustive = false;
+
+  std::uint64_t states_visited = 0;
+  std::uint64_t transitions = 0;
+
+  /// Distinct terminated machine states (deduplicated).  A singleton
+  /// means the computation is schedule-independent.
+  std::vector<sem::Machine> finals;
+
+  /// Shortest / longest schedule reaching termination (path lengths).
+  std::uint64_t min_steps_to_termination = 0;
+  std::uint64_t max_steps_to_termination = 0;
+
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool all_schedules_terminate() const {
+    return exhaustive && violations.empty() && !finals.empty();
+  }
+  [[nodiscard]] bool schedule_independent() const {
+    return exhaustive && violations.empty() && finals.size() == 1;
+  }
+};
+
+ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
+                      const sem::Machine& initial,
+                      const ExploreOptions& opts = {});
+
+std::string to_string(Violation::Kind k);
+
+}  // namespace cac::sched

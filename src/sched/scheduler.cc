@@ -1,0 +1,84 @@
+#include "sched/scheduler.h"
+
+namespace cac::sched {
+
+sem::Choice FirstChoiceScheduler::pick(
+    const std::vector<sem::Choice>& eligible, const sem::Machine&) {
+  return eligible.front();
+}
+
+sem::Choice RoundRobinScheduler::pick(
+    const std::vector<sem::Choice>& eligible, const sem::Machine&) {
+  return eligible[next_++ % eligible.size()];
+}
+
+sem::Choice RandomScheduler::pick(const std::vector<sem::Choice>& eligible,
+                                  const sem::Machine&) {
+  // xorshift64* — small, seedable, good enough for schedule fuzzing.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  const std::uint64_t r = state_ * 0x2545F4914F6CDD1Dull;
+  return eligible[r % eligible.size()];
+}
+
+RunResult run(const ptx::Program& prg, const sem::KernelConfig& kc,
+              sem::Machine& m, Scheduler& sched, std::uint64_t max_steps,
+              const sem::StepOptions& opts) {
+  RunResult result;
+  sem::StepEvents events;
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    if (sem::terminated(prg, m.grid)) {
+      result.status = RunResult::Status::Terminated;
+      result.steps = step;
+      return result;
+    }
+    const auto eligible = sem::eligible_choices(prg, m.grid);
+    if (eligible.empty()) {
+      result.status = RunResult::Status::Stuck;
+      result.steps = step;
+      result.message = sem::stuck_reason(prg, m.grid);
+      return result;
+    }
+    const sem::Choice c = sched.pick(eligible, m);
+    result.trace.push_back(c);
+    events.clear();
+    const sem::StepResult sr = sem::apply_choice(prg, kc, m, c, opts, &events);
+    result.events.invalid_reads.insert(result.events.invalid_reads.end(),
+                                       events.invalid_reads.begin(),
+                                       events.invalid_reads.end());
+    result.events.store_conflicts.insert(result.events.store_conflicts.end(),
+                                         events.store_conflicts.begin(),
+                                         events.store_conflicts.end());
+    result.events.uninit_reads.insert(result.events.uninit_reads.end(),
+                                      events.uninit_reads.begin(),
+                                      events.uninit_reads.end());
+    if (!sr.ok()) {
+      result.status = RunResult::Status::Fault;
+      result.steps = step + 1;
+      result.message = sr.fault;
+      return result;
+    }
+  }
+  if (sem::terminated(prg, m.grid)) {
+    result.status = RunResult::Status::Terminated;
+    result.steps = max_steps;
+    return result;
+  }
+  result.status = RunResult::Status::BoundExceeded;
+  result.steps = max_steps;
+  result.message = "step bound exceeded";
+  return result;
+}
+
+std::string to_string(RunResult::Status s) {
+  switch (s) {
+    case RunResult::Status::Terminated: return "terminated";
+    case RunResult::Status::Stuck: return "stuck";
+    case RunResult::Status::Fault: return "fault";
+    case RunResult::Status::BoundExceeded: return "bound-exceeded";
+  }
+  return "?";
+}
+
+}  // namespace cac::sched

@@ -1,0 +1,86 @@
+// Schedulers: policies that resolve the nondeterministic choice of
+// Fig. 3 ("warps are selected by the scheduler, but the details of the
+// scheduling can vary between GPUs", paper §III-9).
+//
+// The semantics kernel only exposes the *set* of applicable rule
+// instances (sem::eligible_choices); a Scheduler picks one.  Proofs in
+// the paper quantify over all schedules; the analogue here is
+// sched::explore (explore.h), which enumerates every choice sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sem/step.h"
+
+namespace cac::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Pick one of the eligible choices (guaranteed non-empty).
+  virtual sem::Choice pick(const std::vector<sem::Choice>& eligible,
+                           const sem::Machine& m) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Always the first eligible choice — the canonical deterministic
+/// scheduler the transparency theorem compares against.
+class FirstChoiceScheduler final : public Scheduler {
+ public:
+  sem::Choice pick(const std::vector<sem::Choice>& eligible,
+                   const sem::Machine& m) override;
+  [[nodiscard]] std::string name() const override { return "first-choice"; }
+};
+
+/// Rotates across eligible choices, giving every warp progress.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  sem::Choice pick(const std::vector<sem::Choice>& eligible,
+                   const sem::Machine& m) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+/// Seeded pseudo-random choice (xorshift64*); reproducible adversarial
+/// schedules for property tests.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : state_(seed | 1) {}
+  sem::Choice pick(const std::vector<sem::Choice>& eligible,
+                   const sem::Machine& m) override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Outcome of running a machine to completion under one scheduler.
+struct RunResult {
+  enum class Status : std::uint8_t { Terminated, Stuck, Fault, BoundExceeded };
+  Status status = Status::BoundExceeded;
+  std::uint64_t steps = 0;
+  std::string message;       // stuck reason / fault description
+  sem::StepEvents events;    // accumulated diagnostics over the run
+  std::vector<sem::Choice> trace;  // the schedule actually taken
+
+  [[nodiscard]] bool terminated() const {
+    return status == Status::Terminated;
+  }
+};
+
+/// Drive the machine with a scheduler until termination, deadlock,
+/// fault, or the step bound.  Mutates `m` to the final state.
+RunResult run(const ptx::Program& prg, const sem::KernelConfig& kc,
+              sem::Machine& m, Scheduler& sched,
+              std::uint64_t max_steps = 1u << 20,
+              const sem::StepOptions& opts = {});
+
+std::string to_string(RunResult::Status s);
+
+}  // namespace cac::sched

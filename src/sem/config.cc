@@ -1,0 +1,40 @@
+#include "sem/config.h"
+
+namespace cac::sem {
+
+std::uint32_t sreg_aux(const KernelConfig& kc, std::uint32_t tid,
+                       const ptx::Sreg& sreg) {
+  const std::uint32_t tpb = kc.threads_per_block();
+  const std::uint32_t in_block = tid % tpb;
+  const std::uint32_t block_lin = tid / tpb;
+
+  auto decompose = [](std::uint32_t lin, const Dim3& d,
+                      ptx::Dim dim) -> std::uint32_t {
+    switch (dim) {
+      case ptx::Dim::X: return lin % d.x;
+      case ptx::Dim::Y: return (lin / d.x) % d.y;
+      case ptx::Dim::Z: return lin / (d.x * d.y);
+    }
+    return 0;
+  };
+
+  switch (sreg.kind) {
+    case ptx::SregKind::Tid: return decompose(in_block, kc.block, sreg.dim);
+    case ptx::SregKind::CtaId: return decompose(block_lin, kc.grid, sreg.dim);
+    case ptx::SregKind::NTid: return kc.block.at(sreg.dim);
+    case ptx::SregKind::NCtaId: return kc.grid.at(sreg.dim);
+  }
+  return 0;
+}
+
+std::string to_string(const Dim3& d) {
+  return "(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+         std::to_string(d.z) + ")";
+}
+
+std::string to_string(const KernelConfig& kc) {
+  return "(" + to_string(kc.grid) + "," + to_string(kc.block) + ")/w" +
+         std::to_string(kc.warp_size);
+}
+
+}  // namespace cac::sem

@@ -1,0 +1,69 @@
+// Kernel launch configuration and the special-register auxiliary
+// function (paper §III-4):
+//
+//   sreg_aux : tid -> sreg -> N
+//
+// Threads carry a single enumerated global id (paper §III-7); this
+// module decodes it into the four 3-dimensional special registers
+// %tid, %ctaid, %ntid, %nctaid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ptx/operand.h"
+
+namespace cac::sem {
+
+struct Dim3 {
+  std::uint32_t x = 1, y = 1, z = 1;
+
+  [[nodiscard]] std::uint32_t count() const { return x * y * z; }
+  [[nodiscard]] std::uint32_t at(ptx::Dim d) const {
+    switch (d) {
+      case ptx::Dim::X: return x;
+      case ptx::Dim::Y: return y;
+      case ptx::Dim::Z: return z;
+    }
+    return 0;
+  }
+  friend bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// The paper's `kconf`: kc = ((gx,gy,gz),(bx,by,bz)).  `warp_size` is
+/// 32 on real hardware (paper §II); it is a parameter here so that the
+/// exhaustive schedule explorer can work with tractably small warps —
+/// the semantics does not depend on the constant.
+struct KernelConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::uint32_t warp_size = 32;
+
+  [[nodiscard]] std::uint32_t threads_per_block() const {
+    return block.count();
+  }
+  [[nodiscard]] std::uint32_t num_blocks() const { return grid.count(); }
+  [[nodiscard]] std::uint32_t total_threads() const {
+    return num_blocks() * threads_per_block();
+  }
+  [[nodiscard]] std::uint32_t warps_per_block() const {
+    return (threads_per_block() + warp_size - 1) / warp_size;
+  }
+  friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
+};
+
+/// Global linear thread id for (block b, thread-in-block t).
+inline std::uint32_t linear_tid(const KernelConfig& kc, std::uint32_t b,
+                                std::uint32_t t) {
+  return b * kc.threads_per_block() + t;
+}
+
+/// The paper's sreg_aux: decode a thread's enumerated id into the value
+/// of one special register.
+std::uint32_t sreg_aux(const KernelConfig& kc, std::uint32_t tid,
+                       const ptx::Sreg& sreg);
+
+std::string to_string(const Dim3& d);
+std::string to_string(const KernelConfig& kc);
+
+}  // namespace cac::sem

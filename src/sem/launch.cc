@@ -1,0 +1,52 @@
+#include "sem/launch.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace cac::sem {
+
+Launch::Launch(const ptx::Program& prg, KernelConfig kc, mem::MemSizes sizes)
+    : prg_(&prg), kc_(kc) {
+  sizes.param = std::max<std::uint64_t>(sizes.param, prg.param_bytes());
+  sizes.shared_banks = kc.num_blocks();
+  memory_ = mem::Memory(sizes);
+}
+
+Launch& Launch::param(const std::string& name, std::uint64_t value) {
+  const ptx::ParamSlot& slot = prg_->param(name);
+  switch (slot.type.bytes()) {
+    case 1: {
+      const auto b = static_cast<std::uint8_t>(value);
+      memory_.write_init(mem::Space::Param, slot.offset, &b, 1);
+      break;
+    }
+    case 2: {
+      const auto h = static_cast<std::uint16_t>(value);
+      memory_.write_init(mem::Space::Param, slot.offset, &h, 2);
+      break;
+    }
+    case 4:
+      memory_.init_u32(mem::Space::Param, slot.offset,
+                       static_cast<std::uint32_t>(value));
+      break;
+    case 8:
+      memory_.init_u64(mem::Space::Param, slot.offset, value);
+      break;
+    default:
+      throw KernelError("bad parameter width");
+  }
+  return *this;
+}
+
+Launch& Launch::global_u32(std::uint64_t addr, std::uint32_t v) {
+  memory_.init_u32(mem::Space::Global, addr, v);
+  return *this;
+}
+
+Launch& Launch::const_u32(std::uint64_t addr, std::uint32_t v) {
+  memory_.init_u32(mem::Space::Const, addr, v);
+  return *this;
+}
+
+}  // namespace cac::sem

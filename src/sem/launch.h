@@ -1,0 +1,46 @@
+// Launch setup: builds the initial machine state <generate_grid(kc), mu>
+// of a kernel invocation (paper Listing 3's `kc`, `g`, `mu` block).
+//
+// At launch only Global and Const memory may contain data, and those
+// bytes are valid (paper §III-2); kernel arguments are written into
+// Param space, also valid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ptx/program.h"
+#include "sem/state.h"
+
+namespace cac::sem {
+
+class Launch {
+ public:
+  /// `sizes.param` and `sizes.shared_banks` are derived from the
+  /// program and config automatically; pass global/const/shared sizes.
+  Launch(const ptx::Program& prg, KernelConfig kc, mem::MemSizes sizes);
+
+  /// Write a kernel argument by parameter name (width taken from the
+  /// parameter's declared type).
+  Launch& param(const std::string& name, std::uint64_t value);
+
+  /// Launch-time Global/Const initialization helpers.
+  Launch& global_u32(std::uint64_t addr, std::uint32_t v);
+  Launch& const_u32(std::uint64_t addr, std::uint32_t v);
+
+  [[nodiscard]] mem::Memory& memory() { return memory_; }
+  [[nodiscard]] const KernelConfig& config() const { return kc_; }
+  [[nodiscard]] const ptx::Program& program() const { return *prg_; }
+
+  /// The initial machine configuration <gamma, mu>.
+  [[nodiscard]] Machine machine() const {
+    return Machine{generate_grid(kc_), memory_};
+  }
+
+ private:
+  const ptx::Program* prg_;
+  KernelConfig kc_;
+  mem::Memory memory_;
+};
+
+}  // namespace cac::sem

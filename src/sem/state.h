@@ -1,0 +1,47 @@
+// Thread blocks and grids (paper §III-9, §III-10): a block β is a set
+// of warps; a grid γ is a set of blocks.  The machine state of the
+// small-step semantics is a (grid, memory) pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/memory.h"
+#include "sem/config.h"
+#include "sem/warp.h"
+
+namespace cac::sem {
+
+struct Block {
+  std::vector<Warp> warps;
+
+  friend bool operator==(const Block&, const Block&) = default;
+  void mix_hash(Hasher& h) const;
+};
+
+struct Grid {
+  std::vector<Block> blocks;
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+  void mix_hash(Hasher& h) const;
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// The full machine configuration <gamma, mu> of Fig. 3.
+struct Machine {
+  Grid grid;
+  mem::Memory memory;
+
+  friend bool operator==(const Machine&, const Machine&) = default;
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// The paper's `generate_grid kc`: spawn grid_size blocks of block_size
+/// threads, grouped into warps of kc.warp_size, all at pc 0 with empty
+/// register files.
+Grid generate_grid(const KernelConfig& kc);
+
+std::string to_string(const Grid& g);
+
+}  // namespace cac::sem

@@ -1,0 +1,750 @@
+#include "sem/step.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/bits.h"
+#include "support/diag.h"
+
+namespace cac::sem {
+
+using ptx::BinOp;
+using ptx::CmpOp;
+using ptx::DType;
+using ptx::Imm;
+using ptx::Instr;
+using ptx::Operand;
+using ptx::Reg;
+using ptx::RegImm;
+using ptx::Space;
+using ptx::Sreg;
+using ptx::TerOp;
+using ptx::TypeClass;
+using ptx::UnOp;
+
+void StepEvents::clear() {
+  invalid_reads.clear();
+  store_conflicts.clear();
+  uninit_reads.clear();
+  accesses.clear();
+}
+
+bool StepEvents::empty() const {
+  return invalid_reads.empty() && store_conflicts.empty() &&
+         uninit_reads.empty() && accesses.empty();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Operand evaluation within one thread (paper §III-5).
+// ---------------------------------------------------------------------
+
+struct EvalCtx {
+  const KernelConfig& kc;
+  const Thread& thread;
+  StepEvents* events;
+};
+
+std::uint64_t read_reg(const EvalCtx& ctx, const Reg& r) {
+  if (auto v = ctx.thread.rho.read_opt(r)) return *v;
+  if (ctx.events) {
+    ctx.events->uninit_reads.push_back({ctx.thread.tid, r});
+  }
+  return 0;
+}
+
+std::uint64_t eval_operand(const EvalCtx& ctx, const Operand& op) {
+  struct Visitor {
+    const EvalCtx& ctx;
+    std::uint64_t operator()(const Reg& r) const { return read_reg(ctx, r); }
+    std::uint64_t operator()(const Sreg& s) const {
+      return sreg_aux(ctx.kc, ctx.thread.tid, s);
+    }
+    std::uint64_t operator()(const Imm& i) const {
+      return static_cast<std::uint64_t>(i.value);
+    }
+    std::uint64_t operator()(const RegImm& ri) const {
+      return read_reg(ctx, ri.reg) + static_cast<std::uint64_t>(ri.offset);
+    }
+  };
+  return std::visit(Visitor{ctx}, op);
+}
+
+// ---------------------------------------------------------------------
+// ALU semantics at a fixed width/signedness.
+// ---------------------------------------------------------------------
+
+std::uint64_t eval_bop(BinOp op, std::uint64_t ra, std::uint64_t rb,
+                       const DType& t) {
+  const unsigned w = t.width;
+  const std::uint64_t a = truncate(ra, w);
+  const std::uint64_t b = truncate(rb, w);
+  const bool sgn = t.is_signed();
+  switch (op) {
+    case BinOp::Add: return truncate(a + b, w);
+    case BinOp::Sub: return truncate(a - b, w);
+    case BinOp::Mul: return truncate(a * b, w);
+    case BinOp::MulHi: {
+      if (sgn) {
+        const auto p = static_cast<__int128>(to_signed(a, w)) *
+                       static_cast<__int128>(to_signed(b, w));
+        return truncate(static_cast<std::uint64_t>(p >> w), w);
+      }
+      const auto p = static_cast<unsigned __int128>(a) *
+                     static_cast<unsigned __int128>(b);
+      return truncate(static_cast<std::uint64_t>(p >> w), w);
+    }
+    case BinOp::MulWide: {
+      // Result width is 2w (clamped to 64); mul.wide is defined by PTX
+      // for widths up to 32.
+      const unsigned ww = w >= 64 ? 64 : 2 * w;
+      if (sgn) {
+        const auto p = static_cast<__int128>(to_signed(a, w)) *
+                       static_cast<__int128>(to_signed(b, w));
+        return truncate(static_cast<std::uint64_t>(p), ww);
+      }
+      const auto p = static_cast<unsigned __int128>(a) *
+                     static_cast<unsigned __int128>(b);
+      return truncate(static_cast<std::uint64_t>(p), ww);
+    }
+    case BinOp::Div: {
+      // PTX leaves integer division by zero machine-specific; the model
+      // fixes it to the all-ones pattern so executions are deterministic.
+      if (b == 0) return low_mask(w);
+      if (sgn) {
+        const std::int64_t sa = to_signed(a, w);
+        const std::int64_t sb = to_signed(b, w);
+        if (sa == to_signed(1ull << (w - 1), w) && sb == -1) {
+          return a;  // INT_MIN / -1 wraps to INT_MIN
+        }
+        return truncate(static_cast<std::uint64_t>(sa / sb), w);
+      }
+      return truncate(a / b, w);
+    }
+    case BinOp::Rem: {
+      if (b == 0) return a;  // fixed analogously to Div
+      if (sgn) {
+        const std::int64_t sa = to_signed(a, w);
+        const std::int64_t sb = to_signed(b, w);
+        if (sa == to_signed(1ull << (w - 1), w) && sb == -1) return 0;
+        return truncate(static_cast<std::uint64_t>(sa % sb), w);
+      }
+      return truncate(a % b, w);
+    }
+    case BinOp::Min:
+      if (sgn) return to_signed(a, w) < to_signed(b, w) ? a : b;
+      return a < b ? a : b;
+    case BinOp::Max:
+      if (sgn) return to_signed(a, w) > to_signed(b, w) ? a : b;
+      return a > b ? a : b;
+    case BinOp::And: return a & b;
+    case BinOp::Or: return a | b;
+    case BinOp::Xor: return a ^ b;
+    case BinOp::Shl: return shl(a, static_cast<unsigned>(b & 0xff), w);
+    case BinOp::Shr:
+      return sgn ? ashr(a, static_cast<unsigned>(b & 0xff), w)
+                 : lshr(a, static_cast<unsigned>(b & 0xff), w);
+  }
+  throw KernelError("unknown binary op");
+}
+
+std::uint64_t eval_top(TerOp op, std::uint64_t ra, std::uint64_t rb,
+                       std::uint64_t rc, const DType& t) {
+  switch (op) {
+    case TerOp::MadLo: {
+      const std::uint64_t p = eval_bop(BinOp::Mul, ra, rb, t);
+      return eval_bop(BinOp::Add, p, rc, t);
+    }
+    case TerOp::MadWide: {
+      const std::uint64_t p = eval_bop(BinOp::MulWide, ra, rb, t);
+      const unsigned ww = t.width >= 64 ? 64 : 2 * t.width;
+      const DType wide{t.cls, static_cast<std::uint8_t>(ww)};
+      return eval_bop(BinOp::Add, p, rc, wide);
+    }
+  }
+  throw KernelError("unknown ternary op");
+}
+
+bool eval_cmp(CmpOp op, std::uint64_t ra, std::uint64_t rb, const DType& t) {
+  const unsigned w = t.width;
+  const std::uint64_t a = truncate(ra, w);
+  const std::uint64_t b = truncate(rb, w);
+  if (t.is_signed()) {
+    const std::int64_t sa = to_signed(a, w);
+    const std::int64_t sb = to_signed(b, w);
+    switch (op) {
+      case CmpOp::Eq: return sa == sb;
+      case CmpOp::Ne: return sa != sb;
+      case CmpOp::Lt: return sa < sb;
+      case CmpOp::Le: return sa <= sb;
+      case CmpOp::Gt: return sa > sb;
+      case CmpOp::Ge: return sa >= sb;
+    }
+  }
+  switch (op) {
+    case CmpOp::Eq: return a == b;
+    case CmpOp::Ne: return a != b;
+    case CmpOp::Lt: return a < b;
+    case CmpOp::Le: return a <= b;
+    case CmpOp::Gt: return a > b;
+    case CmpOp::Ge: return a >= b;
+  }
+  throw KernelError("unknown comparison op");
+}
+
+// ---------------------------------------------------------------------
+// Memory addressing with per-block Shared banks.
+// ---------------------------------------------------------------------
+
+struct Access {
+  std::uint64_t eff_addr = 0;  // address within the flat space
+  bool ok = false;
+};
+
+Access resolve(const mem::Memory& mu, Space ss, std::uint32_t block,
+               std::uint64_t addr, std::uint32_t len) {
+  if (ss == Space::Shared) {
+    if (addr > mu.shared_size() || len > mu.shared_size() - addr) {
+      return {0, false};
+    }
+    return {mu.shared_base(block) + addr, true};
+  }
+  return {addr, mu.in_bounds(ss, addr, len)};
+}
+
+std::string oob_message(const ptx::Program& prg, std::uint32_t pc,
+                        std::uint32_t tid, Space ss, std::uint64_t addr,
+                        std::uint32_t len) {
+  return "out-of-bounds access at pc " + std::to_string(pc) + " (" +
+         ptx::to_string(prg.fetch(pc)) + "): thread " + std::to_string(tid) +
+         " touches " + ptx::to_string(ss) + "[" + std::to_string(addr) +
+         ".." + std::to_string(addr + len - 1) + "]";
+}
+
+/// Thread visit order for memory effects (the nd_map nondeterminism).
+std::vector<std::uint32_t> visit_order(std::size_t n,
+                                       const ThreadOrder& order) {
+  std::vector<std::uint32_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<std::uint32_t>(i);
+  switch (order.kind) {
+    case ThreadOrder::Kind::Ascending:
+      break;
+    case ThreadOrder::Kind::Descending:
+      std::reverse(idx.begin(), idx.end());
+      break;
+    case ThreadOrder::Kind::Permuted: {
+      std::vector<std::uint32_t> out;
+      std::vector<bool> used(n, false);
+      for (std::uint32_t p : order.perm) {
+        if (p < n && !used[p]) {
+          out.push_back(p);
+          used[p] = true;
+        }
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!used[i]) out.push_back(i);
+      }
+      return out;
+    }
+  }
+  return idx;
+}
+
+/// Sign- or zero-extend a loaded/converted value of type `t` into a
+/// destination register's width.
+std::uint64_t extend_for(const DType& t, std::uint64_t v, unsigned dst_w) {
+  const std::uint64_t low = truncate(v, t.width);
+  if (t.is_signed() && dst_w > t.width) {
+    return sign_extend(low, t.width, dst_w);
+  }
+  return low;
+}
+
+// ---------------------------------------------------------------------
+// Per-rule execution on the left-most uniform leaf.
+// ---------------------------------------------------------------------
+
+class LeafExec {
+ public:
+  LeafExec(const ptx::Program& prg, const KernelConfig& kc,
+           std::uint32_t block, Warp& leaf, bool divergent, mem::Memory& mu,
+           const StepOptions& opts, StepEvents* events)
+      : prg_(prg),
+        kc_(kc),
+        block_(block),
+        leaf_(leaf),
+        divergent_(divergent),
+        mu_(mu),
+        opts_(opts),
+        events_(events) {}
+
+  StepResult run(const Instr& instr) {
+    return std::visit([this](const auto& i) { return exec(i); }, instr);
+  }
+
+ private:
+  [[nodiscard]] EvalCtx ctx(const Thread& t) const {
+    return EvalCtx{kc_, t, events_};
+  }
+
+  void advance() { leaf_.set_uni_pc(leaf_.uni_pc() + 1); }
+
+  StepResult exec(const ptx::INop&) {
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::IBop& i) {
+    for (Thread& t : leaf_.threads()) {
+      const std::uint64_t a = eval_operand(ctx(t), i.a);
+      const std::uint64_t b = eval_operand(ctx(t), i.b);
+      t.rho.write(i.dst, eval_bop(i.op, a, b, i.type));
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::ITop& i) {
+    for (Thread& t : leaf_.threads()) {
+      const std::uint64_t a = eval_operand(ctx(t), i.a);
+      const std::uint64_t b = eval_operand(ctx(t), i.b);
+      const std::uint64_t c = eval_operand(ctx(t), i.c);
+      t.rho.write(i.dst, eval_top(i.op, a, b, c, i.type));
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::IUop& i) {
+    const unsigned w = i.type.width;
+    for (Thread& t : leaf_.threads()) {
+      const std::uint64_t raw = eval_operand(ctx(t), i.a);
+      const std::uint64_t a = truncate(raw, w);
+      std::uint64_t v = 0;
+      switch (i.op) {
+        case UnOp::Not: v = ~a; break;
+        case UnOp::Neg: v = 0 - a; break;
+        case UnOp::Cvt: v = extend_for(i.type, raw, i.dst.width); break;
+        case UnOp::Abs: {
+          const std::int64_t s = to_signed(a, w);
+          v = s < 0 ? static_cast<std::uint64_t>(-s) : a;
+          break;
+        }
+        case UnOp::Popc: v = static_cast<std::uint64_t>(
+                             __builtin_popcountll(a));
+          break;
+        case UnOp::Clz:
+          v = a == 0 ? w
+                     : static_cast<std::uint64_t>(__builtin_clzll(a)) -
+                           (64 - w);
+          break;
+        case UnOp::Brev: {
+          std::uint64_t r = 0;
+          for (unsigned b = 0; b < w; ++b) {
+            r = (r << 1) | ((a >> b) & 1);
+          }
+          v = r;
+          break;
+        }
+      }
+      t.rho.write(i.dst, v);  // write truncates at the register width
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::IMov& i) {
+    for (Thread& t : leaf_.threads()) {
+      t.rho.write(i.dst, eval_operand(ctx(t), i.src));
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::ILd& i) {
+    const std::uint32_t len = i.type.bytes();
+    // Two-phase: resolve and bounds-check every lane, then update.
+    std::vector<Access> acc(leaf_.threads().size());
+    for (std::size_t k = 0; k < leaf_.threads().size(); ++k) {
+      Thread& t = leaf_.threads()[k];
+      const std::uint64_t addr = eval_operand(ctx(t), i.addr);
+      acc[k] = resolve(mu_, i.space, block_, addr, len);
+      if (!acc[k].ok) {
+        return {StepStatus::Fault, oob_message(prg_, leaf_.uni_pc(), t.tid,
+                                               i.space, addr, len)};
+      }
+    }
+    for (std::size_t k = 0; k < leaf_.threads().size(); ++k) {
+      Thread& t = leaf_.threads()[k];
+      const std::uint64_t raw = mu_.load(i.space, acc[k].eff_addr, len);
+      if (events_ && !mu_.all_valid(i.space, acc[k].eff_addr, len)) {
+        events_->invalid_reads.push_back(
+            {i.space, acc[k].eff_addr, len, t.tid});
+      }
+      if (events_ && opts_.log_accesses && i.space != Space::Param &&
+          i.space != Space::Const) {
+        events_->accesses.push_back(
+            {i.space, acc[k].eff_addr, len, t.tid, false, false});
+      }
+      t.rho.write(i.dst, extend_for(i.type, raw, i.dst.width));
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::ISt& i) {
+    if (i.space == Space::Const || i.space == Space::Param) {
+      return {StepStatus::Fault,
+              "store to read-only space " + ptx::to_string(i.space) +
+                  " at pc " + std::to_string(leaf_.uni_pc())};
+    }
+    const std::uint32_t len = i.type.bytes();
+    struct Pending {
+      std::uint64_t eff_addr;
+      std::uint64_t value;
+      std::uint32_t tid;
+    };
+    std::vector<Pending> writes(leaf_.threads().size());
+    for (std::size_t k = 0; k < leaf_.threads().size(); ++k) {
+      Thread& t = leaf_.threads()[k];
+      const std::uint64_t addr = eval_operand(ctx(t), i.addr);
+      const Access a = resolve(mu_, i.space, block_, addr, len);
+      if (!a.ok) {
+        return {StepStatus::Fault, oob_message(prg_, leaf_.uni_pc(), t.tid,
+                                               i.space, addr, len)};
+      }
+      writes[k] = {a.eff_addr, truncate(read_reg(ctx(t), i.src), i.type.width),
+                   t.tid};
+    }
+    // update(mu, v): apply lane effects in the scheduler-chosen order.
+    // Plain stores leave the valid bit false (paper §III-2: the
+    // hardware does not guarantee synchronization of stored values).
+    std::map<std::uint64_t, std::pair<std::uint8_t, std::uint32_t>> seen;
+    for (std::uint32_t k : visit_order(writes.size(), opts_.order)) {
+      const Pending& p = writes[k];
+      mu_.store(i.space, p.eff_addr, len, p.value, /*valid=*/false);
+      if (events_ && opts_.log_accesses) {
+        events_->accesses.push_back(
+            {i.space, p.eff_addr, len, p.tid, true, false});
+      }
+      if (events_) {
+        for (std::uint32_t byte = 0; byte < len; ++byte) {
+          const auto b =
+              static_cast<std::uint8_t>(p.value >> (8 * byte));
+          auto [it, inserted] =
+              seen.try_emplace(p.eff_addr + byte, b, p.tid);
+          if (!inserted && it->second.second != p.tid &&
+              it->second.first != b) {
+            events_->store_conflicts.push_back(
+                {i.space, p.eff_addr + byte, it->second.second, p.tid});
+          }
+        }
+      }
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::IBra& i) {
+    leaf_.set_uni_pc(i.target);
+    return {};
+  }
+
+  StepResult exec(const ptx::ISetp& i) {
+    for (Thread& t : leaf_.threads()) {
+      const std::uint64_t a = eval_operand(ctx(t), i.a);
+      const std::uint64_t b = eval_operand(ctx(t), i.b);
+      t.phi.write(i.dst, eval_cmp(i.cmp, a, b, i.type));
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::IPBra& i) {
+    // Split threads by predicate value; the fall-through set keeps
+    // executing first (left side of the Div), the taken set waits.
+    ThreadVec taken, fall;
+    for (Thread& t : leaf_.threads()) {
+      const bool p = t.phi.read(i.pred) != i.negated;
+      (p ? taken : fall).push_back(std::move(t));
+    }
+    const std::uint32_t pc = leaf_.uni_pc();
+    if (taken.empty()) {
+      leaf_ = Warp(pc + 1, std::move(fall));
+    } else if (fall.empty()) {
+      leaf_ = Warp(i.target, std::move(taken));
+    } else {
+      leaf_ = Warp(Warp(pc + 1, std::move(fall)),
+                   Warp(i.target, std::move(taken)));
+    }
+    return {};
+  }
+
+  StepResult exec(const ptx::ISelp& i) {
+    for (Thread& t : leaf_.threads()) {
+      const std::uint64_t a = eval_operand(ctx(t), i.a);
+      const std::uint64_t b = eval_operand(ctx(t), i.b);
+      const std::uint64_t v = t.phi.read(i.pred) ? a : b;
+      t.rho.write(i.dst, truncate(v, i.type.width));
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::IAtom& i) {
+    const std::uint32_t len = i.type.bytes();
+    // Atomics are serialized in the scheduler-chosen lane order; each
+    // commits immediately with the valid bit SET — the paper's
+    // "excepting atomic instructions" carve-out (§III-2).
+    const auto order = visit_order(leaf_.threads().size(), opts_.order);
+    for (std::uint32_t k : order) {
+      Thread& t = leaf_.threads()[k];
+      const std::uint64_t addr = eval_operand(ctx(t), i.addr);
+      const Access a = resolve(mu_, i.space, block_, addr, len);
+      if (!a.ok) {
+        return {StepStatus::Fault, oob_message(prg_, leaf_.uni_pc(), t.tid,
+                                               i.space, addr, len)};
+      }
+      const std::uint64_t old = mu_.load(i.space, a.eff_addr, len);
+      const std::uint64_t b = eval_operand(ctx(t), i.b);
+      std::uint64_t nv = 0;
+      switch (i.op) {
+        case ptx::AtomOp::Add: nv = eval_bop(BinOp::Add, old, b, i.type); break;
+        case ptx::AtomOp::Exch: nv = truncate(b, i.type.width); break;
+        case ptx::AtomOp::Min: nv = eval_bop(BinOp::Min, old, b, i.type); break;
+        case ptx::AtomOp::Max: nv = eval_bop(BinOp::Max, old, b, i.type); break;
+        case ptx::AtomOp::And: nv = eval_bop(BinOp::And, old, b, i.type); break;
+        case ptx::AtomOp::Or: nv = eval_bop(BinOp::Or, old, b, i.type); break;
+        case ptx::AtomOp::Xor: nv = eval_bop(BinOp::Xor, old, b, i.type); break;
+        case ptx::AtomOp::Cas: {
+          const std::uint64_t c = eval_operand(ctx(t), i.c);
+          nv = truncate(old, i.type.width) == truncate(b, i.type.width)
+                   ? truncate(c, i.type.width)
+                   : truncate(old, i.type.width);
+          break;
+        }
+      }
+      mu_.store(i.space, a.eff_addr, len, nv, /*valid=*/true);
+      if (events_ && opts_.log_accesses) {
+        events_->accesses.push_back(
+            {i.space, a.eff_addr, len, t.tid, true, true});
+      }
+      t.rho.write(i.dst, extend_for(i.type, old, i.dst.width));
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::IVote& i) {
+    // Warp votes read every lane's predicate; a divergent warp has no
+    // well-defined full lane set, so the model requires reconvergence
+    // first (real PTX: inactive lanes contribute identity values —
+    // compilers emit votes in uniform regions).
+    if (divergent_) {
+      return {StepStatus::Fault,
+              "vote in a divergent warp at pc " +
+                  std::to_string(leaf_.uni_pc())};
+    }
+    bool all = true, any = false;
+    std::uint32_t ballot = 0;
+    for (std::size_t k = 0; k < leaf_.threads().size(); ++k) {
+      const bool p = leaf_.threads()[k].phi.read(i.src);
+      all &= p;
+      any |= p;
+      if (p && k < 32) ballot |= 1u << k;
+    }
+    for (Thread& t : leaf_.threads()) {
+      switch (i.mode) {
+        case ptx::VoteMode::All: t.phi.write(i.dst, all); break;
+        case ptx::VoteMode::Any: t.phi.write(i.dst, any); break;
+        case ptx::VoteMode::Ballot: t.rho.write(i.dst_ballot, ballot); break;
+      }
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::IShfl& i) {
+    if (divergent_) {
+      return {StepStatus::Fault,
+              "shfl in a divergent warp at pc " +
+                  std::to_string(leaf_.uni_pc())};
+    }
+    const auto n = static_cast<std::uint32_t>(leaf_.threads().size());
+    // Read all source lanes first: shuffles exchange pre-instruction
+    // values even when dst == src.
+    std::vector<std::uint64_t> lanes(n);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      lanes[k] = read_reg(ctx(leaf_.threads()[k]), i.src);
+    }
+    for (std::uint32_t k = 0; k < n; ++k) {
+      Thread& t = leaf_.threads()[k];
+      const auto lane_arg = static_cast<std::uint32_t>(
+          truncate(eval_operand(ctx(t), i.lane), 32));
+      std::uint32_t j = k;
+      switch (i.mode) {
+        case ptx::ShflMode::Idx: j = lane_arg; break;
+        case ptx::ShflMode::Up:
+          j = lane_arg <= k ? k - lane_arg : k;
+          break;
+        case ptx::ShflMode::Down:
+          j = k + lane_arg < n ? k + lane_arg : k;
+          break;
+        case ptx::ShflMode::Bfly: j = k ^ lane_arg; break;
+      }
+      const std::uint64_t v = j < n ? lanes[j] : lanes[k];
+      t.rho.write(i.dst, truncate(v, i.type.width));
+    }
+    advance();
+    return {};
+  }
+
+  StepResult exec(const ptx::ISync&) {
+    throw KernelError("Sync reached leaf executor (handled at warp level)");
+  }
+  StepResult exec(const ptx::IBar&) {
+    throw KernelError("Bar reached warp executor (handled by lift-bar)");
+  }
+  StepResult exec(const ptx::IExit&) {
+    throw KernelError("Exit reached warp executor (warp is complete)");
+  }
+
+  const ptx::Program& prg_;
+  const KernelConfig& kc_;
+  std::uint32_t block_;
+  Warp& leaf_;
+  bool divergent_;
+  mem::Memory& mu_;
+  const StepOptions& opts_;
+  StepEvents* events_;
+};
+
+}  // namespace
+
+StepResult step_warp(const ptx::Program& prg, const KernelConfig& kc,
+                     std::uint32_t block, Warp& w, mem::Memory& mu,
+                     const StepOptions& opts, StepEvents* events) {
+  const Instr& instr = prg.fetch(w.pc());
+  if (ptx::is_bar(instr) || ptx::is_exit(instr)) {
+    throw KernelError("step_warp called at a Bar/Exit instruction (pc " +
+                      std::to_string(w.pc()) + ")");
+  }
+  if (ptx::is_sync(instr)) {
+    // Fig. 1 rule (sync): applies to the whole warp tree.
+    w = sync_warp(std::move(w));
+    return {};
+  }
+  // Fig. 1 rule (div): for i != Sync, the left-most warp executes.
+  const bool divergent = w.divergent();
+  Warp& leaf = w.leftmost_leaf();
+  return LeafExec(prg, kc, block, leaf, divergent, mu, opts, events)
+      .run(instr);
+}
+
+std::vector<Choice> eligible_choices(const ptx::Program& prg, const Grid& g) {
+  std::vector<Choice> out;
+  for (std::uint32_t b = 0; b < g.blocks.size(); ++b) {
+    const Block& blk = g.blocks[b];
+    for (std::uint32_t wi = 0; wi < blk.warps.size(); ++wi) {
+      const Instr& i = prg.fetch(blk.warps[wi].pc());
+      if (!ptx::is_bar(i) && !ptx::is_exit(i)) {
+        out.push_back({Choice::Kind::ExecWarp, b, wi});
+      }
+    }
+    if (block_at_barrier(prg, blk)) {
+      out.push_back({Choice::Kind::LiftBar, b, 0});
+    }
+  }
+  return out;
+}
+
+StepResult apply_choice(const ptx::Program& prg, const KernelConfig& kc,
+                        Machine& m, const Choice& c, const StepOptions& opts,
+                        StepEvents* events) {
+  if (c.block >= m.grid.blocks.size()) {
+    throw KernelError("choice references nonexistent block");
+  }
+  Block& blk = m.grid.blocks[c.block];
+  if (c.kind == Choice::Kind::ExecWarp) {
+    if (c.warp >= blk.warps.size()) {
+      throw KernelError("choice references nonexistent warp");
+    }
+    Warp& w = blk.warps[c.warp];
+    const Instr& i = prg.fetch(w.pc());
+    if (ptx::is_bar(i) || ptx::is_exit(i)) {
+      throw KernelError("ExecWarp choice is not eligible (warp at " +
+                        ptx::to_string(i) + ")");
+    }
+    return step_warp(prg, kc, c.block, w, m.memory, opts, events);
+  }
+  // lift-bar: all warps uniform at Bar -> commit Shared, advance pcs.
+  if (!block_at_barrier(prg, blk)) {
+    throw KernelError("LiftBar choice is not eligible");
+  }
+  for (Warp& w : blk.warps) w.set_uni_pc(w.uni_pc() + 1);
+  m.memory.commit_shared(c.block);
+  return {};
+}
+
+bool warp_complete(const ptx::Program& prg, const Warp& w) {
+  return !w.divergent() && ptx::is_exit(prg.fetch(w.uni_pc()));
+}
+
+bool block_complete(const ptx::Program& prg, const Block& b) {
+  return std::all_of(b.warps.begin(), b.warps.end(), [&](const Warp& w) {
+    return warp_complete(prg, w);
+  });
+}
+
+bool terminated(const ptx::Program& prg, const Grid& g) {
+  return std::all_of(g.blocks.begin(), g.blocks.end(), [&](const Block& b) {
+    return block_complete(prg, b);
+  });
+}
+
+bool block_at_barrier(const ptx::Program& prg, const Block& b) {
+  if (b.warps.empty()) return false;
+  return std::all_of(b.warps.begin(), b.warps.end(), [&](const Warp& w) {
+    return !w.divergent() && ptx::is_bar(prg.fetch(w.uni_pc()));
+  });
+}
+
+bool is_stuck(const ptx::Program& prg, const Grid& g) {
+  return !terminated(prg, g) && eligible_choices(prg, g).empty();
+}
+
+std::string stuck_reason(const ptx::Program& prg, const Grid& g) {
+  if (!is_stuck(prg, g)) return "";
+  std::string out;
+  for (std::uint32_t b = 0; b < g.blocks.size(); ++b) {
+    const Block& blk = g.blocks[b];
+    if (block_complete(prg, blk)) continue;
+    for (std::uint32_t wi = 0; wi < blk.warps.size(); ++wi) {
+      const Warp& w = blk.warps[wi];
+      const Instr& i = prg.fetch(w.pc());
+      const std::string where =
+          "block " + std::to_string(b) + " warp " + std::to_string(wi);
+      if (w.divergent() && ptx::is_bar(i)) {
+        out += where + ": divergent warp reached a barrier (" + w.shape() +
+               ") — barrier-divergence deadlock\n";
+      } else if (w.divergent() && ptx::is_exit(i)) {
+        out += where + ": divergent warp reached Exit (" + w.shape() +
+               ") — missing reconvergence Sync\n";
+      } else if (!w.divergent() && ptx::is_bar(i)) {
+        out += where + ": waiting at barrier that can never lift\n";
+      }
+    }
+  }
+  return out.empty() ? "stuck for an unidentified reason\n" : out;
+}
+
+std::string to_string(const Choice& c) {
+  if (c.kind == Choice::Kind::ExecWarp) {
+    return "exec(b" + std::to_string(c.block) + ",w" + std::to_string(c.warp) +
+           ")";
+  }
+  return "lift-bar(b" + std::to_string(c.block) + ")";
+}
+
+}  // namespace cac::sem

@@ -1,0 +1,52 @@
+#include "sem/thread.h"
+
+#include "support/bits.h"
+
+namespace cac::sem {
+
+std::uint64_t RegFile::read(const ptx::Reg& r) const {
+  auto it = values_.find(r.key());
+  return it == values_.end() ? 0 : it->second;
+}
+
+std::optional<std::uint64_t> RegFile::read_opt(const ptx::Reg& r) const {
+  auto it = values_.find(r.key());
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RegFile::write(const ptx::Reg& r, std::uint64_t value) {
+  values_[r.key()] = truncate(value, r.width);
+}
+
+void RegFile::mix_hash(Hasher& h) const {
+  h.mix(values_.size());
+  for (const auto& [k, v] : values_) {
+    h.mix(k);
+    h.mix(v);
+  }
+}
+
+bool PredState::read(const ptx::Pred& p) const {
+  auto it = values_.find(p.index);
+  return it != values_.end() && it->second;
+}
+
+void PredState::write(const ptx::Pred& p, bool value) {
+  values_[p.index] = value;
+}
+
+void PredState::mix_hash(Hasher& h) const {
+  h.mix(values_.size());
+  for (const auto& [k, v] : values_) {
+    h.mix((static_cast<std::uint64_t>(k) << 1) | (v ? 1 : 0));
+  }
+}
+
+void Thread::mix_hash(Hasher& h) const {
+  h.mix(tid);
+  rho.mix_hash(h);
+  phi.mix_hash(h);
+}
+
+}  // namespace cac::sem

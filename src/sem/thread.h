@@ -1,0 +1,59 @@
+// Threads (paper §III-7): θ = (tid, ρ, φ) — an enumerated id, a private
+// register file, and a predicate state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptx/operand.h"
+#include "support/hash.h"
+
+namespace cac::sem {
+
+/// The register file ρ : reg -> Z.  Values are stored as canonical
+/// 64-bit bit patterns truncated to the register's width.  Reads of
+/// never-written registers are reported to the caller (the semantics
+/// kernel turns them into uninitialized-read diagnostics) and read as
+/// zero, which matches the all-zero launch state of a register file.
+class RegFile {
+ public:
+  [[nodiscard]] std::uint64_t read(const ptx::Reg& r) const;
+  [[nodiscard]] std::optional<std::uint64_t> read_opt(const ptx::Reg& r) const;
+  void write(const ptx::Reg& r, std::uint64_t value);
+  [[nodiscard]] std::size_t written_count() const { return values_.size(); }
+
+  friend bool operator==(const RegFile&, const RegFile&) = default;
+  void mix_hash(Hasher& h) const;
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> values_;  // Reg::key() -> bits
+};
+
+/// The predicate state φ : N -> B.
+class PredState {
+ public:
+  [[nodiscard]] bool read(const ptx::Pred& p) const;
+  void write(const ptx::Pred& p, bool value);
+
+  friend bool operator==(const PredState&, const PredState&) = default;
+  void mix_hash(Hasher& h) const;
+
+ private:
+  std::map<std::uint16_t, bool> values_;
+};
+
+struct Thread {
+  std::uint32_t tid = 0;  // enumerated global id (paper §III-7)
+  RegFile rho;
+  PredState phi;
+
+  friend bool operator==(const Thread&, const Thread&) = default;
+  void mix_hash(Hasher& h) const;
+};
+
+using ThreadVec = std::vector<Thread>;
+
+}  // namespace cac::sem

@@ -1,0 +1,68 @@
+// Fixed-width integer arithmetic helpers.
+//
+// The PTX model stores every register value as a canonical 64-bit
+// pattern whose bits above the register width are zero.  All arithmetic
+// in the semantics kernel (src/sem/step.cc) goes through these helpers
+// so that wrap-around, sign extension and width truncation behave
+// exactly like the corresponding PTX machine operations.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace cac {
+
+/// All register/datatype widths the model supports, in bits.
+inline constexpr unsigned kWidths[] = {8, 16, 32, 64};
+
+constexpr bool is_valid_width(unsigned w) {
+  return w == 8 || w == 16 || w == 32 || w == 64;
+}
+
+/// Mask with the low `w` bits set (w in [1,64]).
+constexpr std::uint64_t low_mask(unsigned w) {
+  assert(w >= 1 && w <= 64);
+  return w == 64 ? ~0ull : ((1ull << w) - 1);
+}
+
+/// Truncate a value to `w` bits (canonical zero-extended form).
+constexpr std::uint64_t truncate(std::uint64_t v, unsigned w) {
+  return v & low_mask(w);
+}
+
+/// Interpret the low `w` bits of `v` as a signed two's-complement value.
+constexpr std::int64_t to_signed(std::uint64_t v, unsigned w) {
+  assert(is_valid_width(w));
+  const std::uint64_t m = low_mask(w);
+  const std::uint64_t sign_bit = 1ull << (w - 1);
+  v &= m;
+  if (v & sign_bit) return static_cast<std::int64_t>(v | ~m);
+  return static_cast<std::int64_t>(v);
+}
+
+/// Sign-extend the low `w` bits of `v` to a canonical 64-bit pattern of
+/// width `to` (to >= w).
+constexpr std::uint64_t sign_extend(std::uint64_t v, unsigned w, unsigned to) {
+  assert(to >= w);
+  return truncate(static_cast<std::uint64_t>(to_signed(v, w)), to);
+}
+
+/// Arithmetic shift right within width `w`.
+constexpr std::uint64_t ashr(std::uint64_t v, unsigned amount, unsigned w) {
+  if (amount >= w) amount = w - 1;  // PTX clamps shift amounts
+  return truncate(static_cast<std::uint64_t>(to_signed(v, w) >> amount), w);
+}
+
+/// Logical shift right within width `w`.
+constexpr std::uint64_t lshr(std::uint64_t v, unsigned amount, unsigned w) {
+  if (amount >= w) return 0;
+  return truncate(v, w) >> amount;
+}
+
+/// Shift left within width `w`.
+constexpr std::uint64_t shl(std::uint64_t v, unsigned amount, unsigned w) {
+  if (amount >= w) return 0;
+  return truncate(v << amount, w);
+}
+
+}  // namespace cac

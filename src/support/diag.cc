@@ -1,0 +1,16 @@
+#include "support/diag.h"
+
+namespace cac {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<no-loc>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+PtxError::PtxError(SourceLoc loc, const std::string& message)
+    : std::runtime_error(loc.str() + ": " + message), loc_(loc) {}
+
+PtxError::PtxError(const std::string& message)
+    : std::runtime_error(message) {}
+
+}  // namespace cac

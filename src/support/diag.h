@@ -1,0 +1,45 @@
+// Diagnostics: source locations and the error type thrown by the PTX
+// front end (lexer / parser / lowering).  Semantic validation failures
+// are *data* (see src/check) and never use exceptions; exceptions are
+// reserved for malformed input and internal invariant violations.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cac {
+
+/// A position in a PTX source text.  Lines and columns are 1-based;
+/// {0,0} means "no location" (e.g. programmatically built programs).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Error thrown on malformed PTX input or an ill-formed model program.
+class PtxError : public std::runtime_error {
+ public:
+  PtxError(SourceLoc loc, const std::string& message);
+  explicit PtxError(const std::string& message);
+
+  [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Internal invariant violation inside the trusted semantics kernel.
+/// Raised e.g. when a checker asks the kernel to execute an instruction
+/// that no derivation rule covers.
+class KernelError : public std::logic_error {
+ public:
+  explicit KernelError(const std::string& message)
+      : std::logic_error(message) {}
+};
+
+}  // namespace cac

@@ -1,0 +1,60 @@
+// Hashing utilities shared by all state-space memoization code.
+//
+// The exhaustive schedule explorer (src/sched) and the model checker
+// (src/check) memoize visited machine states by hash; these helpers keep
+// the hash construction uniform (64-bit FNV-1a with a boost-style
+// combiner) so that two independently computed hashes of equal states
+// agree across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cac {
+
+/// 64-bit FNV-1a over a byte range.
+constexpr std::uint64_t fnv1a(const void* data, std::size_t n,
+                              std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s,
+                           std::uint64_t seed = 0xcbf29ce484222325ull) {
+  return fnv1a(s.data(), s.size(), seed);
+}
+
+/// Mix a value into an accumulated hash (order-sensitive).
+constexpr void hash_mix(std::uint64_t& h, std::uint64_t v) {
+  // splitmix64-style finalizer on the incoming value, then combine.
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  v ^= v >> 31;
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+/// Accumulator with a fluent interface for hashing structured state.
+class Hasher {
+ public:
+  Hasher& mix(std::uint64_t v) {
+    hash_mix(h_, v);
+    return *this;
+  }
+  Hasher& mix_bytes(const void* data, std::size_t n) {
+    hash_mix(h_, fnv1a(data, n));
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0x243f6a8885a308d3ull;  // pi fractional bits
+};
+
+}  // namespace cac

@@ -1,0 +1,24 @@
+// Small string utilities used by the PTX lexer and the report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cac {
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+}  // namespace cac

@@ -1,0 +1,772 @@
+#include "sym/block_exec.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace cac::sym {
+
+using namespace cac::ptx;
+
+namespace {
+
+struct SymThread {
+  std::uint32_t tid = 0;
+  SymRegs regs;
+};
+
+/// Warp divergence tree over symbolic thread states (the Uni/Div
+/// structure of sem/warp.h, specialized for this engine).
+struct WNode {
+  std::uint32_t pc = 0;
+  std::vector<SymThread> threads;
+  std::unique_ptr<WNode> l, r;
+
+  [[nodiscard]] bool divergent() const { return l != nullptr; }
+  [[nodiscard]] const WNode& leftmost() const {
+    const WNode* n = this;
+    while (n->divergent()) n = n->l.get();
+    return *n;
+  }
+  [[nodiscard]] WNode& leftmost() {
+    WNode* n = this;
+    while (n->divergent()) n = n->l.get();
+    return *n;
+  }
+  [[nodiscard]] std::uint32_t head_pc() const { return leftmost().pc; }
+};
+
+/// Fig. 2 sync over WNode trees.
+std::unique_ptr<WNode> sync_tree(std::unique_ptr<WNode> w) {
+  if (!w->divergent()) {
+    ++w->pc;
+    return w;
+  }
+  auto l = std::move(w->l);
+  auto r = std::move(w->r);
+  if (!l->divergent() && l->threads.empty()) return sync_tree(std::move(r));
+  if (!r->divergent() && r->threads.empty()) return sync_tree(std::move(l));
+  if (!l->divergent() && !r->divergent() && l->pc == r->pc) {
+    auto merged = std::make_unique<WNode>();
+    merged->pc = l->pc + 1;
+    merged->threads = std::move(l->threads);
+    merged->threads.insert(merged->threads.end(),
+                           std::make_move_iterator(r->threads.begin()),
+                           std::make_move_iterator(r->threads.end()));
+    std::sort(merged->threads.begin(), merged->threads.end(),
+              [](const SymThread& a, const SymThread& b) {
+                return a.tid < b.tid;
+              });
+    return merged;
+  }
+  auto out = std::make_unique<WNode>();
+  if (!l->divergent()) {  // rotate
+    out->l = std::move(r);
+    out->r = std::move(l);
+    return out;
+  }
+  out->l = sync_tree(std::move(l));
+  out->r = std::move(r);
+  return out;
+}
+
+/// The block's symbolic memory: region cells with barrier-phase and
+/// writer-warp provenance for the synchronization checks.
+class BlockMemory {
+ public:
+  explicit BlockMemory(TermArena* arena) : arena_(arena) {}
+
+  struct Cell {
+    unsigned bytes;
+    TermRef value;
+    bool written = false;          // false: input var
+    bool atomic = false;           // updated by atomics only
+    std::uint32_t phase = 0;       // barrier phase of the last write
+    std::uint32_t writer_warp = 0;
+  };
+
+  TermRef load(const std::string& region, std::uint64_t offset,
+               unsigned bytes, std::uint32_t warp, std::uint32_t phase,
+               bool shared) {
+    auto it = cells_.find({region, offset});
+    if (it == cells_.end()) {
+      check_overlap(region, offset, bytes);
+      if (shared) {
+        // Shared bytes start invalid and are zero; a barrier commits
+        // them (lift-bar), after which reading the zeros is defined.
+        // Before any barrier the read observes in-flight bytes.
+        if (phase == 0) {
+          throw cac::KernelError(
+              "Shared read of uninitialized/uncommitted bytes "
+              "(no bar.sync has committed them)");
+        }
+        const TermRef z = arena_->konst(0, 8 * bytes);
+        cells_.emplace(std::make_pair(region, offset),
+                       Cell{bytes, z, false, 0, 0});
+        return z;
+      }
+      const TermRef v = arena_->var(
+          region + "[" + std::to_string(offset) + "]", 8 * bytes);
+      cells_.emplace(std::make_pair(region, offset),
+                     Cell{bytes, v, false, 0, 0});
+      return v;
+    }
+    const Cell& c = it->second;
+    if (c.bytes != bytes) {
+      throw cac::KernelError("mixed-granularity access to " + region);
+    }
+    if (c.atomic) {
+      throw cac::KernelError(
+          "plain load of an atomically-updated cell (order-dependent)");
+    }
+    if (c.written && c.writer_warp != warp) {
+      // Cross-warp communication: legal for Shared only across a
+      // barrier; never legal for Global (plain stores never commit).
+      if (!shared) {
+        throw cac::KernelError(
+            "cross-warp Global read-after-write (unsynchronized)");
+      }
+      if (c.phase == phase) {
+        throw cac::KernelError(
+            "Shared read of another warp's uncommitted store "
+            "(missing bar.sync)");
+      }
+    }
+    return c.value;
+  }
+
+  void store(const std::string& region, std::uint64_t offset, unsigned bytes,
+             TermRef value, std::uint32_t warp, std::uint32_t phase,
+             bool shared) {
+    auto it = cells_.find({region, offset});
+    if (it != cells_.end()) {
+      Cell& c = it->second;
+      if (c.bytes != bytes) {
+        throw cac::KernelError("mixed-granularity access to " + region);
+      }
+      if (c.atomic) {
+        throw cac::KernelError(
+            "plain store to an atomically-updated cell (order-dependent)");
+      }
+      if (c.written && c.writer_warp != warp && !(shared && c.phase != phase)) {
+        // Same-phase cross-warp overwrite (or any cross-warp Global
+        // overwrite): the surviving value depends on the warp order.
+        if (c.value != value) {
+          throw cac::KernelError(
+              "cross-warp conflicting stores to " + region + "[" +
+              std::to_string(offset) + "]");
+        }
+      }
+      c.value = arena_->trunc(value, 8 * bytes);
+      c.written = true;
+      c.phase = phase;
+      c.writer_warp = warp;
+      return;
+    }
+    check_overlap(region, offset, bytes);
+    cells_.emplace(std::make_pair(region, offset),
+                   Cell{bytes, arena_->trunc(value, 8 * bytes),
+                        /*written=*/true, /*atomic=*/false, phase, warp});
+  }
+
+  /// Current value for an atomic read-modify-write; creates the input
+  /// variable on first touch (the cell's launch-time contents).
+  TermRef load_for_atomic(const std::string& region, std::uint64_t offset,
+                          unsigned bytes, std::uint32_t phase, bool shared) {
+    auto it = cells_.find({region, offset});
+    if (it == cells_.end()) {
+      check_overlap(region, offset, bytes);
+      if (shared && phase == 0) {
+        throw cac::KernelError(
+            "Shared atomic on uninitialized/uncommitted bytes");
+      }
+      const TermRef v =
+          shared ? arena_->konst(0, 8 * bytes)
+                 : arena_->var(region + "[" + std::to_string(offset) + "]",
+                               8 * bytes);
+      cells_.emplace(std::make_pair(region, offset),
+                     Cell{bytes, v, false, false, 0, 0});
+      return v;
+    }
+    Cell& c = it->second;
+    if (c.bytes != bytes) {
+      throw cac::KernelError("mixed-granularity access to " + region);
+    }
+    if (c.written && !c.atomic) {
+      throw cac::KernelError(
+          "atomic on a plainly-written cell (order-dependent)");
+    }
+    return c.value;
+  }
+
+  void store_atomic(const std::string& region, std::uint64_t offset,
+                    unsigned bytes, TermRef value) {
+    Cell& c = cells_.at({region, offset});  // load_for_atomic ran first
+    c.value = arena_->trunc(value, 8 * bytes);
+    c.written = true;
+    c.atomic = true;
+  }
+
+  [[nodiscard]] std::vector<SymWrite> writes() const {
+    std::vector<SymWrite> out;
+    for (const auto& [key, c] : cells_) {
+      if (c.written) out.push_back({key.first, key.second, c.bytes, c.value});
+    }
+    return out;
+  }
+
+ private:
+  void check_overlap(const std::string& region, std::uint64_t offset,
+                     unsigned bytes) const {
+    auto it = cells_.lower_bound({region, offset > 8 ? offset - 8 : 0});
+    for (; it != cells_.end(); ++it) {
+      const auto& [key, cell] = *it;
+      if (key.first != region || key.second >= offset + bytes) break;
+      if (key.second + cell.bytes > offset && key.second < offset + bytes &&
+          !(key.second == offset && cell.bytes == bytes)) {
+        throw cac::KernelError("mixed-granularity access to " + region);
+      }
+    }
+  }
+
+  TermArena* arena_;
+  std::map<std::pair<std::string, std::uint64_t>, Cell> cells_;
+};
+
+class BlockExec {
+ public:
+  BlockExec(const Program& prg, const sem::KernelConfig& kc,
+            std::uint32_t block, const SymEnv& env,
+            const BlockExecOptions& opts)
+      : prg_(prg), kc_(kc), block_(block), env_(env), opts_(opts),
+        arena_(*env.arena), mem_(env.arena) {}
+
+  BlockSummary run() {
+    BlockSummary summary;
+    try {
+      init_warps();
+      while (!all_complete()) {
+        if (summary.steps >= opts_.max_steps) {
+          throw cac::KernelError("step bound exceeded (symbolic loop?)");
+        }
+        const std::size_t w = pick_warp();
+        if (w == warps_.size()) {
+          // No executable warp: lift-bar or deadlock.
+          if (all_uniform_at_bar()) {
+            ++phase_;
+            ++summary.barriers;
+            for (auto& warp : warps_) ++warp->pc;
+            ++summary.steps;
+            continue;
+          }
+          throw cac::KernelError(
+              "block is stuck (barrier divergence or mixed Bar/Exit)");
+        }
+        step_warp(static_cast<std::uint32_t>(w));
+        ++summary.steps;
+      }
+      summary.writes = mem_.writes();
+      // An atomic's fetched old value is schedule-dependent; a final
+      // store derived from one would make the result order-dependent.
+      for (const SymWrite& w : summary.writes) {
+        if (contains_poisoned(w.value)) {
+          throw cac::KernelError(
+              "a store depends on an atomic's fetched old value "
+              "(schedule-dependent)");
+        }
+      }
+      summary.ok = true;
+      std::sort(summary.writes.begin(), summary.writes.end());
+    } catch (const cac::KernelError& e) {
+      summary.failure = e.what();
+    }
+    return summary;
+  }
+
+ private:
+  void init_warps() {
+    const std::uint32_t tpb = kc_.threads_per_block();
+    for (std::uint32_t t = 0; t < tpb; t += kc_.warp_size) {
+      auto w = std::make_unique<WNode>();
+      w->pc = 0;
+      const std::uint32_t n = std::min(kc_.warp_size, tpb - t);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        SymThread th;
+        th.tid = sem::linear_tid(kc_, block_, t + i);
+        w->threads.push_back(std::move(th));
+      }
+      warps_.push_back(std::move(w));
+    }
+  }
+
+  [[nodiscard]] bool warp_complete(const WNode& w) const {
+    return !w.divergent() && is_exit(prg_.fetch(w.pc));
+  }
+
+  [[nodiscard]] bool all_complete() const {
+    return std::all_of(warps_.begin(), warps_.end(),
+                       [&](const auto& w) { return warp_complete(*w); });
+  }
+
+  [[nodiscard]] bool all_uniform_at_bar() const {
+    return std::all_of(warps_.begin(), warps_.end(), [&](const auto& w) {
+      return !w->divergent() && is_bar(prg_.fetch(w->pc));
+    });
+  }
+
+  /// First warp whose next instruction is executable.
+  [[nodiscard]] std::size_t pick_warp() const {
+    for (std::size_t i = 0; i < warps_.size(); ++i) {
+      const Instr& instr = prg_.fetch(warps_[i]->head_pc());
+      if (!is_bar(instr) && !is_exit(instr)) return i;
+    }
+    return warps_.size();
+  }
+
+  // ---- operand evaluation (concrete tid, symbolic data) ----
+
+  TermRef operand(const SymThread& t, const Operand& op) {
+    struct V {
+      BlockExec& x;
+      const SymThread& t;
+      TermRef operator()(const Reg& r) const {
+        return t.regs.read(x.arena_, r);
+      }
+      TermRef operator()(const Sreg& s) const {
+        return x.arena_.konst(sem::sreg_aux(x.kc_, t.tid, s), 32);
+      }
+      TermRef operator()(const Imm& i) const {
+        return x.arena_.konst(static_cast<std::uint64_t>(i.value), 64);
+      }
+      TermRef operator()(const RegImm& ri) const {
+        return x.arena_.add(
+            x.arena_.zext(t.regs.read(x.arena_, ri.reg), 64),
+            x.arena_.konst(static_cast<std::uint64_t>(ri.offset), 64));
+      }
+    };
+    return std::visit(V{*this, t}, op);
+  }
+
+  TermRef operand_at(const SymThread& t, const Operand& op, unsigned w) {
+    return arena_.resize(operand(t, op), w, false);
+  }
+
+  void write_reg(SymThread& t, const Reg& r, TermRef v) {
+    t.regs.rho[r.key()] = arena_.resize(v, r.width, false);
+  }
+
+  std::pair<std::string, std::uint64_t> resolve(Space space, TermRef addr,
+                                                bool* shared) {
+    *shared = space == Space::Shared;
+    const LinearForm lf = arena_.linear_form(addr);
+    if (!lf.base) {
+      return {*shared ? "shared" : "@" + ptx::to_string(space), lf.offset};
+    }
+    const TermNode& base = arena_.node(*lf.base);
+    if (base.op == Op::Var) {
+      const std::string& name = arena_.var_name(*lf.base);
+      if (!*shared && env_.pointer_params.count(name)) {
+        return {name, lf.offset};
+      }
+    }
+    throw cac::KernelError("unresolvable symbolic address: " +
+                           arena_.to_string(addr));
+  }
+
+  // ---- one warp step (Fig. 1, symbolic) ----
+
+  void step_warp(std::uint32_t wi) {
+    WNode& root = *warps_[wi];
+    const Instr& instr = prg_.fetch(root.head_pc());
+
+    if (is_sync(instr)) {
+      warps_[wi] = sync_tree(std::move(warps_[wi]));
+      return;
+    }
+    WNode& leaf = root.leftmost();
+    exec_leaf(wi, leaf, instr);
+  }
+
+  void exec_leaf(std::uint32_t wi, WNode& leaf, const Instr& instr) {
+    const std::uint32_t pc = leaf.pc;
+    ++leaf.pc;  // default: fall through
+
+    if (std::holds_alternative<INop>(instr)) return;
+
+    if (const auto* i = std::get_if<IBop>(&instr)) {
+      const unsigned w = i->type.width;
+      const bool sgn = i->type.is_signed();
+      for (SymThread& t : leaf.threads) {
+        const TermRef a = operand_at(t, i->a, w);
+        const TermRef b = operand_at(t, i->b, w);
+        TermRef v = 0;
+        switch (i->op) {
+          case BinOp::Add: v = arena_.add(a, b); break;
+          case BinOp::Sub: v = arena_.sub(a, b); break;
+          case BinOp::Mul: v = arena_.mul(a, b); break;
+          case BinOp::MulHi: v = arena_.mul_hi(a, b, sgn); break;
+          case BinOp::MulWide: {
+            const unsigned ww = w >= 64 ? 64 : 2 * w;
+            v = arena_.mul(arena_.resize(a, ww, sgn),
+                           arena_.resize(b, ww, sgn));
+            break;
+          }
+          case BinOp::Div: v = arena_.div(a, b, sgn); break;
+          case BinOp::Rem: v = arena_.rem(a, b, sgn); break;
+          case BinOp::Min: v = arena_.min(a, b, sgn); break;
+          case BinOp::Max: v = arena_.max(a, b, sgn); break;
+          case BinOp::And: v = arena_.band(a, b); break;
+          case BinOp::Or: v = arena_.bor(a, b); break;
+          case BinOp::Xor: v = arena_.bxor(a, b); break;
+          case BinOp::Shl: v = arena_.shl(a, b); break;
+          case BinOp::Shr:
+            v = sgn ? arena_.ashr(a, b) : arena_.lshr(a, b);
+            break;
+        }
+        write_reg(t, i->dst, v);
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<ITop>(&instr)) {
+      const unsigned w = i->type.width;
+      const bool sgn = i->type.is_signed();
+      for (SymThread& t : leaf.threads) {
+        const TermRef a = operand_at(t, i->a, w);
+        const TermRef b = operand_at(t, i->b, w);
+        if (i->op == TerOp::MadLo) {
+          write_reg(t, i->dst,
+                    arena_.add(arena_.mul(a, b), operand_at(t, i->c, w)));
+        } else {
+          const unsigned ww = w >= 64 ? 64 : 2 * w;
+          write_reg(t, i->dst,
+                    arena_.add(arena_.mul(arena_.resize(a, ww, sgn),
+                                          arena_.resize(b, ww, sgn)),
+                               operand_at(t, i->c, ww)));
+        }
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<IUop>(&instr)) {
+      for (SymThread& t : leaf.threads) {
+        const TermRef a =
+            arena_.resize(operand(t, i->a), i->type.width, false);
+        switch (i->op) {
+          case UnOp::Not: write_reg(t, i->dst, arena_.bnot(a)); break;
+          case UnOp::Neg: write_reg(t, i->dst, arena_.neg(a)); break;
+          case UnOp::Cvt:
+            write_reg(t, i->dst,
+                      arena_.resize(a, i->dst.width, i->type.is_signed()));
+            break;
+          case UnOp::Abs:
+            write_reg(t, i->dst,
+                      arena_.ite(arena_.lt(a, arena_.konst(0, i->type.width),
+                                           true),
+                                 arena_.neg(a), a));
+            break;
+          case UnOp::Popc: write_reg(t, i->dst, arena_.popc(a)); break;
+          case UnOp::Clz: write_reg(t, i->dst, arena_.clz(a)); break;
+          case UnOp::Brev: write_reg(t, i->dst, arena_.brev(a)); break;
+        }
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<IMov>(&instr)) {
+      for (SymThread& t : leaf.threads) {
+        write_reg(t, i->dst,
+                  arena_.resize(operand(t, i->src), i->dst.width, false));
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<ILd>(&instr)) {
+      for (SymThread& t : leaf.threads) {
+        if (i->space == Space::Param) {
+          const auto off = arena_.const_value(
+              arena_.resize(operand(t, i->addr), 64, false));
+          if (!off) throw cac::KernelError("symbolic Param address");
+          bool found = false;
+          for (const ParamSlot& p : prg_.params()) {
+            if (p.offset == *off) {
+              auto it = env_.params.find(p.name);
+              if (it == env_.params.end()) break;
+              write_reg(t, i->dst,
+                        arena_.resize(it->second, i->dst.width,
+                                      i->type.is_signed()));
+              found = true;
+              break;
+            }
+          }
+          if (!found) throw cac::KernelError("Param load from unbound slot");
+          continue;
+        }
+        bool shared = false;
+        const auto [region, offset] = resolve(
+            i->space, arena_.resize(operand(t, i->addr), 64, false),
+            &shared);
+        const TermRef raw =
+            mem_.load(region, offset, i->type.bytes(), wi, phase_, shared);
+        write_reg(t, i->dst,
+                  arena_.resize(raw, i->dst.width, i->type.is_signed()));
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<ISt>(&instr)) {
+      if (i->space == Space::Const || i->space == Space::Param) {
+        throw cac::KernelError("store to read-only space");
+      }
+      for (SymThread& t : leaf.threads) {
+        bool shared = false;
+        const auto [region, offset] = resolve(
+            i->space, arena_.resize(operand(t, i->addr), 64, false),
+            &shared);
+        mem_.store(region, offset, i->type.bytes(),
+                   arena_.resize(t.regs.read(arena_, i->src),
+                                 8 * i->type.bytes(), false),
+                   wi, phase_, shared);
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<IBra>(&instr)) {
+      leaf.pc = i->target;
+      return;
+    }
+    if (const auto* i = std::get_if<ISetp>(&instr)) {
+      const unsigned w = i->type.width;
+      const bool sgn = i->type.is_signed();
+      for (SymThread& t : leaf.threads) {
+        const TermRef a = operand_at(t, i->a, w);
+        const TermRef b = operand_at(t, i->b, w);
+        TermRef p = 0;
+        switch (i->cmp) {
+          case CmpOp::Eq: p = arena_.eq(a, b); break;
+          case CmpOp::Ne: p = arena_.ne(a, b); break;
+          case CmpOp::Lt: p = arena_.lt(a, b, sgn); break;
+          case CmpOp::Le: p = arena_.le(a, b, sgn); break;
+          case CmpOp::Gt: p = arena_.gt(a, b, sgn); break;
+          case CmpOp::Ge: p = arena_.ge(a, b, sgn); break;
+        }
+        t.regs.phi[i->dst.index] = p;
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<IPBra>(&instr)) {
+      std::vector<SymThread> taken, fall;
+      for (SymThread& t : leaf.threads) {
+        TermRef p = t.regs.read_pred(arena_, i->pred);
+        if (i->negated) p = arena_.lnot(p);
+        const auto c = arena_.const_value(p);
+        if (!c) {
+          throw cac::KernelError(
+              "symbolic branch predicate outside the block fragment "
+              "(bind the relevant parameters concretely)");
+        }
+        (*c ? taken : fall).push_back(std::move(t));
+      }
+      if (taken.empty()) {
+        leaf.threads = std::move(fall);  // pc already advanced
+      } else if (fall.empty()) {
+        leaf.threads = std::move(taken);
+        leaf.pc = i->target;
+      } else {
+        auto left = std::make_unique<WNode>();
+        left->pc = pc + 1;
+        left->threads = std::move(fall);
+        auto right = std::make_unique<WNode>();
+        right->pc = i->target;
+        right->threads = std::move(taken);
+        leaf.threads.clear();
+        leaf.l = std::move(left);
+        leaf.r = std::move(right);
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<ISelp>(&instr)) {
+      const unsigned w = i->type.width;
+      for (SymThread& t : leaf.threads) {
+        const TermRef a = operand_at(t, i->a, w);
+        const TermRef b = operand_at(t, i->b, w);
+        write_reg(t, i->dst,
+                  arena_.ite(t.regs.read_pred(arena_, i->pred), a, b));
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<IVote>(&instr)) {
+      // Votes need the whole warp's lanes: require a uniform warp (the
+      // concrete kernel faults in a divergent one too).
+      if (warps_[wi]->divergent()) {
+        throw cac::KernelError("vote in a divergent warp");
+      }
+      TermRef all = arena_.tru();
+      TermRef any = arena_.fls();
+      TermRef ballot = arena_.konst(0, 32);
+      for (std::size_t k = 0; k < leaf.threads.size(); ++k) {
+        const TermRef p = leaf.threads[k].regs.read_pred(arena_, i->src);
+        all = arena_.band(all, p);
+        any = arena_.bor(any, p);
+        if (k < 32) {
+          ballot = arena_.bor(
+              ballot, arena_.ite(p, arena_.konst(1u << k, 32),
+                                 arena_.konst(0, 32)));
+        }
+      }
+      for (SymThread& t : leaf.threads) {
+        switch (i->mode) {
+          case VoteMode::All: t.regs.phi[i->dst.index] = all; break;
+          case VoteMode::Any: t.regs.phi[i->dst.index] = any; break;
+          case VoteMode::Ballot: write_reg(t, i->dst_ballot, ballot); break;
+        }
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<IShfl>(&instr)) {
+      if (warps_[wi]->divergent()) {
+        throw cac::KernelError("shfl in a divergent warp");
+      }
+      const auto n = static_cast<std::uint32_t>(leaf.threads.size());
+      std::vector<TermRef> lanes(n);
+      for (std::uint32_t k = 0; k < n; ++k) {
+        lanes[k] = leaf.threads[k].regs.read(arena_, i->src);
+      }
+      for (std::uint32_t k = 0; k < n; ++k) {
+        SymThread& t = leaf.threads[k];
+        const auto lane_arg = arena_.const_value(
+            arena_.resize(operand(t, i->lane), 32, false));
+        if (!lane_arg) {
+          throw cac::KernelError("symbolic shfl lane outside the fragment");
+        }
+        std::uint32_t j = k;
+        switch (i->mode) {
+          case ShflMode::Idx: j = static_cast<std::uint32_t>(*lane_arg); break;
+          case ShflMode::Up:
+            j = *lane_arg <= k ? k - static_cast<std::uint32_t>(*lane_arg)
+                               : k;
+            break;
+          case ShflMode::Down:
+            j = k + *lane_arg < n
+                    ? k + static_cast<std::uint32_t>(*lane_arg)
+                    : k;
+            break;
+          case ShflMode::Bfly:
+            j = k ^ static_cast<std::uint32_t>(*lane_arg);
+            break;
+        }
+        write_reg(t, i->dst,
+                  arena_.resize(j < n ? lanes[j] : lanes[k],
+                                i->type.width, false));
+      }
+      return;
+    }
+    if (const auto* i = std::get_if<IAtom>(&instr)) {
+      // Commutative-associative atomics are schedule-independent in
+      // their *memory* effect: any update order folds to the same
+      // value (mod AC), so the engine's canonical thread order proves
+      // the result for every schedule.  The fetched old value IS
+      // order-dependent; it is returned as an opaque fresh variable,
+      // and using it in any later store is rejected (see ISt).
+      const unsigned w = i->type.width;
+      const bool sgn = i->type.is_signed();
+      for (SymThread& t : leaf.threads) {
+        bool shared = false;
+        const auto [region, offset] = resolve(
+            i->space, arena_.resize(operand(t, i->addr), 64, false),
+            &shared);
+        const TermRef old = mem_.load_for_atomic(region, offset,
+                                                 i->type.bytes(), phase_,
+                                                 shared);
+        const TermRef b = operand_at(t, i->b, w);
+        TermRef nv = 0;
+        switch (i->op) {
+          case AtomOp::Add: nv = arena_.add(old, b); break;
+          case AtomOp::Min: nv = arena_.min(old, b, sgn); break;
+          case AtomOp::Max: nv = arena_.max(old, b, sgn); break;
+          case AtomOp::And: nv = arena_.band(old, b); break;
+          case AtomOp::Or: nv = arena_.bor(old, b); break;
+          case AtomOp::Xor: nv = arena_.bxor(old, b); break;
+          case AtomOp::Exch:
+          case AtomOp::Cas:
+            throw cac::KernelError(
+                "non-commutative atomic outside the block fragment");
+        }
+        mem_.store_atomic(region, offset, i->type.bytes(),
+                          arena_.resize(nv, 8 * i->type.bytes(), false));
+        const TermRef opaque = arena_.var(
+            "atom_old#" + std::to_string(atom_counter_++), w);
+        poisoned_.push_back(opaque);
+        write_reg(t, i->dst, arena_.resize(opaque, i->dst.width, sgn));
+      }
+      return;
+    }
+    throw cac::KernelError("unhandled instruction in block execution");
+  }
+
+  const Program& prg_;
+  const sem::KernelConfig& kc_;
+  std::uint32_t block_;
+  const SymEnv& env_;
+  const BlockExecOptions& opts_;
+  TermArena& arena_;
+  BlockMemory mem_;
+  std::vector<std::unique_ptr<WNode>> warps_;
+  std::uint32_t phase_ = 0;
+  std::uint32_t atom_counter_ = 0;
+  std::vector<TermRef> poisoned_;  // opaque atomic old-value variables
+
+ public:
+  /// Does the term's DAG mention any poisoned variable?
+  bool contains_poisoned(TermRef t) {
+    if (poisoned_.empty()) return false;
+    auto it = poison_memo_.find(t);
+    if (it != poison_memo_.end()) return it->second;
+    const TermNode& n = arena_.node(t);
+    bool found = false;
+    switch (n.op) {
+      case Op::Const:
+        break;
+      case Op::Var:
+        found = std::find(poisoned_.begin(), poisoned_.end(), t) !=
+                poisoned_.end();
+        break;
+      case Op::Not:
+      case Op::Neg:
+      case Op::Popc:
+      case Op::Clz:
+      case Op::Brev:
+      case Op::ZExt:
+      case Op::SExt:
+      case Op::Trunc:
+        found = contains_poisoned(n.a);
+        break;
+      case Op::Ite:
+        found = contains_poisoned(n.a) || contains_poisoned(n.b) ||
+                contains_poisoned(n.c);
+        break;
+      default:  // binary
+        found = contains_poisoned(n.a) || contains_poisoned(n.b);
+        break;
+    }
+    poison_memo_[t] = found;
+    return found;
+  }
+
+ private:
+  std::map<TermRef, bool> poison_memo_;
+};
+
+}  // namespace
+
+std::vector<SymWrite> BlockSummary::writes_to(
+    const std::string& region) const {
+  std::vector<SymWrite> out;
+  for (const SymWrite& w : writes) {
+    if (w.region == region) out.push_back(w);
+  }
+  return out;
+}
+
+BlockSummary sym_execute_block(const ptx::Program& prg,
+                               const sem::KernelConfig& kc,
+                               std::uint32_t block_index, const SymEnv& env,
+                               const BlockExecOptions& opts) {
+  return BlockExec(prg, kc, block_index, env, opts).run();
+}
+
+}  // namespace cac::sym

@@ -1,0 +1,64 @@
+// Block-level symbolic execution: barriers and Shared memory,
+// symbolically.
+//
+// The per-thread engine (exec.h) covers the unsynchronized fragment.
+// This engine covers the *barrier-synchronized* fragment: one thread
+// block whose control flow is concrete (predicates must evaluate to
+// constants — tids are concrete and loop bounds/launch parameters may
+// be bound concretely; the *data* stays symbolic).  It mirrors the
+// Fig. 1/Fig. 3 rules directly:
+//
+//  * warps execute in lock-step over vectors of symbolic thread
+//    states, diverging and reconverging through the same Uni/Div tree
+//    discipline (concrete splits only);
+//  * warps of the block run phase by phase: a warp executes until it
+//    reaches Bar or Exit, then the next; when all warps sit at Bar,
+//    the barrier lifts (lift-bar) and the phase counter advances;
+//  * Shared cells carry a symbolic valid bit = the barrier phase that
+//    committed them.  A load of a cell written in the *current* phase
+//    by a *different* warp is unsynchronized — exactly what the
+//    paper's valid-bit discipline flags — and fails the proof (within
+//    one warp, lock-step program order makes it deterministic, so own
+//    or same-warp data is fine).  The same check makes the sequential
+//    warp order used here sound: if no unsynchronized read occurs,
+//    warp interleaving within a phase cannot matter.
+//
+// The result is the block's final write set as terms over the
+// symbolic inputs — e.g. the tree-reduction's
+//   out[0] = ((A0+A4)+(A2+A6)) + ((A1+A5)+(A3+A7))
+// proved for arbitrary A (tests/sym/block_exec_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptx/program.h"
+#include "sem/config.h"
+#include "sym/exec.h"
+
+namespace cac::sym {
+
+struct BlockSummary {
+  bool ok = false;
+  std::string failure;          // why the fragment was left, if !ok
+  std::vector<SymWrite> writes; // final Global+Shared stores (terms)
+  std::uint64_t steps = 0;
+  std::uint64_t barriers = 0;   // lift-bar applications
+
+  /// Writes restricted to one region, canonical order.
+  [[nodiscard]] std::vector<SymWrite> writes_to(
+      const std::string& region) const;
+};
+
+struct BlockExecOptions {
+  std::uint64_t max_steps = 1u << 16;
+};
+
+/// Symbolically execute block `block_index` of the launch.
+BlockSummary sym_execute_block(const ptx::Program& prg,
+                               const sem::KernelConfig& kc,
+                               std::uint32_t block_index, const SymEnv& env,
+                               const BlockExecOptions& opts = {});
+
+}  // namespace cac::sym

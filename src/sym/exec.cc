@@ -1,0 +1,388 @@
+#include "sym/exec.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cac::sym {
+
+using namespace cac::ptx;
+
+SymEnv SymEnv::symbolic(TermArena& arena, const ptx::Program& prg) {
+  SymEnv env;
+  env.arena = &arena;
+  for (const ParamSlot& p : prg.params()) {
+    env.params[p.name] = arena.var(p.name, p.type.width);
+    if (p.type.width == 64) env.pointer_params.insert(p.name);
+  }
+  return env;
+}
+
+void SymEnv::bind(const ptx::Program& prg, const std::string& name,
+                  std::uint64_t value) {
+  const ParamSlot& slot = prg.param(name);
+  params[name] = arena->konst(value, slot.type.width);
+  pointer_params.erase(name);
+}
+
+namespace {
+
+struct PathState {
+  std::uint32_t pc = 0;
+  TermRef cond;  // width-1
+  SymRegs regs;
+  SymMemory mem;
+  std::uint64_t steps = 0;
+};
+
+class ThreadExec {
+ public:
+  ThreadExec(const Program& prg, const sem::KernelConfig& kc,
+             std::uint32_t tid, const SymEnv& env,
+             const SymExecOptions& opts)
+      : prg_(prg), kc_(kc), tid_(tid), env_(env), opts_(opts),
+        arena_(*env.arena) {}
+
+  ThreadSummary run() {
+    ThreadSummary summary;
+    summary.tid = tid_;
+    std::deque<PathState> work;
+    work.push_back(PathState{0, arena_.tru(), {}, SymMemory(&arena_), 0});
+
+    while (!work.empty()) {
+      PathState st = std::move(work.front());
+      work.pop_front();
+      std::string failure;
+      bool exited = false;
+      try {
+        while (!exited) {
+          if (st.steps >= opts_.max_steps) {
+            failure = "step bound exceeded (symbolic loop?)";
+            break;
+          }
+          const Instr& instr = prg_.fetch(st.pc);
+          ++st.steps;
+          StepOut out = exec(st, instr);
+          if (out.kind == StepOut::Kind::Exit) {
+            exited = true;
+          } else if (out.kind == StepOut::Kind::Fork) {
+            if (summary.paths.size() + work.size() + 2 > opts_.max_paths) {
+              failure = "path bound exceeded";
+              break;
+            }
+            // Queue the branch-taken side; continue the fall-through.
+            PathState taken = st;
+            taken.pc = out.fork_target;
+            taken.cond = arena_.band(st.cond, out.fork_cond);
+            st.pc = out.fall_pc;
+            st.cond = arena_.band(st.cond, arena_.lnot(out.fork_cond));
+            // Prune syntactically-infeasible sides.
+            if (const auto c = arena_.const_value(taken.cond); !c || *c) {
+              work.push_back(std::move(taken));
+            }
+            if (const auto c = arena_.const_value(st.cond); c && !*c) {
+              failure = "(infeasible)";  // dead fall-through, drop silently
+              break;
+            }
+          }
+        }
+      } catch (const cac::KernelError& e) {
+        failure = e.what();
+      }
+      if (failure == "(infeasible)") continue;
+      SymPath path;
+      path.cond = st.cond;
+      path.writes = st.mem.writes();
+      path.regs = std::move(st.regs);
+      path.steps = st.steps;
+      path.exited = exited;
+      path.failure = std::move(failure);
+      summary.paths.push_back(std::move(path));
+    }
+    // Canonical order: by path-condition ref, so equal summaries align.
+    std::sort(summary.paths.begin(), summary.paths.end(),
+              [](const SymPath& a, const SymPath& b) {
+                return a.cond < b.cond;
+              });
+    return summary;
+  }
+
+ private:
+  struct StepOut {
+    enum class Kind : std::uint8_t { Next, Exit, Fork };
+    Kind kind = Kind::Next;
+    TermRef fork_cond = 0;
+    std::uint32_t fork_target = 0;
+    std::uint32_t fall_pc = 0;
+  };
+
+  TermRef operand(PathState& st, const Operand& op) {
+    struct V {
+      ThreadExec& x;
+      PathState& st;
+      TermRef operator()(const Reg& r) const {
+        return st.regs.read(x.arena_, r);
+      }
+      TermRef operator()(const Sreg& s) const {
+        return x.arena_.konst(sem::sreg_aux(x.kc_, x.tid_, s), 32);
+      }
+      TermRef operator()(const Imm& i) const {
+        return x.arena_.konst(static_cast<std::uint64_t>(i.value), 64);
+      }
+      TermRef operator()(const RegImm& ri) const {
+        const TermRef base = st.regs.read(x.arena_, ri.reg);
+        return x.arena_.add(
+            x.arena_.zext(base, 64),
+            x.arena_.konst(static_cast<std::uint64_t>(ri.offset), 64));
+      }
+    };
+    return std::visit(V{*this, st}, op);
+  }
+
+  /// Operand value coerced to the instruction width (canonical
+  /// zero-extended form, like the concrete kernel's truncate).
+  TermRef operand_at(PathState& st, const Operand& op, unsigned w) {
+    return arena_.resize(operand(st, op), w, /*sgn=*/false);
+  }
+
+  void write_reg(PathState& st, const Reg& r, TermRef v) {
+    st.regs.rho[r.key()] = arena_.resize(v, r.width, false);
+  }
+
+  /// Resolve an address term to (region, concrete offset).
+  std::pair<std::string, std::uint64_t> resolve(Space space, TermRef addr) {
+    if (space == Space::Shared) {
+      throw cac::KernelError(
+          "Shared-space access outside the symbolic fragment");
+    }
+    const LinearForm lf = arena_.linear_form(addr);
+    if (!lf.base) {
+      return {"@" + ptx::to_string(space), lf.offset};
+    }
+    const TermNode& base = arena_.node(*lf.base);
+    if (base.op == Op::Var) {
+      const std::string& name = arena_.var_name(*lf.base);
+      if (env_.pointer_params.count(name)) return {name, lf.offset};
+    }
+    throw cac::KernelError("unresolvable symbolic address: " +
+                           arena_.to_string(addr));
+  }
+
+  StepOut exec(PathState& st, const Instr& instr) {
+    StepOut out;
+    const std::uint32_t pc = st.pc;
+    ++st.pc;  // default: fall through
+
+    if (const auto* i = std::get_if<IBop>(&instr)) {
+      const unsigned w = i->type.width;
+      const bool sgn = i->type.is_signed();
+      const TermRef a = operand_at(st, i->a, w);
+      const TermRef b = operand_at(st, i->b, w);
+      TermRef v = 0;
+      switch (i->op) {
+        case BinOp::Add: v = arena_.add(a, b); break;
+        case BinOp::Sub: v = arena_.sub(a, b); break;
+        case BinOp::Mul: v = arena_.mul(a, b); break;
+        case BinOp::MulHi: v = arena_.mul_hi(a, b, sgn); break;
+        case BinOp::MulWide: {
+          const unsigned ww = w >= 64 ? 64 : 2 * w;
+          v = arena_.mul(arena_.resize(a, ww, sgn), arena_.resize(b, ww, sgn));
+          break;
+        }
+        case BinOp::Div: v = arena_.div(a, b, sgn); break;
+        case BinOp::Rem: v = arena_.rem(a, b, sgn); break;
+        case BinOp::Min: v = arena_.min(a, b, sgn); break;
+        case BinOp::Max: v = arena_.max(a, b, sgn); break;
+        case BinOp::And: v = arena_.band(a, b); break;
+        case BinOp::Or: v = arena_.bor(a, b); break;
+        case BinOp::Xor: v = arena_.bxor(a, b); break;
+        case BinOp::Shl: v = arena_.shl(a, b); break;
+        case BinOp::Shr:
+          v = sgn ? arena_.ashr(a, b) : arena_.lshr(a, b);
+          break;
+      }
+      write_reg(st, i->dst, v);
+      return out;
+    }
+    if (const auto* i = std::get_if<ITop>(&instr)) {
+      const unsigned w = i->type.width;
+      const bool sgn = i->type.is_signed();
+      const TermRef a = operand_at(st, i->a, w);
+      const TermRef b = operand_at(st, i->b, w);
+      if (i->op == TerOp::MadLo) {
+        const TermRef c = operand_at(st, i->c, w);
+        write_reg(st, i->dst, arena_.add(arena_.mul(a, b), c));
+      } else {  // MadWide
+        const unsigned ww = w >= 64 ? 64 : 2 * w;
+        const TermRef c = operand_at(st, i->c, ww);
+        write_reg(st, i->dst,
+                  arena_.add(arena_.mul(arena_.resize(a, ww, sgn),
+                                        arena_.resize(b, ww, sgn)),
+                             c));
+      }
+      return out;
+    }
+    if (const auto* i = std::get_if<IUop>(&instr)) {
+      const TermRef raw = operand(st, i->a);
+      const TermRef a = arena_.resize(raw, i->type.width, false);
+      switch (i->op) {
+        case UnOp::Not:
+          write_reg(st, i->dst, arena_.bnot(a));
+          break;
+        case UnOp::Neg:
+          write_reg(st, i->dst, arena_.neg(a));
+          break;
+        case UnOp::Cvt:
+          write_reg(st, i->dst,
+                    arena_.resize(a, i->dst.width, i->type.is_signed()));
+          break;
+        case UnOp::Abs: {
+          const TermRef zero = arena_.konst(0, i->type.width);
+          write_reg(st, i->dst,
+                    arena_.ite(arena_.lt(a, zero, true), arena_.neg(a), a));
+          break;
+        }
+        case UnOp::Popc:
+          write_reg(st, i->dst, arena_.popc(a));
+          break;
+        case UnOp::Clz:
+          write_reg(st, i->dst, arena_.clz(a));
+          break;
+        case UnOp::Brev:
+          write_reg(st, i->dst, arena_.brev(a));
+          break;
+      }
+      return out;
+    }
+    if (const auto* i = std::get_if<IMov>(&instr)) {
+      write_reg(st, i->dst, arena_.resize(operand(st, i->src),
+                                          i->dst.width, false));
+      return out;
+    }
+    if (const auto* i = std::get_if<ILd>(&instr)) {
+      if (i->space == Space::Param) {
+        // Param loads resolve to the symbolic launch environment.
+        const TermRef addr = operand(st, i->addr);
+        const auto off = arena_.const_value(arena_.resize(addr, 64, false));
+        if (!off) throw cac::KernelError("symbolic Param address");
+        for (const ParamSlot& p : prg_.params()) {
+          if (p.offset == *off) {
+            auto it = env_.params.find(p.name);
+            if (it == env_.params.end()) break;
+            write_reg(st, i->dst,
+                      arena_.resize(it->second, i->dst.width,
+                                    i->type.is_signed()));
+            return out;
+          }
+        }
+        throw cac::KernelError("Param load from unbound offset " +
+                               std::to_string(*off));
+      }
+      const TermRef addr = arena_.resize(operand(st, i->addr), 64, false);
+      const auto [region, offset] = resolve(i->space, addr);
+      const TermRef raw = st.mem.load(region, offset, i->type.bytes());
+      write_reg(st, i->dst,
+                arena_.resize(raw, i->dst.width, i->type.is_signed()));
+      return out;
+    }
+    if (const auto* i = std::get_if<ISt>(&instr)) {
+      if (i->space == Space::Const || i->space == Space::Param) {
+        throw cac::KernelError("store to read-only space");
+      }
+      const TermRef addr = arena_.resize(operand(st, i->addr), 64, false);
+      const auto [region, offset] = resolve(i->space, addr);
+      const TermRef v = st.regs.read(arena_, i->src);
+      st.mem.store(region, offset, i->type.bytes(),
+                   arena_.resize(v, 8 * i->type.bytes(), false));
+      return out;
+    }
+    if (const auto* i = std::get_if<IBra>(&instr)) {
+      st.pc = i->target;
+      return out;
+    }
+    if (const auto* i = std::get_if<ISetp>(&instr)) {
+      const unsigned w = i->type.width;
+      const bool sgn = i->type.is_signed();
+      const TermRef a = operand_at(st, i->a, w);
+      const TermRef b = operand_at(st, i->b, w);
+      TermRef p = 0;
+      switch (i->cmp) {
+        case CmpOp::Eq: p = arena_.eq(a, b); break;
+        case CmpOp::Ne: p = arena_.ne(a, b); break;
+        case CmpOp::Lt: p = arena_.lt(a, b, sgn); break;
+        case CmpOp::Le: p = arena_.le(a, b, sgn); break;
+        case CmpOp::Gt: p = arena_.gt(a, b, sgn); break;
+        case CmpOp::Ge: p = arena_.ge(a, b, sgn); break;
+      }
+      st.regs.phi[i->dst.index] = p;
+      return out;
+    }
+    if (const auto* i = std::get_if<IPBra>(&instr)) {
+      TermRef p = st.regs.read_pred(arena_, i->pred);
+      if (i->negated) p = arena_.lnot(p);
+      if (const auto c = arena_.const_value(p)) {
+        if (*c) st.pc = i->target;
+        return out;
+      }
+      out.kind = StepOut::Kind::Fork;
+      out.fork_cond = p;
+      out.fork_target = i->target;
+      out.fall_pc = pc + 1;
+      return out;
+    }
+    if (const auto* i = std::get_if<ISelp>(&instr)) {
+      const unsigned w = i->type.width;
+      const TermRef a = operand_at(st, i->a, w);
+      const TermRef b = operand_at(st, i->b, w);
+      const TermRef p = st.regs.read_pred(arena_, i->pred);
+      write_reg(st, i->dst, arena_.ite(p, a, b));
+      return out;
+    }
+    if (std::holds_alternative<ISync>(instr) ||
+        std::holds_alternative<INop>(instr)) {
+      // Thread-level view: reconvergence points and nops are identity.
+      return out;
+    }
+    if (std::holds_alternative<IExit>(instr)) {
+      out.kind = StepOut::Kind::Exit;
+      return out;
+    }
+    if (std::holds_alternative<IBar>(instr)) {
+      throw cac::KernelError(
+          "barrier outside the symbolic fragment (use the model checker)");
+    }
+    if (std::holds_alternative<IAtom>(instr)) {
+      throw cac::KernelError(
+          "atomic outside the symbolic fragment (use the model checker)");
+    }
+    if (std::holds_alternative<IVote>(instr) ||
+        std::holds_alternative<IShfl>(instr)) {
+      throw cac::KernelError(
+          "warp primitive outside the per-thread fragment (use the "
+          "block-level engine)");
+    }
+    throw cac::KernelError("unhandled instruction in symbolic execution");
+  }
+
+  const Program& prg_;
+  const sem::KernelConfig& kc_;
+  std::uint32_t tid_;
+  const SymEnv& env_;
+  const SymExecOptions& opts_;
+  TermArena& arena_;
+};
+
+}  // namespace
+
+bool ThreadSummary::all_ok() const {
+  return std::all_of(paths.begin(), paths.end(),
+                     [](const SymPath& p) { return p.ok() && p.exited; });
+}
+
+ThreadSummary sym_execute_thread(const ptx::Program& prg,
+                                 const sem::KernelConfig& kc,
+                                 std::uint32_t tid, const SymEnv& env,
+                                 const SymExecOptions& opts) {
+  return ThreadExec(prg, kc, tid, env, opts).run();
+}
+
+}  // namespace cac::sym

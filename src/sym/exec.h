@@ -1,0 +1,85 @@
+// Per-thread symbolic execution — the engine behind ∀-input proofs.
+//
+// The paper's unroll_apply tactic symbolically interprets PTX inside a
+// Coq proof, leaving the inputs universally quantified (§IV).  Our
+// engine does the same, made tractable by the two theorems the paper
+// proves first:
+//
+//  * scheduler transparency lets proofs consider one schedule, and
+//  * nd_map lane-order independence makes each thread's effect a
+//    function of its own inputs,
+//
+// so a kernel's behaviour decomposes into per-thread symbolic runs
+// with concrete tids and symbolic parameters/array contents.  A run
+// yields a set of *paths*, each with a path condition (a width-1 term)
+// and the stores performed on it; the conditions of the paths of one
+// thread partition the input space by construction (every fork splits
+// on c / not c).
+//
+// Supported fragment: the unsynchronized data-parallel core — no Bar,
+// no Shared-space traffic, no atomics (those are handled by the
+// schedule explorer instead; see DESIGN.md).  Loops must have concrete
+// trip counts (symbolic data is fine).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ptx/program.h"
+#include "sem/config.h"
+#include "sym/state.h"
+
+namespace cac::sym {
+
+/// Symbolic launch environment: what each kernel parameter means.
+struct SymEnv {
+  TermArena* arena = nullptr;
+  /// Parameter name -> term (usually a Var named after the parameter).
+  std::unordered_map<std::string, TermRef> params;
+  /// Parameters that act as region base pointers.
+  std::set<std::string> pointer_params;
+
+  /// Default environment: every u64 parameter becomes a region base
+  /// pointer variable, everything else a symbolic scalar.
+  static SymEnv symbolic(TermArena& arena, const ptx::Program& prg);
+
+  /// Bind a parameter to a concrete value (e.g. a concrete trip count
+  /// for a loop, leaving data symbolic).
+  void bind(const ptx::Program& prg, const std::string& name,
+            std::uint64_t value);
+};
+
+/// One execution path of one thread.
+struct SymPath {
+  TermRef cond = 0;              // width-1 path condition
+  std::vector<SymWrite> writes;  // stores on this path (canonical order)
+  SymRegs regs;                  // final register state
+  std::uint64_t steps = 0;
+  bool exited = false;
+  std::string failure;           // non-empty: unsupported/faulting path
+
+  [[nodiscard]] bool ok() const { return failure.empty(); }
+};
+
+struct ThreadSummary {
+  std::uint32_t tid = 0;
+  std::vector<SymPath> paths;
+
+  [[nodiscard]] bool all_ok() const;
+};
+
+struct SymExecOptions {
+  std::uint64_t max_steps = 1u << 14;  // per path
+  std::size_t max_paths = 64;
+};
+
+/// Symbolically execute one thread of the kernel.
+ThreadSummary sym_execute_thread(const ptx::Program& prg,
+                                 const sem::KernelConfig& kc,
+                                 std::uint32_t tid, const SymEnv& env,
+                                 const SymExecOptions& opts = {});
+
+}  // namespace cac::sym

@@ -1,0 +1,73 @@
+#include "sym/state.h"
+
+namespace cac::sym {
+
+void SymMemory::check_overlap(const std::string& region, std::uint64_t offset,
+                              unsigned bytes) const {
+  // Exact-cell matches are handled by the caller; any *partial* overlap
+  // with an existing cell is outside the supported fragment.
+  auto it = cells_.lower_bound({region, offset > 8 ? offset - 8 : 0});
+  for (; it != cells_.end(); ++it) {
+    const auto& [key, cell] = *it;
+    if (key.first != region || key.second >= offset + bytes) break;
+    if (key.second == offset && cell.bytes == bytes) continue;
+    if (key.second + cell.bytes > offset && key.second < offset + bytes) {
+      throw KernelError("mixed-granularity access to " + region + "[" +
+                        std::to_string(offset) + "]");
+    }
+  }
+}
+
+TermRef SymMemory::load(const std::string& region, std::uint64_t offset,
+                        unsigned bytes) {
+  auto it = cells_.find({region, offset});
+  if (it != cells_.end() && it->second.bytes == bytes) {
+    return it->second.value;
+  }
+  check_overlap(region, offset, bytes);
+  if (it != cells_.end()) {
+    throw KernelError("mixed-granularity access to " + region + "[" +
+                      std::to_string(offset) + "]");
+  }
+  const TermRef v = arena_->var(
+      region + "[" + std::to_string(offset) + "]", 8 * bytes);
+  cells_.emplace(std::make_pair(region, offset), Cell{bytes, v, false});
+  return v;
+}
+
+void SymMemory::store(const std::string& region, std::uint64_t offset,
+                      unsigned bytes, TermRef value) {
+  auto it = cells_.find({region, offset});
+  if (it != cells_.end() && it->second.bytes != bytes) {
+    throw KernelError("mixed-granularity access to " + region + "[" +
+                      std::to_string(offset) + "]");
+  }
+  check_overlap(region, offset, bytes);
+  const TermRef v = arena_->trunc(value, 8 * bytes);
+  cells_.insert_or_assign(std::make_pair(region, offset),
+                          Cell{bytes, v, true});
+}
+
+std::vector<SymWrite> SymMemory::writes() const {
+  std::vector<SymWrite> out;
+  for (const auto& [key, cell] : cells_) {
+    if (cell.written) {
+      out.push_back({key.first, key.second, cell.bytes, cell.value});
+    }
+  }
+  return out;
+}
+
+TermRef SymRegs::read(TermArena& arena, const ptx::Reg& r) const {
+  auto it = rho.find(r.key());
+  if (it != rho.end()) return it->second;
+  return arena.konst(0, r.width);
+}
+
+TermRef SymRegs::read_pred(TermArena& arena, const ptx::Pred& p) const {
+  auto it = phi.find(p.index);
+  if (it != phi.end()) return it->second;
+  return arena.fls();
+}
+
+}  // namespace cac::sym

@@ -1,0 +1,83 @@
+// Symbolic machine state for the per-thread symbolic interpreter.
+//
+// Memory is modeled per *region*: each pointer-typed kernel parameter
+// names a region (arr_A, arr_B, ...), assumed disjoint from the others
+// — the standard separation assumption, which matches how the paper's
+// §IV proof treats the three vectors as distinct objects.  Offsets
+// within a region must be concrete (they are: thread ids are concrete
+// during warp-level symbolic execution; only *data* stays symbolic).
+//
+// A load from a never-written cell yields a named variable
+// `region[offset]:w`, interned in the arena — so the same cell read by
+// two different programs yields the *same* variable, which is what
+// makes cross-program equivalence proofs structural.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptx/operand.h"
+#include "sym/term.h"
+
+namespace cac::sym {
+
+/// One store performed by a symbolic thread.
+struct SymWrite {
+  std::string region;
+  std::uint64_t offset = 0;
+  unsigned bytes = 4;
+  TermRef value = 0;
+
+  friend bool operator==(const SymWrite&, const SymWrite&) = default;
+  /// Ordering for canonical write-set comparison.
+  friend auto operator<=>(const SymWrite&, const SymWrite&) = default;
+};
+
+/// Region-granular symbolic memory for one thread's path.
+class SymMemory {
+ public:
+  explicit SymMemory(TermArena* arena) : arena_(arena) {}
+
+  /// Load `bytes` at a concrete region offset.  Reads of unwritten
+  /// cells produce (and remember) fresh input variables.  Throws
+  /// KernelError on an access overlapping an existing cell of a
+  /// different granularity.
+  TermRef load(const std::string& region, std::uint64_t offset,
+               unsigned bytes);
+
+  /// Store `value` (truncated to 8*bytes) at a concrete offset.
+  void store(const std::string& region, std::uint64_t offset, unsigned bytes,
+             TermRef value);
+
+  /// All stores this path performed, in canonical (region, offset)
+  /// order; later stores to the same cell supersede earlier ones.
+  [[nodiscard]] std::vector<SymWrite> writes() const;
+
+ private:
+  struct Cell {
+    unsigned bytes;
+    TermRef value;
+    bool written;  // false: input var from a load
+  };
+  void check_overlap(const std::string& region, std::uint64_t offset,
+                     unsigned bytes) const;
+
+  TermArena* arena_;
+  std::map<std::pair<std::string, std::uint64_t>, Cell> cells_;
+};
+
+/// Symbolic register file / predicate state of one thread.
+struct SymRegs {
+  std::map<std::uint32_t, TermRef> rho;   // Reg::key() -> term
+  std::map<std::uint16_t, TermRef> phi;   // predicate -> width-1 term
+
+  /// Unwritten registers read as zero, mirroring the concrete launch
+  /// state (sem/thread.h).
+  [[nodiscard]] TermRef read(TermArena& arena, const ptx::Reg& r) const;
+  [[nodiscard]] TermRef read_pred(TermArena& arena,
+                                  const ptx::Pred& p) const;
+};
+
+}  // namespace cac::sym

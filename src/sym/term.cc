@@ -1,0 +1,465 @@
+#include "sym/term.h"
+
+#include "support/bits.h"
+#include "support/hash.h"
+
+namespace cac::sym {
+
+namespace {
+
+std::uint64_t node_hash(const TermNode& n) {
+  Hasher h;
+  h.mix(static_cast<std::uint64_t>(n.op));
+  h.mix(n.width);
+  h.mix(n.value);
+  h.mix(n.a);
+  h.mix(n.b);
+  h.mix(n.c);
+  return h.value();
+}
+
+/// Concrete semantics of the binary operators (shared by the constant
+/// folder and evaluate); mirrors sem/step.cc's ALU.
+std::uint64_t fold(Op op, std::uint64_t a, std::uint64_t b, unsigned w) {
+  a = truncate(a, w);
+  b = truncate(b, w);
+  switch (op) {
+    case Op::Add: return truncate(a + b, w);
+    case Op::Sub: return truncate(a - b, w);
+    case Op::Mul: return truncate(a * b, w);
+    case Op::MulHi: {
+      const auto p = static_cast<unsigned __int128>(a) *
+                     static_cast<unsigned __int128>(b);
+      return truncate(static_cast<std::uint64_t>(p >> w), w);
+    }
+    case Op::MulHiS: {
+      const auto p = static_cast<__int128>(to_signed(a, w)) *
+                     static_cast<__int128>(to_signed(b, w));
+      return truncate(static_cast<std::uint64_t>(p >> w), w);
+    }
+    case Op::Div:
+      return b == 0 ? low_mask(w) : truncate(a / b, w);
+    case Op::DivS: {
+      if (b == 0) return low_mask(w);
+      const std::int64_t sa = to_signed(a, w), sb = to_signed(b, w);
+      if (sa == to_signed(1ull << (w - 1), w) && sb == -1) return a;
+      return truncate(static_cast<std::uint64_t>(sa / sb), w);
+    }
+    case Op::Rem:
+      return b == 0 ? a : truncate(a % b, w);
+    case Op::RemS: {
+      if (b == 0) return a;
+      const std::int64_t sa = to_signed(a, w), sb = to_signed(b, w);
+      if (sa == to_signed(1ull << (w - 1), w) && sb == -1) return 0;
+      return truncate(static_cast<std::uint64_t>(sa % sb), w);
+    }
+    case Op::MinU: return a < b ? a : b;
+    case Op::MinS: return to_signed(a, w) < to_signed(b, w) ? a : b;
+    case Op::MaxU: return a > b ? a : b;
+    case Op::MaxS: return to_signed(a, w) > to_signed(b, w) ? a : b;
+    case Op::And: return a & b;
+    case Op::Or: return a | b;
+    case Op::Xor: return a ^ b;
+    case Op::Shl: return shl(a, static_cast<unsigned>(b & 0xff), w);
+    case Op::LShr: return lshr(a, static_cast<unsigned>(b & 0xff), w);
+    case Op::AShr: return ashr(a, static_cast<unsigned>(b & 0xff), w);
+    case Op::Eq: return a == b ? 1 : 0;
+    case Op::LtU: return a < b ? 1 : 0;
+    case Op::LtS: return to_signed(a, w) < to_signed(b, w) ? 1 : 0;
+    default: throw KernelError("fold: not a binary op");
+  }
+}
+
+bool is_commutative(Op op) {
+  switch (op) {
+    case Op::Add: case Op::Mul: case Op::And: case Op::Or: case Op::Xor:
+    case Op::MinU: case Op::MinS: case Op::MaxU: case Op::MaxS:
+    case Op::Eq: case Op::MulHi: case Op::MulHiS:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+TermArena::TermArena() { nodes_.reserve(1024); }
+
+TermRef TermArena::intern(TermNode n) {
+  const std::uint64_t h = node_hash(n);
+  auto& bucket = index_[h];
+  for (TermRef r : bucket) {
+    if (nodes_[r] == n) return r;
+  }
+  const auto r = static_cast<TermRef>(nodes_.size());
+  nodes_.push_back(n);
+  bucket.push_back(r);
+  return r;
+}
+
+TermRef TermArena::konst(std::uint64_t v, unsigned width) {
+  return intern(TermNode{Op::Const, static_cast<std::uint8_t>(width),
+                         truncate(v, width), 0, 0, 0});
+}
+
+TermRef TermArena::var(const std::string& name, unsigned width) {
+  auto it = var_ids_.find(name);
+  std::uint32_t id;
+  if (it != var_ids_.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<std::uint32_t>(var_names_.size());
+    var_names_.push_back(name);
+    var_ids_.emplace(name, id);
+  }
+  return intern(
+      TermNode{Op::Var, static_cast<std::uint8_t>(width), id, 0, 0, 0});
+}
+
+std::optional<std::uint64_t> TermArena::const_value(TermRef t) const {
+  const TermNode& n = nodes_[t];
+  if (n.op == Op::Const) return n.value;
+  return std::nullopt;
+}
+
+const std::string& TermArena::var_name(TermRef t) const {
+  const TermNode& n = nodes_[t];
+  if (n.op != Op::Var) throw KernelError("var_name of a non-variable term");
+  return var_names_[n.value];
+}
+
+TermRef TermArena::binop(Op op, TermRef a, TermRef b) {
+  const unsigned w = width(a);
+  if (w != width(b)) {
+    throw KernelError("width mismatch in symbolic " +
+                      std::to_string(static_cast<int>(op)));
+  }
+  const auto ca = const_value(a);
+  const auto cb = const_value(b);
+  const unsigned result_w =
+      (op == Op::Eq || op == Op::LtU || op == Op::LtS) ? 1 : w;
+  if (ca && cb) return konst(fold(op, *ca, *cb, w), result_w);
+
+  // Canonical operand order for commutative ops: constant to the right,
+  // otherwise lower ref first.
+  if (is_commutative(op)) {
+    if (ca || (!cb && b < a)) std::swap(a, b);
+  }
+  const auto cb2 = const_value(b);
+
+  // Algebraic identities.
+  switch (op) {
+    case Op::Add:
+      if (cb2 && *cb2 == 0) return a;
+      // (x + c1) + c2 -> x + (c1+c2); keeps linear forms one level deep.
+      if (cb2) {
+        const TermNode& na = nodes_[a];
+        if (na.op == Op::Add) {
+          if (const auto inner = const_value(na.b)) {
+            return add(na.a, konst(*inner + *cb2, w));
+          }
+        }
+      }
+      break;
+    case Op::Sub:
+      if (cb2 && *cb2 == 0) return a;
+      if (a == b) return konst(0, w);
+      // x - c -> x + (-c): a single linear-sum normal form.
+      if (cb2) return add(a, konst(0 - *cb2, w));
+      break;
+    case Op::Mul:
+      if (cb2 && *cb2 == 1) return a;
+      if (cb2 && *cb2 == 0) return konst(0, w);
+      break;
+    case Op::And:
+      if (cb2 && *cb2 == 0) return konst(0, w);
+      if (cb2 && *cb2 == low_mask(w)) return a;
+      if (a == b) return a;
+      break;
+    case Op::Or:
+      if (cb2 && *cb2 == 0) return a;
+      if (cb2 && *cb2 == low_mask(w)) return konst(low_mask(w), w);
+      if (a == b) return a;
+      break;
+    case Op::Xor:
+      if (cb2 && *cb2 == 0) return a;
+      if (a == b) return konst(0, w);
+      break;
+    case Op::Shl:
+    case Op::LShr:
+    case Op::AShr:
+      if (cb2 && *cb2 == 0) return a;
+      break;
+    case Op::Eq: {
+      if (a == b) return tru();
+      const Decision d = decide_eq(a, b);
+      if (d == Decision::Yes) return tru();
+      if (d == Decision::No) return fls();
+      break;
+    }
+    case Op::LtU:
+    case Op::LtS:
+      if (a == b) return fls();
+      break;
+    default:
+      break;
+  }
+  return intern(TermNode{op, static_cast<std::uint8_t>(result_w), 0, a, b, 0});
+}
+
+TermRef TermArena::add(TermRef a, TermRef b) { return binop(Op::Add, a, b); }
+TermRef TermArena::sub(TermRef a, TermRef b) { return binop(Op::Sub, a, b); }
+TermRef TermArena::mul(TermRef a, TermRef b) { return binop(Op::Mul, a, b); }
+TermRef TermArena::mul_hi(TermRef a, TermRef b, bool sgn) {
+  return binop(sgn ? Op::MulHiS : Op::MulHi, a, b);
+}
+TermRef TermArena::div(TermRef a, TermRef b, bool sgn) {
+  return binop(sgn ? Op::DivS : Op::Div, a, b);
+}
+TermRef TermArena::rem(TermRef a, TermRef b, bool sgn) {
+  return binop(sgn ? Op::RemS : Op::Rem, a, b);
+}
+TermRef TermArena::min(TermRef a, TermRef b, bool sgn) {
+  return binop(sgn ? Op::MinS : Op::MinU, a, b);
+}
+TermRef TermArena::max(TermRef a, TermRef b, bool sgn) {
+  return binop(sgn ? Op::MaxS : Op::MaxU, a, b);
+}
+TermRef TermArena::band(TermRef a, TermRef b) { return binop(Op::And, a, b); }
+TermRef TermArena::bor(TermRef a, TermRef b) { return binop(Op::Or, a, b); }
+TermRef TermArena::bxor(TermRef a, TermRef b) { return binop(Op::Xor, a, b); }
+TermRef TermArena::shl(TermRef a, TermRef b) { return binop(Op::Shl, a, b); }
+TermRef TermArena::lshr(TermRef a, TermRef b) { return binop(Op::LShr, a, b); }
+TermRef TermArena::ashr(TermRef a, TermRef b) { return binop(Op::AShr, a, b); }
+
+TermRef TermArena::bnot(TermRef a) {
+  if (const auto c = const_value(a)) {
+    return konst(~*c, width(a));
+  }
+  const TermNode& n = nodes_[a];
+  if (n.op == Op::Not) return n.a;  // ~~x = x
+  return intern(
+      TermNode{Op::Not, static_cast<std::uint8_t>(width(a)), 0, a, 0, 0});
+}
+
+TermRef TermArena::neg(TermRef a) {
+  if (const auto c = const_value(a)) return konst(0 - *c, width(a));
+  return intern(
+      TermNode{Op::Neg, static_cast<std::uint8_t>(width(a)), 0, a, 0, 0});
+}
+
+namespace {
+
+std::uint64_t fold_popc(std::uint64_t a) {
+  return static_cast<std::uint64_t>(__builtin_popcountll(a));
+}
+
+std::uint64_t fold_clz(std::uint64_t a, unsigned w) {
+  if (a == 0) return w;
+  return static_cast<std::uint64_t>(__builtin_clzll(a)) - (64 - w);
+}
+
+std::uint64_t fold_brev(std::uint64_t a, unsigned w) {
+  std::uint64_t r = 0;
+  for (unsigned b = 0; b < w; ++b) r = (r << 1) | ((a >> b) & 1);
+  return r;
+}
+
+}  // namespace
+
+TermRef TermArena::popc(TermRef a) {
+  if (const auto c = const_value(a)) return konst(fold_popc(*c), width(a));
+  return intern(
+      TermNode{Op::Popc, static_cast<std::uint8_t>(width(a)), 0, a, 0, 0});
+}
+
+TermRef TermArena::clz(TermRef a) {
+  if (const auto c = const_value(a)) {
+    return konst(fold_clz(*c, width(a)), width(a));
+  }
+  return intern(
+      TermNode{Op::Clz, static_cast<std::uint8_t>(width(a)), 0, a, 0, 0});
+}
+
+TermRef TermArena::brev(TermRef a) {
+  if (const auto c = const_value(a)) {
+    return konst(fold_brev(*c, width(a)), width(a));
+  }
+  const TermNode& n = nodes_[a];
+  if (n.op == Op::Brev) return n.a;  // brev(brev(x)) = x
+  return intern(
+      TermNode{Op::Brev, static_cast<std::uint8_t>(width(a)), 0, a, 0, 0});
+}
+
+TermRef TermArena::zext(TermRef a, unsigned w) {
+  if (width(a) == w) return a;
+  if (width(a) > w) return trunc(a, w);
+  if (const auto c = const_value(a)) return konst(*c, w);
+  return intern(TermNode{Op::ZExt, static_cast<std::uint8_t>(w), 0, a, 0, 0});
+}
+
+TermRef TermArena::sext(TermRef a, unsigned w) {
+  if (width(a) == w) return a;
+  if (width(a) > w) return trunc(a, w);
+  if (const auto c = const_value(a)) {
+    return konst(sign_extend(*c, width(a), w), w);
+  }
+  return intern(TermNode{Op::SExt, static_cast<std::uint8_t>(w), 0, a, 0, 0});
+}
+
+TermRef TermArena::trunc(TermRef a, unsigned w) {
+  if (width(a) == w) return a;
+  if (width(a) < w) throw KernelError("trunc widens");
+  if (const auto c = const_value(a)) return konst(*c, w);
+  const TermNode& n = nodes_[a];
+  // trunc(zext/sext(x)) where x already has the target width -> x.
+  if ((n.op == Op::ZExt || n.op == Op::SExt) && width(n.a) == w) return n.a;
+  return intern(TermNode{Op::Trunc, static_cast<std::uint8_t>(w), 0, a, 0, 0});
+}
+
+TermRef TermArena::resize(TermRef a, unsigned w, bool sgn) {
+  if (width(a) == w) return a;
+  if (width(a) > w) return trunc(a, w);
+  return sgn ? sext(a, w) : zext(a, w);
+}
+
+TermRef TermArena::eq(TermRef a, TermRef b) { return binop(Op::Eq, a, b); }
+TermRef TermArena::ne(TermRef a, TermRef b) { return lnot(eq(a, b)); }
+TermRef TermArena::lt(TermRef a, TermRef b, bool sgn) {
+  return binop(sgn ? Op::LtS : Op::LtU, a, b);
+}
+TermRef TermArena::le(TermRef a, TermRef b, bool sgn) {
+  return lnot(lt(b, a, sgn));
+}
+TermRef TermArena::gt(TermRef a, TermRef b, bool sgn) {
+  return lt(b, a, sgn);
+}
+TermRef TermArena::ge(TermRef a, TermRef b, bool sgn) {
+  return lnot(lt(a, b, sgn));
+}
+
+TermRef TermArena::lnot(TermRef a) {
+  if (width(a) != 1) throw KernelError("lnot of a non-boolean term");
+  return bnot(a);
+}
+
+TermRef TermArena::ite(TermRef cond, TermRef t, TermRef e) {
+  if (width(cond) != 1) throw KernelError("ite condition must have width 1");
+  if (width(t) != width(e)) throw KernelError("ite arm width mismatch");
+  if (const auto c = const_value(cond)) return *c ? t : e;
+  if (t == e) return t;
+  // ite(!c, t, e) -> ite(c, e, t)
+  const TermNode& nc = nodes_[cond];
+  if (nc.op == Op::Not) return ite(nc.a, e, t);
+  return intern(TermNode{Op::Ite, static_cast<std::uint8_t>(width(t)), 0,
+                         cond, t, e});
+}
+
+LinearForm TermArena::linear_form(TermRef t) const {
+  const TermNode& n = nodes_[t];
+  if (n.op == Op::Const) return {std::nullopt, n.value};
+  if (n.op == Op::Add) {
+    const TermNode& nb = nodes_[n.b];
+    if (nb.op == Op::Const) return {n.a, nb.value};
+  }
+  return {t, 0};
+}
+
+TermArena::Decision TermArena::decide_eq(TermRef a, TermRef b) const {
+  if (a == b) return Decision::Yes;
+  const auto ca = const_value(a);
+  const auto cb = const_value(b);
+  if (ca && cb) return *ca == *cb ? Decision::Yes : Decision::No;
+  const LinearForm la = linear_form(a);
+  const LinearForm lb = linear_form(b);
+  if (la.base && lb.base && *la.base == *lb.base) {
+    return truncate(la.offset, width(a)) == truncate(lb.offset, width(b))
+               ? Decision::Yes
+               : Decision::No;
+  }
+  if (!la.base && !lb.base) {
+    return la.offset == lb.offset ? Decision::Yes : Decision::No;
+  }
+  return Decision::Unknown;
+}
+
+std::string TermArena::to_string(TermRef t) const {
+  const TermNode& n = nodes_[t];
+  auto bin = [&](const char* s) {
+    return "(" + to_string(n.a) + " " + s + " " + to_string(n.b) + ")";
+  };
+  switch (n.op) {
+    case Op::Const: return std::to_string(n.value) + ":" +
+                           std::to_string(n.width);
+    case Op::Var: return var_names_[n.value];
+    case Op::Add: return bin("+");
+    case Op::Sub: return bin("-");
+    case Op::Mul: return bin("*");
+    case Op::MulHi: return bin("*hi");
+    case Op::MulHiS: return bin("*his");
+    case Op::Div: return bin("/u");
+    case Op::DivS: return bin("/s");
+    case Op::Rem: return bin("%u");
+    case Op::RemS: return bin("%s");
+    case Op::MinU: return bin("minu");
+    case Op::MinS: return bin("mins");
+    case Op::MaxU: return bin("maxu");
+    case Op::MaxS: return bin("maxs");
+    case Op::And: return bin("&");
+    case Op::Or: return bin("|");
+    case Op::Xor: return bin("^");
+    case Op::Shl: return bin("<<");
+    case Op::LShr: return bin(">>u");
+    case Op::AShr: return bin(">>s");
+    case Op::Not: return "~" + to_string(n.a);
+    case Op::Neg: return "-" + to_string(n.a);
+    case Op::Popc: return "popc(" + to_string(n.a) + ")";
+    case Op::Clz: return "clz(" + to_string(n.a) + ")";
+    case Op::Brev: return "brev(" + to_string(n.a) + ")";
+    case Op::ZExt: return "zext" + std::to_string(n.width) + "(" +
+                          to_string(n.a) + ")";
+    case Op::SExt: return "sext" + std::to_string(n.width) + "(" +
+                          to_string(n.a) + ")";
+    case Op::Trunc: return "trunc" + std::to_string(n.width) + "(" +
+                           to_string(n.a) + ")";
+    case Op::Eq: return bin("==");
+    case Op::LtU: return bin("<u");
+    case Op::LtS: return bin("<s");
+    case Op::Ite: return "ite(" + to_string(n.a) + ", " + to_string(n.b) +
+                         ", " + to_string(n.c) + ")";
+  }
+  return "?";
+}
+
+std::uint64_t TermArena::evaluate(
+    TermRef t,
+    const std::unordered_map<std::string, std::uint64_t>& env) const {
+  const TermNode& n = nodes_[t];
+  switch (n.op) {
+    case Op::Const: return n.value;
+    case Op::Var: {
+      auto it = env.find(var_names_[n.value]);
+      if (it == env.end()) {
+        throw KernelError("unassigned symbolic variable '" +
+                          var_names_[n.value] + "'");
+      }
+      return truncate(it->second, n.width);
+    }
+    case Op::Not: return truncate(~evaluate(n.a, env), n.width);
+    case Op::Neg: return truncate(0 - evaluate(n.a, env), n.width);
+    case Op::Popc: return fold_popc(evaluate(n.a, env));
+    case Op::Clz: return fold_clz(evaluate(n.a, env), n.width);
+    case Op::Brev: return fold_brev(evaluate(n.a, env), n.width);
+    case Op::ZExt: return evaluate(n.a, env);
+    case Op::SExt:
+      return sign_extend(evaluate(n.a, env), nodes_[n.a].width, n.width);
+    case Op::Trunc: return truncate(evaluate(n.a, env), n.width);
+    case Op::Ite:
+      return evaluate(n.a, env) ? evaluate(n.b, env) : evaluate(n.c, env);
+    default:
+      return fold(n.op, evaluate(n.a, env), evaluate(n.b, env),
+                  nodes_[n.a].width);
+  }
+}
+
+}  // namespace cac::sym

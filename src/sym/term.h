@@ -1,0 +1,148 @@
+// Bit-vector terms: the symbolic expressions the symbolic interpreter
+// computes with.
+//
+// The paper's unroll_apply tactic "reduces computations to symbolic
+// expressions within a Coq proof" (§IV); Coq terms play the role these
+// hash-consed bit-vector DAGs play here.  Terms are immutable, created
+// through smart constructors that fold constants and normalize common
+// algebraic patterns, so that structurally equal values usually become
+// the *same* TermRef — the workhorse of our proof obligations (two
+// computations are proved equal when their normalized terms coincide).
+//
+// Widths are explicit (1 for booleans/predicates, 8/16/32/64 for data).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace cac::sym {
+
+/// Index of a term within its arena.  Refs are only meaningful
+/// together with the arena that created them.
+using TermRef = std::uint32_t;
+
+enum class Op : std::uint8_t {
+  Const,  // value
+  Var,    // named symbolic input
+  // arithmetic/bitwise (two operands, same width)
+  Add, Sub, Mul, MulHi, MulHiS, Div, DivS, Rem, RemS,
+  MinU, MinS, MaxU, MaxS,
+  And, Or, Xor, Shl, LShr, AShr,
+  // unary
+  Not, Neg, Popc, Clz, Brev,
+  // width changes (one operand; node width is the target width)
+  ZExt, SExt, Trunc,
+  // comparisons (two operands; result width 1)
+  Eq, LtU, LtS,
+  // if-then-else: args = cond(width 1), then, else
+  Ite,
+};
+
+struct TermNode {
+  Op op = Op::Const;
+  std::uint8_t width = 32;
+  std::uint64_t value = 0;       // Const: the value; Var: name index
+  TermRef a = 0, b = 0, c = 0;   // operands (meaning depends on op)
+
+  friend bool operator==(const TermNode&, const TermNode&) = default;
+};
+
+/// Linear normal form `base + offset` used for address disambiguation:
+/// either a pure constant (base == nullopt) or one symbolic base plus a
+/// constant offset.
+struct LinearForm {
+  std::optional<TermRef> base;
+  std::uint64_t offset = 0;  // modulo 2^width
+};
+
+class TermArena {
+ public:
+  TermArena();
+
+  // --- leaf constructors ---
+  TermRef konst(std::uint64_t v, unsigned width);
+  TermRef var(const std::string& name, unsigned width);
+  TermRef tru() { return konst(1, 1); }
+  TermRef fls() { return konst(0, 1); }
+
+  // --- smart constructors (fold + normalize) ---
+  TermRef add(TermRef a, TermRef b);
+  TermRef sub(TermRef a, TermRef b);
+  TermRef mul(TermRef a, TermRef b);
+  TermRef mul_hi(TermRef a, TermRef b, bool sgn);
+  TermRef div(TermRef a, TermRef b, bool sgn);
+  TermRef rem(TermRef a, TermRef b, bool sgn);
+  TermRef min(TermRef a, TermRef b, bool sgn);
+  TermRef max(TermRef a, TermRef b, bool sgn);
+  TermRef band(TermRef a, TermRef b);
+  TermRef bor(TermRef a, TermRef b);
+  TermRef bxor(TermRef a, TermRef b);
+  TermRef shl(TermRef a, TermRef b);
+  TermRef lshr(TermRef a, TermRef b);
+  TermRef ashr(TermRef a, TermRef b);
+  TermRef bnot(TermRef a);
+  TermRef neg(TermRef a);
+  TermRef popc(TermRef a);
+  TermRef clz(TermRef a);
+  TermRef brev(TermRef a);
+  TermRef zext(TermRef a, unsigned width);
+  TermRef sext(TermRef a, unsigned width);
+  TermRef trunc(TermRef a, unsigned width);
+  /// Zero/sign-extend or truncate to reach `width`.
+  TermRef resize(TermRef a, unsigned width, bool sgn);
+
+  TermRef eq(TermRef a, TermRef b);
+  TermRef ne(TermRef a, TermRef b);
+  TermRef lt(TermRef a, TermRef b, bool sgn);
+  TermRef le(TermRef a, TermRef b, bool sgn);
+  TermRef gt(TermRef a, TermRef b, bool sgn);
+  TermRef ge(TermRef a, TermRef b, bool sgn);
+  TermRef lnot(TermRef a);  // width-1 negation
+  TermRef ite(TermRef cond, TermRef t, TermRef e);
+
+  // --- inspection ---
+  [[nodiscard]] const TermNode& node(TermRef t) const { return nodes_[t]; }
+  [[nodiscard]] unsigned width(TermRef t) const { return nodes_[t].width; }
+  [[nodiscard]] bool is_const(TermRef t) const {
+    return nodes_[t].op == Op::Const;
+  }
+  [[nodiscard]] std::optional<std::uint64_t> const_value(TermRef t) const;
+  [[nodiscard]] const std::string& var_name(TermRef t) const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Decompose into `base + offset` if the term has that shape.
+  [[nodiscard]] LinearForm linear_form(TermRef t) const;
+
+  /// Syntactic equality/disequality decision:
+  ///   Yes      — the terms denote the same value for every valuation
+  ///   No       — they differ for every valuation
+  ///   Unknown  — cannot tell syntactically
+  enum class Decision : std::uint8_t { Yes, No, Unknown };
+  [[nodiscard]] Decision decide_eq(TermRef a, TermRef b) const;
+
+  /// Pretty-print (for diagnostics and tests).
+  [[nodiscard]] std::string to_string(TermRef t) const;
+
+  /// Evaluate under a concrete assignment of every variable (by name).
+  /// Throws KernelError on an unassigned variable.  Used by property
+  /// tests to validate the simplifier against the concrete semantics.
+  [[nodiscard]] std::uint64_t evaluate(
+      TermRef t,
+      const std::unordered_map<std::string, std::uint64_t>& env) const;
+
+ private:
+  TermRef intern(TermNode n);
+  TermRef binop(Op op, TermRef a, TermRef b);
+
+  std::vector<TermNode> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<TermRef>> index_;
+  std::vector<std::string> var_names_;
+  std::unordered_map<std::string, std::uint32_t> var_ids_;
+};
+
+}  // namespace cac::sym

@@ -1,0 +1,227 @@
+#include "vcgen/prove.h"
+
+#include <algorithm>
+
+#include "sym/block_exec.h"
+
+namespace cac::vcgen {
+
+using sym::SymPath;
+using sym::SymWrite;
+using sym::TermArena;
+using sym::TermRef;
+using sym::ThreadSummary;
+
+namespace {
+
+std::string describe_writes(const TermArena& arena,
+                            const std::vector<SymWrite>& ws) {
+  std::string out = "{";
+  for (const SymWrite& w : ws) {
+    out += " " + w.region + "[" + std::to_string(w.offset) + "]:=" +
+           arena.to_string(w.value) + ";";
+  }
+  return out + " }";
+}
+
+bool writes_equal(std::vector<SymWrite> a, std::vector<SymWrite> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace
+
+ProofResult prove_guarded_writes(const ptx::Program& prg,
+                                 const sem::KernelConfig& kc,
+                                 const sym::SymEnv& env,
+                                 const GuardedWriteSpec& spec,
+                                 const sym::SymExecOptions& opts) {
+  ProofResult result;
+  TermArena& arena = *env.arena;
+  for (std::uint32_t tid = 0; tid < kc.total_threads(); ++tid) {
+    ++result.threads;
+    const ThreadSummary summary = sym_execute_thread(prg, kc, tid, env, opts);
+    result.paths += summary.paths.size();
+    for (const SymPath& p : summary.paths) {
+      if (!p.ok() || !p.exited) {
+        result.detail = "thread " + std::to_string(tid) +
+                        ": symbolic path failed: " + p.failure;
+        return result;
+      }
+    }
+    if (!spec.guard) {
+      if (summary.paths.size() != 1) {
+        result.detail = "thread " + std::to_string(tid) + ": expected one " +
+                        "path, found " + std::to_string(summary.paths.size());
+        return result;
+      }
+      const auto expected = spec.writes(arena, tid);
+      ++result.obligations;
+      if (!writes_equal(summary.paths[0].writes, expected)) {
+        result.detail = "thread " + std::to_string(tid) + ": stores " +
+                        describe_writes(arena, summary.paths[0].writes) +
+                        " != expected " + describe_writes(arena, expected);
+        return result;
+      }
+      continue;
+    }
+
+    const TermRef guard = spec.guard(arena, tid);
+    if (const auto g = arena.const_value(guard)) {
+      // Concrete guard: a single path whose writes depend on g.
+      if (summary.paths.size() != 1) {
+        result.detail = "thread " + std::to_string(tid) +
+                        ": concrete guard but " +
+                        std::to_string(summary.paths.size()) + " paths";
+        return result;
+      }
+      const auto expected =
+          *g ? spec.writes(arena, tid) : std::vector<SymWrite>{};
+      ++result.obligations;
+      if (!writes_equal(summary.paths[0].writes, expected)) {
+        result.detail = "thread " + std::to_string(tid) + ": stores " +
+                        describe_writes(arena, summary.paths[0].writes) +
+                        " != expected " + describe_writes(arena, expected);
+        return result;
+      }
+      continue;
+    }
+
+    // Symbolic guard: expect exactly the partition {guard, not guard}.
+    if (summary.paths.size() != 2) {
+      result.detail = "thread " + std::to_string(tid) + ": expected the " +
+                      "{guard, !guard} partition, found " +
+                      std::to_string(summary.paths.size()) + " paths";
+      return result;
+    }
+    const TermRef not_guard = arena.lnot(guard);
+    const SymPath* on = nullptr;
+    const SymPath* off = nullptr;
+    for (const SymPath& p : summary.paths) {
+      if (p.cond == guard) on = &p;
+      if (p.cond == not_guard) off = &p;
+    }
+    if (!on || !off) {
+      result.detail =
+          "thread " + std::to_string(tid) + ": path conditions {" +
+          arena.to_string(summary.paths[0].cond) + ", " +
+          arena.to_string(summary.paths[1].cond) +
+          "} do not match the guard " + arena.to_string(guard);
+      return result;
+    }
+    const auto expected = spec.writes(arena, tid);
+    result.obligations += 2;
+    if (!writes_equal(on->writes, expected)) {
+      result.detail = "thread " + std::to_string(tid) + " (guard): stores " +
+                      describe_writes(arena, on->writes) + " != expected " +
+                      describe_writes(arena, expected);
+      return result;
+    }
+    if (!off->writes.empty()) {
+      result.detail = "thread " + std::to_string(tid) +
+                      " (!guard): unexpected stores " +
+                      describe_writes(arena, off->writes);
+      return result;
+    }
+  }
+  result.proved = true;
+  result.detail = std::to_string(result.threads) + " threads, " +
+                  std::to_string(result.paths) + " paths, " +
+                  std::to_string(result.obligations) +
+                  " obligations discharged";
+  return result;
+}
+
+ProofResult prove_equivalent(const ptx::Program& a, const ptx::Program& b,
+                             const sem::KernelConfig& kc,
+                             const sym::SymEnv& env,
+                             const sym::SymExecOptions& opts) {
+  ProofResult result;
+  TermArena& arena = *env.arena;
+  for (std::uint32_t tid = 0; tid < kc.total_threads(); ++tid) {
+    ++result.threads;
+    const ThreadSummary sa = sym_execute_thread(a, kc, tid, env, opts);
+    const ThreadSummary sb = sym_execute_thread(b, kc, tid, env, opts);
+    result.paths += sa.paths.size() + sb.paths.size();
+    if (!sa.all_ok() || !sb.all_ok()) {
+      result.detail = "thread " + std::to_string(tid) +
+                      ": a symbolic path failed";
+      return result;
+    }
+    if (sa.paths.size() != sb.paths.size()) {
+      result.detail = "thread " + std::to_string(tid) + ": " + a.name() +
+                      " has " + std::to_string(sa.paths.size()) +
+                      " paths, " + b.name() + " has " +
+                      std::to_string(sb.paths.size());
+      return result;
+    }
+    // Paths are sorted by condition ref; identical partitions align.
+    for (std::size_t i = 0; i < sa.paths.size(); ++i) {
+      const SymPath& pa = sa.paths[i];
+      const SymPath& pb = sb.paths[i];
+      ++result.obligations;
+      if (pa.cond != pb.cond) {
+        result.detail = "thread " + std::to_string(tid) +
+                        ": path conditions differ: " +
+                        arena.to_string(pa.cond) + " vs " +
+                        arena.to_string(pb.cond);
+        return result;
+      }
+      ++result.obligations;
+      if (!writes_equal(pa.writes, pb.writes)) {
+        result.detail =
+            "thread " + std::to_string(tid) + ": stores differ under " +
+            arena.to_string(pa.cond) + ": " +
+            describe_writes(arena, pa.writes) + " vs " +
+            describe_writes(arena, pb.writes);
+        return result;
+      }
+    }
+  }
+  result.proved = true;
+  result.detail = std::to_string(result.threads) + " threads, " +
+                  std::to_string(result.paths) + " paths, " +
+                  std::to_string(result.obligations) +
+                  " obligations discharged";
+  return result;
+}
+
+ProofResult prove_block_writes(
+    const ptx::Program& prg, const sem::KernelConfig& kc,
+    const sym::SymEnv& env,
+    const std::function<std::vector<sym::SymWrite>(sym::TermArena&)>&
+        expected,
+    std::uint32_t block_index) {
+  ProofResult result;
+  TermArena& arena = *env.arena;
+  const sym::BlockSummary s =
+      sym_execute_block(prg, kc, block_index, env);
+  result.threads = kc.threads_per_block();
+  result.paths = 1;
+  if (!s.ok) {
+    result.detail = "block execution failed: " + s.failure;
+    return result;
+  }
+  // Shared memory is block-private scratch that dies with the kernel:
+  // only Global-space stores are observable post-launch.
+  std::vector<sym::SymWrite> observable;
+  for (const sym::SymWrite& w : s.writes) {
+    if (w.region != "shared") observable.push_back(w);
+  }
+  auto want = expected(arena);
+  ++result.obligations;
+  if (!writes_equal(observable, want)) {
+    result.detail = "block stores " + describe_writes(arena, observable) +
+                    " != expected " + describe_writes(arena, want);
+    return result;
+  }
+  result.proved = true;
+  result.detail = "block of " + std::to_string(result.threads) +
+                  " threads, " + std::to_string(s.steps) +
+                  " symbolic steps, " + std::to_string(s.barriers) +
+                  " barriers";
+  return result;
+}
+
+}  // namespace cac::vcgen

@@ -1,0 +1,84 @@
+// Verification-condition layer: assembles per-thread symbolic
+// summaries (sym/exec.h) into whole-kernel, for-all-inputs theorems —
+// the C++ analogue of the paper's Listing 3/partial-correctness proofs,
+// with the universally quantified memory state µ represented by named
+// term variables instead of Coq hypotheses.
+//
+// Two theorem shapes are provided:
+//
+//  * prove_guarded_writes — "every thread t writes exactly
+//    `writes(t)` when `guard(t)` holds and nothing otherwise", which
+//    instantiated with guard `t < size` and write `C[4t] = A[4t]+B[4t]`
+//    is the paper's vector-sum partial correctness, proved for ALL
+//    input arrays and sizes at once (unlike the concrete model checker,
+//    which proves one initial memory at a time);
+//
+//  * prove_equivalent — two kernels perform identical stores under
+//    identical conditions for every input; used to machine-check that
+//    the mechanical PTX lowering agrees with the paper's hand
+//    translation (Listing 1 vs Listing 2).
+//
+// Obligations are discharged by structural equality of normalized
+// terms in a shared arena (plus the path-partition argument); there is
+// no SMT solver, mirroring the paper's dependence on plain reduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sym/exec.h"
+
+namespace cac::vcgen {
+
+struct ProofResult {
+  bool proved = false;
+  std::string detail;             // first failing obligation, or stats
+  std::uint32_t threads = 0;      // threads analyzed
+  std::size_t paths = 0;          // total symbolic paths
+  std::size_t obligations = 0;    // term equalities discharged
+};
+
+/// Expected behaviour of one thread under its guard.
+struct GuardedWriteSpec {
+  /// Build the guard condition for thread `tid` (width-1 term); pass
+  /// nullptr for an unconditional kernel (single path per thread).
+  std::function<sym::TermRef(sym::TermArena&, std::uint32_t tid)> guard;
+  /// Build the expected write set for thread `tid` when the guard
+  /// holds (canonical (region, offset) order not required).
+  std::function<std::vector<sym::SymWrite>(sym::TermArena&,
+                                           std::uint32_t tid)>
+      writes;
+};
+
+/// Prove: for every thread and every input valuation, the thread's
+/// stores are exactly spec.writes(tid) when spec.guard(tid) holds, and
+/// none otherwise.
+ProofResult prove_guarded_writes(const ptx::Program& prg,
+                                 const sem::KernelConfig& kc,
+                                 const sym::SymEnv& env,
+                                 const GuardedWriteSpec& spec,
+                                 const sym::SymExecOptions& opts = {});
+
+/// Prove: two kernels have identical per-thread path partitions and
+/// identical stores on corresponding paths, for every input.  Both are
+/// executed in the same arena/environment so identical inputs are
+/// identical variables.
+ProofResult prove_equivalent(const ptx::Program& a, const ptx::Program& b,
+                             const sem::KernelConfig& kc,
+                             const sym::SymEnv& env,
+                             const sym::SymExecOptions& opts = {});
+
+/// Prove (via the block-level engine, sym/block_exec.h): the single
+/// block `block_index` performs exactly the expected stores for every
+/// input — covering barrier/Shared-memory kernels such as the tree
+/// reduction, whose output term the expected-writes builder
+/// reconstructs in the same arena.
+ProofResult prove_block_writes(
+    const ptx::Program& prg, const sem::KernelConfig& kc,
+    const sym::SymEnv& env,
+    const std::function<std::vector<sym::SymWrite>(sym::TermArena&)>&
+        expected,
+    std::uint32_t block_index = 0);
+
+}  // namespace cac::vcgen

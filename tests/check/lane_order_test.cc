@@ -1,0 +1,82 @@
+// Warp-internal lane-order independence — the semantic counterpart of
+// nd_map_eq (paper §IV, "Non-deterministic Execution").
+#include "check/lane_order.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sem/launch.h"
+
+namespace cac::check {
+namespace {
+
+TEST(LaneOrder, VectorAddIsLaneOrderIndependent) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const programs::VecAddLayout L;
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c).param(
+      "size", 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    launch.global_u32(L.a + 4 * i, i + 1);
+    launch.global_u32(L.b + 4 * i, 2 * i);
+  }
+  const LaneOrderResult r =
+      check_lane_order_independence(prg, kc, launch.machine());
+  EXPECT_TRUE(r.independent) << r.detail;
+  EXPECT_EQ(r.orders_tried, 24u);  // 4! lane orders, all checked
+  EXPECT_FALSE(r.had_store_conflicts);
+}
+
+TEST(LaneOrder, IntraWarpRaceIsCaught) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::race_store_ptx()).kernel("race_store");
+  const sem::KernelConfig kc{{1, 1, 1}, {3, 1, 1}, 3};
+  sem::Launch launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1});
+  launch.param("out", 0);
+  const LaneOrderResult r =
+      check_lane_order_independence(prg, kc, launch.machine());
+  EXPECT_FALSE(r.independent);
+  EXPECT_NE(r.detail.find("race"), std::string::npos);
+}
+
+TEST(LaneOrder, RegisterOnlyProgramsAreAlwaysIndependent) {
+  // Register updates are thread-local: this is the mechanical content
+  // of the nd_map theorem — no lane order can matter.
+  const ptx::Program prg = programs::straightline_program(6);
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  const LaneOrderResult r = check_lane_order_independence(
+      prg, kc, sem::Launch(prg, kc, mem::MemSizes{}).machine());
+  EXPECT_TRUE(r.independent) << r.detail;
+}
+
+TEST(LaneOrder, DisjointStoresAreIndependent) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const programs::VecAddLayout L;
+  // Divergent case: only half the lanes store — still disjoint.
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c).param(
+      "size", 2);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    launch.global_u32(L.a + 4 * i, 5);
+    launch.global_u32(L.b + 4 * i, 6);
+  }
+  const LaneOrderResult r =
+      check_lane_order_independence(prg, kc, launch.machine());
+  EXPECT_TRUE(r.independent) << r.detail;
+  EXPECT_FALSE(r.had_store_conflicts);
+}
+
+TEST(LaneOrder, OrderCapIsRespected) {
+  const ptx::Program prg = programs::straightline_program(2);
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  const LaneOrderResult r = check_lane_order_independence(
+      prg, kc, sem::Launch(prg, kc, mem::MemSizes{}).machine(), 5);
+  EXPECT_TRUE(r.independent);
+  EXPECT_EQ(r.orders_tried, 5u);
+}
+
+}  // namespace
+}  // namespace cac::check

@@ -1,0 +1,188 @@
+// The model checker on the paper's own example and on the broken
+// kernels: finite-configuration proofs of total correctness.
+#include "check/model.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sem/launch.h"
+
+namespace cac::check {
+namespace {
+
+using programs::VecAddLayout;
+
+struct VecAddSetup {
+  sem::KernelConfig kc;
+  sem::Machine machine;
+  Spec correctness;
+};
+
+/// A small exhaustively-checkable vector-add instance: `nthreads`
+/// threads in warps of `warp_size`.
+VecAddSetup vecadd_setup(const ptx::Program& prg, std::uint32_t nthreads,
+                         std::uint32_t size, std::uint32_t warp_size,
+                         std::uint32_t nblocks = 1) {
+  const VecAddLayout L;
+  VecAddSetup s{{{nblocks, 1, 1}, {nthreads, 1, 1}, warp_size}, {}, {}};
+  sem::Launch launch(prg, s.kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c).param(
+      "size", size);
+  for (std::uint32_t i = 0; i < nthreads * nblocks; ++i) {
+    launch.global_u32(L.a + 4 * i, 2 * i + 3);
+    launch.global_u32(L.b + 4 * i, 5 * i + 1);
+  }
+  s.machine = launch.machine();
+  for (std::uint32_t i = 0; i < size; ++i) {
+    s.correctness.mem_u32(mem::Space::Global, L.c + 4 * i, 7 * i + 4);
+  }
+  return s;
+}
+
+TEST(ModelCheck, VectorAddTotalCorrectnessAllSchedules) {
+  // Two warps: the scheduler can interleave them arbitrarily; the
+  // checker proves A+B=C on every schedule (total correctness, §IV).
+  const ptx::Program prg = programs::vector_add_listing2();
+  VecAddSetup s = vecadd_setup(prg, 4, 4, 2);
+  const Verdict v = prove_total(prg, s.kc, s.machine, s.correctness);
+  EXPECT_TRUE(v.proved()) << v.detail;
+  EXPECT_GT(v.exploration.states_visited, 19u);
+}
+
+TEST(ModelCheck, VectorAddExactStepBound) {
+  // Single warp: the paper's n_apply 19 — every schedule takes exactly
+  // 19 grid steps.
+  const ptx::Program prg = programs::vector_add_listing2();
+  VecAddSetup s = vecadd_setup(prg, 4, 4, 4);
+  ModelCheckOptions opts;
+  opts.expect_exact_steps = 19;
+  const Verdict v = prove_total(prg, s.kc, s.machine, s.correctness, opts);
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+TEST(ModelCheck, VectorAddTwoWarpStepBoundIs38) {
+  // With two independent warps every interleaving is 2x19 steps.
+  const ptx::Program prg = programs::vector_add_listing2();
+  VecAddSetup s = vecadd_setup(prg, 4, 4, 2);
+  ModelCheckOptions opts;
+  opts.expect_exact_steps = 38;
+  opts.require_schedule_independence = true;
+  const Verdict v = prove_total(prg, s.kc, s.machine, s.correctness, opts);
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+TEST(ModelCheck, VectorAddDivergentWarpStillProves) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  VecAddSetup s = vecadd_setup(prg, 4, 2, 4);  // size 2 < 4 threads
+  const Verdict v = prove_total(prg, s.kc, s.machine, s.correctness);
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+TEST(ModelCheck, MechanicallyLoweredVectorAddProves) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::vector_add_ptx()).kernel("add_vector");
+  VecAddSetup s = vecadd_setup(prg, 4, 4, 2);
+  ModelCheckOptions opts;
+  opts.expect_exact_steps = 44;  // 2 x (19 + 3 cvta movs)
+  opts.require_schedule_independence = true;
+  const Verdict v = prove_total(prg, s.kc, s.machine, s.correctness, opts);
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+TEST(ModelCheck, WrongPostconditionIsRefuted) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  VecAddSetup s = vecadd_setup(prg, 4, 4, 4);
+  Spec wrong;
+  wrong.mem_u32(mem::Space::Global, VecAddLayout{}.c, 12345);
+  const Verdict v = prove_total(prg, s.kc, s.machine, wrong);
+  EXPECT_EQ(v.kind, Verdict::Kind::Refuted);
+  EXPECT_NE(v.detail.find("postcondition"), std::string::npos);
+}
+
+TEST(ModelCheck, BarrierDivergenceRefutedWithCounterexample) {
+  const ptx::Program prg = ptx::load_ptx(programs::barrier_divergence_ptx())
+                               .kernel("barrier_divergence");
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const sem::Machine m = sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  const Verdict v = prove_termination(prg, kc, m);
+  EXPECT_EQ(v.kind, Verdict::Kind::Refuted);
+  EXPECT_NE(v.detail.find("stuck"), std::string::npos);
+  EXPECT_FALSE(v.counterexample.empty());
+}
+
+TEST(ModelCheck, MissingBarrierBreaksScheduleIndependence) {
+  // The nobar reduction terminates on every schedule but different
+  // schedules give different sums — exactly what
+  // require_schedule_independence catches.
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_nobar_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};  // 2 warps
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 32);
+  for (std::uint32_t i = 0; i < 4; ++i) launch.global_u32(4 * i, i + 1);
+  ModelCheckOptions opts;
+  opts.require_schedule_independence = true;
+  const Verdict v = prove_total(prg, kc, launch.machine(), Spec{}, opts);
+  EXPECT_EQ(v.kind, Verdict::Kind::Refuted) << v.detail;
+  EXPECT_NE(v.detail.find("schedule-dependent"), std::string::npos);
+}
+
+TEST(ModelCheck, BarrierRestoresScheduleIndependence) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 32);
+  std::uint32_t sum = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    launch.global_u32(4 * i, i + 1);
+    sum += i + 1;
+  }
+  Spec post;
+  post.mem_u32(mem::Space::Global, 32, sum);
+  ModelCheckOptions opts;
+  opts.require_schedule_independence = true;
+  const Verdict v = prove_total(prg, kc, launch.machine(), post, opts);
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+TEST(ModelCheck, AtomicSumProvesOverAllSchedules) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::atomic_sum_ptx()).kernel("atomic_sum");
+  const sem::KernelConfig kc{{2, 1, 1}, {2, 1, 1}, 2};  // 2 blocks
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 0, 0, 1});
+  launch.param("arr_A", 0).param("out", 32).param("size", 4);
+  for (std::uint32_t i = 0; i < 4; ++i) launch.global_u32(4 * i, i + 1);
+  launch.global_u32(32, 0);
+  Spec post;
+  post.mem_u32(mem::Space::Global, 32, 10);
+  post.mem_valid(mem::Space::Global, 32, 4);  // atomics commit valid
+  // Note: schedule *independence* does not hold — each thread's
+  // register holding the fetched old value is order-dependent — but
+  // the memory postcondition is proved on every schedule.
+  const Verdict v = prove_total(prg, kc, launch.machine(), post);
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+TEST(ModelCheck, LimitsYieldUnknown) {
+  const ptx::Program prg = programs::straightline_program(50);
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const sem::Machine m = sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  ModelCheckOptions opts;
+  opts.explore.max_depth = 5;
+  const Verdict v = prove_termination(prg, kc, m, opts);
+  EXPECT_EQ(v.kind, Verdict::Kind::Unknown);
+}
+
+TEST(ModelCheck, InfiniteLoopRefutedAsCycle) {
+  const ptx::Program prg("spin", {ptx::IBra{0}});
+  const sem::KernelConfig kc{{1, 1, 1}, {1, 1, 1}, 1};
+  const sem::Machine m = sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  const Verdict v = prove_termination(prg, kc, m);
+  EXPECT_EQ(v.kind, Verdict::Kind::Refuted);
+  EXPECT_NE(v.detail.find("cycle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cac::check

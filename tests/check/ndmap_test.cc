@@ -1,0 +1,118 @@
+// Listings 5 & 6: nth_ri, the nd_map relation, and the nd_map_eq
+// theorem checked exhaustively and property-style.
+#include "check/ndmap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace cac::check {
+namespace {
+
+const std::function<int(const int&)> kDouble = [](const int& x) {
+  return 2 * x;
+};
+
+TEST(NthRi, RemovesAtPosition) {
+  const std::vector<int> l{10, 20, 30};
+  const auto r = nth_ri(1, l);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 20);
+  EXPECT_EQ(r->second, (std::vector<int>{10, 30}));
+}
+
+TEST(NthRi, HeadAndTail) {
+  const std::vector<int> l{1, 2};
+  EXPECT_EQ(nth_ri(0, l)->first, 1);
+  EXPECT_EQ(nth_ri(1, l)->first, 2);
+  EXPECT_FALSE(nth_ri(2, l).has_value());
+  EXPECT_FALSE(nth_ri(0, std::vector<int>{}).has_value());
+}
+
+TEST(NthRi, RelationalForm) {
+  const std::vector<int> l{5, 6, 7};
+  EXPECT_TRUE(nth_ri_related(2, l, 7, {5, 6}));
+  EXPECT_FALSE(nth_ri_related(2, l, 6, {5, 6}));
+  EXPECT_FALSE(nth_ri_related(2, l, 7, {6, 5}));
+}
+
+TEST(NdMapRelation, EmptyLists) {
+  EXPECT_TRUE(nd_map_related(kDouble, {}, {}));
+  EXPECT_FALSE(nd_map_related(kDouble, {}, {0}));
+  EXPECT_FALSE(nd_map_related(kDouble, {1}, {}));
+}
+
+TEST(NdMapRelation, HoldsExactlyForMap) {
+  const std::vector<int> l{3, 1, 4, 1};
+  EXPECT_TRUE(nd_map_related(kDouble, l, {6, 2, 8, 2}));
+  EXPECT_FALSE(nd_map_related(kDouble, l, {2, 6, 8, 2}));  // permuted
+  EXPECT_FALSE(nd_map_related(kDouble, l, {6, 2, 8, 3}));  // wrong value
+}
+
+TEST(NdMapTheorem, HoldsForSmallSizes) {
+  // The Listing-6 theorem, checked over every removal order.
+  std::uint64_t expected_fact = 1;
+  for (std::size_t n = 0; n <= 6; ++n) {
+    std::vector<int> l(n);
+    std::iota(l.begin(), l.end(), 1);
+    const NdMapEqResult r = check_nd_map_eq(kDouble, l);
+    EXPECT_TRUE(r.holds) << "n=" << n;
+    EXPECT_EQ(r.derivations, expected_fact) << "n=" << n;  // n! orders
+    expected_fact *= (n + 1);
+  }
+}
+
+TEST(NdMapTheorem, HoldsForNonInjectiveFunctions) {
+  const std::function<int(const int&)> collapse = [](const int&) {
+    return 7;
+  };
+  const NdMapEqResult r = check_nd_map_eq(collapse, {1, 2, 3, 4, 5});
+  EXPECT_TRUE(r.holds);
+  EXPECT_EQ(r.derivations, 120u);
+}
+
+TEST(NdMapTheorem, ReverseDirectionMapImpliesNdMap) {
+  // map -> nd_map: the head-order derivation always exists.
+  const std::vector<int> l{9, 8, 7};
+  std::vector<int> mapped;
+  for (int x : l) mapped.push_back(kDouble(x));
+  EXPECT_TRUE(nd_map_related(kDouble, l, mapped));
+}
+
+class NdMapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NdMapPropertyTest, RandomListsSatisfyTheorem) {
+  std::uint64_t seed = GetParam();
+  auto next = [&seed] {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  std::vector<int> l(3 + next() % 4);
+  for (int& x : l) x = static_cast<int>(next() % 100);
+  const std::function<int(const int&)> f = [](const int& x) {
+    return x * x - 3;
+  };
+  const NdMapEqResult r = check_nd_map_eq(f, l);
+  EXPECT_TRUE(r.holds);
+
+  // And the relation rejects any output differing from map f l.
+  std::vector<int> mapped;
+  for (int x : l) mapped.push_back(f(x));
+  std::vector<int> wrong = mapped;
+  wrong[next() % wrong.size()] += 1;
+  EXPECT_FALSE(nd_map_related(f, l, wrong));
+  std::vector<int> shuffled = mapped;
+  std::reverse(shuffled.begin(), shuffled.end());
+  if (shuffled != mapped) {
+    EXPECT_FALSE(nd_map_related(f, l, shuffled));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NdMapPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace cac::check

@@ -1,0 +1,120 @@
+#include "check/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sem/launch.h"
+
+namespace cac::check {
+namespace {
+
+using programs::VecAddLayout;
+
+TEST(Profile, VectorAddCounts) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const VecAddLayout L;
+  const sem::KernelConfig kc{{1, 1, 1}, {32, 1, 1}, 32};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c)
+      .param("size", 32);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    launch.global_u32(L.a + 4 * i, i);
+    launch.global_u32(L.b + 4 * i, i);
+  }
+  sem::Machine m = launch.machine();
+  sched::FirstChoiceScheduler s;
+  const Profile p = profile_run(prg, kc, m, s);
+
+  EXPECT_TRUE(p.run.status == sched::RunResult::Status::Terminated);
+  EXPECT_EQ(p.grid_steps, 19u);              // the Listing-3 bound
+  EXPECT_EQ(p.divergence_events, 0u);        // size == #threads: uniform
+  EXPECT_EQ(p.sync_steps, 1u);
+  EXPECT_EQ(p.load_lanes, 32u * 2);  // 2 global lds (Param/Const not logged)
+  EXPECT_EQ(p.store_lanes, 32u);
+  EXPECT_EQ(p.atomic_lanes, 0u);
+  EXPECT_EQ(p.invalid_reads, 0u);
+  EXPECT_EQ(p.uninit_reads, 0u);
+  EXPECT_EQ(p.max_leaf_count, 1u);
+}
+
+TEST(Profile, DivergentVectorAdd) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const VecAddLayout L;
+  const sem::KernelConfig kc{{1, 1, 1}, {32, 1, 1}, 32};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c)
+      .param("size", 16);  // half the warp diverges
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    launch.global_u32(L.a + 4 * i, i);
+    launch.global_u32(L.b + 4 * i, i);
+  }
+  sem::Machine m = launch.machine();
+  sched::FirstChoiceScheduler s;
+  const Profile p = profile_run(prg, kc, m, s);
+  EXPECT_EQ(p.grid_steps, 19u);
+  EXPECT_EQ(p.divergence_events, 1u);
+  EXPECT_EQ(p.max_leaf_count, 2u);
+  EXPECT_EQ(p.max_tree_depth, 2u);
+  EXPECT_EQ(p.store_lanes, 16u);  // only the in-range half stores
+}
+
+TEST(Profile, ReductionBarriersAndTraffic) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 64);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, 1);
+  sem::Machine m = launch.machine();
+  sched::RoundRobinScheduler s;
+  const Profile p = profile_run(prg, kc, m, s);
+  EXPECT_TRUE(p.run.status == sched::RunResult::Status::Terminated);
+  // ntid=8: initial barrier + one per offset in {4,2,1}.
+  EXPECT_EQ(p.barrier_lifts, 4u);
+  EXPECT_GT(p.shared_bytes, 0u);
+  EXPECT_GT(p.global_bytes, 0u);
+  EXPECT_EQ(p.invalid_reads, 0u);
+}
+
+TEST(Profile, BuggyKernelShowsDiagnostics) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_nobar_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 64);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, 1);
+  sem::Machine m = launch.machine();
+  sched::FirstChoiceScheduler s;
+  const Profile p = profile_run(prg, kc, m, s);
+  EXPECT_EQ(p.barrier_lifts, 0u);
+  EXPECT_GT(p.invalid_reads, 0u);
+}
+
+TEST(Profile, TableMentionsEverySection) {
+  const ptx::Program prg = programs::straightline_program(3);
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Machine m = sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  sched::FirstChoiceScheduler s;
+  const Profile p = profile_run(prg, kc, m, s);
+  const std::string t = p.table();
+  for (const char* needle :
+       {"grid steps", "instruction mix", "bop:3", "mov:2", "lanes",
+        "diagnostics"}) {
+    EXPECT_NE(t.find(needle), std::string::npos) << needle << "\n" << t;
+  }
+}
+
+TEST(Profile, StuckRunReported) {
+  const ptx::Program prg = ptx::load_ptx(programs::barrier_divergence_ptx())
+                               .kernel("barrier_divergence");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Machine m = sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  sched::FirstChoiceScheduler s;
+  const Profile p = profile_run(prg, kc, m, s);
+  EXPECT_TRUE(p.run.status == sched::RunResult::Status::Stuck);
+  EXPECT_EQ(p.divergence_events, 1u);
+}
+
+}  // namespace
+}  // namespace cac::check

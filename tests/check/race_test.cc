@@ -1,0 +1,146 @@
+// The dynamic race detector against the corpus's known-good and
+// known-racy kernels.
+#include "check/race.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sem/launch.h"
+
+namespace cac::check {
+namespace {
+
+using programs::VecAddLayout;
+
+RaceReport run_detector(const ptx::Program& prg, const sem::KernelConfig& kc,
+                        sem::Launch& launch) {
+  sem::Machine m = launch.machine();
+  sched::RoundRobinScheduler s;
+  return detect_races(prg, kc, m, s);
+}
+
+TEST(RaceDetector, VectorAddIsRaceFree) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const VecAddLayout L;
+  const sem::KernelConfig kc{{2, 1, 1}, {8, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c)
+      .param("size", 16);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    launch.global_u32(L.a + 4 * i, i);
+    launch.global_u32(L.b + 4 * i, i);
+  }
+  const RaceReport r = run_detector(prg, kc, launch);
+  EXPECT_TRUE(r.run.terminated());
+  EXPECT_FALSE(r.racy()) << r.summary();
+  EXPECT_GT(r.accesses_logged, 0u);
+}
+
+TEST(RaceDetector, BarrierReductionIsRaceFree) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};  // two warps
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 64);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, i);
+  const RaceReport r = run_detector(prg, kc, launch);
+  EXPECT_TRUE(r.run.terminated());
+  EXPECT_FALSE(r.racy()) << r.summary();
+}
+
+TEST(RaceDetector, MissingBarrierIsRacy) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_nobar_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 64);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, i);
+  const RaceReport r = run_detector(prg, kc, launch);
+  EXPECT_TRUE(r.racy());
+  // The races are inter-warp on the Shared tree cells.
+  EXPECT_EQ(r.races.front().space, ptx::Space::Shared);
+  EXPECT_FALSE(r.races.front().cross_block);
+}
+
+TEST(RaceDetector, AtomicsDoNotRace) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::atomic_sum_ptx()).kernel("atomic_sum");
+  const sem::KernelConfig kc{{2, 1, 1}, {4, 1, 1}, 4};  // cross-block atomics
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 0, 0, 1});
+  launch.param("arr_A", 0).param("out", 32).param("size", 8);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, 1);
+  launch.global_u32(32, 0);
+  const RaceReport r = run_detector(prg, kc, launch);
+  EXPECT_TRUE(r.run.terminated());
+  EXPECT_FALSE(r.racy()) << r.summary();
+}
+
+TEST(RaceDetector, CrossBlockPlainStoresRace) {
+  // Both blocks store to Global[0] with plain stores.
+  const ptx::Program prg =
+      ptx::load_ptx(programs::race_store_ptx()).kernel("race_store");
+  const sem::KernelConfig kc{{2, 1, 1}, {1, 1, 1}, 1};
+  sem::Launch launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1});
+  launch.param("out", 0);
+  const RaceReport r = run_detector(prg, kc, launch);
+  EXPECT_TRUE(r.racy());
+  EXPECT_TRUE(r.races.front().cross_block);
+  EXPECT_TRUE(r.races.front().write_write);
+}
+
+TEST(RaceDetector, SameWarpLanesAreNotFlagged) {
+  // All 4 lanes of ONE warp store to the same address: that is a
+  // same-instruction lane conflict (store_conflicts), not an
+  // inter-warp race.
+  const ptx::Program prg =
+      ptx::load_ptx(programs::race_store_ptx()).kernel("race_store");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1});
+  launch.param("out", 0);
+  const RaceReport r = run_detector(prg, kc, launch);
+  EXPECT_FALSE(r.racy()) << r.summary();
+}
+
+TEST(RaceDetector, TwoWarpsSameBlockRace) {
+  // Two warps of the same block store to the same Global address with
+  // no barrier: intra-block inter-warp race.
+  const ptx::Program prg =
+      ptx::load_ptx(programs::race_store_ptx()).kernel("race_store");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};  // 2 warps
+  sem::Launch launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1});
+  launch.param("out", 0);
+  const RaceReport r = run_detector(prg, kc, launch);
+  EXPECT_TRUE(r.racy());
+  EXPECT_FALSE(r.races.front().cross_block);
+}
+
+TEST(RaceDetector, ReadOnlySharingIsFine) {
+  // Every thread reads Global[0]; nobody writes.
+  const ptx::Reg r1{ptx::TypeClass::UI, 32, 1};
+  const ptx::Program prg(
+      "readers",
+      {ptx::ILd{ptx::Space::Global, ptx::UI(32), r1, ptx::op_imm(0)},
+       ptx::IExit{}});
+  const sem::KernelConfig kc{{2, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1});
+  launch.global_u32(0, 99);
+  const RaceReport r = run_detector(prg, kc, launch);
+  EXPECT_FALSE(r.racy());
+  EXPECT_EQ(r.bytes_touched, 4u);
+  EXPECT_EQ(r.accesses_logged, 8u);
+}
+
+TEST(RaceDetector, SummaryMentionsLocation) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::race_store_ptx()).kernel("race_store");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1});
+  launch.param("out", 0);
+  const RaceReport r = run_detector(prg, kc, launch);
+  ASSERT_TRUE(r.racy());
+  EXPECT_NE(r.summary().find("Global[0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cac::check

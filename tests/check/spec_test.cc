@@ -1,0 +1,66 @@
+#include "check/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::check {
+namespace {
+
+sem::Machine machine16() {
+  sem::Machine m;
+  m.memory = mem::Memory(mem::MemSizes{16, 0, 0, 0, 1});
+  return m;
+}
+
+TEST(Spec, EmptySpecHolds) {
+  EXPECT_TRUE(Spec{}.eval(machine16()).empty());
+}
+
+TEST(Spec, MemU32) {
+  sem::Machine m = machine16();
+  m.memory.init_u32(mem::Space::Global, 4, 99);
+  Spec s;
+  s.mem_u32(mem::Space::Global, 4, 99);
+  EXPECT_TRUE(s.eval(m).empty());
+  Spec bad;
+  bad.mem_u32(mem::Space::Global, 4, 100);
+  const auto failures = bad.eval(m);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].description.find("Global[4"), std::string::npos);
+}
+
+TEST(Spec, OutOfBoundsClauseFails) {
+  Spec s;
+  s.mem_u32(mem::Space::Global, 14, 0);  // 14+4 > 16
+  EXPECT_EQ(s.eval(machine16()).size(), 1u);
+}
+
+TEST(Spec, MemValidTracksValidBits) {
+  sem::Machine m = machine16();
+  m.memory.store(mem::Space::Global, 0, 4, 5, false);
+  Spec s;
+  s.mem_valid(mem::Space::Global, 0, 4);
+  EXPECT_EQ(s.eval(m).size(), 1u);
+  m.memory.store(mem::Space::Global, 0, 4, 5, true);
+  EXPECT_TRUE(s.eval(m).empty());
+}
+
+TEST(Spec, ClausesAccumulate) {
+  sem::Machine m = machine16();
+  m.memory.init_u32(mem::Space::Global, 0, 1);
+  Spec s;
+  s.mem_u32(mem::Space::Global, 0, 1)
+      .mem_u32(mem::Space::Global, 0, 2)
+      .mem_u8(mem::Space::Global, 0, 3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.eval(m).size(), 2u);
+}
+
+TEST(Spec, CustomPredicate) {
+  Spec s;
+  s.require("grid is empty",
+            [](const sem::Machine& m) { return m.grid.blocks.empty(); });
+  EXPECT_TRUE(s.eval(machine16()).empty());
+}
+
+}  // namespace
+}  // namespace cac::check

@@ -1,0 +1,137 @@
+// Trace replay: untrusted tools' claims re-validated by the kernel.
+#include "check/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "check/model.h"
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+
+namespace cac::check {
+namespace {
+
+TEST(TraceReplay, SchedulerRunReplaysExactly) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const programs::VecAddLayout L;
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c).param(
+      "size", 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    launch.global_u32(L.a + 4 * i, i + 1);
+    launch.global_u32(L.b + 4 * i, i + 2);
+  }
+  const sem::Machine initial = launch.machine();
+
+  sem::Machine run_final = initial;
+  sched::RandomScheduler s(31337);
+  const sched::RunResult rr = sched::run(prg, kc, run_final, s);
+  ASSERT_TRUE(rr.terminated());
+
+  const ReplayResult rep = replay(prg, kc, initial, rr.trace);
+  EXPECT_TRUE(rep.valid) << rep.error;
+  EXPECT_TRUE(rep.final_terminated);
+  EXPECT_EQ(rep.final, run_final);
+  EXPECT_EQ(rep.steps_replayed, rr.steps);
+}
+
+TEST(TraceReplay, StuckCounterexampleReplaysToStuckState) {
+  const ptx::Program prg = ptx::load_ptx(programs::barrier_divergence_ptx())
+                               .kernel("barrier_divergence");
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const sem::Machine initial =
+      sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  const Verdict v = prove_termination(prg, kc, initial);
+  ASSERT_EQ(v.kind, Verdict::Kind::Refuted);
+  ASSERT_FALSE(v.counterexample.empty());
+
+  // Independent validation of the model checker's counterexample.
+  const ReplayResult rep = replay(prg, kc, initial, v.counterexample);
+  EXPECT_TRUE(rep.valid) << rep.error;
+  EXPECT_TRUE(rep.final_stuck);
+  EXPECT_FALSE(rep.final_terminated);
+}
+
+TEST(TraceReplay, FaultCounterexampleReplaysToFault) {
+  const ptx::Program prg(
+      "oob", {ptx::ILd{ptx::Space::Global, ptx::UI(32),
+                       {ptx::TypeClass::UI, 32, 1}, ptx::op_imm(100)},
+              ptx::IExit{}});
+  const sem::KernelConfig kc{{1, 1, 1}, {1, 1, 1}, 1};
+  const sem::Machine initial =
+      sem::Launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1}).machine();
+  const Verdict v = prove_termination(prg, kc, initial);
+  ASSERT_EQ(v.kind, Verdict::Kind::Refuted);
+  const ReplayResult rep = replay(prg, kc, initial, v.counterexample);
+  EXPECT_TRUE(rep.valid) << rep.error;
+  EXPECT_TRUE(rep.faulted);
+  EXPECT_NE(rep.fault.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(TraceReplay, TamperedTraceIsRejected) {
+  const ptx::Program prg = programs::straightline_program(3);
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};  // warps 0 and 1
+  const sem::Machine initial =
+      sem::Launch(prg, kc, mem::MemSizes{}).machine();
+
+  sem::Machine run_final = initial;
+  sched::FirstChoiceScheduler s;
+  const sched::RunResult rr = sched::run(prg, kc, run_final, s);
+  ASSERT_TRUE(rr.terminated());
+
+  // Corrupt the trace: reference a warp that does not exist.
+  auto bad = rr.trace;
+  bad[2].warp = 99;
+  const ReplayResult rep = replay(prg, kc, initial, bad);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_NE(rep.error.find("not applicable"), std::string::npos);
+}
+
+TEST(TraceReplay, TraceContinuingPastExitIsRejected) {
+  const ptx::Program prg = programs::straightline_program(1);
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const sem::Machine initial =
+      sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  sem::Machine run_final = initial;
+  sched::FirstChoiceScheduler s;
+  const sched::RunResult rr = sched::run(prg, kc, run_final, s);
+  ASSERT_TRUE(rr.terminated());
+  auto bad = rr.trace;
+  bad.push_back(bad.back());  // one step too many
+  const ReplayResult rep = replay(prg, kc, initial, bad);
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(TraceReplay, EmptyTraceIsValid) {
+  const ptx::Program prg = programs::straightline_program(1);
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const sem::Machine initial =
+      sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  const ReplayResult rep = replay(prg, kc, initial, {});
+  EXPECT_TRUE(rep.valid);
+  EXPECT_FALSE(rep.final_terminated);
+  EXPECT_EQ(rep.final, initial);
+}
+
+TEST(TraceReplay, EventsAreReproduced) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::race_store_ptx()).kernel("race_store");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1});
+  launch.param("out", 0);
+  const sem::Machine initial = launch.machine();
+  sem::Machine run_final = initial;
+  sched::FirstChoiceScheduler s;
+  const sched::RunResult rr = sched::run(prg, kc, run_final, s);
+  ASSERT_TRUE(rr.terminated());
+  const ReplayResult rep = replay(prg, kc, initial, rr.trace);
+  EXPECT_TRUE(rep.valid);
+  EXPECT_EQ(rep.events.store_conflicts.size(),
+            rr.events.store_conflicts.size());
+  EXPECT_FALSE(rep.events.store_conflicts.empty());
+}
+
+}  // namespace
+}  // namespace cac::check

@@ -1,0 +1,78 @@
+// The scheduler-transparency theorem checker (paper's headline result).
+#include "check/transparency.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sem/launch.h"
+
+namespace cac::check {
+namespace {
+
+using programs::VecAddLayout;
+
+TEST(Transparency, HoldsForVectorAdd) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const VecAddLayout L;
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};  // 2 warps
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c).param(
+      "size", 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    launch.global_u32(L.a + 4 * i, i);
+    launch.global_u32(L.b + 4 * i, 10 * i);
+  }
+  const TransparencyResult r =
+      check_scheduler_transparency(prg, kc, launch.machine());
+  EXPECT_TRUE(r.holds) << r.detail;
+  EXPECT_EQ(r.det_steps, 38u);
+  EXPECT_GT(r.schedules_states, r.det_steps);  // real nondeterminism
+}
+
+TEST(Transparency, HoldsForBarrierReduction) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 32);
+  for (std::uint32_t i = 0; i < 4; ++i) launch.global_u32(4 * i, 2 * i + 1);
+  const TransparencyResult r =
+      check_scheduler_transparency(prg, kc, launch.machine());
+  EXPECT_TRUE(r.holds) << r.detail;
+}
+
+TEST(Transparency, FailsWithoutBarrier) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_nobar_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 32);
+  for (std::uint32_t i = 0; i < 4; ++i) launch.global_u32(4 * i, 2 * i + 1);
+  const TransparencyResult r =
+      check_scheduler_transparency(prg, kc, launch.machine());
+  EXPECT_FALSE(r.holds);
+  EXPECT_NE(r.detail.find("schedule-dependent"), std::string::npos);
+}
+
+TEST(Transparency, ReportsDeadlockFromDeterministicRun) {
+  const ptx::Program prg = ptx::load_ptx(programs::barrier_divergence_ptx())
+                               .kernel("barrier_divergence");
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const sem::Machine m = sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  const TransparencyResult r = check_scheduler_transparency(prg, kc, m);
+  EXPECT_FALSE(r.holds);
+  EXPECT_NE(r.detail.find("did not terminate"), std::string::npos);
+}
+
+TEST(Transparency, SingleWarpIsTriviallyTransparent) {
+  const ptx::Program prg = programs::straightline_program(5);
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const sem::Machine m = sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  const TransparencyResult r = check_scheduler_transparency(prg, kc, m);
+  EXPECT_TRUE(r.holds) << r.detail;
+  EXPECT_EQ(r.det_steps, 7u);
+}
+
+}  // namespace
+}  // namespace cac::check

@@ -1,0 +1,136 @@
+#include "common/random_program.h"
+
+namespace cac::testing {
+
+using namespace cac::ptx;
+
+Program random_program(Rng& rng, const RandomProgramOptions& opts) {
+  std::vector<Instr> code;
+  const auto r32 = [](std::uint16_t i) {
+    return Reg{TypeClass::UI, 32, i};
+  };
+  const Reg rd1{TypeClass::UI, 64, 1}, rd2{TypeClass::UI, 64, 2};
+  const Reg addr_reg = r32(7);  // reserved: 128 + tid*stride, never a dst
+  const Pred p1{1};
+
+  code.push_back(IMov{r32(1), op_sreg(SregKind::Tid, Dim::X)});
+  for (std::uint16_t i = 2; i <= 6; ++i) {
+    code.push_back(IMov{r32(i), op_imm(static_cast<std::int64_t>(
+                                     rng.next() & 0xffff))});
+  }
+  code.push_back(IMov{rd1, op_imm(static_cast<std::int64_t>(rng.next()))});
+  code.push_back(IMov{rd2, op_imm(17)});
+  if (opts.allow_stores) {
+    code.push_back(ITop{TerOp::MadLo, UI(32), addr_reg, op_reg(r32(1)),
+                        op_imm(opts.store_stride), op_imm(128)});
+  }
+
+  auto operand32 = [&]() -> Operand {
+    if (rng.chance(25)) {
+      return op_imm(static_cast<std::int64_t>(rng.next() & 0xff));
+    }
+    return op_reg(r32(static_cast<std::uint16_t>(1 + rng.below(6))));
+  };
+
+  auto random_alu = [&]() -> Instr {
+    const Reg dst = r32(static_cast<std::uint16_t>(1 + rng.below(6)));
+    const DType t = rng.chance(50) ? UI(32) : SI(32);
+    switch (rng.below(10)) {
+      case 0: return IBop{BinOp::Add, t, dst, operand32(), operand32()};
+      case 1: return IBop{BinOp::Sub, t, dst, operand32(), operand32()};
+      case 2: return IBop{BinOp::Mul, t, dst, operand32(), operand32()};
+      case 3: return IBop{BinOp::And, t, dst, operand32(), operand32()};
+      case 4: return IBop{BinOp::Xor, t, dst, operand32(), operand32()};
+      case 5:
+        return IBop{rng.chance(50) ? BinOp::Min : BinOp::Max, t, dst,
+                    operand32(), operand32()};
+      case 6:
+        return IBop{rng.chance(50) ? BinOp::Div : BinOp::Rem, t, dst,
+                    operand32(), operand32()};
+      case 7:
+        return IBop{rng.chance(50) ? BinOp::Shl : BinOp::Shr, t, dst,
+                    operand32(), op_imm(rng.below(35))};
+      case 8:
+        return ITop{TerOp::MadLo, t, dst, operand32(), operand32(),
+                    operand32()};
+      default: {
+        static constexpr UnOp kUnops[] = {UnOp::Not, UnOp::Neg, UnOp::Abs,
+                                          UnOp::Popc, UnOp::Clz, UnOp::Brev};
+        return IUop{kUnops[rng.below(6)], t, dst, operand32()};
+      }
+    }
+  };
+
+  for (unsigned i = 0; i < opts.n_instrs; ++i) {
+    const std::uint32_t kind = rng.below(12);
+    if (kind == 0 && opts.allow_loads) {
+      switch (rng.below(3)) {
+        case 0:
+          code.push_back(ILd{Space::Global, UI(32),
+                             r32(static_cast<std::uint16_t>(1 + rng.below(6))),
+                             op_imm(4 * rng.below(8))});
+          break;
+        case 1:
+          code.push_back(ILd{Space::Global, UI(8),
+                             r32(static_cast<std::uint16_t>(1 + rng.below(6))),
+                             op_imm(32 + rng.below(32))});
+          break;
+        default:
+          code.push_back(ILd{Space::Global, SI(8),
+                             r32(static_cast<std::uint16_t>(1 + rng.below(6))),
+                             op_imm(32 + rng.below(32))});
+      }
+      continue;
+    }
+    if (kind == 1) {
+      code.push_back(IBop{rng.chance(50) ? BinOp::Add : BinOp::Xor, UI(64),
+                          rng.chance(50) ? rd1 : rd2, op_reg(rd1),
+                          op_reg(rd2)});
+      continue;
+    }
+    if (kind == 2) {
+      if (rng.chance(50)) {
+        code.push_back(IBop{BinOp::MulWide,
+                            rng.chance(50) ? SI(32) : UI(32), rd1,
+                            operand32(), operand32()});
+      } else {
+        code.push_back(IUop{UnOp::Cvt, rng.chance(50) ? SI(32) : UI(32),
+                            rd2, operand32()});
+      }
+      continue;
+    }
+    if (kind == 3) {
+      const CmpOp cmp = static_cast<CmpOp>(rng.below(6));
+      const DType t = rng.chance(50) ? UI(32) : SI(32);
+      code.push_back(ISetp{cmp, t, p1, operand32(), operand32()});
+      code.push_back(ISelp{UI(32),
+                           r32(static_cast<std::uint16_t>(1 + rng.below(6))),
+                           operand32(), operand32(), p1});
+      continue;
+    }
+    if (kind == 4 && opts.allow_stores) {
+      code.push_back(ISt{Space::Global, UI(32), op_reg(addr_reg),
+                         r32(static_cast<std::uint16_t>(1 + rng.below(6)))});
+      continue;
+    }
+    code.push_back(random_alu());
+  }
+
+  if (opts.allow_branch && rng.chance(60)) {
+    const DType t = rng.chance(50) ? UI(32) : SI(32);
+    code.push_back(ISetp{static_cast<CmpOp>(rng.below(6)), t, p1,
+                         operand32(), operand32()});
+    std::vector<Instr> tail;
+    for (unsigned i = 0, n = 1 + rng.below(4); i < n; ++i) {
+      tail.push_back(random_alu());
+    }
+    code.push_back(IPBra{p1, rng.chance(50),
+                         static_cast<std::uint32_t>(code.size() + 1 +
+                                                    tail.size())});
+    for (auto& i : tail) code.push_back(std::move(i));
+  }
+  code.push_back(IExit{});
+  return Program("fuzz", std::move(code));
+}
+
+}  // namespace cac::testing

@@ -1,0 +1,46 @@
+// Shared test helper: deterministic random PTX-model programs for
+// property/differential testing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptx/program.h"
+
+namespace cac::testing {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed * 0x9e3779b97f4a7c15ull + 1) {}
+  std::uint64_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return s_;
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+  bool chance(std::uint32_t percent) { return below(100) < percent; }
+
+ private:
+  std::uint64_t s_;
+};
+
+struct RandomProgramOptions {
+  unsigned n_instrs = 16;
+  bool allow_loads = true;      // absolute Global loads (disjoint u32/u8
+                                // ranges, symbolic-fragment friendly)
+  bool allow_stores = false;    // per-thread disjoint u32 stores
+  bool allow_branch = true;     // one guarded forward branch
+  std::uint32_t store_stride = 4;  // thread i stores at i*stride
+};
+
+/// Build a random register-computation program over six u32 and two
+/// u64 registers.  With `allow_stores`, each thread may store r-values
+/// to Global[tid*stride] (disjoint across threads).  Programs always
+/// end with Exit and contain no Sync (use load_ptx on emit_ptx(...) to
+/// get mechanical Sync insertion).
+ptx::Program random_program(Rng& rng, const RandomProgramOptions& opts = {});
+
+}  // namespace cac::testing

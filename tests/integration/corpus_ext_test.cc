@@ -1,0 +1,123 @@
+// End-to-end + for-all-inputs validation of the extended corpus
+// kernels (saxpy, vectorized copy).
+#include <gtest/gtest.h>
+
+#include "check/model.h"
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+#include "vcgen/prove.h"
+
+namespace cac {
+namespace {
+
+TEST(Saxpy, ConcreteRun) {
+  const ptx::Program prg = ptx::load_ptx(programs::saxpy_ptx()).kernel("saxpy");
+  const sem::KernelConfig kc{{2, 1, 1}, {8, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{256, 0, 0, 0, 1});
+  launch.param("arr_X", 0).param("arr_Y", 64).param("a", 7).param("size", 13);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    launch.global_u32(4 * i, i + 1);        // X
+    launch.global_u32(64 + 4 * i, 100 * i); // Y
+  }
+  sem::Machine m = launch.machine();
+  sched::RoundRobinScheduler s;
+  ASSERT_TRUE(sched::run(prg, kc, m, s).terminated());
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const std::uint64_t y = m.memory.load(mem::Space::Global, 64 + 4 * i, 4);
+    EXPECT_EQ(y, i < 13 ? 7 * (i + 1) + 100 * i : 100 * i) << i;
+  }
+}
+
+TEST(Saxpy, ForAllInputsIncludingScalar) {
+  // Y[i] = a*X[i] + Y[i] proved for arbitrary a, X, Y and size.
+  const ptx::Program prg = ptx::load_ptx(programs::saxpy_ptx()).kernel("saxpy");
+  sym::TermArena arena;
+  const sym::SymEnv env = sym::SymEnv::symbolic(arena, prg);
+  vcgen::GuardedWriteSpec spec;
+  spec.guard = [](sym::TermArena& a, std::uint32_t tid) {
+    return a.lt(a.konst(tid, 32), a.var("size", 32), false);
+  };
+  spec.writes = [](sym::TermArena& a, std::uint32_t tid) {
+    const std::string i = std::to_string(4 * tid);
+    return std::vector<sym::SymWrite>{
+        {"arr_Y", 4ull * tid, 4,
+         a.add(a.mul(a.var("a", 32), a.var("arr_X[" + i + "]", 32)),
+               a.var("arr_Y[" + i + "]", 32))}};
+  };
+  const vcgen::ProofResult r = vcgen::prove_guarded_writes(
+      prg, {{1, 1, 1}, {16, 1, 1}, 16}, env, spec);
+  EXPECT_TRUE(r.proved) << r.detail;
+}
+
+TEST(Saxpy, AllSchedulesSmallConfig) {
+  const ptx::Program prg = ptx::load_ptx(programs::saxpy_ptx()).kernel("saxpy");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 0, 0, 1});
+  launch.param("arr_X", 0).param("arr_Y", 32).param("a", 3).param("size", 4);
+  check::Spec post;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    launch.global_u32(4 * i, i + 1);
+    launch.global_u32(32 + 4 * i, 10 * i);
+    post.mem_u32(mem::Space::Global, 32 + 4 * i, 3 * (i + 1) + 10 * i);
+  }
+  check::ModelCheckOptions opts;
+  opts.require_schedule_independence = true;
+  opts.explore.partial_order_reduction = true;
+  const check::Verdict v =
+      check::prove_total(prg, kc, launch.machine(), post, opts);
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+TEST(CopyV2, ConcreteRun) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::copy_v2_ptx()).kernel("copy_v2");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 0, 0, 1});
+  launch.param("in", 0).param("out", 64).param("npairs", 3);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, 0xa0 + i);
+  sem::Machine m = launch.machine();
+  sched::FirstChoiceScheduler s;
+  ASSERT_TRUE(sched::run(prg, kc, m, s).terminated());
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const std::uint64_t out = m.memory.load(mem::Space::Global, 64 + 4 * i, 4);
+    EXPECT_EQ(out, i < 6 ? 0xa0u + i : 0u) << i;
+  }
+}
+
+TEST(CopyV2, ForAllInputs) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::copy_v2_ptx()).kernel("copy_v2");
+  sym::TermArena arena;
+  const sym::SymEnv env = sym::SymEnv::symbolic(arena, prg);
+  vcgen::GuardedWriteSpec spec;
+  spec.guard = [](sym::TermArena& a, std::uint32_t tid) {
+    return a.lt(a.konst(tid, 32), a.var("npairs", 32), false);
+  };
+  spec.writes = [](sym::TermArena& a, std::uint32_t tid) {
+    const std::string lo = std::to_string(8 * tid);
+    const std::string hi = std::to_string(8 * tid + 4);
+    return std::vector<sym::SymWrite>{
+        {"out", 8ull * tid, 4, a.var("in[" + lo + "]", 32)},
+        {"out", 8ull * tid + 4, 4, a.var("in[" + hi + "]", 32)}};
+  };
+  const vcgen::ProofResult r = vcgen::prove_guarded_writes(
+      prg, {{1, 1, 1}, {8, 1, 1}, 8}, env, spec);
+  EXPECT_TRUE(r.proved) << r.detail;
+}
+
+TEST(CopyV2, RaceFreeAndLaneOrderIndependent) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::copy_v2_ptx()).kernel("copy_v2");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 0, 0, 1});
+  launch.param("in", 0).param("out", 64).param("npairs", 4);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, i);
+  const check::Verdict v = check::prove_total(
+      prg, kc, launch.machine(), check::Spec{});
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+}  // namespace
+}  // namespace cac

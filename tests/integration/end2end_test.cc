@@ -1,0 +1,309 @@
+// End-to-end runs of the corpus kernels through the full pipeline:
+// parse -> lower -> launch -> schedule -> validate results, reproducing
+// the paper's §IV walk-through and its failure cases.
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+
+namespace cac {
+namespace {
+
+using programs::VecAddLayout;
+using sched::FirstChoiceScheduler;
+using sched::RoundRobinScheduler;
+using sched::RandomScheduler;
+using sched::RunResult;
+
+sem::Launch vecadd_launch(const ptx::Program& prg, std::uint32_t nthreads,
+                          std::uint32_t size, std::uint32_t warp_size = 32) {
+  const VecAddLayout L;
+  sem::KernelConfig kc{{1, 1, 1}, {nthreads, 1, 1}, warp_size};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c).param(
+      "size", size);
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    launch.global_u32(L.a + 4 * i, 3 * i + 1);
+    launch.global_u32(L.b + 4 * i, 7 * i + 2);
+  }
+  return launch;
+}
+
+void expect_vecadd_output(const mem::Memory& mu, std::uint32_t size,
+                          std::uint32_t nthreads) {
+  const VecAddLayout L;
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    const std::uint64_t c = mu.load(mem::Space::Global, L.c + 4 * i, 4);
+    if (i < size) {
+      EXPECT_EQ(c, (3 * i + 1) + (7 * i + 2)) << "C[" << i << "]";
+    } else {
+      EXPECT_EQ(c, 0u) << "C[" << i << "] must be untouched";
+    }
+  }
+}
+
+// --- the paper's Listing 2/3 reproduction ---
+
+TEST(VectorAdd, Listing2TerminatesInExactly19Steps) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  auto launch = vecadd_launch(prg, 32, 32);
+  sem::Machine m = launch.machine();
+  FirstChoiceScheduler s;
+  const RunResult r = sched::run(prg, launch.config(), m, s);
+  EXPECT_TRUE(r.terminated());
+  EXPECT_EQ(r.steps, 19u);  // the paper's add_vector_terminates bound
+  expect_vecadd_output(m.memory, 32, 32);
+}
+
+TEST(VectorAdd, Listing2DivergentStillTerminatesIn19Steps) {
+  // size=16: half the warp takes the guard, the warp diverges at the
+  // PBra and reconverges at the Sync — same 19-step bound.
+  const ptx::Program prg = programs::vector_add_listing2();
+  auto launch = vecadd_launch(prg, 32, 16);
+  sem::Machine m = launch.machine();
+  FirstChoiceScheduler s;
+  const RunResult r = sched::run(prg, launch.config(), m, s);
+  EXPECT_TRUE(r.terminated());
+  EXPECT_EQ(r.steps, 19u);
+  expect_vecadd_output(m.memory, 16, 32);
+}
+
+TEST(VectorAdd, MechanicallyLoweredMatchesListing2Result) {
+  const ptx::LoweredModule mod = ptx::load_ptx(programs::vector_add_ptx());
+  const ptx::Program& mech = mod.kernel("add_vector");
+  const ptx::Program hand = programs::vector_add_listing2();
+
+  for (std::uint32_t size : {32u, 16u, 0u}) {
+    auto l1 = vecadd_launch(mech, 32, size);
+    auto l2 = vecadd_launch(hand, 32, size);
+    sem::Machine m1 = l1.machine(), m2 = l2.machine();
+    FirstChoiceScheduler s1, s2;
+    const RunResult r1 = sched::run(mech, l1.config(), m1, s1);
+    const RunResult r2 = sched::run(hand, l2.config(), m2, s2);
+    ASSERT_TRUE(r1.terminated());
+    ASSERT_TRUE(r2.terminated());
+    if (size != 0) {
+      // 22 = 19 + the three cvta Movs the hand translation dropped.
+      EXPECT_EQ(r1.steps, 22u);
+      EXPECT_EQ(r2.steps, 19u);
+    }
+    EXPECT_EQ(m1.memory, m2.memory) << "size=" << size;
+  }
+}
+
+TEST(VectorAdd, MultiBlockGrid) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const VecAddLayout L;
+  sem::KernelConfig kc{{4, 1, 1}, {8, 1, 1}, 8};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c).param(
+      "size", 30);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    launch.global_u32(L.a + 4 * i, 3 * i + 1);
+    launch.global_u32(L.b + 4 * i, 7 * i + 2);
+  }
+  sem::Machine m = launch.machine();
+  RoundRobinScheduler s;
+  const RunResult r = sched::run(prg, kc, m, s);
+  ASSERT_TRUE(r.terminated());
+  expect_vecadd_output(m.memory, 30, 32);
+}
+
+TEST(VectorAdd, ResultIsSchedulerInvariant) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  std::vector<mem::Memory> finals;
+  for (int variant = 0; variant < 4; ++variant) {
+    sem::KernelConfig kc{{2, 1, 1}, {8, 1, 1}, 4};
+    const VecAddLayout L;
+    sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+    launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c)
+        .param("size", 13);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      launch.global_u32(L.a + 4 * i, i * i);
+      launch.global_u32(L.b + 4 * i, 100 - i);
+    }
+    sem::Machine m = launch.machine();
+    FirstChoiceScheduler fc;
+    RoundRobinScheduler rr;
+    RandomScheduler rnd1(123), rnd2(99991);
+    sched::Scheduler* scheds[] = {&fc, &rr, &rnd1, &rnd2};
+    const RunResult r = sched::run(prg, kc, m, *scheds[variant]);
+    ASSERT_TRUE(r.terminated());
+    finals.push_back(m.memory);
+  }
+  EXPECT_EQ(finals[0], finals[1]);
+  EXPECT_EQ(finals[0], finals[2]);
+  EXPECT_EQ(finals[0], finals[3]);
+}
+
+// --- further corpus kernels ---
+
+TEST(XorCipher, EncryptDecryptRoundTrip) {
+  const ptx::Program& prg =
+      ptx::load_ptx(programs::xor_cipher_ptx()).kernel("xor_cipher");
+  const VecAddLayout L;
+  sem::KernelConfig kc{{1, 1, 1}, {16, 1, 1}, 8};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c).param(
+      "size", 16);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    launch.global_u32(L.a + 4 * i, 0xbeef0000 + i);     // plaintext
+    launch.global_u32(L.b + 4 * i, 0x5a5a5a5a ^ i * i); // keystream
+  }
+  sem::Machine m = launch.machine();
+  FirstChoiceScheduler s;
+  ASSERT_TRUE(sched::run(prg, kc, m, s).terminated());
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const std::uint64_t c = m.memory.load(mem::Space::Global, L.c + 4 * i, 4);
+    EXPECT_EQ(c ^ (0x5a5a5a5au ^ i * i), 0xbeef0000u + i);
+  }
+}
+
+TEST(ScanSignature, FindsAllOccurrences) {
+  const ptx::Program& prg = ptx::load_ptx(programs::scan_signature_ptx())
+                                .kernel("scan_signature");
+  const std::string data = "abcabxcababc";
+  const std::string pat = "ab";
+  sem::KernelConfig kc{{1, 1, 1},
+                       {static_cast<std::uint32_t>(data.size()), 1, 1},
+                       4};
+  sem::Launch launch(prg, kc, mem::MemSizes{256, 0, 0, 0, 1});
+  launch.param("data", 0).param("pattern", 64).param("out", 128)
+      .param("dlen", data.size()).param("plen", pat.size());
+  launch.memory().write_init(mem::Space::Global, 0, data.data(), data.size());
+  launch.memory().write_init(mem::Space::Global, 64, pat.data(), pat.size());
+  sem::Machine m = launch.machine();
+  RoundRobinScheduler s;
+  const RunResult r = sched::run(prg, kc, m, s);
+  ASSERT_TRUE(r.terminated()) << r.message;
+  for (std::size_t i = 0; i + pat.size() <= data.size(); ++i) {
+    const bool expect_match = data.compare(i, pat.size(), pat) == 0;
+    EXPECT_EQ(m.memory.load(mem::Space::Global, 128 + i, 1),
+              expect_match ? 1u : 0u)
+        << "position " << i;
+  }
+}
+
+TEST(ReduceShared, ComputesBlockSum) {
+  const ptx::Program& prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};  // two warps, real barrier
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 64);
+  std::uint32_t expected = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    launch.global_u32(4 * i, i * i + 1);
+    expected += i * i + 1;
+  }
+  sem::Machine m = launch.machine();
+  RoundRobinScheduler s;
+  const RunResult r = sched::run(prg, kc, m, s);
+  ASSERT_TRUE(r.terminated()) << r.message;
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 64, 4), expected);
+  // Shared values were committed by the barriers along the way.
+  EXPECT_TRUE(r.events.invalid_reads.empty());
+}
+
+TEST(ReduceShared, MissingBarrierReadsInvalidBytesAndMiscomputes) {
+  const ptx::Program& prg =
+      ptx::load_ptx(programs::reduce_shared_nobar_ptx()).kernel("reduce");
+  sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 64);
+  std::uint32_t expected = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    launch.global_u32(4 * i, i * i + 1);
+    expected += i * i + 1;
+  }
+  sem::Machine m = launch.machine();
+  // First-choice runs warp 0 to completion before warp 1 starts: the
+  // second warp's contributions are missing from the sum.
+  FirstChoiceScheduler s;
+  const RunResult r = sched::run(prg, kc, m, s);
+  ASSERT_TRUE(r.terminated()) << r.message;
+  EXPECT_NE(m.memory.load(mem::Space::Global, 64, 4), expected);
+  // ...and the valid-bit discipline flags every uncommitted read.
+  EXPECT_FALSE(r.events.invalid_reads.empty());
+}
+
+TEST(AtomicSum, OrderInvariantTotal) {
+  const ptx::Program& prg =
+      ptx::load_ptx(programs::atomic_sum_ptx()).kernel("atomic_sum");
+  for (const std::uint64_t seed : {1ull, 42ull, 777ull}) {
+    sem::KernelConfig kc{{2, 1, 1}, {4, 1, 1}, 4};
+    sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 0, 0, 1});
+    launch.param("arr_A", 0).param("out", 64).param("size", 8);
+    for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, i + 1);
+    launch.global_u32(64, 0);
+    sem::Machine m = launch.machine();
+    RandomScheduler s(seed);
+    ASSERT_TRUE(sched::run(prg, kc, m, s).terminated());
+    EXPECT_EQ(m.memory.load(mem::Space::Global, 64, 4), 36u);
+    EXPECT_TRUE(m.memory.all_valid(mem::Space::Global, 64, 4));
+  }
+}
+
+TEST(RaceStore, LaneOrderChangesResultAndIsFlagged) {
+  const ptx::Program& prg =
+      ptx::load_ptx(programs::race_store_ptx()).kernel("race_store");
+  sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  mem::Memory finals[2];
+  for (int i = 0; i < 2; ++i) {
+    sem::Launch launch(prg, kc, mem::MemSizes{16, 0, 0, 0, 1});
+    launch.param("out", 0);
+    sem::Machine m = launch.machine();
+    FirstChoiceScheduler s;
+    sem::StepOptions opts;
+    opts.order.kind = i == 0 ? sem::ThreadOrder::Kind::Ascending
+                             : sem::ThreadOrder::Kind::Descending;
+    const RunResult r = sched::run(prg, kc, m, s, 1000, opts);
+    ASSERT_TRUE(r.terminated());
+    EXPECT_FALSE(r.events.store_conflicts.empty());
+    finals[i] = m.memory;
+  }
+  EXPECT_NE(finals[0], finals[1]);
+}
+
+// --- failure cases (paper §III-8) ---
+
+TEST(Deadlock, BarrierDivergenceIsDetected) {
+  const ptx::Program& prg = ptx::load_ptx(programs::barrier_divergence_ptx())
+                                .kernel("barrier_divergence");
+  sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{});
+  sem::Machine m = launch.machine();
+  FirstChoiceScheduler s;
+  const RunResult r = sched::run(prg, kc, m, s);
+  EXPECT_EQ(r.status, RunResult::Status::Stuck);
+  EXPECT_NE(r.message.find("barrier"), std::string::npos);
+}
+
+TEST(Deadlock, DivergentExitWithoutSyncIsDetected) {
+  const ptx::Program prg = programs::divergent_exit_program();
+  sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{});
+  sem::Machine m = launch.machine();
+  FirstChoiceScheduler s;
+  const RunResult r = sched::run(prg, kc, m, s);
+  EXPECT_EQ(r.status, RunResult::Status::Stuck);
+  EXPECT_NE(r.message.find("reconvergence"), std::string::npos);
+}
+
+TEST(Fault, OutOfBoundsKernelFaults) {
+  // size says 32 but Global space only has 64 bytes.
+  const ptx::Program prg = programs::vector_add_listing2();
+  sem::KernelConfig kc{{1, 1, 1}, {32, 1, 1}, 32};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 0, 0, 1});  // tiny global
+  launch.param("arr_A", 0).param("arr_B", 16).param("arr_C", 32).param(
+      "size", 32);
+  sem::Machine m = launch.machine();
+  FirstChoiceScheduler s;
+  const RunResult r = sched::run(prg, kc, m, s);
+  EXPECT_EQ(r.status, RunResult::Status::Fault);
+  EXPECT_NE(r.message.find("out-of-bounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cac

@@ -1,0 +1,200 @@
+// Warp primitives (vote / shfl): concrete semantics, PTX round trip,
+// the butterfly reduction, and its block-level symbolic proof.
+#include <gtest/gtest.h>
+
+#include "check/model.h"
+#include "programs/corpus.h"
+#include "ptx/emit.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+#include "sym/block_exec.h"
+#include "vcgen/prove.h"
+
+namespace cac {
+namespace {
+
+using namespace cac::ptx;
+
+sem::Machine run_one_warp(const Program& prg, std::uint32_t n,
+                          mem::MemSizes sizes,
+                          const std::vector<std::uint32_t>& global_words) {
+  const sem::KernelConfig kc{{1, 1, 1}, {n, 1, 1}, n};
+  sem::Launch launch(prg, kc, sizes);
+  for (std::uint32_t i = 0; i < global_words.size(); ++i) {
+    launch.global_u32(4 * i, global_words[i]);
+  }
+  sem::Machine m = launch.machine();
+  sched::FirstChoiceScheduler s;
+  EXPECT_TRUE(sched::run(prg, kc, m, s).terminated());
+  return m;
+}
+
+TEST(Vote, AllAnyBallot) {
+  const Program prg = load_ptx(R"(
+.visible .entry f() {
+  .reg .pred %p<5>;
+  .reg .u32 %r<6>;
+  mov.u32 %r1, %tid.x;
+  setp.lt.u32 %p1, %r1, 2;
+  vote.any.pred %p2, %p1;
+  vote.all.pred %p3, %p1;
+  vote.ballot.b32 %r2, %p1;
+  selp.b32 %r3, 1, 0, %p2;
+  selp.b32 %r4, 1, 0, %p3;
+  st.global.u32 [0], %r3;
+  st.global.u32 [4], %r4;
+  st.global.u32 [8], %r2;
+  ret;
+})").kernel("f");
+  const sem::Machine m = run_one_warp(prg, 4, mem::MemSizes{32, 0, 0, 0, 1},
+                                      {});
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 0, 4), 1u);   // any
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 4, 4), 0u);   // not all
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 8, 4), 0b0011u);  // ballot
+}
+
+TEST(Shfl, ModesExchangeLanes) {
+  const Program prg = load_ptx(R"(
+.visible .entry f() {
+  .reg .u32 %r<7>;
+  mov.u32 %r1, %tid.x;
+  shl.b32 %r2, %r1, 4;
+  shfl.idx.b32 %r3, %r2, 2;
+  shfl.up.b32 %r4, %r2, 1;
+  shfl.down.b32 %r5, %r2, 1;
+  shfl.bfly.b32 %r6, %r2, 3;
+  mul.lo.u32 %r1, %r1, 16;
+  st.global.u32 [%r1], %r3;
+  ret;
+})").kernel("f");
+  // 4 lanes, value = 16*lane.  idx 2 -> everyone gets 32.
+  const sem::Machine m = run_one_warp(prg, 4, mem::MemSizes{64, 0, 0, 0, 1},
+                                      {});
+  for (std::uint32_t lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(m.memory.load(mem::Space::Global, 16 * lane, 4), 32u);
+  }
+}
+
+TEST(Shfl, UpDownClampAtEdges) {
+  const Program prg = load_ptx(R"(
+.visible .entry f() {
+  .reg .u32 %r<6>;
+  mov.u32 %r1, %tid.x;
+  shfl.up.b32 %r2, %r1, 1;
+  shfl.down.b32 %r3, %r1, 1;
+  mul.lo.u32 %r4, %r1, 8;
+  st.global.u32 [%r4], %r2;
+  add.u32 %r4, %r4, 4;
+  st.global.u32 [%r4], %r3;
+  ret;
+})").kernel("f");
+  const sem::Machine m = run_one_warp(prg, 4, mem::MemSizes{64, 0, 0, 0, 1},
+                                      {});
+  // up: lane 0 keeps its own value; down: last lane keeps its own.
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 0, 4), 0u);    // lane0 up
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 8, 4), 0u);    // lane1 up = 0
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 4, 4), 1u);    // lane0 down
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 28, 4), 3u);   // lane3 down=self
+}
+
+TEST(WarpReduce, ConcreteSum) {
+  const Program prg =
+      load_ptx(programs::warp_reduce_shfl_ptx()).kernel("warp_reduce");
+  std::vector<std::uint32_t> a{3, 1, 4, 1, 5, 9, 2, 6};
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 8};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 0, 0, 1});
+  launch.param("arr_A", 0).param("out", 32);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, a[i]);
+  sem::Machine m = launch.machine();
+  sched::FirstChoiceScheduler s;
+  ASSERT_TRUE(sched::run(prg, kc, m, s).terminated());
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 32, 4), 31u);
+}
+
+TEST(WarpReduce, BlockSymbolicProof) {
+  // The butterfly sum proved for arbitrary inputs — no Shared memory,
+  // no barriers, pure warp-level data exchange.
+  const Program prg =
+      load_ptx(programs::warp_reduce_shfl_ptx()).kernel("warp_reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 8};
+  sym::TermArena arena;
+  const sym::SymEnv env = sym::SymEnv::symbolic(arena, prg);
+  const vcgen::ProofResult r = vcgen::prove_block_writes(
+      prg, kc, env, [](sym::TermArena& a) {
+        std::vector<sym::TermRef> v;
+        for (unsigned i = 0; i < 8; ++i) {
+          v.push_back(a.var("arr_A[" + std::to_string(4 * i) + "]", 32));
+        }
+        for (unsigned mask : {4u, 2u, 1u}) {
+          std::vector<sym::TermRef> w(8);
+          for (unsigned k = 0; k < 8; ++k) {
+            w[k] = a.add(v[k], v[k ^ mask]);
+          }
+          v = w;
+        }
+        return std::vector<sym::SymWrite>{{"out", 0, 4, v[0]}};
+      });
+  EXPECT_TRUE(r.proved) << r.detail;
+}
+
+TEST(WarpReduce, AllSchedulesTotalCorrectness) {
+  const Program prg =
+      load_ptx(programs::warp_reduce_shfl_ptx()).kernel("warp_reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 8};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 0, 0, 1});
+  launch.param("arr_A", 0).param("out", 32);
+  std::uint32_t sum = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    launch.global_u32(4 * i, i * i + 2);
+    sum += i * i + 2;
+  }
+  check::Spec post;
+  post.mem_u32(mem::Space::Global, 32, sum);
+  const check::Verdict v =
+      check::prove_total(prg, kc, launch.machine(), post);
+  EXPECT_TRUE(v.proved()) << v.detail;
+}
+
+TEST(WarpPrimitives, DivergentVoteFaults) {
+  const Program prg = load_ptx(R"(
+.visible .entry f() {
+  .reg .pred %p<3>;
+  .reg .u32 %r<3>;
+  mov.u32 %r1, %tid.x;
+  setp.eq.u32 %p1, %r1, 0;
+  @%p1 bra SKIP;
+  vote.any.pred %p2, %p1;
+SKIP:
+  ret;
+})", ptx::LowerOptions{.insert_syncs = false}).kernel("f");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  sem::Machine m = sem::Launch(prg, kc, mem::MemSizes{}).machine();
+  sched::FirstChoiceScheduler s;
+  const sched::RunResult r = sched::run(prg, kc, m, s);
+  EXPECT_EQ(r.status, sched::RunResult::Status::Fault);
+  EXPECT_NE(r.message.find("divergent"), std::string::npos);
+}
+
+TEST(WarpPrimitives, RoundTripThroughEmitter) {
+  const Program prg =
+      load_ptx(programs::warp_reduce_shfl_ptx()).kernel("warp_reduce");
+  ptx::LowerOptions no_sync;
+  no_sync.insert_syncs = false;
+  const Program back =
+      load_ptx(emit_ptx(prg), no_sync).kernel("warp_reduce");
+  EXPECT_EQ(back, prg);
+}
+
+TEST(WarpPrimitives, PerThreadEngineRejectsThem) {
+  const Program prg =
+      load_ptx(programs::warp_reduce_shfl_ptx()).kernel("warp_reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 8};
+  sym::TermArena arena;
+  const sym::SymEnv env = sym::SymEnv::symbolic(arena, prg);
+  const sym::ThreadSummary s = sym_execute_thread(prg, kc, 0, env);
+  EXPECT_FALSE(s.all_ok());
+}
+
+}  // namespace
+}  // namespace cac

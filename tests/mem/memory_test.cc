@@ -1,0 +1,133 @@
+#include "mem/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::mem {
+namespace {
+
+MemSizes sizes() {
+  MemSizes s;
+  s.global = 64;
+  s.constant = 16;
+  s.shared = 32;
+  s.param = 16;
+  s.shared_banks = 2;
+  return s;
+}
+
+TEST(Memory, FreshBytesAreZeroAndInvalid) {
+  const Memory m(sizes());
+  EXPECT_EQ(m.load(Space::Global, 0, 8), 0u);
+  EXPECT_FALSE(m.all_valid(Space::Global, 0, 1));
+}
+
+TEST(Memory, LittleEndianRoundTrip) {
+  Memory m(sizes());
+  m.store(Space::Global, 4, 4, 0xdeadbeef, false);
+  EXPECT_EQ(m.load(Space::Global, 4, 4), 0xdeadbeefu);
+  EXPECT_EQ(m.load(Space::Global, 4, 1), 0xefu);  // low byte first
+  EXPECT_EQ(m.load(Space::Global, 7, 1), 0xdeu);
+}
+
+TEST(Memory, StoreRespectsWidth) {
+  Memory m(sizes());
+  m.store(Space::Global, 0, 8, ~0ull, false);
+  m.store(Space::Global, 2, 2, 0, false);
+  EXPECT_EQ(m.load(Space::Global, 0, 8), 0xffffffff0000ffffull);
+}
+
+TEST(Memory, ValidBitPolicyIsCallerChosen) {
+  Memory m(sizes());
+  m.store(Space::Global, 0, 4, 1, /*valid=*/false);
+  EXPECT_FALSE(m.all_valid(Space::Global, 0, 4));
+  m.store(Space::Global, 0, 4, 1, /*valid=*/true);   // atomic-style
+  EXPECT_TRUE(m.all_valid(Space::Global, 0, 4));
+}
+
+TEST(Memory, InitWritesAreValid) {
+  Memory m(sizes());
+  m.init_u32(Space::Global, 8, 42);
+  EXPECT_TRUE(m.all_valid(Space::Global, 8, 4));
+  EXPECT_EQ(m.load(Space::Global, 8, 4), 42u);
+  m.init_u64(Space::Param, 0, 0x1122334455667788ull);
+  EXPECT_EQ(m.load(Space::Param, 0, 8), 0x1122334455667788ull);
+}
+
+TEST(Memory, Bounds) {
+  const Memory m(sizes());
+  EXPECT_TRUE(m.in_bounds(Space::Global, 60, 4));
+  EXPECT_FALSE(m.in_bounds(Space::Global, 61, 4));
+  EXPECT_FALSE(m.in_bounds(Space::Global, 64, 1));
+  EXPECT_TRUE(m.in_bounds(Space::Global, 64, 0));
+  EXPECT_FALSE(m.in_bounds(Space::Const, ~0ull, 1));  // overflow-safe
+}
+
+TEST(Memory, OutOfBoundsAccessThrows) {
+  Memory m(sizes());
+  EXPECT_THROW((void)m.load(Space::Const, 16, 1), cac::KernelError);
+  EXPECT_THROW(m.store(Space::Global, 63, 4, 0, false), cac::KernelError);
+}
+
+TEST(Memory, SharedBanksAreIndependent) {
+  Memory m(sizes());
+  EXPECT_EQ(m.shared_size(), 32u);
+  EXPECT_EQ(m.shared_base(0), 0u);
+  EXPECT_EQ(m.shared_base(1), 32u);
+  m.store(Space::Shared, m.shared_base(0) + 4, 4, 7, false);
+  EXPECT_EQ(m.load(Space::Shared, m.shared_base(1) + 4, 4), 0u);
+}
+
+TEST(Memory, CommitSharedIsPerBlock) {
+  Memory m(sizes());
+  m.store(Space::Shared, m.shared_base(0), 4, 1, false);
+  m.store(Space::Shared, m.shared_base(1), 4, 2, false);
+  m.commit_shared(0);
+  EXPECT_TRUE(m.all_valid(Space::Shared, m.shared_base(0), 4));
+  EXPECT_FALSE(m.all_valid(Space::Shared, m.shared_base(1), 4));
+  m.commit_shared(1);
+  EXPECT_TRUE(m.all_valid(Space::Shared, m.shared_base(1), 4));
+}
+
+TEST(Memory, EqualityAndHashTrackValidBits) {
+  Memory a(sizes()), b(sizes());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  a.store(Space::Global, 0, 1, 5, false);
+  b.store(Space::Global, 0, 1, 5, true);  // same byte, different valid bit
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+  a.store(Space::Global, 0, 1, 5, true);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Memory, HashDistinguishesSpaces) {
+  Memory a(sizes()), b(sizes());
+  a.store(Space::Global, 0, 1, 1, false);
+  b.store(Space::Const, 0, 1, 1, false);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Memory, SetAllValid) {
+  Memory m(sizes());
+  m.set_all_valid(Space::Global, true);
+  EXPECT_TRUE(m.all_valid(Space::Global, 0, 64));
+}
+
+TEST(Memory, DumpMarksInvalidBytes) {
+  Memory m(sizes());
+  m.init_u32(Space::Global, 0, 0xff);
+  m.store(Space::Global, 4, 1, 0xab, false);
+  const std::string d = m.dump(Space::Global, 0, 5);
+  EXPECT_NE(d.find("ff "), std::string::npos);
+  EXPECT_NE(d.find("ab!"), std::string::npos);
+}
+
+TEST(Memory, ZeroSizedSpacesWork) {
+  const Memory m{MemSizes{}};
+  EXPECT_FALSE(m.in_bounds(Space::Global, 0, 1));
+  EXPECT_TRUE(m.in_bounds(Space::Global, 0, 0));
+}
+
+}  // namespace
+}  // namespace cac::mem

@@ -1,0 +1,108 @@
+#include "ptx/cfg.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::ptx {
+namespace {
+
+const Reg r1{TypeClass::UI, 32, 1};
+const Pred p1{1};
+
+std::vector<Instr> diamond() {
+  // 0: setp-ish placeholder   1: pbra ->4   2: then   3: bra 5
+  // 4: else                   5: join       6: exit
+  return {
+      IMov{r1, op_imm(0)},                       // 0
+      IPBra{p1, false, 4},                       // 1
+      IBop{BinOp::Add, UI(32), r1, op_reg(r1), op_imm(1)},  // 2
+      IBra{5},                                   // 3
+      IBop{BinOp::Add, UI(32), r1, op_reg(r1), op_imm(2)},  // 4
+      IMov{r1, op_imm(9)},                       // 5
+      IExit{},                                   // 6
+  };
+}
+
+TEST(Cfg, DiamondBlocks) {
+  const Cfg cfg(diamond());
+  // Leaders: 0, 2 (after pbra), 4 (target & after bra), 5.
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  EXPECT_EQ(cfg.block_of(0), 0u);
+  EXPECT_EQ(cfg.block_of(1), 0u);
+  EXPECT_EQ(cfg.block_of(2), 1u);
+  EXPECT_EQ(cfg.block_of(4), 2u);
+  EXPECT_EQ(cfg.block_of(6), 3u);
+}
+
+TEST(Cfg, DiamondSuccessors) {
+  const Cfg cfg(diamond());
+  const auto& b = cfg.blocks();
+  // Entry branches to both arms.
+  ASSERT_EQ(b[0].succs.size(), 2u);
+  // Both arms flow into the join, which exits.
+  EXPECT_EQ(b[1].succs, std::vector<std::uint32_t>{3u});
+  EXPECT_EQ(b[2].succs, std::vector<std::uint32_t>{3u});
+  EXPECT_EQ(b[3].succs, std::vector<std::uint32_t>{cfg.exit_id()});
+}
+
+TEST(Cfg, DiamondPostdominators) {
+  const Cfg cfg(diamond());
+  const auto ipd = cfg.ipostdom();
+  // The join block (id 3) immediately post-dominates everything.
+  EXPECT_EQ(ipd[0], 3u);
+  EXPECT_EQ(ipd[1], 3u);
+  EXPECT_EQ(ipd[2], 3u);
+  EXPECT_EQ(ipd[3], cfg.exit_id());
+}
+
+TEST(Cfg, LoopPostdominators) {
+  // 0: head  1: pbra exit->4   2: body   3: bra 0   4: exit
+  const std::vector<Instr> loop = {
+      IMov{r1, op_imm(0)},   // 0
+      IPBra{p1, false, 4},   // 1
+      IBop{BinOp::Add, UI(32), r1, op_reg(r1), op_imm(1)},  // 2
+      IBra{0},               // 3
+      IExit{},               // 4
+  };
+  const Cfg cfg(loop);
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  const auto ipd = cfg.ipostdom();
+  // Exit block post-dominates the head; the body's ipostdom is the head.
+  EXPECT_EQ(ipd[0], 2u);
+  EXPECT_EQ(ipd[1], 0u);
+  EXPECT_EQ(ipd[2], cfg.exit_id());
+}
+
+TEST(Cfg, BranchJoinOnlyAtExit) {
+  // Divergent paths that never rejoin before ret.
+  const std::vector<Instr> code = {
+      IPBra{p1, false, 3},  // 0
+      IMov{r1, op_imm(1)},  // 1
+      IExit{},              // 2
+      IMov{r1, op_imm(2)},  // 3
+      IExit{},              // 4
+  };
+  const Cfg cfg(code);
+  const auto ipd = cfg.ipostdom();
+  EXPECT_EQ(ipd[cfg.block_of(0)], cfg.exit_id());
+}
+
+TEST(Cfg, InfiniteLoopMapsToExit) {
+  const std::vector<Instr> code = {
+      IMov{r1, op_imm(0)},  // 0
+      IBra{1},              // 1: self-loop, never reaches exit
+  };
+  const Cfg cfg(code);
+  const auto ipd = cfg.ipostdom();
+  EXPECT_EQ(ipd[cfg.block_of(1)], cfg.exit_id());
+}
+
+TEST(Cfg, EmptyProgramThrows) {
+  EXPECT_THROW(Cfg(std::vector<Instr>{}), cac::KernelError);
+}
+
+TEST(Cfg, FallThroughPastEndThrows) {
+  EXPECT_THROW(Cfg({IMov{r1, op_imm(0)}}), cac::KernelError);
+}
+
+}  // namespace
+}  // namespace cac::ptx

@@ -1,0 +1,40 @@
+#include "ptx/dtype.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::ptx {
+namespace {
+
+TEST(DType, SuffixParsing) {
+  EXPECT_EQ(dtype_from_suffix("u32"), UI(32));
+  EXPECT_EQ(dtype_from_suffix("s64"), SI(64));
+  EXPECT_EQ(dtype_from_suffix("b8"), BD(8));
+  EXPECT_EQ(dtype_from_suffix("u16"), UI(16));
+}
+
+TEST(DType, SuffixErrors) {
+  EXPECT_THROW(dtype_from_suffix("f32"), cac::PtxError);   // floats: future work
+  EXPECT_THROW(dtype_from_suffix("u24"), cac::PtxError);   // bad width
+  EXPECT_THROW(dtype_from_suffix("u"), cac::PtxError);
+  EXPECT_THROW(dtype_from_suffix(""), cac::PtxError);
+}
+
+TEST(DType, Signedness) {
+  EXPECT_TRUE(SI(32).is_signed());
+  EXPECT_FALSE(UI(32).is_signed());
+  EXPECT_FALSE(BD(32).is_signed());
+}
+
+TEST(DType, Bytes) {
+  EXPECT_EQ(UI(8).bytes(), 1u);
+  EXPECT_EQ(UI(64).bytes(), 8u);
+}
+
+TEST(DType, ToString) {
+  EXPECT_EQ(to_string(UI(32)), "UI 32");
+  EXPECT_EQ(to_string(SI(64)), "SI 64");
+  EXPECT_EQ(to_string(Space::Shared), "Shared");
+}
+
+}  // namespace
+}  // namespace cac::ptx

@@ -1,0 +1,97 @@
+// Round-trip tests: emit(prg) parsed and lowered reproduces prg.
+#include "ptx/emit.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+
+namespace cac::ptx {
+namespace {
+
+/// Round trip with sync insertion disabled: the emitted text contains
+/// the original Syncs explicitly, so lowering must not add more.
+Program round_trip(const Program& prg) {
+  LowerOptions opts;
+  opts.insert_syncs = false;
+  return load_ptx(emit_ptx(prg), opts).kernel(prg.name());
+}
+
+TEST(Emit, Listing2RoundTripsExactly) {
+  const Program prg = programs::vector_add_listing2();
+  const Program back = round_trip(prg);
+  EXPECT_EQ(back, prg) << emit_ptx(prg);
+}
+
+TEST(Emit, CorpusKernelsRoundTrip) {
+  for (auto src :
+       {&programs::vector_add_ptx, &programs::xor_cipher_ptx,
+        &programs::scan_signature_ptx, &programs::reduce_shared_ptx,
+        &programs::atomic_sum_ptx, &programs::race_store_ptx,
+        &programs::barrier_divergence_ptx}) {
+    const LoweredModule m = load_ptx((*src)());
+    for (const Program& k : m.kernels) {
+      // Shared-symbol addresses lower to absolute Shared offsets, so
+      // the round trip is on the already-lowered program.
+      EXPECT_EQ(round_trip(k), k) << k.name() << "\n" << emit_ptx(k);
+    }
+  }
+}
+
+TEST(Emit, HandBuiltProgramsRoundTrip) {
+  EXPECT_EQ(round_trip(programs::divergent_exit_program()),
+            programs::divergent_exit_program());
+  EXPECT_EQ(round_trip(programs::straightline_program(5)),
+            programs::straightline_program(5));
+}
+
+TEST(Emit, DroppingSyncsIsRestoredByInsertion) {
+  // emit without Syncs + lower with mechanical insertion == original,
+  // for kernels whose Syncs came from the insertion pass itself.
+  const Program prg =
+      load_ptx(programs::vector_add_ptx()).kernel("add_vector");
+  EmitOptions opts;
+  opts.emit_syncs = false;
+  const Program back = load_ptx(emit_ptx(prg, opts)).kernel(prg.name());
+  EXPECT_EQ(back, prg);
+}
+
+TEST(Emit, DeclaresAllRegisterClasses) {
+  const Reg s32{TypeClass::SI, 32, 2};
+  const Reg u8{TypeClass::UI, 8, 1};
+  const Program prg("mix",
+                    {IMov{s32, op_imm(-1)},
+                     IMov{u8, op_imm(7)},
+                     IExit{}});
+  const std::string text = emit_ptx(prg);
+  EXPECT_NE(text.find(".reg .s32 %s<3>;"), std::string::npos) << text;
+  EXPECT_NE(text.find(".reg .u8 %rb<2>;"), std::string::npos) << text;
+  EXPECT_EQ(round_trip(prg), prg);
+}
+
+TEST(Emit, ParamSlotsAreNamedInLoads) {
+  const Program prg = programs::vector_add_listing2();
+  const std::string text = emit_ptx(prg);
+  EXPECT_NE(text.find("ld.param.u64 %rd1, [arr_A];"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ld.param.u32 %r2, [size];"), std::string::npos);
+}
+
+TEST(Emit, LabelsAtBranchTargets) {
+  const Program prg = programs::vector_add_listing2();
+  const std::string text = emit_ptx(prg);
+  EXPECT_NE(text.find("@%p1 bra L18;"), std::string::npos) << text;
+  EXPECT_NE(text.find("L18:"), std::string::npos);
+}
+
+TEST(Emit, AbsoluteAddressesParseBack) {
+  const Reg r1{TypeClass::UI, 32, 1};
+  const Program prg("abs",
+                    {ILd{Space::Global, UI(32), r1, op_imm(64)},
+                     ISt{Space::Shared, UI(32), op_imm(8), r1},
+                     IExit{}});
+  EXPECT_EQ(round_trip(prg), prg);
+}
+
+}  // namespace
+}  // namespace cac::ptx

@@ -1,0 +1,46 @@
+#include "ptx/operand.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::ptx {
+namespace {
+
+TEST(Reg, KeyDistinguishesClassWidthIndex) {
+  const Reg a{TypeClass::UI, 32, 5};
+  const Reg b{TypeClass::UI, 64, 5};   // %r5 vs %rd5
+  const Reg c{TypeClass::SI, 32, 5};
+  const Reg d{TypeClass::UI, 32, 6};
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_NE(a.key(), d.key());
+  EXPECT_EQ(a.key(), (Reg{TypeClass::UI, 32, 5}).key());
+}
+
+TEST(Operand, VariantKinds) {
+  const Operand r = op_reg({TypeClass::UI, 32, 1});
+  const Operand s = op_sreg(SregKind::Tid, Dim::X);
+  const Operand i = op_imm(-4);
+  const Operand ri = op_regimm({TypeClass::UI, 64, 2}, 8);
+  EXPECT_TRUE(std::holds_alternative<Reg>(r));
+  EXPECT_TRUE(std::holds_alternative<Sreg>(s));
+  EXPECT_TRUE(std::holds_alternative<Imm>(i));
+  EXPECT_TRUE(std::holds_alternative<RegImm>(ri));
+}
+
+TEST(Operand, ToString) {
+  EXPECT_EQ(to_string(Reg{TypeClass::UI, 32, 7}), "%r7");
+  EXPECT_EQ(to_string(Reg{TypeClass::UI, 64, 3}), "%rd3");
+  EXPECT_EQ(to_string(Sreg{SregKind::NTid, Dim::X}), "%ntid.x");
+  EXPECT_EQ(to_string(Sreg{SregKind::CtaId, Dim::Z}), "%ctaid.z");
+  EXPECT_EQ(to_string(op_imm(42)), "42");
+  EXPECT_EQ(to_string(op_regimm({TypeClass::UI, 64, 4}, -8)), "[%rd4-8]");
+}
+
+TEST(Operand, Equality) {
+  EXPECT_EQ(op_imm(1), op_imm(1));
+  EXPECT_NE(op_imm(1), op_imm(2));
+  EXPECT_NE(op_imm(1), op_reg({TypeClass::UI, 32, 1}));
+}
+
+}  // namespace
+}  // namespace cac::ptx

@@ -1,0 +1,152 @@
+#include "ptx/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+
+namespace cac::ptx {
+namespace {
+
+TEST(Parser, VectorAddModuleShape) {
+  const AstModule m = parse_module(cac::programs::vector_add_ptx());
+  EXPECT_EQ(m.version, "6.0");
+  EXPECT_EQ(m.target, "sm_30");
+  EXPECT_EQ(m.address_size, 64u);
+  ASSERT_EQ(m.kernels.size(), 1u);
+
+  const AstKernel& k = m.kernels[0];
+  EXPECT_EQ(k.name, "add_vector");
+  EXPECT_TRUE(k.visible);
+  ASSERT_EQ(k.params.size(), 4u);
+  EXPECT_EQ(k.params[0].name, "arr_A");
+  EXPECT_EQ(k.params[0].type_suffix, "u64");
+  EXPECT_EQ(k.params[3].name, "size");
+  EXPECT_EQ(k.params[3].type_suffix, "u32");
+}
+
+TEST(Parser, VectorAddBodyStatements) {
+  const AstModule m = parse_module(cac::programs::vector_add_ptx());
+  const AstKernel& k = m.kernels[0];
+
+  std::size_t reg_decls = 0, labels = 0, instrs = 0;
+  for (const auto& s : k.body) {
+    if (std::holds_alternative<AstRegDecl>(s)) ++reg_decls;
+    if (std::holds_alternative<AstLabel>(s)) ++labels;
+    if (std::holds_alternative<AstInstr>(s)) ++instrs;
+  }
+  EXPECT_EQ(reg_decls, 3u);  // .pred, .u32, .u64
+  EXPECT_EQ(labels, 1u);     // BB0_2
+  EXPECT_EQ(instrs, 22u);    // the 22 instructions of Listing 1
+}
+
+TEST(Parser, GuardIsCaptured) {
+  const AstModule m = parse_module(cac::programs::vector_add_ptx());
+  const AstKernel& k = m.kernels[0];
+  bool found = false;
+  for (const auto& s : k.body) {
+    if (const auto* i = std::get_if<AstInstr>(&s)) {
+      if (i->guard) {
+        found = true;
+        EXPECT_EQ(i->guard->pred, "p1");
+        EXPECT_FALSE(i->guard->negated);
+        EXPECT_EQ(i->opcode, "bra");
+        ASSERT_EQ(i->ops.size(), 1u);
+        EXPECT_EQ(i->ops[0].kind, AstOperand::Kind::Sym);
+        EXPECT_EQ(i->ops[0].symbol, "BB0_2");
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Parser, RegDeclCounts) {
+  const AstModule m = parse_module(cac::programs::vector_add_ptx());
+  const AstKernel& k = m.kernels[0];
+  for (const auto& s : k.body) {
+    if (const auto* d = std::get_if<AstRegDecl>(&s)) {
+      if (d->prefix == "p") {
+        EXPECT_EQ(d->count, 2u);
+      }
+      if (d->prefix == "r") {
+        EXPECT_EQ(d->count, 9u);
+      }
+      if (d->prefix == "rd") {
+        EXPECT_EQ(d->count, 11u);
+      }
+    }
+  }
+}
+
+TEST(Parser, NegatedGuard) {
+  const AstModule m = parse_module(R"(
+.visible .entry f() {
+  .reg .pred %p<2>;
+  @!%p1 bra L;
+L: ret;
+})");
+  const auto* i = std::get_if<AstInstr>(&m.kernels[0].body[1]);
+  ASSERT_NE(i, nullptr);
+  ASSERT_TRUE(i->guard.has_value());
+  EXPECT_TRUE(i->guard->negated);
+}
+
+TEST(Parser, SharedDeclInsideKernel) {
+  const AstModule m = parse_module(R"(
+.visible .entry f() {
+  .shared .align 4 .b8 buf[128];
+  ret;
+})");
+  ASSERT_EQ(m.shared.size(), 1u);
+  EXPECT_EQ(m.shared[0].name, "buf");
+  EXPECT_EQ(m.shared[0].bytes, 128u);
+  EXPECT_EQ(m.shared[0].align, 4u);
+}
+
+TEST(Parser, SharedDeclElementWidthScales) {
+  const AstModule m = parse_module(".shared .u32 words[16];");
+  ASSERT_EQ(m.shared.size(), 1u);
+  EXPECT_EQ(m.shared[0].bytes, 64u);  // 16 * 4
+}
+
+TEST(Parser, NegativeImmediate) {
+  const AstModule m = parse_module(R"(
+.visible .entry f() {
+  .reg .u32 %r<3>;
+  add.u32 %r1, %r2, -5;
+  ret;
+})");
+  const auto* i = std::get_if<AstInstr>(&m.kernels[0].body[1]);
+  ASSERT_NE(i, nullptr);
+  EXPECT_EQ(i->ops[2].imm, -5);
+}
+
+TEST(Parser, DebugDirectivesAreSkipped) {
+  const AstModule m = parse_module(R"(
+.version 6.0
+.file 1 "kernel.cu"
+.visible .entry f() {
+  .loc 1 3 0
+  ret;
+})");
+  ASSERT_EQ(m.kernels.size(), 1u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_module(".visible .entry f() { ret; "), cac::PtxError);
+  EXPECT_THROW(parse_module(".entry f() { bogus ,,; }"), cac::PtxError);
+  EXPECT_THROW(parse_module(".entry f(.param x) { ret; }"), cac::PtxError);
+  EXPECT_THROW(parse_module("garbage"), cac::PtxError);
+}
+
+TEST(Parser, MultipleKernels) {
+  const AstModule m = parse_module(R"(
+.visible .entry a() { ret; }
+.visible .entry b() { ret; }
+)");
+  ASSERT_EQ(m.kernels.size(), 2u);
+  EXPECT_EQ(m.kernels[0].name, "a");
+  EXPECT_EQ(m.kernels[1].name, "b");
+}
+
+}  // namespace
+}  // namespace cac::ptx

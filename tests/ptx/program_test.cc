@@ -1,0 +1,75 @@
+#include "ptx/program.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::ptx {
+namespace {
+
+Program tiny() {
+  const Reg r1{TypeClass::UI, 32, 1};
+  return Program("tiny",
+                 {IMov{r1, op_imm(1)}, IBra{0}, IExit{}},
+                 {{"p0", UI(64), 0}, {"p1", UI(32), 8}});
+}
+
+TEST(Program, FetchInRange) {
+  const Program p = tiny();
+  EXPECT_TRUE(std::holds_alternative<IMov>(p.fetch(0)));
+  EXPECT_TRUE(std::holds_alternative<IExit>(p.fetch(2)));
+}
+
+TEST(Program, FetchOutOfRangeThrows) {
+  EXPECT_THROW((void)tiny().fetch(3), cac::KernelError);
+}
+
+TEST(Program, ParamLookup) {
+  const Program p = tiny();
+  EXPECT_EQ(p.param("p1").offset, 8u);
+  EXPECT_EQ(p.param_bytes(), 12u);
+  EXPECT_THROW((void)p.param("nope"), cac::PtxError);
+}
+
+TEST(ProgramValidate, AcceptsWellFormed) {
+  EXPECT_TRUE(validate(tiny()).empty());
+}
+
+TEST(ProgramValidate, RejectsEmpty) {
+  const Program p("empty", {});
+  const auto issues = validate(p);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("empty"), std::string::npos);
+}
+
+TEST(ProgramValidate, RejectsOutOfRangeTarget) {
+  const Program p("bad", {IBra{5}, IExit{}});
+  const auto issues = validate(p);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].pc, 0u);
+}
+
+TEST(ProgramValidate, RejectsFallThroughEnd) {
+  const Reg r1{TypeClass::UI, 32, 1};
+  const Program p("bad", {IMov{r1, op_imm(0)}});
+  EXPECT_EQ(validate(p).size(), 1u);
+}
+
+TEST(ProgramValidate, PBraTargetChecked) {
+  const Program p("bad", {IPBra{Pred{1}, false, 9}, IExit{}});
+  EXPECT_EQ(validate(p).size(), 1u);
+}
+
+TEST(Program, Histogram) {
+  const auto h = histogram(tiny());
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Program, ToStringMentionsEveryInstruction) {
+  const std::string s = to_string(tiny());
+  EXPECT_NE(s.find("mov"), std::string::npos);
+  EXPECT_NE(s.find("bra"), std::string::npos);
+  EXPECT_NE(s.find("exit"), std::string::npos);
+  EXPECT_NE(s.find(".param"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cac::ptx

@@ -1,0 +1,134 @@
+#include "sched/explore.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sem/launch.h"
+
+namespace cac::sched {
+namespace {
+
+using namespace cac::ptx;
+
+sem::Machine plain_machine(const Program& prg, const sem::KernelConfig& kc,
+                           mem::MemSizes sizes = {}) {
+  return sem::Launch(prg, kc, sizes).machine();
+}
+
+TEST(Explore, SingleWarpHasLinearScheduleGraph) {
+  const Program prg = programs::straightline_program(3);
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const ExploreResult r = explore(prg, kc, plain_machine(prg, kc));
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_TRUE(r.all_schedules_terminate());
+  EXPECT_TRUE(r.schedule_independent());
+  // 5 executable instructions -> 6 states in a chain.
+  EXPECT_EQ(r.states_visited, 6u);
+  EXPECT_EQ(r.transitions, 5u);
+  EXPECT_EQ(r.min_steps_to_termination, 5u);
+  EXPECT_EQ(r.max_steps_to_termination, 5u);
+}
+
+TEST(Explore, TwoWarpInterleavingsConverge) {
+  // Two independent warps of a straight-line program: every
+  // interleaving leads to the same final state (a diamond lattice).
+  const Program prg = programs::straightline_program(2);
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};  // 2 warps
+  const ExploreResult r = explore(prg, kc, plain_machine(prg, kc));
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_TRUE(r.schedule_independent());
+  // Each warp takes 4 steps; the interleaving lattice has 5*5 = 25
+  // states and every path has length 8.
+  EXPECT_EQ(r.states_visited, 25u);
+  EXPECT_EQ(r.min_steps_to_termination, 8u);
+  EXPECT_EQ(r.max_steps_to_termination, 8u);
+}
+
+TEST(Explore, CycleIsReportedAsViolation) {
+  const Program prg("spin", {IBra{0}});
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const ExploreResult r = explore(prg, kc, plain_machine(prg, kc));
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::Cycle);
+}
+
+TEST(Explore, StuckStateIsReportedWithTrace) {
+  const Program& prg = load_ptx(programs::barrier_divergence_ptx())
+                           .kernel("barrier_divergence");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  const ExploreResult r = explore(prg, kc, plain_machine(prg, kc));
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::Stuck);
+  EXPECT_FALSE(r.violations[0].trace.empty());
+  EXPECT_FALSE(r.all_schedules_terminate());
+}
+
+TEST(Explore, FaultIsReportedWithTrace) {
+  const Reg r1{TypeClass::UI, 32, 1};
+  const Program prg("oob",
+                    {ILd{Space::Global, UI(32), r1, op_imm(1000)}, IExit{}});
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  const ExploreResult r =
+      explore(prg, kc, plain_machine(prg, kc, mem::MemSizes{16, 0, 0, 0, 1}));
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::Fault);
+  EXPECT_EQ(r.violations[0].trace.size(), 1u);
+}
+
+TEST(Explore, DepthBoundYieldsNonExhaustive) {
+  const Program prg = programs::straightline_program(50);
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  ExploreOptions opts;
+  opts.max_depth = 5;
+  const ExploreResult r = explore(prg, kc, plain_machine(prg, kc), opts);
+  EXPECT_FALSE(r.exhaustive);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::DepthExceeded);
+}
+
+TEST(Explore, StateLimitYieldsNonExhaustive) {
+  const Program prg = programs::straightline_program(10);
+  const sem::KernelConfig kc{{2, 1, 1}, {4, 1, 1}, 2};
+  ExploreOptions opts;
+  opts.max_states = 10;
+  opts.stop_at_first_violation = false;
+  const ExploreResult r = explore(prg, kc, plain_machine(prg, kc), opts);
+  EXPECT_FALSE(r.exhaustive);
+  EXPECT_LE(r.states_visited, 10u);
+}
+
+TEST(Explore, BarrierSerializesSchedules) {
+  // Two warps meeting at a barrier: all schedules funnel through the
+  // single lift-bar state and agree afterwards.
+  const Reg r1{TypeClass::UI, 32, 1};
+  const Program prg("bar", {IMov{r1, op_sreg(SregKind::Tid, Dim::X)},
+                            IBar{}, INop{}, IExit{}});
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  mem::MemSizes s;
+  s.shared = 8;
+  const ExploreResult r = explore(prg, kc, plain_machine(prg, kc, s));
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_TRUE(r.schedule_independent());
+  EXPECT_EQ(r.min_steps_to_termination, r.max_steps_to_termination);
+  EXPECT_EQ(r.min_steps_to_termination, 5u);  // 2 movs + lift + 2 nops
+}
+
+TEST(Explore, RacyProgramHasMultipleFinals) {
+  // Warp 0 and warp 1 both store to Global[0] (different values) in
+  // separate instructions: the outcome depends on the schedule.
+  const Reg r1{TypeClass::UI, 32, 1};
+  const Program prg("race",
+                    {IMov{r1, op_sreg(SregKind::CtaId, Dim::X)},
+                     ISt{Space::Global, UI(32), op_imm(0), r1}, IExit{}});
+  const sem::KernelConfig kc{{2, 1, 1}, {1, 1, 1}, 1};  // 2 blocks
+  const ExploreResult r =
+      explore(prg, kc, plain_machine(prg, kc, mem::MemSizes{8, 0, 0, 0, 1}));
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_TRUE(r.all_schedules_terminate());
+  EXPECT_FALSE(r.schedule_independent());
+  EXPECT_EQ(r.finals.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cac::sched

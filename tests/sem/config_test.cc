@@ -1,0 +1,79 @@
+#include "sem/config.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace cac::sem {
+namespace {
+
+using ptx::Dim;
+using ptx::Sreg;
+using ptx::SregKind;
+
+TEST(Config, Counts) {
+  KernelConfig kc{{2, 3, 4}, {32, 2, 1}, 32};
+  EXPECT_EQ(kc.num_blocks(), 24u);
+  EXPECT_EQ(kc.threads_per_block(), 64u);
+  EXPECT_EQ(kc.total_threads(), 24u * 64u);
+  EXPECT_EQ(kc.warps_per_block(), 2u);
+}
+
+TEST(Config, PartialWarpRoundsUp) {
+  KernelConfig kc{{1, 1, 1}, {33, 1, 1}, 32};
+  EXPECT_EQ(kc.warps_per_block(), 2u);
+}
+
+TEST(Config, SregAuxPaperConfig) {
+  // The paper's kc = ((1,1,1),(32,1,1)).
+  KernelConfig kc{{1, 1, 1}, {32, 1, 1}, 32};
+  for (std::uint32_t t = 0; t < 32; ++t) {
+    EXPECT_EQ(sreg_aux(kc, t, {SregKind::Tid, Dim::X}), t);
+    EXPECT_EQ(sreg_aux(kc, t, {SregKind::CtaId, Dim::X}), 0u);
+    EXPECT_EQ(sreg_aux(kc, t, {SregKind::NTid, Dim::X}), 32u);
+    EXPECT_EQ(sreg_aux(kc, t, {SregKind::NCtaId, Dim::X}), 1u);
+  }
+}
+
+TEST(Config, SregAuxMultiBlock) {
+  KernelConfig kc{{4, 1, 1}, {8, 1, 1}, 8};
+  const std::uint32_t tid = linear_tid(kc, 2, 5);
+  EXPECT_EQ(tid, 21u);
+  EXPECT_EQ(sreg_aux(kc, tid, {SregKind::Tid, Dim::X}), 5u);
+  EXPECT_EQ(sreg_aux(kc, tid, {SregKind::CtaId, Dim::X}), 2u);
+}
+
+TEST(Config, SregAux3D) {
+  KernelConfig kc{{2, 2, 2}, {2, 3, 4}, 32};
+  // thread-in-block 17 = x:1 y:2 z:2 for block dims (2,3,4).
+  const std::uint32_t tid = linear_tid(kc, 0, 17);
+  EXPECT_EQ(sreg_aux(kc, tid, {SregKind::Tid, Dim::X}), 1u);
+  EXPECT_EQ(sreg_aux(kc, tid, {SregKind::Tid, Dim::Y}), 2u);
+  EXPECT_EQ(sreg_aux(kc, tid, {SregKind::Tid, Dim::Z}), 2u);
+  // block 5 = x:1 y:0 z:1 for grid dims (2,2,2).
+  const std::uint32_t tid2 = linear_tid(kc, 5, 0);
+  EXPECT_EQ(sreg_aux(kc, tid2, {SregKind::CtaId, Dim::X}), 1u);
+  EXPECT_EQ(sreg_aux(kc, tid2, {SregKind::CtaId, Dim::Y}), 0u);
+  EXPECT_EQ(sreg_aux(kc, tid2, {SregKind::CtaId, Dim::Z}), 1u);
+  EXPECT_EQ(sreg_aux(kc, tid2, {SregKind::NTid, Dim::Y}), 3u);
+  EXPECT_EQ(sreg_aux(kc, tid2, {SregKind::NCtaId, Dim::Z}), 2u);
+}
+
+TEST(Config, EveryThreadHasUniqueIndexPair) {
+  // Paper §III-4: every thread has a unique (tid, ctaid) combination.
+  KernelConfig kc{{2, 2, 1}, {2, 2, 1}, 4};
+  std::set<std::array<std::uint32_t, 6>> seen;
+  for (std::uint32_t t = 0; t < kc.total_threads(); ++t) {
+    seen.insert({sreg_aux(kc, t, {SregKind::Tid, Dim::X}),
+                 sreg_aux(kc, t, {SregKind::Tid, Dim::Y}),
+                 sreg_aux(kc, t, {SregKind::Tid, Dim::Z}),
+                 sreg_aux(kc, t, {SregKind::CtaId, Dim::X}),
+                 sreg_aux(kc, t, {SregKind::CtaId, Dim::Y}),
+                 sreg_aux(kc, t, {SregKind::CtaId, Dim::Z})});
+  }
+  EXPECT_EQ(seen.size(), kc.total_threads());
+}
+
+}  // namespace
+}  // namespace cac::sem

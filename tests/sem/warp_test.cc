@@ -1,0 +1,152 @@
+#include "sem/warp.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::sem {
+namespace {
+
+ThreadVec mk_threads(std::initializer_list<std::uint32_t> tids) {
+  ThreadVec ts;
+  for (std::uint32_t t : tids) {
+    Thread th;
+    th.tid = t;
+    ts.push_back(th);
+  }
+  return ts;
+}
+
+TEST(Warp, UniformBasics) {
+  const Warp w = make_warp(4, 3);
+  EXPECT_FALSE(w.divergent());
+  EXPECT_EQ(w.pc(), 0u);
+  EXPECT_EQ(w.thread_count(), 3u);
+  EXPECT_EQ(w.leaf_count(), 1u);
+  EXPECT_EQ(w.depth(), 1u);
+  EXPECT_EQ(w.threads()[0].tid, 4u);
+  EXPECT_EQ(w.threads()[2].tid, 6u);
+}
+
+TEST(Warp, DivergentTreeShape) {
+  Warp w(Warp(10, mk_threads({0, 1})), Warp(20, mk_threads({2, 3})));
+  EXPECT_TRUE(w.divergent());
+  EXPECT_EQ(w.pc(), 10u);  // left-most leaf pc
+  EXPECT_EQ(w.thread_count(), 4u);
+  EXPECT_EQ(w.leaf_count(), 2u);
+  EXPECT_EQ(w.depth(), 2u);
+  EXPECT_EQ(w.shape(), "D(U(10;2),U(20;2))");
+}
+
+TEST(Warp, DeepCopyIsIndependent) {
+  Warp a(Warp(1, mk_threads({0})), Warp(2, mk_threads({1})));
+  Warp b = a;
+  b.left().set_uni_pc(99);
+  EXPECT_EQ(a.left().uni_pc(), 1u);
+  EXPECT_EQ(b.left().uni_pc(), 99u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Warp, EqualityAndHash) {
+  const Warp a(Warp(1, mk_threads({0})), Warp(2, mk_threads({1})));
+  const Warp b(Warp(1, mk_threads({0})), Warp(2, mk_threads({1})));
+  EXPECT_EQ(a, b);
+  Hasher ha, hb;
+  a.mix_hash(ha);
+  b.mix_hash(hb);
+  EXPECT_EQ(ha.value(), hb.value());
+  // A uniform warp and a divergent warp with the same threads differ.
+  const Warp c(1, mk_threads({0, 1}));
+  EXPECT_NE(a, c);
+}
+
+// --- sync function (Fig. 2), case by case ---
+
+TEST(SyncFn, UniformAdvances) {
+  const Warp w = sync_warp(Warp(7, mk_threads({0, 1})));
+  EXPECT_FALSE(w.divergent());
+  EXPECT_EQ(w.uni_pc(), 8u);
+}
+
+TEST(SyncFn, EmptyLeftCollapses) {
+  // sync((pc1,{}), w2) = sync(w2)
+  const Warp w = sync_warp(Warp(Warp(5, {}), Warp(9, mk_threads({0}))));
+  EXPECT_FALSE(w.divergent());
+  EXPECT_EQ(w.uni_pc(), 10u);
+  EXPECT_EQ(w.thread_count(), 1u);
+}
+
+TEST(SyncFn, EmptyRightCollapses) {
+  const Warp w = sync_warp(Warp(Warp(9, mk_threads({0})), Warp(5, {})));
+  EXPECT_FALSE(w.divergent());
+  EXPECT_EQ(w.uni_pc(), 10u);
+}
+
+TEST(SyncFn, SamePcMergesSortedByTid) {
+  const Warp w = sync_warp(
+      Warp(Warp(9, mk_threads({2, 3})), Warp(9, mk_threads({0, 1}))));
+  EXPECT_FALSE(w.divergent());
+  EXPECT_EQ(w.uni_pc(), 10u);
+  ASSERT_EQ(w.thread_count(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.threads()[i].tid, i);
+  }
+}
+
+TEST(SyncFn, DifferentPcRotates) {
+  // sync((pc1,t1), w2) = (w2, (pc1,t1)) — the lagging side moves left.
+  const Warp w = sync_warp(
+      Warp(Warp(9, mk_threads({0})), Warp(5, mk_threads({1}))));
+  ASSERT_TRUE(w.divergent());
+  EXPECT_EQ(w.left().uni_pc(), 5u);
+  EXPECT_EQ(w.right().uni_pc(), 9u);
+}
+
+TEST(SyncFn, DivergentLeftRecurses) {
+  // sync(w1, w2) = (sync(w1), w2) when w1 is divergent.
+  Warp inner(Warp(9, mk_threads({0})), Warp(9, mk_threads({1})));
+  const Warp w = sync_warp(Warp(std::move(inner), Warp(3, mk_threads({2}))));
+  ASSERT_TRUE(w.divergent());
+  EXPECT_FALSE(w.left().divergent());
+  EXPECT_EQ(w.left().uni_pc(), 10u);  // inner pair merged
+  EXPECT_EQ(w.left().thread_count(), 2u);
+  EXPECT_EQ(w.right().uni_pc(), 3u);
+}
+
+TEST(SyncFn, NestedEmptySides) {
+  // A tree of empties around one real leaf collapses to that leaf +1.
+  Warp w(Warp(Warp(1, {}), Warp(4, mk_threads({7}))), Warp(2, {}));
+  const Warp s = sync_warp(std::move(w));
+  EXPECT_FALSE(s.divergent());
+  EXPECT_EQ(s.uni_pc(), 5u);
+  EXPECT_EQ(s.threads()[0].tid, 7u);
+}
+
+TEST(SyncFn, PreservesThreadState) {
+  ThreadVec ts = mk_threads({0});
+  ts[0].rho.write({ptx::TypeClass::UI, 32, 1}, 42);
+  ts[0].phi.write({1}, true);
+  const Warp w = sync_warp(
+      Warp(Warp(9, std::move(ts)), Warp(9, mk_threads({1}))));
+  EXPECT_EQ(w.threads()[0].rho.read({ptx::TypeClass::UI, 32, 1}), 42u);
+  EXPECT_TRUE(w.threads()[0].phi.read({1}));
+}
+
+TEST(RegFile, ReadsAreCanonical) {
+  RegFile rf;
+  const ptx::Reg r8{ptx::TypeClass::UI, 8, 1};
+  rf.write(r8, 0x1ff);  // truncated to width
+  EXPECT_EQ(rf.read(r8), 0xffu);
+  EXPECT_FALSE(rf.read_opt({ptx::TypeClass::UI, 8, 2}).has_value());
+  EXPECT_EQ(rf.read({ptx::TypeClass::UI, 8, 2}), 0u);
+}
+
+TEST(PredState, DefaultsFalse) {
+  PredState ps;
+  EXPECT_FALSE(ps.read({3}));
+  ps.write({3}, true);
+  EXPECT_TRUE(ps.read({3}));
+  ps.write({3}, false);
+  EXPECT_FALSE(ps.read({3}));
+}
+
+}  // namespace
+}  // namespace cac::sem

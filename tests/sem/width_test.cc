@@ -1,0 +1,106 @@
+// Narrow-width (8/16-bit) arithmetic through the full pipeline:
+// register classes, wrap-around, sign handling, and loads/stores.
+#include <gtest/gtest.h>
+
+#include "ptx/emit.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+
+namespace cac {
+namespace {
+
+sem::Machine run_kernel(const ptx::Program& prg, mem::MemSizes sizes,
+                        std::uint32_t threads = 1) {
+  const sem::KernelConfig kc{{1, 1, 1}, {threads, 1, 1}, 32};
+  sem::Launch launch(prg, kc, sizes);
+  sem::Machine m = launch.machine();
+  sched::FirstChoiceScheduler s;
+  EXPECT_TRUE(sched::run(prg, kc, m, s).terminated());
+  return m;
+}
+
+TEST(NarrowWidth, SixteenBitWrapAround) {
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f() {
+  .reg .u16 %rh<4>;
+  mov.u16 %rh1, 0xFFFF;
+  add.u16 %rh2, %rh1, 3;
+  mul.lo.u16 %rh3, %rh1, %rh1;
+  st.global.u16 [0], %rh2;
+  st.global.u16 [2], %rh3;
+  ret;
+})").kernel("f");
+  const sem::Machine m = run_kernel(prg, mem::MemSizes{16, 0, 0, 0, 1});
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 0, 2), 2u);       // wraps
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 2, 2), 1u);       // (-1)^2
+}
+
+TEST(NarrowWidth, SignedSixteenBitComparison) {
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f() {
+  .reg .pred %p<2>;
+  .reg .u16 %rh<3>;
+  .reg .u32 %r<3>;
+  mov.u16 %rh1, 0x8000;
+  setp.lt.s16 %p1, %rh1, 0;
+  selp.b32 %r1, 1, 0, %p1;
+  st.global.u32 [0], %r1;
+  ret;
+})").kernel("f");
+  const sem::Machine m = run_kernel(prg, mem::MemSizes{16, 0, 0, 0, 1});
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 0, 4), 1u);  // negative
+}
+
+TEST(NarrowWidth, ByteArithmeticAndStores) {
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f() {
+  .reg .u8 %rb<4>;
+  mov.u8 %rb1, 200;
+  add.u8 %rb2, %rb1, 100;
+  shr.u8 %rb3, %rb1, 3;
+  st.global.u8 [0], %rb2;
+  st.global.u8 [1], %rb3;
+  ret;
+})").kernel("f");
+  const sem::Machine m = run_kernel(prg, mem::MemSizes{16, 0, 0, 0, 1});
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 0, 1), 44u);  // 300 mod 256
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 1, 1), 25u);  // 200 >> 3
+}
+
+TEST(NarrowWidth, CvtBetweenWidths) {
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f() {
+  .reg .u16 %rh<3>;
+  .reg .u32 %r<3>;
+  mov.u16 %rh1, 0x8001;
+  cvt.u32.s16 %r1, %rh1;
+  cvt.u32.u16 %r2, %rh1;
+  st.global.u32 [0], %r1;
+  st.global.u32 [4], %r2;
+  ret;
+})").kernel("f");
+  const sem::Machine m = run_kernel(prg, mem::MemSizes{16, 0, 0, 0, 1});
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 0, 4), 0xFFFF8001u);  // sext
+  EXPECT_EQ(m.memory.load(mem::Space::Global, 4, 4), 0x00008001u);  // zext
+}
+
+TEST(NarrowWidth, SixteenBitRoundTripsThroughEmitter) {
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f() {
+  .reg .u16 %rh<3>;
+  .reg .s16 %sh<2>;
+  mov.u16 %rh1, 7;
+  mov.u16 %sh1, 9;
+  add.s16 %rh2, %rh1, 1;
+  ret;
+})").kernel("f");
+  ptx::LowerOptions no_sync;
+  no_sync.insert_syncs = false;
+  const ptx::Program back =
+      ptx::load_ptx(ptx::emit_ptx(prg), no_sync).kernel("f");
+  EXPECT_EQ(back, prg);
+}
+
+}  // namespace
+}  // namespace cac

@@ -1,0 +1,82 @@
+#include "support/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace cac {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(1), 0x1u);
+  EXPECT_EQ(low_mask(8), 0xffu);
+  EXPECT_EQ(low_mask(16), 0xffffu);
+  EXPECT_EQ(low_mask(32), 0xffffffffu);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(Bits, TruncateClearsHighBits) {
+  EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+  EXPECT_EQ(truncate(0x100000000ull, 32), 0u);
+  EXPECT_EQ(truncate(~0ull, 64), ~0ull);
+}
+
+TEST(Bits, ToSignedInterpretsTwosComplement) {
+  EXPECT_EQ(to_signed(0xff, 8), -1);
+  EXPECT_EQ(to_signed(0x80, 8), -128);
+  EXPECT_EQ(to_signed(0x7f, 8), 127);
+  EXPECT_EQ(to_signed(0xffffffff, 32), -1);
+  EXPECT_EQ(to_signed(0x80000000, 32), INT32_MIN);
+  EXPECT_EQ(to_signed(~0ull, 64), -1);
+}
+
+TEST(Bits, ToSignedIgnoresHighGarbage) {
+  // Canonicalization: only the low w bits matter.
+  EXPECT_EQ(to_signed(0xabcd00ff, 8), -1);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xff, 8, 32), 0xffffffffu);
+  EXPECT_EQ(sign_extend(0x7f, 8, 32), 0x7fu);
+  EXPECT_EQ(sign_extend(0x8000, 16, 64), 0xffffffffffff8000ull);
+  EXPECT_EQ(sign_extend(0x1234, 16, 16), 0x1234u);
+}
+
+TEST(Bits, Shifts) {
+  EXPECT_EQ(shl(1, 31, 32), 0x80000000u);
+  EXPECT_EQ(shl(1, 32, 32), 0u);  // over-shift clamps to zero
+  EXPECT_EQ(lshr(0x80000000u, 31, 32), 1u);
+  EXPECT_EQ(lshr(0x80000000u, 32, 32), 0u);
+  EXPECT_EQ(ashr(0x80000000u, 31, 32), 0xffffffffu);  // sign fills
+  EXPECT_EQ(ashr(0x80000000u, 99, 32), 0xffffffffu);  // clamps to w-1
+  EXPECT_EQ(ashr(0x40000000u, 30, 32), 1u);
+}
+
+class BitsWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitsWidthTest, TruncateIsIdempotent) {
+  const unsigned w = GetParam();
+  for (std::uint64_t v : {0ull, 1ull, 0xffull, 0xdeadbeefcafebabeull, ~0ull}) {
+    EXPECT_EQ(truncate(truncate(v, w), w), truncate(v, w));
+  }
+}
+
+TEST_P(BitsWidthTest, SignRoundTrip) {
+  const unsigned w = GetParam();
+  for (std::uint64_t v : {0ull, 1ull, 0x7full, 0x80ull, 0xffffull, ~0ull}) {
+    const std::int64_t s = to_signed(v, w);
+    EXPECT_EQ(truncate(static_cast<std::uint64_t>(s), w), truncate(v, w));
+  }
+}
+
+TEST_P(BitsWidthTest, AshrOfNonNegativeEqualsLshr) {
+  const unsigned w = GetParam();
+  const std::uint64_t v = truncate(0x1234567890abcdefull, w) >> 1;  // MSB=0
+  for (unsigned amount : {0u, 1u, 3u, w - 1}) {
+    EXPECT_EQ(ashr(v, amount, w), lshr(v, amount, w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitsWidthTest,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+}  // namespace
+}  // namespace cac

@@ -1,0 +1,46 @@
+#include "support/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace cac {
+namespace {
+
+TEST(Hash, Fnv1aIsDeterministic) {
+  using std::string_view_literals::operator""sv;
+  EXPECT_EQ(fnv1a("hello"sv), fnv1a("hello"sv));
+  EXPECT_NE(fnv1a("hello"sv), fnv1a("hellp"sv));
+  EXPECT_NE(fnv1a(""sv), fnv1a(""sv, 0x12345));
+}
+
+TEST(Hash, EmptyInputYieldsSeed) {
+  EXPECT_EQ(fnv1a(nullptr, 0, 42), 42u);
+}
+
+TEST(Hash, HasherIsOrderSensitive) {
+  Hasher a, b;
+  a.mix(1).mix(2);
+  b.mix(2).mix(1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Hash, HasherDistinguishesSplitBoundaries) {
+  // mix(1), mix(2) must differ from mix over the concatenated bytes.
+  Hasher a, b;
+  a.mix(0x0102);
+  b.mix(0x01).mix(0x02);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Hash, MixBytesMatchesContent) {
+  const char x[] = "abcdef";
+  Hasher a, b;
+  a.mix_bytes(x, 6);
+  b.mix_bytes(x, 6);
+  EXPECT_EQ(a.value(), b.value());
+  Hasher c;
+  c.mix_bytes("abcdeg", 6);
+  EXPECT_NE(a.value(), c.value());
+}
+
+}  // namespace
+}  // namespace cac

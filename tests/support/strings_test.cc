@@ -1,0 +1,45 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cac {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("ld.global.u32", "ld."));
+  EXPECT_FALSE(starts_with("ld", "ld."));
+  EXPECT_TRUE(ends_with("ld.global.u32", ".u32"));
+  EXPECT_FALSE(ends_with("u32", ".u32"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+}  // namespace
+}  // namespace cac

@@ -1,0 +1,248 @@
+// Block-level symbolic execution: barriers, Shared memory and the
+// symbolic valid-bit discipline.
+#include "sym/block_exec.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+
+namespace cac::sym {
+namespace {
+
+TEST(BlockExec, ReductionSumProvedForArbitraryInputs) {
+  // The flagship result this engine adds over the per-thread one: the
+  // two-warp tree reduction's output is the exact addition tree over
+  // arbitrary A — barriers, Shared traffic and divergence included.
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};  // 2 warps
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  ASSERT_TRUE(s.ok) << s.failure;
+  EXPECT_EQ(s.barriers, 4u);  // initial + offsets 4,2,1
+
+  // Expected: fold the same tree the kernel computes.
+  std::vector<TermRef> v;
+  for (unsigned i = 0; i < 8; ++i) {
+    v.push_back(arena.var("arr_A[" + std::to_string(4 * i) + "]", 32));
+  }
+  for (unsigned offset = 4; offset; offset >>= 1) {
+    for (unsigned i = 0; i < offset; ++i) {
+      v[i] = arena.add(v[i + offset], v[i]);
+    }
+  }
+  const auto out = s.writes_to("out");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].offset, 0u);
+  EXPECT_EQ(out[0].value, v[0]) << arena.to_string(out[0].value);
+}
+
+TEST(BlockExec, MissingBarrierIsRejectedSymbolically) {
+  // The paper's valid-bit discipline, as a symbolic proof failure: a
+  // Shared read of another warp's same-phase store aborts the run.
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_nobar_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  EXPECT_FALSE(s.ok);
+  // With first-warp-runs-ahead sequencing the first violation is the
+  // read of the second warp's never-committed cells.
+  EXPECT_NE(s.failure.find("bar.sync"), std::string::npos) << s.failure;
+}
+
+TEST(BlockExec, SingleWarpReductionNeedsNoCrossWarpChecks) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};  // 1 warp
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  ASSERT_TRUE(s.ok) << s.failure;
+  std::vector<TermRef> v;
+  for (unsigned i = 0; i < 4; ++i) {
+    v.push_back(arena.var("arr_A[" + std::to_string(4 * i) + "]", 32));
+  }
+  for (unsigned offset = 2; offset; offset >>= 1) {
+    for (unsigned i = 0; i < offset; ++i) {
+      v[i] = arena.add(v[i + offset], v[i]);
+    }
+  }
+  const auto out = s.writes_to("out");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, v[0]);
+}
+
+TEST(BlockExec, VectorAddMatchesPerThreadEngine) {
+  // With a concrete size the block engine and the per-thread engine
+  // must produce identical write terms.
+  const ptx::Program prg = programs::vector_add_listing2();
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  env.bind(prg, "size", 4);
+  const BlockSummary blk = sym_execute_block(prg, kc, 0, env);
+  ASSERT_TRUE(blk.ok) << blk.failure;
+
+  std::vector<SymWrite> per_thread;
+  for (std::uint32_t tid = 0; tid < 4; ++tid) {
+    const ThreadSummary t = sym_execute_thread(prg, kc, tid, env);
+    ASSERT_TRUE(t.all_ok());
+    ASSERT_EQ(t.paths.size(), 1u);
+    for (const SymWrite& w : t.paths[0].writes) per_thread.push_back(w);
+  }
+  std::sort(per_thread.begin(), per_thread.end());
+  EXPECT_EQ(blk.writes, per_thread);
+}
+
+TEST(BlockExec, SymbolicGuardIsOutsideTheFragment) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);  // size left symbolic
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.failure.find("symbolic branch predicate"), std::string::npos);
+}
+
+TEST(BlockExec, DivergenceWithConcretePredicatesWorks) {
+  // size=2 of 4 threads: the warp splits at the guard and reconverges
+  // at the Sync, all with concrete predicates.
+  const ptx::Program prg = programs::vector_add_listing2();
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  env.bind(prg, "size", 2);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  ASSERT_TRUE(s.ok) << s.failure;
+  const auto out = s.writes_to("arr_C");
+  ASSERT_EQ(out.size(), 2u);  // only threads 0,1 store
+  EXPECT_EQ(out[0].offset, 0u);
+  EXPECT_EQ(out[1].offset, 4u);
+}
+
+TEST(BlockExec, BarrierDivergenceDetected) {
+  const ptx::Program prg = ptx::load_ptx(programs::barrier_divergence_ptx())
+                               .kernel("barrier_divergence");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.failure.find("stuck"), std::string::npos) << s.failure;
+}
+
+TEST(BlockExec, CommutativeAtomicSumProved) {
+  // atom.add folds to the same value under every update order (AC),
+  // so the engine's canonical order proves the sum for all inputs —
+  // including an arbitrary initial value of the accumulator.
+  const ptx::Program prg =
+      ptx::load_ptx(programs::atomic_sum_ptx()).kernel("atomic_sum");
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};  // 2 warps
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  env.bind(prg, "size", 8);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  ASSERT_TRUE(s.ok) << s.failure;
+
+  TermRef acc = arena.var("out[0]", 32);
+  for (unsigned i = 0; i < 8; ++i) {
+    acc = arena.add(acc, arena.var("arr_A[" + std::to_string(4 * i) + "]",
+                                   32));
+  }
+  const auto out = s.writes_to("out");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, acc) << arena.to_string(out[0].value);
+}
+
+TEST(BlockExec, NonCommutativeAtomicRejected) {
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f(.param .u64 out) {
+  .reg .u32 %r<3>;
+  .reg .u64 %rd<2>;
+  ld.param.u64 %rd1, [out];
+  mov.u32 %r1, %tid.x;
+  atom.global.exch.u32 %r2, [%rd1], %r1;
+  ret;
+})").kernel("f");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.failure.find("non-commutative"), std::string::npos);
+}
+
+TEST(BlockExec, StoringFetchedOldValueRejected) {
+  // The old value returned by atom.add is schedule-dependent; storing
+  // it must poison the proof.
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f(.param .u64 out, .param .u64 log) {
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<4>;
+  ld.param.u64 %rd1, [out];
+  ld.param.u64 %rd2, [log];
+  mov.u32 %r1, %tid.x;
+  atom.global.add.u32 %r2, [%rd1], %r1;
+  mul.wide.u32 %rd3, %r1, 4;
+  add.u64 %rd2, %rd2, %rd3;
+  st.global.u32 [%rd2], %r2;
+  ret;
+})").kernel("f");
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 4};
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.failure.find("fetched old value"), std::string::npos)
+      << s.failure;
+}
+
+TEST(BlockExec, PlainStoreAfterBarrierStaysPlain) {
+  // Regression: a plain store creating a fresh cell in a phase > 0
+  // must not be misclassified as atomic (aggregate-init field order).
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f(.param .u64 out) {
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<2>;
+  ld.param.u64 %rd1, [out];
+  bar.sync 0;
+  mov.u32 %r1, 5;
+  st.global.u32 [%rd1], %r1;
+  ld.global.u32 %r2, [%rd1];
+  ret;
+})").kernel("f");
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  ASSERT_TRUE(s.ok) << s.failure;
+  const auto out = s.writes_to("out");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, arena.konst(5, 32));
+}
+
+TEST(BlockExec, PlainAndAtomicAccessMixRejected) {
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f(.param .u64 out) {
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<2>;
+  ld.param.u64 %rd1, [out];
+  mov.u32 %r1, 1;
+  atom.global.add.u32 %r2, [%rd1], %r1;
+  ld.global.u32 %r3, [%rd1];
+  ret;
+})").kernel("f");
+  const sem::KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  const BlockSummary s = sym_execute_block(prg, kc, 0, env);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.failure.find("atomically-updated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cac::sym

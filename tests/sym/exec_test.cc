@@ -1,0 +1,198 @@
+// The symbolic interpreter on the paper's vector sum and friends.
+#include "sym/exec.h"
+
+#include <gtest/gtest.h>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+
+namespace cac::sym {
+namespace {
+
+sem::KernelConfig kc8() { return {{1, 1, 1}, {8, 1, 1}, 8}; }
+
+TEST(SymExec, VectorAddThreadHasGuardPartition) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  const ThreadSummary s = sym_execute_thread(prg, kc8(), 3, env);
+  ASSERT_TRUE(s.all_ok());
+  ASSERT_EQ(s.paths.size(), 2u);
+
+  // The two path conditions are exactly {tid < size, !(tid < size)}.
+  const TermRef size = arena.var("size", 32);
+  const TermRef guard = arena.lt(arena.konst(3, 32), size, true);
+  const TermRef not_guard = arena.lnot(guard);
+  const bool direct = s.paths[0].cond == guard || s.paths[1].cond == guard;
+  const bool negated =
+      s.paths[0].cond == not_guard || s.paths[1].cond == not_guard;
+  EXPECT_TRUE(direct) << arena.to_string(s.paths[0].cond) << " / "
+                      << arena.to_string(s.paths[1].cond);
+  EXPECT_TRUE(negated);
+}
+
+TEST(SymExec, VectorAddStoresSymbolicSum) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  const ThreadSummary s = sym_execute_thread(prg, kc8(), 2, env);
+  ASSERT_TRUE(s.all_ok());
+
+  const TermRef guard =
+      arena.lt(arena.konst(2, 32), arena.var("size", 32), true);
+  for (const SymPath& p : s.paths) {
+    if (p.cond == guard) {
+      ASSERT_EQ(p.writes.size(), 1u);
+      EXPECT_EQ(p.writes[0].region, "arr_C");
+      EXPECT_EQ(p.writes[0].offset, 8u);  // 4 * tid
+      EXPECT_EQ(p.writes[0].bytes, 4u);
+      // The stored term is A[8] + B[8] for *arbitrary* array contents.
+      const TermRef expected =
+          arena.add(arena.var("arr_A[8]", 32), arena.var("arr_B[8]", 32));
+      EXPECT_EQ(p.writes[0].value, expected)
+          << arena.to_string(p.writes[0].value);
+    } else {
+      EXPECT_TRUE(p.writes.empty());
+    }
+  }
+}
+
+TEST(SymExec, ConcreteSizeCollapsesToOnePath) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  env.bind(prg, "size", 8);  // guard becomes concrete for every tid < 8
+  const ThreadSummary s = sym_execute_thread(prg, kc8(), 1, env);
+  ASSERT_TRUE(s.all_ok());
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].writes.size(), 1u);
+  EXPECT_EQ(s.paths[0].cond, arena.tru());
+}
+
+TEST(SymExec, OutOfRangeThreadStoresNothing) {
+  const ptx::Program prg = programs::vector_add_listing2();
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  env.bind(prg, "size", 2);
+  const ThreadSummary s = sym_execute_thread(prg, kc8(), 5, env);
+  ASSERT_TRUE(s.all_ok());
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_TRUE(s.paths[0].writes.empty());
+}
+
+TEST(SymExec, MechanicalLoweringYieldsSameTerms) {
+  // cvta/Mov noise in the mechanical lowering must not change the
+  // symbolic stores — same arena, same variables, same term refs.
+  const ptx::Program mech =
+      ptx::load_ptx(programs::vector_add_ptx()).kernel("add_vector");
+  const ptx::Program hand = programs::vector_add_listing2();
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, mech);
+  for (std::uint32_t tid : {0u, 3u, 7u}) {
+    const ThreadSummary a = sym_execute_thread(mech, kc8(), tid, env);
+    const ThreadSummary b = sym_execute_thread(hand, kc8(), tid, env);
+    ASSERT_EQ(a.paths.size(), b.paths.size());
+    for (std::size_t i = 0; i < a.paths.size(); ++i) {
+      EXPECT_EQ(a.paths[i].cond, b.paths[i].cond);
+      EXPECT_EQ(a.paths[i].writes, b.paths[i].writes);
+    }
+  }
+}
+
+TEST(SymExec, ScanSignatureUnrollsConcreteLoop) {
+  const ptx::Program prg = ptx::load_ptx(programs::scan_signature_ptx())
+                               .kernel("scan_signature");
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  env.bind(prg, "dlen", 8);
+  env.bind(prg, "plen", 2);  // concrete trip count, symbolic data
+  const ThreadSummary s = sym_execute_thread(prg, kc8(), 1, env);
+  ASSERT_TRUE(s.all_ok());
+  ASSERT_EQ(s.paths.size(), 1u);  // guard is concrete: 1 <= 8-2
+  ASSERT_EQ(s.paths[0].writes.size(), 1u);
+  const SymWrite& w = s.paths[0].writes[0];
+  EXPECT_EQ(w.region, "out");
+  EXPECT_EQ(w.offset, 1u);
+  EXPECT_EQ(w.bytes, 1u);
+  // match = ite(data[1]!=pat[0], 0, ite(data[2]!=pat[1], 0, 1))
+  const TermRef d1 = arena.var("data[1]", 8);
+  const TermRef d2 = arena.var("data[2]", 8);
+  const TermRef p0 = arena.var("pattern[0]", 8);
+  const TermRef p1 = arena.var("pattern[1]", 8);
+  const TermRef inner = arena.ite(
+      arena.ne(arena.zext(d2, 32), arena.zext(p1, 32)), arena.konst(0, 32),
+      arena.ite(arena.ne(arena.zext(d1, 32), arena.zext(p0, 32)),
+                arena.konst(0, 32), arena.konst(1, 32)));
+  EXPECT_EQ(w.value, arena.trunc(inner, 8)) << arena.to_string(w.value);
+}
+
+TEST(SymExec, XorCipherSymbolicStore) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::xor_cipher_ptx()).kernel("xor_cipher");
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  env.bind(prg, "size", 4);
+  const ThreadSummary s = sym_execute_thread(prg, {{1, 1, 1}, {4, 1, 1}, 4},
+                                             0, env);
+  ASSERT_TRUE(s.all_ok());
+  ASSERT_EQ(s.paths.size(), 1u);
+  ASSERT_EQ(s.paths[0].writes.size(), 1u);
+  const TermRef expected =
+      arena.bxor(arena.var("arr_A[0]", 32), arena.var("arr_B[0]", 32));
+  EXPECT_EQ(s.paths[0].writes[0].value, expected);
+}
+
+TEST(SymExec, BarrierIsOutsideTheFragment) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  const ThreadSummary s = sym_execute_thread(prg, {{1, 1, 1}, {4, 1, 1}, 4},
+                                             0, env);
+  ASSERT_FALSE(s.paths.empty());
+  EXPECT_FALSE(s.all_ok());
+  bool mentions = false;
+  for (const SymPath& p : s.paths) {
+    if (p.failure.find("fragment") != std::string::npos) mentions = true;
+  }
+  EXPECT_TRUE(mentions);
+}
+
+TEST(SymExec, AtomicIsOutsideTheFragment) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::atomic_sum_ptx()).kernel("atomic_sum");
+  TermArena arena;
+  SymEnv env = SymEnv::symbolic(arena, prg);
+  env.bind(prg, "size", 4);
+  const ThreadSummary s = sym_execute_thread(prg, {{1, 1, 1}, {4, 1, 1}, 4},
+                                             0, env);
+  EXPECT_FALSE(s.all_ok());
+}
+
+TEST(SymExec, SymbolicLoopHitsStepBound) {
+  // A loop whose trip count is symbolic cannot be unrolled.
+  const ptx::Program prg = ptx::load_ptx(R"(
+.visible .entry f(.param .u32 n) {
+  .reg .pred %p<2>;
+  .reg .u32 %r<3>;
+  ld.param.u32 %r1, [n];
+  mov.u32 %r2, 0;
+L:
+  setp.ge.u32 %p1, %r2, %r1;
+  @%p1 bra DONE;
+  add.u32 %r2, %r2, 1;
+  bra L;
+DONE:
+  ret;
+})").kernel("f");
+  TermArena arena;
+  const SymEnv env = SymEnv::symbolic(arena, prg);
+  SymExecOptions opts;
+  opts.max_paths = 8;
+  const ThreadSummary s =
+      sym_execute_thread(prg, {{1, 1, 1}, {1, 1, 1}, 1}, 0, env, opts);
+  EXPECT_FALSE(s.all_ok());
+}
+
+}  // namespace
+}  // namespace cac::sym

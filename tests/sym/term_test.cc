@@ -1,0 +1,176 @@
+#include "sym/term.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::sym {
+namespace {
+
+TEST(Term, HashConsing) {
+  TermArena a;
+  EXPECT_EQ(a.konst(5, 32), a.konst(5, 32));
+  EXPECT_NE(a.konst(5, 32), a.konst(5, 64));
+  EXPECT_EQ(a.var("x", 32), a.var("x", 32));
+  const TermRef x = a.var("x", 32);
+  const TermRef y = a.var("y", 32);
+  EXPECT_EQ(a.add(x, y), a.add(x, y));
+}
+
+TEST(Term, ConstantFolding) {
+  TermArena a;
+  EXPECT_EQ(a.const_value(a.add(a.konst(3, 32), a.konst(4, 32))), 7u);
+  EXPECT_EQ(a.const_value(a.mul(a.konst(6, 8), a.konst(50, 8))), 44u);  // mod 256
+  EXPECT_EQ(a.const_value(a.sub(a.konst(1, 32), a.konst(2, 32))),
+            0xffffffffu);
+  EXPECT_EQ(a.const_value(a.div(a.konst(7, 32), a.konst(0, 32), false)),
+            0xffffffffu);  // the model's div-by-zero value
+}
+
+TEST(Term, AlgebraicIdentities) {
+  TermArena a;
+  const TermRef x = a.var("x", 32);
+  EXPECT_EQ(a.add(x, a.konst(0, 32)), x);
+  EXPECT_EQ(a.add(a.konst(0, 32), x), x);
+  EXPECT_EQ(a.mul(x, a.konst(1, 32)), x);
+  EXPECT_EQ(a.const_value(a.mul(x, a.konst(0, 32))), 0u);
+  EXPECT_EQ(a.const_value(a.bxor(x, x)), 0u);
+  EXPECT_EQ(a.band(x, x), x);
+  EXPECT_EQ(a.bor(x, a.konst(0, 32)), x);
+  EXPECT_EQ(a.band(x, a.konst(0xffffffff, 32)), x);
+  EXPECT_EQ(a.const_value(a.sub(x, x)), 0u);
+}
+
+TEST(Term, CommutativeCanonicalization) {
+  TermArena a;
+  const TermRef x = a.var("x", 32);
+  const TermRef y = a.var("y", 32);
+  EXPECT_EQ(a.add(x, y), a.add(y, x));
+  EXPECT_EQ(a.mul(x, y), a.mul(y, x));
+  EXPECT_EQ(a.add(a.konst(5, 32), x), a.add(x, a.konst(5, 32)));
+}
+
+TEST(Term, LinearSumCollapses) {
+  TermArena a;
+  const TermRef x = a.var("x", 64);
+  const TermRef t = a.add(a.add(x, a.konst(8, 64)), a.konst(4, 64));
+  const LinearForm lf = a.linear_form(t);
+  ASSERT_TRUE(lf.base.has_value());
+  EXPECT_EQ(*lf.base, x);
+  EXPECT_EQ(lf.offset, 12u);
+  // x - 4 also normalizes into the linear form.
+  const LinearForm lf2 = a.linear_form(a.sub(x, a.konst(4, 64)));
+  ASSERT_TRUE(lf2.base.has_value());
+  EXPECT_EQ(lf2.offset, 0xfffffffffffffffcull);
+}
+
+TEST(Term, DoubleNegations) {
+  TermArena a;
+  const TermRef x = a.var("x", 1);
+  EXPECT_EQ(a.lnot(a.lnot(x)), x);
+  const TermRef y = a.var("y", 32);
+  EXPECT_EQ(a.bnot(a.bnot(y)), y);
+}
+
+TEST(Term, DecideEq) {
+  TermArena a;
+  const TermRef x = a.var("x", 64);
+  const TermRef y = a.var("y", 64);
+  using D = TermArena::Decision;
+  EXPECT_EQ(a.decide_eq(x, x), D::Yes);
+  EXPECT_EQ(a.decide_eq(a.konst(3, 64), a.konst(3, 64)), D::Yes);
+  EXPECT_EQ(a.decide_eq(a.konst(3, 64), a.konst(4, 64)), D::No);
+  EXPECT_EQ(a.decide_eq(a.add(x, a.konst(4, 64)), a.add(x, a.konst(4, 64))),
+            D::Yes);
+  EXPECT_EQ(a.decide_eq(a.add(x, a.konst(4, 64)), a.add(x, a.konst(8, 64))),
+            D::No);
+  EXPECT_EQ(a.decide_eq(x, y), D::Unknown);
+  EXPECT_EQ(a.decide_eq(a.add(x, a.konst(4, 64)), y), D::Unknown);
+}
+
+TEST(Term, EqSimplification) {
+  TermArena a;
+  const TermRef x = a.var("x", 32);
+  EXPECT_EQ(a.eq(x, x), a.tru());
+  EXPECT_EQ(a.eq(a.add(x, a.konst(1, 32)), a.add(x, a.konst(2, 32))),
+            a.fls());
+}
+
+TEST(Term, IteSimplification) {
+  TermArena a;
+  const TermRef x = a.var("x", 32);
+  const TermRef y = a.var("y", 32);
+  const TermRef c = a.var("c", 1);
+  EXPECT_EQ(a.ite(a.tru(), x, y), x);
+  EXPECT_EQ(a.ite(a.fls(), x, y), y);
+  EXPECT_EQ(a.ite(c, x, x), x);
+  EXPECT_EQ(a.ite(a.lnot(c), x, y), a.ite(c, y, x));
+}
+
+TEST(Term, WidthChanges) {
+  TermArena a;
+  EXPECT_EQ(a.const_value(a.sext(a.konst(0x80, 8), 32)), 0xffffff80u);
+  EXPECT_EQ(a.const_value(a.zext(a.konst(0x80, 8), 32)), 0x80u);
+  EXPECT_EQ(a.const_value(a.trunc(a.konst(0x1234, 32), 8)), 0x34u);
+  const TermRef x = a.var("x", 32);
+  EXPECT_EQ(a.zext(x, 32), x);                 // no-op
+  EXPECT_EQ(a.trunc(a.zext(x, 64), 32), x);    // round trip
+}
+
+TEST(Term, WidthMismatchThrows) {
+  TermArena a;
+  EXPECT_THROW(a.add(a.konst(1, 32), a.konst(1, 64)), cac::KernelError);
+  EXPECT_THROW(a.ite(a.var("c", 32), a.konst(0, 8), a.konst(0, 8)),
+               cac::KernelError);
+}
+
+TEST(Term, Evaluate) {
+  TermArena a;
+  const TermRef x = a.var("x", 32);
+  const TermRef y = a.var("y", 32);
+  const TermRef t = a.add(a.mul(x, a.konst(3, 32)), y);
+  EXPECT_EQ(a.evaluate(t, {{"x", 10}, {"y", 5}}), 35u);
+  EXPECT_THROW((void)a.evaluate(t, {{"x", 10}}), cac::KernelError);
+}
+
+class TermPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TermPropertyTest, SimplifierPreservesSemantics) {
+  // Build expressions two different ways and evaluate both under a
+  // random assignment: smart constructors must be meaning-preserving.
+  std::uint64_t seed = GetParam() * 0x9e3779b97f4a7c15ull + 1;
+  auto next = [&seed] {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  TermArena a;
+  const TermRef x = a.var("x", 32);
+  const TermRef y = a.var("y", 32);
+  const std::unordered_map<std::string, std::uint64_t> env{
+      {"x", next()}, {"y", next()}};
+
+  const TermRef lhs =
+      a.sub(a.add(a.add(x, a.konst(7, 32)), y), a.konst(7, 32));
+  const TermRef rhs = a.add(x, y);
+  EXPECT_EQ(a.evaluate(lhs, env), a.evaluate(rhs, env));
+
+  const TermRef cmp = a.ge(x, y, true);
+  const bool expect = static_cast<std::int32_t>(env.at("x")) >=
+                      static_cast<std::int32_t>(env.at("y"));
+  EXPECT_EQ(a.evaluate(cmp, env), expect ? 1u : 0u);
+
+  const TermRef wide =
+      a.mul(a.sext(x, 64), a.sext(y, 64));
+  const auto sx = static_cast<std::int64_t>(
+      static_cast<std::int32_t>(env.at("x")));
+  const auto sy = static_cast<std::int64_t>(
+      static_cast<std::int32_t>(env.at("y")));
+  EXPECT_EQ(a.evaluate(wide, env),
+            static_cast<std::uint64_t>(sx * sy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace cac::sym

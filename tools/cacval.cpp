@@ -1,0 +1,351 @@
+// cacval — command-line front end to the validation framework.
+//
+//   cacval dump   FILE.ptx [--kernel K] [--no-sync-insertion]
+//   cacval emit   FILE.ptx [--kernel K]
+//   cacval run    FILE.ptx [launch options] [--profile]
+//   cacval check  FILE.ptx [launch options] [--expect ADDR=U32]...
+//                 [--independent] [--exact-steps N] [--por]
+//   cacval validate FILE.ptx [launch options] [--expect ADDR=U32]...
+//                 [--profile]   (profile + races + model check +
+//                                transparency + lane-order, one report)
+//   cacval races  FILE.ptx [launch options]
+//   cacval equiv  FILE_A.ptx FILE_B.ptx [--kernel K] [--kernel-b K2]
+//                 [--block ...]   (translation validation: identical
+//                                  stores for every input, symbolically)
+//
+// Launch options:
+//   --kernel K          kernel name (default: the first kernel)
+//   --grid X[,Y[,Z]]    grid size (default 1)
+//   --block X[,Y[,Z]]   block size (default 32)
+//   --warp N            warp size (default 32)
+//   --global BYTES      Global space size (default 4096)
+//   --shared BYTES      Shared bank size per block (default 4096)
+//   --param NAME=VAL    kernel argument (repeatable; VAL may be 0x..)
+//   --init ADDR=U32     initialize a Global word (repeatable)
+//   --sched S           first | rr | random:SEED   (default first)
+//   --max-steps N       step bound (default 1<<20)
+//
+// Exit status: 0 on success/proof, 1 on refutation/fault/deadlock,
+// 2 on usage or input errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/model.h"
+#include "check/profile.h"
+#include "check/race.h"
+#include "check/validate.h"
+#include "vcgen/prove.h"
+#include "ptx/emit.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+
+using namespace cac;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string file;
+  std::string file_b;   // equiv only
+  std::string kernel;
+  std::string kernel_b;
+  sem::Dim3 grid{1, 1, 1};
+  sem::Dim3 block{32, 1, 1};
+  std::uint32_t warp = 32;
+  std::uint64_t global_bytes = 4096;
+  std::uint64_t shared_bytes = 4096;
+  std::vector<std::pair<std::string, std::uint64_t>> params;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> inits;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> expects;
+  std::string sched = "first";
+  std::uint64_t max_steps = 1u << 20;
+  std::uint64_t exact_steps = 0;
+  bool independent = false;
+  bool por = false;
+  bool profile = false;
+  bool insert_syncs = true;
+};
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "cacval: %s\n(see the header of tools/cacval.cpp "
+                       "for usage)\n", why);
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::stoull(s, nullptr, 0);
+}
+
+sem::Dim3 parse_dim3(const std::string& s) {
+  sem::Dim3 d{1, 1, 1};
+  std::stringstream ss(s);
+  std::string piece;
+  std::uint32_t* slots[3] = {&d.x, &d.y, &d.z};
+  for (int i = 0; i < 3 && std::getline(ss, piece, ','); ++i) {
+    *slots[i] = static_cast<std::uint32_t>(parse_u64(piece));
+  }
+  return d;
+}
+
+std::pair<std::string, std::string> split_eq(const std::string& s) {
+  const auto eq = s.find('=');
+  if (eq == std::string::npos) usage("expected NAME=VALUE");
+  return {s.substr(0, eq), s.substr(eq + 1)};
+}
+
+Options parse_args(int argc, char** argv) {
+  if (argc < 3) usage("missing command or file");
+  Options o;
+  o.command = argv[1];
+  o.file = argv[2];
+  int first_flag = 3;
+  if (o.command == "equiv") {
+    if (argc < 4) usage("equiv needs two files");
+    o.file_b = argv[3];
+    first_flag = 4;
+  }
+  for (int i = first_flag; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(("missing value for " + a).c_str());
+      return argv[i];
+    };
+    if (a == "--kernel") o.kernel = next();
+    else if (a == "--kernel-b") o.kernel_b = next();
+    else if (a == "--grid") o.grid = parse_dim3(next());
+    else if (a == "--block") o.block = parse_dim3(next());
+    else if (a == "--warp") o.warp = static_cast<std::uint32_t>(parse_u64(next()));
+    else if (a == "--global") o.global_bytes = parse_u64(next());
+    else if (a == "--shared") o.shared_bytes = parse_u64(next());
+    else if (a == "--param") {
+      const auto [k, v] = split_eq(next());
+      o.params.emplace_back(k, parse_u64(v));
+    } else if (a == "--init") {
+      const auto [k, v] = split_eq(next());
+      o.inits.emplace_back(parse_u64(k),
+                           static_cast<std::uint32_t>(parse_u64(v)));
+    } else if (a == "--expect") {
+      const auto [k, v] = split_eq(next());
+      o.expects.emplace_back(parse_u64(k),
+                             static_cast<std::uint32_t>(parse_u64(v)));
+    } else if (a == "--sched") o.sched = next();
+    else if (a == "--max-steps") o.max_steps = parse_u64(next());
+    else if (a == "--exact-steps") o.exact_steps = parse_u64(next());
+    else if (a == "--independent") o.independent = true;
+    else if (a == "--por") o.por = true;
+    else if (a == "--profile") o.profile = true;
+    else if (a == "--no-sync-insertion") o.insert_syncs = false;
+    else usage(("unknown option " + a).c_str());
+  }
+  return o;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open " + path).c_str());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const std::string& name) {
+  if (name == "first") return std::make_unique<sched::FirstChoiceScheduler>();
+  if (name == "rr") return std::make_unique<sched::RoundRobinScheduler>();
+  if (name.rfind("random:", 0) == 0) {
+    return std::make_unique<sched::RandomScheduler>(
+        parse_u64(name.substr(7)));
+  }
+  usage("unknown scheduler (use first | rr | random:SEED)");
+}
+
+const ptx::Program& pick_kernel(const ptx::LoweredModule& mod,
+                                const Options& o) {
+  if (mod.kernels.empty()) usage("module has no kernels");
+  if (o.kernel.empty()) return mod.kernels.front();
+  return mod.kernel(o.kernel);
+}
+
+sem::Launch make_launch(const ptx::Program& prg, const Options& o,
+                        const ptx::LoweredModule& mod) {
+  const sem::KernelConfig kc{o.grid, o.block, o.warp};
+  mem::MemSizes sizes;
+  sizes.global = o.global_bytes;
+  sizes.shared = std::max<std::uint64_t>(o.shared_bytes, mod.shared_bytes);
+  sem::Launch launch(prg, kc, sizes);
+  for (const auto& [name, value] : o.params) launch.param(name, value);
+  for (const auto& [addr, value] : o.inits) launch.global_u32(addr, value);
+  return launch;
+}
+
+int cmd_dump(const Options& o, const ptx::LoweredModule& mod) {
+  if (!o.kernel.empty()) {
+    std::printf("%s", ptx::to_string(mod.kernel(o.kernel)).c_str());
+    return 0;
+  }
+  for (const ptx::Program& k : mod.kernels) {
+    std::printf("%s\n", ptx::to_string(k).c_str());
+  }
+  if (mod.shared_bytes) {
+    std::printf("shared layout: %u bytes/block\n", mod.shared_bytes);
+  }
+  return 0;
+}
+
+int cmd_emit(const Options& o, const ptx::LoweredModule& mod) {
+  std::printf("%s", ptx::emit_ptx(pick_kernel(mod, o)).c_str());
+  return 0;
+}
+
+int cmd_run(const Options& o, const ptx::LoweredModule& mod) {
+  const ptx::Program& prg = pick_kernel(mod, o);
+  sem::Launch launch = make_launch(prg, o, mod);
+  sem::Machine m = launch.machine();
+  auto sched = make_scheduler(o.sched);
+
+  if (o.profile) {
+    const check::Profile p =
+        check::profile_run(prg, launch.config(), m, *sched, o.max_steps);
+    std::printf("status: %s after %llu steps\n%s",
+                to_string(p.run.status).c_str(),
+                static_cast<unsigned long long>(p.run.steps),
+                p.table().c_str());
+    if (!p.run.message.empty()) std::printf("%s\n", p.run.message.c_str());
+    return p.run.status == sched::RunResult::Status::Terminated ? 0 : 1;
+  }
+
+  const sched::RunResult r =
+      sched::run(prg, launch.config(), m, *sched, o.max_steps);
+  std::printf("status: %s after %llu grid steps\n",
+              to_string(r.status).c_str(),
+              static_cast<unsigned long long>(r.steps));
+  if (!r.message.empty()) std::printf("%s", r.message.c_str());
+  if (!r.events.invalid_reads.empty() || !r.events.store_conflicts.empty()) {
+    std::printf("diagnostics: %zu invalid reads, %zu lane conflicts\n",
+                r.events.invalid_reads.size(),
+                r.events.store_conflicts.size());
+  }
+  for (const auto& [addr, _] : o.expects) {
+    std::printf("Global[%llu] = %llu\n",
+                static_cast<unsigned long long>(addr),
+                static_cast<unsigned long long>(
+                    m.memory.load(mem::Space::Global, addr, 4)));
+  }
+  return r.terminated() ? 0 : 1;
+}
+
+int cmd_check(const Options& o, const ptx::LoweredModule& mod) {
+  const ptx::Program& prg = pick_kernel(mod, o);
+  sem::Launch launch = make_launch(prg, o, mod);
+  check::Spec post;
+  for (const auto& [addr, value] : o.expects) {
+    post.mem_u32(mem::Space::Global, addr, value);
+  }
+  check::ModelCheckOptions opts;
+  opts.explore.max_depth = o.max_steps;
+  opts.explore.partial_order_reduction = o.por;
+  opts.require_schedule_independence = o.independent;
+  opts.expect_exact_steps = o.exact_steps;
+  const check::Verdict v = check::prove_total(prg, launch.config(),
+                                              launch.machine(), post, opts);
+  std::printf("%s: %s\n", to_string(v.kind).c_str(), v.detail.c_str());
+  if (!v.counterexample.empty()) {
+    std::printf("counterexample schedule (%zu steps):",
+                v.counterexample.size());
+    const std::size_t show = std::min<std::size_t>(v.counterexample.size(), 20);
+    for (std::size_t i = 0; i < show; ++i) {
+      std::printf(" %s", sem::to_string(v.counterexample[i]).c_str());
+    }
+    std::printf(v.counterexample.size() > show ? " ...\n" : "\n");
+  }
+  return v.proved() ? 0 : 1;
+}
+
+int cmd_validate(const Options& o, const ptx::LoweredModule& mod) {
+  const ptx::Program& prg = pick_kernel(mod, o);
+  sem::Launch launch = make_launch(prg, o, mod);
+  check::Spec post;
+  for (const auto& [addr, value] : o.expects) {
+    post.mem_u32(mem::Space::Global, addr, value);
+  }
+  check::ValidateOptions opts;
+  opts.model.explore.max_depth = o.max_steps;
+  opts.model.explore.partial_order_reduction = o.por;
+  opts.model.require_schedule_independence = o.independent;
+  opts.model.expect_exact_steps = o.exact_steps;
+  opts.collect_profile = o.profile;
+  const check::ValidationReport report =
+      check::validate(prg, launch.config(), launch.machine(), post, opts);
+  std::printf("%s", report.text().c_str());
+  return report.all_passed() ? 0 : 1;
+}
+
+int cmd_races(const Options& o, const ptx::LoweredModule& mod) {
+  const ptx::Program& prg = pick_kernel(mod, o);
+  sem::Launch launch = make_launch(prg, o, mod);
+  sem::Machine m = launch.machine();
+  auto sched = make_scheduler(o.sched);
+  check::RaceOptions ropts;
+  ropts.max_steps = o.max_steps;
+  const check::RaceReport r =
+      check::detect_races(prg, launch.config(), m, *sched, ropts);
+  std::printf("run: %s; %s\n", to_string(r.run.status).c_str(),
+              r.summary().c_str());
+  for (const auto& race : r.races) {
+    std::printf("  %s %s[%llu] threads %u/%u%s\n",
+                race.write_write ? "W-W" : "R-W",
+                ptx::to_string(race.space).c_str(),
+                static_cast<unsigned long long>(race.addr), race.tid_a,
+                race.tid_b, race.cross_block ? " (cross-block)" : "");
+  }
+  return r.racy() ? 1 : 0;
+}
+
+int cmd_equiv(const Options& o, const ptx::LoweredModule& mod_a) {
+  ptx::LowerOptions lopts;
+  lopts.insert_syncs = o.insert_syncs;
+  const ptx::LoweredModule mod_b = ptx::load_ptx(read_file(o.file_b), lopts);
+  const ptx::Program& a = pick_kernel(mod_a, o);
+  Options ob = o;
+  ob.kernel = o.kernel_b.empty() ? o.kernel : o.kernel_b;
+  const ptx::Program& b = pick_kernel(mod_b, ob);
+
+  sym::TermArena arena;
+  const sym::SymEnv env = sym::SymEnv::symbolic(arena, a);
+  const sem::KernelConfig kc{o.grid, o.block, o.warp};
+  const vcgen::ProofResult r = vcgen::prove_equivalent(a, b, kc, env);
+  std::printf("%s == %s: %s (%s)\n", a.name().c_str(), b.name().c_str(),
+              r.proved ? "PROVED" : "REFUTED", r.detail.c_str());
+  return r.proved ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse_args(argc, argv);
+    ptx::LowerOptions lopts;
+    lopts.insert_syncs = o.insert_syncs;
+    const ptx::LoweredModule mod = ptx::load_ptx(read_file(o.file), lopts);
+
+    if (o.command == "dump") return cmd_dump(o, mod);
+    if (o.command == "emit") return cmd_emit(o, mod);
+    if (o.command == "run") return cmd_run(o, mod);
+    if (o.command == "check") return cmd_check(o, mod);
+    if (o.command == "validate") return cmd_validate(o, mod);
+    if (o.command == "equiv") return cmd_equiv(o, mod);
+    if (o.command == "races") return cmd_races(o, mod);
+    usage(("unknown command " + o.command).c_str());
+  } catch (const PtxError& e) {
+    std::fprintf(stderr, "cacval: PTX error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cacval: %s\n", e.what());
+    return 2;
+  }
+}
