@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_por.cpp" "bench/CMakeFiles/bench_ablation_por.dir/bench_ablation_por.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_por.dir/bench_ablation_por.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/cac_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cac_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/cac_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/cac_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cac_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/cac_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/cac_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcgen/CMakeFiles/cac_vcgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_por.dir/bench_ablation_por.cpp.o"
+  "CMakeFiles/bench_ablation_por.dir/bench_ablation_por.cpp.o.d"
+  "bench_ablation_por"
+  "bench_ablation_por.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_por.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_warp_step.dir/bench_fig1_warp_step.cpp.o"
+  "CMakeFiles/bench_fig1_warp_step.dir/bench_fig1_warp_step.cpp.o.d"
+  "bench_fig1_warp_step"
+  "bench_fig1_warp_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_warp_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_l12_parse_lower.dir/bench_l12_parse_lower.cpp.o"
+  "CMakeFiles/bench_l12_parse_lower.dir/bench_l12_parse_lower.cpp.o.d"
+  "bench_l12_parse_lower"
+  "bench_l12_parse_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l12_parse_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

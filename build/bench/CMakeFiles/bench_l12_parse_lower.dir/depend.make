@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_l12_parse_lower.
+# This may be replaced when dependencies are built.

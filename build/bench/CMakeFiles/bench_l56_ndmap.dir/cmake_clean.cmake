@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_l56_ndmap.dir/bench_l56_ndmap.cpp.o"
+  "CMakeFiles/bench_l56_ndmap.dir/bench_l56_ndmap.cpp.o.d"
+  "bench_l56_ndmap"
+  "bench_l56_ndmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l56_ndmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

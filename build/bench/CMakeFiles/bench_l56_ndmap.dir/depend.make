@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_l56_ndmap.
+# This may be replaced when dependencies are built.

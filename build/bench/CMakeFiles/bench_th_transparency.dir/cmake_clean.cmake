@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_th_transparency.dir/bench_th_transparency.cpp.o"
+  "CMakeFiles/bench_th_transparency.dir/bench_th_transparency.cpp.o.d"
+  "bench_th_transparency"
+  "bench_th_transparency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_th_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

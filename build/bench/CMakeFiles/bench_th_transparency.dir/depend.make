@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_th_transparency.
+# This may be replaced when dependencies are built.

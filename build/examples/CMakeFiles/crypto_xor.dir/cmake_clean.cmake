@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_xor.dir/crypto_xor.cpp.o"
+  "CMakeFiles/crypto_xor.dir/crypto_xor.cpp.o.d"
+  "crypto_xor"
+  "crypto_xor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_xor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

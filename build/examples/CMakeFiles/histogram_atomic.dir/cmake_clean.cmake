@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_atomic.dir/histogram_atomic.cpp.o"
+  "CMakeFiles/histogram_atomic.dir/histogram_atomic.cpp.o.d"
+  "histogram_atomic"
+  "histogram_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_shared.dir/reduce_shared.cpp.o"
+  "CMakeFiles/reduce_shared.dir/reduce_shared.cpp.o.d"
+  "reduce_shared"
+  "reduce_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

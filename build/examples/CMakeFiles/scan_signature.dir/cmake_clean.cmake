@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_signature.dir/scan_signature.cpp.o"
+  "CMakeFiles/scan_signature.dir/scan_signature.cpp.o.d"
+  "scan_signature"
+  "scan_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/model.cc" "src/check/CMakeFiles/cac_check.dir/model.cc.o" "gcc" "src/check/CMakeFiles/cac_check.dir/model.cc.o.d"
+  "/root/repo/src/check/ndmap.cc" "src/check/CMakeFiles/cac_check.dir/ndmap.cc.o" "gcc" "src/check/CMakeFiles/cac_check.dir/ndmap.cc.o.d"
+  "/root/repo/src/check/profile.cc" "src/check/CMakeFiles/cac_check.dir/profile.cc.o" "gcc" "src/check/CMakeFiles/cac_check.dir/profile.cc.o.d"
+  "/root/repo/src/check/race.cc" "src/check/CMakeFiles/cac_check.dir/race.cc.o" "gcc" "src/check/CMakeFiles/cac_check.dir/race.cc.o.d"
+  "/root/repo/src/check/spec.cc" "src/check/CMakeFiles/cac_check.dir/spec.cc.o" "gcc" "src/check/CMakeFiles/cac_check.dir/spec.cc.o.d"
+  "/root/repo/src/check/trace.cc" "src/check/CMakeFiles/cac_check.dir/trace.cc.o" "gcc" "src/check/CMakeFiles/cac_check.dir/trace.cc.o.d"
+  "/root/repo/src/check/transparency.cc" "src/check/CMakeFiles/cac_check.dir/transparency.cc.o" "gcc" "src/check/CMakeFiles/cac_check.dir/transparency.cc.o.d"
+  "/root/repo/src/check/validate.cc" "src/check/CMakeFiles/cac_check.dir/validate.cc.o" "gcc" "src/check/CMakeFiles/cac_check.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sem/CMakeFiles/cac_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cac_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cac_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/cac_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_check.dir/model.cc.o"
+  "CMakeFiles/cac_check.dir/model.cc.o.d"
+  "CMakeFiles/cac_check.dir/ndmap.cc.o"
+  "CMakeFiles/cac_check.dir/ndmap.cc.o.d"
+  "CMakeFiles/cac_check.dir/profile.cc.o"
+  "CMakeFiles/cac_check.dir/profile.cc.o.d"
+  "CMakeFiles/cac_check.dir/race.cc.o"
+  "CMakeFiles/cac_check.dir/race.cc.o.d"
+  "CMakeFiles/cac_check.dir/spec.cc.o"
+  "CMakeFiles/cac_check.dir/spec.cc.o.d"
+  "CMakeFiles/cac_check.dir/trace.cc.o"
+  "CMakeFiles/cac_check.dir/trace.cc.o.d"
+  "CMakeFiles/cac_check.dir/transparency.cc.o"
+  "CMakeFiles/cac_check.dir/transparency.cc.o.d"
+  "CMakeFiles/cac_check.dir/validate.cc.o"
+  "CMakeFiles/cac_check.dir/validate.cc.o.d"
+  "libcac_check.a"
+  "libcac_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

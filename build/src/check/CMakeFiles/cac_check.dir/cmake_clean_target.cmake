@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcac_check.a"
+)

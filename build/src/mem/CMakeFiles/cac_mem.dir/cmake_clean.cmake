@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_mem.dir/memory.cc.o"
+  "CMakeFiles/cac_mem.dir/memory.cc.o.d"
+  "libcac_mem.a"
+  "libcac_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_programs.dir/corpus.cc.o"
+  "CMakeFiles/cac_programs.dir/corpus.cc.o.d"
+  "libcac_programs.a"
+  "libcac_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

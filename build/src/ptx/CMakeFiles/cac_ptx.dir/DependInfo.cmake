@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptx/cfg.cc" "src/ptx/CMakeFiles/cac_ptx.dir/cfg.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/cfg.cc.o.d"
+  "/root/repo/src/ptx/dtype.cc" "src/ptx/CMakeFiles/cac_ptx.dir/dtype.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/dtype.cc.o.d"
+  "/root/repo/src/ptx/emit.cc" "src/ptx/CMakeFiles/cac_ptx.dir/emit.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/emit.cc.o.d"
+  "/root/repo/src/ptx/instr.cc" "src/ptx/CMakeFiles/cac_ptx.dir/instr.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/instr.cc.o.d"
+  "/root/repo/src/ptx/lexer.cc" "src/ptx/CMakeFiles/cac_ptx.dir/lexer.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/lexer.cc.o.d"
+  "/root/repo/src/ptx/lower.cc" "src/ptx/CMakeFiles/cac_ptx.dir/lower.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/lower.cc.o.d"
+  "/root/repo/src/ptx/operand.cc" "src/ptx/CMakeFiles/cac_ptx.dir/operand.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/operand.cc.o.d"
+  "/root/repo/src/ptx/parser.cc" "src/ptx/CMakeFiles/cac_ptx.dir/parser.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/parser.cc.o.d"
+  "/root/repo/src/ptx/program.cc" "src/ptx/CMakeFiles/cac_ptx.dir/program.cc.o" "gcc" "src/ptx/CMakeFiles/cac_ptx.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_ptx.dir/cfg.cc.o"
+  "CMakeFiles/cac_ptx.dir/cfg.cc.o.d"
+  "CMakeFiles/cac_ptx.dir/dtype.cc.o"
+  "CMakeFiles/cac_ptx.dir/dtype.cc.o.d"
+  "CMakeFiles/cac_ptx.dir/emit.cc.o"
+  "CMakeFiles/cac_ptx.dir/emit.cc.o.d"
+  "CMakeFiles/cac_ptx.dir/instr.cc.o"
+  "CMakeFiles/cac_ptx.dir/instr.cc.o.d"
+  "CMakeFiles/cac_ptx.dir/lexer.cc.o"
+  "CMakeFiles/cac_ptx.dir/lexer.cc.o.d"
+  "CMakeFiles/cac_ptx.dir/lower.cc.o"
+  "CMakeFiles/cac_ptx.dir/lower.cc.o.d"
+  "CMakeFiles/cac_ptx.dir/operand.cc.o"
+  "CMakeFiles/cac_ptx.dir/operand.cc.o.d"
+  "CMakeFiles/cac_ptx.dir/parser.cc.o"
+  "CMakeFiles/cac_ptx.dir/parser.cc.o.d"
+  "CMakeFiles/cac_ptx.dir/program.cc.o"
+  "CMakeFiles/cac_ptx.dir/program.cc.o.d"
+  "libcac_ptx.a"
+  "libcac_ptx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

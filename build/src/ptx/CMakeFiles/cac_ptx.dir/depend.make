@@ -1,0 +1,2 @@
+# Empty dependencies file for cac_ptx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_sched.dir/explore.cc.o"
+  "CMakeFiles/cac_sched.dir/explore.cc.o.d"
+  "CMakeFiles/cac_sched.dir/scheduler.cc.o"
+  "CMakeFiles/cac_sched.dir/scheduler.cc.o.d"
+  "libcac_sched.a"
+  "libcac_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sem/config.cc" "src/sem/CMakeFiles/cac_sem.dir/config.cc.o" "gcc" "src/sem/CMakeFiles/cac_sem.dir/config.cc.o.d"
+  "/root/repo/src/sem/launch.cc" "src/sem/CMakeFiles/cac_sem.dir/launch.cc.o" "gcc" "src/sem/CMakeFiles/cac_sem.dir/launch.cc.o.d"
+  "/root/repo/src/sem/state.cc" "src/sem/CMakeFiles/cac_sem.dir/state.cc.o" "gcc" "src/sem/CMakeFiles/cac_sem.dir/state.cc.o.d"
+  "/root/repo/src/sem/step.cc" "src/sem/CMakeFiles/cac_sem.dir/step.cc.o" "gcc" "src/sem/CMakeFiles/cac_sem.dir/step.cc.o.d"
+  "/root/repo/src/sem/thread.cc" "src/sem/CMakeFiles/cac_sem.dir/thread.cc.o" "gcc" "src/sem/CMakeFiles/cac_sem.dir/thread.cc.o.d"
+  "/root/repo/src/sem/warp.cc" "src/sem/CMakeFiles/cac_sem.dir/warp.cc.o" "gcc" "src/sem/CMakeFiles/cac_sem.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptx/CMakeFiles/cac_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cac_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_sem.dir/config.cc.o"
+  "CMakeFiles/cac_sem.dir/config.cc.o.d"
+  "CMakeFiles/cac_sem.dir/launch.cc.o"
+  "CMakeFiles/cac_sem.dir/launch.cc.o.d"
+  "CMakeFiles/cac_sem.dir/state.cc.o"
+  "CMakeFiles/cac_sem.dir/state.cc.o.d"
+  "CMakeFiles/cac_sem.dir/step.cc.o"
+  "CMakeFiles/cac_sem.dir/step.cc.o.d"
+  "CMakeFiles/cac_sem.dir/thread.cc.o"
+  "CMakeFiles/cac_sem.dir/thread.cc.o.d"
+  "CMakeFiles/cac_sem.dir/warp.cc.o"
+  "CMakeFiles/cac_sem.dir/warp.cc.o.d"
+  "libcac_sem.a"
+  "libcac_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_support.dir/diag.cc.o"
+  "CMakeFiles/cac_support.dir/diag.cc.o.d"
+  "CMakeFiles/cac_support.dir/strings.cc.o"
+  "CMakeFiles/cac_support.dir/strings.cc.o.d"
+  "libcac_support.a"
+  "libcac_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/block_exec.cc" "src/sym/CMakeFiles/cac_sym.dir/block_exec.cc.o" "gcc" "src/sym/CMakeFiles/cac_sym.dir/block_exec.cc.o.d"
+  "/root/repo/src/sym/exec.cc" "src/sym/CMakeFiles/cac_sym.dir/exec.cc.o" "gcc" "src/sym/CMakeFiles/cac_sym.dir/exec.cc.o.d"
+  "/root/repo/src/sym/state.cc" "src/sym/CMakeFiles/cac_sym.dir/state.cc.o" "gcc" "src/sym/CMakeFiles/cac_sym.dir/state.cc.o.d"
+  "/root/repo/src/sym/term.cc" "src/sym/CMakeFiles/cac_sym.dir/term.cc.o" "gcc" "src/sym/CMakeFiles/cac_sym.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sem/CMakeFiles/cac_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cac_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/cac_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_sym.dir/block_exec.cc.o"
+  "CMakeFiles/cac_sym.dir/block_exec.cc.o.d"
+  "CMakeFiles/cac_sym.dir/exec.cc.o"
+  "CMakeFiles/cac_sym.dir/exec.cc.o.d"
+  "CMakeFiles/cac_sym.dir/state.cc.o"
+  "CMakeFiles/cac_sym.dir/state.cc.o.d"
+  "CMakeFiles/cac_sym.dir/term.cc.o"
+  "CMakeFiles/cac_sym.dir/term.cc.o.d"
+  "libcac_sym.a"
+  "libcac_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

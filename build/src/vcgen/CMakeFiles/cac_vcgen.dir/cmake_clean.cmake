@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_vcgen.dir/prove.cc.o"
+  "CMakeFiles/cac_vcgen.dir/prove.cc.o.d"
+  "libcac_vcgen.a"
+  "libcac_vcgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_vcgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cac_test_common.dir/common/random_program.cc.o"
+  "CMakeFiles/cac_test_common.dir/common/random_program.cc.o.d"
+  "libcac_test_common.a"
+  "libcac_test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cac_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

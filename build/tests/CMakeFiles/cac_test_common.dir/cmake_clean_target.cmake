@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcac_test_common.a"
+)

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check.dir/check/lane_order_test.cc.o"
+  "CMakeFiles/test_check.dir/check/lane_order_test.cc.o.d"
+  "CMakeFiles/test_check.dir/check/model_test.cc.o"
+  "CMakeFiles/test_check.dir/check/model_test.cc.o.d"
+  "CMakeFiles/test_check.dir/check/ndmap_test.cc.o"
+  "CMakeFiles/test_check.dir/check/ndmap_test.cc.o.d"
+  "CMakeFiles/test_check.dir/check/profile_test.cc.o"
+  "CMakeFiles/test_check.dir/check/profile_test.cc.o.d"
+  "CMakeFiles/test_check.dir/check/race_test.cc.o"
+  "CMakeFiles/test_check.dir/check/race_test.cc.o.d"
+  "CMakeFiles/test_check.dir/check/spec_test.cc.o"
+  "CMakeFiles/test_check.dir/check/spec_test.cc.o.d"
+  "CMakeFiles/test_check.dir/check/trace_test.cc.o"
+  "CMakeFiles/test_check.dir/check/trace_test.cc.o.d"
+  "CMakeFiles/test_check.dir/check/transparency_test.cc.o"
+  "CMakeFiles/test_check.dir/check/transparency_test.cc.o.d"
+  "CMakeFiles/test_check.dir/check/validate_test.cc.o"
+  "CMakeFiles/test_check.dir/check/validate_test.cc.o.d"
+  "test_check"
+  "test_check.pdb"
+  "test_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/corpus_ext_test.cc" "tests/CMakeFiles/test_integration.dir/integration/corpus_ext_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/corpus_ext_test.cc.o.d"
+  "/root/repo/tests/integration/differential_test.cc" "tests/CMakeFiles/test_integration.dir/integration/differential_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/differential_test.cc.o.d"
+  "/root/repo/tests/integration/end2end_test.cc" "tests/CMakeFiles/test_integration.dir/integration/end2end_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/end2end_test.cc.o.d"
+  "/root/repo/tests/integration/litmus_test.cc" "tests/CMakeFiles/test_integration.dir/integration/litmus_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/litmus_test.cc.o.d"
+  "/root/repo/tests/integration/scan_prefix_test.cc" "tests/CMakeFiles/test_integration.dir/integration/scan_prefix_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/scan_prefix_test.cc.o.d"
+  "/root/repo/tests/integration/warp_primitive_test.cc" "tests/CMakeFiles/test_integration.dir/integration/warp_primitive_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/warp_primitive_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/cac_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cac_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/cac_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/cac_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cac_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/cac_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/cac_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcgen/CMakeFiles/cac_vcgen.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/cac_test_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

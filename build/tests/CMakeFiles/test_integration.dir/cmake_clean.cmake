@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/corpus_ext_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/corpus_ext_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/differential_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/differential_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/end2end_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/end2end_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/litmus_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/litmus_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/scan_prefix_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/scan_prefix_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/warp_primitive_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/warp_primitive_test.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ptx/cfg_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/cfg_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/cfg_test.cc.o.d"
+  "/root/repo/tests/ptx/dtype_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/dtype_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/dtype_test.cc.o.d"
+  "/root/repo/tests/ptx/emit_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/emit_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/emit_test.cc.o.d"
+  "/root/repo/tests/ptx/fuzz_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/fuzz_test.cc.o.d"
+  "/root/repo/tests/ptx/isa_ext_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/isa_ext_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/isa_ext_test.cc.o.d"
+  "/root/repo/tests/ptx/lexer_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/lexer_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/lexer_test.cc.o.d"
+  "/root/repo/tests/ptx/lower_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/lower_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/lower_test.cc.o.d"
+  "/root/repo/tests/ptx/operand_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/operand_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/operand_test.cc.o.d"
+  "/root/repo/tests/ptx/parser_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/parser_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/parser_test.cc.o.d"
+  "/root/repo/tests/ptx/program_test.cc" "tests/CMakeFiles/test_ptx.dir/ptx/program_test.cc.o" "gcc" "tests/CMakeFiles/test_ptx.dir/ptx/program_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/cac_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cac_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/cac_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/programs/CMakeFiles/cac_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cac_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/cac_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/cac_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcgen/CMakeFiles/cac_vcgen.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/cac_test_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptx.dir/ptx/cfg_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/cfg_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/dtype_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/dtype_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/emit_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/emit_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/fuzz_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/fuzz_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/isa_ext_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/isa_ext_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/lexer_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/lexer_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/lower_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/lower_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/operand_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/operand_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/parser_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/parser_test.cc.o.d"
+  "CMakeFiles/test_ptx.dir/ptx/program_test.cc.o"
+  "CMakeFiles/test_ptx.dir/ptx/program_test.cc.o.d"
+  "test_ptx"
+  "test_ptx.pdb"
+  "test_ptx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

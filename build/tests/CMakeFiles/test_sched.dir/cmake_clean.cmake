@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/explore_property_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/explore_property_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/explore_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/explore_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/por_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/por_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/scheduler_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/scheduler_test.cc.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sem.dir/sem/config_test.cc.o"
+  "CMakeFiles/test_sem.dir/sem/config_test.cc.o.d"
+  "CMakeFiles/test_sem.dir/sem/state_test.cc.o"
+  "CMakeFiles/test_sem.dir/sem/state_test.cc.o.d"
+  "CMakeFiles/test_sem.dir/sem/step_test.cc.o"
+  "CMakeFiles/test_sem.dir/sem/step_test.cc.o.d"
+  "CMakeFiles/test_sem.dir/sem/warp_test.cc.o"
+  "CMakeFiles/test_sem.dir/sem/warp_test.cc.o.d"
+  "CMakeFiles/test_sem.dir/sem/width_test.cc.o"
+  "CMakeFiles/test_sem.dir/sem/width_test.cc.o.d"
+  "test_sem"
+  "test_sem.pdb"
+  "test_sem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sym.dir/sym/block_differential_test.cc.o"
+  "CMakeFiles/test_sym.dir/sym/block_differential_test.cc.o.d"
+  "CMakeFiles/test_sym.dir/sym/block_exec_test.cc.o"
+  "CMakeFiles/test_sym.dir/sym/block_exec_test.cc.o.d"
+  "CMakeFiles/test_sym.dir/sym/exec_test.cc.o"
+  "CMakeFiles/test_sym.dir/sym/exec_test.cc.o.d"
+  "CMakeFiles/test_sym.dir/sym/term_test.cc.o"
+  "CMakeFiles/test_sym.dir/sym/term_test.cc.o.d"
+  "test_sym"
+  "test_sym.pdb"
+  "test_sym[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

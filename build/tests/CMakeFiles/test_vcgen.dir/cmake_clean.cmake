@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcgen.dir/vcgen/prove_test.cc.o"
+  "CMakeFiles/test_vcgen.dir/vcgen/prove_test.cc.o.d"
+  "test_vcgen"
+  "test_vcgen.pdb"
+  "test_vcgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

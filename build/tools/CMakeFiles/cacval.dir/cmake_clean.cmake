@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cacval.dir/cacval.cpp.o"
+  "CMakeFiles/cacval.dir/cacval.cpp.o.d"
+  "cacval"
+  "cacval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cacval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cacval_check_vecadd "/root/repo/build/tools/cacval" "check" "/root/repo/tools/../tests/data/vecadd.ptx" "--block" "4" "--warp" "2" "--global" "1024" "--param" "arr_A=0x100" "--param" "arr_B=0x200" "--param" "arr_C=0x300" "--param" "size=4" "--init" "0x100=1" "--init" "0x104=2" "--init" "0x108=3" "--init" "0x10c=4" "--init" "0x200=10" "--init" "0x204=20" "--init" "0x208=30" "--init" "0x20c=40" "--expect" "0x300=11" "--expect" "0x304=22" "--expect" "0x308=33" "--expect" "0x30c=44" "--independent" "--exact-steps" "44")
+set_tests_properties(cacval_check_vecadd PROPERTIES  PASS_REGULAR_EXPRESSION "proved" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cacval_races_detects "/root/repo/build/tools/cacval" "races" "/root/repo/tools/../tests/data/racy.ptx" "--grid" "2" "--block" "1" "--warp" "1" "--global" "64" "--param" "out=0")
+set_tests_properties(cacval_races_detects PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cacval_validate_vecadd "/root/repo/build/tools/cacval" "validate" "/root/repo/tools/../tests/data/vecadd.ptx" "--block" "4" "--warp" "2" "--global" "1024" "--param" "arr_A=0x100" "--param" "arr_B=0x200" "--param" "arr_C=0x300" "--param" "size=4" "--init" "0x100=1" "--init" "0x200=2" "--expect" "0x300=3" "--por")
+set_tests_properties(cacval_validate_vecadd PROPERTIES  PASS_REGULAR_EXPRESSION "VERDICT: validated" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cacval_equiv_self "/root/repo/build/tools/cacval" "equiv" "/root/repo/tools/../tests/data/vecadd.ptx" "/root/repo/tools/../tests/data/vecadd.ptx" "--block" "8" "--warp" "8")
+set_tests_properties(cacval_equiv_self PROPERTIES  PASS_REGULAR_EXPRESSION "PROVED" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cacval_equiv_different_fails "/root/repo/build/tools/cacval" "equiv" "/root/repo/tools/../tests/data/vecadd.ptx" "/root/repo/tools/../tests/data/racy.ptx" "--block" "2" "--warp" "2")
+set_tests_properties(cacval_equiv_different_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;38;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cacval_run_profile "/root/repo/build/tools/cacval" "run" "/root/repo/tools/../tests/data/vecadd.ptx" "--block" "8" "--global" "1024" "--param" "arr_A=0x100" "--param" "arr_B=0x200" "--param" "arr_C=0x300" "--param" "size=8" "--profile")
+set_tests_properties(cacval_run_profile PROPERTIES  PASS_REGULAR_EXPRESSION "terminated" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
