@@ -64,9 +64,9 @@ int main() {
   // Decrypt: run the same kernel on the ciphertext.
   sem::Launch dec = make_launch(prg, kc, kCipher, kPlain, n);
   for (std::uint32_t i = 0; i < 4 * n; ++i) {
-    dec.memory().write_init(
-        mem::Space::Global, kCipher + i,
-        &m1.memory.cell(mem::Space::Global, kCipher + i).byte, 1);
+    const std::uint8_t byte =
+        m1.memory.cell(mem::Space::Global, kCipher + i).byte;
+    dec.memory().write_init(mem::Space::Global, kCipher + i, &byte, 1);
   }
   for (std::uint32_t i = 0; i < n; ++i) {
     dec.global_u32(kKey + 4 * i, 0x9e3779b9u * (i + 1));

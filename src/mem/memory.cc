@@ -25,7 +25,7 @@ Memory::Memory(const MemSizes& sizes)
       param_(sizes.param),
       shared_per_block_(sizes.shared) {}
 
-const std::vector<Cell>& Memory::space(Space ss) const {
+const Memory::Bank& Memory::space(Space ss) const {
   switch (ss) {
     case Space::Global: return global_;
     case Space::Const: return constant_;
@@ -35,42 +35,52 @@ const std::vector<Cell>& Memory::space(Space ss) const {
   throw KernelError("bad state space");
 }
 
-std::vector<Cell>& Memory::space(Space ss) {
-  return const_cast<std::vector<Cell>&>(
-      static_cast<const Memory*>(this)->space(ss));
+Memory::Bank& Memory::space(Space ss) {
+  return const_cast<Bank&>(static_cast<const Memory*>(this)->space(ss));
 }
 
-std::uint64_t Memory::size(Space ss) const { return space(ss).size(); }
+std::uint64_t Memory::size(Space ss) const { return space(ss).bytes.size(); }
 
 bool Memory::in_bounds(Space ss, std::uint64_t addr,
                        std::uint32_t len) const {
-  const std::uint64_t n = space(ss).size();
+  const std::uint64_t n = space(ss).bytes.size();
   return addr <= n && len <= n - addr;
 }
 
-const Cell& Memory::cell(Space ss, std::uint64_t addr) const {
-  const auto& v = space(ss);
-  if (addr >= v.size()) {
+Cell Memory::cell(Space ss, std::uint64_t addr) const {
+  const Bank& b = space(ss);
+  if (addr >= b.bytes.size()) {
     throw KernelError("memory access out of bounds: " + ptx::to_string(ss) +
                       "[" + std::to_string(addr) + "]");
   }
-  return v[addr];
+  return Cell{b.bytes[addr], b.valid_bit(addr)};
 }
 
 std::uint64_t Memory::load(Space ss, std::uint64_t addr,
                            std::uint32_t len) const {
   assert(len == 1 || len == 2 || len == 4 || len == 8);
-  std::uint64_t v = 0;
-  for (std::uint32_t i = 0; i < len; ++i) {
-    v |= static_cast<std::uint64_t>(cell(ss, addr + i).byte) << (8 * i);
+  const Bank& b = space(ss);
+  if (addr >= b.bytes.size() || len > b.bytes.size() - addr) {
+    // Name the first out-of-range byte, as the per-cell loop used to.
+    const std::uint64_t bad = std::max<std::uint64_t>(addr, b.bytes.size());
+    throw KernelError("memory access out of bounds: " + ptx::to_string(ss) +
+                      "[" + std::to_string(bad) + "]");
   }
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.bytes.data() + addr, len);  // little-endian host
   return v;
 }
 
 bool Memory::all_valid(Space ss, std::uint64_t addr,
                        std::uint32_t len) const {
+  const Bank& b = space(ss);
   for (std::uint32_t i = 0; i < len; ++i) {
-    if (!cell(ss, addr + i).valid) return false;
+    const std::uint64_t a = addr + i;
+    if (a >= b.bytes.size()) {
+      throw KernelError("memory access out of bounds: " + ptx::to_string(ss) +
+                        "[" + std::to_string(a) + "]");
+    }
+    if (!b.valid_bit(a)) return false;
   }
   return true;
 }
@@ -78,25 +88,26 @@ bool Memory::all_valid(Space ss, std::uint64_t addr,
 void Memory::store(Space ss, std::uint64_t addr, std::uint32_t len,
                    std::uint64_t value, bool valid) {
   assert(len == 1 || len == 2 || len == 4 || len == 8);
-  auto& v = space(ss);
-  if (addr >= v.size() || len > v.size() - addr) {
+  Bank& b = space(ss);
+  if (addr >= b.bytes.size() || len > b.bytes.size() - addr) {
     throw KernelError("memory store out of bounds: " + ptx::to_string(ss) +
                       "[" + std::to_string(addr) + "]");
   }
-  for (std::uint32_t i = 0; i < len; ++i) {
-    v[addr + i] = Cell{static_cast<std::uint8_t>(value >> (8 * i)), valid};
-  }
+  std::memcpy(b.bytes.data() + addr, &value, len);  // little-endian host
+  for (std::uint32_t i = 0; i < len; ++i) b.set_valid_bit(addr + i, valid);
+  hash_.invalidate();
 }
 
 void Memory::write_init(Space ss, std::uint64_t addr, const void* data,
                         std::size_t len) {
-  auto& v = space(ss);
-  if (addr >= v.size() || len > v.size() - addr) {
+  Bank& b = space(ss);
+  if (addr >= b.bytes.size() || len > b.bytes.size() - addr) {
     throw KernelError("init write out of bounds: " + ptx::to_string(ss) +
                       "[" + std::to_string(addr) + "]");
   }
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  for (std::size_t i = 0; i < len; ++i) v[addr + i] = Cell{p[i], true};
+  std::memcpy(b.bytes.data() + addr, data, len);
+  for (std::size_t i = 0; i < len; ++i) b.set_valid_bit(addr + i, true);
+  hash_.invalidate();
 }
 
 void Memory::init_u32(Space ss, std::uint64_t addr, std::uint32_t v) {
@@ -114,24 +125,35 @@ void Memory::init_u64(Space ss, std::uint64_t addr, std::uint64_t v) {
 void Memory::commit_shared(std::uint32_t block) {
   const std::uint64_t base = shared_base(block);
   const std::uint64_t end = std::min<std::uint64_t>(
-      base + shared_per_block_, shared_.size());
-  for (std::uint64_t i = base; i < end; ++i) shared_[i].valid = true;
+      base + shared_per_block_, shared_.bytes.size());
+  for (std::uint64_t i = base; i < end; ++i) shared_.set_valid_bit(i, true);
+  hash_.invalidate();
 }
 
 void Memory::set_all_valid(Space ss, bool valid) {
-  for (Cell& c : space(ss)) c.valid = valid;
+  Bank& b = space(ss);
+  std::fill(b.valid.begin(), b.valid.end(),
+            valid ? ~0ull : 0ull);
+  // Keep the unused tail bits of the last word zero so equality and
+  // hashing stay exact.
+  const std::uint64_t n = b.bytes.size();
+  if (valid && (n & 63) != 0 && !b.valid.empty()) {
+    b.valid.back() &= (1ull << (n & 63)) - 1;
+  }
+  hash_.invalidate();
 }
 
 std::uint64_t Memory::hash() const {
-  Hasher h;
-  for (Space ss : ptx::kAllSpaces) {
-    const auto& v = space(ss);
-    h.mix(v.size());
-    for (const Cell& c : v) {
-      h.mix(static_cast<std::uint64_t>(c.byte) << 1 | (c.valid ? 1 : 0));
+  return hash_.get_or([&] {
+    Hasher h;
+    for (Space ss : ptx::kAllSpaces) {
+      const Bank& b = space(ss);
+      h.mix(b.bytes.size());
+      h.mix_words(b.bytes.data(), b.bytes.size());
+      h.mix_words(b.valid.data(), b.valid.size() * sizeof(std::uint64_t));
     }
-  }
-  return h.value();
+    return h.value();
+  });
 }
 
 std::string Memory::dump(Space ss, std::uint64_t addr,
@@ -140,7 +162,7 @@ std::string Memory::dump(Space ss, std::uint64_t addr,
   std::string out;
   for (std::uint32_t i = 0; i < len; ++i) {
     if (i && i % 16 == 0) out += '\n';
-    const Cell& c = cell(ss, addr + i);
+    const Cell c = cell(ss, addr + i);
     out += kHex[c.byte >> 4];
     out += kHex[c.byte & 0xf];
     out += c.valid ? ' ' : '!';

@@ -15,6 +15,14 @@
 //  * stores to Shared are invalid until the whole block reaches a
 //    barrier, at which point commit_shared() flips every Shared valid
 //    bit to true (Fig. 3's lift-bar rule).
+//
+// Representation: each space is a contiguous byte array plus a packed
+// valid-bit bitmap (one bit per byte, 64 bits per word).  Compared to
+// the earlier array-of-{byte,bool} layout this halves the bytes moved
+// by every Machine clone — the per-transition cost of schedule
+// exploration — and lets equality and hashing run over whole words.
+// The structural hash is memoized (every mutator invalidates it), so
+// repeated visited-set probes of an unchanged memory are O(1).
 #pragma once
 
 #include <cstdint>
@@ -42,7 +50,8 @@ struct MemSizes {
   [[nodiscard]] std::uint64_t of(Space ss) const;
 };
 
-/// One memory byte with its valid bit.
+/// One memory byte with its valid bit — the (byte x B) pair of Table I.
+/// A value type now: the packed store has no Cell objects to reference.
 struct Cell {
   std::uint8_t byte = 0;
   bool valid = false;
@@ -61,7 +70,7 @@ class Memory {
   /// Raw cell access.  Callers must bounds-check first (the semantics
   /// kernel turns out-of-bounds accesses into fault events rather than
   /// crashing); violating that is a programming error and throws.
-  [[nodiscard]] const Cell& cell(Space ss, std::uint64_t addr) const;
+  [[nodiscard]] Cell cell(Space ss, std::uint64_t addr) const;
 
   /// Little-endian load of `len` bytes (1/2/4/8).
   [[nodiscard]] std::uint64_t load(Space ss, std::uint64_t addr,
@@ -103,10 +112,14 @@ class Memory {
   /// hypotheses about the final state.
   void set_all_valid(Space ss, bool valid);
 
-  friend bool operator==(const Memory&, const Memory&) = default;
+  friend bool operator==(const Memory& a, const Memory& b) {
+    return a.global_ == b.global_ && a.constant_ == b.constant_ &&
+           a.shared_ == b.shared_ && a.param_ == b.param_;
+  }
 
   /// Order- and representation-independent state hash (for schedule
-  /// exploration memoization).
+  /// exploration memoization).  Memoized: every mutator invalidates the
+  /// cache, so back-to-back probes of an unchanged memory are free.
   [[nodiscard]] std::uint64_t hash() const;
 
   /// Human-readable hex dump of a range (debugging aid).
@@ -114,14 +127,40 @@ class Memory {
                                  std::uint32_t len) const;
 
  private:
-  [[nodiscard]] const std::vector<Cell>& space(Space ss) const;
-  [[nodiscard]] std::vector<Cell>& space(Space ss);
+  /// One state space: contiguous data bytes plus a packed valid bitmap
+  /// (bit i of valid[i/64] is byte i's valid bit).  Bits past `bytes.
+  /// size()` in the last word are kept zero so that the defaulted
+  /// comparison is exact.
+  struct Bank {
+    std::vector<std::uint8_t> bytes;
+    std::vector<std::uint64_t> valid;
 
-  std::vector<Cell> global_;
-  std::vector<Cell> constant_;
-  std::vector<Cell> shared_;  // shared_banks banks of shared_per_block_
-  std::vector<Cell> param_;
+    explicit Bank(std::uint64_t n = 0)
+        : bytes(n, 0), valid((n + 63) / 64, 0) {}
+
+    [[nodiscard]] bool valid_bit(std::uint64_t i) const {
+      return (valid[i >> 6] >> (i & 63)) & 1u;
+    }
+    void set_valid_bit(std::uint64_t i, bool v) {
+      const std::uint64_t mask = 1ull << (i & 63);
+      if (v) {
+        valid[i >> 6] |= mask;
+      } else {
+        valid[i >> 6] &= ~mask;
+      }
+    }
+    friend bool operator==(const Bank&, const Bank&) = default;
+  };
+
+  [[nodiscard]] const Bank& space(Space ss) const;
+  [[nodiscard]] Bank& space(Space ss);
+
+  Bank global_;
+  Bank constant_;
+  Bank shared_;  // shared_banks banks of shared_per_block_
+  Bank param_;
   std::uint64_t shared_per_block_ = 0;
+  HashCache hash_;  // excluded from operator== by construction
 };
 
 }  // namespace cac::mem

@@ -4,7 +4,40 @@
 #include <memory>
 #include <unordered_map>
 
+#include "sched/explore_internal.h"
+#include "sched/explore_parallel.h"
+
 namespace cac::sched {
+
+namespace internal {
+
+bool register_local(const ptx::Instr& i) {
+  return std::holds_alternative<ptx::INop>(i) ||
+         std::holds_alternative<ptx::IBop>(i) ||
+         std::holds_alternative<ptx::ITop>(i) ||
+         std::holds_alternative<ptx::IUop>(i) ||
+         std::holds_alternative<ptx::IMov>(i) ||
+         std::holds_alternative<ptx::ISetp>(i) ||
+         std::holds_alternative<ptx::ISelp>(i) ||
+         std::holds_alternative<ptx::IBra>(i) ||
+         std::holds_alternative<ptx::IPBra>(i) ||
+         std::holds_alternative<ptx::ISync>(i);
+}
+
+void reduce_choices(const ptx::Program& prg, const sem::Grid& g,
+                    std::vector<sem::Choice>& eligible) {
+  for (const sem::Choice& c : eligible) {
+    if (c.kind != sem::Choice::Kind::ExecWarp) continue;
+    const sem::Warp& w = g.blocks[c.block].warps[c.warp];
+    if (register_local(prg.fetch(w.pc()))) {
+      const sem::Choice keep = c;
+      eligible.assign(1, keep);
+      return;
+    }
+  }
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -19,41 +52,13 @@ struct MachineEq {
 
 enum class Color : std::uint8_t { OnStack, Done };
 
-/// Is the instruction register-local (touches only its own warp's
-/// state)?  Such steps commute with every other warp's steps and never
-/// disable them, so {that step} is a persistent set.
-bool register_local(const ptx::Instr& i) {
-  return std::holds_alternative<ptx::INop>(i) ||
-         std::holds_alternative<ptx::IBop>(i) ||
-         std::holds_alternative<ptx::ITop>(i) ||
-         std::holds_alternative<ptx::IUop>(i) ||
-         std::holds_alternative<ptx::IMov>(i) ||
-         std::holds_alternative<ptx::ISetp>(i) ||
-         std::holds_alternative<ptx::ISelp>(i) ||
-         std::holds_alternative<ptx::IBra>(i) ||
-         std::holds_alternative<ptx::IPBra>(i) ||
-         std::holds_alternative<ptx::ISync>(i);
-}
-
-/// Persistent-set reduction: pick one register-local choice if any.
-void reduce_choices(const ptx::Program& prg, const sem::Grid& g,
-                    std::vector<sem::Choice>& eligible) {
-  for (const sem::Choice& c : eligible) {
-    if (c.kind != sem::Choice::Kind::ExecWarp) continue;
-    const sem::Warp& w = g.blocks[c.block].warps[c.warp];
-    if (register_local(prg.fetch(w.pc()))) {
-      const sem::Choice keep = c;
-      eligible.assign(1, keep);
-      return;
-    }
-  }
-}
-
 }  // namespace
 
 ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
                       const sem::Machine& initial,
                       const ExploreOptions& opts) {
+  if (opts.num_threads > 0) return explore_parallel(prg, kc, initial, opts);
+
   ExploreResult result;
   result.min_steps_to_termination = ~0ull;
 
@@ -63,6 +68,7 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
   std::vector<std::unique_ptr<sem::Machine>> arena;
   std::unordered_map<const sem::Machine*, Color, MachineHash, MachineEq>
       colors;
+  internal::FinalsSet finals;
 
   struct Frame {
     const sem::Machine* state;
@@ -106,15 +112,12 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
       result.max_steps_to_termination =
           std::max<std::uint64_t>(result.max_steps_to_termination,
                                   path.size());
-      if (std::find(result.finals.begin(), result.finals.end(), *ptr) ==
-          result.finals.end()) {
-        result.finals.push_back(*ptr);
-      }
+      finals.insert(*ptr);
       return false;
     }
     auto eligible = sem::eligible_choices(prg, ptr->grid);
     if (opts.partial_order_reduction) {
-      reduce_choices(prg, ptr->grid, eligible);
+      internal::reduce_choices(prg, ptr->grid, eligible);
     }
     if (eligible.empty()) {
       colors.emplace(ptr, Color::Done);
@@ -165,6 +168,7 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
   if (result.min_steps_to_termination == ~0ull) {
     result.min_steps_to_termination = 0;
   }
+  result.finals = finals.take();
   result.exhaustive = !limits_hit && stack.empty();
   return result;
 }

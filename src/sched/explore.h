@@ -42,6 +42,13 @@ struct ExploreOptions {
   /// on termination, stuck states, faults and *final memory* states
   /// are preserved; intermediate-state counts differ by construction.
   bool partial_order_reduction = false;
+  /// Worker threads for state expansion.  0 keeps the classic serial
+  /// DFS; any positive value routes explore() through the parallel
+  /// engine (explore_parallel.h) with that many workers.  Verdicts are
+  /// identical to serial for runs that finish within the state/depth
+  /// limits (see docs/explorer.md for the limit-case caveats).
+  /// Composes with partial_order_reduction.
+  std::uint32_t num_threads = 0;
 };
 
 struct Violation {

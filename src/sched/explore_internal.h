@@ -1,0 +1,54 @@
+// Helpers shared by the serial (explore.cc) and parallel
+// (explore_parallel.cc) schedule explorers.  Internal to src/sched —
+// not part of the public surface.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sem/step.h"
+
+namespace cac::sched::internal {
+
+/// Is the instruction register-local (touches only its own warp's
+/// state)?  Such steps commute with every other warp's steps and never
+/// disable them, so {that step} is a persistent set.
+bool register_local(const ptx::Instr& i);
+
+/// Persistent-set reduction: pick one register-local choice if any.
+/// Deterministic in the state, so the reduced state graph is the same
+/// no matter which engine (or thread) expands a state.
+void reduce_choices(const ptx::Program& prg, const sem::Grid& g,
+                    std::vector<sem::Choice>& eligible);
+
+/// Deduplicated accumulator for terminal machine states, keyed on the
+/// memoized machine hash with structural equality as the tie-breaker
+/// (a hash collision cannot merge distinct finals).  Replaces the old
+/// O(n^2) linear scan over sem::Machine values.
+class FinalsSet {
+ public:
+  /// Copies `m` in if no structurally equal final is present yet.
+  /// Returns true when inserted; insertion order is preserved.
+  bool insert(const sem::Machine& m) {
+    auto& bucket = index_[m.hash()];
+    for (const std::size_t i : bucket) {
+      if (finals_[i] == m) return false;
+    }
+    bucket.push_back(finals_.size());
+    finals_.push_back(m);
+    return true;
+  }
+
+  [[nodiscard]] std::vector<sem::Machine> take() {
+    index_.clear();
+    return std::move(finals_);
+  }
+
+ private:
+  std::vector<sem::Machine> finals_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
+};
+
+}  // namespace cac::sched::internal

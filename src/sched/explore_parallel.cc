@@ -1,0 +1,413 @@
+#include "sched/explore_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/explore_internal.h"
+#include "support/diag.h"
+
+namespace cac::sched {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Phase-1 state graph.
+//
+// Nodes and machine states live in per-shard deques (stable addresses;
+// grown only under the shard mutex).  After a node is registered, its
+// fields are written exclusively by the single worker expanding it;
+// the work-queue mutexes order that hand-off, and the thread join
+// orders the final reads by the replay.
+
+struct Node;
+
+/// One outgoing transition.  Exactly one of the three outcomes holds:
+/// a child node (ok), a fault message (the child state is discarded,
+/// as in the serial engine), or `overflow` (the child was dropped
+/// because phase 1 reached the state cap).
+struct Edge {
+  sem::Choice choice;
+  Node* child = nullptr;
+  std::string fault;
+  bool faulted = false;
+  bool overflow = false;
+};
+
+struct Node {
+  const sem::Machine* state = nullptr;
+  /// Phase-1 expansion ran (terminal/stuck classified, edges built).
+  /// False only for nodes discovered at depth >= max_depth.
+  bool processed = false;
+  bool terminal = false;
+  bool stuck = false;
+  std::string stuck_reason;
+  std::vector<Edge> edges;
+
+  // Replay-only scratch (single-threaded phase 2).
+  enum class Color : std::uint8_t { White, OnStack, Done };
+  Color color = Color::White;
+};
+
+/// Sharded concurrent visited set.  Keyed by the memoized structural
+/// hash, with full structural equality inside the bucket — identical
+/// dedup semantics to the serial explorer's hash map.
+class VisitedShards {
+ public:
+  explicit VisitedShards(std::uint64_t max_states)
+      : max_states_(max_states) {}
+
+  struct InsertResult {
+    Node* node = nullptr;  // nullptr: dropped at the state cap
+    bool inserted = false;
+  };
+
+  /// Find the node structurally equal to `m`, or move `m` in as a new
+  /// node.  The caller must have computed m.hash() already (it is the
+  /// owner thread; the memoized hash is published together with the
+  /// state under the shard mutex).
+  InsertResult find_or_insert(sem::Machine&& m, std::uint64_t hash) {
+    Shard& s = shards_[shard_of(hash)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto& bucket = s.index[hash];
+    for (Node* n : bucket) {
+      if (*n->state == m) return {n, false};
+    }
+    if (n_states_.load(std::memory_order_relaxed) >= max_states_) {
+      cap_hit_.store(true, std::memory_order_relaxed);
+      return {nullptr, false};
+    }
+    n_states_.fetch_add(1, std::memory_order_relaxed);
+    s.states.push_back(std::move(m));
+    s.nodes.push_back(Node{});
+    Node* n = &s.nodes.back();
+    n->state = &s.states.back();
+    bucket.push_back(n);
+    return {n, true};
+  }
+
+  [[nodiscard]] bool cap_hit() const {
+    return cap_hit_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr unsigned kShardCount = 64;
+
+  static unsigned shard_of(std::uint64_t hash) {
+    // The machine hash is splitmix-finalized; the top bits are as good
+    // as any.
+    return static_cast<unsigned>(hash >> 58) & (kShardCount - 1);
+  }
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<Node*>> index;
+    std::deque<Node> nodes;        // stable addresses
+    std::deque<sem::Machine> states;  // stable addresses
+  };
+
+  Shard shards_[kShardCount];
+  std::atomic<std::uint64_t> n_states_{0};
+  std::atomic<bool> cap_hit_{false};
+  const std::uint64_t max_states_;
+};
+
+struct Task {
+  Node* node = nullptr;
+  std::uint64_t depth = 0;
+};
+
+/// Per-worker deque: the owner pushes/pops at the back (depth-first,
+/// cache-warm), thieves take from the front (breadth-first, large
+/// subtrees).  A plain mutex per deque is plenty at this granularity —
+/// one lock per state expansion.
+struct WorkQueue {
+  std::mutex mu;
+  std::deque<Task> q;
+
+  void push(Task t) {
+    std::lock_guard<std::mutex> lock(mu);
+    q.push_back(t);
+  }
+  bool pop_back(Task& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (q.empty()) return false;
+    out = q.back();
+    q.pop_back();
+    return true;
+  }
+  bool steal_front(Task& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (q.empty()) return false;
+    out = q.front();
+    q.pop_front();
+    return true;
+  }
+};
+
+/// Phase 1: expand every distinct reachable state exactly once.
+class GraphBuilder {
+ public:
+  GraphBuilder(const ptx::Program& prg, const sem::KernelConfig& kc,
+               const ExploreOptions& opts, unsigned n_workers)
+      : prg_(prg),
+        kc_(kc),
+        opts_(opts),
+        visited_(opts.max_states),
+        queues_(n_workers) {}
+
+  /// Returns the root node, or nullptr when even the initial state was
+  /// dropped (max_states == 0 — the serial engine reports the same as
+  /// a limits-hit non-visit).
+  Node* build(const sem::Machine& initial) {
+    sem::Machine root_copy(initial);
+    const std::uint64_t h = root_copy.hash();
+    const auto root = visited_.find_or_insert(std::move(root_copy), h);
+    if (!root.inserted) return root.node;  // cap 0, or... only cap 0
+    pending_.store(1, std::memory_order_relaxed);
+    queues_[0].push(Task{root.node, 0});
+
+    std::vector<std::thread> workers;
+    workers.reserve(queues_.size());
+    for (unsigned i = 0; i < queues_.size(); ++i) {
+      workers.emplace_back([this, i] { worker_loop(i); });
+    }
+    for (std::thread& t : workers) t.join();
+
+    if (!error_.empty()) throw KernelError(error_);
+    return root.node;
+  }
+
+  [[nodiscard]] bool cap_hit() const { return visited_.cap_hit(); }
+
+ private:
+  void worker_loop(unsigned id) {
+    Task t;
+    for (;;) {
+      bool got = queues_[id].pop_back(t);
+      for (unsigned j = 1; !got && j < queues_.size(); ++j) {
+        got = queues_[(id + j) % queues_.size()].steal_front(t);
+      }
+      if (!got) {
+        if (pending_.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
+      try {
+        expand(id, t);
+      } catch (const std::exception& e) {
+        failed_.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (error_.empty()) error_ = e.what();
+        // Drain without expanding so every worker exits promptly.
+      }
+      pending_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  void expand(unsigned id, const Task& t) {
+    // Poisoned run: stop growing the graph so workers drain quickly.
+    if (failed_.load(std::memory_order_relaxed)) return;
+    Node* node = t.node;
+    const sem::Machine& state = *node->state;
+
+    if (sem::terminated(prg_, state.grid)) {
+      node->terminal = true;
+      node->processed = true;
+      return;
+    }
+    auto eligible = sem::eligible_choices(prg_, state.grid);
+    if (opts_.partial_order_reduction) {
+      internal::reduce_choices(prg_, state.grid, eligible);
+    }
+    if (eligible.empty()) {
+      node->stuck = true;
+      node->stuck_reason = sem::stuck_reason(prg_, state.grid);
+      node->processed = true;
+      return;
+    }
+    if (t.depth >= opts_.max_depth) {
+      // Depth-gated: the replay reports DepthExceeded / limits-hit
+      // when it reaches this node, mirroring the serial engine.
+      return;
+    }
+
+    node->edges.reserve(eligible.size());
+    for (const sem::Choice& c : eligible) {
+      Edge e;
+      e.choice = c;
+      sem::Machine child(state);
+      const sem::StepResult sr =
+          sem::apply_choice(prg_, kc_, child, c, opts_.step_opts, nullptr);
+      if (!sr.ok()) {
+        e.faulted = true;
+        e.fault = sr.fault;
+        node->edges.push_back(std::move(e));
+        continue;
+      }
+      const std::uint64_t h = child.hash();  // memoized pre-publication
+      const auto r = visited_.find_or_insert(std::move(child), h);
+      if (r.node == nullptr) {
+        e.overflow = true;
+        node->edges.push_back(std::move(e));
+        continue;
+      }
+      e.child = r.node;
+      node->edges.push_back(std::move(e));
+      if (r.inserted) {
+        pending_.fetch_add(1, std::memory_order_relaxed);
+        queues_[id].push(Task{r.node, t.depth + 1});
+      }
+    }
+    node->processed = true;
+  }
+
+  const ptx::Program& prg_;
+  const sem::KernelConfig& kc_;
+  const ExploreOptions& opts_;
+  VisitedShards visited_;
+  std::vector<WorkQueue> queues_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<bool> failed_{false};
+  std::mutex error_mu_;
+  std::string error_;  // first worker exception, guarded by error_mu_
+};
+
+/// Phase 2: replay the serial DFS over the integer graph.  This is a
+/// line-for-line mirror of the loop in explore.cc — same enter()
+/// checks in the same order, same path bookkeeping — so the produced
+/// ExploreResult is byte-identical to the serial engine's for runs
+/// that stay within the limits.
+ExploreResult replay(Node* root, const ExploreOptions& opts) {
+  ExploreResult result;
+  result.min_steps_to_termination = ~0ull;
+
+  internal::FinalsSet finals;
+  struct Frame {
+    Node* node;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<sem::Choice> path;
+  std::uint64_t entered = 0;
+  bool limits_hit = false;
+
+  auto add_violation = [&](Violation::Kind kind, std::string msg) {
+    result.violations.push_back({kind, std::move(msg), path});
+  };
+
+  auto enter = [&](Node* nd) -> bool {
+    if (nd == nullptr) {  // overflow edge: phase 1 dropped the child
+      limits_hit = true;
+      return false;
+    }
+    if (nd->color == Node::Color::OnStack) {
+      add_violation(Violation::Kind::Cycle,
+                    "schedule revisits an earlier state: a scheduler can "
+                    "loop forever");
+      return false;
+    }
+    if (nd->color == Node::Color::Done) return false;
+    if (entered >= opts.max_states) {
+      limits_hit = true;
+      return false;
+    }
+    ++entered;
+    ++result.states_visited;
+
+    if (nd->terminal) {
+      nd->color = Node::Color::Done;
+      result.min_steps_to_termination =
+          std::min<std::uint64_t>(result.min_steps_to_termination,
+                                  path.size());
+      result.max_steps_to_termination =
+          std::max<std::uint64_t>(result.max_steps_to_termination,
+                                  path.size());
+      finals.insert(*nd->state);
+      return false;
+    }
+    if (nd->stuck) {
+      nd->color = Node::Color::Done;
+      add_violation(Violation::Kind::Stuck, nd->stuck_reason);
+      return false;
+    }
+    if (!nd->processed) {
+      // Phase 1 depth-gated this node.  When the replay path is also
+      // at the bound this is exactly the serial DepthExceeded event;
+      // otherwise (a shorter path reached it first here) we can only
+      // flag the run as non-exhaustive.
+      nd->color = Node::Color::Done;
+      limits_hit = true;
+      if (path.size() >= opts.max_depth) {
+        add_violation(Violation::Kind::DepthExceeded,
+                      "path exceeded the exploration depth bound");
+      }
+      return false;
+    }
+    if (path.size() >= opts.max_depth) {
+      nd->color = Node::Color::Done;
+      limits_hit = true;
+      add_violation(Violation::Kind::DepthExceeded,
+                    "path exceeded the exploration depth bound");
+      return false;
+    }
+    nd->color = Node::Color::OnStack;
+    stack.push_back(Frame{nd, 0});
+    return true;
+  };
+
+  enter(root);
+
+  auto should_stop = [&] {
+    return opts.stop_at_first_violation && !result.violations.empty();
+  };
+
+  while (!stack.empty() && !should_stop()) {
+    Frame& top = stack.back();
+    if (top.next >= top.node->edges.size()) {
+      top.node->color = Node::Color::Done;
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+    const Edge& e = top.node->edges[top.next++];
+    ++result.transitions;
+    path.push_back(e.choice);
+    if (e.faulted) {
+      add_violation(Violation::Kind::Fault, e.fault);
+      path.pop_back();
+      continue;
+    }
+    if (!enter(e.overflow ? nullptr : e.child)) path.pop_back();
+  }
+
+  if (result.min_steps_to_termination == ~0ull) {
+    result.min_steps_to_termination = 0;
+  }
+  result.finals = finals.take();
+  result.exhaustive = !limits_hit && stack.empty();
+  return result;
+}
+
+}  // namespace
+
+ExploreResult explore_parallel(const ptx::Program& prg,
+                               const sem::KernelConfig& kc,
+                               const sem::Machine& initial,
+                               const ExploreOptions& opts) {
+  unsigned n = opts.num_threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+
+  GraphBuilder builder(prg, kc, opts, n);
+  // A null root means even the initial state was over the cap
+  // (max_states == 0); replay's enter(nullptr) turns that into the
+  // same empty, non-exhaustive result the serial engine reports.
+  return replay(builder.build(initial), opts);
+}
+
+}  // namespace cac::sched

@@ -19,10 +19,12 @@ std::uint64_t Grid::hash() const {
 }
 
 std::uint64_t Machine::hash() const {
-  Hasher h;
-  grid.mix_hash(h);
-  h.mix(memory.hash());
-  return h.value();
+  return hash_cache.get_or([&] {
+    Hasher h;
+    grid.mix_hash(h);
+    h.mix(memory.hash());
+    return h.value();
+  });
 }
 
 Grid generate_grid(const KernelConfig& kc) {

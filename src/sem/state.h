@@ -29,12 +29,28 @@ struct Grid {
 };
 
 /// The full machine configuration <gamma, mu> of Fig. 3.
+///
+/// hash() is memoized: by design the only mutator of a Machine is the
+/// semantics kernel (sem::apply_choice, src/sem/step.cc), which
+/// invalidates the cache on every transition; Memory additionally
+/// tracks its own cache through its mutators.  Code that mutates
+/// `grid` or `memory` directly — tests, hypothetical checkers — must
+/// call invalidate_hash() afterwards or hash() may return a stale
+/// value (operator== is unaffected; it compares real state only).
 struct Machine {
   Grid grid;
   mem::Memory memory;
+  HashCache hash_cache;  // excluded from operator==
 
-  friend bool operator==(const Machine&, const Machine&) = default;
+  Machine() = default;
+  Machine(Grid g, mem::Memory m)
+      : grid(std::move(g)), memory(std::move(m)) {}
+
+  friend bool operator==(const Machine& a, const Machine& b) {
+    return a.grid == b.grid && a.memory == b.memory;
+  }
   [[nodiscard]] std::uint64_t hash() const;
+  void invalidate_hash() const { hash_cache.invalidate(); }
 };
 
 /// The paper's `generate_grid kc`: spawn grid_size blocks of block_size

@@ -665,6 +665,10 @@ StepResult apply_choice(const ptx::Program& prg, const KernelConfig& kc,
   if (c.block >= m.grid.blocks.size()) {
     throw KernelError("choice references nonexistent block");
   }
+  // Every rule below mutates the machine, so the memoized state hash
+  // is stale from here on.  (Memory invalidates its own cache through
+  // its mutators; this covers the grid side and the combined hash.)
+  m.invalidate_hash();
   Block& blk = m.grid.blocks[c.block];
   if (c.kind == Choice::Kind::ExecWarp) {
     if (c.warp >= blk.warps.size()) {

@@ -51,10 +51,58 @@ class Hasher {
     hash_mix(h_, fnv1a(data, n));
     return *this;
   }
+  /// Bulk mix of a contiguous buffer, one 64-bit word at a time — ~8x
+  /// fewer combiner rounds than per-byte mixing.  Used by the packed
+  /// Memory representation, whose byte arrays and valid bitmaps are
+  /// contiguous.  Distinct from mix_bytes (different stream layout), so
+  /// callers must not mix(-and-match) the two over the same data.
+  Hasher& mix_words(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t w;
+      __builtin_memcpy(&w, p + i, 8);
+      hash_mix(h_, w);
+    }
+    if (i < n) {
+      std::uint64_t w = 0;
+      __builtin_memcpy(&w, p + i, n - i);
+      hash_mix(h_, w);
+    }
+    return *this;
+  }
   [[nodiscard]] std::uint64_t value() const { return h_; }
 
  private:
   std::uint64_t h_ = 0x243f6a8885a308d3ull;  // pi fractional bits
+};
+
+/// Memoization slot for an expensive structural hash.  The owning
+/// object marks the slot dirty from every mutator; `get_or` recomputes
+/// only when dirty.  Deliberately *excluded* from the owner's equality
+/// (a stale-vs-fresh cache must not make equal states compare unequal),
+/// so owners using `= default` comparisons must switch to an explicit
+/// operator== over their real state.
+///
+/// Not internally synchronized: in concurrent code the owner must be
+/// hashed by its owning thread before the object is published to other
+/// threads (the parallel explorer's discipline, see
+/// sched/explore_parallel.cc).
+class HashCache {
+ public:
+  template <typename Fn>
+  std::uint64_t get_or(Fn&& compute) const {
+    if (!valid_) {
+      value_ = compute();
+      valid_ = true;
+    }
+    return value_;
+  }
+  void invalidate() const { valid_ = false; }
+
+ private:
+  mutable std::uint64_t value_ = 0;
+  mutable bool valid_ = false;
 };
 
 }  // namespace cac

@@ -44,12 +44,18 @@ TEST(MachineState, EqualityAndHash) {
   EXPECT_EQ(a, b);
   EXPECT_EQ(a.hash(), b.hash());
 
+  // hash() memoizes; direct grid mutation (outside sem::apply_choice,
+  // which invalidates automatically) requires invalidate_hash().
   b.grid.blocks[0].warps[0].set_uni_pc(1);
+  b.invalidate_hash();
   EXPECT_NE(a, b);
   EXPECT_NE(a.hash(), b.hash());
 
+  // Memory mutators track their own cache, but the combined machine
+  // hash still needs the explicit invalidation on direct writes.
   Machine c = a;
   c.memory.store(mem::Space::Global, 0, 1, 1, false);
+  c.invalidate_hash();
   EXPECT_NE(a, c);
   EXPECT_NE(a.hash(), c.hash());
 }
@@ -60,8 +66,21 @@ TEST(MachineState, HashSensitiveToRegisters) {
   Machine b = a;
   b.grid.blocks[0].warps[0].threads()[1].rho.write(
       {ptx::TypeClass::UI, 32, 1}, 5);
+  b.invalidate_hash();
   EXPECT_NE(a, b);
   EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(MachineState, EqualityIgnoresHashCacheStaleness) {
+  // operator== compares real state only — a stale memoized hash can
+  // never make equal machines compare unequal or vice versa.
+  const KernelConfig kc{{1, 1, 1}, {2, 1, 1}, 2};
+  Machine a{generate_grid(kc), mem::Memory(mem::MemSizes{8, 0, 0, 0, 1})};
+  Machine b = a;
+  (void)a.hash();  // a's cache warm, b's cold
+  EXPECT_EQ(a, b);
+  b.grid.blocks[0].warps[0].set_uni_pc(3);  // no invalidate on purpose
+  EXPECT_NE(a, b);
 }
 
 TEST(MachineState, ToStringShowsShapes) {

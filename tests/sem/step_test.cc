@@ -504,5 +504,20 @@ TEST(BlockRules, GridInterleavesBlocks) {
   EXPECT_EQ(choices[1].block, 1u);
 }
 
+TEST(BlockRules, ApplyChoiceInvalidatesMemoizedHash) {
+  // The explorers memoize Machine::hash(); the semantics kernel is the
+  // one mutator and must invalidate the cache on every transition.
+  const Program prg("t", {INop{}, IExit{}});
+  Machine m{generate_grid(kc4()), mem64()};
+  const std::uint64_t before = m.hash();  // warm the cache
+  const auto choices = eligible_choices(prg, m.grid);
+  ASSERT_EQ(choices.size(), 1u);
+  ASSERT_TRUE(apply_choice(prg, kc4(), m, choices[0]).ok());
+  EXPECT_NE(m.hash(), before);
+  Machine fresh = m;
+  fresh.invalidate_hash();
+  EXPECT_EQ(m.hash(), fresh.hash());
+}
+
 }  // namespace
 }  // namespace cac::sem

@@ -42,5 +42,41 @@ TEST(Hash, MixBytesMatchesContent) {
   EXPECT_NE(a.value(), c.value());
 }
 
+TEST(Hash, MixWordsContentSensitive) {
+  // mix_words chunks by 8 bytes; equal content hashes equal, any byte
+  // difference — including in a ragged tail — changes the value.
+  const char x[] = "0123456789abcdef0123";  // 20 bytes: 2 words + tail 4
+  Hasher a, b;
+  a.mix_words(x, 20);
+  b.mix_words(x, 20);
+  EXPECT_EQ(a.value(), b.value());
+  char y[21];
+  for (int i = 0; i < 20; ++i) {
+    __builtin_memcpy(y, x, 20);
+    y[i] ^= 1;
+    Hasher c;
+    c.mix_words(y, 20);
+    EXPECT_NE(a.value(), c.value()) << "byte " << i;
+  }
+  Hasher shorter;
+  shorter.mix_words(x, 19);
+  EXPECT_NE(a.value(), shorter.value());
+}
+
+TEST(Hash, HashCacheMemoizesUntilInvalidated) {
+  HashCache cache;
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return 42ull;
+  };
+  EXPECT_EQ(cache.get_or(compute), 42u);
+  EXPECT_EQ(cache.get_or(compute), 42u);
+  EXPECT_EQ(computes, 1);
+  cache.invalidate();
+  EXPECT_EQ(cache.get_or(compute), 42u);
+  EXPECT_EQ(computes, 2);
+}
+
 }  // namespace
 }  // namespace cac

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Run a google-benchmark binary and snapshot its results as JSON.
+
+Stdlib only.  Default invocation (from the repo root, after building):
+
+    python3 tools/bench_to_json.py \
+        --binary build/bench/bench_parallel_explore \
+        --out BENCH_explore.json
+
+The snapshot keeps the benchmark context (host, CPU count, build
+flags), the per-benchmark timings and counters, and the git revision,
+so successive PRs accumulate a comparable perf trajectory in-repo.
+Derived convenience fields: for every BM_ExploreVectorSum instance the
+speedup over the matching serial (threads=0) instance with the same
+por/warps arguments is computed into `speedup_vs_serial`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def git_revision(repo: Path) -> str:
+    try:
+        return subprocess.run(
+            ["git", "-C", str(repo), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_benchmark(binary: Path, extra_args: list[str]) -> dict:
+    cmd = [str(binary), "--benchmark_format=json", *extra_args]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark failed with exit code {proc.returncode}")
+    # The binary may print a human banner before the JSON document.
+    out = proc.stdout
+    start = out.find("{")
+    if start < 0:
+        raise SystemExit("no JSON found in benchmark output")
+    return json.loads(out[start:])
+
+
+def add_speedups(benchmarks: list[dict]) -> None:
+    """Annotate parallel explore runs with speedup over matching serial."""
+    serial = {}
+    for b in benchmarks:
+        if b.get("threads") == 0 and "real_time" in b:
+            serial[(b.get("por"), b.get("warps"))] = b["real_time"]
+    for b in benchmarks:
+        base = serial.get((b.get("por"), b.get("warps")))
+        if base and b.get("threads", 0) > 0 and b.get("real_time"):
+            b["speedup_vs_serial"] = round(base / b["real_time"], 3)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", default="build/bench/bench_parallel_explore",
+                    help="benchmark binary to run")
+    ap.add_argument("--out", default="BENCH_explore.json",
+                    help="output snapshot path")
+    ap.add_argument("--filter", default=None,
+                    help="optional --benchmark_filter regex")
+    ap.add_argument("bench_args", nargs="*",
+                    help="extra args passed to the binary verbatim")
+    args = ap.parse_args()
+
+    binary = Path(args.binary)
+    if not binary.exists():
+        raise SystemExit(
+            f"{binary}: not found — build first (cmake --build build)")
+
+    extra = list(args.bench_args)
+    if args.filter:
+        extra.append(f"--benchmark_filter={args.filter}")
+    doc = run_benchmark(binary, extra)
+
+    repo = Path(__file__).resolve().parent.parent
+    benchmarks = []
+    for b in doc.get("benchmarks", []):
+        keep = {k: b[k] for k in
+                ("name", "run_name", "iterations", "real_time", "cpu_time",
+                 "time_unit", "bytes_per_second", "items_per_second")
+                if k in b}
+        # Counters appear as top-level numeric fields.
+        for k, v in b.items():
+            if k not in keep and isinstance(v, (int, float)):
+                keep[k] = v
+        benchmarks.append(keep)
+    add_speedups(benchmarks)
+
+    snapshot = {
+        "schema": "cac-bench-snapshot/1",
+        "binary": binary.name,
+        "git_revision": git_revision(repo),
+        "context": doc.get("context", {}),
+        "benchmarks": benchmarks,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {out} ({len(benchmarks)} benchmarks, "
+          f"rev {snapshot['git_revision']})")
+
+
+if __name__ == "__main__":
+    main()
