@@ -11,8 +11,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "programs/corpus.h"
+#include "ptx/lower.h"
 #include "sched/explore_parallel.h"
 #include "sem/launch.h"
 
@@ -24,14 +28,19 @@ using programs::VecAddLayout;
 sem::Machine vecadd_machine(const ptx::Program& prg,
                             const sem::KernelConfig& kc, std::uint32_t size) {
   const VecAddLayout L;
-  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
-  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c)
-      .param("size", size);
+  sem::LaunchSpec spec;
+  spec.grid = kc.grid;
+  spec.block = kc.block;
+  spec.warp_size = kc.warp_size;
+  spec.global_bytes = L.global_bytes;
+  spec.shared_bytes = 0;
+  spec.params = {{"arr_A", L.a}, {"arr_B", L.b}, {"arr_C", L.c},
+                 {"size", size}};
   for (std::uint32_t i = 0; i < size && 4 * i < 0x100; ++i) {
-    launch.global_u32(L.a + 4 * i, i);
-    launch.global_u32(L.b + 4 * i, i);
+    spec.inits.emplace_back(L.a + 4 * i, i);
+    spec.inits.emplace_back(L.b + 4 * i, i);
   }
-  return launch.machine();
+  return spec.to_launch(prg).machine();
 }
 
 /// Args: (num_threads [0 = serial DFS], por, warps).  The warps=3
@@ -133,6 +142,74 @@ void BM_MachineHashMemoized(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineHashMemoized);
 
+/// State-store footprint: resident bytes per visited state with the
+/// interning store vs full per-state machine copies (the pre-StateStore
+/// representation), on the two acceptance workloads.  Args:
+/// (num_threads, workload [0 = vecadd 3 warps, 1 = reduce_shared]).
+/// The counters feed BENCH_explore.json via tools/bench_to_json.py.
+void BM_StateStoreFootprint(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const bool reduce = state.range(1) != 0;
+
+  ptx::Program prg = programs::vector_add_listing2();
+  sem::KernelConfig kc{{1, 1, 1}, {12, 1, 1}, 4};
+  sem::Machine init;
+  if (reduce) {
+    prg = ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+    kc = sem::KernelConfig{{1, 1, 1}, {4, 1, 1}, 2};  // two 2-thread warps
+    sem::LaunchSpec spec;
+    spec.grid = kc.grid;
+    spec.block = kc.block;
+    spec.warp_size = kc.warp_size;
+    spec.global_bytes = 256;
+    spec.shared_bytes = 256;
+    spec.params = {{"arr_A", 0}, {"out", 128}};
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      spec.inits.emplace_back(4 * i, i * i + 1);
+    }
+    init = spec.to_launch(prg).machine();
+  } else {
+    init = vecadd_machine(prg, kc, 12);
+  }
+
+  sched::ExploreOptions opts;
+  opts.num_threads = threads;
+
+  sched::StateStore::Stats stats;
+  for (auto _ : state) {
+    const sched::ExploreResult r = sched::explore(prg, kc, init, opts);
+    if (!r.exhaustive || !r.store) {
+      throw KernelError("footprint exploration verdict changed");
+    }
+    stats = r.store->stats();
+  }
+  const auto per_state = [&](std::uint64_t bytes) {
+    return stats.states == 0
+               ? 0.0
+               : static_cast<double>(bytes) /
+                     static_cast<double>(stats.states);
+  };
+  state.counters["threads"] = threads;
+  state.counters["states"] = static_cast<double>(stats.states);
+  state.counters["warp_fragments"] =
+      static_cast<double>(stats.warp_fragments);
+  state.counters["bank_fragments"] =
+      static_cast<double>(stats.bank_fragments);
+  state.counters["resident_bytes_per_state"] =
+      per_state(stats.resident_bytes);
+  state.counters["machine_bytes_per_state"] =
+      per_state(stats.materialized_bytes);
+  state.counters["dedup_ratio"] = stats.dedup_ratio();
+}
+BENCHMARK(BM_StateStoreFootprint)
+    ->ArgNames({"threads", "reduce"})
+    ->Args({0, 0})
+    ->Args({4, 0})
+    ->Args({0, 1})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 struct Banner {
   Banner() {
     std::printf(
@@ -144,3 +221,19 @@ struct Banner {
 } banner;
 
 }  // namespace
+
+/// Custom main so CI can smoke the bench cheaply: `--quick` maps to a
+/// minimal measuring time before the standard benchmark flags parse.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char quick_flag[] = "--benchmark_min_time=0.01";
+  for (auto& a : args) {
+    if (std::strcmp(a, "--quick") == 0) a = quick_flag;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

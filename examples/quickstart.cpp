@@ -36,15 +36,22 @@ int main() {
   const ptx::Program hand = programs::vector_add_listing2();
 
   // 3. Concrete run at the paper's configuration kc = ((1,1,1),(32,1,1)).
+  //    LaunchSpec is the declarative launch surface shared with cacval
+  //    and the benches (the flags --grid/--block/--param/--init map to
+  //    these fields one for one).
   const programs::VecAddLayout L;
-  const sem::KernelConfig kc{{1, 1, 1}, {32, 1, 1}, 32};
-  sem::Launch launch(hand, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
-  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c)
-      .param("size", 32);
+  sem::LaunchSpec spec;
+  spec.block = {32, 1, 1};
+  spec.global_bytes = L.global_bytes;
+  spec.shared_bytes = 0;
+  spec.params = {{"arr_A", L.a}, {"arr_B", L.b}, {"arr_C", L.c},
+                 {"size", 32}};
   for (std::uint32_t i = 0; i < 32; ++i) {
-    launch.global_u32(L.a + 4 * i, i);
-    launch.global_u32(L.b + 4 * i, 100 * i);
+    spec.inits.emplace_back(L.a + 4 * i, i);
+    spec.inits.emplace_back(L.b + 4 * i, 100 * i);
   }
+  const sem::KernelConfig kc = spec.to_config();
+  sem::Launch launch = spec.to_launch(hand);
   sem::Machine m = launch.machine();
   sched::FirstChoiceScheduler det;
   const sched::RunResult run = sched::run(hand, kc, m, det);
@@ -60,14 +67,19 @@ int main() {
   //     (Exhaustive exploration needs a finite schedule space; with a
   //     single warp it is a chain, with two warps a true lattice.)
   {
-    const sem::KernelConfig kc2{{1, 1, 1}, {8, 1, 1}, 4};  // two warps
-    sem::Launch l2(hand, kc2, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
-    l2.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c)
-        .param("size", 8);
+    sem::LaunchSpec spec2;
+    spec2.block = {8, 1, 1};
+    spec2.warp_size = 4;  // two warps
+    spec2.global_bytes = L.global_bytes;
+    spec2.shared_bytes = 0;
+    spec2.params = {{"arr_A", L.a}, {"arr_B", L.b}, {"arr_C", L.c},
+                    {"size", 8}};
     for (std::uint32_t i = 0; i < 8; ++i) {
-      l2.global_u32(L.a + 4 * i, i);
-      l2.global_u32(L.b + 4 * i, 100 * i);
+      spec2.inits.emplace_back(L.a + 4 * i, i);
+      spec2.inits.emplace_back(L.b + 4 * i, 100 * i);
     }
+    const sem::KernelConfig kc2 = spec2.to_config();
+    sem::Launch l2 = spec2.to_launch(hand);
     check::Spec post;
     for (std::uint32_t i = 0; i < 8; ++i) {
       post.mem_u32(mem::Space::Global, L.c + 4 * i, i + 100 * i);

@@ -26,14 +26,18 @@ Verdict from_exploration(sched::ExploreResult&& ex, const Spec& post,
     v.kind = Verdict::Kind::Unknown;
     v.detail = "exploration limits hit after " +
                std::to_string(e.states_visited) + " states";
+    if (e.limit_hit != sched::ExploreResult::Limit::None) {
+      v.detail += " (limit tripped: " + sched::to_string(e.limit_hit) + ")";
+    }
     return v;
   }
-  if (e.finals.empty()) {
+  if (e.final_ids.empty()) {
     v.kind = Verdict::Kind::Refuted;
     v.detail = "no schedule reaches a terminated grid";
     return v;
   }
-  for (const sem::Machine& final : e.finals) {
+  for (const sched::StateId id : e.final_ids) {
+    const sem::Machine final = e.store->materialize(id);
     const auto failures = post.eval(final);
     if (!failures.empty()) {
       v.kind = Verdict::Kind::Refuted;
@@ -41,10 +45,11 @@ Verdict from_exploration(sched::ExploreResult&& ex, const Spec& post,
       return v;
     }
   }
-  if (opts.require_schedule_independence && e.finals.size() != 1) {
+  if (opts.require_schedule_independence && e.final_ids.size() != 1) {
     v.kind = Verdict::Kind::Refuted;
     v.detail = "schedule-dependent result: " +
-               std::to_string(e.finals.size()) + " distinct terminal states";
+               std::to_string(e.final_ids.size()) +
+               " distinct terminal states";
     return v;
   }
   if (opts.expect_exact_steps != 0 &&
@@ -61,7 +66,7 @@ Verdict from_exploration(sched::ExploreResult&& ex, const Spec& post,
   v.kind = Verdict::Kind::Proved;
   v.detail = "all " + std::to_string(e.states_visited) +
              " reachable states checked; " +
-             std::to_string(e.finals.size()) + " terminal state(s)";
+             std::to_string(e.final_ids.size()) + " terminal state(s)";
   return v;
 }
 

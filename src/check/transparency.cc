@@ -35,13 +35,15 @@ TransparencyResult check_scheduler_transparency(
     result.detail = "exploration limits hit; transparency undecided";
     return result;
   }
-  if (result.exploration.finals.size() != 1) {
+  if (result.exploration.final_ids.size() != 1) {
     result.detail = "schedule-dependent result: " +
-                    std::to_string(result.exploration.finals.size()) +
+                    std::to_string(result.exploration.final_ids.size()) +
                     " distinct terminal states";
     return result;
   }
-  if (!(result.exploration.finals.front() == det)) {
+  const sem::Machine sole = result.exploration.store->materialize(
+      result.exploration.final_ids.front());
+  if (!(sole == det)) {
     result.detail =
         "nondeterministic terminal state differs from the deterministic one";
     return result;

@@ -16,16 +16,21 @@
 //    barrier, at which point commit_shared() flips every Shared valid
 //    bit to true (Fig. 3's lift-bar rule).
 //
-// Representation: each space is a contiguous byte array plus a packed
-// valid-bit bitmap (one bit per byte, 64 bits per word).  Compared to
-// the earlier array-of-{byte,bool} layout this halves the bytes moved
-// by every Machine clone — the per-transition cost of schedule
-// exploration — and lets equality and hashing run over whole words.
-// The structural hash is memoized (every mutator invalidates it), so
-// repeated visited-set probes of an unchanged memory are O(1).
+// Representation: each state space is a refcounted, copy-on-write
+// *bank* — a contiguous byte array plus a packed valid-bit bitmap (one
+// bit per byte, 64 bits per word).  Shared memory is one bank *per
+// thread block* (it is block-private, paper §III-2), so a store by one
+// block copies only that block's bank.  Copying a Memory copies four
+// shared_ptrs; a mutator clones just the bank it touches (clone-on-
+// write), so sibling machine states in the schedule explorer share
+// every bank they have not diverged on.  The interning state store
+// (sched/state_store.h) builds on the same mechanism: banks are
+// content-addressed via their memoized structural hash and deduplicated
+// across the whole visited set.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,7 +56,6 @@ struct MemSizes {
 };
 
 /// One memory byte with its valid bit — the (byte x B) pair of Table I.
-/// A value type now: the packed store has no Cell objects to reference.
 struct Cell {
   std::uint8_t byte = 0;
   bool valid = false;
@@ -60,8 +64,61 @@ struct Cell {
 
 class Memory {
  public:
-  Memory() = default;
+  /// One state space (or one block's Shared slice): contiguous data
+  /// bytes plus a packed valid bitmap (bit i of valid[i/64] is byte i's
+  /// valid bit).  Bits past `bytes.size()` in the last word are kept
+  /// zero so that comparison is exact.  Banks are immutable once shared
+  /// (copy-on-write); the structural hash is memoized thread-safely so
+  /// a bank shared across explorer threads is hashed at most once.
+  struct Bank {
+    std::vector<std::uint8_t> bytes;
+    std::vector<std::uint64_t> valid;
+
+    explicit Bank(std::uint64_t n = 0)
+        : bytes(n, 0), valid((n + 63) / 64, 0) {}
+
+    [[nodiscard]] bool valid_bit(std::uint64_t i) const {
+      return (valid[i >> 6] >> (i & 63)) & 1u;
+    }
+    void set_valid_bit(std::uint64_t i, bool v) {
+      const std::uint64_t mask = 1ull << (i & 63);
+      if (v) {
+        valid[i >> 6] |= mask;
+      } else {
+        valid[i >> 6] &= ~mask;
+      }
+    }
+
+    /// Content-addressing hash for bank interning; memoized.
+    [[nodiscard]] std::uint64_t hash() const;
+    void invalidate_hash() const { hash_.invalidate(); }
+
+    /// Heap footprint of this bank (stats/accounting).
+    [[nodiscard]] std::uint64_t deep_bytes() const {
+      return sizeof(Bank) + bytes.capacity() +
+             valid.capacity() * sizeof(std::uint64_t);
+    }
+
+    friend bool operator==(const Bank& a, const Bank& b) {
+      return a.bytes == b.bytes && a.valid == b.valid;
+    }
+
+   private:
+    SharedHashCache hash_;  // excluded from operator== by construction
+  };
+
+  /// Refcounted immutable bank handle — the sharing currency between
+  /// Memory values and the interning state store.
+  using BankRef = std::shared_ptr<const Bank>;
+
+  Memory();
   explicit Memory(const MemSizes& sizes);
+
+  /// Rebuild a Memory from interned bank handles (StateStore
+  /// materialization).  `shared` holds one bank per block.
+  static Memory from_banks(BankRef global, BankRef constant,
+                           std::vector<BankRef> shared, BankRef param,
+                           std::uint64_t shared_per_block);
 
   [[nodiscard]] std::uint64_t size(Space ss) const;
   [[nodiscard]] bool in_bounds(Space ss, std::uint64_t addr,
@@ -112,14 +169,21 @@ class Memory {
   /// hypotheses about the final state.
   void set_all_valid(Space ss, bool valid);
 
-  friend bool operator==(const Memory& a, const Memory& b) {
-    return a.global_ == b.global_ && a.constant_ == b.constant_ &&
-           a.shared_ == b.shared_ && a.param_ == b.param_;
+  // --- bank-sharing hooks (interned state storage) -------------------
+
+  /// Handle to a single-bank space (Global/Const/Param; Shared is
+  /// per-block, use shared_bank_refs()).
+  [[nodiscard]] const BankRef& bank_ref(Space ss) const;
+  /// One immutable bank per block.
+  [[nodiscard]] const std::vector<BankRef>& shared_bank_refs() const {
+    return shared_;
   }
 
+  friend bool operator==(const Memory& a, const Memory& b);
+
   /// Order- and representation-independent state hash (for schedule
-  /// exploration memoization).  Memoized: every mutator invalidates the
-  /// cache, so back-to-back probes of an unchanged memory are free.
+  /// exploration memoization).  Memoized at two levels: per bank
+  /// (shared across every Memory holding the bank) and per Memory.
   [[nodiscard]] std::uint64_t hash() const;
 
   /// Human-readable hex dump of a range (debugging aid).
@@ -127,38 +191,28 @@ class Memory {
                                  std::uint32_t len) const;
 
  private:
-  /// One state space: contiguous data bytes plus a packed valid bitmap
-  /// (bit i of valid[i/64] is byte i's valid bit).  Bits past `bytes.
-  /// size()` in the last word are kept zero so that the defaulted
-  /// comparison is exact.
-  struct Bank {
-    std::vector<std::uint8_t> bytes;
-    std::vector<std::uint64_t> valid;
+  [[nodiscard]] const Bank& ro(Space ss) const;          // non-Shared
+  [[nodiscard]] const Bank& shared_ro(std::uint64_t addr,
+                                      std::uint64_t& off) const;
+  /// Clone-on-write access: clones the bank if it is shared, and
+  /// invalidates its memoized hash (we are about to mutate it).
+  [[nodiscard]] Bank& unique_bank(BankRef& slot);
+  [[nodiscard]] Bank& mut(Space ss, std::uint64_t addr, std::uint64_t& off);
 
-    explicit Bank(std::uint64_t n = 0)
-        : bytes(n, 0), valid((n + 63) / 64, 0) {}
+  [[nodiscard]] std::uint64_t shared_total() const {
+    return shared_per_block_ * shared_.size();
+  }
+  /// Does [addr, addr+len) stay inside one Shared bank?
+  [[nodiscard]] bool shared_single_bank(std::uint64_t addr,
+                                        std::uint32_t len) const {
+    return shared_per_block_ == 0 ||
+           addr / shared_per_block_ == (addr + len - 1) / shared_per_block_;
+  }
 
-    [[nodiscard]] bool valid_bit(std::uint64_t i) const {
-      return (valid[i >> 6] >> (i & 63)) & 1u;
-    }
-    void set_valid_bit(std::uint64_t i, bool v) {
-      const std::uint64_t mask = 1ull << (i & 63);
-      if (v) {
-        valid[i >> 6] |= mask;
-      } else {
-        valid[i >> 6] &= ~mask;
-      }
-    }
-    friend bool operator==(const Bank&, const Bank&) = default;
-  };
-
-  [[nodiscard]] const Bank& space(Space ss) const;
-  [[nodiscard]] Bank& space(Space ss);
-
-  Bank global_;
-  Bank constant_;
-  Bank shared_;  // shared_banks banks of shared_per_block_
-  Bank param_;
+  BankRef global_;
+  BankRef constant_;
+  std::vector<BankRef> shared_;  // one bank per block
+  BankRef param_;
   std::uint64_t shared_per_block_ = 0;
   HashCache hash_;  // excluded from operator== by construction
 };

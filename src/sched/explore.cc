@@ -41,15 +41,6 @@ void reduce_choices(const ptx::Program& prg, const sem::Grid& g,
 
 namespace {
 
-struct MachineHash {
-  std::size_t operator()(const sem::Machine* m) const { return m->hash(); }
-};
-struct MachineEq {
-  bool operator()(const sem::Machine* a, const sem::Machine* b) const {
-    return *a == *b;
-  }
-};
-
 enum class Color : std::uint8_t { OnStack, Done };
 
 }  // namespace
@@ -62,16 +53,19 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
   ExploreResult result;
   result.min_steps_to_termination = ~0ull;
 
-  // Node ownership: machines live in `arena`; the color map and the
-  // DFS frames reference them by pointer.  Structural equality in the
-  // map means a revisit is detected even across different paths.
-  std::vector<std::unique_ptr<sem::Machine>> arena;
-  std::unordered_map<const sem::Machine*, Color, MachineHash, MachineEq>
-      colors;
+  // Node ownership: every visited state is interned into the store and
+  // referenced by StateId from here on; only the states currently on
+  // the DFS stack are held as full machines (their children are built
+  // by copying, which the copy-on-write memory makes cheap).
+  // Interning compares structurally, so a revisit is detected even
+  // across different paths and a hash collision cannot fake a visit.
+  auto store = std::make_shared<StateStore>();
+  std::unordered_map<std::uint32_t, Color> colors;
   internal::FinalsSet finals;
 
   struct Frame {
-    const sem::Machine* state;
+    StateId id;
+    sem::Machine state;
     std::vector<sem::Choice> eligible;
     std::size_t next = 0;
   };
@@ -80,60 +74,63 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
 
   bool limits_hit = false;
 
+  auto hit_limit = [&](ExploreResult::Limit l) {
+    limits_hit = true;
+    if (result.limit_hit == ExploreResult::Limit::None) result.limit_hit = l;
+  };
+
   auto add_violation = [&](Violation::Kind kind, std::string msg) {
     result.violations.push_back({kind, std::move(msg), path});
   };
 
   auto enter = [&](sem::Machine&& m) -> bool {
     // Returns true if a new frame was pushed.
-    auto owned = std::make_unique<sem::Machine>(std::move(m));
-    const sem::Machine* ptr = owned.get();
-    auto it = colors.find(ptr);
-    if (it != colors.end()) {
-      if (it->second == Color::OnStack) {
+    const auto r = store->intern(m, opts.max_states);
+    if (!r.id.valid()) {
+      hit_limit(ExploreResult::Limit::MaxStates);
+      return false;
+    }
+    if (!r.inserted) {
+      const auto it = colors.find(r.id.v);
+      if (it != colors.end() && it->second == Color::OnStack) {
         add_violation(Violation::Kind::Cycle,
                       "schedule revisits an earlier state: a scheduler can "
                       "loop forever");
       }
       return false;
     }
-    if (colors.size() >= opts.max_states) {
-      limits_hit = true;
-      return false;
-    }
-    arena.push_back(std::move(owned));
     ++result.states_visited;
 
-    if (sem::terminated(prg, ptr->grid)) {
-      colors.emplace(ptr, Color::Done);
+    if (sem::terminated(prg, m.grid)) {
+      colors.emplace(r.id.v, Color::Done);
       result.min_steps_to_termination =
           std::min<std::uint64_t>(result.min_steps_to_termination,
                                   path.size());
       result.max_steps_to_termination =
           std::max<std::uint64_t>(result.max_steps_to_termination,
                                   path.size());
-      finals.insert(*ptr);
+      finals.insert(r.id);
       return false;
     }
-    auto eligible = sem::eligible_choices(prg, ptr->grid);
+    auto eligible = sem::eligible_choices(prg, m.grid);
     if (opts.partial_order_reduction) {
-      internal::reduce_choices(prg, ptr->grid, eligible);
+      internal::reduce_choices(prg, m.grid, eligible);
     }
     if (eligible.empty()) {
-      colors.emplace(ptr, Color::Done);
+      colors.emplace(r.id.v, Color::Done);
       add_violation(Violation::Kind::Stuck,
-                    sem::stuck_reason(prg, ptr->grid));
+                    sem::stuck_reason(prg, m.grid));
       return false;
     }
     if (path.size() >= opts.max_depth) {
-      colors.emplace(ptr, Color::Done);
-      limits_hit = true;
+      colors.emplace(r.id.v, Color::Done);
+      hit_limit(ExploreResult::Limit::MaxDepth);
       add_violation(Violation::Kind::DepthExceeded,
                     "path exceeded the exploration depth bound");
       return false;
     }
-    colors.emplace(ptr, Color::OnStack);
-    stack.push_back(Frame{ptr, std::move(eligible), 0});
+    colors.emplace(r.id.v, Color::OnStack);
+    stack.push_back(Frame{r.id, std::move(m), std::move(eligible), 0});
     return true;
   };
 
@@ -146,13 +143,13 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
   while (!stack.empty() && !should_stop()) {
     Frame& top = stack.back();
     if (top.next >= top.eligible.size()) {
-      colors[top.state] = Color::Done;
+      colors[top.id.v] = Color::Done;
       stack.pop_back();
       if (!path.empty()) path.pop_back();
       continue;
     }
     const sem::Choice c = top.eligible[top.next++];
-    sem::Machine child(*top.state);
+    sem::Machine child(top.state);
     const sem::StepResult sr =
         sem::apply_choice(prg, kc, child, c, opts.step_opts, nullptr);
     ++result.transitions;
@@ -168,9 +165,18 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
   if (result.min_steps_to_termination == ~0ull) {
     result.min_steps_to_termination = 0;
   }
-  result.finals = finals.take();
+  result.final_ids = finals.take();
+  result.store = std::move(store);
   result.exhaustive = !limits_hit && stack.empty();
   return result;
+}
+
+std::vector<sem::Machine> ExploreResult::finals() const {
+  std::vector<sem::Machine> out;
+  if (!store) return out;
+  out.reserve(final_ids.size());
+  for (const StateId id : final_ids) out.push_back(store->materialize(id));
+  return out;
 }
 
 std::string to_string(Violation::Kind k) {
@@ -179,6 +185,15 @@ std::string to_string(Violation::Kind k) {
     case Violation::Kind::Fault: return "fault";
     case Violation::Kind::Cycle: return "cycle";
     case Violation::Kind::DepthExceeded: return "depth-exceeded";
+  }
+  return "?";
+}
+
+std::string to_string(ExploreResult::Limit l) {
+  switch (l) {
+    case ExploreResult::Limit::None: return "none";
+    case ExploreResult::Limit::MaxStates: return "max-states";
+    case ExploreResult::Limit::MaxDepth: return "max-depth";
   }
   return "?";
 }

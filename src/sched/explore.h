@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sched/state_store.h"
 #include "sem/step.h"
 
 namespace cac::sched {
@@ -66,12 +68,30 @@ struct ExploreResult {
   /// complete finite-configuration proof.
   bool exhaustive = false;
 
+  /// Which exploration limit tripped first when `exhaustive` is false
+  /// for limit reasons (None when the run was exhaustive or cut short
+  /// only by stop_at_first_violation).
+  enum class Limit : std::uint8_t { None, MaxStates, MaxDepth };
+  Limit limit_hit = Limit::None;
+
   std::uint64_t states_visited = 0;
   std::uint64_t transitions = 0;
 
-  /// Distinct terminated machine states (deduplicated).  A singleton
-  /// means the computation is schedule-independent.
-  std::vector<sem::Machine> finals;
+  /// Every visited state lives interned in this store; `final_ids` and
+  /// any StateId derived from this exploration resolve against it.
+  /// Shared so results can outlive the engine and be copied cheaply.
+  std::shared_ptr<const StateStore> store;
+
+  /// Distinct terminated machine states (deduplicated, DFS first-visit
+  /// order).  A singleton means the computation is
+  /// schedule-independent.  Materialize one with
+  /// `store->materialize(id)`, or all of them with finals().
+  std::vector<StateId> final_ids;
+
+  /// Compatibility accessor: materialize every final state.  Prefer
+  /// `final_ids` + `store` when only counts or one state are needed —
+  /// this copies each final out in full.
+  [[nodiscard]] std::vector<sem::Machine> finals() const;
 
   /// Shortest / longest schedule reaching termination (path lengths).
   std::uint64_t min_steps_to_termination = 0;
@@ -80,10 +100,10 @@ struct ExploreResult {
   std::vector<Violation> violations;
 
   [[nodiscard]] bool all_schedules_terminate() const {
-    return exhaustive && violations.empty() && !finals.empty();
+    return exhaustive && violations.empty() && !final_ids.empty();
   }
   [[nodiscard]] bool schedule_independent() const {
-    return exhaustive && violations.empty() && finals.size() == 1;
+    return exhaustive && violations.empty() && final_ids.size() == 1;
   }
 };
 
@@ -92,5 +112,6 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
                       const ExploreOptions& opts = {});
 
 std::string to_string(Violation::Kind k);
+std::string to_string(ExploreResult::Limit l);
 
 }  // namespace cac::sched

@@ -4,10 +4,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sched/state_store.h"
 #include "sem/step.h"
 
 namespace cac::sched::internal {
@@ -23,32 +24,26 @@ bool register_local(const ptx::Instr& i);
 void reduce_choices(const ptx::Program& prg, const sem::Grid& g,
                     std::vector<sem::Choice>& eligible);
 
-/// Deduplicated accumulator for terminal machine states, keyed on the
-/// memoized machine hash with structural equality as the tie-breaker
-/// (a hash collision cannot merge distinct finals).  Replaces the old
-/// O(n^2) linear scan over sem::Machine values.
+/// Deduplicated accumulator for terminal states, over StateStore
+/// handles.  Interning already guarantees structurally-equal states
+/// share one id, so dedup here is exact integer-set membership.
 class FinalsSet {
  public:
-  /// Copies `m` in if no structurally equal final is present yet.
   /// Returns true when inserted; insertion order is preserved.
-  bool insert(const sem::Machine& m) {
-    auto& bucket = index_[m.hash()];
-    for (const std::size_t i : bucket) {
-      if (finals_[i] == m) return false;
-    }
-    bucket.push_back(finals_.size());
-    finals_.push_back(m);
+  bool insert(StateId id) {
+    if (!seen_.insert(id.v).second) return false;
+    ids_.push_back(id);
     return true;
   }
 
-  [[nodiscard]] std::vector<sem::Machine> take() {
-    index_.clear();
-    return std::move(finals_);
+  [[nodiscard]] std::vector<StateId> take() {
+    seen_.clear();
+    return std::move(ids_);
   }
 
  private:
-  std::vector<sem::Machine> finals_;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
+  std::vector<StateId> ids_;
+  std::unordered_set<std::uint32_t> seen_;
 };
 
 }  // namespace cac::sched::internal

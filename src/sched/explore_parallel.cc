@@ -19,11 +19,12 @@ namespace {
 // ---------------------------------------------------------------------
 // Phase-1 state graph.
 //
-// Nodes and machine states live in per-shard deques (stable addresses;
-// grown only under the shard mutex).  After a node is registered, its
-// fields are written exclusively by the single worker expanding it;
-// the work-queue mutexes order that hand-off, and the thread join
-// orders the final reads by the replay.
+// Machine states live interned in the shared StateStore; nodes hold
+// only the StateId handle and live in per-shard deques (stable
+// addresses; grown only under the shard mutex).  After a node is
+// registered, its fields are written exclusively by the single worker
+// expanding it; the work-queue mutexes order that hand-off, and the
+// thread join orders the final reads by the replay.
 
 struct Node;
 
@@ -40,7 +41,7 @@ struct Edge {
 };
 
 struct Node {
-  const sem::Machine* state = nullptr;
+  StateId id;
   /// Phase-1 expansion ran (terminal/stuck classified, edges built).
   /// False only for nodes discovered at depth >= max_depth.
   bool processed = false;
@@ -54,41 +55,41 @@ struct Node {
   Color color = Color::White;
 };
 
-/// Sharded concurrent visited set.  Keyed by the memoized structural
-/// hash, with full structural equality inside the bucket — identical
-/// dedup semantics to the serial explorer's hash map.
+/// Sharded concurrent visited set over the interning StateStore.
+/// Shards are keyed by the memoized structural machine hash, so
+/// structurally equal machines always race on the *same* shard mutex —
+/// intern-and-register is atomic per state, and dedup semantics are
+/// identical to the serial explorer's (structural equality inside the
+/// store; a hash collision cannot fake a visit).
 class VisitedShards {
  public:
-  explicit VisitedShards(std::uint64_t max_states)
-      : max_states_(max_states) {}
+  VisitedShards(std::uint64_t max_states, StateStore& store)
+      : store_(store), max_states_(max_states) {}
 
   struct InsertResult {
     Node* node = nullptr;  // nullptr: dropped at the state cap
     bool inserted = false;
   };
 
-  /// Find the node structurally equal to `m`, or move `m` in as a new
-  /// node.  The caller must have computed m.hash() already (it is the
-  /// owner thread; the memoized hash is published together with the
-  /// state under the shard mutex).
-  InsertResult find_or_insert(sem::Machine&& m, std::uint64_t hash) {
+  /// Find the node for the state structurally equal to `m`, or intern
+  /// `m` and register a fresh node.  The caller must have computed
+  /// m.hash() already (it is the owner thread).
+  InsertResult find_or_insert(const sem::Machine& m, std::uint64_t hash) {
     Shard& s = shards_[shard_of(hash)];
     std::lock_guard<std::mutex> lock(s.mu);
-    auto& bucket = s.index[hash];
-    for (Node* n : bucket) {
-      if (*n->state == m) return {n, false};
-    }
-    if (n_states_.load(std::memory_order_relaxed) >= max_states_) {
+    const auto r = store_.intern(m, max_states_);
+    if (!r.id.valid()) {
       cap_hit_.store(true, std::memory_order_relaxed);
       return {nullptr, false};
     }
-    n_states_.fetch_add(1, std::memory_order_relaxed);
-    s.states.push_back(std::move(m));
-    s.nodes.push_back(Node{});
-    Node* n = &s.nodes.back();
-    n->state = &s.states.back();
-    bucket.push_back(n);
-    return {n, true};
+    const auto [it, fresh] = s.node_of.try_emplace(r.id.v, nullptr);
+    if (fresh) {
+      s.nodes.push_back(Node{});
+      Node* n = &s.nodes.back();
+      n->id = r.id;
+      it->second = n;
+    }
+    return {it->second, fresh};
   }
 
   [[nodiscard]] bool cap_hit() const {
@@ -100,19 +101,18 @@ class VisitedShards {
 
   static unsigned shard_of(std::uint64_t hash) {
     // The machine hash is splitmix-finalized; the top bits are as good
-    // as any.
+    // as any (the store's internal sharding uses the low bits).
     return static_cast<unsigned>(hash >> 58) & (kShardCount - 1);
   }
 
   struct Shard {
     std::mutex mu;
-    std::unordered_map<std::uint64_t, std::vector<Node*>> index;
-    std::deque<Node> nodes;        // stable addresses
-    std::deque<sem::Machine> states;  // stable addresses
+    std::unordered_map<std::uint32_t, Node*> node_of;  // StateId.v -> node
+    std::deque<Node> nodes;  // stable addresses
   };
 
+  StateStore& store_;
   Shard shards_[kShardCount];
-  std::atomic<std::uint64_t> n_states_{0};
   std::atomic<bool> cap_hit_{false};
   const std::uint64_t max_states_;
 };
@@ -154,20 +154,22 @@ struct WorkQueue {
 class GraphBuilder {
  public:
   GraphBuilder(const ptx::Program& prg, const sem::KernelConfig& kc,
-               const ExploreOptions& opts, unsigned n_workers)
+               const ExploreOptions& opts, StateStore& store,
+               unsigned n_workers)
       : prg_(prg),
         kc_(kc),
         opts_(opts),
-        visited_(opts.max_states),
+        store_(store),
+        visited_(opts.max_states, store),
         queues_(n_workers) {}
 
   /// Returns the root node, or nullptr when even the initial state was
   /// dropped (max_states == 0 — the serial engine reports the same as
   /// a limits-hit non-visit).
   Node* build(const sem::Machine& initial) {
-    sem::Machine root_copy(initial);
+    const sem::Machine root_copy(initial);
     const std::uint64_t h = root_copy.hash();
-    const auto root = visited_.find_or_insert(std::move(root_copy), h);
+    const auto root = visited_.find_or_insert(root_copy, h);
     if (!root.inserted) return root.node;  // cap 0, or... only cap 0
     pending_.store(1, std::memory_order_relaxed);
     queues_[0].push(Task{root.node, 0});
@@ -214,7 +216,7 @@ class GraphBuilder {
     // Poisoned run: stop growing the graph so workers drain quickly.
     if (failed_.load(std::memory_order_relaxed)) return;
     Node* node = t.node;
-    const sem::Machine& state = *node->state;
+    const sem::Machine state = store_.materialize(node->id);
 
     if (sem::terminated(prg_, state.grid)) {
       node->terminal = true;
@@ -250,8 +252,8 @@ class GraphBuilder {
         node->edges.push_back(std::move(e));
         continue;
       }
-      const std::uint64_t h = child.hash();  // memoized pre-publication
-      const auto r = visited_.find_or_insert(std::move(child), h);
+      const std::uint64_t h = child.hash();  // memoized pre-intern
+      const auto r = visited_.find_or_insert(child, h);
       if (r.node == nullptr) {
         e.overflow = true;
         node->edges.push_back(std::move(e));
@@ -270,6 +272,7 @@ class GraphBuilder {
   const ptx::Program& prg_;
   const sem::KernelConfig& kc_;
   const ExploreOptions& opts_;
+  StateStore& store_;
   VisitedShards visited_;
   std::vector<WorkQueue> queues_;
   std::atomic<std::uint64_t> pending_{0};
@@ -297,13 +300,18 @@ ExploreResult replay(Node* root, const ExploreOptions& opts) {
   std::uint64_t entered = 0;
   bool limits_hit = false;
 
+  auto hit_limit = [&](ExploreResult::Limit l) {
+    limits_hit = true;
+    if (result.limit_hit == ExploreResult::Limit::None) result.limit_hit = l;
+  };
+
   auto add_violation = [&](Violation::Kind kind, std::string msg) {
     result.violations.push_back({kind, std::move(msg), path});
   };
 
   auto enter = [&](Node* nd) -> bool {
     if (nd == nullptr) {  // overflow edge: phase 1 dropped the child
-      limits_hit = true;
+      hit_limit(ExploreResult::Limit::MaxStates);
       return false;
     }
     if (nd->color == Node::Color::OnStack) {
@@ -314,7 +322,7 @@ ExploreResult replay(Node* root, const ExploreOptions& opts) {
     }
     if (nd->color == Node::Color::Done) return false;
     if (entered >= opts.max_states) {
-      limits_hit = true;
+      hit_limit(ExploreResult::Limit::MaxStates);
       return false;
     }
     ++entered;
@@ -328,7 +336,7 @@ ExploreResult replay(Node* root, const ExploreOptions& opts) {
       result.max_steps_to_termination =
           std::max<std::uint64_t>(result.max_steps_to_termination,
                                   path.size());
-      finals.insert(*nd->state);
+      finals.insert(nd->id);
       return false;
     }
     if (nd->stuck) {
@@ -342,7 +350,7 @@ ExploreResult replay(Node* root, const ExploreOptions& opts) {
       // otherwise (a shorter path reached it first here) we can only
       // flag the run as non-exhaustive.
       nd->color = Node::Color::Done;
-      limits_hit = true;
+      hit_limit(ExploreResult::Limit::MaxDepth);
       if (path.size() >= opts.max_depth) {
         add_violation(Violation::Kind::DepthExceeded,
                       "path exceeded the exploration depth bound");
@@ -351,7 +359,7 @@ ExploreResult replay(Node* root, const ExploreOptions& opts) {
     }
     if (path.size() >= opts.max_depth) {
       nd->color = Node::Color::Done;
-      limits_hit = true;
+      hit_limit(ExploreResult::Limit::MaxDepth);
       add_violation(Violation::Kind::DepthExceeded,
                     "path exceeded the exploration depth bound");
       return false;
@@ -389,7 +397,7 @@ ExploreResult replay(Node* root, const ExploreOptions& opts) {
   if (result.min_steps_to_termination == ~0ull) {
     result.min_steps_to_termination = 0;
   }
-  result.finals = finals.take();
+  result.final_ids = finals.take();
   result.exhaustive = !limits_hit && stack.empty();
   return result;
 }
@@ -403,11 +411,14 @@ ExploreResult explore_parallel(const ptx::Program& prg,
   unsigned n = opts.num_threads;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
 
-  GraphBuilder builder(prg, kc, opts, n);
+  auto store = std::make_shared<StateStore>();
+  GraphBuilder builder(prg, kc, opts, *store, n);
   // A null root means even the initial state was over the cap
   // (max_states == 0); replay's enter(nullptr) turns that into the
   // same empty, non-exhaustive result the serial engine reports.
-  return replay(builder.build(initial), opts);
+  ExploreResult result = replay(builder.build(initial), opts);
+  result.store = std::move(store);
+  return result;
 }
 
 }  // namespace cac::sched

@@ -1,0 +1,245 @@
+#include "sched/state_store.h"
+
+#include <utility>
+
+#include "support/diag.h"
+
+namespace cac::sched {
+
+namespace {
+
+constexpr std::uint32_t kFragShardMask = 0xf;   // matches kFragShardBits
+constexpr std::uint32_t kStateShardMask = 0x3f;  // matches kStateShardBits
+
+/// Heap footprint estimate of one warp fragment: the divergence tree
+/// plus each thread's register/predicate maps (std::map nodes estimated
+/// at red-black-node granularity).  Used for the resident-vs-full-copy
+/// accounting only — never for dedup decisions.
+std::uint64_t warp_deep_bytes(const sem::Warp& w) {
+  std::uint64_t n = sizeof(sem::Warp);
+  if (w.divergent()) {
+    return n + warp_deep_bytes(w.left()) + warp_deep_bytes(w.right());
+  }
+  constexpr std::uint64_t kMapNode = 48;  // ptr x3 + color + key/value
+  n += w.threads().capacity() * sizeof(sem::Thread);
+  for (const sem::Thread& t : w.threads()) {
+    n += (t.rho.written_count() + t.phi.written_count()) * kMapNode;
+  }
+  return n;
+}
+
+std::uint64_t warp_hash(const sem::Warp& w) {
+  Hasher h;
+  w.mix_hash(h);
+  return h.value();
+}
+
+}  // namespace
+
+StateStore::Frag StateStore::WarpPool::intern(const sem::Warp& w,
+                                              std::uint64_t mask) {
+  const std::uint64_t h = warp_hash(w) & mask;
+  const std::uint32_t shard_no = static_cast<std::uint32_t>(h) & kFragShardMask;
+  const std::uint64_t deep = warp_deep_bytes(w);
+  Shard& s = shards[shard_no];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& bucket = s.index[h];
+  for (const std::uint32_t local : bucket) {
+    if (s.items[local] == w) {
+      return {(local << kFragShardBits) | shard_no, deep, false};
+    }
+  }
+  const auto local = static_cast<std::uint32_t>(s.items.size());
+  s.items.push_back(w);  // deep copy: the pool owns its fragment
+  bucket.push_back(local);
+  return {(local << kFragShardBits) | shard_no, deep, true};
+}
+
+const sem::Warp* StateStore::WarpPool::get(std::uint32_t id) const {
+  const Shard& s = shards[id & kFragShardMask];
+  std::lock_guard<std::mutex> lock(s.mu);
+  // The deque's elements are address-stable, but its bookkeeping is not
+  // safe to traverse concurrently with a push — fetch the pointer under
+  // the lock, read the immutable payload outside it.
+  return &s.items[id >> kFragShardBits];
+}
+
+StateStore::Frag StateStore::BankPool::intern(const mem::Memory::BankRef& b,
+                                              std::uint64_t mask) {
+  const std::uint64_t h = b->hash() & mask;  // memoized, thread-safe
+  const std::uint32_t shard_no = static_cast<std::uint32_t>(h) & kFragShardMask;
+  const std::uint64_t deep = b->deep_bytes();
+  Shard& s = shards[shard_no];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& bucket = s.index[h];
+  for (const std::uint32_t local : bucket) {
+    const mem::Memory::BankRef& cand = s.items[local];
+    if (cand == b || *cand == *b) {
+      return {(local << kFragShardBits) | shard_no, deep, false};
+    }
+  }
+  const auto local = static_cast<std::uint32_t>(s.items.size());
+  s.items.push_back(b);  // shared_ptr copy — the bytes are shared
+  bucket.push_back(local);
+  return {(local << kFragShardBits) | shard_no, deep, true};
+}
+
+mem::Memory::BankRef StateStore::BankPool::get(std::uint32_t id) const {
+  const Shard& s = shards[id & kFragShardMask];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.items[id >> kFragShardBits];
+}
+
+void StateStore::ensure_shape(const sem::Machine& m) {
+  std::call_once(shape_once_, [&] {
+    std::uint32_t warps = 0;
+    shape_.warps_per_block.reserve(m.grid.blocks.size());
+    for (const sem::Block& b : m.grid.blocks) {
+      shape_.warps_per_block.push_back(
+          static_cast<std::uint32_t>(b.warps.size()));
+      warps += static_cast<std::uint32_t>(b.warps.size());
+    }
+    shape_.shared_banks =
+        static_cast<std::uint32_t>(m.memory.shared_bank_refs().size());
+    shape_.shared_per_block = m.memory.shared_size();
+    shape_.tuple_len = warps + shape_.shared_banks + 3;
+  });
+}
+
+StateStore::InternResult StateStore::intern(const sem::Machine& m,
+                                            std::uint64_t max_states) {
+  ensure_shape(m);
+
+  // Intern every fragment first (pool shard locks, taken one at a
+  // time), then register the id tuple under the state shard lock.
+  std::vector<std::uint32_t> tuple;
+  tuple.reserve(shape_.tuple_len);
+  std::uint64_t fresh_bytes = 0;  // newly resident in the pools
+  std::uint64_t full_bytes = sizeof(sem::Machine);  // hypothetical copy
+  std::uint64_t fresh_warps = 0;
+  std::uint64_t fresh_banks = 0;
+
+  for (const sem::Block& b : m.grid.blocks) {
+    for (const sem::Warp& w : b.warps) {
+      const Frag f = warps_.intern(w, hash_mask_);
+      tuple.push_back(f.id);
+      full_bytes += f.deep_bytes;
+      if (f.inserted) {
+        fresh_bytes += f.deep_bytes;
+        ++fresh_warps;
+      }
+    }
+  }
+  const auto intern_bank = [&](const mem::Memory::BankRef& b) {
+    const Frag f = banks_.intern(b, hash_mask_);
+    tuple.push_back(f.id);
+    full_bytes += f.deep_bytes;
+    if (f.inserted) {
+      fresh_bytes += f.deep_bytes;
+      ++fresh_banks;
+    }
+  };
+  for (const mem::Memory::BankRef& b : m.memory.shared_bank_refs()) {
+    intern_bank(b);
+  }
+  intern_bank(m.memory.bank_ref(mem::Space::Global));
+  intern_bank(m.memory.bank_ref(mem::Space::Const));
+  intern_bank(m.memory.bank_ref(mem::Space::Param));
+
+  const std::uint64_t h = m.hash();
+  const std::uint64_t masked = h & hash_mask_;
+  const std::uint32_t shard_no =
+      static_cast<std::uint32_t>(masked) & kStateShardMask;
+  StateShard& s = state_shards_[shard_no];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& bucket = s.index[masked];
+  for (const std::uint32_t local : bucket) {
+    const StateRec& rec = s.recs[local];
+    // Tuple equality is the decider: fragments are interned, so equal
+    // tuples <=> structurally equal machines.  The hash compare is only
+    // a fast path (equal machines always hash equal).
+    if (rec.hash == h && rec.tuple == tuple) {
+      return {StateId{(local << kStateShardBits) | shard_no}, false};
+    }
+  }
+  // Existence before cap, matching both explorers: a known state is
+  // found even when the store is at capacity.
+  if (n_states_.load(std::memory_order_relaxed) >= max_states) {
+    return {StateId{}, false};
+  }
+  const auto local = static_cast<std::uint32_t>(s.recs.size());
+  const std::uint64_t tuple_bytes =
+      sizeof(StateRec) + tuple.size() * sizeof(std::uint32_t);
+  s.recs.push_back(StateRec{h, std::move(tuple)});
+  bucket.push_back(local);
+  n_states_.fetch_add(1, std::memory_order_relaxed);
+  n_warp_frags_.fetch_add(fresh_warps, std::memory_order_relaxed);
+  n_bank_frags_.fetch_add(fresh_banks, std::memory_order_relaxed);
+  resident_bytes_.fetch_add(fresh_bytes + tuple_bytes,
+                            std::memory_order_relaxed);
+  materialized_bytes_.fetch_add(full_bytes, std::memory_order_relaxed);
+  return {StateId{(local << kStateShardBits) | shard_no}, true};
+}
+
+sem::Machine StateStore::materialize(StateId id) const {
+  if (!id.valid()) throw KernelError("materialize: invalid StateId");
+  const std::uint32_t shard_no = id.v & kStateShardMask;
+  const std::uint32_t local = id.v >> kStateShardBits;
+  const StateShard& s = state_shards_[shard_no];
+  std::vector<std::uint32_t> tuple;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (local >= s.recs.size()) {
+      throw KernelError("materialize: unknown StateId");
+    }
+    tuple = s.recs[local].tuple;
+  }
+
+  sem::Machine m;
+  std::size_t k = 0;
+  m.grid.blocks.resize(shape_.warps_per_block.size());
+  for (std::size_t b = 0; b < shape_.warps_per_block.size(); ++b) {
+    std::vector<sem::Warp>& warps = m.grid.blocks[b].warps;
+    warps.reserve(shape_.warps_per_block[b]);
+    for (std::uint32_t i = 0; i < shape_.warps_per_block[b]; ++i) {
+      warps.push_back(*warps_.get(tuple[k++]));  // deep copy
+    }
+  }
+  std::vector<mem::Memory::BankRef> shared;
+  shared.reserve(shape_.shared_banks);
+  for (std::uint32_t i = 0; i < shape_.shared_banks; ++i) {
+    shared.push_back(banks_.get(tuple[k++]));
+  }
+  mem::Memory::BankRef global = banks_.get(tuple[k++]);
+  mem::Memory::BankRef constant = banks_.get(tuple[k++]);
+  mem::Memory::BankRef param = banks_.get(tuple[k]);
+  m.memory =
+      mem::Memory::from_banks(std::move(global), std::move(constant),
+                              std::move(shared), std::move(param),
+                              shape_.shared_per_block);
+  return m;
+}
+
+std::uint64_t StateStore::machine_hash(StateId id) const {
+  if (!id.valid()) throw KernelError("machine_hash: invalid StateId");
+  const StateShard& s = state_shards_[id.v & kStateShardMask];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const std::uint32_t local = id.v >> kStateShardBits;
+  if (local >= s.recs.size()) {
+    throw KernelError("machine_hash: unknown StateId");
+  }
+  return s.recs[local].hash;
+}
+
+StateStore::Stats StateStore::stats() const {
+  Stats st;
+  st.states = n_states_.load(std::memory_order_relaxed);
+  st.warp_fragments = n_warp_frags_.load(std::memory_order_relaxed);
+  st.bank_fragments = n_bank_frags_.load(std::memory_order_relaxed);
+  st.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  st.materialized_bytes =
+      materialized_bytes_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace cac::sched

@@ -1,0 +1,192 @@
+// Interned, copy-on-write storage for explored machine states.
+//
+// The explorers realize the paper's "for every scheduler" quantification
+// (Fig. 3) by memoizing every distinct reachable state.  Storing full
+// sem::Machine copies makes resident bytes per state the scaling wall:
+// two adjacent states differ in one warp and at most one memory bank,
+// yet value storage duplicates everything.  This module is the standard
+// explicit-state model-checking answer (SPIN's collapse compression,
+// shared-state representations in GPU checkers): decompose a state into
+// content-addressed *fragments* —
+//
+//   * one fragment per memory bank (Global, Const, Param, and each
+//     block's Shared bank), shared by refcount with the copy-on-write
+//     mem::Memory representation, so interning a bank is a shared_ptr
+//     copy, never a byte copy;
+//   * one fragment per warp (the divergence tree with its threads'
+//     register files and predicate states — the scheduler-visible
+//     execution tree);
+//
+// deduplicate each fragment by structural hash with full structural
+// equality as the tie-breaker (a hash collision can cost time, never
+// merge distinct fragments), and represent a whole state as a small
+// tuple of fragment ids.  Whole-state dedup then reduces to comparing
+// id tuples: fragments are interned, so equal machines produce equal
+// tuples and vice versa.
+//
+// Thread safety: intern() and materialize() are safe to call
+// concurrently (the parallel explorer's workers do).  Fragment pools
+// and the state table are sharded by hash, each shard behind its own
+// mutex; fragment payloads are immutable once inserted, and bank hash
+// caches use the SharedHashCache atomic discipline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sem/state.h"
+
+namespace cac::sched {
+
+/// Opaque handle to an interned machine state.  Valid for the lifetime
+/// of the StateStore that issued it.
+struct StateId {
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t v = kInvalid;
+
+  [[nodiscard]] bool valid() const { return v != kInvalid; }
+  friend bool operator==(const StateId&, const StateId&) = default;
+};
+
+class StateStore {
+ public:
+  StateStore() = default;
+  /// Test seam: `hash_mask` is ANDed onto every fragment and state hash
+  /// before bucket indexing.  A mask of 0 forces every entry into one
+  /// bucket, so dedup decisions rest on structural equality alone —
+  /// the collision-robustness property the tests pin.
+  explicit StateStore(std::uint64_t hash_mask) : hash_mask_(hash_mask) {}
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  struct InternResult {
+    StateId id;             // invalid iff dropped at `max_states`
+    bool inserted = false;  // true iff `m` was not present before
+  };
+
+  /// Find the state structurally equal to `m`, or intern it.  Dedup is
+  /// exact: hash-equal candidates are confirmed by fragment-id tuple
+  /// equality, which (fragments being interned) is machine structural
+  /// equality.  When the state is new and the store already holds
+  /// `max_states` states, nothing is stored and an invalid id returns.
+  InternResult intern(const sem::Machine& m,
+                      std::uint64_t max_states = ~0ull);
+
+  /// Rebuild a full machine from its handle — for replay, verdict
+  /// construction, counterexample traces.  Memory banks are shared by
+  /// refcount with the store (copy-on-write on mutation); warps are
+  /// deep copies.  The result compares structurally equal to the
+  /// machine that was interned.
+  [[nodiscard]] sem::Machine materialize(StateId id) const;
+
+  /// The memoized structural hash the machine had when interned.
+  [[nodiscard]] std::uint64_t machine_hash(StateId id) const;
+
+  [[nodiscard]] std::uint64_t size() const {
+    return n_states_.load(std::memory_order_relaxed);
+  }
+
+  /// Byte/dedup accounting.  `resident_bytes` is what the store
+  /// actually holds (distinct fragments + per-state id tuples);
+  /// `materialized_bytes` is what the same visited set would cost as
+  /// full per-state sem::Machine copies (the pre-StateStore explorer
+  /// representation).  Heap overheads are estimated, not measured.
+  struct Stats {
+    std::uint64_t states = 0;
+    std::uint64_t warp_fragments = 0;
+    std::uint64_t bank_fragments = 0;
+    std::uint64_t resident_bytes = 0;
+    std::uint64_t materialized_bytes = 0;
+
+    [[nodiscard]] double dedup_ratio() const {
+      return resident_bytes == 0
+                 ? 0.0
+                 : static_cast<double>(materialized_bytes) /
+                       static_cast<double>(resident_bytes);
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  // Fragment/state ids encode (shard, local index): shard in the low
+  // bits, per-shard insertion index above.  Stable across the store's
+  // lifetime; never reused.
+  static constexpr unsigned kFragShardBits = 4;   // 16 fragment shards
+  static constexpr unsigned kStateShardBits = 6;  // 64 state shards
+
+  /// Result of one fragment-pool intern.
+  struct Frag {
+    std::uint32_t id = 0;
+    std::uint64_t deep_bytes = 0;  // heap footprint of the fragment
+    bool inserted = false;
+  };
+
+  struct WarpPool {
+    struct Shard {
+      mutable std::mutex mu;
+      std::deque<sem::Warp> items;  // stable addresses
+      std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+    };
+    Shard shards[1u << kFragShardBits];
+
+    /// Interns a deep copy when the warp is new.
+    Frag intern(const sem::Warp& w, std::uint64_t mask);
+    [[nodiscard]] const sem::Warp* get(std::uint32_t id) const;
+  };
+
+  struct BankPool {
+    struct Shard {
+      mutable std::mutex mu;
+      std::deque<mem::Memory::BankRef> items;
+      std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+    };
+    Shard shards[1u << kFragShardBits];
+
+    /// Interning a bank copies a shared_ptr, never bytes.
+    Frag intern(const mem::Memory::BankRef& b, std::uint64_t mask);
+    [[nodiscard]] mem::Memory::BankRef get(std::uint32_t id) const;
+  };
+
+  struct StateRec {
+    std::uint64_t hash = 0;             // unmasked machine hash
+    std::vector<std::uint32_t> tuple;   // warp ids, shared banks, G/C/P
+  };
+  struct StateShard {
+    mutable std::mutex mu;
+    std::deque<StateRec> recs;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+  };
+
+  /// Grid/memory shape shared by every state of one exploration
+  /// (warp counts per block never change across transitions).
+  struct Shape {
+    std::vector<std::uint32_t> warps_per_block;
+    std::uint32_t shared_banks = 0;
+    std::uint64_t shared_per_block = 0;
+    std::uint32_t tuple_len = 0;
+  };
+
+  void ensure_shape(const sem::Machine& m);
+
+  const std::uint64_t hash_mask_ = ~0ull;
+
+  std::once_flag shape_once_;
+  Shape shape_;
+
+  WarpPool warps_;
+  BankPool banks_;
+  StateShard state_shards_[1u << kStateShardBits];
+
+  std::atomic<std::uint64_t> n_states_{0};
+  std::atomic<std::uint64_t> n_warp_frags_{0};
+  std::atomic<std::uint64_t> n_bank_frags_{0};
+  std::atomic<std::uint64_t> resident_bytes_{0};
+  std::atomic<std::uint64_t> materialized_bytes_{0};
+};
+
+}  // namespace cac::sched

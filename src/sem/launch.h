@@ -7,7 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ptx/program.h"
 #include "sem/state.h"
@@ -42,5 +45,51 @@ class Launch {
   KernelConfig kc_;
   mem::Memory memory_;
 };
+
+/// Malformed launch flag or value.  Front ends report these at the
+/// usage exit status.
+class LaunchArgError : public std::runtime_error {
+ public:
+  static constexpr int kExitStatus = 2;
+  using std::runtime_error::runtime_error;
+};
+
+/// The complete launch-configuration surface shared by every front end
+/// (cacval, the benches, examples): grid geometry, state-space sizes,
+/// kernel arguments and Global initializers.  This is the value that
+/// used to live as ad-hoc fields in each tool's option struct.
+struct LaunchSpec {
+  Dim3 grid{1, 1, 1};
+  Dim3 block{32, 1, 1};
+  std::uint32_t warp_size = 32;
+  std::uint64_t global_bytes = 4096;
+  std::uint64_t shared_bytes = 4096;  // per-block Shared bank size
+  std::vector<std::pair<std::string, std::uint64_t>> params;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> inits;  // Global
+
+  [[nodiscard]] KernelConfig to_config() const {
+    return KernelConfig{grid, block, warp_size};
+  }
+
+  /// Build the ready-to-run Launch: derives Param size and the Shared
+  /// bank count from the program/config, applies params and inits.
+  /// `min_shared_bytes` lets a front end honor a module's declared
+  /// shared layout (the bank is at least that large).
+  [[nodiscard]] Launch to_launch(const ptx::Program& prg,
+                                 std::uint64_t min_shared_bytes = 0) const;
+};
+
+/// Consume the standard launch flags from `args`:
+///
+///   --grid X[,Y[,Z]]  --block X[,Y[,Z]]  --warp N
+///   --global BYTES    --shared BYTES
+///   --param NAME=VAL  --init ADDR=U32      (both repeatable)
+///
+/// Recognized flags update `spec`; everything else is returned in
+/// order for the caller's own second pass.  Numbers accept 0x/0
+/// prefixes; trailing junk, negatives, and missing '='/values throw
+/// LaunchArgError.
+std::vector<std::string> parse_launch_args(
+    const std::vector<std::string>& args, LaunchSpec& spec);
 
 }  // namespace cac::sem

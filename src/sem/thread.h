@@ -37,6 +37,7 @@ class PredState {
  public:
   [[nodiscard]] bool read(const ptx::Pred& p) const;
   void write(const ptx::Pred& p, bool value);
+  [[nodiscard]] std::size_t written_count() const { return values_.size(); }
 
   friend bool operator==(const PredState&, const PredState&) = default;
   void mix_hash(Hasher& h) const;

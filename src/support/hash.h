@@ -7,6 +7,7 @@
 // agree across modules.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -103,6 +104,40 @@ class HashCache {
  private:
   mutable std::uint64_t value_ = 0;
   mutable bool valid_ = false;
+};
+
+/// Memoization slot for the structural hash of an object that may be
+/// *shared between threads* once it becomes immutable — the refcounted
+/// copy-on-write memory banks (mem::Memory::Bank).  Unlike HashCache,
+/// racing get_or calls are allowed: the hash is a pure function of the
+/// immutable content, so concurrent fillers compute the same value and
+/// the release/acquire pair makes whichever store wins visible.
+/// Copies start empty: a bank is only ever copied to be mutated
+/// (copy-on-write), so carrying the cache over would just go stale.
+class SharedHashCache {
+ public:
+  SharedHashCache() = default;
+  SharedHashCache(const SharedHashCache&) {}
+  SharedHashCache& operator=(const SharedHashCache&) { return *this; }
+
+  template <typename Fn>
+  std::uint64_t get_or(Fn&& compute) const {
+    if (valid_.load(std::memory_order_acquire)) {
+      return value_.load(std::memory_order_relaxed);
+    }
+    const std::uint64_t v = compute();
+    value_.store(v, std::memory_order_relaxed);
+    valid_.store(true, std::memory_order_release);
+    return v;
+  }
+  /// Only legal while the owner is still uniquely owned (pre-sharing).
+  void invalidate() const {
+    valid_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> value_{0};
+  mutable std::atomic<bool> valid_{false};
 };
 
 }  // namespace cac

@@ -50,7 +50,7 @@ std::set<std::pair<std::uint64_t, std::uint64_t>> outcomes(
   if (all_finals_ok) *all_finals_ok = true;
 
   std::set<std::pair<std::uint64_t, std::uint64_t>> out;
-  for (const sem::Machine& m : r.finals) {
+  for (const sem::Machine& m : r.finals()) {
     for (const sem::Block& b : m.grid.blocks) {
       for (const sem::Warp& w : b.warps) {
         for (const sem::Thread& t : w.threads()) {
@@ -122,7 +122,7 @@ TEST(Litmus, StoreBufferingIsSCInTheModel) {
       sched::explore(sb_program(), kc, launch.machine(), {});
   ASSERT_TRUE(r.exhaustive);
   std::set<std::pair<std::uint64_t, std::uint64_t>> got;
-  for (const sem::Machine& m : r.finals) {
+  for (const sem::Machine& m : r.finals()) {
     std::uint64_t v[2] = {};
     for (const sem::Block& b : m.grid.blocks) {
       for (const sem::Warp& w : b.warps) {

@@ -46,6 +46,7 @@ TEST_P(ExplorePropertyTest, FinalsCoverEveryScheduler) {
   EXPECT_TRUE(full.schedule_independent());
 
   // Deterministic and random schedules land in the explored finals.
+  const std::vector<sem::Machine> full_finals = full.finals();
   for (int variant = 0; variant < 3; ++variant) {
     sem::Machine m = initial;
     FirstChoiceScheduler fc;
@@ -53,8 +54,8 @@ TEST_P(ExplorePropertyTest, FinalsCoverEveryScheduler) {
     Scheduler& s = variant == 0 ? static_cast<Scheduler&>(fc)
                                 : static_cast<Scheduler&>(rnd);
     ASSERT_TRUE(run(prg, kc, m, s).terminated());
-    EXPECT_NE(std::find(full.finals.begin(), full.finals.end(), m),
-              full.finals.end());
+    EXPECT_NE(std::find(full_finals.begin(), full_finals.end(), m),
+              full_finals.end());
   }
 
   // POR agrees on the final-state set.
@@ -68,7 +69,7 @@ TEST_P(ExplorePropertyTest, FinalsCoverEveryScheduler) {
     std::sort(h.begin(), h.end());
     return h;
   };
-  EXPECT_EQ(hashes(full.finals), hashes(reduced.finals));
+  EXPECT_EQ(hashes(full.finals()), hashes(reduced.finals()));
   EXPECT_LE(reduced.states_visited, full.states_visited);
 }
 
@@ -95,18 +96,19 @@ TEST_P(ExplorePropertyTest, CollidingStoresStillCovered) {
   const ExploreResult full = explore(prg, kc, initial, {});
   ASSERT_TRUE(full.exhaustive);
   ASSERT_TRUE(full.all_schedules_terminate());
+  const std::vector<sem::Machine> full_finals = full.finals();
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     sem::Machine m = initial;
     RandomScheduler s(seed);
     ASSERT_TRUE(run(prg, kc, m, s).terminated());
-    EXPECT_NE(std::find(full.finals.begin(), full.finals.end(), m),
-              full.finals.end());
+    EXPECT_NE(std::find(full_finals.begin(), full_finals.end(), m),
+              full_finals.end());
   }
 
   ExploreOptions por;
   por.partial_order_reduction = true;
   const ExploreResult reduced = explore(prg, kc, initial, por);
-  EXPECT_EQ(full.finals.size(), reduced.finals.size());
+  EXPECT_EQ(full.final_ids.size(), reduced.final_ids.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExplorePropertyTest,

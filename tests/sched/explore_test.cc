@@ -127,7 +127,7 @@ TEST(Explore, RacyProgramHasMultipleFinals) {
   EXPECT_TRUE(r.exhaustive);
   EXPECT_TRUE(r.all_schedules_terminate());
   EXPECT_FALSE(r.schedule_independent());
-  EXPECT_EQ(r.finals.size(), 2u);
+  EXPECT_EQ(r.final_ids.size(), 2u);
 }
 
 }  // namespace

@@ -28,9 +28,11 @@ void expect_identical(const ExploreResult& a, const ExploreResult& b,
   EXPECT_EQ(a.transitions, b.transitions);
   EXPECT_EQ(a.min_steps_to_termination, b.min_steps_to_termination);
   EXPECT_EQ(a.max_steps_to_termination, b.max_steps_to_termination);
-  ASSERT_EQ(a.finals.size(), b.finals.size());
-  for (std::size_t i = 0; i < a.finals.size(); ++i) {
-    EXPECT_EQ(a.finals[i], b.finals[i]) << "finals[" << i << "]";
+  ASSERT_EQ(a.final_ids.size(), b.final_ids.size());
+  const std::vector<sem::Machine> af = a.finals();
+  const std::vector<sem::Machine> bf = b.finals();
+  for (std::size_t i = 0; i < af.size(); ++i) {
+    EXPECT_EQ(af[i], bf[i]) << "finals[" << i << "]";
   }
   ASSERT_EQ(a.violations.size(), b.violations.size());
   for (std::size_t i = 0; i < a.violations.size(); ++i) {
@@ -126,7 +128,7 @@ TEST(ParallelExplore, RacyStoreFinalsDifferBySchedule) {
   EXPECT_TRUE(r.exhaustive);
   EXPECT_TRUE(r.all_schedules_terminate());
   EXPECT_FALSE(r.schedule_independent());
-  EXPECT_EQ(r.finals.size(), 2u);
+  EXPECT_EQ(r.final_ids.size(), 2u);
 }
 
 TEST(ParallelExplore, StuckVerdictMatchesSerial) {

@@ -27,7 +27,7 @@ Outcome summarize(const ExploreResult& r) {
   for (const Violation& v : r.violations) {
     o.violation_kinds |= 1u << static_cast<unsigned>(v.kind);
   }
-  for (const sem::Machine& m : r.finals) {
+  for (const sem::Machine& m : r.finals()) {
     o.final_memory_hashes.insert(m.memory.hash());
   }
   return o;
@@ -94,7 +94,7 @@ TEST(PartialOrderReduction, RacyProgramKeepsBothFinals) {
   por.partial_order_reduction = true;
   const ExploreResult r = explore(prg, kc, init, por);
   EXPECT_TRUE(r.exhaustive);
-  EXPECT_EQ(r.finals.size(), 2u);
+  EXPECT_EQ(r.final_ids.size(), 2u);
   expect_por_equivalent(prg, kc, init, /*expect_reduction=*/false);
 }
 
@@ -120,7 +120,7 @@ TEST(PartialOrderReduction, NoBarrierRaceStillDetected) {
   por.partial_order_reduction = true;
   const ExploreResult r = explore(prg, kc, launch.machine(), por);
   EXPECT_TRUE(r.exhaustive);
-  EXPECT_GT(r.finals.size(), 1u);
+  EXPECT_GT(r.final_ids.size(), 1u);
   expect_por_equivalent(prg, kc, launch.machine());
 }
 

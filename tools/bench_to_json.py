@@ -12,7 +12,10 @@ flags), the per-benchmark timings and counters, and the git revision,
 so successive PRs accumulate a comparable perf trajectory in-repo.
 Derived convenience fields: for every BM_ExploreVectorSum instance the
 speedup over the matching serial (threads=0) instance with the same
-por/warps arguments is computed into `speedup_vs_serial`.
+por/warps arguments is computed into `speedup_vs_serial`; every
+BM_StateStoreFootprint instance's interning counters are summarized
+into a top-level `state_store` section, and the benchmark process's
+peak RSS is recorded as `peak_rss_bytes`.
 """
 
 from __future__ import annotations
@@ -22,6 +25,11 @@ import json
 import subprocess
 import sys
 from pathlib import Path
+
+try:
+    import resource
+except ImportError:  # non-POSIX: peak RSS is simply omitted
+    resource = None
 
 
 def git_revision(repo: Path) -> str:
@@ -34,18 +42,29 @@ def git_revision(repo: Path) -> str:
         return "unknown"
 
 
-def run_benchmark(binary: Path, extra_args: list[str]) -> dict:
+def run_benchmark(binary: Path, extra_args: list[str]) -> tuple[dict, int]:
+    """Run the binary; return (parsed JSON doc, peak RSS in bytes or 0)."""
     cmd = [str(binary), "--benchmark_format=json", *extra_args]
+    rss_before = 0
+    if resource is not None:
+        rss_before = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr)
         raise SystemExit(f"benchmark failed with exit code {proc.returncode}")
+    peak_rss = 0
+    if resource is not None:
+        # ru_maxrss is a high-water mark over all children; it is exact
+        # when this benchmark child outgrew every earlier one (the
+        # normal single-child case), else a conservative upper bound.
+        peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        peak_rss = max(peak, rss_before) * 1024  # ru_maxrss is in KiB on Linux
     # The binary may print a human banner before the JSON document.
     out = proc.stdout
     start = out.find("{")
     if start < 0:
         raise SystemExit("no JSON found in benchmark output")
-    return json.loads(out[start:])
+    return json.loads(out[start:]), peak_rss
 
 
 def add_speedups(benchmarks: list[dict]) -> None:
@@ -58,6 +77,23 @@ def add_speedups(benchmarks: list[dict]) -> None:
         base = serial.get((b.get("por"), b.get("warps")))
         if base and b.get("threads", 0) > 0 and b.get("real_time"):
             b["speedup_vs_serial"] = round(base / b["real_time"], 3)
+
+
+def store_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize BM_StateStoreFootprint instances: the interned store's
+    resident bytes per visited state vs full per-state machine copies."""
+    out = []
+    for b in benchmarks:
+        if not b.get("name", "").startswith("BM_StateStoreFootprint"):
+            continue
+        entry = {"name": b["name"]}
+        for k in ("threads", "states", "warp_fragments", "bank_fragments",
+                  "resident_bytes_per_state", "machine_bytes_per_state",
+                  "dedup_ratio"):
+            if k in b:
+                entry[k] = b[k]
+        out.append(entry)
+    return out
 
 
 def main() -> None:
@@ -80,7 +116,7 @@ def main() -> None:
     extra = list(args.bench_args)
     if args.filter:
         extra.append(f"--benchmark_filter={args.filter}")
-    doc = run_benchmark(binary, extra)
+    doc, peak_rss = run_benchmark(binary, extra)
 
     repo = Path(__file__).resolve().parent.parent
     benchmarks = []
@@ -101,8 +137,12 @@ def main() -> None:
         "binary": binary.name,
         "git_revision": git_revision(repo),
         "context": doc.get("context", {}),
+        "peak_rss_bytes": peak_rss,
         "benchmarks": benchmarks,
     }
+    stores = store_summary(benchmarks)
+    if stores:
+        snapshot["state_store"] = stores
     out = Path(args.out)
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {out} ({len(benchmarks)} benchmarks, "

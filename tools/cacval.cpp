@@ -4,7 +4,7 @@
 //   cacval emit   FILE.ptx [--kernel K]
 //   cacval run    FILE.ptx [launch options] [--profile]
 //   cacval check  FILE.ptx [launch options] [--expect ADDR=U32]...
-//                 [--independent] [--exact-steps N] [--por]
+//                 [--independent] [--exact-steps N] [--por] [--threads N]
 //   cacval validate FILE.ptx [launch options] [--expect ADDR=U32]...
 //                 [--profile]   (profile + races + model check +
 //                                transparency + lane-order, one report)
@@ -23,7 +23,9 @@
 //   --param NAME=VAL    kernel argument (repeatable; VAL may be 0x..)
 //   --init ADDR=U32     initialize a Global word (repeatable)
 //   --sched S           first | rr | random:SEED   (default first)
-//   --max-steps N       step bound (default 1<<20)
+//   --max-steps N       step/depth bound (default 1<<20)
+//   --max-states N      distinct-state bound for check/validate
+//   --threads N         parallel exploration workers (0 = serial)
 //
 // Exit status: 0 on success/proof, 1 on refutation/fault/deadlock,
 // 2 on usage or input errors.
@@ -42,6 +44,7 @@
 #include "vcgen/prove.h"
 #include "ptx/emit.h"
 #include "ptx/lower.h"
+#include "sched/explore.h"
 #include "sched/scheduler.h"
 #include "sem/launch.h"
 
@@ -55,21 +58,23 @@ struct Options {
   std::string file_b;   // equiv only
   std::string kernel;
   std::string kernel_b;
-  sem::Dim3 grid{1, 1, 1};
-  sem::Dim3 block{32, 1, 1};
-  std::uint32_t warp = 32;
-  std::uint64_t global_bytes = 4096;
-  std::uint64_t shared_bytes = 4096;
-  std::vector<std::pair<std::string, std::uint64_t>> params;
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> inits;
+  /// The shared launch-configuration surface (sem/launch.h); the
+  /// --grid/--block/--warp/--global/--shared/--param/--init flags land
+  /// here via sem::parse_launch_args.
+  sem::LaunchSpec launch;
+  /// Single source of truth for every exploration limit: --max-steps
+  /// is ExploreOptions.max_depth, --max-states is .max_states,
+  /// --threads is .num_threads, --por is .partial_order_reduction.
+  /// cmd_run/cmd_races reuse max_depth as their step bound.
+  sched::ExploreOptions explore;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> expects;
   std::string sched = "first";
-  std::uint64_t max_steps = 1u << 20;
   std::uint64_t exact_steps = 0;
   bool independent = false;
-  bool por = false;
   bool profile = false;
   bool insert_syncs = true;
+
+  Options() { explore.max_depth = 1u << 20; }
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -80,17 +85,6 @@ struct Options {
 
 std::uint64_t parse_u64(const std::string& s) {
   return std::stoull(s, nullptr, 0);
-}
-
-sem::Dim3 parse_dim3(const std::string& s) {
-  sem::Dim3 d{1, 1, 1};
-  std::stringstream ss(s);
-  std::string piece;
-  std::uint32_t* slots[3] = {&d.x, &d.y, &d.z};
-  for (int i = 0; i < 3 && std::getline(ss, piece, ','); ++i) {
-    *slots[i] = static_cast<std::uint32_t>(parse_u64(piece));
-  }
-  return d;
 }
 
 std::pair<std::string, std::string> split_eq(const std::string& s) {
@@ -110,35 +104,38 @@ Options parse_args(int argc, char** argv) {
     o.file_b = argv[3];
     first_flag = 4;
   }
-  for (int i = first_flag; i < argc; ++i) {
-    const std::string a = argv[i];
+  // Launch-configuration flags are parsed by the shared library
+  // routine; everything it does not recognize comes back for the
+  // tool-specific second pass.
+  std::vector<std::string> args(argv + first_flag, argv + argc);
+  std::vector<std::string> rest;
+  try {
+    rest = sem::parse_launch_args(args, o.launch);
+  } catch (const sem::LaunchArgError& e) {
+    usage(e.what());
+  }
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
     auto next = [&]() -> std::string {
-      if (++i >= argc) usage(("missing value for " + a).c_str());
-      return argv[i];
+      if (++i >= rest.size()) usage(("missing value for " + a).c_str());
+      return rest[i];
     };
     if (a == "--kernel") o.kernel = next();
     else if (a == "--kernel-b") o.kernel_b = next();
-    else if (a == "--grid") o.grid = parse_dim3(next());
-    else if (a == "--block") o.block = parse_dim3(next());
-    else if (a == "--warp") o.warp = static_cast<std::uint32_t>(parse_u64(next()));
-    else if (a == "--global") o.global_bytes = parse_u64(next());
-    else if (a == "--shared") o.shared_bytes = parse_u64(next());
-    else if (a == "--param") {
-      const auto [k, v] = split_eq(next());
-      o.params.emplace_back(k, parse_u64(v));
-    } else if (a == "--init") {
-      const auto [k, v] = split_eq(next());
-      o.inits.emplace_back(parse_u64(k),
-                           static_cast<std::uint32_t>(parse_u64(v)));
-    } else if (a == "--expect") {
+    else if (a == "--expect") {
       const auto [k, v] = split_eq(next());
       o.expects.emplace_back(parse_u64(k),
                              static_cast<std::uint32_t>(parse_u64(v)));
     } else if (a == "--sched") o.sched = next();
-    else if (a == "--max-steps") o.max_steps = parse_u64(next());
+    else if (a == "--max-steps") o.explore.max_depth = parse_u64(next());
+    else if (a == "--max-states") o.explore.max_states = parse_u64(next());
+    else if (a == "--threads") {
+      o.explore.num_threads =
+          static_cast<std::uint32_t>(parse_u64(next()));
+    }
     else if (a == "--exact-steps") o.exact_steps = parse_u64(next());
     else if (a == "--independent") o.independent = true;
-    else if (a == "--por") o.por = true;
+    else if (a == "--por") o.explore.partial_order_reduction = true;
     else if (a == "--profile") o.profile = true;
     else if (a == "--no-sync-insertion") o.insert_syncs = false;
     else usage(("unknown option " + a).c_str());
@@ -173,14 +170,7 @@ const ptx::Program& pick_kernel(const ptx::LoweredModule& mod,
 
 sem::Launch make_launch(const ptx::Program& prg, const Options& o,
                         const ptx::LoweredModule& mod) {
-  const sem::KernelConfig kc{o.grid, o.block, o.warp};
-  mem::MemSizes sizes;
-  sizes.global = o.global_bytes;
-  sizes.shared = std::max<std::uint64_t>(o.shared_bytes, mod.shared_bytes);
-  sem::Launch launch(prg, kc, sizes);
-  for (const auto& [name, value] : o.params) launch.param(name, value);
-  for (const auto& [addr, value] : o.inits) launch.global_u32(addr, value);
-  return launch;
+  return o.launch.to_launch(prg, mod.shared_bytes);
 }
 
 int cmd_dump(const Options& o, const ptx::LoweredModule& mod) {
@@ -210,7 +200,8 @@ int cmd_run(const Options& o, const ptx::LoweredModule& mod) {
 
   if (o.profile) {
     const check::Profile p =
-        check::profile_run(prg, launch.config(), m, *sched, o.max_steps);
+        check::profile_run(prg, launch.config(), m, *sched,
+                           o.explore.max_depth);
     std::printf("status: %s after %llu steps\n%s",
                 to_string(p.run.status).c_str(),
                 static_cast<unsigned long long>(p.run.steps),
@@ -220,7 +211,7 @@ int cmd_run(const Options& o, const ptx::LoweredModule& mod) {
   }
 
   const sched::RunResult r =
-      sched::run(prg, launch.config(), m, *sched, o.max_steps);
+      sched::run(prg, launch.config(), m, *sched, o.explore.max_depth);
   std::printf("status: %s after %llu grid steps\n",
               to_string(r.status).c_str(),
               static_cast<unsigned long long>(r.steps));
@@ -247,13 +238,21 @@ int cmd_check(const Options& o, const ptx::LoweredModule& mod) {
     post.mem_u32(mem::Space::Global, addr, value);
   }
   check::ModelCheckOptions opts;
-  opts.explore.max_depth = o.max_steps;
-  opts.explore.partial_order_reduction = o.por;
+  opts.explore = o.explore;
   opts.require_schedule_independence = o.independent;
   opts.expect_exact_steps = o.exact_steps;
   const check::Verdict v = check::prove_total(prg, launch.config(),
                                               launch.machine(), post, opts);
   std::printf("%s: %s\n", to_string(v.kind).c_str(), v.detail.c_str());
+  if (!v.exploration.exhaustive) {
+    std::printf("limit tripped: %s (max-states=%llu, max-depth=%llu; "
+                "visited %llu states)\n",
+                to_string(v.exploration.limit_hit).c_str(),
+                static_cast<unsigned long long>(o.explore.max_states),
+                static_cast<unsigned long long>(o.explore.max_depth),
+                static_cast<unsigned long long>(
+                    v.exploration.states_visited));
+  }
   if (!v.counterexample.empty()) {
     std::printf("counterexample schedule (%zu steps):",
                 v.counterexample.size());
@@ -274,14 +273,22 @@ int cmd_validate(const Options& o, const ptx::LoweredModule& mod) {
     post.mem_u32(mem::Space::Global, addr, value);
   }
   check::ValidateOptions opts;
-  opts.model.explore.max_depth = o.max_steps;
-  opts.model.explore.partial_order_reduction = o.por;
+  opts.model.explore = o.explore;
   opts.model.require_schedule_independence = o.independent;
   opts.model.expect_exact_steps = o.exact_steps;
   opts.collect_profile = o.profile;
   const check::ValidationReport report =
       check::validate(prg, launch.config(), launch.machine(), post, opts);
   std::printf("%s", report.text().c_str());
+  if (!report.model.exploration.exhaustive) {
+    std::printf("limit tripped: %s (max-states=%llu, max-depth=%llu; "
+                "visited %llu states)\n",
+                to_string(report.model.exploration.limit_hit).c_str(),
+                static_cast<unsigned long long>(o.explore.max_states),
+                static_cast<unsigned long long>(o.explore.max_depth),
+                static_cast<unsigned long long>(
+                    report.model.exploration.states_visited));
+  }
   return report.all_passed() ? 0 : 1;
 }
 
@@ -291,7 +298,7 @@ int cmd_races(const Options& o, const ptx::LoweredModule& mod) {
   sem::Machine m = launch.machine();
   auto sched = make_scheduler(o.sched);
   check::RaceOptions ropts;
-  ropts.max_steps = o.max_steps;
+  ropts.max_steps = o.explore.max_depth;
   const check::RaceReport r =
       check::detect_races(prg, launch.config(), m, *sched, ropts);
   std::printf("run: %s; %s\n", to_string(r.run.status).c_str(),
@@ -317,7 +324,7 @@ int cmd_equiv(const Options& o, const ptx::LoweredModule& mod_a) {
 
   sym::TermArena arena;
   const sym::SymEnv env = sym::SymEnv::symbolic(arena, a);
-  const sem::KernelConfig kc{o.grid, o.block, o.warp};
+  const sem::KernelConfig kc = o.launch.to_config();
   const vcgen::ProofResult r = vcgen::prove_equivalent(a, b, kc, env);
   std::printf("%s == %s: %s (%s)\n", a.name().c_str(), b.name().c_str(),
               r.proved ? "PROVED" : "REFUTED", r.detail.c_str());
