@@ -75,8 +75,9 @@ Verdict from_exploration(sched::ExploreResult&& ex, const Spec& post,
 Verdict prove_total(const ptx::Program& prg, const sem::KernelConfig& kc,
                     const sem::Machine& initial, const Spec& post,
                     const ModelCheckOptions& opts) {
-  return from_exploration(sched::explore(prg, kc, initial, opts.explore),
-                          post, opts);
+  return from_exploration(
+      sched::explore(prg, kc, initial, opts.explore, opts.resume), post,
+      opts);
 }
 
 Verdict prove_termination(const ptx::Program& prg,

@@ -38,6 +38,11 @@ struct ModelCheckOptions {
   /// If nonzero, require every terminating schedule to take exactly
   /// this many grid steps (the paper's n_apply bound).
   std::uint64_t expect_exact_steps = 0;
+  /// Resume exploration from a checkpoint (sched/checkpoint.h) written
+  /// by an earlier budget-stopped or interrupted run.  Not owned; must
+  /// outlive the call.  The resumed run must use the same program,
+  /// kernel configuration, and exploration policy.
+  const sched::Checkpoint* resume = nullptr;
 };
 
 struct Verdict {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "support/binio.h"
 #include "support/diag.h"
 
 namespace cac::mem {
@@ -35,6 +36,26 @@ std::uint64_t Memory::Bank::hash() const {
     h.mix_words(valid.data(), valid.size() * sizeof(std::uint64_t));
     return h.value();
   });
+}
+
+void Memory::Bank::encode(support::BinWriter& w) const {
+  w.u64(bytes.size());
+  w.bytes(bytes.data(), bytes.size());
+  w.bytes(valid.data(), valid.size() * sizeof(std::uint64_t));
+}
+
+Memory::Bank Memory::Bank::decode(support::BinReader& r) {
+  const std::uint64_t n = r.count();
+  Bank b(n);
+  r.bytes(b.bytes.data(), n);
+  r.bytes(b.valid.data(), b.valid.size() * sizeof(std::uint64_t));
+  // Re-check the zero-tail-bits invariant: operator== and hash()
+  // depend on it, so a violating bitmap would corrupt dedup.
+  if (n % 64 != 0 && !b.valid.empty() &&
+      (b.valid.back() >> (n % 64)) != 0) {
+    throw support::BinError("valid bitmap has nonzero tail bits");
+  }
+  return b;
 }
 
 Memory::Memory()

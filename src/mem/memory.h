@@ -37,6 +37,11 @@
 #include "ptx/dtype.h"
 #include "support/hash.h"
 
+namespace cac::support {
+class BinWriter;
+class BinReader;
+}  // namespace cac::support
+
 namespace cac::mem {
 
 using ptx::Space;
@@ -102,6 +107,12 @@ class Memory {
     friend bool operator==(const Bank& a, const Bank& b) {
       return a.bytes == b.bytes && a.valid == b.valid;
     }
+
+    /// Checkpoint codec (sched/checkpoint.h).  decode throws
+    /// support::BinError on malformed input (truncation, bitmap size
+    /// mismatch, nonzero tail bits in the last valid word).
+    void encode(support::BinWriter& w) const;
+    static Bank decode(support::BinReader& r);
 
    private:
     SharedHashCache hash_;  // excluded from operator== by construction

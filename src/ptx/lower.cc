@@ -32,6 +32,16 @@ bool is_type_piece(const std::string& p) {
   return w == "8" || w == "16" || w == "32" || w == "64";
 }
 
+/// dtype_from_suffix with the source position attached: a bad type
+/// suffix reports where it was written, not a bare message.
+DType typed_suffix(const std::string& suffix, SourceLoc loc) {
+  try {
+    return dtype_from_suffix(suffix);
+  } catch (const PtxError& e) {
+    throw PtxError(loc, e.what());
+  }
+}
+
 std::optional<Space> space_piece(const std::string& p) {
   if (p == "global") return Space::Global;
   if (p == "shared") return Space::Shared;
@@ -67,7 +77,7 @@ class RegEnv {
       pred_prefixes_.insert(d.prefix);
       return;
     }
-    const DType t = dtype_from_suffix(d.type_suffix);
+    const DType t = typed_suffix(d.type_suffix, d.loc);
     // BD registers are stored as UI of the same width: the model's reg
     // domain is {UI, SI} x N x N (paper Table I) and PTX b-typed
     // registers carry uninterpreted bits.
@@ -111,9 +121,16 @@ class RegEnv {
     }
     if (i == name.size()) return {name, 0};
     try {
-      return {name.substr(0, i),
-              static_cast<std::uint16_t>(std::stoul(name.substr(i)))};
+      const unsigned long idx = std::stoul(name.substr(i));
+      if (idx > 0xffff) {
+        throw PtxError(loc, "register index out of range '%" + name + "'");
+      }
+      return {name.substr(0, i), static_cast<std::uint16_t>(idx)};
+    } catch (const PtxError&) {
+      throw;
     } catch (const std::exception&) {
+      // stoul overflow/garbage: a diagnostic, never a crash or a
+      // silently truncated register index.
       throw PtxError(loc, "bad register name '%" + name + "'");
     }
   }
@@ -146,7 +163,7 @@ class KernelLowerer {
   void layout_params() {
     std::uint32_t offset = 0;
     for (const auto& p : kernel_.params) {
-      const DType t = dtype_from_suffix(p.type_suffix);
+      const DType t = typed_suffix(p.type_suffix, p.loc);
       const std::uint32_t align = t.bytes();
       offset = (offset + align - 1) & ~(align - 1);
       params_.push_back(ParamSlot{p.name, t, offset});
@@ -277,7 +294,7 @@ class KernelLowerer {
   static DType type_of(const std::vector<std::string>& pieces,
                        SourceLoc loc) {
     for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
-      if (is_type_piece(*it)) return dtype_from_suffix(*it);
+      if (is_type_piece(*it)) return typed_suffix(*it, loc);
     }
     throw PtxError(loc, "opcode has no type suffix");
   }
@@ -404,7 +421,7 @@ class KernelLowerer {
       if (pieces.size() < 3 || !is_type_piece(pieces[2])) {
         throw PtxError(ins.loc, "cvt needs destination and source types");
       }
-      push(IUop{UnOp::Cvt, dtype_from_suffix(pieces[2]), as_reg(ins.ops[0]),
+      push(IUop{UnOp::Cvt, typed_suffix(pieces[2], ins.loc), as_reg(ins.ops[0]),
                 as_value(ins.ops[1])});
       return;
     }
@@ -736,6 +753,9 @@ LoweredModule lower(const AstModule& m, const LowerOptions& opts) {
     const std::uint32_t align = std::max<std::uint32_t>(1, s.align);
     offset = (offset + align - 1) & ~(align - 1);
     out.shared_offsets[s.name] = offset;
+    if (s.bytes > 0xffffffffu - offset) {
+      throw PtxError("shared memory layout overflows at '" + s.name + "'");
+    }
     offset += s.bytes;
   }
   out.shared_bytes = offset;

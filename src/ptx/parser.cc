@@ -32,8 +32,7 @@ class Parser {
           while (eat_punct(',')) expect(TokKind::Ident);
         } else if (d == "address_size") {
           advance();
-          m.address_size =
-              static_cast<std::uint32_t>(expect(TokKind::Int).value);
+          m.address_size = to_u32(expect(TokKind::Int), "address size");
         } else if (d == "visible" || d == "entry" || d == "func") {
           m.kernels.push_back(parse_kernel());
         } else if (d == "shared") {
@@ -54,7 +53,13 @@ class Parser {
   }
 
  private:
-  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  // The lexer always terminates the stream with an End token; cur()
+  // and advance() saturate there, so no input — however malformed —
+  // can index past the token vector (a structured PtxError is the
+  // only way out of the parser, never undefined behavior).
+  [[nodiscard]] const Token& cur() const {
+    return pos_ < toks_.size() ? toks_[pos_] : toks_.back();
+  }
   [[nodiscard]] const Token& peek(std::size_t ahead = 1) const {
     const std::size_t i = pos_ + ahead;
     return i < toks_.size() ? toks_[i] : toks_.back();
@@ -62,7 +67,20 @@ class Parser {
   [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
   [[nodiscard]] bool at_punct(char c) const { return cur().is_punct(c); }
 
-  const Token& advance() { return toks_[pos_++]; }
+  const Token& advance() {
+    const Token& t = cur();
+    if (pos_ < toks_.size()) ++pos_;
+    return t;
+  }
+
+  /// Checked narrowing for counts and sizes that land in u32 fields —
+  /// an oversized literal is a diagnostic, not a silent truncation.
+  static std::uint32_t to_u32(const Token& t, const char* what) {
+    if (t.value < 0 || t.value > 0xffffffffll) {
+      throw PtxError(t.loc, std::string(what) + " out of range: " + t.text);
+    }
+    return static_cast<std::uint32_t>(t.value);
+  }
 
   const Token& expect(TokKind k) {
     if (!at(k)) {
@@ -109,17 +127,34 @@ class Parser {
     expect(TokKind::Directive);  // "shared"
     std::uint32_t elem_bytes = 1;
     while (at(TokKind::Directive)) {
-      const std::string t = advance().text;
+      const Token& tok = advance();
+      const std::string& t = tok.text;
       if (t == "align") {
-        d.align = static_cast<std::uint32_t>(expect(TokKind::Int).value);
+        d.align = to_u32(expect(TokKind::Int), "alignment");
       } else if (t.size() >= 2 && all_digits(t.substr(1))) {
-        elem_bytes = static_cast<std::uint32_t>(std::stoul(t.substr(1))) / 8;
+        // Element width from the type suffix, e.g. ".u32" -> 4 bytes.
+        // all_digits admits arbitrarily long digit runs, so parse with
+        // an explicit bound instead of letting stoul throw a loc-less
+        // out_of_range.
+        std::uint64_t bits = 0;
+        for (char c : t.substr(1)) {
+          bits = bits * 10 + static_cast<std::uint64_t>(c - '0');
+          if (bits > 1024) {
+            throw PtxError(tok.loc, "implausible type width ." + t);
+          }
+        }
+        elem_bytes = static_cast<std::uint32_t>(bits) / 8;
       }
     }
     d.name = expect(TokKind::Ident).text;
     if (eat_punct('[')) {
-      d.bytes = elem_bytes *
-                static_cast<std::uint32_t>(expect(TokKind::Int).value);
+      const Token& n = expect(TokKind::Int);
+      const std::uint64_t total =
+          static_cast<std::uint64_t>(elem_bytes) * to_u32(n, "array length");
+      if (total > 0xffffffffull) {
+        throw PtxError(n.loc, "shared declaration too large: " + n.text);
+      }
+      d.bytes = static_cast<std::uint32_t>(total);
       expect_punct(']');
     } else {
       d.bytes = elem_bytes;
@@ -224,7 +259,7 @@ class Parser {
     d.type_suffix = expect(TokKind::Directive).text;
     d.prefix = expect(TokKind::RegRef).text;
     if (eat_punct('<')) {
-      d.count = static_cast<std::uint32_t>(expect(TokKind::Int).value);
+      d.count = to_u32(expect(TokKind::Int), "register count");
       expect_punct('>');
     }
     expect_punct(';');

@@ -1,0 +1,152 @@
+// Crash-safe exploration: versioned, checksummed on-disk snapshots of
+// an in-flight schedule exploration.
+//
+// A checkpoint captures everything either engine needs to continue to
+// a verdict *byte-identical* to an uninterrupted run:
+//
+//  * the interned StateStore (fragments + state tuples, ids preserved
+//    exactly — see StateStore::encode);
+//  * the structural exploration options (so a resume under different
+//    bounds is rejected instead of silently diverging);
+//  * fingerprints of the program and kernel configuration;
+//  * engine-specific progress: the serial DFS's stack/path/colors and
+//    accumulated verdict state, or the parallel engine's explicit
+//    state graph plus the unexpanded frontier.
+//
+// On-disk format: an 8-byte magic, a format version, the payload size
+// and an FNV-1a checksum of the payload, then the payload itself
+// (support/binio.h encoding).  Files are written atomically — payload
+// to `path + ".tmp"`, fsync, then rename — so a crash mid-write can
+// never destroy the last good checkpoint.  load() rejects truncated,
+// bit-flipped, or version-skewed files with a structured
+// CheckpointError; it never crashes and never returns partially
+// decoded state.
+//
+// Transient stop reasons (deadline, memory watermark, SIGINT) are
+// deliberately *not* persisted: a resumed run that completes reports
+// itself exhaustive, exactly as an uninterrupted run would.  Only
+// structural limits (max-states, max-depth) survive, because they
+// would have tripped in the uninterrupted run too.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/explore.h"
+
+namespace cac::sched {
+
+/// Structured failure loading, saving, or resuming from a checkpoint.
+class CheckpointError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    Io,               // file unreadable / unwritable
+    Corrupt,          // truncated, checksum mismatch, malformed payload
+    VersionMismatch,  // written by an incompatible format version
+    Mismatch,         // program / config / options differ from the run
+  };
+
+  CheckpointError(Kind kind, const std::string& msg)
+      : std::runtime_error("checkpoint: " + msg), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+std::string to_string(CheckpointError::Kind k);
+
+/// One snapshot of an in-flight exploration.  Engines construct and
+/// consume these; save()/load() move them to and from disk.
+struct Checkpoint {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  enum class Engine : std::uint8_t { Serial = 0, Parallel = 1 };
+  Engine engine = Engine::Serial;
+
+  /// fnv1a over the canonical program text / config fields; resume
+  /// refuses a checkpoint whose fingerprints do not match the run's.
+  std::uint64_t program_fp = 0;
+  std::uint64_t config_fp = 0;
+
+  /// The structural options of the original run (bounds, POR, step
+  /// order, stop policy).  Transient fields (budgets, checkpoint
+  /// paths, thread count) are not persisted and stay default.
+  ExploreOptions options;
+
+  /// Every state visited so far, ids preserved.
+  std::shared_ptr<StateStore> store;
+
+  // --- serial DFS section (engine == Serial) -------------------------
+
+  struct SerialFrame {
+    StateId id;
+    std::uint64_t next = 0;  // index of the next eligible choice
+  };
+  std::vector<SerialFrame> stack;  // bottom to top
+  std::vector<sem::Choice> path;   // choices reaching the top frame
+  /// DFS colors: 0 = on-stack, 1 = done.
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> colors;
+
+  std::uint64_t states_visited = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t min_steps = ~0ull;
+  std::uint64_t max_steps = 0;
+  ExploreResult::Limit limit_hit = ExploreResult::Limit::None;
+  bool limits_hit = false;
+  std::vector<StateId> final_ids;
+  std::vector<Violation> violations;
+
+  // --- parallel graph section (engine == Parallel) -------------------
+
+  struct EdgeRec {
+    sem::Choice choice;
+    StateId child;  // invalid iff faulted or overflow
+    bool faulted = false;
+    bool overflow = false;
+    std::string fault;
+  };
+  struct NodeRec {
+    StateId id;
+    bool processed = false;
+    bool terminal = false;
+    bool stuck = false;
+    std::string stuck_reason;
+    std::vector<EdgeRec> edges;
+  };
+  StateId root;
+  std::vector<NodeRec> nodes;
+  /// Discovered but not yet expanded (id, depth) pairs.
+  std::vector<std::pair<StateId, std::uint64_t>> frontier;
+
+  /// Atomic write-then-rename to `path`; throws CheckpointError(Io).
+  void save(const std::string& path) const;
+
+  /// Parse and fully validate a checkpoint file.  Throws
+  /// CheckpointError — Io / Corrupt / VersionMismatch — and never
+  /// returns partially decoded state.
+  static Checkpoint load(const std::string& path);
+};
+
+/// Fingerprint of a kernel for resume compatibility (the canonical
+/// printed form, so structurally equal programs agree).
+std::uint64_t program_fingerprint(const ptx::Program& prg);
+std::uint64_t config_fingerprint(const sem::KernelConfig& kc);
+
+/// Throws CheckpointError(Mismatch) unless `ck` was written by `want`
+/// for this program/config under the same structural options.
+void verify_resume(const Checkpoint& ck, Checkpoint::Engine want,
+                   const ptx::Program& prg, const sem::KernelConfig& kc,
+                   const ExploreOptions& opts);
+
+/// Current resident set size in bytes (the RSS-watermark budget's
+/// measurement; /proc-based).  Returns 0 where unavailable, which
+/// disables the watermark rather than tripping it.
+std::uint64_t current_rss_bytes();
+
+}  // namespace cac::sched

@@ -1,9 +1,11 @@
 #include "sched/explore.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 
+#include "sched/checkpoint.h"
 #include "sched/explore_internal.h"
 #include "sched/explore_parallel.h"
 
@@ -47,8 +49,10 @@ enum class Color : std::uint8_t { OnStack, Done };
 
 ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
                       const sem::Machine& initial,
-                      const ExploreOptions& opts) {
-  if (opts.num_threads > 0) return explore_parallel(prg, kc, initial, opts);
+                      const ExploreOptions& opts, const Checkpoint* resume) {
+  if (opts.num_threads > 0) {
+    return explore_parallel(prg, kc, initial, opts, resume);
+  }
 
   ExploreResult result;
   result.min_steps_to_termination = ~0ull;
@@ -134,13 +138,139 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
     return true;
   };
 
-  enter(sem::Machine(initial));
+  if (resume != nullptr) {
+    // Continue the checkpointed run: the store comes back with every
+    // id intact, frames rematerialize their machines from it, and the
+    // eligible-choice lists are recomputed (they are a deterministic
+    // function of the state, so frame.next indexes the same choice it
+    // did before the cut).
+    verify_resume(*resume, Checkpoint::Engine::Serial, prg, kc, opts);
+    store = resume->store;
+    result.states_visited = resume->states_visited;
+    result.transitions = resume->transitions;
+    result.min_steps_to_termination = resume->min_steps;
+    result.max_steps_to_termination = resume->max_steps;
+    result.limit_hit = resume->limit_hit;
+    limits_hit = resume->limits_hit;
+    result.violations = resume->violations;
+    for (const StateId id : resume->final_ids) finals.insert(id);
+    colors.reserve(resume->colors.size());
+    for (const auto& [id, color] : resume->colors) {
+      colors.emplace(id, color == 0 ? Color::OnStack : Color::Done);
+    }
+    path = resume->path;
+    stack.reserve(resume->stack.size());
+    for (const Checkpoint::SerialFrame& f : resume->stack) {
+      sem::Machine m = store->materialize(f.id);
+      auto eligible = sem::eligible_choices(prg, m.grid);
+      if (opts.partial_order_reduction) {
+        internal::reduce_choices(prg, m.grid, eligible);
+      }
+      if (f.next > eligible.size()) {
+        throw CheckpointError(CheckpointError::Kind::Corrupt,
+                              "stack frame choice index out of range");
+      }
+      stack.push_back(Frame{f.id, std::move(m), std::move(eligible),
+                            static_cast<std::size_t>(f.next)});
+    }
+  } else {
+    enter(sem::Machine(initial));
+  }
 
   auto should_stop = [&] {
     return opts.stop_at_first_violation && !result.violations.empty();
   };
 
+  // --- crash-safety & budget machinery -------------------------------
+  // The top of the DFS loop is a clean cut point: every structure
+  // (stack, path, colors, finals, counters) is mutually consistent, so
+  // that is where budgets are enforced and checkpoints written.
+  const auto t_start = std::chrono::steady_clock::now();
+  const bool budgeted = opts.stop_flag != nullptr ||
+                        opts.stop_after_states != 0 ||
+                        opts.deadline_ms != 0 || opts.mem_limit_bytes != 0;
+  std::uint64_t next_checkpoint_at =
+      (!opts.checkpoint_path.empty() && opts.checkpoint_every_states != 0)
+          ? result.states_visited + opts.checkpoint_every_states
+          : ~0ull;
+  std::uint64_t iter = 0;
+
+  auto write_checkpoint = [&] {
+    Checkpoint ck;
+    ck.engine = Checkpoint::Engine::Serial;
+    ck.program_fp = program_fingerprint(prg);
+    ck.config_fp = config_fingerprint(kc);
+    ck.options = opts;  // only structural fields are persisted
+    ck.store = store;
+    ck.states_visited = result.states_visited;
+    ck.transitions = result.transitions;
+    ck.min_steps = result.min_steps_to_termination;
+    ck.max_steps = result.max_steps_to_termination;
+    ck.limit_hit = result.limit_hit;
+    ck.limits_hit = limits_hit;
+    ck.final_ids = finals.ids();
+    ck.violations = result.violations;
+    ck.colors.reserve(colors.size());
+    for (const auto& [id, color] : colors) {
+      ck.colors.emplace_back(
+          id, static_cast<std::uint8_t>(color == Color::OnStack ? 0 : 1));
+    }
+    ck.stack.reserve(stack.size());
+    for (const Frame& f : stack) {
+      ck.stack.push_back({f.id, static_cast<std::uint64_t>(f.next)});
+    }
+    ck.path = path;
+    ck.save(opts.checkpoint_path);
+    result.checkpointed = true;
+  };
+
+  // The cheap flags are polled every iteration (the fault harness
+  // relies on stop_after_states being exact); the clock and the /proc
+  // RSS read only every 64 states.
+  auto budget_tripped = [&]() -> ExploreResult::Limit {
+    if (opts.stop_flag != nullptr &&
+        opts.stop_flag->load(std::memory_order_relaxed)) {
+      return ExploreResult::Limit::Interrupted;
+    }
+    if (opts.stop_after_states != 0 &&
+        result.states_visited >= opts.stop_after_states) {
+      return ExploreResult::Limit::Interrupted;
+    }
+    if ((iter & 0x3f) == 0) {
+      if (opts.deadline_ms != 0 &&
+          std::chrono::steady_clock::now() - t_start >=
+              std::chrono::milliseconds(opts.deadline_ms)) {
+        return ExploreResult::Limit::Deadline;
+      }
+      if (opts.mem_limit_bytes != 0) {
+        const std::uint64_t rss = current_rss_bytes();
+        if (rss != 0 && rss >= opts.mem_limit_bytes) {
+          return ExploreResult::Limit::MemLimit;
+        }
+      }
+    }
+    return ExploreResult::Limit::None;
+  };
+
   while (!stack.empty() && !should_stop()) {
+    ++iter;
+    if (budgeted) {
+      const ExploreResult::Limit stop = budget_tripped();
+      if (stop != ExploreResult::Limit::None) {
+        // Checkpoint first: the transient stop reason must not leak
+        // into the file, or the resumed run could never report itself
+        // exhaustive.
+        if (!opts.checkpoint_path.empty()) write_checkpoint();
+        hit_limit(stop);
+        break;
+      }
+    }
+    if (result.states_visited >= next_checkpoint_at) {
+      write_checkpoint();
+      next_checkpoint_at =
+          result.states_visited + opts.checkpoint_every_states;
+    }
+
     Frame& top = stack.back();
     if (top.next >= top.eligible.size()) {
       colors[top.id.v] = Color::Done;
@@ -194,6 +324,9 @@ std::string to_string(ExploreResult::Limit l) {
     case ExploreResult::Limit::None: return "none";
     case ExploreResult::Limit::MaxStates: return "max-states";
     case ExploreResult::Limit::MaxDepth: return "max-depth";
+    case ExploreResult::Limit::Deadline: return "deadline";
+    case ExploreResult::Limit::MemLimit: return "mem-limit";
+    case ExploreResult::Limit::Interrupted: return "interrupted";
   }
   return "?";
 }

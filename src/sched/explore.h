@@ -15,6 +15,7 @@
 //  * min/max schedule length to termination.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,6 +25,8 @@
 #include "sem/step.h"
 
 namespace cac::sched {
+
+struct Checkpoint;  // sched/checkpoint.h
 
 struct ExploreOptions {
   /// Abort a path longer than this many steps (guards against
@@ -51,6 +54,36 @@ struct ExploreOptions {
   /// limits (see docs/explorer.md for the limit-case caveats).
   /// Composes with partial_order_reduction.
   std::uint32_t num_threads = 0;
+
+  // --- resource budgets & crash safety (docs/explorer.md) ------------
+  // Budgets stop a run *gracefully*: workers drain, a final checkpoint
+  // is written when checkpoint_path is set, and limit_hit names the
+  // budget that tripped.  None of these fields affects the verdict a
+  // completed run produces, so they are not part of the checkpoint's
+  // resume-compatibility fingerprint.
+
+  /// Wall-clock deadline in milliseconds (0 = unlimited).  Trips as
+  /// Limit::Deadline.
+  std::uint64_t deadline_ms = 0;
+  /// Resident-set-size watermark in bytes (0 = unlimited).  Trips as
+  /// Limit::MemLimit — a graceful stop with a checkpoint instead of an
+  /// OOM kill.  Measured via /proc (no-op where unavailable).
+  std::uint64_t mem_limit_bytes = 0;
+  /// When nonempty, checkpoints are written here: periodically (see
+  /// checkpoint_every_states) and on any budget/signal stop.
+  std::string checkpoint_path;
+  /// Write a periodic checkpoint each time this many further distinct
+  /// states have been visited (0 = only on stop).  Ignored unless
+  /// checkpoint_path is set.
+  std::uint64_t checkpoint_every_states = 0;
+  /// Cooperative cancellation: when non-null and it becomes true, the
+  /// run stops gracefully as Limit::Interrupted (cacval points this at
+  /// its SIGINT/SIGTERM flag).
+  const std::atomic<bool>* stop_flag = nullptr;
+  /// Test seam for the fault-injection harness: stop gracefully (as
+  /// Limit::Interrupted) once this many distinct states have been
+  /// visited (0 = never) — a deterministic kill point.
+  std::uint64_t stop_after_states = 0;
 };
 
 struct Violation {
@@ -70,12 +103,26 @@ struct ExploreResult {
 
   /// Which exploration limit tripped first when `exhaustive` is false
   /// for limit reasons (None when the run was exhaustive or cut short
-  /// only by stop_at_first_violation).
-  enum class Limit : std::uint8_t { None, MaxStates, MaxDepth };
+  /// only by stop_at_first_violation).  MaxStates/MaxDepth are
+  /// structural (they persist into checkpoints: the uninterrupted run
+  /// would trip them too); Deadline/MemLimit/Interrupted are transient
+  /// stop reasons a resumed run does not inherit.
+  enum class Limit : std::uint8_t {
+    None,
+    MaxStates,
+    MaxDepth,
+    Deadline,
+    MemLimit,
+    Interrupted,
+  };
   Limit limit_hit = Limit::None;
 
   std::uint64_t states_visited = 0;
   std::uint64_t transitions = 0;
+
+  /// True when this run wrote at least one checkpoint (periodic or on
+  /// stop) to ExploreOptions::checkpoint_path.
+  bool checkpointed = false;
 
   /// Every visited state lives interned in this store; `final_ids` and
   /// any StateId derived from this exploration resolve against it.
@@ -107,9 +154,17 @@ struct ExploreResult {
   }
 };
 
+/// Explore from `initial`, or — when `resume` is non-null — continue
+/// the checkpointed run (the initial machine is then ignored; the
+/// checkpoint carries the full frontier).  Resume requires matching
+/// program/config fingerprints and structural options and the engine
+/// that wrote the checkpoint (serial here, parallel when
+/// opts.num_threads > 0); mismatches throw CheckpointError.  A resumed
+/// run continues to a verdict byte-identical to an uninterrupted one.
 ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
                       const sem::Machine& initial,
-                      const ExploreOptions& opts = {});
+                      const ExploreOptions& opts = {},
+                      const Checkpoint* resume = nullptr);
 
 std::string to_string(Violation::Kind k);
 std::string to_string(ExploreResult::Limit l);

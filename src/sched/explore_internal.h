@@ -36,6 +36,9 @@ class FinalsSet {
     return true;
   }
 
+  /// Non-destructive view, insertion-ordered (checkpoint snapshots).
+  [[nodiscard]] const std::vector<StateId>& ids() const { return ids_; }
+
   [[nodiscard]] std::vector<StateId> take() {
     seen_.clear();
     return std::move(ids_);

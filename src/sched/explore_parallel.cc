@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <string>
@@ -9,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sched/checkpoint.h"
 #include "sched/explore_internal.h"
 #include "support/diag.h"
 
@@ -43,7 +46,8 @@ struct Edge {
 struct Node {
   StateId id;
   /// Phase-1 expansion ran (terminal/stuck classified, edges built).
-  /// False only for nodes discovered at depth >= max_depth.
+  /// False for nodes discovered at depth >= max_depth, and for
+  /// frontier nodes of a budget-stopped (checkpointed) run.
   bool processed = false;
   bool terminal = false;
   bool stuck = false;
@@ -90,6 +94,26 @@ class VisitedShards {
       it->second = n;
     }
     return {it->second, fresh};
+  }
+
+  /// Resume path (single-threaded, before workers start): register a
+  /// node for a state that is already interned in the store.
+  Node* seed(StateId id, std::uint64_t hash) {
+    Shard& s = shards_[shard_of(hash)];
+    s.nodes.push_back(Node{});
+    Node* n = &s.nodes.back();
+    n->id = id;
+    s.node_of[id.v] = n;
+    return n;
+  }
+
+  /// Visit every registered node.  Requires quiescence (workers parked
+  /// or joined).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      for (const Node& n : s.nodes) fn(n);
+    }
   }
 
   [[nodiscard]] bool cap_hit() const {
@@ -151,52 +175,154 @@ struct WorkQueue {
 };
 
 /// Phase 1: expand every distinct reachable state exactly once.
+///
+/// Crash safety rides on a three-state control protocol the main
+/// thread drives while workers run:
+///
+///   kRun   -> workers pop/steal/expand as fast as they can;
+///   kPause -> workers park at the loop-top gate; once every worker is
+///             parked or exited the graph is quiescent and the main
+///             thread serializes a checkpoint, then resumes;
+///   kStop  -> workers exit at the gate.  A task already popped is
+///             fully expanded first (its children reach the queues),
+///             so the frontier captured afterwards is exactly the set
+///             of discovered-but-unexpanded states.
+///
+/// All control state lives under one mutex; per-node writes by workers
+/// are ordered before the main thread's reads by that same mutex
+/// (gate lock -> paused_/exited_ increment -> monitor observes), so
+/// checkpoint serialization is race-free.
 class GraphBuilder {
  public:
   GraphBuilder(const ptx::Program& prg, const sem::KernelConfig& kc,
-               const ExploreOptions& opts, StateStore& store,
-               unsigned n_workers)
+               const ExploreOptions& opts,
+               std::shared_ptr<StateStore> store, unsigned n_workers)
       : prg_(prg),
         kc_(kc),
         opts_(opts),
-        store_(store),
-        visited_(opts.max_states, store),
+        store_ptr_(std::move(store)),
+        store_(*store_ptr_),
+        visited_(opts.max_states, store_),
         queues_(n_workers) {}
 
-  /// Returns the root node, or nullptr when even the initial state was
+  struct Outcome {
+    Node* root = nullptr;
+    /// Transient budget/signal reason this run stopped early, or None
+    /// when phase 1 ran to completion.
+    ExploreResult::Limit stopped = ExploreResult::Limit::None;
+    bool checkpointed = false;
+  };
+
+  /// Build (or, with `resume`, finish building) the state graph.
+  /// A null root in the outcome means even the initial state was
   /// dropped (max_states == 0 — the serial engine reports the same as
   /// a limits-hit non-visit).
-  Node* build(const sem::Machine& initial) {
-    const sem::Machine root_copy(initial);
-    const std::uint64_t h = root_copy.hash();
-    const auto root = visited_.find_or_insert(root_copy, h);
-    if (!root.inserted) return root.node;  // cap 0, or... only cap 0
-    pending_.store(1, std::memory_order_relaxed);
-    queues_[0].push(Task{root.node, 0});
+  Outcome build(const sem::Machine& initial, const Checkpoint* resume) {
+    if (resume != nullptr) {
+      root_ = restore(*resume);
+    } else {
+      const sem::Machine root_copy(initial);
+      const std::uint64_t h = root_copy.hash();
+      const auto r = visited_.find_or_insert(root_copy, h);
+      root_ = r.node;
+      if (!r.inserted) return {r.node, ExploreResult::Limit::None, false};
+      pending_.store(1, std::memory_order_relaxed);
+      queues_[0].push(Task{r.node, 0});
+    }
 
     std::vector<std::thread> workers;
     workers.reserve(queues_.size());
     for (unsigned i = 0; i < queues_.size(); ++i) {
       workers.emplace_back([this, i] { worker_loop(i); });
     }
+
+    Outcome out;
+    out.root = root_;
+    monitor(out);
     for (std::thread& t : workers) t.join();
 
     if (!error_.empty()) throw KernelError(error_);
-    return root.node;
+
+    if (out.stopped != ExploreResult::Limit::None &&
+        !opts_.checkpoint_path.empty()) {
+      // Final checkpoint after the join: fully quiescent by
+      // construction.
+      save_checkpoint();
+    }
+    out.checkpointed = checkpointed_;
+    return out;
   }
 
   [[nodiscard]] bool cap_hit() const { return visited_.cap_hit(); }
 
  private:
+  enum class Mode : std::uint8_t { kRun, kPause, kStop };
+
+  /// Rebuild graph + frontier from a checkpoint (single-threaded; the
+  /// store has already been decoded into store_).
+  Node* restore(const Checkpoint& ck) {
+    std::unordered_map<std::uint32_t, Node*> by_id;
+    by_id.reserve(ck.nodes.size());
+    for (const Checkpoint::NodeRec& nr : ck.nodes) {
+      Node* n = visited_.seed(nr.id, store_.machine_hash(nr.id));
+      n->processed = nr.processed;
+      n->terminal = nr.terminal;
+      n->stuck = nr.stuck;
+      n->stuck_reason = nr.stuck_reason;
+      by_id.emplace(nr.id.v, n);
+    }
+    const auto lookup = [&](StateId id) -> Node* {
+      const auto it = by_id.find(id.v);
+      if (it == by_id.end()) {
+        throw CheckpointError(CheckpointError::Kind::Corrupt,
+                              "graph references unknown node");
+      }
+      return it->second;
+    };
+    for (const Checkpoint::NodeRec& nr : ck.nodes) {
+      Node* n = by_id.at(nr.id.v);
+      n->edges.reserve(nr.edges.size());
+      for (const Checkpoint::EdgeRec& er : nr.edges) {
+        Edge e;
+        e.choice = er.choice;
+        e.faulted = er.faulted;
+        e.overflow = er.overflow;
+        e.fault = er.fault;
+        if (er.child.valid()) e.child = lookup(er.child);
+        n->edges.push_back(std::move(e));
+      }
+    }
+    std::uint64_t k = 0;
+    for (const auto& [id, depth] : ck.frontier) {
+      queues_[k++ % queues_.size()].push(Task{lookup(id), depth});
+    }
+    pending_.store(ck.frontier.size(), std::memory_order_relaxed);
+    return lookup(ck.root);
+  }
+
   void worker_loop(unsigned id) {
     Task t;
     for (;;) {
+      // Control gate: park on pause, leave on stop.  Everything this
+      // worker wrote to nodes before reaching the gate is ordered
+      // before the monitor's reads by ctl_mu_.
+      {
+        std::unique_lock<std::mutex> lk(ctl_mu_);
+        while (mode_ == Mode::kPause) {
+          ++paused_;
+          monitor_cv_.notify_all();
+          ctl_cv_.wait(lk, [&] { return mode_ != Mode::kPause; });
+          --paused_;
+        }
+        if (mode_ == Mode::kStop) break;
+      }
+
       bool got = queues_[id].pop_back(t);
       for (unsigned j = 1; !got && j < queues_.size(); ++j) {
         got = queues_[(id + j) % queues_.size()].steal_front(t);
       }
       if (!got) {
-        if (pending_.load(std::memory_order_acquire) == 0) return;
+        if (pending_.load(std::memory_order_acquire) == 0) break;
         std::this_thread::yield();
         continue;
       }
@@ -210,6 +336,9 @@ class GraphBuilder {
       }
       pending_.fetch_sub(1, std::memory_order_release);
     }
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    ++exited_;
+    monitor_cv_.notify_all();
   }
 
   void expand(unsigned id, const Task& t) {
@@ -269,16 +398,137 @@ class GraphBuilder {
     node->processed = true;
   }
 
+  /// Main-thread loop while workers run: waits for completion, and
+  /// enforces budgets / periodic checkpoints when configured.
+  void monitor(Outcome& out) {
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    const bool budgeted = opts_.stop_flag != nullptr ||
+                          opts_.stop_after_states != 0 ||
+                          opts_.deadline_ms != 0 ||
+                          opts_.mem_limit_bytes != 0;
+    const bool periodic = !opts_.checkpoint_path.empty() &&
+                          opts_.checkpoint_every_states != 0;
+
+    std::unique_lock<std::mutex> lk(ctl_mu_);
+    if (!budgeted && !periodic) {
+      monitor_cv_.wait(lk, [&] { return exited_ == n; });
+      return;
+    }
+
+    const auto t_start = std::chrono::steady_clock::now();
+    std::uint64_t next_checkpoint_at =
+        periodic ? store_.size() + opts_.checkpoint_every_states : ~0ull;
+
+    for (;;) {
+      monitor_cv_.wait_for(lk, std::chrono::milliseconds(2),
+                           [&] { return exited_ == n; });
+      if (exited_ == n) return;
+
+      const ExploreResult::Limit stop = budget_tripped(t_start);
+      if (stop != ExploreResult::Limit::None) {
+        out.stopped = stop;
+        mode_ = Mode::kStop;
+        ctl_cv_.notify_all();
+        monitor_cv_.wait(lk, [&] { return exited_ == n; });
+        return;  // final checkpoint happens after the join
+      }
+      if (store_.size() >= next_checkpoint_at) {
+        // Quiesce -> serialize -> resume.
+        mode_ = Mode::kPause;
+        ctl_cv_.notify_all();
+        monitor_cv_.wait(lk, [&] { return paused_ + exited_ == n; });
+        save_checkpoint();
+        next_checkpoint_at = store_.size() + opts_.checkpoint_every_states;
+        mode_ = Mode::kRun;
+        ctl_cv_.notify_all();
+      }
+    }
+  }
+
+  [[nodiscard]] ExploreResult::Limit budget_tripped(
+      std::chrono::steady_clock::time_point t_start) const {
+    if (opts_.stop_flag != nullptr &&
+        opts_.stop_flag->load(std::memory_order_relaxed)) {
+      return ExploreResult::Limit::Interrupted;
+    }
+    if (opts_.stop_after_states != 0 &&
+        store_.size() >= opts_.stop_after_states) {
+      return ExploreResult::Limit::Interrupted;
+    }
+    if (opts_.deadline_ms != 0 &&
+        std::chrono::steady_clock::now() - t_start >=
+            std::chrono::milliseconds(opts_.deadline_ms)) {
+      return ExploreResult::Limit::Deadline;
+    }
+    if (opts_.mem_limit_bytes != 0) {
+      const std::uint64_t rss = current_rss_bytes();
+      if (rss != 0 && rss >= opts_.mem_limit_bytes) {
+        return ExploreResult::Limit::MemLimit;
+      }
+    }
+    return ExploreResult::Limit::None;
+  }
+
+  /// Serialize graph + frontier + store.  Caller guarantees
+  /// quiescence (pause protocol or post-join).
+  void save_checkpoint() {
+    Checkpoint ck;
+    ck.engine = Checkpoint::Engine::Parallel;
+    ck.program_fp = program_fingerprint(prg_);
+    ck.config_fp = config_fingerprint(kc_);
+    ck.options = opts_;  // only structural fields are persisted
+    ck.store = store_ptr_;
+    ck.root = root_ != nullptr ? root_->id : StateId{};
+    visited_.for_each([&](const Node& n) {
+      Checkpoint::NodeRec nr;
+      nr.id = n.id;
+      nr.processed = n.processed;
+      nr.terminal = n.terminal;
+      nr.stuck = n.stuck;
+      nr.stuck_reason = n.stuck_reason;
+      nr.edges.reserve(n.edges.size());
+      for (const Edge& e : n.edges) {
+        Checkpoint::EdgeRec er;
+        er.choice = e.choice;
+        er.child = e.child != nullptr ? e.child->id : StateId{};
+        er.faulted = e.faulted;
+        er.overflow = e.overflow;
+        er.fault = e.fault;
+        nr.edges.push_back(std::move(er));
+      }
+      ck.nodes.push_back(std::move(nr));
+    });
+    for (WorkQueue& q : queues_) {
+      std::lock_guard<std::mutex> lock(q.mu);
+      for (const Task& t : q.q) {
+        ck.frontier.emplace_back(t.node->id, t.depth);
+      }
+    }
+    ck.save(opts_.checkpoint_path);
+    checkpointed_ = true;
+  }
+
   const ptx::Program& prg_;
   const sem::KernelConfig& kc_;
   const ExploreOptions& opts_;
+  std::shared_ptr<StateStore> store_ptr_;
   StateStore& store_;
   VisitedShards visited_;
   std::vector<WorkQueue> queues_;
+  Node* root_ = nullptr;
   std::atomic<std::uint64_t> pending_{0};
   std::atomic<bool> failed_{false};
   std::mutex error_mu_;
   std::string error_;  // first worker exception, guarded by error_mu_
+  bool checkpointed_ = false;
+
+  // Worker control protocol, all guarded by ctl_mu_.
+  std::mutex ctl_mu_;
+  std::condition_variable ctl_cv_;      // workers park here on pause
+  std::condition_variable monitor_cv_;  // monitor waits for quiescence
+  Mode mode_ = Mode::kRun;
+  unsigned paused_ = 0;
+  unsigned exited_ = 0;
 };
 
 /// Phase 2: replay the serial DFS over the integer graph.  This is a
@@ -286,7 +536,13 @@ class GraphBuilder {
 /// checks in the same order, same path bookkeeping — so the produced
 /// ExploreResult is byte-identical to the serial engine's for runs
 /// that stay within the limits.
-ExploreResult replay(Node* root, const ExploreOptions& opts) {
+///
+/// `stop_reason` is None for completed graphs.  For a budget-stopped
+/// run the graph is incomplete: reaching an unexpanded node then
+/// reports the budget as the tripped limit (not MaxDepth), mirroring
+/// the serial engine's precise limit_hit on a graceful stop.
+ExploreResult replay(Node* root, const ExploreOptions& opts,
+                     ExploreResult::Limit stop_reason) {
   ExploreResult result;
   result.min_steps_to_termination = ~0ull;
 
@@ -345,11 +601,17 @@ ExploreResult replay(Node* root, const ExploreOptions& opts) {
       return false;
     }
     if (!nd->processed) {
+      nd->color = Node::Color::Done;
+      if (stop_reason != ExploreResult::Limit::None) {
+        // Budget-stopped run: this node sits on the unexpanded
+        // frontier, not past the depth bound.
+        hit_limit(stop_reason);
+        return false;
+      }
       // Phase 1 depth-gated this node.  When the replay path is also
       // at the bound this is exactly the serial DepthExceeded event;
       // otherwise (a shorter path reached it first here) we can only
       // flag the run as non-exhaustive.
-      nd->color = Node::Color::Done;
       hit_limit(ExploreResult::Limit::MaxDepth);
       if (path.size() >= opts.max_depth) {
         add_violation(Violation::Kind::DepthExceeded,
@@ -407,17 +669,27 @@ ExploreResult replay(Node* root, const ExploreOptions& opts) {
 ExploreResult explore_parallel(const ptx::Program& prg,
                                const sem::KernelConfig& kc,
                                const sem::Machine& initial,
-                               const ExploreOptions& opts) {
+                               const ExploreOptions& opts,
+                               const Checkpoint* resume) {
   unsigned n = opts.num_threads;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
 
-  auto store = std::make_shared<StateStore>();
-  GraphBuilder builder(prg, kc, opts, *store, n);
+  std::shared_ptr<StateStore> store;
+  if (resume != nullptr) {
+    verify_resume(*resume, Checkpoint::Engine::Parallel, prg, kc, opts);
+    store = resume->store;
+  } else {
+    store = std::make_shared<StateStore>();
+  }
+
+  GraphBuilder builder(prg, kc, opts, store, n);
   // A null root means even the initial state was over the cap
   // (max_states == 0); replay's enter(nullptr) turns that into the
   // same empty, non-exhaustive result the serial engine reports.
-  ExploreResult result = replay(builder.build(initial), opts);
+  const GraphBuilder::Outcome out = builder.build(initial, resume);
+  ExploreResult result = replay(out.root, opts, out.stopped);
   result.store = std::move(store);
+  result.checkpointed = out.checkpointed;
   return result;
 }
 

@@ -40,10 +40,14 @@ namespace cac::sched {
 
 /// Explore with opts.num_threads workers (0 = one worker per hardware
 /// thread).  explore() dispatches here automatically whenever
-/// opts.num_threads > 0.
+/// opts.num_threads > 0.  A non-null `resume` continues a Parallel
+/// checkpoint: the serialized graph and frontier are rebuilt and the
+/// unexpanded frontier re-queued, so the completed graph — and hence
+/// the replayed verdict — is identical to an uninterrupted run's.
 ExploreResult explore_parallel(const ptx::Program& prg,
                                const sem::KernelConfig& kc,
                                const sem::Machine& initial,
-                               const ExploreOptions& opts = {});
+                               const ExploreOptions& opts = {},
+                               const Checkpoint* resume = nullptr);
 
 }  // namespace cac::sched

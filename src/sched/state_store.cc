@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "support/binio.h"
 #include "support/diag.h"
 
 namespace cac::sched {
@@ -229,6 +230,129 @@ std::uint64_t StateStore::machine_hash(StateId id) const {
     throw KernelError("machine_hash: unknown StateId");
   }
   return s.recs[local].hash;
+}
+
+void StateStore::encode(support::BinWriter& w) const {
+  w.u64(hash_mask_);
+  const bool shaped = !shape_.warps_per_block.empty() || shape_.tuple_len != 0;
+  w.u8(shaped ? 1 : 0);
+  if (shaped) {
+    w.u64(shape_.warps_per_block.size());
+    for (const std::uint32_t n : shape_.warps_per_block) w.u32(n);
+    w.u32(shape_.shared_banks);
+    w.u64(shape_.shared_per_block);
+    w.u32(shape_.tuple_len);
+  }
+  for (const WarpPool::Shard& s : warps_.shards) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    w.u64(s.items.size());
+    for (const sem::Warp& warp : s.items) warp.encode(w);
+  }
+  for (const BankPool::Shard& s : banks_.shards) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    w.u64(s.items.size());
+    for (const mem::Memory::BankRef& b : s.items) b->encode(w);
+  }
+  for (const StateShard& s : state_shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    w.u64(s.recs.size());
+    for (const StateRec& rec : s.recs) {
+      w.u64(rec.hash);
+      w.u64(rec.tuple.size());
+      for (const std::uint32_t id : rec.tuple) w.u32(id);
+    }
+  }
+  w.u64(n_states_.load(std::memory_order_relaxed));
+  w.u64(n_warp_frags_.load(std::memory_order_relaxed));
+  w.u64(n_bank_frags_.load(std::memory_order_relaxed));
+  w.u64(resident_bytes_.load(std::memory_order_relaxed));
+  w.u64(materialized_bytes_.load(std::memory_order_relaxed));
+}
+
+void StateStore::decode(support::BinReader& r) {
+  if (n_states_.load(std::memory_order_relaxed) != 0) {
+    throw KernelError("StateStore::decode: store not empty");
+  }
+  if (r.u64() != hash_mask_) {
+    throw support::BinError("state store hash mask mismatch");
+  }
+  if (r.u8() != 0) {
+    Shape shape;
+    const std::uint64_t nb = r.count(sizeof(std::uint32_t));
+    shape.warps_per_block.reserve(nb);
+    for (std::uint64_t i = 0; i < nb; ++i) {
+      shape.warps_per_block.push_back(r.u32());
+    }
+    shape.shared_banks = r.u32();
+    shape.shared_per_block = r.u64();
+    shape.tuple_len = r.u32();
+    // Through call_once so a later ensure_shape() is a no-op.
+    std::call_once(shape_once_, [&] { shape_ = std::move(shape); });
+  }
+  // Fragments and states are appended in the serialized (= original
+  // insertion) order, so every (shard, local) pair — and therefore
+  // every id — comes out exactly as it was.  Index buckets are rebuilt
+  // from recomputed hashes.
+  for (WarpPool::Shard& s : warps_.shards) {
+    const std::uint64_t n = r.count();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sem::Warp warp = sem::Warp::decode(r);
+      const std::uint64_t h = warp_hash(warp) & hash_mask_;
+      s.index[h].push_back(static_cast<std::uint32_t>(s.items.size()));
+      s.items.push_back(std::move(warp));
+    }
+  }
+  for (BankPool::Shard& s : banks_.shards) {
+    const std::uint64_t n = r.count();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto bank =
+          std::make_shared<mem::Memory::Bank>(mem::Memory::Bank::decode(r));
+      const std::uint64_t h = bank->hash() & hash_mask_;
+      s.index[h].push_back(static_cast<std::uint32_t>(s.items.size()));
+      s.items.push_back(std::move(bank));
+    }
+  }
+  // Every tuple id must resolve inside its pool: the first
+  // sum(warps_per_block) positions are warp fragments, the rest banks.
+  // (The checksum already covers integrity; this keeps even a
+  // hypothetical checksum-colliding corruption from indexing out of a
+  // pool.)
+  std::uint64_t n_warp_slots = 0;
+  for (const std::uint32_t n : shape_.warps_per_block) n_warp_slots += n;
+  const auto check_id = [&](std::uint32_t id, bool is_warp) {
+    const std::uint32_t shard = id & ((1u << kFragShardBits) - 1);
+    const std::uint32_t local = id >> kFragShardBits;
+    const std::size_t have = is_warp ? warps_.shards[shard].items.size()
+                                     : banks_.shards[shard].items.size();
+    if (local >= have) {
+      throw support::BinError("state tuple references unknown fragment");
+    }
+  };
+  for (StateShard& s : state_shards_) {
+    const std::uint64_t n = r.count();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      StateRec rec;
+      rec.hash = r.u64();
+      const std::uint64_t tn = r.count(sizeof(std::uint32_t));
+      if (tn != shape_.tuple_len) {
+        throw support::BinError("state tuple length mismatch");
+      }
+      rec.tuple.reserve(tn);
+      for (std::uint64_t j = 0; j < tn; ++j) {
+        const std::uint32_t id = r.u32();
+        check_id(id, j < n_warp_slots);
+        rec.tuple.push_back(id);
+      }
+      s.index[rec.hash & hash_mask_].push_back(
+          static_cast<std::uint32_t>(s.recs.size()));
+      s.recs.push_back(std::move(rec));
+    }
+  }
+  n_states_.store(r.u64(), std::memory_order_relaxed);
+  n_warp_frags_.store(r.u64(), std::memory_order_relaxed);
+  n_bank_frags_.store(r.u64(), std::memory_order_relaxed);
+  resident_bytes_.store(r.u64(), std::memory_order_relaxed);
+  materialized_bytes_.store(r.u64(), std::memory_order_relaxed);
 }
 
 StateStore::Stats StateStore::stats() const {

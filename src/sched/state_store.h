@@ -40,6 +40,11 @@
 
 #include "sem/state.h"
 
+namespace cac::support {
+class BinWriter;
+class BinReader;
+}  // namespace cac::support
+
 namespace cac::sched {
 
 /// Opaque handle to an interned machine state.  Valid for the lifetime
@@ -111,6 +116,17 @@ class StateStore {
     }
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Checkpoint codec (sched/checkpoint.h).  encode preserves the
+  /// per-shard insertion order of every fragment pool and state shard,
+  /// so decode reproduces the exact same fragment and state ids — the
+  /// property that lets a resumed exploration keep using StateIds from
+  /// before the crash.  encode requires external quiescence (no
+  /// concurrent intern); decode requires `*this` to be empty and a
+  /// matching hash mask, and throws support::BinError on malformed
+  /// input or KernelError on misuse.
+  void encode(support::BinWriter& w) const;
+  void decode(support::BinReader& r);
 
  private:
   // Fragment/state ids encode (shard, local index): shard in the low

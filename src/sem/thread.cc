@@ -1,5 +1,6 @@
 #include "sem/thread.h"
 
+#include "support/binio.h"
 #include "support/bits.h"
 
 namespace cac::sem {
@@ -47,6 +48,59 @@ void Thread::mix_hash(Hasher& h) const {
   h.mix(tid);
   rho.mix_hash(h);
   phi.mix_hash(h);
+}
+
+// std::map iteration is key-ordered, so the encoding is canonical:
+// structurally equal register files serialize to identical bytes.
+
+void RegFile::encode(support::BinWriter& w) const {
+  w.u64(values_.size());
+  for (const auto& [k, v] : values_) {
+    w.u32(k);
+    w.u64(v);
+  }
+}
+
+RegFile RegFile::decode(support::BinReader& r) {
+  RegFile rf;
+  const std::uint64_t n = r.count(12);  // u32 key + u64 value
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t k = r.u32();
+    rf.values_[k] = r.u64();
+  }
+  return rf;
+}
+
+void PredState::encode(support::BinWriter& w) const {
+  w.u64(values_.size());
+  for (const auto& [k, v] : values_) {
+    w.u32(k);
+    w.u8(v ? 1 : 0);
+  }
+}
+
+PredState PredState::decode(support::BinReader& r) {
+  PredState ps;
+  const std::uint64_t n = r.count(5);  // u32 key + u8 value
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint16_t k = static_cast<std::uint16_t>(r.u32());
+    ps.values_[k] = r.u8() != 0;
+  }
+  return ps;
+}
+
+void Thread::encode(support::BinWriter& w) const {
+  w.u32(tid);
+  rho.encode(w);
+  phi.encode(w);
+}
+
+Thread Thread::decode(support::BinReader& r) {
+  Thread t;
+  t.tid = r.u32();
+  t.rho = RegFile::decode(r);
+  t.phi = PredState::decode(r);
+  return t;
 }
 
 }  // namespace cac::sem

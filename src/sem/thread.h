@@ -11,6 +11,11 @@
 #include "ptx/operand.h"
 #include "support/hash.h"
 
+namespace cac::support {
+class BinWriter;
+class BinReader;
+}  // namespace cac::support
+
 namespace cac::sem {
 
 /// The register file ρ : reg -> Z.  Values are stored as canonical
@@ -28,6 +33,11 @@ class RegFile {
   friend bool operator==(const RegFile&, const RegFile&) = default;
   void mix_hash(Hasher& h) const;
 
+  /// Checkpoint codec (sched/checkpoint.h).  decode throws
+  /// support::BinError on malformed input.
+  void encode(support::BinWriter& w) const;
+  static RegFile decode(support::BinReader& r);
+
  private:
   std::map<std::uint32_t, std::uint64_t> values_;  // Reg::key() -> bits
 };
@@ -42,6 +52,9 @@ class PredState {
   friend bool operator==(const PredState&, const PredState&) = default;
   void mix_hash(Hasher& h) const;
 
+  void encode(support::BinWriter& w) const;
+  static PredState decode(support::BinReader& r);
+
  private:
   std::map<std::uint16_t, bool> values_;
 };
@@ -53,6 +66,9 @@ struct Thread {
 
   friend bool operator==(const Thread&, const Thread&) = default;
   void mix_hash(Hasher& h) const;
+
+  void encode(support::BinWriter& w) const;
+  static Thread decode(support::BinReader& r);
 };
 
 using ThreadVec = std::vector<Thread>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/binio.h"
 #include "support/diag.h"
 
 namespace cac::sem {
@@ -82,6 +83,44 @@ void Warp::mix_hash(Hasher& h) const {
   h.mix(threads_.size());
   for (const Thread& t : threads_) t.mix_hash(h);
 }
+
+void Warp::encode(support::BinWriter& w) const {
+  if (divergent()) {
+    w.u8(1);
+    left_->encode(w);
+    right_->encode(w);
+    return;
+  }
+  w.u8(0);
+  w.u32(pc_);
+  w.u64(threads_.size());
+  for (const Thread& t : threads_) t.encode(w);
+}
+
+namespace {
+
+Warp decode_warp(support::BinReader& r, unsigned depth) {
+  // A warp tree never diverges deeper than one level per thread; 64 is
+  // far beyond any real warp and bounds recursion on corrupt input.
+  if (depth > 64) throw support::BinError("warp tree implausibly deep");
+  const std::uint8_t tag = r.u8();
+  if (tag == 1) {
+    Warp left = decode_warp(r, depth + 1);
+    Warp right = decode_warp(r, depth + 1);
+    return Warp(std::move(left), std::move(right));
+  }
+  if (tag != 0) throw support::BinError("bad warp node tag");
+  const std::uint32_t pc = r.u32();
+  const std::uint64_t n = r.count(sizeof(std::uint32_t));
+  ThreadVec ts;
+  ts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) ts.push_back(Thread::decode(r));
+  return Warp(pc, std::move(ts));
+}
+
+}  // namespace
+
+Warp Warp::decode(support::BinReader& r) { return decode_warp(r, 0); }
 
 std::string Warp::shape() const {
   if (divergent()) {

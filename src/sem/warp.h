@@ -66,6 +66,12 @@ class Warp {
   bool operator==(const Warp& other) const;
   void mix_hash(Hasher& h) const;
 
+  /// Checkpoint codec (sched/checkpoint.h): the divergence tree as a
+  /// tagged preorder.  decode throws support::BinError on malformed
+  /// input, including trees deeper than a warp could ever diverge.
+  void encode(support::BinWriter& w) const;
+  static Warp decode(support::BinReader& r);
+
   /// Compact shape string, e.g. "D(U(10;3),U(18;1))".
   [[nodiscard]] std::string shape() const;
 

@@ -5,7 +5,11 @@ Stdlib only.  Default invocation (from the repo root, after building):
 
     python3 tools/bench_to_json.py \
         --binary build/bench/bench_parallel_explore \
+        --binary build/bench/bench_checkpoint \
         --out BENCH_explore.json
+
+`--binary` may be repeated; results from all binaries are merged into
+one snapshot (each record keeps a `binary` field naming its source).
 
 The snapshot keeps the benchmark context (host, CPU count, build
 flags), the per-benchmark timings and counters, and the git revision,
@@ -14,8 +18,10 @@ Derived convenience fields: for every BM_ExploreVectorSum instance the
 speedup over the matching serial (threads=0) instance with the same
 por/warps arguments is computed into `speedup_vs_serial`; every
 BM_StateStoreFootprint instance's interning counters are summarized
-into a top-level `state_store` section, and the benchmark process's
-peak RSS is recorded as `peak_rss_bytes`.
+into a top-level `state_store` section, every BM_Checkpoint* /
+BM_ResumeFromCheckpoint instance's counters land in a `checkpoint`
+section, and the benchmark processes' peak RSS is recorded as
+`peak_rss_bytes`.
 """
 
 from __future__ import annotations
@@ -96,10 +102,29 @@ def store_summary(benchmarks: list[dict]) -> list[dict]:
     return out
 
 
+def checkpoint_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize checkpoint benchmarks: periodic-write overhead, file
+    round-trip rate and size, and resume-vs-rerun throughput."""
+    out = []
+    for b in benchmarks:
+        name = b.get("name", "")
+        if not name.startswith(("BM_Checkpoint", "BM_ResumeFromCheckpoint")):
+            continue
+        entry = {"name": name}
+        for k in ("checkpoint_every", "states", "states_per_sec",
+                  "file_bytes", "checkpoint_states", "round_trips_per_sec",
+                  "resumed_runs_per_sec", "real_time", "time_unit"):
+            if k in b:
+                entry[k] = b[k]
+        out.append(entry)
+    return out
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--binary", default="build/bench/bench_parallel_explore",
-                    help="benchmark binary to run")
+    ap.add_argument("--binary", action="append", default=None,
+                    help="benchmark binary to run (repeatable; results "
+                         "are merged)")
     ap.add_argument("--out", default="BENCH_explore.json",
                     help="output snapshot path")
     ap.add_argument("--filter", default=None,
@@ -107,42 +132,52 @@ def main() -> None:
     ap.add_argument("bench_args", nargs="*",
                     help="extra args passed to the binary verbatim")
     args = ap.parse_args()
-
-    binary = Path(args.binary)
-    if not binary.exists():
-        raise SystemExit(
-            f"{binary}: not found — build first (cmake --build build)")
+    binaries = args.binary or ["build/bench/bench_parallel_explore"]
 
     extra = list(args.bench_args)
     if args.filter:
         extra.append(f"--benchmark_filter={args.filter}")
-    doc, peak_rss = run_benchmark(binary, extra)
 
     repo = Path(__file__).resolve().parent.parent
     benchmarks = []
-    for b in doc.get("benchmarks", []):
-        keep = {k: b[k] for k in
-                ("name", "run_name", "iterations", "real_time", "cpu_time",
-                 "time_unit", "bytes_per_second", "items_per_second")
-                if k in b}
-        # Counters appear as top-level numeric fields.
-        for k, v in b.items():
-            if k not in keep and isinstance(v, (int, float)):
-                keep[k] = v
-        benchmarks.append(keep)
+    context = {}
+    peak_rss = 0
+    for binary_arg in binaries:
+        binary = Path(binary_arg)
+        if not binary.exists():
+            raise SystemExit(
+                f"{binary}: not found — build first (cmake --build build)")
+        doc, rss = run_benchmark(binary, extra)
+        peak_rss = max(peak_rss, rss)
+        context = context or doc.get("context", {})
+        for b in doc.get("benchmarks", []):
+            keep = {k: b[k] for k in
+                    ("name", "run_name", "iterations", "real_time",
+                     "cpu_time", "time_unit", "bytes_per_second",
+                     "items_per_second")
+                    if k in b}
+            # Counters appear as top-level numeric fields.
+            for k, v in b.items():
+                if k not in keep and isinstance(v, (int, float)):
+                    keep[k] = v
+            keep["binary"] = binary.name
+            benchmarks.append(keep)
     add_speedups(benchmarks)
 
     snapshot = {
         "schema": "cac-bench-snapshot/1",
-        "binary": binary.name,
+        "binary": "+".join(Path(b).name for b in binaries),
         "git_revision": git_revision(repo),
-        "context": doc.get("context", {}),
+        "context": context,
         "peak_rss_bytes": peak_rss,
         "benchmarks": benchmarks,
     }
     stores = store_summary(benchmarks)
     if stores:
         snapshot["state_store"] = stores
+    checkpoints = checkpoint_summary(benchmarks)
+    if checkpoints:
+        snapshot["checkpoint"] = checkpoints
     out = Path(args.out)
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {out} ({len(benchmarks)} benchmarks, "

@@ -5,9 +5,12 @@
 //   cacval run    FILE.ptx [launch options] [--profile]
 //   cacval check  FILE.ptx [launch options] [--expect ADDR=U32]...
 //                 [--independent] [--exact-steps N] [--por] [--threads N]
+//                 [--checkpoint PATH] [--checkpoint-every N]
+//                 [--resume PATH] [--deadline MS] [--mem-limit MIB]
 //   cacval validate FILE.ptx [launch options] [--expect ADDR=U32]...
 //                 [--profile]   (profile + races + model check +
-//                                transparency + lane-order, one report)
+//                                transparency + lane-order, one report;
+//                                same checkpoint/budget flags as check)
 //   cacval races  FILE.ptx [launch options]
 //   cacval equiv  FILE_A.ptx FILE_B.ptx [--kernel K] [--kernel-b K2]
 //                 [--block ...]   (translation validation: identical
@@ -27,8 +30,19 @@
 //   --max-states N      distinct-state bound for check/validate
 //   --threads N         parallel exploration workers (0 = serial)
 //
+// Crash-safety options (check/validate):
+//   --checkpoint PATH   periodically write a resumable checkpoint
+//   --checkpoint-every N  states between checkpoints (default 256)
+//   --resume PATH       continue a checkpointed exploration
+//   --deadline MS       stop gracefully after MS milliseconds
+//   --mem-limit MIB     stop gracefully when RSS reaches MIB MiB
+//
 // Exit status: 0 on success/proof, 1 on refutation/fault/deadlock,
-// 2 on usage or input errors.
+// 2 on usage or input errors (including corrupt checkpoints),
+// 128+signo when stopped by SIGINT/SIGTERM (after writing a final
+// checkpoint if --checkpoint was given).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +53,7 @@
 
 #include "check/model.h"
 #include "check/profile.h"
+#include "sched/checkpoint.h"
 #include "check/race.h"
 #include "check/validate.h"
 #include "vcgen/prove.h"
@@ -70,12 +85,35 @@ struct Options {
   std::vector<std::pair<std::uint64_t, std::uint32_t>> expects;
   std::string sched = "first";
   std::uint64_t exact_steps = 0;
+  std::string resume_path;
   bool independent = false;
   bool profile = false;
   bool insert_syncs = true;
 
   Options() { explore.max_depth = 1u << 20; }
 };
+
+// SIGINT/SIGTERM request a graceful stop: the explorers poll the flag,
+// drain, write a final checkpoint when one was requested, and cacval
+// exits 128+signo.  Only async-signal-safe stores happen here.
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signo{0};
+
+extern "C" void handle_stop_signal(int signo) {
+  g_signo.store(signo, std::memory_order_relaxed);
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+/// 128+signo if the run was interrupted, otherwise the verdict code.
+int finish_exit_code(int verdict_code) {
+  const int signo = g_signo.load(std::memory_order_relaxed);
+  return signo != 0 ? 128 + signo : verdict_code;
+}
 
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr, "cacval: %s\n(see the header of tools/cacval.cpp "
@@ -84,7 +122,14 @@ struct Options {
 }
 
 std::uint64_t parse_u64(const std::string& s) {
-  return std::stoull(s, nullptr, 0);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(s, &used, 0);
+    if (used != s.size()) usage(("bad number: " + s).c_str());
+    return v;
+  } catch (const std::exception&) {
+    usage(("bad number: " + s).c_str());
+  }
 }
 
 std::pair<std::string, std::string> split_eq(const std::string& s) {
@@ -134,11 +179,24 @@ Options parse_args(int argc, char** argv) {
           static_cast<std::uint32_t>(parse_u64(next()));
     }
     else if (a == "--exact-steps") o.exact_steps = parse_u64(next());
+    else if (a == "--checkpoint") o.explore.checkpoint_path = next();
+    else if (a == "--checkpoint-every") {
+      o.explore.checkpoint_every_states = parse_u64(next());
+    }
+    else if (a == "--resume") o.resume_path = next();
+    else if (a == "--deadline") o.explore.deadline_ms = parse_u64(next());
+    else if (a == "--mem-limit") {
+      o.explore.mem_limit_bytes = parse_u64(next()) * (1ull << 20);
+    }
     else if (a == "--independent") o.independent = true;
     else if (a == "--por") o.explore.partial_order_reduction = true;
     else if (a == "--profile") o.profile = true;
     else if (a == "--no-sync-insertion") o.insert_syncs = false;
     else usage(("unknown option " + a).c_str());
+  }
+  if (!o.explore.checkpoint_path.empty() &&
+      o.explore.checkpoint_every_states == 0) {
+    o.explore.checkpoint_every_states = 256;
   }
   return o;
 }
@@ -230,6 +288,41 @@ int cmd_run(const Options& o, const ptx::LoweredModule& mod) {
   return r.terminated() ? 0 : 1;
 }
 
+/// The fault/unknown diagnostics shared by check and validate: every
+/// violation with its precise kind and message (a stuck verdict
+/// carries sem::stuck_reason's explanation of *why* no warp can step —
+/// barrier divergence, exited warps waiting on a barrier, ...), and
+/// the exact limit for non-exhaustive runs.
+void print_exploration_diagnostics(const sched::ExploreResult& ex,
+                                   const Options& o) {
+  for (const sched::Violation& viol : ex.violations) {
+    std::printf("violation: %s: %s (after %zu steps)\n",
+                to_string(viol.kind).c_str(), viol.message.c_str(),
+                viol.trace.size());
+  }
+  if (!ex.exhaustive) {
+    std::printf("limit tripped: %s (max-states=%llu, max-depth=%llu; "
+                "visited %llu states)\n",
+                to_string(ex.limit_hit).c_str(),
+                static_cast<unsigned long long>(o.explore.max_states),
+                static_cast<unsigned long long>(o.explore.max_depth),
+                static_cast<unsigned long long>(ex.states_visited));
+  }
+  if (ex.checkpointed) {
+    std::printf("checkpoint written: %s\n",
+                o.explore.checkpoint_path.c_str());
+  }
+}
+
+/// Load the --resume checkpoint, or null.  CheckpointError propagates
+/// to main's std::exception handler (exit 2) with the structured
+/// "checkpoint: ..." message.
+std::unique_ptr<sched::Checkpoint> load_resume(const Options& o) {
+  if (o.resume_path.empty()) return nullptr;
+  return std::make_unique<sched::Checkpoint>(
+      sched::Checkpoint::load(o.resume_path));
+}
+
 int cmd_check(const Options& o, const ptx::LoweredModule& mod) {
   const ptx::Program& prg = pick_kernel(mod, o);
   sem::Launch launch = make_launch(prg, o, mod);
@@ -239,20 +332,16 @@ int cmd_check(const Options& o, const ptx::LoweredModule& mod) {
   }
   check::ModelCheckOptions opts;
   opts.explore = o.explore;
+  opts.explore.stop_flag = &g_stop;
   opts.require_schedule_independence = o.independent;
   opts.expect_exact_steps = o.exact_steps;
+  const auto resume = load_resume(o);
+  opts.resume = resume.get();
+  install_signal_handlers();
   const check::Verdict v = check::prove_total(prg, launch.config(),
                                               launch.machine(), post, opts);
   std::printf("%s: %s\n", to_string(v.kind).c_str(), v.detail.c_str());
-  if (!v.exploration.exhaustive) {
-    std::printf("limit tripped: %s (max-states=%llu, max-depth=%llu; "
-                "visited %llu states)\n",
-                to_string(v.exploration.limit_hit).c_str(),
-                static_cast<unsigned long long>(o.explore.max_states),
-                static_cast<unsigned long long>(o.explore.max_depth),
-                static_cast<unsigned long long>(
-                    v.exploration.states_visited));
-  }
+  print_exploration_diagnostics(v.exploration, o);
   if (!v.counterexample.empty()) {
     std::printf("counterexample schedule (%zu steps):",
                 v.counterexample.size());
@@ -262,7 +351,7 @@ int cmd_check(const Options& o, const ptx::LoweredModule& mod) {
     }
     std::printf(v.counterexample.size() > show ? " ...\n" : "\n");
   }
-  return v.proved() ? 0 : 1;
+  return finish_exit_code(v.proved() ? 0 : 1);
 }
 
 int cmd_validate(const Options& o, const ptx::LoweredModule& mod) {
@@ -274,22 +363,18 @@ int cmd_validate(const Options& o, const ptx::LoweredModule& mod) {
   }
   check::ValidateOptions opts;
   opts.model.explore = o.explore;
+  opts.model.explore.stop_flag = &g_stop;
   opts.model.require_schedule_independence = o.independent;
   opts.model.expect_exact_steps = o.exact_steps;
+  const auto resume = load_resume(o);
+  opts.model.resume = resume.get();
   opts.collect_profile = o.profile;
+  install_signal_handlers();
   const check::ValidationReport report =
       check::validate(prg, launch.config(), launch.machine(), post, opts);
   std::printf("%s", report.text().c_str());
-  if (!report.model.exploration.exhaustive) {
-    std::printf("limit tripped: %s (max-states=%llu, max-depth=%llu; "
-                "visited %llu states)\n",
-                to_string(report.model.exploration.limit_hit).c_str(),
-                static_cast<unsigned long long>(o.explore.max_states),
-                static_cast<unsigned long long>(o.explore.max_depth),
-                static_cast<unsigned long long>(
-                    report.model.exploration.states_visited));
-  }
-  return report.all_passed() ? 0 : 1;
+  print_exploration_diagnostics(report.model.exploration, o);
+  return finish_exit_code(report.all_passed() ? 0 : 1);
 }
 
 int cmd_races(const Options& o, const ptx::LoweredModule& mod) {

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Crash drill for cacval's checkpoint/resume path.
+
+Runs the real binary against a real kernel and abuses it the way an
+operator's machine would:
+
+  1. baseline     — uninterrupted run, record the verdict line
+  2. deadline     — tiny --deadline budget must stop gracefully, write a
+                    checkpoint, and name the precise limit; --resume must
+                    then reproduce the baseline verdict exactly
+  3. sigint       — SIGINT mid-run must drain, checkpoint, exit 130;
+                    --resume reproduces the baseline verdict
+  4. sigkill      — SIGKILL mid-run (no chance to clean up); whatever
+                    checkpoint the periodic writer left behind must load
+                    and resume to the baseline verdict (atomic
+                    write-then-rename means the file is never partial)
+  5. corruption   — a damaged checkpoint must be rejected with exit 2
+                    and a structured "checkpoint:" diagnostic, never a
+                    crash or a wrong verdict
+
+Usage: checkpoint_crash_drill.py CACVAL PTX_FILE
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+KERNEL_ARGS = [
+    "--grid", "4", "--block", "2", "--warp", "1",
+    "--global", "64", "--param", "out=0",
+]
+
+
+def run(cacval, ptx, extra, timeout=300):
+    proc = subprocess.run(
+        [cacval, "check", ptx] + KERNEL_ARGS + extra,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, timeout=timeout)
+    return proc.returncode, proc.stdout
+
+
+def verdict_line(output):
+    for line in output.splitlines():
+        if line.startswith(("proved", "refuted", "unknown", "fault")):
+            return line
+    return None
+
+
+def fail(msg, output=""):
+    print("DRILL FAIL:", msg)
+    if output:
+        print("--- output ---")
+        print(output)
+    sys.exit(1)
+
+
+def kill_mid_run(cacval, ptx, extra, signo, delay):
+    """Start a run, deliver `signo` after `delay` seconds.
+
+    Returns (returncode, stdout, delivered) — delivered is False when
+    the run finished before the signal could land (machine too fast);
+    callers must tolerate that instead of flaking.
+    """
+    proc = subprocess.Popen(
+        [cacval, "check", ptx] + KERNEL_ARGS + extra,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    time.sleep(delay)
+    delivered = proc.poll() is None
+    if delivered:
+        proc.send_signal(signo)
+    out, _ = proc.communicate(timeout=300)
+    return proc.returncode, out, delivered
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: checkpoint_crash_drill.py CACVAL PTX_FILE")
+    cacval, ptx = sys.argv[1], sys.argv[2]
+    workdir = tempfile.mkdtemp(prefix="cac_drill_")
+    ck = os.path.join(workdir, "drill.ckpt")
+
+    # 1. baseline
+    code, out = run(cacval, ptx, [])
+    baseline = verdict_line(out)
+    if baseline is None:
+        fail("baseline run produced no verdict", out)
+    print("baseline:", baseline)
+
+    # 2. deadline budget → graceful stop + checkpoint + precise reason
+    code, out = run(cacval, ptx, ["--deadline", "30", "--checkpoint", ck])
+    if "limit tripped: deadline" not in out:
+        fail("deadline budget did not report 'limit tripped: deadline'", out)
+    if "checkpoint written" not in out or not os.path.exists(ck):
+        fail("deadline stop did not write a checkpoint", out)
+    code, out = run(cacval, ptx, ["--resume", ck])
+    if verdict_line(out) != baseline:
+        fail("resume after deadline stop diverged from baseline", out)
+    print("deadline: stopped, checkpointed, resumed to identical verdict")
+    os.remove(ck)
+
+    # 3. SIGINT → drain, checkpoint, exit 130, resume identical
+    for attempt in range(5):
+        code, out, delivered = kill_mid_run(
+            cacval, ptx, ["--checkpoint", ck], signal.SIGINT,
+            0.2 + 0.2 * attempt)
+        if delivered:
+            break
+    if delivered:
+        if code != 130:
+            fail("SIGINT exit status %d, want 130" % code, out)
+        if not os.path.exists(ck):
+            fail("SIGINT did not leave a checkpoint", out)
+        code, out = run(cacval, ptx, ["--resume", ck])
+        if verdict_line(out) != baseline:
+            fail("resume after SIGINT diverged from baseline", out)
+        print("sigint: exit 130, checkpointed, resumed to identical verdict")
+        os.remove(ck)
+    else:
+        print("sigint: run finished before signal landed; skipped")
+
+    # 4. SIGKILL mid-run — only the periodic checkpointer has run; the
+    # newest complete checkpoint must resume to the baseline verdict.
+    resumed = False
+    for attempt in range(6):
+        if os.path.exists(ck):
+            os.remove(ck)
+        code, out, delivered = kill_mid_run(
+            cacval, ptx,
+            ["--checkpoint", ck, "--checkpoint-every", "4000"],
+            signal.SIGKILL, 0.3 + 0.15 * attempt)
+        if not delivered:
+            print("sigkill: run finished before kill; retrying")
+            continue
+        if code != -signal.SIGKILL:
+            fail("SIGKILL run exited %d, want -9" % code, out)
+        if not os.path.exists(ck):
+            # Killed before the first periodic checkpoint; a fresh run
+            # from scratch is the correct (and only) recovery.
+            print("sigkill: killed before first checkpoint; retrying later")
+            continue
+        code, out = run(cacval, ptx, ["--resume", ck])
+        if verdict_line(out) != baseline:
+            fail("resume after SIGKILL diverged from baseline", out)
+        print("sigkill: resumed from periodic checkpoint to identical verdict")
+        resumed = True
+        break
+    if not resumed:
+        print("sigkill: no kill landed after a checkpoint; phase skipped")
+
+    # 5. corruption — a damaged file is a structured exit-2 diagnostic
+    code, out = run(cacval, ptx, ["--deadline", "30", "--checkpoint", ck])
+    if not os.path.exists(ck):
+        fail("could not produce a checkpoint for the corruption phase", out)
+    with open(ck, "rb") as f:
+        blob = f.read()
+    for label, bad in [
+        ("truncated", blob[: len(blob) // 2]),
+        ("bit-flipped", blob[:40] + bytes([blob[40] ^ 0x01]) + blob[41:]),
+        ("version-skewed", blob[:8] + bytes([9]) + blob[9:]),
+    ]:
+        with open(ck, "wb") as f:
+            f.write(bad)
+        code, out = run(cacval, ptx, ["--resume", ck])
+        if code != 2:
+            fail("%s checkpoint: exit %d, want 2" % (label, code), out)
+        if "checkpoint" not in out:
+            fail("%s checkpoint: no structured diagnostic" % label, out)
+    print("corruption: truncated/bit-flipped/version-skewed all "
+          "rejected with exit 2")
+
+    print("DRILL PASS")
+
+
+if __name__ == "__main__":
+    main()
