@@ -1,0 +1,149 @@
+// Distributed exploration cost model: what a forked worker fleet
+// costs on one host (process launch, frontier exchange over AF_UNIX
+// sockets, coordinator merge + replay) and how evenly the hash
+// partition spreads the visited set.  The workload is the paper's
+// vector sum, same as bench_parallel_explore and bench_checkpoint, so
+// the numbers compose: the speedup_vs_serial field bench_to_json.py
+// derives is the single-host distribution overhead (expected < 1 on a
+// one-core container — the fleet buys address-space capacity and
+// fault isolation, not wall-clock, until it spans hosts).
+//
+// tools/bench_to_json.py runs this binary (alongside
+// bench_parallel_explore and bench_checkpoint) and snapshots the
+// per-worker ownership counters, frontier message volume, and
+// shard-balance skew into BENCH_explore.json's `distributed` section.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/explore.h"
+#include "sem/launch.h"
+
+namespace {
+
+using namespace cac;
+using programs::VecAddLayout;
+
+sem::Machine vecadd_machine(const ptx::Program& prg,
+                            const sem::KernelConfig& kc, std::uint32_t size) {
+  const VecAddLayout L;
+  sem::LaunchSpec spec;
+  spec.grid = kc.grid;
+  spec.block = kc.block;
+  spec.warp_size = kc.warp_size;
+  spec.global_bytes = L.global_bytes;
+  spec.shared_bytes = 0;
+  spec.params = {{"arr_A", L.a}, {"arr_B", L.b}, {"arr_C", L.c},
+                 {"size", size}};
+  for (std::uint32_t i = 0; i < size && 4 * i < 0x100; ++i) {
+    spec.inits.emplace_back(L.a + 4 * i, i);
+    spec.inits.emplace_back(L.b + 4 * i, i);
+  }
+  return spec.to_launch(prg).machine();
+}
+
+struct Workload {
+  ptx::Program prg;
+  sem::KernelConfig kc;
+  sem::Machine init;
+  explicit Workload(std::uint32_t warps)
+      : prg(programs::vector_add_listing2()),
+        kc{{1, 1, 1}, {4 * warps, 1, 1}, 4},
+        init(vecadd_machine(prg, kc, 4 * warps)) {}
+};
+
+/// Distributed exploration over a forked single-host fleet.  workers=0
+/// is the serial baseline (the in-process engine, no fleet at all) so
+/// bench_to_json.py can derive speedup_vs_serial; workers>=1 launches
+/// that many partition-owning processes per iteration, including the
+/// fork, socket setup, frontier exchange, graph merge, and replay.
+void BM_DistExplore(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  const bool por = state.range(1) != 0;
+  const Workload w(2);
+
+  sched::ExploreOptions opts;
+  opts.partial_order_reduction = por;
+
+  std::uint64_t states = 0, total = 0, frontier = 0;
+  double skew = 1.0;
+  std::vector<std::uint64_t> owned;
+  for (auto _ : state) {
+    if (workers == 0) {
+      const sched::ExploreResult r = sched::explore(w.prg, w.kc, w.init, opts);
+      if (!r.exhaustive) throw KernelError("serial run not exhaustive");
+      states = r.states_visited;
+      total += r.states_visited;
+      continue;
+    }
+    dist::DistOptions dopts;
+    dopts.n_workers = workers;
+    const dist::DistResult r =
+        dist::explore_distributed(w.prg, w.kc, w.init, opts, dopts);
+    if (!r.result.exhaustive) throw KernelError("dist run not exhaustive");
+    states = r.result.states_visited;
+    total += r.result.states_visited;
+    frontier = r.stats.frontier_msgs;
+    skew = r.stats.skew();
+    owned.clear();
+    for (const auto& pw : r.stats.workers) owned.push_back(pw.owned);
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["por"] = por ? 1.0 : 0.0;
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+  if (workers != 0) {
+    state.counters["frontier_msgs"] = static_cast<double>(frontier);
+    state.counters["shard_skew"] = skew;
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      state.counters["owned_w" + std::to_string(i)] =
+          static_cast<double>(owned[i]);
+    }
+  }
+}
+BENCHMARK(BM_DistExplore)
+    ->ArgNames({"workers", "por"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({0, 1})
+    ->Args({2, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+struct Banner {
+  Banner() {
+    std::printf(
+        "Distributed exploration cost model — forked worker fleet with a\n"
+        "hash-partitioned visited set.  workers=0 is the in-process serial\n"
+        "baseline; each fleet iteration includes fork, socket setup,\n"
+        "frontier exchange, merge, and replay.  Verdicts are byte-identical\n"
+        "to the serial engine by construction.\n\n");
+  }
+} banner;
+
+}  // namespace
+
+/// Custom main so CI can smoke the bench cheaply: `--quick` maps to a
+/// minimal measuring time before the standard benchmark flags parse.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char quick_flag[] = "--benchmark_min_time=0.01";
+  for (auto& a : args) {
+    if (std::strcmp(a, "--quick") == 0) a = quick_flag;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

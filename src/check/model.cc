@@ -75,6 +75,10 @@ Verdict from_exploration(sched::ExploreResult&& ex, const Spec& post,
 Verdict prove_total(const ptx::Program& prg, const sem::KernelConfig& kc,
                     const sem::Machine& initial, const Spec& post,
                     const ModelCheckOptions& opts) {
+  if (opts.explorer) {
+    return from_exploration(opts.explorer(prg, kc, initial, opts.explore),
+                            post, opts);
+  }
   return from_exploration(
       sched::explore(prg, kc, initial, opts.explore, opts.resume), post,
       opts);

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "check/spec.h"
@@ -43,6 +44,14 @@ struct ModelCheckOptions {
   /// outlive the call.  The resumed run must use the same program,
   /// kernel configuration, and exploration policy.
   const sched::Checkpoint* resume = nullptr;
+  /// Alternative exploration engine (e.g. the distributed coordinator,
+  /// dist/coordinator.h).  When set it replaces sched::explore; the
+  /// supplied engine must produce verdict-equivalent ExploreResults.
+  /// `resume` is ignored — engines carry their own resume plumbing.
+  using explorer_type = std::function<sched::ExploreResult(
+      const ptx::Program&, const sem::KernelConfig&, const sem::Machine&,
+      const sched::ExploreOptions&)>;
+  explorer_type explorer;
 };
 
 struct Verdict {

@@ -1,0 +1,926 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "dist/transport.h"
+#include "dist/worker.h"
+#include "sched/checkpoint.h"
+#include "sched/checkpoint_codec.h"
+#include "support/binio.h"
+
+namespace cac::dist {
+
+using support::BinReader;
+using support::BinWriter;
+
+double DistStats::skew() const {
+  std::uint64_t total = 0;
+  std::uint64_t biggest = 0;
+  for (const PerWorker& w : workers) {
+    total += w.owned;
+    biggest = std::max(biggest, w.owned);
+  }
+  if (total == 0 || workers.empty()) return 0.0;
+  return static_cast<double>(biggest) * static_cast<double>(workers.size()) /
+         static_cast<double>(total);
+}
+
+namespace {
+
+using Limit = sched::ExploreResult::Limit;
+
+/// Internal control-flow signal: a worker vanished; unwind run_once()
+/// into the relaunch loop.
+struct WorkerDiedSignal {
+  std::uint32_t worker = kNoWorker;
+};
+
+/// Structural-options equality via the codec: two option sets resume-
+/// compatible iff their canonical encodings agree byte-for-byte.
+std::string structural_bytes(const sched::ExploreOptions& o) {
+  BinWriter w;
+  sched::codec::encode_options(w, o);
+  return w.take();
+}
+
+// --- merged-graph replay ---------------------------------------------
+
+struct RNode {
+  std::uint32_t worker = 0;
+  sched::StateId id;
+  bool processed = false;
+  bool terminal = false;
+  bool stuck = false;
+  std::string stuck_reason;
+  struct REdge {
+    sem::Choice choice;
+    bool faulted = false;
+    bool overflow = false;
+    std::string fault;
+    RNode* child = nullptr;
+  };
+  std::vector<REdge> edges;
+  enum class Color : std::uint8_t { White, OnStack, Done };
+  Color color = Color::White;
+};
+
+/// The merged distributed graph plus the per-worker stores finals are
+/// materialized from.
+struct MergedGraph {
+  std::vector<std::unique_ptr<sched::StateStore>> stores;  // per worker
+  std::deque<RNode> arena;                                 // stable addrs
+  std::vector<std::unordered_map<std::uint32_t, RNode*>> by_local;
+  RNode* root = nullptr;
+};
+
+MergedGraph merge_parts(std::vector<GraphPartMsg>& parts, Gid root) {
+  MergedGraph g;
+  const std::size_t n = parts.size();
+  g.stores.resize(n);
+  g.by_local.resize(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    g.stores[w] = std::make_unique<sched::StateStore>();
+    try {
+      BinReader r(parts[w].store);
+      g.stores[w]->decode(r);
+      if (!r.done()) throw support::BinError("trailing bytes after store");
+    } catch (const support::BinError& e) {
+      throw DistError(DistError::Kind::Corrupt,
+                      std::string("graph part store: ") + e.what());
+    }
+    for (const GraphPartMsg::Node& rec : parts[w].nodes) {
+      g.arena.push_back(RNode{});
+      RNode* nd = &g.arena.back();
+      nd->worker = static_cast<std::uint32_t>(w);
+      nd->id = sched::StateId{rec.local};
+      nd->processed = rec.processed != 0;
+      nd->terminal = rec.terminal != 0;
+      nd->stuck = rec.stuck != 0;
+      nd->stuck_reason = rec.stuck_reason;
+      g.by_local[w].emplace(rec.local, nd);
+    }
+  }
+  const auto lookup = [&](Gid gid) -> RNode* {
+    if (gid.worker() >= n) {
+      throw DistError(DistError::Kind::Corrupt,
+                      "edge references an unknown worker");
+    }
+    const auto it = g.by_local[gid.worker()].find(gid.local());
+    if (it == g.by_local[gid.worker()].end()) {
+      throw DistError(DistError::Kind::Corrupt,
+                      "edge references an unknown node");
+    }
+    return it->second;
+  };
+  for (std::size_t w = 0; w < n; ++w) {
+    for (const GraphPartMsg::Node& rec : parts[w].nodes) {
+      RNode* nd = g.by_local[w].at(rec.local);
+      nd->edges.reserve(rec.edges.size());
+      for (const GraphPartMsg::Edge& er : rec.edges) {
+        RNode::REdge e;
+        e.choice = er.choice;
+        e.faulted = er.faulted != 0;
+        e.overflow = er.overflow != 0;
+        e.fault = er.fault;
+        if (!e.faulted && !e.overflow) e.child = lookup(er.child);
+        nd->edges.push_back(std::move(e));
+      }
+    }
+  }
+  if (root.valid()) g.root = lookup(root);
+  return g;
+}
+
+/// Serial DFS over the merged graph — a mirror of the in-process
+/// parallel engine's replay() (explore_parallel.cc), with Gid-keyed
+/// finals dedup and finals re-interned into a fresh result store.
+/// Keeping the enter() checks in the same order is what makes the
+/// distributed verdict byte-identical to the serial engine's.
+sched::ExploreResult replay(MergedGraph& g, const sched::ExploreOptions& opts,
+                            Limit stop_reason) {
+  sched::ExploreResult result;
+  result.min_steps_to_termination = ~0ull;
+
+  std::unordered_set<std::uint64_t> finals_seen;
+  std::vector<Gid> finals_order;
+  struct Frame {
+    RNode* node;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<sem::Choice> path;
+  std::uint64_t entered = 0;
+  bool limits_hit = false;
+
+  auto hit_limit = [&](Limit l) {
+    limits_hit = true;
+    if (result.limit_hit == Limit::None) result.limit_hit = l;
+  };
+
+  auto add_violation = [&](sched::Violation::Kind kind, std::string msg) {
+    result.violations.push_back({kind, std::move(msg), path});
+  };
+
+  auto enter = [&](RNode* nd) -> bool {
+    if (nd == nullptr) {  // overflow edge: a partition was at the cap
+      hit_limit(Limit::MaxStates);
+      return false;
+    }
+    if (nd->color == RNode::Color::OnStack) {
+      add_violation(sched::Violation::Kind::Cycle,
+                    "schedule revisits an earlier state: a scheduler can "
+                    "loop forever");
+      return false;
+    }
+    if (nd->color == RNode::Color::Done) return false;
+    if (entered >= opts.max_states) {
+      hit_limit(Limit::MaxStates);
+      return false;
+    }
+    ++entered;
+    ++result.states_visited;
+
+    if (nd->terminal) {
+      nd->color = RNode::Color::Done;
+      result.min_steps_to_termination =
+          std::min<std::uint64_t>(result.min_steps_to_termination,
+                                  path.size());
+      result.max_steps_to_termination =
+          std::max<std::uint64_t>(result.max_steps_to_termination,
+                                  path.size());
+      const Gid gid = Gid::make(nd->worker, nd->id.v);
+      if (finals_seen.insert(gid.v).second) finals_order.push_back(gid);
+      return false;
+    }
+    if (nd->stuck) {
+      nd->color = RNode::Color::Done;
+      add_violation(sched::Violation::Kind::Stuck, nd->stuck_reason);
+      return false;
+    }
+    if (!nd->processed) {
+      nd->color = RNode::Color::Done;
+      if (stop_reason != Limit::None) {
+        // Budget-stopped run: this node sits on the unexpanded
+        // frontier, not past the depth bound.
+        hit_limit(stop_reason);
+        return false;
+      }
+      hit_limit(Limit::MaxDepth);
+      if (path.size() >= opts.max_depth) {
+        add_violation(sched::Violation::Kind::DepthExceeded,
+                      "path exceeded the exploration depth bound");
+      }
+      return false;
+    }
+    if (path.size() >= opts.max_depth) {
+      nd->color = RNode::Color::Done;
+      hit_limit(Limit::MaxDepth);
+      add_violation(sched::Violation::Kind::DepthExceeded,
+                    "path exceeded the exploration depth bound");
+      return false;
+    }
+    nd->color = RNode::Color::OnStack;
+    stack.push_back(Frame{nd, 0});
+    return true;
+  };
+
+  enter(g.root);
+
+  auto should_stop = [&] {
+    return opts.stop_at_first_violation && !result.violations.empty();
+  };
+
+  while (!stack.empty() && !should_stop()) {
+    Frame& top = stack.back();
+    if (top.next >= top.node->edges.size()) {
+      top.node->color = RNode::Color::Done;
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+    const RNode::REdge& e = top.node->edges[top.next++];
+    ++result.transitions;
+    path.push_back(e.choice);
+    if (e.faulted) {
+      add_violation(sched::Violation::Kind::Fault, e.fault);
+      path.pop_back();
+      continue;
+    }
+    if (!enter(e.overflow ? nullptr : e.child)) path.pop_back();
+  }
+
+  if (result.min_steps_to_termination == ~0ull) {
+    result.min_steps_to_termination = 0;
+  }
+  // Re-intern the finals into a fresh store in first-visit order, so
+  // result.final_ids materialize to exactly the machines (and order)
+  // the serial engine reports.
+  auto result_store = std::make_shared<sched::StateStore>();
+  result.final_ids.reserve(finals_order.size());
+  for (const Gid gid : finals_order) {
+    const sem::Machine m =
+        g.stores[gid.worker()]->materialize(sched::StateId{gid.local()});
+    const auto r = result_store->intern(m);
+    result.final_ids.push_back(r.id);
+  }
+  result.store = std::move(result_store);
+  result.exhaustive = !limits_hit && stack.empty();
+  return result;
+}
+
+// --- the coordinator proper ------------------------------------------
+
+struct Peer {
+  Fd fd;
+  pid_t pid = -1;  // fork mode only
+  FrameReader reader;
+  SendBuf outbuf;
+  ProbeAckMsg last_ack;   // most recent, any nonce
+  bool acked_round = false;
+  bool have_part = false;
+  bool ckpt_acked = false;
+};
+
+class Coordinator {
+ public:
+  Coordinator(const ptx::Program& prg, const sem::KernelConfig& kc,
+              const sem::Machine& initial,
+              const sched::ExploreOptions& opts, const DistOptions& dopts)
+      : prg_(prg),
+        kc_(kc),
+        initial_(initial),
+        opts_(opts),
+        dopts_(dopts),
+        program_fp_(sched::program_fingerprint(prg)),
+        config_fp_(sched::config_fingerprint(kc)) {
+    if (dopts_.n_workers == 0) {
+      throw DistError(DistError::Kind::Protocol,
+                      "need at least one worker");
+    }
+    if (!dopts_.resume_manifest.empty()) load_resume_manifest();
+  }
+
+  ~Coordinator() { cleanup_peers(); }
+
+  DistResult run() {
+    t_start_ = std::chrono::steady_clock::now();
+    for (;;) {
+      try {
+        return run_once();
+      } catch (const WorkerDiedSignal& s) {
+        cleanup_peers();
+        ++stats_.restarts;
+        die_cleared_ = true;  // the seam fires at most once
+        if (!fork_mode()) {
+          throw DistError(
+              DistError::Kind::PeerDied,
+              "remote worker " + std::to_string(s.worker) +
+                  " disconnected; restart the workers and resume from "
+                  "the last checkpoint");
+        }
+        if (stats_.restarts > dopts_.max_restarts) {
+          throw DistError(DistError::Kind::PeerDied,
+                          "worker died " +
+                              std::to_string(stats_.restarts) +
+                              " times; giving up");
+        }
+        if (dopts_.verbose) {
+          std::fprintf(stderr,
+                       "dist: worker %u died; relaunching fleet "
+                       "(restart %llu, generation %llu)\n",
+                       s.worker,
+                       static_cast<unsigned long long>(stats_.restarts),
+                       static_cast<unsigned long long>(committed_gen_));
+        }
+        // Relaunch everything.  With a committed generation the whole
+        // fleet — including the lost partition — reloads its
+        // "<base>.g<gen>.w<idx>" snapshot; otherwise the run restarts
+        // from the root.  Either way the continued run's verdict
+        // equals an uninterrupted run's.
+        if (committed_gen_ > 0) {
+          resume_ = true;
+          resume_base_ = opts_.checkpoint_path;
+          resume_gen_ = committed_gen_;
+          // root_ stays: the manifest's root is already in memory.
+        }
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] bool fork_mode() const { return dopts_.listen.empty() &&
+                                                dopts_.listen_fd < 0; }
+
+  void load_resume_manifest() {
+    const Frame f =
+        load_frame_file(dopts_.resume_manifest, FrameType::kManifest);
+    ManifestMsg m;
+    try {
+      BinReader r(f.payload);
+      m = ManifestMsg::decode(r);
+      if (!r.done()) throw support::BinError("trailing bytes");
+    } catch (const support::BinError& e) {
+      throw sched::CheckpointError(
+          sched::CheckpointError::Kind::Corrupt,
+          std::string(e.what()) + " in " + dopts_.resume_manifest);
+    }
+    const auto fail = [](const std::string& msg) {
+      throw sched::CheckpointError(sched::CheckpointError::Kind::Mismatch,
+                                   msg);
+    };
+    if (m.program_fp != program_fp_) {
+      fail("program differs from the checkpointed run");
+    }
+    if (m.config_fp != config_fp_) {
+      fail("kernel configuration differs from the checkpointed run");
+    }
+    if (structural_bytes(m.options) != structural_bytes(opts_)) {
+      fail("exploration options differ from the checkpointed run");
+    }
+    if (m.n_workers != dopts_.n_workers) {
+      fail("distributed resume requires the original --dist-workers (" +
+           std::to_string(m.n_workers) + ")");
+    }
+    resume_ = true;
+    resume_base_ = dopts_.resume_manifest;
+    resume_gen_ = m.generation;
+    committed_gen_ = m.generation;
+    gen_ = m.generation;
+    root_ = m.root;
+    root_acked_ = true;
+  }
+
+  // --- fleet lifecycle ----------------------------------------------
+
+  void launch() {
+    peers_.clear();
+    peers_.resize(dopts_.n_workers);
+    if (fork_mode()) {
+      std::vector<Fd> child_ends(dopts_.n_workers);
+      for (std::uint32_t i = 0; i < dopts_.n_workers; ++i) {
+        auto [parent_end, child_end] = socket_pair();
+        peers_[i].fd = std::move(parent_end);
+        child_ends[i] = std::move(child_end);
+      }
+      for (std::uint32_t i = 0; i < dopts_.n_workers; ++i) {
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+          throw DistError(DistError::Kind::Io, "fork failed");
+        }
+        if (pid == 0) {
+          // Child: keep only our socket end, become worker i, and
+          // _exit without running parent-side cleanup.
+          for (Peer& p : peers_) p.fd.reset();
+          for (std::uint32_t j = 0; j < dopts_.n_workers; ++j) {
+            if (j != i) child_ends[j].reset();
+          }
+          int code = 0;
+          try {
+            run_worker(child_ends[i].get(), prg_, kc_);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "dist: worker %u: %s\n", i, e.what());
+            code = 1;
+          } catch (...) {
+            code = 1;
+          }
+          ::_exit(code);
+        }
+        peers_[i].pid = pid;
+        child_ends[i].reset();
+        if (dopts_.verbose) {
+          std::fprintf(stderr, "dist: worker %u pid %d\n", i,
+                       static_cast<int>(pid));
+        }
+      }
+    } else {
+      Fd listener;
+      if (dopts_.listen_fd >= 0) {
+        listener = Fd(dopts_.listen_fd);
+        // The seam fd is single-use; don't close it twice on restart.
+        const_cast<DistOptions&>(dopts_).listen_fd = -1;
+      } else {
+        listener = tcp_listen(dopts_.listen);
+      }
+      for (std::uint32_t i = 0; i < dopts_.n_workers; ++i) {
+        peers_[i].fd = tcp_accept(listener.get());
+      }
+    }
+
+    for (std::uint32_t i = 0; i < dopts_.n_workers; ++i) {
+      SetupMsg s;
+      s.worker_index = i;
+      s.n_workers = dopts_.n_workers;
+      s.program_fp = program_fp_;
+      s.config_fp = config_fp_;
+      s.options = opts_;  // codec strips transient fields
+      s.checkpoint_base = opts_.checkpoint_path;
+      s.resume = resume_ ? 1 : 0;
+      s.resume_base = resume_base_;
+      s.generation = resume_gen_;
+      if (!die_cleared_) {
+        s.die_worker = dopts_.die_worker;
+        s.die_after_states = dopts_.die_after_states;
+      }
+      queue_msg(i, FrameType::kSetup, s);
+    }
+  }
+
+  void cleanup_peers() {
+    for (Peer& p : peers_) {
+      if (p.pid > 0) ::kill(p.pid, SIGKILL);
+      p.fd.reset();
+    }
+    for (Peer& p : peers_) {
+      if (p.pid > 0) {
+        int status = 0;
+        ::waitpid(p.pid, &status, 0);
+        p.pid = -1;
+      }
+    }
+    peers_.clear();
+  }
+
+  // --- frame plumbing -----------------------------------------------
+
+  template <typename Msg>
+  void queue_msg(std::uint32_t worker, FrameType t, const Msg& m) {
+    BinWriter w;
+    m.encode(w);
+    peers_[worker].outbuf.append(encode_frame(t, w.buffer()));
+  }
+
+  template <typename Msg>
+  void broadcast(FrameType t, const Msg& m) {
+    for (std::uint32_t i = 0; i < peers_.size(); ++i) queue_msg(i, t, m);
+  }
+
+  /// Control frames (pause/resume/dump/stop) carry no payload.
+  void broadcast_control(FrameType t) {
+    const std::string frame = encode_frame(t, "");
+    for (Peer& p : peers_) p.outbuf.append(frame);
+  }
+
+  [[nodiscard]] bool outbufs_empty() const {
+    for (const Peer& p : peers_) {
+      if (!p.outbuf.empty()) return false;
+    }
+    return true;
+  }
+
+  /// One poll round: flush what we can, read what there is, dispatch
+  /// every complete frame.  Throws WorkerDiedSignal when a peer whose
+  /// death we are not expecting vanishes.
+  void pump(int timeout_ms) {
+    std::vector<pollfd> fds(peers_.size());
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      fds[i].fd = peers_[i].fd.get();
+      fds[i].events =
+          static_cast<short>(POLLIN | (peers_[i].outbuf.empty() ? 0
+                                                                : POLLOUT));
+    }
+    if (::poll(fds.data(), fds.size(), timeout_ms) < 0) {
+      if (errno == EINTR) return;
+      throw DistError(DistError::Kind::Io, "poll failed");
+    }
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      Peer& p = peers_[i];
+      if (!p.outbuf.empty() &&
+          (fds[i].revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+        if (!flush_some(p.fd.get(), p.outbuf)) {
+          worker_died(static_cast<std::uint32_t>(i));
+        }
+      }
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        if (!pump_reads(p.fd.get(), p.reader)) {
+          // Drain what was buffered before the EOF, then report.
+          dispatch_all(static_cast<std::uint32_t>(i));
+          worker_died(static_cast<std::uint32_t>(i));
+        }
+        dispatch_all(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  void worker_died(std::uint32_t worker) {
+    if (stopping_) return;  // EOF after kStop is a clean exit
+    throw WorkerDiedSignal{worker};
+  }
+
+  void dispatch_all(std::uint32_t from) {
+    while (std::optional<Frame> f = peers_[from].reader.next()) {
+      dispatch(from, *f);
+    }
+  }
+
+  void dispatch(std::uint32_t from, const Frame& f) {
+    switch (f.type) {
+      case FrameType::kState:
+      case FrameType::kResolve: {
+        // Routed work frame: forward by the u32 target in the first
+        // four payload bytes.
+        if (f.payload.size() < 4) {
+          throw DistError(DistError::Kind::Corrupt,
+                          "routed frame too short");
+        }
+        std::uint32_t target = 0;
+        for (int i = 0; i < 4; ++i) {
+          target |= static_cast<std::uint32_t>(
+                        static_cast<unsigned char>(f.payload[i]))
+                    << (8 * i);
+        }
+        if (target >= peers_.size()) {
+          throw DistError(DistError::Kind::Corrupt,
+                          "routed frame targets an unknown worker");
+        }
+        peers_[target].outbuf.append(encode_frame(f.type, f.payload));
+        return;
+      }
+      default:
+        break;
+    }
+    try {
+      BinReader r(f.payload);
+      switch (f.type) {
+        case FrameType::kRootAck: {
+          const RootAckMsg m = RootAckMsg::decode(r);
+          root_ = m.root;
+          root_acked_ = true;
+          break;
+        }
+        case FrameType::kProbeAck: {
+          const ProbeAckMsg m = ProbeAckMsg::decode(r);
+          if (m.worker != from) {
+            throw DistError(DistError::Kind::Protocol,
+                            "probe ack from the wrong worker");
+          }
+          peers_[from].last_ack = m;
+          if (m.nonce == probe_nonce_) peers_[from].acked_round = true;
+          break;
+        }
+        case FrameType::kCheckpointAck: {
+          const CheckpointAckMsg m = CheckpointAckMsg::decode(r);
+          if (m.ok == 0) {
+            throw sched::CheckpointError(
+                sched::CheckpointError::Kind::Io,
+                "worker " + std::to_string(from) +
+                    " failed to checkpoint: " + m.error);
+          }
+          peers_[from].ckpt_acked = true;
+          break;
+        }
+        case FrameType::kGraphPart: {
+          GraphPartMsg m = GraphPartMsg::decode(r);
+          if (m.worker != from) {
+            throw DistError(DistError::Kind::Protocol,
+                            "graph part from the wrong worker");
+          }
+          parts_[from] = std::move(m);
+          peers_[from].have_part = true;
+          break;
+        }
+        default:
+          throw DistError(DistError::Kind::Protocol,
+                          "unexpected frame from worker " +
+                              std::to_string(from));
+      }
+      if (!r.done()) throw support::BinError("trailing bytes");
+    } catch (const support::BinError& e) {
+      throw DistError(DistError::Kind::Corrupt, e.what());
+    }
+  }
+
+  // --- termination detection ----------------------------------------
+
+  /// Two-round quiescence: a probe round is *clean* when every worker
+  /// reports idle (or paused, while pausing), the global work-frame
+  /// ledger balances (everything sent — including the coordinator's
+  /// root seed — was processed), and the coordinator holds no
+  /// undelivered frames.  Two consecutive clean rounds with identical
+  /// counters mean no activity can ever occur again: the counters are
+  /// monotone, and workers only send while expanding or processing.
+  bool quiescent(bool require_paused) {
+    if (!probe_inflight_) {
+      ++probe_nonce_;
+      for (Peer& p : peers_) p.acked_round = false;
+      broadcast(FrameType::kProbe, ProbeMsg{probe_nonce_});
+      probe_inflight_ = true;
+      return false;
+    }
+    for (const Peer& p : peers_) {
+      if (!p.acked_round) return false;
+    }
+    probe_inflight_ = false;  // round complete; evaluate it
+    std::uint64_t sent = coord_sent_work_;
+    std::uint64_t processed = 0;
+    bool all_ready = root_acked_ || resume_;
+    for (const Peer& p : peers_) {
+      sent += p.last_ack.sent;
+      processed += p.last_ack.processed;
+      if (require_paused) {
+        all_ready = all_ready && p.last_ack.paused != 0;
+      } else {
+        all_ready = all_ready && p.last_ack.idle != 0 &&
+                    p.last_ack.paused == 0;
+      }
+    }
+    const bool clean =
+        all_ready && sent == processed && outbufs_empty();
+    if (clean && last_clean_sent_ == sent &&
+        last_clean_processed_ == processed) {
+      ++stable_rounds_;
+    } else if (clean) {
+      stable_rounds_ = 1;
+      last_clean_sent_ = sent;
+      last_clean_processed_ = processed;
+    } else {
+      stable_rounds_ = 0;
+    }
+    return stable_rounds_ >= 2;
+  }
+
+  void reset_quiescence() {
+    probe_inflight_ = false;
+    stable_rounds_ = 0;
+    last_clean_sent_ = ~0ull;
+    last_clean_processed_ = ~0ull;
+  }
+
+  void wait_quiescent(bool require_paused) {
+    reset_quiescence();
+    while (!quiescent(require_paused)) pump(2);
+  }
+
+  // --- budgets -------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t total_owned() const {
+    std::uint64_t total = 0;
+    for (const Peer& p : peers_) total += p.last_ack.owned;
+    return total;
+  }
+
+  [[nodiscard]] Limit budget_tripped() const {
+    if (opts_.stop_flag != nullptr &&
+        opts_.stop_flag->load(std::memory_order_relaxed)) {
+      return Limit::Interrupted;
+    }
+    if (opts_.stop_after_states != 0 &&
+        total_owned() >= opts_.stop_after_states) {
+      return Limit::Interrupted;
+    }
+    if (opts_.deadline_ms != 0 &&
+        std::chrono::steady_clock::now() - t_start_ >=
+            std::chrono::milliseconds(opts_.deadline_ms)) {
+      return Limit::Deadline;
+    }
+    if (opts_.mem_limit_bytes != 0) {
+      std::uint64_t rss = sched::current_rss_bytes();
+      for (const Peer& p : peers_) rss += p.last_ack.rss_bytes;
+      if (rss >= opts_.mem_limit_bytes) return Limit::MemLimit;
+    }
+    return Limit::None;
+  }
+
+  // --- checkpointing -------------------------------------------------
+
+  /// Pause -> quiesce -> per-worker generation files -> manifest
+  /// commit.  The manifest rename is the commit point: a generation
+  /// exists only once every worker's file is safely on disk, so resume
+  /// always composes a mutually consistent cut.
+  void write_generation() {
+    broadcast_control(FrameType::kPause);
+    wait_quiescent(/*require_paused=*/true);
+
+    const std::uint64_t gen = gen_ + 1;
+    for (Peer& p : peers_) p.ckpt_acked = false;
+    broadcast(FrameType::kWriteCheckpoint, WriteCheckpointMsg{gen});
+    while (!std::all_of(peers_.begin(), peers_.end(),
+                        [](const Peer& p) { return p.ckpt_acked; })) {
+      pump(2);
+    }
+
+    ManifestMsg m;
+    m.program_fp = program_fp_;
+    m.config_fp = config_fp_;
+    m.options = opts_;
+    m.n_workers = dopts_.n_workers;
+    m.generation = gen;
+    m.root = root_;
+    BinWriter w;
+    m.encode(w);
+    write_frame_file(opts_.checkpoint_path, FrameType::kManifest,
+                     w.buffer());
+    // Previous generation's files are now dead weight.
+    if (gen_ > 0) {
+      for (std::uint32_t i = 0; i < dopts_.n_workers; ++i) {
+        std::remove(
+            worker_checkpoint_path(opts_.checkpoint_path, gen_, i)
+                .c_str());
+      }
+    }
+    gen_ = gen;
+    committed_gen_ = gen;
+    stats_.generations = gen;
+    checkpointed_ = true;
+  }
+
+  // --- run -----------------------------------------------------------
+
+  DistResult run_once() {
+    stopping_ = false;
+    root_acked_ = resume_;  // a resumed run's root is known up front
+    coord_sent_work_ = 0;
+    parts_.assign(dopts_.n_workers, GraphPartMsg{});
+    reset_quiescence();
+    launch();
+
+    if (!resume_) {
+      // Seed the root with its owner.
+      const sem::Machine root_copy(initial_);
+      const std::uint64_t h = root_copy.hash();
+      BinWriter sw;
+      encode_machine_as_state(root_copy, sw);
+      StateMsg sm;
+      sm.target = owner_of(h, dopts_.n_workers);
+      sm.parent = Gid{};
+      sm.depth = 0;
+      sm.state = sw.take();
+      queue_msg(sm.target, FrameType::kState, sm);
+      coord_sent_work_ = 1;
+      ++stats_.frontier_msgs;
+    }
+
+    const bool periodic = !opts_.checkpoint_path.empty() &&
+                          opts_.checkpoint_every_states != 0;
+    std::uint64_t next_ckpt_at =
+        periodic ? opts_.checkpoint_every_states : ~0ull;
+
+    Limit stop_reason = Limit::None;
+    for (;;) {
+      pump(2);
+      stop_reason = budget_tripped();
+      if (stop_reason == Limit::None &&
+          total_owned() >= opts_.max_states) {
+        // The fleet holds the state cap collectively; stop expanding.
+        // Structural, exactly like a cap hit inside one partition.
+        stop_reason = Limit::MaxStates;
+      }
+      if (stop_reason != Limit::None) break;
+      if (periodic && total_owned() >= next_ckpt_at) {
+        write_generation();
+        next_ckpt_at = total_owned() + opts_.checkpoint_every_states;
+        broadcast_control(FrameType::kResume);
+        reset_quiescence();
+        continue;
+      }
+      if (quiescent(/*require_paused=*/false)) break;
+    }
+
+    if (stop_reason != Limit::None && !opts_.checkpoint_path.empty()) {
+      write_generation();  // graceful stop: persist the frontier
+    } else if (stop_reason != Limit::None) {
+      // Still need a consistent cut before dumping the graph.
+      broadcast_control(FrameType::kPause);
+      wait_quiescent(/*require_paused=*/true);
+    }
+
+    // Collect the graph, stop the fleet.
+    broadcast_control(FrameType::kDump);
+    while (!std::all_of(peers_.begin(), peers_.end(),
+                        [](const Peer& p) { return p.have_part; })) {
+      pump(2);
+    }
+    broadcast_control(FrameType::kStop);
+    stopping_ = true;
+    while (!outbufs_empty()) pump(2);
+    cleanup_stopped_fleet();
+
+    // Merge + replay.
+    MergedGraph g = merge_parts(parts_, root_);
+    DistResult out;
+    out.result = replay(g, opts_, stop_reason);
+    out.result.checkpointed = checkpointed_;
+    out.stats = stats_;
+    out.stats.workers.resize(dopts_.n_workers);
+    for (std::uint32_t i = 0; i < dopts_.n_workers; ++i) {
+      DistStats::PerWorker& w = out.stats.workers[i];
+      w.owned = parts_[i].owned;
+      w.frontier_sent = parts_[i].frontier_sent;
+      w.resolves_sent = parts_[i].resolves_sent;
+      w.bytes_sent = parts_[i].bytes_sent;
+      w.bytes_received = parts_[i].bytes_received;
+      out.stats.frontier_msgs += parts_[i].frontier_sent;
+    }
+    return out;
+  }
+
+  /// Orderly shutdown: close our ends, reap the children.
+  void cleanup_stopped_fleet() {
+    for (Peer& p : peers_) p.fd.reset();
+    for (Peer& p : peers_) {
+      if (p.pid > 0) {
+        int status = 0;
+        ::waitpid(p.pid, &status, 0);
+        p.pid = -1;
+      }
+    }
+  }
+
+  const ptx::Program& prg_;
+  const sem::KernelConfig& kc_;
+  const sem::Machine& initial_;
+  const sched::ExploreOptions& opts_;
+  const DistOptions& dopts_;
+  const std::uint64_t program_fp_;
+  const std::uint64_t config_fp_;
+
+  std::vector<Peer> peers_;
+  std::vector<GraphPartMsg> parts_;
+  DistStats stats_;
+  std::chrono::steady_clock::time_point t_start_;
+
+  Gid root_;
+  bool root_acked_ = false;
+  bool stopping_ = false;
+  bool die_cleared_ = false;
+  bool checkpointed_ = false;
+  std::uint64_t coord_sent_work_ = 0;
+
+  // resume / generations
+  bool resume_ = false;
+  std::string resume_base_;
+  std::uint64_t resume_gen_ = 0;
+  std::uint64_t gen_ = 0;
+  std::uint64_t committed_gen_ = 0;
+
+  // probe machinery
+  std::uint64_t probe_nonce_ = 0;
+  bool probe_inflight_ = false;
+  unsigned stable_rounds_ = 0;
+  std::uint64_t last_clean_sent_ = ~0ull;
+  std::uint64_t last_clean_processed_ = ~0ull;
+};
+
+}  // namespace
+
+DistResult explore_distributed(const ptx::Program& prg,
+                               const sem::KernelConfig& kc,
+                               const sem::Machine& initial,
+                               const sched::ExploreOptions& opts,
+                               const DistOptions& dopts) {
+  Coordinator c(prg, kc, initial, opts, dopts);
+  return c.run();
+}
+
+}  // namespace cac::dist

@@ -1,0 +1,180 @@
+#include "dist/transport.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cac::dist {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw DistError(DistError::Kind::Io,
+                  what + ": " + std::strerror(errno));
+}
+
+bool peer_gone(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ENOTCONN;
+}
+
+/// Split "host:port" at the last colon (empty host allowed).
+std::pair<std::string, std::string> split_spec(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    throw DistError(DistError::Kind::Protocol,
+                    "endpoint must be host:port, got '" + spec + "'");
+  }
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void send_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (peer_gone(errno)) {
+        throw DistError(DistError::Kind::PeerDied, "peer closed the socket");
+      }
+      io_fail("send");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool pump_reads(int fd, FrameReader& fr, std::uint64_t* bytes) {
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      fr.feed(buf, static_cast<std::size_t>(n));
+      if (bytes != nullptr) *bytes += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    if (peer_gone(errno)) return false;
+    io_fail("recv");
+  }
+}
+
+bool flush_some(int fd, SendBuf& buf) {
+  while (buf.pos < buf.data.size()) {
+    const ssize_t w =
+        ::send(fd, buf.data.data() + buf.pos, buf.data.size() - buf.pos,
+               MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (peer_gone(errno)) return false;
+      io_fail("send");
+    }
+    buf.pos += static_cast<std::size_t>(w);
+  }
+  if (buf.pos == buf.data.size()) {
+    buf.data.clear();
+    buf.pos = 0;
+  } else if (buf.pos >= buf.data.size() / 2) {
+    buf.data.erase(0, buf.pos);
+    buf.pos = 0;
+  }
+  return true;
+}
+
+std::pair<Fd, Fd> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    io_fail("socketpair");
+  }
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+Fd tcp_listen(const std::string& spec) {
+  const auto [host, port] = split_spec(spec);
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw DistError(DistError::Kind::Io,
+                    "resolve " + spec + ": " + gai_strerror(rc));
+  }
+  Fd fd;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd cand(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!cand.valid()) continue;
+    const int one = 1;
+    ::setsockopt(cand.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(cand.get(), ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(cand.get(), 64) == 0) {
+      fd = std::move(cand);
+      break;
+    }
+  }
+  ::freeaddrinfo(res);
+  if (!fd.valid()) io_fail("listen on " + spec);
+  return fd;
+}
+
+Fd tcp_accept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Fd(fd);
+    }
+    if (errno == EINTR) continue;
+    io_fail("accept");
+  }
+}
+
+Fd tcp_connect(const std::string& spec) {
+  const auto [host, port] = split_spec(spec);
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                    port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw DistError(DistError::Kind::Io,
+                    "resolve " + spec + ": " + gai_strerror(rc));
+  }
+  Fd fd;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd cand(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!cand.valid()) continue;
+    if (::connect(cand.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(cand.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one));
+      fd = std::move(cand);
+      break;
+    }
+  }
+  ::freeaddrinfo(res);
+  if (!fd.valid()) io_fail("connect to " + spec);
+  return fd;
+}
+
+}  // namespace cac::dist

@@ -1,0 +1,93 @@
+// Socket plumbing for the distributed explorer: RAII fds, full-buffer
+// sends, nonblocking read pumps, and the two connection modes —
+// AF_UNIX socketpairs for forked single-host workers and TCP
+// listen/connect for multi-host runs (cacval --dist-listen /
+// dist-worker --dist-connect).
+//
+// Blocking discipline (the deadlock-freedom argument, see
+// docs/distributed.md): the coordinator never blocks on a write — it
+// buffers outbound frames per worker and drains them on POLLOUT —
+// while workers may write blockingly, because the coordinator is
+// always draining its read side.  All sends use MSG_NOSIGNAL; a dead
+// peer surfaces as DistError(PeerDied), never SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "dist/wire.h"
+
+namespace cac::dist {
+
+/// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Write the whole buffer, blocking as needed.  Throws
+/// DistError(PeerDied) when the peer is gone, DistError(Io) otherwise.
+void send_all(int fd, const void* data, std::size_t n);
+
+/// Drain everything currently readable (nonblocking) into the frame
+/// reader.  Returns false on orderly EOF — the peer closed.  Adds the
+/// byte count to *bytes when given.  Throws DistError on socket
+/// errors; the reader throws DistError(Corrupt) from next() if the
+/// fed bytes are malformed.
+bool pump_reads(int fd, FrameReader& fr, std::uint64_t* bytes = nullptr);
+
+/// Outbound byte queue with a lazily-compacted consumed prefix, so a
+/// multi-megabyte backlog is not recopied on every partial send (the
+/// naive erase-from-front is quadratic in backlog size).
+struct SendBuf {
+  std::string data;
+  std::size_t pos = 0;  // consumed prefix
+
+  void append(std::string_view bytes) { data.append(bytes); }
+  [[nodiscard]] bool empty() const { return pos == data.size(); }
+  [[nodiscard]] std::size_t pending() const { return data.size() - pos; }
+};
+
+/// Try to send a prefix of `buf` without blocking.  Returns false when
+/// the peer is gone (ECONNRESET/EPIPE) — the coordinator's
+/// non-throwing variant, so worker death during a flush routes into
+/// recovery rather than unwinding.
+bool flush_some(int fd, SendBuf& buf);
+
+/// Connected AF_UNIX stream pair (fork mode: coordinator keeps
+/// .first, the child keeps .second).
+std::pair<Fd, Fd> socket_pair();
+
+/// TCP endpoints.  `spec` is "host:port"; an empty host means all
+/// interfaces for listen and loopback for connect.
+Fd tcp_listen(const std::string& spec);
+Fd tcp_accept(int listen_fd);
+Fd tcp_connect(const std::string& spec);
+
+}  // namespace cac::dist

@@ -1,0 +1,538 @@
+#include "dist/worker.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "sched/checkpoint.h"
+#include "sched/explore_internal.h"
+#include "sched/state_store.h"
+#include "support/binio.h"
+
+namespace cac::dist {
+
+namespace {
+
+using support::BinError;
+using support::BinReader;
+using support::BinWriter;
+
+class Worker {
+ public:
+  Worker(int fd, const ptx::Program& prg, const sem::KernelConfig& kc)
+      : fd_(fd), prg_(prg), kc_(kc) {}
+
+  void run() {
+    while (!stop_) {
+      // Drain buffered frames before treating EOF as fatal: the kStop
+      // frame and the close often land in the same recv batch.
+      const bool alive = pump_reads(fd_, reader_, &bytes_in_);
+      while (std::optional<Frame> f = reader_.next()) {
+        handle(*f);
+        if (stop_) return;
+      }
+      if (!alive) {
+        throw DistError(DistError::Kind::PeerDied,
+                        "coordinator closed the connection");
+      }
+      if (have_setup_ && !paused_ && !tasks_.empty()) {
+        const Task t = tasks_.back();
+        tasks_.pop_back();
+        expand(t);
+        continue;
+      }
+      pollfd p{fd_, POLLIN, 0};
+      ::poll(&p, 1, 20);
+    }
+  }
+
+ private:
+  /// One outgoing transition.  `pending` marks a remote child whose
+  /// kResolve has not arrived yet; quiescence guarantees none remain
+  /// by the time a checkpoint or graph part is serialized.
+  struct Edge {
+    sem::Choice choice;
+    bool faulted = false;
+    bool overflow = false;
+    bool pending = false;
+    std::string fault;
+    Gid child;
+  };
+  struct Node {
+    sched::StateId id;
+    bool processed = false;
+    bool terminal = false;
+    bool stuck = false;
+    std::string stuck_reason;
+    std::vector<Edge> edges;
+  };
+  struct Task {
+    Node* node = nullptr;
+    std::uint64_t depth = 0;
+  };
+  /// Dedup record for one distinct remote state: resolved owner
+  /// verdict plus the local edges still waiting for it.
+  struct MirrorEntry {
+    bool resolved = false;
+    bool overflow = false;
+    Gid child;
+    std::vector<std::pair<Node*, std::uint32_t>> waiters;
+  };
+
+  template <typename Msg>
+  void send_msg(FrameType t, const Msg& m) {
+    BinWriter w;
+    m.encode(w);
+    const std::string bytes = encode_frame(t, w.buffer());
+    send_all(fd_, bytes.data(), bytes.size());
+    bytes_out_ += bytes.size();
+  }
+
+  [[noreturn]] static void protocol(const std::string& what) {
+    throw DistError(DistError::Kind::Protocol, what);
+  }
+
+  void handle(const Frame& f) {
+    if (!have_setup_ && f.type != FrameType::kSetup) {
+      protocol("first frame must be setup");
+    }
+    try {
+      BinReader r(f.payload);
+      switch (f.type) {
+        case FrameType::kSetup: {
+          if (have_setup_) protocol("duplicate setup");
+          on_setup(SetupMsg::decode(r));
+          break;
+        }
+        case FrameType::kState:
+          on_state(StateMsg::decode(r));
+          break;
+        case FrameType::kResolve:
+          on_resolve(ResolveMsg::decode(r));
+          break;
+        case FrameType::kProbe:
+          on_probe(ProbeMsg::decode(r));
+          break;
+        case FrameType::kPause:
+          paused_ = true;
+          break;
+        case FrameType::kResume:
+          paused_ = false;
+          break;
+        case FrameType::kWriteCheckpoint:
+          on_write_checkpoint(WriteCheckpointMsg::decode(r));
+          break;
+        case FrameType::kDump:
+          on_dump();
+          break;
+        case FrameType::kStop:
+          stop_ = true;
+          break;
+        default:
+          protocol("unexpected frame type " +
+                   std::to_string(static_cast<int>(f.type)));
+      }
+      if (!r.done()) throw BinError("trailing bytes after payload");
+    } catch (const BinError& e) {
+      throw DistError(DistError::Kind::Corrupt, e.what());
+    }
+  }
+
+  void on_setup(SetupMsg m) {
+    if (m.program_fp != sched::program_fingerprint(prg_) ||
+        m.config_fp != sched::config_fingerprint(kc_)) {
+      protocol("setup fingerprints do not match this worker's kernel");
+    }
+    setup_ = std::move(m);
+    have_setup_ = true;
+    if (setup_.resume != 0) restore();
+  }
+
+  Node* add_node(sched::StateId id) {
+    nodes_.push_back(Node{});
+    Node* n = &nodes_.back();
+    n->id = id;
+    node_of_.emplace(id.v, n);
+    return n;
+  }
+
+  /// Deterministic SIGKILL seam for the crash drill: die the moment
+  /// this partition reaches the configured size.  A real SIGKILL —
+  /// no unwinding, no flushing — exactly what an OOM kill or a lost
+  /// host looks like to the coordinator.
+  void die_check() {
+    if (setup_.die_worker == setup_.worker_index &&
+        setup_.die_after_states != 0 &&
+        store_.size() >= setup_.die_after_states) {
+      ::kill(::getpid(), SIGKILL);
+    }
+  }
+
+  void on_state(const StateMsg& m) {
+    BinReader sr(m.state);
+    const sched::StateStore::WireIntern wi =
+        store_.decode_state(sr, setup_.options.max_states);
+    if (!sr.done()) throw BinError("trailing bytes in state record");
+    if (owner_of(wi.hash, setup_.n_workers) != setup_.worker_index) {
+      protocol("received a state this worker does not own");
+    }
+    ++processed_;
+    const bool overflow = !wi.result.id.valid();
+    if (!overflow && wi.result.inserted) {
+      Node* n = add_node(wi.result.id);
+      tasks_.push_back(Task{n, m.depth});
+      die_check();
+    }
+    const Gid child = overflow
+                          ? Gid{}
+                          : Gid::make(setup_.worker_index, wi.result.id.v);
+    if (!m.parent.valid()) {
+      // Coordinator's root seed.
+      if (!overflow) {
+        has_root_ = true;
+        root_local_ = wi.result.id.v;
+      }
+      send_msg(FrameType::kRootAck, RootAckMsg{child});
+      return;
+    }
+    ResolveMsg rm;
+    rm.target = m.parent.worker();
+    rm.parent = m.parent;
+    rm.edge_index = m.edge_index;
+    rm.mirror_id = m.mirror_id;
+    rm.overflow = overflow ? 1 : 0;
+    rm.child = child;
+    send_msg(FrameType::kResolve, rm);
+    ++sent_;
+    ++resolves_sent_;
+  }
+
+  static void patch(Edge& e, const MirrorEntry& entry) {
+    e.pending = false;
+    if (entry.overflow) {
+      e.overflow = true;
+    } else {
+      e.child = entry.child;
+    }
+  }
+
+  void on_resolve(const ResolveMsg& m) {
+    ++processed_;
+    const auto it = mirror_entries_.find(m.mirror_id);
+    if (it == mirror_entries_.end()) {
+      protocol("resolve for an unknown mirror id");
+    }
+    MirrorEntry& entry = it->second;
+    entry.resolved = true;
+    entry.overflow = m.overflow != 0;
+    entry.child = m.child;
+    for (const auto& [node, edge_index] : entry.waiters) {
+      patch(node->edges[edge_index], entry);
+    }
+    entry.waiters.clear();
+  }
+
+  void on_probe(const ProbeMsg& m) {
+    ProbeAckMsg ack;
+    ack.nonce = m.nonce;
+    ack.worker = setup_.worker_index;
+    ack.sent = sent_;
+    ack.processed = processed_;
+    ack.idle = tasks_.empty() ? 1 : 0;
+    ack.paused = paused_ ? 1 : 0;
+    ack.owned = store_.size();
+    ack.rss_bytes = sched::current_rss_bytes();
+    send_msg(FrameType::kProbeAck, ack);
+  }
+
+  /// Mirror of the in-process engine's expand()
+  /// (explore_parallel.cc): same classification, same eligible-choice
+  /// edge order, so the merged graph is the one the serial DFS would
+  /// build — with the single difference that a child hashing to a
+  /// foreign partition is interned remotely via kState/kResolve.
+  void expand(const Task& t) {
+    Node* node = t.node;
+    const sem::Machine state = store_.materialize(node->id);
+
+    if (sem::terminated(prg_, state.grid)) {
+      node->terminal = true;
+      node->processed = true;
+      return;
+    }
+    auto eligible = sem::eligible_choices(prg_, state.grid);
+    if (setup_.options.partial_order_reduction) {
+      sched::internal::reduce_choices(prg_, state.grid, eligible);
+    }
+    if (eligible.empty()) {
+      node->stuck = true;
+      node->stuck_reason = sem::stuck_reason(prg_, state.grid);
+      node->processed = true;
+      return;
+    }
+    if (t.depth >= setup_.options.max_depth) {
+      // Depth-gated: the coordinator's replay reports DepthExceeded
+      // when it reaches this unprocessed node, as the serial engine
+      // would.
+      return;
+    }
+
+    node->edges.reserve(eligible.size());
+    for (const sem::Choice& c : eligible) {
+      Edge e;
+      e.choice = c;
+      sem::Machine child(state);
+      const sem::StepResult sr = sem::apply_choice(
+          prg_, kc_, child, c, setup_.options.step_opts, nullptr);
+      if (!sr.ok()) {
+        e.faulted = true;
+        e.fault = sr.fault;
+        node->edges.push_back(std::move(e));
+        continue;
+      }
+      const std::uint64_t h = child.hash();  // memoized pre-intern
+      const std::uint32_t owner = owner_of(h, setup_.n_workers);
+      if (owner == setup_.worker_index) {
+        const auto r = store_.intern(child, setup_.options.max_states);
+        if (!r.id.valid()) {
+          e.overflow = true;
+          node->edges.push_back(std::move(e));
+          continue;
+        }
+        e.child = Gid::make(setup_.worker_index, r.id.v);
+        node->edges.push_back(std::move(e));
+        if (r.inserted) {
+          Node* cn = add_node(r.id);
+          tasks_.push_back(Task{cn, t.depth + 1});
+          die_check();
+        }
+        continue;
+      }
+      // Foreign child: dedup through the mirror store so each distinct
+      // remote state is shipped (and resolved) exactly once.
+      const auto mr = mirror_.intern(child);
+      const auto edge_index =
+          static_cast<std::uint32_t>(node->edges.size());
+      if (mr.inserted) {
+        e.pending = true;
+        node->edges.push_back(std::move(e));
+        mirror_entries_[mr.id.v].waiters.emplace_back(node, edge_index);
+        BinWriter sw;
+        mirror_.encode_state(mr.id, sw);
+        StateMsg sm;
+        sm.target = owner;
+        sm.parent = Gid::make(setup_.worker_index, node->id.v);
+        sm.edge_index = edge_index;
+        sm.mirror_id = mr.id.v;
+        sm.depth = t.depth + 1;
+        sm.state = sw.take();
+        send_msg(FrameType::kState, sm);
+        ++sent_;
+        ++frontier_sent_;
+      } else {
+        MirrorEntry& entry = mirror_entries_[mr.id.v];
+        if (entry.resolved) {
+          patch(e, entry);
+          node->edges.push_back(std::move(e));
+        } else {
+          e.pending = true;
+          node->edges.push_back(std::move(e));
+          entry.waiters.emplace_back(node, edge_index);
+        }
+      }
+    }
+    node->processed = true;
+  }
+
+  std::vector<GraphPartMsg::Node> snapshot_nodes() const {
+    std::vector<GraphPartMsg::Node> out;
+    out.reserve(nodes_.size());
+    for (const Node& n : nodes_) {
+      GraphPartMsg::Node rec;
+      rec.local = n.id.v;
+      rec.processed = n.processed ? 1 : 0;
+      rec.terminal = n.terminal ? 1 : 0;
+      rec.stuck = n.stuck ? 1 : 0;
+      rec.stuck_reason = n.stuck_reason;
+      rec.edges.reserve(n.edges.size());
+      for (const Edge& e : n.edges) {
+        if (e.pending) {
+          protocol("serializing a graph with unresolved edges (the "
+                   "coordinator skipped quiescence)");
+        }
+        GraphPartMsg::Edge er;
+        er.choice = e.choice;
+        er.faulted = e.faulted ? 1 : 0;
+        er.overflow = e.overflow ? 1 : 0;
+        er.child = e.child;
+        er.fault = e.fault;
+        rec.edges.push_back(std::move(er));
+      }
+      out.push_back(std::move(rec));
+    }
+    return out;
+  }
+
+  void on_write_checkpoint(const WriteCheckpointMsg& m) {
+    CheckpointAckMsg ack;
+    ack.worker = setup_.worker_index;
+    try {
+      WorkerCheckpointMsg ck;
+      ck.program_fp = setup_.program_fp;
+      ck.config_fp = setup_.config_fp;
+      ck.options = setup_.options;
+      ck.n_workers = setup_.n_workers;
+      ck.worker_index = setup_.worker_index;
+      ck.generation = m.generation;
+      ck.has_root = has_root_ ? 1 : 0;
+      ck.root_local = root_local_;
+      BinWriter sw;
+      store_.encode(sw);
+      ck.store = sw.take();
+      ck.nodes = snapshot_nodes();
+      ck.frontier.reserve(tasks_.size());
+      for (const Task& t : tasks_) {
+        ck.frontier.emplace_back(t.node->id.v, t.depth);
+      }
+      BinWriter w;
+      ck.encode(w);
+      write_frame_file(
+          worker_checkpoint_path(setup_.checkpoint_base, m.generation,
+                                 setup_.worker_index),
+          FrameType::kWorkerCheckpoint, w.buffer());
+      ack.ok = 1;
+    } catch (const std::exception& e) {
+      ack.ok = 0;
+      ack.error = e.what();
+    }
+    send_msg(FrameType::kCheckpointAck, ack);
+  }
+
+  void on_dump() {
+    GraphPartMsg part;
+    part.worker = setup_.worker_index;
+    part.has_root = has_root_ ? 1 : 0;
+    part.root_local = root_local_;
+    BinWriter sw;
+    store_.encode(sw);
+    part.store = sw.take();
+    part.nodes = snapshot_nodes();
+    part.owned = store_.size();
+    part.frontier_sent = frontier_sent_;
+    part.resolves_sent = resolves_sent_;
+    part.bytes_sent = bytes_out_;
+    part.bytes_received = bytes_in_;
+    send_msg(FrameType::kGraphPart, part);
+  }
+
+  /// Resume: reload this partition from its generation file.  The
+  /// cut was quiescent, so every edge is resolved and the mirror cache
+  /// can start empty — re-sending a state the owner already holds is
+  /// answered from its store without re-expansion.
+  void restore() {
+    const std::string path = worker_checkpoint_path(
+        setup_.resume_base, setup_.generation, setup_.worker_index);
+    const Frame f = load_frame_file(path, FrameType::kWorkerCheckpoint);
+    WorkerCheckpointMsg ck;
+    try {
+      BinReader r(f.payload);
+      ck = WorkerCheckpointMsg::decode(r);
+      if (!r.done()) throw BinError("trailing bytes after payload");
+    } catch (const BinError& e) {
+      throw sched::CheckpointError(sched::CheckpointError::Kind::Corrupt,
+                                   std::string(e.what()) + " in " + path);
+    }
+    if (ck.program_fp != setup_.program_fp ||
+        ck.config_fp != setup_.config_fp) {
+      throw sched::CheckpointError(
+          sched::CheckpointError::Kind::Mismatch,
+          path + " belongs to a different run");
+    }
+    if (ck.n_workers != setup_.n_workers ||
+        ck.worker_index != setup_.worker_index ||
+        ck.generation != setup_.generation) {
+      throw sched::CheckpointError(
+          sched::CheckpointError::Kind::Mismatch,
+          path + " belongs to a different partition or generation");
+    }
+    try {
+      BinReader sr(ck.store);
+      store_.decode(sr);
+      if (!sr.done()) throw BinError("trailing bytes after store");
+    } catch (const BinError& e) {
+      throw sched::CheckpointError(sched::CheckpointError::Kind::Corrupt,
+                                   std::string(e.what()) + " in " + path);
+    }
+    for (const GraphPartMsg::Node& rec : ck.nodes) {
+      Node* n = add_node(sched::StateId{rec.local});
+      n->processed = rec.processed != 0;
+      n->terminal = rec.terminal != 0;
+      n->stuck = rec.stuck != 0;
+      n->stuck_reason = rec.stuck_reason;
+      n->edges.reserve(rec.edges.size());
+      for (const GraphPartMsg::Edge& er : rec.edges) {
+        Edge e;
+        e.choice = er.choice;
+        e.faulted = er.faulted != 0;
+        e.overflow = er.overflow != 0;
+        e.child = er.child;
+        e.fault = er.fault;
+        n->edges.push_back(std::move(e));
+      }
+    }
+    has_root_ = ck.has_root != 0;
+    root_local_ = ck.root_local;
+    for (const auto& [local, depth] : ck.frontier) {
+      const auto it = node_of_.find(local);
+      if (it == node_of_.end()) {
+        throw sched::CheckpointError(
+            sched::CheckpointError::Kind::Corrupt,
+            "frontier references unknown node in " + path);
+      }
+      tasks_.push_back(Task{it->second, depth});
+    }
+  }
+
+  const int fd_;
+  const ptx::Program& prg_;
+  const sem::KernelConfig& kc_;
+  FrameReader reader_;
+  SetupMsg setup_;
+  bool have_setup_ = false;
+  bool paused_ = false;
+  bool stop_ = false;
+
+  sched::StateStore store_;   // owned partition
+  sched::StateStore mirror_;  // dedup cache for foreign children
+  std::deque<Node> nodes_;    // stable addresses, insertion order
+  std::unordered_map<std::uint32_t, Node*> node_of_;  // StateId.v -> node
+  std::deque<Task> tasks_;
+  std::unordered_map<std::uint32_t, MirrorEntry> mirror_entries_;
+  bool has_root_ = false;
+  std::uint32_t root_local_ = 0;
+
+  // Monotone work-frame counters (kState + kResolve) feeding the
+  // coordinator's two-round quiescence detector.
+  std::uint64_t sent_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t frontier_sent_ = 0;
+  std::uint64_t resolves_sent_ = 0;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+}  // namespace
+
+void run_worker(int fd, const ptx::Program& prg,
+                const sem::KernelConfig& kc) {
+  Worker w(fd, prg, kc);
+  w.run();
+}
+
+}  // namespace cac::dist

@@ -1,0 +1,23 @@
+// One distributed-exploration worker: owns the hash partition
+// `owner_of(hash, n_workers) == worker_index` of the visited set,
+// expands states it owns, and ships every discovered foreign child to
+// that child's owner as a kState frame (deduplicated through a local
+// mirror store so each distinct remote state crosses the wire once).
+// See docs/distributed.md for the full protocol walk-through.
+#pragma once
+
+#include "ptx/program.h"
+#include "sem/config.h"
+
+namespace cac::dist {
+
+/// Run the worker protocol over the connected socket `fd` until the
+/// coordinator sends kStop.  Blocks for the whole run.  `prg`/`kc`
+/// must be the same kernel and launch the coordinator explores — the
+/// kSetup fingerprints are verified against them.  Throws DistError on
+/// protocol violations or a vanished coordinator; forked callers
+/// should catch everything and _exit.
+void run_worker(int fd, const ptx::Program& prg,
+                const sem::KernelConfig& kc);
+
+}  // namespace cac::dist

@@ -7,19 +7,18 @@
 #include <cstring>
 
 #include "ptx/program.h"
+#include "sched/checkpoint_codec.h"
 #include "support/binio.h"
 
 namespace cac::sched {
 
-namespace {
+// The choice/options codec lives in sched::codec (checkpoint_codec.h)
+// so the distributed explorer's frames and per-worker checkpoint files
+// stay byte-compatible with this format.
+namespace codec {
 
 using support::BinReader;
 using support::BinWriter;
-
-// "CACCKPT" + format family byte.  A change to the payload layout bumps
-// kFormatVersion, not the magic.
-constexpr char kMagic[8] = {'C', 'A', 'C', 'C', 'K', 'P', 'T', '1'};
-constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
 
 void encode_choice(BinWriter& w, const sem::Choice& c) {
   w.u8(static_cast<std::uint8_t>(c.kind));
@@ -82,6 +81,24 @@ ExploreOptions decode_options(BinReader& r) {
   o.step_opts.log_accesses = r.u8() != 0;
   return o;
 }
+
+}  // namespace codec
+
+namespace {
+
+using codec::decode_choice;
+using codec::decode_choices;
+using codec::decode_options;
+using codec::encode_choice;
+using codec::encode_choices;
+using codec::encode_options;
+using support::BinReader;
+using support::BinWriter;
+
+// "CACCKPT" + format family byte.  A change to the payload layout bumps
+// kFormatVersion, not the magic.
+constexpr char kMagic[8] = {'C', 'A', 'C', 'C', 'K', 'P', 'T', '1'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
 
 void encode_payload(BinWriter& w, const Checkpoint& ck) {
   w.u8(static_cast<std::uint8_t>(ck.engine));

@@ -1,0 +1,37 @@
+// Shared pieces of the checkpoint binary codec (sched/checkpoint.cc),
+// exposed so other persistence layers — the distributed explorer's
+// wire frames and per-worker checkpoint files (src/dist) — encode
+// schedule choices and structural exploration options byte-compatibly
+// with the single-process checkpoint format instead of growing a
+// second, subtly different codec.
+//
+// Everything here follows the support/binio.h discipline: decoders
+// throw support::BinError on malformed input (out-of-range enum tags,
+// implausible counts) and never return partially decoded state.
+#pragma once
+
+#include <vector>
+
+#include "sched/explore.h"
+
+namespace cac::support {
+class BinWriter;
+class BinReader;
+}  // namespace cac::support
+
+namespace cac::sched::codec {
+
+void encode_choice(support::BinWriter& w, const sem::Choice& c);
+sem::Choice decode_choice(support::BinReader& r);
+
+void encode_choices(support::BinWriter& w,
+                    const std::vector<sem::Choice>& cs);
+std::vector<sem::Choice> decode_choices(support::BinReader& r);
+
+/// The *structural* option fields only (bounds, POR, step order, stop
+/// policy) — the resume-compatibility fingerprint.  Transient fields
+/// (budgets, checkpoint paths, thread counts) are never serialized.
+void encode_options(support::BinWriter& w, const ExploreOptions& o);
+ExploreOptions decode_options(support::BinReader& r);
+
+}  // namespace cac::sched::codec

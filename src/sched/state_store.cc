@@ -147,7 +147,15 @@ StateStore::InternResult StateStore::intern(const sem::Machine& m,
   intern_bank(m.memory.bank_ref(mem::Space::Const));
   intern_bank(m.memory.bank_ref(mem::Space::Param));
 
-  const std::uint64_t h = m.hash();
+  return register_tuple(m.hash(), std::move(tuple), max_states, fresh_bytes,
+                        full_bytes, fresh_warps, fresh_banks);
+}
+
+StateStore::InternResult StateStore::register_tuple(
+    std::uint64_t h, std::vector<std::uint32_t>&& tuple,
+    std::uint64_t max_states, std::uint64_t fresh_bytes,
+    std::uint64_t full_bytes, std::uint64_t fresh_warps,
+    std::uint64_t fresh_banks) {
   const std::uint64_t masked = h & hash_mask_;
   const std::uint32_t shard_no =
       static_cast<std::uint32_t>(masked) & kStateShardMask;
@@ -353,6 +361,106 @@ void StateStore::decode(support::BinReader& r) {
   n_bank_frags_.store(r.u64(), std::memory_order_relaxed);
   resident_bytes_.store(r.u64(), std::memory_order_relaxed);
   materialized_bytes_.store(r.u64(), std::memory_order_relaxed);
+}
+
+void StateStore::encode_state(StateId id, support::BinWriter& w) const {
+  if (!id.valid()) throw KernelError("encode_state: invalid StateId");
+  const std::uint32_t shard_no = id.v & kStateShardMask;
+  const std::uint32_t local = id.v >> kStateShardBits;
+  const StateShard& s = state_shards_[shard_no];
+  std::uint64_t hash = 0;
+  std::vector<std::uint32_t> tuple;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (local >= s.recs.size()) {
+      throw KernelError("encode_state: unknown StateId");
+    }
+    hash = s.recs[local].hash;
+    tuple = s.recs[local].tuple;
+  }
+  w.u64(hash);
+  std::size_t k = 0;
+  w.u64(shape_.warps_per_block.size());
+  for (const std::uint32_t n_warps : shape_.warps_per_block) {
+    w.u64(n_warps);
+    for (std::uint32_t i = 0; i < n_warps; ++i) {
+      warps_.get(tuple[k++])->encode(w);
+    }
+  }
+  w.u64(shape_.shared_banks);
+  for (std::uint32_t i = 0; i < shape_.shared_banks; ++i) {
+    banks_.get(tuple[k++])->encode(w);
+  }
+  banks_.get(tuple[k++])->encode(w);  // global
+  banks_.get(tuple[k++])->encode(w);  // const
+  banks_.get(tuple[k])->encode(w);    // param
+  w.u64(shape_.shared_per_block);
+}
+
+StateStore::WireIntern StateStore::decode_state(support::BinReader& r,
+                                                std::uint64_t max_states) {
+  WireIntern out;
+  out.hash = r.u64();
+
+  Shape got;  // shape as described by this record, checked against ours
+  std::vector<std::uint32_t> tuple;
+  std::uint64_t fresh_bytes = 0;
+  std::uint64_t full_bytes = sizeof(sem::Machine);
+  std::uint64_t fresh_warps = 0;
+  std::uint64_t fresh_banks = 0;
+  std::uint32_t total_warps = 0;
+
+  const std::uint64_t nb = r.count(sizeof(std::uint64_t));
+  got.warps_per_block.reserve(nb);
+  for (std::uint64_t b = 0; b < nb; ++b) {
+    const std::uint64_t nw = r.count(1);
+    got.warps_per_block.push_back(static_cast<std::uint32_t>(nw));
+    total_warps += static_cast<std::uint32_t>(nw);
+    for (std::uint64_t i = 0; i < nw; ++i) {
+      const sem::Warp warp = sem::Warp::decode(r);
+      const Frag f = warps_.intern(warp, hash_mask_);
+      tuple.push_back(f.id);
+      full_bytes += f.deep_bytes;
+      if (f.inserted) {
+        fresh_bytes += f.deep_bytes;
+        ++fresh_warps;
+      }
+    }
+  }
+  const auto decode_bank = [&] {
+    auto bank =
+        std::make_shared<mem::Memory::Bank>(mem::Memory::Bank::decode(r));
+    const Frag f = banks_.intern(bank, hash_mask_);
+    tuple.push_back(f.id);
+    full_bytes += f.deep_bytes;
+    if (f.inserted) {
+      fresh_bytes += f.deep_bytes;
+      ++fresh_banks;
+    }
+  };
+  const std::uint64_t ns = r.count(1);
+  got.shared_banks = static_cast<std::uint32_t>(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) decode_bank();
+  decode_bank();  // global
+  decode_bank();  // const
+  decode_bank();  // param
+  got.shared_per_block = r.u64();
+  got.tuple_len = total_warps + got.shared_banks + 3;
+
+  // The first record fixes the store's shape; every later one must
+  // agree (all peers of one distributed run explore the same launch).
+  std::call_once(shape_once_, [&] { shape_ = got; });
+  if (got.warps_per_block != shape_.warps_per_block ||
+      got.shared_banks != shape_.shared_banks ||
+      got.shared_per_block != shape_.shared_per_block ||
+      got.tuple_len != shape_.tuple_len) {
+    throw support::BinError("state record shape mismatch");
+  }
+
+  out.result = register_tuple(out.hash, std::move(tuple), max_states,
+                              fresh_bytes, full_bytes, fresh_warps,
+                              fresh_banks);
+  return out;
 }
 
 StateStore::Stats StateStore::stats() const {

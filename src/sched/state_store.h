@@ -128,6 +128,26 @@ class StateStore {
   void encode(support::BinWriter& w) const;
   void decode(support::BinReader& r);
 
+  /// Per-state wire codec (src/dist frontier exchange).  encode_state
+  /// writes one interned state as a self-contained record — memoized
+  /// machine hash + the fragment payloads its tuple references — so a
+  /// state crosses a process boundary without materializing a
+  /// sem::Machine.  decode_state interns the record's fragments
+  /// directly into *this* store (same dedup and cap semantics as
+  /// intern(): existence before cap, invalid id when full) and returns
+  /// the sender's machine hash alongside.  Both sides of an exchange
+  /// must explore the same launch: the first decoded record establishes
+  /// this store's shape, later records must match it.  decode_state
+  /// throws support::BinError on malformed input and never leaves a
+  /// partially registered state behind.
+  struct WireIntern {
+    InternResult result;
+    std::uint64_t hash = 0;  // unmasked machine hash, as interned
+  };
+  void encode_state(StateId id, support::BinWriter& w) const;
+  WireIntern decode_state(support::BinReader& r,
+                          std::uint64_t max_states = ~0ull);
+
  private:
   // Fragment/state ids encode (shard, local index): shard in the low
   // bits, per-shard insertion index above.  Stable across the store's
@@ -188,6 +208,16 @@ class StateStore {
   };
 
   void ensure_shape(const sem::Machine& m);
+
+  /// Shared tail of intern()/decode_state(): look the tuple up in its
+  /// state shard, register it if new and under cap, book the stats.
+  InternResult register_tuple(std::uint64_t h,
+                              std::vector<std::uint32_t>&& tuple,
+                              std::uint64_t max_states,
+                              std::uint64_t fresh_bytes,
+                              std::uint64_t full_bytes,
+                              std::uint64_t fresh_warps,
+                              std::uint64_t fresh_banks);
 
   const std::uint64_t hash_mask_ = ~0ull;
 

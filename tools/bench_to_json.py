@@ -20,7 +20,10 @@ por/warps arguments is computed into `speedup_vs_serial`; every
 BM_StateStoreFootprint instance's interning counters are summarized
 into a top-level `state_store` section, every BM_Checkpoint* /
 BM_ResumeFromCheckpoint instance's counters land in a `checkpoint`
-section, and the benchmark processes' peak RSS is recorded as
+section, every BM_DistExplore instance (from bench_dist_explore) lands
+in a `distributed` section with per-worker ownership, frontier message
+volume, shard-balance skew, and speedup over the matching workers=0
+serial baseline, and the benchmark processes' peak RSS is recorded as
 `peak_rss_bytes`.
 """
 
@@ -120,6 +123,36 @@ def checkpoint_summary(benchmarks: list[dict]) -> list[dict]:
     return out
 
 
+def distributed_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize BM_DistExplore instances: worker count, per-worker
+    states owned, frontier message volume, shard-balance skew, and the
+    speedup over the matching serial (workers=0) instance with the same
+    por argument (on one core this is the distribution overhead)."""
+    serial = {}
+    for b in benchmarks:
+        if (b.get("name", "").startswith("BM_DistExplore")
+                and b.get("workers") == 0 and b.get("real_time")):
+            serial[b.get("por")] = b["real_time"]
+    out = []
+    for b in benchmarks:
+        if not b.get("name", "").startswith("BM_DistExplore"):
+            continue
+        entry = {"name": b["name"]}
+        for k in ("workers", "por", "states", "states_per_sec",
+                  "frontier_msgs", "shard_skew", "real_time", "time_unit"):
+            if k in b:
+                entry[k] = b[k]
+        owned = {k: v for k, v in b.items() if k.startswith("owned_w")}
+        if owned:
+            entry["states_owned"] = [
+                owned[k] for k in sorted(owned, key=lambda s: int(s[7:]))]
+        base = serial.get(b.get("por"))
+        if base and b.get("workers", 0) > 0 and b.get("real_time"):
+            entry["speedup_vs_serial"] = round(base / b["real_time"], 3)
+        out.append(entry)
+    return out
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary", action="append", default=None,
@@ -178,6 +211,9 @@ def main() -> None:
     checkpoints = checkpoint_summary(benchmarks)
     if checkpoints:
         snapshot["checkpoint"] = checkpoints
+    distributed = distributed_summary(benchmarks)
+    if distributed:
+        snapshot["distributed"] = distributed
     out = Path(args.out)
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {out} ({len(benchmarks)} benchmarks, "

@@ -12,6 +12,9 @@
 //                                transparency + lane-order, one report;
 //                                same checkpoint/budget flags as check)
 //   cacval races  FILE.ptx [launch options]
+//   cacval dist-worker FILE.ptx [launch options] --dist-connect HOST:PORT
+//                 (join a multi-host distributed exploration; the
+//                  coordinator runs `check ... --dist-listen HOST:PORT`)
 //   cacval equiv  FILE_A.ptx FILE_B.ptx [--kernel K] [--kernel-b K2]
 //                 [--block ...]   (translation validation: identical
 //                                  stores for every input, symbolically)
@@ -37,6 +40,17 @@
 //   --deadline MS       stop gracefully after MS milliseconds
 //   --mem-limit MIB     stop gracefully when RSS reaches MIB MiB
 //
+// Distributed exploration (check/validate; docs/distributed.md):
+//   --dist-workers N    partition the visited set across N worker
+//                       processes (forked on this host); the verdict is
+//                       byte-identical to the serial engine's
+//   --dist-listen H:P   accept N `cacval dist-worker` processes over
+//                       TCP instead of forking (multi-host)
+//   --dist-verbose      print worker pids and recovery events
+//   With --checkpoint PATH the coordinator writes per-worker generation
+//   files PATH.g<gen>.w<idx> plus a manifest at PATH; --resume PATH
+//   (with the same --dist-workers) continues from that manifest.
+//
 // Exit status: 0 on success/proof, 1 on refutation/fault/deadlock,
 // 2 on usage or input errors (including corrupt checkpoints),
 // 128+signo when stopped by SIGINT/SIGTERM (after writing a final
@@ -53,6 +67,9 @@
 
 #include "check/model.h"
 #include "check/profile.h"
+#include "dist/coordinator.h"
+#include "dist/transport.h"
+#include "dist/worker.h"
 #include "sched/checkpoint.h"
 #include "check/race.h"
 #include "check/validate.h"
@@ -86,6 +103,15 @@ struct Options {
   std::string sched = "first";
   std::uint64_t exact_steps = 0;
   std::string resume_path;
+  /// Distributed exploration (dist/coordinator.h): 0 = in-process.
+  std::uint32_t dist_workers = 0;
+  std::string dist_listen;
+  std::string dist_connect;  // dist-worker command only
+  bool dist_verbose = false;
+  /// Hidden crash-drill seam (--dist-test-die W=N): worker W SIGKILLs
+  /// itself after owning N states.
+  std::uint32_t dist_die_worker = dist::kNoWorker;
+  std::uint64_t dist_die_after = 0;
   bool independent = false;
   bool profile = false;
   bool insert_syncs = true;
@@ -184,6 +210,17 @@ Options parse_args(int argc, char** argv) {
       o.explore.checkpoint_every_states = parse_u64(next());
     }
     else if (a == "--resume") o.resume_path = next();
+    else if (a == "--dist-workers") {
+      o.dist_workers = static_cast<std::uint32_t>(parse_u64(next()));
+    }
+    else if (a == "--dist-listen") o.dist_listen = next();
+    else if (a == "--dist-connect") o.dist_connect = next();
+    else if (a == "--dist-verbose") o.dist_verbose = true;
+    else if (a == "--dist-test-die") {
+      const auto [w, n] = split_eq(next());
+      o.dist_die_worker = static_cast<std::uint32_t>(parse_u64(w));
+      o.dist_die_after = parse_u64(n);
+    }
     else if (a == "--deadline") o.explore.deadline_ms = parse_u64(next());
     else if (a == "--mem-limit") {
       o.explore.mem_limit_bytes = parse_u64(next()) * (1ull << 20);
@@ -316,11 +353,58 @@ void print_exploration_diagnostics(const sched::ExploreResult& ex,
 
 /// Load the --resume checkpoint, or null.  CheckpointError propagates
 /// to main's std::exception handler (exit 2) with the structured
-/// "checkpoint: ..." message.
+/// "checkpoint: ..." message.  Distributed runs resume from the
+/// coordinator manifest instead (see make_dist_explorer).
 std::unique_ptr<sched::Checkpoint> load_resume(const Options& o) {
-  if (o.resume_path.empty()) return nullptr;
+  if (o.resume_path.empty() || o.dist_workers != 0) return nullptr;
   return std::make_unique<sched::Checkpoint>(
       sched::Checkpoint::load(o.resume_path));
+}
+
+dist::DistOptions make_dist_options(const Options& o) {
+  dist::DistOptions d;
+  d.n_workers = o.dist_workers;
+  d.listen = o.dist_listen;
+  d.resume_manifest = o.resume_path;  // coordinator manifest, if any
+  d.die_worker = o.dist_die_worker;
+  d.die_after_states = o.dist_die_after;
+  d.verbose = o.dist_verbose;
+  return d;
+}
+
+void print_dist_stats(const dist::DistStats& s) {
+  std::printf("distributed: %zu workers, %llu frontier msgs, "
+              "skew %.2f, %llu restarts, %llu checkpoint generations\n",
+              s.workers.size(),
+              static_cast<unsigned long long>(s.frontier_msgs), s.skew(),
+              static_cast<unsigned long long>(s.restarts),
+              static_cast<unsigned long long>(s.generations));
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const dist::DistStats::PerWorker& w = s.workers[i];
+    std::printf("  worker %zu: %llu states owned, %llu frontier sent, "
+                "%llu resolves, %llu B out, %llu B in\n",
+                i, static_cast<unsigned long long>(w.owned),
+                static_cast<unsigned long long>(w.frontier_sent),
+                static_cast<unsigned long long>(w.resolves_sent),
+                static_cast<unsigned long long>(w.bytes_sent),
+                static_cast<unsigned long long>(w.bytes_received));
+  }
+}
+
+/// Wrap the distributed coordinator as a ModelCheckOptions::explorer.
+/// The stats land in *stats_out (printed after the verdict).
+check::ModelCheckOptions::explorer_type make_dist_explorer(
+    const Options& o, std::shared_ptr<dist::DistStats> stats_out) {
+  const dist::DistOptions dopts = make_dist_options(o);
+  return [dopts, stats_out](const ptx::Program& prg,
+                            const sem::KernelConfig& kc,
+                            const sem::Machine& initial,
+                            const sched::ExploreOptions& eopts) {
+    dist::DistResult r =
+        dist::explore_distributed(prg, kc, initial, eopts, dopts);
+    *stats_out = std::move(r.stats);
+    return std::move(r.result);
+  };
 }
 
 int cmd_check(const Options& o, const ptx::LoweredModule& mod) {
@@ -337,11 +421,16 @@ int cmd_check(const Options& o, const ptx::LoweredModule& mod) {
   opts.expect_exact_steps = o.exact_steps;
   const auto resume = load_resume(o);
   opts.resume = resume.get();
+  auto dist_stats = std::make_shared<dist::DistStats>();
+  if (o.dist_workers != 0) {
+    opts.explorer = make_dist_explorer(o, dist_stats);
+  }
   install_signal_handlers();
   const check::Verdict v = check::prove_total(prg, launch.config(),
                                               launch.machine(), post, opts);
   std::printf("%s: %s\n", to_string(v.kind).c_str(), v.detail.c_str());
   print_exploration_diagnostics(v.exploration, o);
+  if (o.dist_workers != 0) print_dist_stats(*dist_stats);
   if (!v.counterexample.empty()) {
     std::printf("counterexample schedule (%zu steps):",
                 v.counterexample.size());
@@ -368,12 +457,17 @@ int cmd_validate(const Options& o, const ptx::LoweredModule& mod) {
   opts.model.expect_exact_steps = o.exact_steps;
   const auto resume = load_resume(o);
   opts.model.resume = resume.get();
+  auto dist_stats = std::make_shared<dist::DistStats>();
+  if (o.dist_workers != 0) {
+    opts.model.explorer = make_dist_explorer(o, dist_stats);
+  }
   opts.collect_profile = o.profile;
   install_signal_handlers();
   const check::ValidationReport report =
       check::validate(prg, launch.config(), launch.machine(), post, opts);
   std::printf("%s", report.text().c_str());
   print_exploration_diagnostics(report.model.exploration, o);
+  if (o.dist_workers != 0) print_dist_stats(*dist_stats);
   return finish_exit_code(report.all_passed() ? 0 : 1);
 }
 
@@ -396,6 +490,17 @@ int cmd_races(const Options& o, const ptx::LoweredModule& mod) {
                 race.tid_b, race.cross_block ? " (cross-block)" : "");
   }
   return r.racy() ? 1 : 0;
+}
+
+int cmd_dist_worker(const Options& o, const ptx::LoweredModule& mod) {
+  if (o.dist_connect.empty()) {
+    usage("dist-worker needs --dist-connect HOST:PORT");
+  }
+  const ptx::Program& prg = pick_kernel(mod, o);
+  const sem::KernelConfig kc = o.launch.to_config();
+  dist::Fd fd = dist::tcp_connect(o.dist_connect);
+  dist::run_worker(fd.get(), prg, kc);
+  return 0;
 }
 
 int cmd_equiv(const Options& o, const ptx::LoweredModule& mod_a) {
@@ -432,6 +537,7 @@ int main(int argc, char** argv) {
     if (o.command == "validate") return cmd_validate(o, mod);
     if (o.command == "equiv") return cmd_equiv(o, mod);
     if (o.command == "races") return cmd_races(o, mod);
+    if (o.command == "dist-worker") return cmd_dist_worker(o, mod);
     usage(("unknown command " + o.command).c_str());
   } catch (const PtxError& e) {
     std::fprintf(stderr, "cacval: PTX error: %s\n", e.what());

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Fault drill for the distributed exploration engine.
+
+Runs the real cacval binary with --dist-workers and abuses the fleet
+the way a cluster would:
+
+  1. baseline     — uninterrupted serial run, record the verdict line
+  2. equivalence  — --dist-workers 1/2/4 must each reproduce the
+                    baseline verdict byte for byte, with zero restarts
+  3. worker kill  — the --dist-test-die seam SIGKILLs one worker
+                    mid-run (a genuine SIGKILL from inside the worker:
+                    no unwinding, no flushing); the coordinator must
+                    relaunch the fleet and still print the baseline
+                    verdict, reporting at least one restart
+  4. kill+ckpt    — same, with periodic checkpoint generations enabled:
+                    recovery resumes from the last committed generation
+  5. manifest resume — a budget-stopped distributed run writes a
+                    manifest; --resume with the same worker count must
+                    reproduce the baseline verdict
+  6. manifest corruption — a damaged manifest must be rejected with
+                    exit 2 and a structured diagnostic, never a crash
+
+Usage: dist_crash_drill.py CACVAL PTX_FILE
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+KERNEL_ARGS = [
+    "--grid", "3", "--block", "2", "--warp", "1",
+    "--global", "64", "--param", "out=0",
+]
+
+
+def run(cacval, ptx, extra, timeout=300):
+    proc = subprocess.run(
+        [cacval, "check", ptx] + KERNEL_ARGS + extra,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, timeout=timeout)
+    return proc.returncode, proc.stdout
+
+
+def verdict_line(output):
+    for line in output.splitlines():
+        if line.startswith(("proved", "refuted", "unknown", "fault")):
+            return line
+    return None
+
+
+def restarts(output):
+    m = re.search(r"(\d+) restarts", output)
+    return int(m.group(1)) if m else None
+
+
+def fail(msg, output=""):
+    print("DRILL FAIL:", msg)
+    if output:
+        print("--- output ---")
+        print(output)
+    sys.exit(1)
+
+
+def cleanup(base):
+    d = os.path.dirname(base)
+    name = os.path.basename(base)
+    for f in os.listdir(d):
+        if f.startswith(name):
+            os.remove(os.path.join(d, f))
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: dist_crash_drill.py CACVAL PTX_FILE")
+    cacval, ptx = sys.argv[1], sys.argv[2]
+    workdir = tempfile.mkdtemp(prefix="cac_dist_drill_")
+    ck = os.path.join(workdir, "drill.manifest")
+
+    # 1. baseline — the serial engine's verdict is the ground truth.
+    code, out = run(cacval, ptx, [])
+    baseline = verdict_line(out)
+    if baseline is None:
+        fail("baseline run produced no verdict", out)
+    print("baseline:", baseline)
+
+    # 2. distributed equivalence at 1/2/4 workers.
+    for n in ("1", "2", "4"):
+        code, out = run(cacval, ptx, ["--dist-workers", n])
+        if verdict_line(out) != baseline:
+            fail("--dist-workers %s diverged from baseline" % n, out)
+        if restarts(out) != 0:
+            fail("--dist-workers %s reported unexpected restarts" % n, out)
+    print("equivalence: dist verdicts identical at 1/2/4 workers")
+
+    # 3. SIGKILL one worker mid-run; the fleet must recover and the
+    # verdict must not change.
+    code, out = run(cacval, ptx,
+                    ["--dist-workers", "2", "--dist-test-die", "1=40"])
+    if verdict_line(out) != baseline:
+        fail("verdict diverged after worker SIGKILL", out)
+    r = restarts(out)
+    if r is None or r < 1:
+        fail("worker SIGKILL did not surface as a fleet restart", out)
+    print("worker kill: recovered after %d restart(s), verdict identical"
+          % r)
+
+    # 4. SIGKILL with checkpoint generations: recovery goes through the
+    # last committed generation instead of a from-scratch restart.
+    code, out = run(cacval, ptx,
+                    ["--dist-workers", "2", "--dist-test-die", "0=60",
+                     "--checkpoint", ck, "--checkpoint-every", "30"])
+    if verdict_line(out) != baseline:
+        fail("verdict diverged after kill with checkpoints", out)
+    if restarts(out) is None or restarts(out) < 1:
+        fail("kill with checkpoints did not report a restart", out)
+    print("worker kill + checkpoints: recovered, verdict identical")
+    cleanup(ck)
+
+    # 5. budget-stopped distributed run → manifest; resume reproduces
+    # the baseline.
+    code, out = run(cacval, ptx,
+                    ["--dist-workers", "2", "--deadline", "30",
+                     "--checkpoint", ck, "--checkpoint-every", "25"])
+    if not os.path.exists(ck):
+        # The run may have finished inside the deadline on a fast
+        # machine — it still wrote its final generation then.
+        fail("distributed run left no manifest", out)
+    code, out = run(cacval, ptx, ["--dist-workers", "2", "--resume", ck])
+    if verdict_line(out) != baseline:
+        fail("distributed resume diverged from baseline", out)
+    print("manifest resume: verdict identical")
+
+    # 6. manifest corruption → structured exit-2 rejection.
+    with open(ck, "rb") as f:
+        blob = f.read()
+    for label, bad in [
+        ("truncated", blob[: len(blob) // 2]),
+        ("bit-flipped", blob[:12] + bytes([blob[12] ^ 0x01]) + blob[13:]),
+        ("type-skewed", blob[:5] + bytes([1]) + blob[6:]),
+    ]:
+        with open(ck, "wb") as f:
+            f.write(bad)
+        code, out = run(cacval, ptx,
+                        ["--dist-workers", "2", "--resume", ck])
+        if code != 2:
+            fail("%s manifest: exit %d, want 2" % (label, code), out)
+        if "checkpoint" not in out and "dist" not in out:
+            fail("%s manifest: no structured diagnostic" % label, out)
+    print("corruption: truncated/bit-flipped/type-skewed manifests all "
+          "rejected with exit 2")
+
+    print("DRILL PASS")
+
+
+if __name__ == "__main__":
+    main()
