@@ -1,0 +1,359 @@
+#include "analysis/affine.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "ptx/cfg.h"
+
+namespace cac::analysis {
+
+namespace {
+
+bool add_ck(std::int64_t a, std::int64_t b, std::int64_t& out) {
+  return !__builtin_add_overflow(a, b, &out);
+}
+
+bool mul_ck(std::int64_t a, std::int64_t b, std::int64_t& out) {
+  return !__builtin_mul_overflow(a, b, &out);
+}
+
+}  // namespace
+
+std::string to_string(const Sym& s) {
+  static const char* kDim = "xyz";
+  switch (s.kind) {
+    case Sym::Kind::Tid: return std::string("tid.") + kDim[s.dim];
+    case Sym::Kind::CtaId: return std::string("ctaid.") + kDim[s.dim];
+    case Sym::Kind::NTid: return std::string("ntid.") + kDim[s.dim];
+    case Sym::Kind::NCtaId: return std::string("nctaid.") + kDim[s.dim];
+    case Sym::Kind::GidBase:
+      return std::string("ctaid.") + kDim[s.dim] + "*ntid." + kDim[s.dim];
+    case Sym::Kind::Param:
+      return "param[" + std::to_string(s.param_offset) + "]";
+  }
+  return "?";
+}
+
+AffineExpr AffineExpr::constant(std::int64_t c) {
+  AffineExpr e;
+  e.top_ = false;
+  e.c_ = c;
+  return e;
+}
+
+AffineExpr AffineExpr::symbol(const Sym& s) {
+  AffineExpr e;
+  e.top_ = false;
+  e.terms_.push_back(Term{s, 1});
+  return e;
+}
+
+AffineExpr AffineExpr::add(const AffineExpr& o) const {
+  if (top_ || o.top_) return top();
+  AffineExpr r;
+  r.top_ = false;
+  if (!add_ck(c_, o.c_, r.c_)) return top();
+  // Merge the two sorted term lists.
+  std::size_t i = 0, j = 0;
+  while (i < terms_.size() || j < o.terms_.size()) {
+    if (j == o.terms_.size() ||
+        (i < terms_.size() &&
+         terms_[i].sym.key() < o.terms_[j].sym.key())) {
+      r.terms_.push_back(terms_[i++]);
+    } else if (i == terms_.size() ||
+               terms_[i].sym.key() > o.terms_[j].sym.key()) {
+      r.terms_.push_back(o.terms_[j++]);
+    } else {
+      std::int64_t k = 0;
+      if (!add_ck(terms_[i].coeff, o.terms_[j].coeff, k)) return top();
+      if (k != 0) r.terms_.push_back(Term{terms_[i].sym, k});
+      ++i;
+      ++j;
+    }
+  }
+  return r;
+}
+
+AffineExpr AffineExpr::scaled(std::int64_t k) const {
+  if (top_) return top();
+  if (k == 0) return constant(0);
+  AffineExpr r;
+  r.top_ = false;
+  if (!mul_ck(c_, k, r.c_)) return top();
+  r.terms_.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    std::int64_t c = 0;
+    if (!mul_ck(t.coeff, k, c)) return top();
+    r.terms_.push_back(Term{t.sym, c});
+  }
+  return r;
+}
+
+AffineExpr AffineExpr::sub(const AffineExpr& o) const {
+  return add(o.scaled(-1));
+}
+
+AffineExpr AffineExpr::mul(const AffineExpr& o) const {
+  if (top_ || o.top_) return top();
+  if (is_const()) return o.scaled(c_);
+  if (o.is_const()) return scaled(o.c_);
+  // The one non-linear idiom kept affine: ctaid.d * ntid.d (in either
+  // order, with constant factors) becomes the composite GidBase{d}.
+  auto single = [](const AffineExpr& e, Sym::Kind k) -> const Term* {
+    if (e.c_ != 0 || e.terms_.size() != 1) return nullptr;
+    return e.terms_[0].sym.kind == k ? &e.terms_[0] : nullptr;
+  };
+  const Term* cta = single(*this, Sym::Kind::CtaId);
+  const Term* nt = single(o, Sym::Kind::NTid);
+  if (cta == nullptr) {
+    cta = single(o, Sym::Kind::CtaId);
+    nt = single(*this, Sym::Kind::NTid);
+  }
+  if (cta != nullptr && nt != nullptr && cta->sym.dim == nt->sym.dim) {
+    std::int64_t k = 0;
+    if (!mul_ck(cta->coeff, nt->coeff, k)) return top();
+    return AffineExpr::symbol(
+               Sym{Sym::Kind::GidBase, cta->sym.dim, 0})
+        .scaled(k);
+  }
+  return top();
+}
+
+std::string AffineExpr::str() const {
+  if (top_) return "⊤";
+  std::string out = std::to_string(c_);
+  for (const Term& t : terms_) {
+    out += (t.coeff >= 0 ? " + " : " - ") +
+           std::to_string(t.coeff >= 0 ? t.coeff : -t.coeff) + "*" +
+           to_string(t.sym);
+  }
+  return out;
+}
+
+std::optional<std::pair<std::int64_t, std::int64_t>> sym_range(
+    const Sym& s, const LaunchEnv& env) {
+  if (!env.known) return std::nullopt;
+  switch (s.kind) {
+    case Sym::Kind::Tid:
+      return std::make_pair<std::int64_t, std::int64_t>(
+          0, static_cast<std::int64_t>(env.ntid[s.dim]) - 1);
+    case Sym::Kind::CtaId:
+      return std::make_pair<std::int64_t, std::int64_t>(
+          0, static_cast<std::int64_t>(env.nctaid[s.dim]) - 1);
+    default:
+      // NTid/NCtaId/valued params fold to constants under a known
+      // launch and GidBase is rewritten away; what remains (unvalued
+      // Param) has no finite range.
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+using ptx::Instr;
+using ptx::Operand;
+using ptx::Reg;
+using ptx::Space;
+using ptx::Sreg;
+using ptx::SregKind;
+
+/// Abstract register file: Reg::key() -> expression.  An absent key
+/// is ⊤.  std::map keeps join and equality deterministic.
+using Env = std::map<std::uint32_t, AffineExpr>;
+
+AffineExpr sreg_expr(const Sreg& s, const LaunchEnv& env) {
+  const auto d = static_cast<std::uint8_t>(s.dim);
+  switch (s.kind) {
+    case SregKind::Tid:
+      return AffineExpr::symbol(Sym{Sym::Kind::Tid, d, 0});
+    case SregKind::CtaId:
+      return AffineExpr::symbol(Sym{Sym::Kind::CtaId, d, 0});
+    case SregKind::NTid:
+      return env.known ? AffineExpr::constant(env.ntid[d])
+                       : AffineExpr::symbol(Sym{Sym::Kind::NTid, d, 0});
+    case SregKind::NCtaId:
+      return env.known ? AffineExpr::constant(env.nctaid[d])
+                       : AffineExpr::symbol(Sym{Sym::Kind::NCtaId, d, 0});
+  }
+  return AffineExpr::top();
+}
+
+AffineExpr eval_operand(const Operand& op, const Env& env,
+                        const LaunchEnv& launch) {
+  struct V {
+    const Env& env;
+    const LaunchEnv& launch;
+    AffineExpr operator()(const Reg& r) const {
+      const auto it = env.find(r.key());
+      return it == env.end() ? AffineExpr::top() : it->second;
+    }
+    AffineExpr operator()(const Sreg& s) const {
+      return sreg_expr(s, launch);
+    }
+    AffineExpr operator()(const ptx::Imm& i) const {
+      return AffineExpr::constant(i.value);
+    }
+    AffineExpr operator()(const ptx::RegImm& ri) const {
+      return (*this)(ri.reg).add(AffineExpr::constant(ri.offset));
+    }
+  };
+  return std::visit(V{env, launch}, op);
+}
+
+void set_reg(Env& env, const Reg& r, AffineExpr e) {
+  // A 32-bit register cannot hold a constant outside its width; such
+  // an assignment would wrap, which the domain does not model.
+  if (!e.is_top() && e.is_const() && r.width < 64) {
+    const std::int64_t hi = std::int64_t{1} << r.width;
+    if (e.constant_term() < 0 || e.constant_term() >= hi) {
+      e = AffineExpr::top();
+    }
+  }
+  if (e.is_top()) env.erase(r.key());
+  else env[r.key()] = std::move(e);
+}
+
+/// Transfer one instruction; appends access sites when `sites` is
+/// non-null (the recording pass after the fixpoint).
+void transfer(const Instr& instr, std::uint32_t pc, Env& env,
+              const LaunchEnv& launch, std::vector<AccessSite>* sites) {
+  auto ev = [&](const Operand& op) { return eval_operand(op, env, launch); };
+  auto record = [&](Space space, bool write, bool atomic, unsigned width,
+                    const Operand& addr) {
+    if (sites == nullptr) return;
+    if (space != Space::Global && space != Space::Shared) return;
+    sites->push_back(AccessSite{pc, space, write, atomic, width, ev(addr)});
+  };
+
+  if (const auto* i = std::get_if<ptx::IBop>(&instr)) {
+    AffineExpr r = AffineExpr::top();
+    switch (i->op) {
+      case ptx::BinOp::Add: r = ev(i->a).add(ev(i->b)); break;
+      case ptx::BinOp::Sub: r = ev(i->a).sub(ev(i->b)); break;
+      case ptx::BinOp::Mul:
+      case ptx::BinOp::MulWide: r = ev(i->a).mul(ev(i->b)); break;
+      case ptx::BinOp::Shl: {
+        const AffineExpr b = ev(i->b);
+        if (b.is_const() && b.constant_term() >= 0 &&
+            b.constant_term() < 63) {
+          r = ev(i->a).scaled(std::int64_t{1} << b.constant_term());
+        }
+        break;
+      }
+      default: break;  // MulHi/Div/Rem/Min/Max/And/Or/Xor/Shr -> ⊤
+    }
+    set_reg(env, i->dst, std::move(r));
+  } else if (const auto* i = std::get_if<ptx::ITop>(&instr)) {
+    // MadLo/MadWide: a*b + c.
+    set_reg(env, i->dst, ev(i->a).mul(ev(i->b)).add(ev(i->c)));
+  } else if (const auto* i = std::get_if<ptx::IUop>(&instr)) {
+    if (i->op == ptx::UnOp::Cvt && i->type.width <= i->dst.width) {
+      // Widening (or same-width) conversion preserves the value.
+      set_reg(env, i->dst, ev(i->a));
+    } else if (i->op == ptx::UnOp::Neg) {
+      set_reg(env, i->dst, AffineExpr::constant(0).sub(ev(i->a)));
+    } else {
+      set_reg(env, i->dst, AffineExpr::top());
+    }
+  } else if (const auto* i = std::get_if<ptx::IMov>(&instr)) {
+    set_reg(env, i->dst, ev(i->src));
+  } else if (const auto* i = std::get_if<ptx::ILd>(&instr)) {
+    record(i->space, false, false, i->type.bytes(), i->addr);
+    AffineExpr v = AffineExpr::top();
+    if (i->space == Space::Param) {
+      const AffineExpr a = ev(i->addr);
+      if (a.is_const()) {
+        const auto off = static_cast<std::uint32_t>(a.constant_term());
+        const auto it = launch.params.find(off);
+        if (it != launch.params.end() &&
+            it->second <= static_cast<std::uint64_t>(
+                              std::numeric_limits<std::int64_t>::max())) {
+          v = AffineExpr::constant(static_cast<std::int64_t>(it->second));
+        } else if (it == launch.params.end()) {
+          v = AffineExpr::symbol(Sym{Sym::Kind::Param, 0, off});
+        }
+      }
+    }
+    set_reg(env, i->dst, std::move(v));
+  } else if (const auto* i = std::get_if<ptx::ISt>(&instr)) {
+    record(i->space, true, false, i->type.bytes(), i->addr);
+  } else if (const auto* i = std::get_if<ptx::IAtom>(&instr)) {
+    record(i->space, true, true, i->type.bytes(), i->addr);
+    set_reg(env, i->dst, AffineExpr::top());
+  } else if (const auto* i = std::get_if<ptx::ISelp>(&instr)) {
+    // selp folds only when both arms agree.
+    const AffineExpr a = ev(i->a);
+    set_reg(env, i->dst, a == ev(i->b) ? a : AffineExpr::top());
+  } else if (const auto* i = std::get_if<ptx::IShfl>(&instr)) {
+    set_reg(env, i->dst, AffineExpr::top());
+  } else if (const auto* i = std::get_if<ptx::IVote>(&instr)) {
+    if (i->mode == ptx::VoteMode::Ballot) {
+      set_reg(env, i->dst_ballot, AffineExpr::top());
+    }
+  }
+  // Nop/Bra/PBra/Setp/Sync/Bar/Exit: no register effect.
+}
+
+/// Pointwise join: keep entries present and equal in both (anything
+/// else is ⊤, i.e. absent).
+Env join(const Env& a, const Env& b) {
+  Env out;
+  for (const auto& [k, e] : a) {
+    const auto it = b.find(k);
+    if (it != b.end() && it->second == e) out.emplace(k, e);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AccessSite> analyze_addresses(const ptx::Program& prg,
+                                          const LaunchEnv& env) {
+  std::vector<AccessSite> sites;
+  if (prg.empty()) return sites;
+  const ptx::Cfg cfg(prg.code());
+  const auto& blocks = cfg.blocks();
+
+  // Forward fixpoint on block-entry environments.  The join only ever
+  // removes entries once a block has been reached, so it terminates.
+  std::vector<std::optional<Env>> in(blocks.size());
+  std::deque<std::uint32_t> work;
+  in[0] = Env{};
+  work.push_back(0);
+  while (!work.empty()) {
+    const std::uint32_t b = work.front();
+    work.pop_front();
+    Env env_now = *in[b];
+    for (std::uint32_t pc = blocks[b].first; pc < blocks[b].last; ++pc) {
+      transfer(prg.code()[pc], pc, env_now, env, nullptr);
+    }
+    for (const std::uint32_t s : blocks[b].succs) {
+      if (s == cfg.exit_id()) continue;
+      Env next = in[s].has_value() ? join(*in[s], env_now) : env_now;
+      if (!in[s].has_value() || next != *in[s]) {
+        in[s] = std::move(next);
+        if (std::find(work.begin(), work.end(), s) == work.end()) {
+          work.push_back(s);
+        }
+      }
+    }
+  }
+
+  // Recording pass over every reached block.
+  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
+    if (!in[b].has_value()) continue;  // unreachable
+    Env env_now = *in[b];
+    for (std::uint32_t pc = blocks[b].first; pc < blocks[b].last; ++pc) {
+      transfer(prg.code()[pc], pc, env_now, env, &sites);
+    }
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const AccessSite& a, const AccessSite& b) {
+              return a.pc < b.pc;
+            });
+  return sites;
+}
+
+}  // namespace cac::analysis

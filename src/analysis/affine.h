@@ -1,0 +1,128 @@
+// Affine access analysis — the abstract interpreter half of the static
+// analyzer (docs/analysis.md).
+//
+// Register values are tracked in a constant × symbol domain: an
+// abstract value is either ⊤ (unknown) or an affine expression
+//
+//     c + Σ k_i · s_i
+//
+// over the launch symbols tid/ctaid/ntid/nctaid (per dimension), the
+// composite gid base ctaid.d·ntid.d (so `mad.lo gid, ctaid, ntid, tid`
+// stays affine), and unvalued kernel parameters.  A forward dataflow
+// fixpoint over the CFG joins environments at block entries (equal
+// expressions survive, anything else goes to ⊤ — loop counters
+// therefore land on ⊤), then every Shared/Global memory access site is
+// recorded with its address expression.  The classification of site
+// pairs lives in analysis/disjoint.h.
+//
+// Soundness note: expressions are exact integer arithmetic; the
+// analysis assumes address computations do not wrap at the register
+// width (see docs/analysis.md for the guards consumers apply).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ptx/program.h"
+
+namespace cac::analysis {
+
+/// A symbol of the affine domain.
+struct Sym {
+  enum class Kind : std::uint8_t {
+    Tid = 0,      // %tid.<dim>: varies per thread within a block
+    CtaId = 1,    // %ctaid.<dim>: varies per block
+    NTid = 2,     // %ntid.<dim>: launch constant
+    NCtaId = 3,   // %nctaid.<dim>: launch constant
+    GidBase = 4,  // ctaid.<dim> * ntid.<dim> (the mad.lo gid idiom)
+    Param = 5,    // unvalued kernel argument at this Param-space offset
+  };
+  Kind kind = Kind::Tid;
+  std::uint8_t dim = 0;            // 0..2; unused for Param
+  std::uint32_t param_offset = 0;  // Param only
+
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(kind) << 40) |
+           (static_cast<std::uint64_t>(dim) << 32) | param_offset;
+  }
+  friend bool operator==(const Sym&, const Sym&) = default;
+};
+
+std::string to_string(const Sym& s);
+
+/// One `k · s` term; expressions keep terms sorted by symbol key with
+/// nonzero coefficients only, so structural equality is semantic
+/// equality.
+struct Term {
+  Sym sym;
+  std::int64_t coeff = 0;
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+/// ⊤ or an affine expression.  All arithmetic is overflow-checked;
+/// any operation that would overflow int64 yields ⊤.
+class AffineExpr {
+ public:
+  AffineExpr() = default;  // ⊤
+
+  static AffineExpr top() { return AffineExpr{}; }
+  static AffineExpr constant(std::int64_t c);
+  static AffineExpr symbol(const Sym& s);
+
+  [[nodiscard]] bool is_top() const { return top_; }
+  [[nodiscard]] bool is_const() const { return !top_ && terms_.empty(); }
+  [[nodiscard]] std::int64_t constant_term() const { return c_; }
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+
+  [[nodiscard]] AffineExpr add(const AffineExpr& o) const;
+  [[nodiscard]] AffineExpr sub(const AffineExpr& o) const;
+  /// Multiplication: constant folding, scaling, and the single
+  /// non-linear special case `ctaid.d * ntid.d` -> GidBase{d}.
+  [[nodiscard]] AffineExpr mul(const AffineExpr& o) const;
+  [[nodiscard]] AffineExpr scaled(std::int64_t k) const;
+
+  friend bool operator==(const AffineExpr&, const AffineExpr&) = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  bool top_ = true;
+  std::int64_t c_ = 0;
+  std::vector<Term> terms_;
+};
+
+/// Launch specialization.  When `known`, ntid/nctaid evaluate to
+/// constants, valued parameters fold to constants, and symbol ranges
+/// become finite — turning may-conflict residue into exact verdicts.
+struct LaunchEnv {
+  bool known = false;
+  std::uint32_t ntid[3] = {1, 1, 1};
+  std::uint32_t nctaid[3] = {1, 1, 1};
+  /// Param-slot byte offset -> concrete argument value (masked to the
+  /// slot width by the caller).  Parameters absent here stay symbolic.
+  std::unordered_map<std::uint32_t, std::uint64_t> params;
+};
+
+/// A Shared/Global memory access site of the program.
+struct AccessSite {
+  std::uint32_t pc = 0;
+  ptx::Space space = ptx::Space::Global;
+  bool write = false;   // St or Atom
+  bool atomic = false;  // Atom
+  unsigned width = 4;   // bytes accessed per thread
+  AffineExpr addr;      // per-thread address, or ⊤
+};
+
+/// Run the abstract interpreter and collect every Shared/Global
+/// Ld/St/Atom site in pc order.
+std::vector<AccessSite> analyze_addresses(const ptx::Program& prg,
+                                          const LaunchEnv& env = {});
+
+/// Value range [lo, hi] of a symbol under the launch, when finite.
+std::optional<std::pair<std::int64_t, std::int64_t>> sym_range(
+    const Sym& s, const LaunchEnv& env);
+
+}  // namespace cac::analysis

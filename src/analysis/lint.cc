@@ -1,0 +1,317 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "ptx/cfg.h"
+#include "ptx/defuse.h"
+
+namespace cac::analysis {
+
+namespace {
+
+using ptx::Cfg;
+using ptx::Instr;
+
+SourceLoc loc_of(const std::vector<SourceLoc>& locs, std::uint32_t pc) {
+  return pc < locs.size() ? locs[pc] : SourceLoc{};
+}
+
+// --- barrier divergence -------------------------------------------------
+
+void lint_barriers(const ptx::Program& prg, const Cfg& cfg,
+                   const std::vector<SourceLoc>& locs,
+                   std::vector<Finding>& out) {
+  const std::vector<bool> divergent = ptx::divergent_pbras(prg.code());
+  const std::vector<std::uint32_t> ipd = cfg.ipostdom();
+  std::set<std::uint32_t> flagged;  // bar pcs, reported once
+  for (std::uint32_t pc = 0; pc < prg.size(); ++pc) {
+    if (!divergent[pc]) continue;
+    const std::uint32_t branch_block = cfg.block_of(pc);
+    const std::uint32_t join = ipd[branch_block];
+    // Blocks reachable from the branch before reconvergence.  The join
+    // itself is warp-uniform again; a bar there is fine (the corpus
+    // reductions place theirs exactly at joins).
+    std::vector<bool> seen(cfg.blocks().size(), false);
+    std::deque<std::uint32_t> work;
+    for (const std::uint32_t s : cfg.blocks()[branch_block].succs) {
+      if (s != join && s != cfg.exit_id() && !seen[s]) {
+        seen[s] = true;
+        work.push_back(s);
+      }
+    }
+    while (!work.empty()) {
+      const std::uint32_t b = work.front();
+      work.pop_front();
+      for (std::uint32_t p = cfg.blocks()[b].first; p < cfg.blocks()[b].last;
+           ++p) {
+        if (std::holds_alternative<ptx::IBar>(prg.code()[p]) &&
+            flagged.insert(p).second) {
+          out.push_back(Finding{
+              Pass::BarrierDivergence, Severity::Error, p, loc_of(locs, p),
+              "bar.sync reachable inside the divergent region of the "
+              "branch at pc " +
+                  std::to_string(pc) +
+                  ": threads that take the other side never arrive, the "
+                  "block deadlocks"});
+        }
+      }
+      for (const std::uint32_t s : cfg.blocks()[b].succs) {
+        if (s != join && s != cfg.exit_id() && !seen[s]) {
+          seen[s] = true;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+}
+
+// --- uninitialized registers -------------------------------------------
+
+std::uint32_t pred_key(const ptx::Pred& p) {
+  return 0x80000000u | p.index;
+}
+
+using KeySet = std::set<std::uint32_t>;
+
+void lint_uninit(const ptx::Program& prg, const Cfg& cfg,
+                 const std::vector<SourceLoc>& locs,
+                 std::vector<Finding>& out) {
+  // May-initialized analysis: the set of keys with at least one write
+  // reaching block entry over the union of paths.  A read outside the
+  // set has *zero* reaching definitions — guaranteed-garbage use.
+  const auto& blocks = cfg.blocks();
+  std::vector<std::optional<KeySet>> in(blocks.size());
+  std::deque<std::uint32_t> work;
+  in[0] = KeySet{};
+  work.push_back(0);
+  auto block_out = [&](std::uint32_t b) {
+    KeySet s = *in[b];
+    for (std::uint32_t pc = blocks[b].first; pc < blocks[b].last; ++pc) {
+      const ptx::DefUse du = ptx::def_use(prg.code()[pc]);
+      for (const ptx::Reg& r : du.writes) s.insert(r.key());
+      for (const ptx::Pred& p : du.pred_writes) s.insert(pred_key(p));
+    }
+    return s;
+  };
+  while (!work.empty()) {
+    const std::uint32_t b = work.front();
+    work.pop_front();
+    const KeySet s = block_out(b);
+    for (const std::uint32_t succ : blocks[b].succs) {
+      if (succ == cfg.exit_id()) continue;
+      // Union join, tracked as "new keys only shrink nothing": the
+      // may-set at entry is the union over predecessors, so merging
+      // adds keys monotonically.
+      KeySet next = in[succ].has_value() ? *in[succ] : s;
+      if (in[succ].has_value()) {
+        next.insert(s.begin(), s.end());
+      }
+      if (!in[succ].has_value() || next != *in[succ]) {
+        in[succ] = std::move(next);
+        if (std::find(work.begin(), work.end(), succ) == work.end()) {
+          work.push_back(succ);
+        }
+      }
+    }
+  }
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> reported;  // (pc, key)
+  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
+    if (!in[b].has_value()) continue;  // unreachable
+    KeySet live = *in[b];
+    for (std::uint32_t pc = blocks[b].first; pc < blocks[b].last; ++pc) {
+      const ptx::DefUse du = ptx::def_use(prg.code()[pc]);
+      auto report = [&](std::uint32_t key, const std::string& name) {
+        if (live.count(key) == 0 && reported.emplace(pc, key).second) {
+          out.push_back(Finding{
+              Pass::UninitRegister, Severity::Error, pc, loc_of(locs, pc),
+              name + " is read but never written on any path to pc " +
+                  std::to_string(pc)});
+        }
+      };
+      for (const ptx::Reg& r : du.reads) report(r.key(), to_string(r));
+      for (const ptx::Pred& p : du.pred_reads) {
+        report(pred_key(p), to_string(p));
+      }
+      for (const ptx::Reg& r : du.writes) live.insert(r.key());
+      for (const ptx::Pred& p : du.pred_writes) live.insert(pred_key(p));
+    }
+  }
+}
+
+// --- affine access passes ----------------------------------------------
+
+/// Value range of an affine expression under the launch, when every
+/// symbol has a finite range.
+std::optional<std::pair<std::int64_t, std::int64_t>> expr_range(
+    const AffineExpr& e, const LaunchEnv& env) {
+  if (e.is_top()) return std::nullopt;
+  std::int64_t lo = e.constant_term(), hi = lo;
+  for (const Term& t : e.terms()) {
+    const auto r = sym_range(t.sym, env);
+    if (!r) return std::nullopt;
+    const std::int64_t a = t.coeff * r->first, b = t.coeff * r->second;
+    lo += std::min(a, b);
+    hi += std::max(a, b);
+  }
+  return std::make_pair(lo, hi);
+}
+
+void lint_shared_overflow(const std::vector<AccessSite>& sites,
+                          const LintOptions& opts,
+                          const std::vector<SourceLoc>& locs,
+                          std::vector<Finding>& out) {
+  if (opts.shared_bytes == 0) return;
+  const auto limit = static_cast<std::int64_t>(opts.shared_bytes);
+  for (const AccessSite& s : sites) {
+    if (s.space != ptx::Space::Shared) continue;
+    const auto r = expr_range(s.addr, opts.launch);
+    if (!r) continue;
+    if (r->first < 0 || r->second + static_cast<std::int64_t>(s.width) >
+                            limit) {
+      out.push_back(Finding{
+          Pass::SharedOverflow, Severity::Error, s.pc, loc_of(locs, s.pc),
+          "shared access of " + std::to_string(s.width) + " bytes at " +
+              s.addr.str() + " can reach byte " +
+              std::to_string(r->second + s.width - 1) +
+              ", outside the declared shared layout of " +
+              std::to_string(opts.shared_bytes) + " bytes"});
+    }
+  }
+}
+
+void lint_races(const ptx::Program& prg, const LintOptions& opts,
+                const std::vector<SourceLoc>& locs,
+                std::vector<Finding>& out) {
+  const RaceCandidateReport report = analyze_races(prg, opts.launch);
+  for (const SitePair& p : report.racing()) {
+    const char* what = p.a.write && p.b.write ? "write/write" : "read/write";
+    std::string where = "pc " + std::to_string(p.b.pc);
+    if (const SourceLoc l = loc_of(locs, p.b.pc); l.valid()) {
+      where += " (line " + std::to_string(l.line) + ")";
+    }
+    out.push_back(Finding{
+        Pass::RaceCandidate, Severity::Error, p.a.pc, loc_of(locs, p.a.pc),
+        std::string(to_string(p.a.space)) + " " + what +
+            " race: address " + p.a.addr.str() +
+            (p.a.pc == p.b.pc
+                 ? " is touched by every thread with no ordering"
+                 : " overlaps the access at " + where +
+                       " with no barrier between them")});
+  }
+}
+
+}  // namespace
+
+std::string to_string(Pass p) {
+  switch (p) {
+    case Pass::BarrierDivergence: return "barrier-divergence";
+    case Pass::UninitRegister: return "uninit-register";
+    case Pass::SharedOverflow: return "shared-overflow";
+    case Pass::RaceCandidate: return "race-candidate";
+  }
+  return "?";
+}
+
+std::string to_string(Severity s) {
+  return s == Severity::Error ? "error" : "warning";
+}
+
+std::size_t LintReport::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.severity == Severity::Error;
+      }));
+}
+
+LintReport lint_kernel(const ptx::Program& prg,
+                       const std::vector<SourceLoc>& locs,
+                       const LintOptions& opts) {
+  LintReport report;
+  if (prg.empty()) return report;
+  const Cfg cfg(prg.code());
+  lint_barriers(prg, cfg, locs, report.findings);
+  lint_uninit(prg, cfg, locs, report.findings);
+  const std::vector<AccessSite> sites = analyze_addresses(prg, opts.launch);
+  lint_shared_overflow(sites, opts, locs, report.findings);
+  if (opts.check_races) lint_races(prg, opts, locs, report.findings);
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.pc != b.pc
+                                ? a.pc < b.pc
+                                : static_cast<int>(a.pass) <
+                                      static_cast<int>(b.pass);
+                   });
+  return report;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_text(const LintReport& report, const std::string& file,
+                        const std::string& kernel) {
+  std::string out;
+  for (const Finding& f : report.findings) {
+    out += file + ":";
+    if (f.loc.valid()) {
+      out += std::to_string(f.loc.line) + ":" + std::to_string(f.loc.column) +
+             ":";
+    }
+    out += " ";
+    out += to_string(f.severity) + ": [" + to_string(f.pass) + "] " +
+           kernel + ": " + f.message + " (pc " + std::to_string(f.pc) +
+           ")\n";
+  }
+  if (report.findings.empty()) {
+    out = file + ": " + kernel + ": clean\n";
+  }
+  return out;
+}
+
+std::string render_json(const LintReport& report, const std::string& file,
+                        const std::string& kernel) {
+  std::string out = "{\"file\":\"" + json_escape(file) + "\",\"kernel\":\"" +
+                    json_escape(kernel) + "\",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"pass\":\"" + to_string(f.pass) + "\",\"severity\":\"" +
+           to_string(f.severity) + "\",\"pc\":" + std::to_string(f.pc) +
+           ",\"line\":" + std::to_string(f.loc.line) +
+           ",\"column\":" + std::to_string(f.loc.column) +
+           ",\"message\":\"" + json_escape(f.message) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cac::analysis

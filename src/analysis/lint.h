@@ -1,0 +1,85 @@
+// Static lint passes over lowered PTX — the `cacval lint` command.
+//
+// Three pass families (docs/analysis.md):
+//  * BarrierDivergence — a bar.sync reachable inside a divergent branch
+//    region (between a thread-dependent predicated branch and its
+//    reconvergence point) deadlocks the block: part of the warp waits
+//    at the barrier while its siblings execute the other side.
+//  * UninitRegister — a register or predicate read with *no* write
+//    reaching it on *any* path (may-initialized reaching-definitions;
+//    values written on some-but-not-all paths are not flagged, so the
+//    common init-in-one-arm idiom stays quiet).
+//  * Affine access facts — SharedOverflow for accesses provably outside
+//    the module's Shared layout, and RaceCandidate for pairs of sites
+//    classified ProvablyRacing by analysis/disjoint.h.
+//
+// Findings carry the pc and, when the program was lowered from source
+// (ptx::LoweredModule::kernel_locs), the source position.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/disjoint.h"
+#include "support/diag.h"
+
+namespace cac::analysis {
+
+enum class Pass : std::uint8_t {
+  BarrierDivergence,
+  UninitRegister,
+  SharedOverflow,
+  RaceCandidate,
+};
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+std::string to_string(Pass p);
+std::string to_string(Severity s);
+
+struct Finding {
+  Pass pass = Pass::BarrierDivergence;
+  Severity severity = Severity::Error;
+  std::uint32_t pc = 0;
+  SourceLoc loc;  // {0,0} when the program has no source
+  std::string message;
+};
+
+struct LintOptions {
+  /// Launch specialization for the affine passes; leave unknown to get
+  /// the purely static verdicts.
+  LaunchEnv launch;
+  /// Size of the module's Shared layout; 0 disables the overflow check
+  /// (hand-built programs without a layout).
+  std::uint32_t shared_bytes = 0;
+  /// Run the pairwise race-candidate classification (quadratic in the
+  /// number of access sites).
+  bool check_races = true;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;  // pc order, stable across runs
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  [[nodiscard]] std::size_t errors() const;
+};
+
+/// Run all passes over one kernel.  `locs` maps pc -> source position
+/// (use LoweredModule::locs_for; an empty vector is accepted).
+LintReport lint_kernel(const ptx::Program& prg,
+                       const std::vector<SourceLoc>& locs,
+                       const LintOptions& opts = {});
+
+/// Human-readable rendering: one `file:line:col: severity: [pass] msg`
+/// line per finding.
+std::string render_text(const LintReport& report, const std::string& file,
+                        const std::string& kernel);
+
+/// JSON rendering (stable field order):
+/// {"file":..., "kernel":..., "findings":[{"pass","severity","pc",
+///  "line","column","message"}, ...]}
+std::string render_json(const LintReport& report, const std::string& file,
+                        const std::string& kernel);
+
+}  // namespace cac::analysis

@@ -107,7 +107,7 @@ enum class FrameType : std::uint8_t {
   kManifest = 15,          // coordinator's generation commit record
 };
 
-constexpr std::uint8_t kProtoVersion = 1;
+constexpr std::uint8_t kProtoVersion = 2;
 constexpr std::size_t kFrameHeaderSize = 4 + 1 + 1 + 2 + 4 + 8;
 /// Upper bound on one payload: a graph part carries a whole partition,
 /// so the cap is generous — it exists to reject length lies, not to

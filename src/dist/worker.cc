@@ -268,7 +268,8 @@ class Worker {
     }
     auto eligible = sem::eligible_choices(prg_, state.grid);
     if (setup_.options.partial_order_reduction) {
-      sched::internal::reduce_choices(prg_, state.grid, eligible);
+      sched::internal::reduce_choices(
+          prg_, state.grid, setup_.options.por_independent_pcs, eligible);
     }
     if (eligible.empty()) {
       node->stuck = true;

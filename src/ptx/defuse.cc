@@ -1,0 +1,163 @@
+#include "ptx/defuse.h"
+
+#include <set>
+
+namespace cac::ptx {
+
+namespace {
+
+/// Append the register inside a value/address operand, if any.
+void use_operand(const Operand& op, std::vector<Reg>& reads) {
+  if (const auto* r = std::get_if<Reg>(&op)) {
+    reads.push_back(*r);
+  } else if (const auto* ri = std::get_if<RegImm>(&op)) {
+    reads.push_back(ri->reg);
+  }
+}
+
+struct DefUseVisitor {
+  DefUse& du;
+
+  void use(const Operand& op) const { use_operand(op, du.reads); }
+
+  void operator()(const INop&) const {}
+  void operator()(const IBop& i) const {
+    use(i.a);
+    use(i.b);
+    du.writes.push_back(i.dst);
+  }
+  void operator()(const ITop& i) const {
+    use(i.a);
+    use(i.b);
+    use(i.c);
+    du.writes.push_back(i.dst);
+  }
+  void operator()(const IUop& i) const {
+    use(i.a);
+    du.writes.push_back(i.dst);
+  }
+  void operator()(const IMov& i) const {
+    use(i.src);
+    du.writes.push_back(i.dst);
+  }
+  void operator()(const ILd& i) const {
+    use(i.addr);
+    du.writes.push_back(i.dst);
+  }
+  void operator()(const ISt& i) const {
+    use(i.addr);
+    du.reads.push_back(i.src);
+  }
+  void operator()(const IBra&) const {}
+  void operator()(const ISetp& i) const {
+    use(i.a);
+    use(i.b);
+    du.pred_writes.push_back(i.dst);
+  }
+  void operator()(const IPBra& i) const { du.pred_reads.push_back(i.pred); }
+  void operator()(const ISelp& i) const {
+    use(i.a);
+    use(i.b);
+    du.pred_reads.push_back(i.pred);
+    du.writes.push_back(i.dst);
+  }
+  void operator()(const ISync&) const {}
+  void operator()(const IBar&) const {}
+  void operator()(const IExit&) const {}
+  void operator()(const IAtom& i) const {
+    use(i.addr);
+    use(i.b);
+    if (i.op == AtomOp::Cas) use(i.c);
+    du.writes.push_back(i.dst);
+  }
+  void operator()(const IVote& i) const {
+    du.pred_reads.push_back(i.src);
+    if (i.mode == VoteMode::Ballot) du.writes.push_back(i.dst_ballot);
+    else du.pred_writes.push_back(i.dst);
+  }
+  void operator()(const IShfl& i) const {
+    du.reads.push_back(i.src);
+    use(i.lane);
+    du.writes.push_back(i.dst);
+  }
+};
+
+}  // namespace
+
+DefUse def_use(const Instr& i) {
+  DefUse du;
+  std::visit(DefUseVisitor{du}, i);
+  return du;
+}
+
+std::vector<bool> divergent_pbras(const std::vector<Instr>& code) {
+  std::set<std::uint32_t> div_regs;   // Reg::key()
+  std::set<std::uint16_t> div_preds;  // Pred::index
+
+  auto op_divergent = [&](const Operand& op) {
+    struct V {
+      const std::set<std::uint32_t>& regs;
+      bool operator()(const Reg& r) const { return regs.count(r.key()); }
+      bool operator()(const Sreg& s) const {
+        return s.kind == SregKind::Tid;
+      }
+      bool operator()(const Imm&) const { return false; }
+      bool operator()(const RegImm& ri) const {
+        return regs.count(ri.reg.key()) > 0;
+      }
+    };
+    return std::visit(V{div_regs}, op);
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto mark_reg = [&](const Reg& r, bool d) {
+      if (d && div_regs.insert(r.key()).second) changed = true;
+    };
+    for (const Instr& instr : code) {
+      if (const auto* i = std::get_if<IBop>(&instr)) {
+        mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b));
+      } else if (const auto* i = std::get_if<ITop>(&instr)) {
+        mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b) ||
+                             op_divergent(i->c));
+      } else if (const auto* i = std::get_if<IUop>(&instr)) {
+        mark_reg(i->dst, op_divergent(i->a));
+      } else if (const auto* i = std::get_if<IMov>(&instr)) {
+        mark_reg(i->dst, op_divergent(i->src));
+      } else if (const auto* i = std::get_if<ILd>(&instr)) {
+        // Param loads read launch constants; anything else may see
+        // lane-dependent data.
+        mark_reg(i->dst,
+                 i->space != Space::Param || op_divergent(i->addr));
+      } else if (const auto* i = std::get_if<IAtom>(&instr)) {
+        mark_reg(i->dst, true);  // returns the lane-order-dependent old value
+      } else if (const auto* i = std::get_if<ISelp>(&instr)) {
+        mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b) ||
+                             div_preds.count(i->pred.index) > 0);
+      } else if (const auto* i = std::get_if<ISetp>(&instr)) {
+        if ((op_divergent(i->a) || op_divergent(i->b)) &&
+            div_preds.insert(i->dst.index).second) {
+          changed = true;
+        }
+      } else if (const auto* i = std::get_if<IShfl>(&instr)) {
+        // Cross-lane data: conservatively divergent.
+        mark_reg(i->dst, true);
+      } else if (const auto* i = std::get_if<IVote>(&instr)) {
+        // Vote results are warp-uniform by construction; the ballot
+        // bitmask is the same in every lane too.
+        if (i->mode == VoteMode::Ballot) mark_reg(i->dst_ballot, false);
+      }
+    }
+  }
+
+  std::vector<bool> out(code.size(), false);
+  for (std::uint32_t pc = 0; pc < code.size(); ++pc) {
+    if (const auto* pb = std::get_if<IPBra>(&code[pc])) {
+      out[pc] = div_preds.count(pb->pred.index) > 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace cac::ptx

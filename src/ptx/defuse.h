@@ -1,0 +1,43 @@
+// Def-use export over lowered code, shared by the lowering's
+// sync-insertion policy and the static analyses (src/analysis).
+//
+// Two views are provided:
+//  * per-instruction def/use sets (registers and predicates read and
+//    written, with address bases counted as reads), and
+//  * the warp-divergence fixpoint (cf. Coutinho et al., the paper's
+//    related work [14]) that lower.cc uses to decide which predicated
+//    branches need a reconvergence Sync.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptx/instr.h"
+
+namespace cac::ptx {
+
+/// Registers and predicates an instruction reads and writes.  Address
+/// base registers of Ld/St/Atom count as reads; sregs and immediates
+/// contribute nothing.
+struct DefUse {
+  std::vector<Reg> reads;
+  std::vector<Reg> writes;
+  std::vector<Pred> pred_reads;
+  std::vector<Pred> pred_writes;
+};
+
+/// Compute the def/use sets of one instruction.
+[[nodiscard]] DefUse def_use(const Instr& i);
+
+/// Warp-divergence analysis: a flow-insensitive fixpoint marking
+/// registers and predicates whose value can differ between threads *of
+/// one warp*.  Divergence sources: %tid (thread-dependent) and loads
+/// from non-Param spaces (conservatively; lanes read different
+/// addresses).  %ctaid/%ntid/%nctaid are warp-uniform — every thread
+/// of a warp belongs to the same block.  Returns, per pc, whether the
+/// instruction is a predicated branch on a divergent predicate — the
+/// only construct that can split a warp.
+[[nodiscard]] std::vector<bool> divergent_pbras(
+    const std::vector<Instr>& code);
+
+}  // namespace cac::ptx

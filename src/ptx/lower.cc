@@ -7,6 +7,7 @@
 #include <set>
 
 #include "ptx/cfg.h"
+#include "ptx/defuse.h"
 #include "support/strings.h"
 
 namespace cac::ptx {
@@ -158,6 +159,10 @@ class KernelLowerer {
     if (opts_.insert_syncs) insert_syncs();
     return Program(kernel_.name, std::move(code_), std::move(params_));
   }
+
+  /// Source locations parallel to the returned Program's code; valid
+  /// after run().
+  [[nodiscard]] std::vector<SourceLoc> take_locs() { return std::move(locs_); }
 
  private:
   void layout_params() {
@@ -320,9 +325,13 @@ class KernelLowerer {
     }
   }
 
-  void push(Instr i) { code_.push_back(std::move(i)); }
+  void push(Instr i) {
+    code_.push_back(std::move(i));
+    locs_.push_back(cur_loc_);  // vector expansion shares the stmt's loc
+  }
 
   void lower_instr(const AstInstr& ins) {
+    cur_loc_ = ins.loc;
     const auto pieces = opcode_pieces(ins.opcode);
     const std::string& m = pieces[0];
 
@@ -574,86 +583,6 @@ class KernelLowerer {
     }
   }
 
-  /// Warp-divergence analysis (cf. Coutinho et al., the paper's related
-  /// work [14]): a flow-insensitive fixpoint marking registers and
-  /// predicates whose value can differ between threads *of one warp*.
-  /// Divergence sources: %tid (thread-dependent) and loads from
-  /// non-Param spaces (conservatively; lanes read different addresses).
-  /// %ctaid/%ntid/%nctaid are warp-uniform — every thread of a warp
-  /// belongs to the same block.  Only branches on divergent predicates
-  /// can split a warp, so only they need reconvergence Syncs; a Sync
-  /// executed for a branch that cannot diverge would spuriously engage
-  /// the Fig. 2 rotation cases while an enclosing divergence is open.
-  [[nodiscard]] std::vector<bool> divergent_pbras() const {
-    std::set<std::uint32_t> div_regs;   // Reg::key()
-    std::set<std::uint16_t> div_preds;  // Pred::index
-
-    auto op_divergent = [&](const Operand& op) {
-      struct V {
-        const std::set<std::uint32_t>& regs;
-        bool operator()(const Reg& r) const { return regs.count(r.key()); }
-        bool operator()(const Sreg& s) const {
-          return s.kind == SregKind::Tid;
-        }
-        bool operator()(const Imm&) const { return false; }
-        bool operator()(const RegImm& ri) const {
-          return regs.count(ri.reg.key()) > 0;
-        }
-      };
-      return std::visit(V{div_regs}, op);
-    };
-
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      auto mark_reg = [&](const Reg& r, bool d) {
-        if (d && div_regs.insert(r.key()).second) changed = true;
-      };
-      for (const Instr& instr : code_) {
-        if (const auto* i = std::get_if<IBop>(&instr)) {
-          mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b));
-        } else if (const auto* i = std::get_if<ITop>(&instr)) {
-          mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b) ||
-                               op_divergent(i->c));
-        } else if (const auto* i = std::get_if<IUop>(&instr)) {
-          mark_reg(i->dst, op_divergent(i->a));
-        } else if (const auto* i = std::get_if<IMov>(&instr)) {
-          mark_reg(i->dst, op_divergent(i->src));
-        } else if (const auto* i = std::get_if<ILd>(&instr)) {
-          // Param loads read launch constants; anything else may see
-          // lane-dependent data.
-          mark_reg(i->dst,
-                   i->space != Space::Param || op_divergent(i->addr));
-        } else if (const auto* i = std::get_if<IAtom>(&instr)) {
-          mark_reg(i->dst, true);  // returns the lane-order-dependent old value
-        } else if (const auto* i = std::get_if<ISelp>(&instr)) {
-          mark_reg(i->dst, op_divergent(i->a) || op_divergent(i->b) ||
-                               div_preds.count(i->pred.index) > 0);
-        } else if (const auto* i = std::get_if<ISetp>(&instr)) {
-          if ((op_divergent(i->a) || op_divergent(i->b)) &&
-              div_preds.insert(i->dst.index).second) {
-            changed = true;
-          }
-        } else if (const auto* i = std::get_if<IShfl>(&instr)) {
-          // Cross-lane data: conservatively divergent.
-          mark_reg(i->dst, true);
-        } else if (const auto* i = std::get_if<IVote>(&instr)) {
-          // Vote results are warp-uniform by construction; the ballot
-          // bitmask is the same in every lane too.
-          if (i->mode == VoteMode::Ballot) mark_reg(i->dst_ballot, false);
-        }
-      }
-    }
-
-    std::vector<bool> out(code_.size(), false);
-    for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
-      if (const auto* pb = std::get_if<IPBra>(&code_[pc])) {
-        out[pc] = div_preds.count(pb->pred.index) > 0;
-      }
-    }
-    return out;
-  }
-
   /// Insert Sync at the immediate post-dominator of every *divergent*
   /// predicated branch, and before every Exit when the reconvergence
   /// point is the program exit itself.  Branch targets are remapped so
@@ -674,7 +603,8 @@ class KernelLowerer {
         divergent[pc] = std::holds_alternative<IPBra>(code_[pc]);
       }
     } else {
-      divergent = divergent_pbras();
+      // The analysis is shared with src/analysis via ptx/defuse.h.
+      divergent = ptx::divergent_pbras(code_);
     }
 
     std::set<std::uint32_t> sync_before;
@@ -706,9 +636,14 @@ class KernelLowerer {
       remap[pc] = pc + shift;
     }
     std::vector<Instr> out;
+    std::vector<SourceLoc> out_locs;
     out.reserve(code_.size() + sync_before.size());
+    out_locs.reserve(code_.size() + sync_before.size());
     for (std::uint32_t pc = 0; pc < code_.size(); ++pc) {
-      if (sync_before.count(pc)) out.push_back(ISync{});
+      if (sync_before.count(pc)) {
+        out.push_back(ISync{});
+        out_locs.push_back(SourceLoc{});  // mechanically inserted: no loc
+      }
       Instr i = code_[pc];
       if (auto* b = std::get_if<IBra>(&i)) {
         // A branch targeting the join lands on the Sync itself.
@@ -718,8 +653,10 @@ class KernelLowerer {
             remap[pb->target] - (sync_before.count(pb->target) ? 1 : 0);
       }
       out.push_back(std::move(i));
+      out_locs.push_back(locs_[pc]);
     }
     code_ = std::move(out);
+    locs_ = std::move(out_locs);
   }
 
   const AstKernel& kernel_;
@@ -728,6 +665,8 @@ class KernelLowerer {
 
   RegEnv env_;
   std::vector<Instr> code_;
+  std::vector<SourceLoc> locs_;  // parallel to code_
+  SourceLoc cur_loc_;
   std::vector<ParamSlot> params_;
   std::map<std::string, std::uint32_t> labels_;
   std::vector<std::pair<std::size_t, std::string>> fixups_;
@@ -746,6 +685,14 @@ Program LoweredModule::kernel(const std::string& name) && {
   return static_cast<const LoweredModule&>(*this).kernel(name);
 }
 
+std::vector<SourceLoc> LoweredModule::locs_for(const Program& prg) const {
+  const auto it = kernel_locs.find(prg.name());
+  if (it != kernel_locs.end() && it->second.size() == prg.size()) {
+    return it->second;
+  }
+  return std::vector<SourceLoc>(prg.size());
+}
+
 LoweredModule lower(const AstModule& m, const LowerOptions& opts) {
   LoweredModule out;
   std::uint32_t offset = 0;
@@ -760,7 +707,9 @@ LoweredModule lower(const AstModule& m, const LowerOptions& opts) {
   }
   out.shared_bytes = offset;
   for (const auto& k : m.kernels) {
-    out.kernels.push_back(KernelLowerer(k, out.shared_offsets, opts).run());
+    KernelLowerer lowerer(k, out.shared_offsets, opts);
+    out.kernels.push_back(lowerer.run());
+    out.kernel_locs[out.kernels.back().name()] = lowerer.take_locs();
   }
   return out;
 }

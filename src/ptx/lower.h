@@ -48,6 +48,21 @@ struct LoweredModule {
   std::unordered_map<std::string, std::uint32_t> shared_offsets;
   std::uint32_t shared_bytes = 0;
 
+  /// Per-kernel source locations, parallel to each Program's code():
+  /// kernel_locs[name][pc] is the source position of the statement
+  /// that pc was lowered from.  Kept as a side table (not in Program)
+  /// so Program's structural equality and checkpoint fingerprints are
+  /// unaffected.  Mechanically inserted instructions (reconvergence
+  /// Syncs) carry the invalid location {0,0}; vector accesses expand
+  /// to several pcs sharing one location.  Diagnostics (cacval lint)
+  /// resolve pcs through this table.
+  std::unordered_map<std::string, std::vector<SourceLoc>> kernel_locs;
+
+  /// Locations for a kernel's code, or an all-invalid vector sized to
+  /// the kernel when the module was built without source (tests that
+  /// hand-assemble Programs).
+  [[nodiscard]] std::vector<SourceLoc> locs_for(const Program& prg) const;
+
   /// Look up a kernel by name; throws PtxError if absent.  On an
   /// rvalue module the kernel is returned by value so that
   /// `load_ptx(src).kernel("k")` cannot dangle.

@@ -60,6 +60,8 @@ void encode_options(BinWriter& w, const ExploreOptions& o) {
   w.u64(o.step_opts.order.perm.size());
   for (const std::uint32_t p : o.step_opts.order.perm) w.u32(p);
   w.u8(o.step_opts.log_accesses ? 1 : 0);
+  w.u64(o.por_independent_pcs.size());
+  for (const std::uint32_t pc : o.por_independent_pcs) w.u32(pc);
 }
 
 ExploreOptions decode_options(BinReader& r) {
@@ -79,6 +81,11 @@ ExploreOptions decode_options(BinReader& r) {
     o.step_opts.order.perm.push_back(r.u32());
   }
   o.step_opts.log_accesses = r.u8() != 0;
+  const std::uint64_t ni = r.count(sizeof(std::uint32_t));
+  o.por_independent_pcs.reserve(ni);
+  for (std::uint64_t i = 0; i < ni; ++i) {
+    o.por_independent_pcs.push_back(r.u32());
+  }
   return o;
 }
 
@@ -423,7 +430,8 @@ void verify_resume(const Checkpoint& ck, Checkpoint::Engine want,
     fail("exploration bounds differ from the checkpointed run");
   }
   if (co.stop_at_first_violation != opts.stop_at_first_violation ||
-      co.partial_order_reduction != opts.partial_order_reduction) {
+      co.partial_order_reduction != opts.partial_order_reduction ||
+      co.por_independent_pcs != opts.por_independent_pcs) {
     fail("exploration policy differs from the checkpointed run");
   }
   if (co.step_opts.order.kind != opts.step_opts.order.kind ||

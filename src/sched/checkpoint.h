@@ -64,7 +64,7 @@ std::string to_string(CheckpointError::Kind k);
 /// One snapshot of an in-flight exploration.  Engines construct and
 /// consume these; save()/load() move them to and from disk.
 struct Checkpoint {
-  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   enum class Engine : std::uint8_t { Serial = 0, Parallel = 1 };
   Engine engine = Engine::Serial;

@@ -27,11 +27,23 @@ bool register_local(const ptx::Instr& i) {
 }
 
 void reduce_choices(const ptx::Program& prg, const sem::Grid& g,
+                    const std::vector<std::uint32_t>& independent_pcs,
                     std::vector<sem::Choice>& eligible) {
   for (const sem::Choice& c : eligible) {
     if (c.kind != sem::Choice::Kind::ExecWarp) continue;
     const sem::Warp& w = g.blocks[c.block].warps[c.warp];
     if (register_local(prg.fetch(w.pc()))) {
+      const sem::Choice keep = c;
+      eligible.assign(1, keep);
+      return;
+    }
+  }
+  if (independent_pcs.empty()) return;
+  for (const sem::Choice& c : eligible) {
+    if (c.kind != sem::Choice::Kind::ExecWarp) continue;
+    const sem::Warp& w = g.blocks[c.block].warps[c.warp];
+    if (std::binary_search(independent_pcs.begin(), independent_pcs.end(),
+                           w.pc())) {
       const sem::Choice keep = c;
       eligible.assign(1, keep);
       return;
@@ -118,7 +130,8 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
     }
     auto eligible = sem::eligible_choices(prg, m.grid);
     if (opts.partial_order_reduction) {
-      internal::reduce_choices(prg, m.grid, eligible);
+      internal::reduce_choices(prg, m.grid, opts.por_independent_pcs,
+                               eligible);
     }
     if (eligible.empty()) {
       colors.emplace(r.id.v, Color::Done);
@@ -164,7 +177,8 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
       sem::Machine m = store->materialize(f.id);
       auto eligible = sem::eligible_choices(prg, m.grid);
       if (opts.partial_order_reduction) {
-        internal::reduce_choices(prg, m.grid, eligible);
+        internal::reduce_choices(prg, m.grid, opts.por_independent_pcs,
+                                 eligible);
       }
       if (f.next > eligible.size()) {
         throw CheckpointError(CheckpointError::Kind::Corrupt,

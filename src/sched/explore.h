@@ -47,6 +47,15 @@ struct ExploreOptions {
   /// on termination, stuck states, faults and *final memory* states
   /// are preserved; intermediate-state counts differ by construction.
   bool partial_order_reduction = false;
+  /// Static-analysis independence oracle for the reduction above: pcs
+  /// of Ld/St/Atom instructions proven disjoint from every same-space
+  /// access in the program (analysis::independent_access_pcs).  When a
+  /// warp's next instruction is one of these, its step commutes with
+  /// every other warp's step exactly like a register-local one, so it
+  /// too is explored as a singleton persistent set.  Sorted ascending;
+  /// only consulted when partial_order_reduction is on.  Structural:
+  /// checkpoints persist it and resume requires an identical list.
+  std::vector<std::uint32_t> por_independent_pcs;
   /// Worker threads for state expansion.  0 keeps the classic serial
   /// DFS; any positive value routes explore() through the parallel
   /// engine (explore_parallel.h) with that many workers.  Verdicts are

@@ -18,10 +18,14 @@ namespace cac::sched::internal {
 /// disable them, so {that step} is a persistent set.
 bool register_local(const ptx::Instr& i);
 
-/// Persistent-set reduction: pick one register-local choice if any.
+/// Persistent-set reduction: pick one register-local choice if any;
+/// failing that, one ExecWarp choice whose pc is in `independent_pcs`
+/// (ExploreOptions::por_independent_pcs, sorted — accesses proven
+/// disjoint from every same-space site by the static analyzer).
 /// Deterministic in the state, so the reduced state graph is the same
 /// no matter which engine (or thread) expands a state.
 void reduce_choices(const ptx::Program& prg, const sem::Grid& g,
+                    const std::vector<std::uint32_t>& independent_pcs,
                     std::vector<sem::Choice>& eligible);
 
 /// Deduplicated accumulator for terminal states, over StateStore

@@ -354,7 +354,8 @@ class GraphBuilder {
     }
     auto eligible = sem::eligible_choices(prg_, state.grid);
     if (opts_.partial_order_reduction) {
-      internal::reduce_choices(prg_, state.grid, eligible);
+      internal::reduce_choices(prg_, state.grid, opts_.por_independent_pcs,
+                               eligible);
     }
     if (eligible.empty()) {
       node->stuck = true;

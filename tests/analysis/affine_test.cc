@@ -1,0 +1,198 @@
+// The affine abstract domain and the address interpreter
+// (analysis/affine.h), plus the pair classifier's launch-specialized
+// verdicts on the vecadd corpus kernel.
+#include "analysis/affine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "analysis/disjoint.h"
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+
+namespace cac::analysis {
+namespace {
+
+const Sym kTidX{Sym::Kind::Tid, 0, 0};
+const Sym kCtaIdX{Sym::Kind::CtaId, 0, 0};
+const Sym kNTidX{Sym::Kind::NTid, 0, 0};
+const Sym kGidX{Sym::Kind::GidBase, 0, 0};
+
+TEST(AffineExpr, ConstantFolding) {
+  const AffineExpr e = AffineExpr::constant(3).add(AffineExpr::constant(4));
+  ASSERT_TRUE(e.is_const());
+  EXPECT_EQ(e.constant_term(), 7);
+  EXPECT_EQ(
+      AffineExpr::constant(6).mul(AffineExpr::constant(7)).constant_term(),
+      42);
+}
+
+TEST(AffineExpr, SymbolArithmetic) {
+  const AffineExpr tid = AffineExpr::symbol(kTidX);
+  const AffineExpr e = tid.scaled(4).add(AffineExpr::constant(8));
+  ASSERT_FALSE(e.is_top());
+  EXPECT_EQ(e.constant_term(), 8);
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].sym, kTidX);
+  EXPECT_EQ(e.terms()[0].coeff, 4);
+  // 4·tid + 8 - 4·tid cancels back to the constant.
+  const AffineExpr c = e.sub(tid.scaled(4));
+  ASSERT_TRUE(c.is_const());
+  EXPECT_EQ(c.constant_term(), 8);
+}
+
+TEST(AffineExpr, TopAbsorbs) {
+  EXPECT_TRUE(AffineExpr::top().is_top());
+  EXPECT_TRUE(AffineExpr::top().add(AffineExpr::constant(1)).is_top());
+  // tid * tid is not affine.
+  EXPECT_TRUE(
+      AffineExpr::symbol(kTidX).mul(AffineExpr::symbol(kTidX)).is_top());
+}
+
+TEST(AffineExpr, OverflowGoesToTop) {
+  const AffineExpr big =
+      AffineExpr::constant(std::numeric_limits<std::int64_t>::max());
+  EXPECT_TRUE(big.add(AffineExpr::constant(1)).is_top());
+  EXPECT_TRUE(big.mul(AffineExpr::constant(2)).is_top());
+  EXPECT_TRUE(
+      AffineExpr::symbol(kTidX).scaled(1ll << 62).scaled(4).is_top());
+}
+
+TEST(AffineExpr, GidBaseFusion) {
+  // ctaid.x * ntid.x is the one non-linear product the domain keeps.
+  const AffineExpr e =
+      AffineExpr::symbol(kCtaIdX).mul(AffineExpr::symbol(kNTidX));
+  ASSERT_FALSE(e.is_top());
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].sym, kGidX);
+  EXPECT_EQ(e.terms()[0].coeff, 1);
+  // Mismatched dims do not fuse.
+  EXPECT_TRUE(AffineExpr::symbol(kCtaIdX)
+                  .mul(AffineExpr::symbol(Sym{Sym::Kind::NTid, 1, 0}))
+                  .is_top());
+}
+
+TEST(AffineSymRange, FollowsTheLaunch) {
+  LaunchEnv env;
+  env.known = true;
+  env.ntid[0] = 8;
+  env.nctaid[0] = 2;
+  const auto tid = sym_range(kTidX, env);
+  ASSERT_TRUE(tid.has_value());
+  EXPECT_EQ(*tid, (std::pair<std::int64_t, std::int64_t>{0, 7}));
+  const auto cta = sym_range(kCtaIdX, env);
+  ASSERT_TRUE(cta.has_value());
+  EXPECT_EQ(*cta, (std::pair<std::int64_t, std::int64_t>{0, 1}));
+  EXPECT_FALSE(sym_range(kTidX, LaunchEnv{}).has_value());
+}
+
+// --- the interpreter on the vecadd corpus kernel -----------------------
+
+ptx::Program vecadd() {
+  return ptx::load_ptx(programs::vector_add_ptx()).kernel("add_vector");
+}
+
+TEST(AnalyzeAddresses, VecAddSitesAreAffine) {
+  const ptx::Program prg = vecadd();
+  const std::vector<AccessSite> sites = analyze_addresses(prg);
+  ASSERT_EQ(sites.size(), 3u);  // ld A, ld B, st C
+  for (const AccessSite& s : sites) {
+    EXPECT_EQ(s.space, ptx::Space::Global);
+    EXPECT_EQ(s.width, 4u);
+    ASSERT_FALSE(s.addr.is_top()) << "pc " << s.pc;
+    // addr = param + 4·gid = param + 4·(ctaid·ntid) + 4·tid.
+    bool saw_tid = false, saw_gid = false, saw_param = false;
+    for (const Term& t : s.addr.terms()) {
+      if (t.sym.kind == Sym::Kind::Tid) {
+        saw_tid = true;
+        EXPECT_EQ(t.coeff, 4);
+      } else if (t.sym.kind == Sym::Kind::GidBase) {
+        saw_gid = true;
+        EXPECT_EQ(t.coeff, 4);
+      } else if (t.sym.kind == Sym::Kind::Param) {
+        saw_param = true;
+        EXPECT_EQ(t.coeff, 1);
+      }
+    }
+    EXPECT_TRUE(saw_tid && saw_gid && saw_param);
+  }
+  EXPECT_FALSE(sites[0].write);
+  EXPECT_FALSE(sites[1].write);
+  EXPECT_TRUE(sites[2].write);
+  EXPECT_LT(sites[0].pc, sites[1].pc);
+  EXPECT_LT(sites[1].pc, sites[2].pc);
+}
+
+LaunchEnv vecadd_env(const ptx::Program& prg) {
+  LaunchEnv env;
+  env.known = true;
+  env.ntid[0] = 8;
+  env.nctaid[0] = 2;
+  const programs::VecAddLayout L;
+  for (const ptx::ParamSlot& slot : prg.params()) {
+    if (slot.name == "arr_A") env.params[slot.offset] = L.a;
+    if (slot.name == "arr_B") env.params[slot.offset] = L.b;
+    if (slot.name == "arr_C") env.params[slot.offset] = L.c;
+    if (slot.name == "size") env.params[slot.offset] = 16;
+  }
+  return env;
+}
+
+TEST(AnalyzeAddresses, KnownLaunchProvesVecAddIndependent) {
+  // Under the concrete launch the three buffers are 0x100 apart and
+  // every thread owns one 4-byte slot, so all three sites are
+  // independent of everything — the POR oracle's whole point.
+  const ptx::Program prg = vecadd();
+  const std::vector<AccessSite> sites = analyze_addresses(prg);
+  ASSERT_EQ(sites.size(), 3u);
+  const std::vector<std::uint32_t> pcs =
+      independent_access_pcs(prg, vecadd_env(prg));
+  ASSERT_EQ(pcs.size(), 3u);
+  EXPECT_EQ(pcs[0], sites[0].pc);
+  EXPECT_EQ(pcs[1], sites[1].pc);
+  EXPECT_EQ(pcs[2], sites[2].pc);
+}
+
+TEST(AnalyzeAddresses, UnknownLaunchProvesNothingForVecAdd) {
+  // Without the launch, two distinct threads may share tid.x (a
+  // multi-dim block), so the store's self-pair cannot be ruled out.
+  const ptx::Program prg = vecadd();
+  EXPECT_TRUE(independent_access_pcs(prg).empty());
+}
+
+TEST(ClassifyPair, ConstantWindows) {
+  AccessSite a{0, ptx::Space::Shared, true, false, 4,
+               AffineExpr::constant(0)};
+  AccessSite b{1, ptx::Space::Shared, false, false, 4,
+               AffineExpr::constant(4)};
+  EXPECT_EQ(classify_pair(a, b), PairVerdict::Disjoint);
+  b.addr = AffineExpr::constant(2);  // overlaps [0,4) with a write
+  EXPECT_EQ(classify_pair(a, b), PairVerdict::ProvablyRacing);
+  a.write = false;  // read/read overlap is not a race
+  EXPECT_EQ(classify_pair(a, b), PairVerdict::MayConflict);
+}
+
+TEST(ClassifyPair, StrideWindowRule) {
+  // addr = 8·tid vs 8·tid + 4: same varying part, offset 4, widths 4
+  // fit the gcd-8 window -> disjoint for distinct threads.
+  const AffineExpr stride8 = AffineExpr::symbol(kTidX).scaled(8);
+  const AccessSite a{0, ptx::Space::Shared, true, false, 4, stride8};
+  const AccessSite b{1, ptx::Space::Shared, true, false, 4,
+                     stride8.add(AffineExpr::constant(4))};
+  EXPECT_EQ(classify_pair(a, b), PairVerdict::Disjoint);
+  // Width 8 no longer fits the residue window.
+  const AccessSite wide{1, ptx::Space::Shared, true, false, 8,
+                        stride8.add(AffineExpr::constant(4))};
+  EXPECT_EQ(classify_pair(a, wide), PairVerdict::MayConflict);
+}
+
+TEST(ClassifyPair, TopIsMayConflict) {
+  const AccessSite a{0, ptx::Space::Global, true, false, 4,
+                     AffineExpr::top()};
+  EXPECT_EQ(classify_pair(a, a), PairVerdict::MayConflict);
+}
+
+}  // namespace
+}  // namespace cac::analysis

@@ -1,0 +1,129 @@
+// Static/dynamic agreement: every ProvablyRacing verdict the analyzer
+// emits on the seeded corpus is confirmed by the dynamic detector
+// (check/race.h) and visible to the explorer as schedule dependence;
+// kernels the analyzer clears stay race-free dynamically.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/disjoint.h"
+#include "check/race.h"
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/explore.h"
+#include "sem/launch.h"
+
+namespace cac::analysis {
+namespace {
+
+std::string read_buggy(const std::string& name) {
+  const std::string path =
+      std::string(CAC_SOURCE_DIR "/examples/buggy/") + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+check::RaceReport detect(const ptx::Program& prg,
+                         const sem::KernelConfig& kc, sem::Launch& launch) {
+  sem::Machine m = launch.machine();
+  sched::RoundRobinScheduler s;
+  return check::detect_races(prg, kc, m, s);
+}
+
+TEST(CrossCheck, SharedOverlapRacesDynamically) {
+  const ptx::LoweredModule mod =
+      ptx::load_ptx(read_buggy("shared_overlap.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+
+  const RaceCandidateReport rep = analyze_races(prg);
+  ASSERT_TRUE(rep.any_racing());
+  for (const SitePair& p : rep.racing()) {
+    EXPECT_EQ(p.a.space, ptx::Space::Shared);
+  }
+
+  // Two warps of two threads: the detector needs inter-warp conflicts.
+  const sem::KernelConfig kc{{1, 1, 1}, {4, 1, 1}, 2};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 64, 0, 1});
+  const check::RaceReport r = detect(prg, kc, launch);
+  EXPECT_TRUE(r.run.terminated());
+  ASSERT_TRUE(r.racy()) << r.summary();
+  EXPECT_EQ(r.races.front().space, ptx::Space::Shared);
+
+  // The race is also a schedule dependence: warp order picks the
+  // surviving store, so exploration sees more than one final memory.
+  const sched::ExploreResult e =
+      sched::explore(prg, kc, sem::Launch(prg, kc,
+                                          mem::MemSizes{64, 0, 64, 0, 1})
+                                  .machine());
+  ASSERT_TRUE(e.exhaustive);
+  EXPECT_FALSE(e.schedule_independent());
+}
+
+TEST(CrossCheck, GlobalRaceRacesAcrossBlocks) {
+  const ptx::LoweredModule mod = ptx::load_ptx(read_buggy("global_race.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+
+  const RaceCandidateReport rep = analyze_races(prg);
+  ASSERT_TRUE(rep.any_racing());
+  for (const SitePair& p : rep.racing()) {
+    EXPECT_EQ(p.a.space, ptx::Space::Global);
+    EXPECT_TRUE(p.a.write || p.b.write);
+  }
+
+  const sem::KernelConfig kc{{2, 1, 1}, {1, 1, 1}, 1};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 0, 0, 1});
+  launch.param("out", 0);
+  const check::RaceReport r = detect(prg, kc, launch);
+  EXPECT_TRUE(r.run.terminated());
+  ASSERT_TRUE(r.racy()) << r.summary();
+  EXPECT_TRUE(r.races.front().cross_block);
+}
+
+TEST(CrossCheck, CorpusRaceStoreAgrees) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::race_store_ptx()).kernel("race_store");
+  EXPECT_TRUE(analyze_races(prg).any_racing());
+}
+
+TEST(CrossCheck, VecAddIsCleanBothWays) {
+  const ptx::Program prg =
+      ptx::load_ptx(programs::vector_add_ptx()).kernel("add_vector");
+  EXPECT_FALSE(analyze_races(prg).any_racing());
+
+  const programs::VecAddLayout L;
+  const sem::KernelConfig kc{{2, 1, 1}, {8, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{L.global_bytes, 0, 0, 0, 1});
+  launch.param("arr_A", L.a).param("arr_B", L.b).param("arr_C", L.c)
+      .param("size", 16);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    launch.global_u32(L.a + 4 * i, i);
+    launch.global_u32(L.b + 4 * i, i);
+  }
+  const check::RaceReport r = detect(prg, kc, launch);
+  EXPECT_TRUE(r.run.terminated());
+  EXPECT_FALSE(r.racy()) << r.summary();
+}
+
+TEST(CrossCheck, BarrieredReductionIsCleanBothWays) {
+  // The barrier gate must keep reduce_shared's overlapping tree cells
+  // out of the racing set, matching the dynamic verdict.
+  const ptx::Program prg =
+      ptx::load_ptx(programs::reduce_shared_ptx()).kernel("reduce");
+  EXPECT_FALSE(analyze_races(prg).any_racing());
+
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  sem::Launch launch(prg, kc, mem::MemSizes{128, 0, 256, 0, 1});
+  launch.param("arr_A", 0).param("out", 64);
+  for (std::uint32_t i = 0; i < 8; ++i) launch.global_u32(4 * i, i);
+  const check::RaceReport r = detect(prg, kc, launch);
+  EXPECT_TRUE(r.run.terminated());
+  EXPECT_FALSE(r.racy()) << r.summary();
+}
+
+}  // namespace
+}  // namespace cac::analysis

@@ -1,0 +1,155 @@
+// The lint passes: zero findings on every well-formed corpus kernel,
+// and exactly the seeded defect (with its source location) on each
+// file of examples/buggy/.
+#include "analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+
+namespace cac::analysis {
+namespace {
+
+std::string read_buggy(const std::string& name) {
+  const std::string path =
+      std::string(CAC_SOURCE_DIR "/examples/buggy/") + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Finding> lint_source(const std::string& text,
+                                 LintOptions opts = {}) {
+  const ptx::LoweredModule mod = ptx::load_ptx(text);
+  EXPECT_EQ(mod.kernels.size(), 1u);
+  const ptx::Program& prg = mod.kernels.front();
+  if (opts.shared_bytes == 0) opts.shared_bytes = mod.shared_bytes;
+  return lint_kernel(prg, mod.locs_for(prg), opts).findings;
+}
+
+// --- every well-formed corpus kernel is clean --------------------------
+
+void expect_clean(const std::string& text, const std::string& kernel) {
+  const ptx::LoweredModule mod = ptx::load_ptx(text);
+  const ptx::Program prg = mod.kernel(kernel);
+  LintOptions opts;
+  opts.shared_bytes = mod.shared_bytes;
+  const LintReport r = lint_kernel(prg, mod.locs_for(prg), opts);
+  EXPECT_TRUE(r.clean()) << kernel << ":\n"
+                         << render_text(r, kernel + ".ptx", kernel);
+}
+
+TEST(LintClean, AllCorpusKernels) {
+  expect_clean(programs::vector_add_ptx(), "add_vector");
+  expect_clean(programs::xor_cipher_ptx(), "xor_cipher");
+  expect_clean(programs::scan_signature_ptx(), "scan_signature");
+  expect_clean(programs::reduce_shared_ptx(), "reduce");
+  expect_clean(programs::atomic_sum_ptx(), "atomic_sum");
+  expect_clean(programs::histogram_ptx(), "histogram");
+  expect_clean(programs::saxpy_ptx(), "saxpy");
+  expect_clean(programs::copy_v2_ptx(), "copy_v2");
+  expect_clean(programs::warp_reduce_shfl_ptx(), "warp_reduce");
+  expect_clean(programs::scan_prefix_ptx(), "scan_prefix");
+}
+
+// --- the seeded-defect corpus ------------------------------------------
+
+TEST(LintBuggy, DivergentBarrier) {
+  const auto f = lint_source(read_buggy("divergent_barrier.ptx"));
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].pass, Pass::BarrierDivergence);
+  EXPECT_EQ(f[0].severity, Severity::Error);
+  EXPECT_EQ(f[0].loc.line, 16u);
+}
+
+TEST(LintBuggy, UninitRegister) {
+  const auto f = lint_source(read_buggy("uninit_register.ptx"));
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].pass, Pass::UninitRegister);
+  EXPECT_EQ(f[0].loc.line, 17u);
+  EXPECT_NE(f[0].message.find("never written"), std::string::npos)
+      << f[0].message;
+}
+
+TEST(LintBuggy, SharedOverlap) {
+  const auto f = lint_source(read_buggy("shared_overlap.ptx"));
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].pass, Pass::RaceCandidate);
+  EXPECT_EQ(f[0].loc.line, 15u);
+}
+
+TEST(LintBuggy, SharedOverflow) {
+  const auto f = lint_source(read_buggy("shared_overflow.ptx"));
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].pass, Pass::SharedOverflow);
+  EXPECT_EQ(f[0].loc.line, 18u);
+}
+
+TEST(LintBuggy, GlobalRace) {
+  const auto f = lint_source(read_buggy("global_race.ptx"));
+  ASSERT_EQ(f.size(), 3u);  // self-pair at each store + the cross pair
+  for (const Finding& x : f) EXPECT_EQ(x.pass, Pass::RaceCandidate);
+  EXPECT_EQ(f[0].loc.line, 18u);
+  EXPECT_EQ(f[1].loc.line, 18u);
+  EXPECT_EQ(f[2].loc.line, 20u);
+}
+
+TEST(LintBuggy, CorpusRaceStoreIsFlagged) {
+  const auto f = lint_source(programs::race_store_ptx());
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f[0].pass, Pass::RaceCandidate);
+}
+
+TEST(LintOptions, RacePassCanBeDisabled) {
+  LintOptions opts;
+  opts.check_races = false;
+  EXPECT_TRUE(lint_source(read_buggy("shared_overlap.ptx"), opts).empty());
+}
+
+// --- renderers ---------------------------------------------------------
+
+TEST(LintRender, TextCarriesLocationAndPass) {
+  const ptx::LoweredModule mod =
+      ptx::load_ptx(read_buggy("divergent_barrier.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+  const LintReport r = lint_kernel(prg, mod.locs_for(prg), {});
+  const std::string text = render_text(r, "divergent_barrier.ptx", "k");
+  EXPECT_NE(text.find("divergent_barrier.ptx:16:"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[barrier-divergence]"), std::string::npos) << text;
+}
+
+TEST(LintRender, JsonShape) {
+  const ptx::LoweredModule mod = ptx::load_ptx(read_buggy("global_race.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+  const LintReport r = lint_kernel(prg, mod.locs_for(prg), {});
+  const std::string js = render_json(r, "global_race.ptx", "global_race");
+  EXPECT_NE(js.find("\"file\":\"global_race.ptx\""), std::string::npos)
+      << js;
+  EXPECT_NE(js.find("\"kernel\":\"global_race\""), std::string::npos);
+  EXPECT_NE(js.find("\"pass\":\"race-candidate\""), std::string::npos);
+  EXPECT_NE(js.find("\"line\":18"), std::string::npos);
+  EXPECT_NE(js.find("\"severity\":\"error\""), std::string::npos);
+}
+
+TEST(LintRender, CleanReportSaysSo) {
+  const ptx::LoweredModule mod = ptx::load_ptx(programs::vector_add_ptx());
+  const ptx::Program prg = mod.kernel("add_vector");
+  const LintReport r = lint_kernel(prg, mod.locs_for(prg), {});
+  ASSERT_TRUE(r.clean());
+  EXPECT_NE(render_text(r, "v.ptx", "add_vector").find("clean"),
+            std::string::npos);
+  EXPECT_NE(render_json(r, "v.ptx", "add_vector").find("\"findings\":[]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cac::analysis

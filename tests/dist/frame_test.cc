@@ -300,7 +300,7 @@ TEST(DistFrame, BadMagicVersionTypeReservedRejected) {
   };
   expect_corrupt(0, 'X');     // magic
   expect_corrupt(3, 'X');     // magic
-  expect_corrupt(4, '\x02');  // protocol version
+  expect_corrupt(4, static_cast<char>(kProtoVersion + 1));  // version
   expect_corrupt(5, '\x00');  // frame type 0 is invalid
   expect_corrupt(5, '\x7f');  // frame type out of range
   expect_corrupt(6, '\x01');  // reserved must be zero

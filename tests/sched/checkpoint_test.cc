@@ -424,7 +424,8 @@ TEST_F(CorruptionTest, EveryBitFlipRejectedOrHarmless) {
 
 TEST_F(CorruptionTest, VersionSkewReportedAsVersionMismatch) {
   std::string bad = good_;
-  bad[8] = 2;  // header version field; the checksum covers payload only
+  // Header version field; the checksum covers payload only.
+  bad[8] = static_cast<char>(Checkpoint::kFormatVersion + 1);
   spit(path_, bad);
   try {
     Checkpoint::load(path_);

@@ -23,7 +23,10 @@ BM_ResumeFromCheckpoint instance's counters land in a `checkpoint`
 section, every BM_DistExplore instance (from bench_dist_explore) lands
 in a `distributed` section with per-worker ownership, frontier message
 volume, shard-balance skew, and speedup over the matching workers=0
-serial baseline, and the benchmark processes' peak RSS is recorded as
+serial baseline, every BM_AnalysisOracle* instance (bench_analysis)
+lands in an `analysis` section recording the POR state count with and
+without the static independence oracle and the resulting reduction,
+and the benchmark processes' peak RSS is recorded as
 `peak_rss_bytes`.
 """
 
@@ -153,6 +156,38 @@ def distributed_summary(benchmarks: list[dict]) -> list[dict]:
     return out
 
 
+def analysis_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize BM_AnalysisOracle* instances: explored states under
+    plain POR (oracle=0) vs POR plus the static independence oracle
+    (oracle=1), with the per-kernel state reduction and speedup."""
+    base = {}
+    for b in benchmarks:
+        name = b.get("name", "")
+        if name.startswith("BM_AnalysisOracle") and b.get("oracle") == 0:
+            base[name.split("/")[0]] = b
+    out = []
+    for b in benchmarks:
+        name = b.get("name", "")
+        if not name.startswith("BM_AnalysisOracle"):
+            continue
+        entry = {"name": name, "kernel": name.split("/")[0]
+                 .removeprefix("BM_AnalysisOracle").lower()}
+        for k in ("oracle", "independent_pcs", "states", "states_per_sec",
+                  "real_time", "time_unit"):
+            if k in b:
+                entry[k] = b[k]
+        ref = base.get(name.split("/")[0])
+        if ref and b.get("oracle") == 1:
+            if ref.get("states"):
+                entry["state_reduction_pct"] = round(
+                    100.0 * (1.0 - b["states"] / ref["states"]), 2)
+            if ref.get("real_time") and b.get("real_time"):
+                entry["speedup_vs_por"] = round(
+                    ref["real_time"] / b["real_time"], 3)
+        out.append(entry)
+    return out
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary", action="append", default=None,
@@ -214,6 +249,9 @@ def main() -> None:
     distributed = distributed_summary(benchmarks)
     if distributed:
         snapshot["distributed"] = distributed
+    analysis = analysis_summary(benchmarks)
+    if analysis:
+        snapshot["analysis"] = analysis
     out = Path(args.out)
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {out} ({len(benchmarks)} benchmarks, "

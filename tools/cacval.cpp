@@ -2,9 +2,14 @@
 //
 //   cacval dump   FILE.ptx [--kernel K] [--no-sync-insertion]
 //   cacval emit   FILE.ptx [--kernel K]
+//   cacval lint   FILE.ptx [--kernel K] [--format=json] [--no-races]
+//                 (static analysis: barrier divergence, uninitialized
+//                  registers, shared-layout overflow, race candidates;
+//                  exit 0 clean, 1 findings, 2 bad input)
 //   cacval run    FILE.ptx [launch options] [--profile]
 //   cacval check  FILE.ptx [launch options] [--expect ADDR=U32]...
-//                 [--independent] [--exact-steps N] [--por] [--threads N]
+//                 [--independent] [--exact-steps N] [--por] [--por-oracle]
+//                 [--threads N]
 //                 [--checkpoint PATH] [--checkpoint-every N]
 //                 [--resume PATH] [--deadline MS] [--mem-limit MIB]
 //   cacval validate FILE.ptx [launch options] [--expect ADDR=U32]...
@@ -32,6 +37,10 @@
 //   --max-steps N       step/depth bound (default 1<<20)
 //   --max-states N      distinct-state bound for check/validate
 //   --threads N         parallel exploration workers (0 = serial)
+//   --por-oracle        --por plus the static disjointness oracle: the
+//                       analyzer proves access sites independent under
+//                       this launch and the explorer skips their
+//                       interleavings (docs/analysis.md)
 //
 // Crash-safety options (check/validate):
 //   --checkpoint PATH   periodically write a resumable checkpoint
@@ -65,6 +74,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/disjoint.h"
+#include "analysis/lint.h"
 #include "check/model.h"
 #include "check/profile.h"
 #include "dist/coordinator.h"
@@ -115,6 +126,12 @@ struct Options {
   bool independent = false;
   bool profile = false;
   bool insert_syncs = true;
+  /// check/validate: fill ExploreOptions::por_independent_pcs from the
+  /// static analyzer under this launch (implies --por).
+  bool por_oracle = false;
+  /// lint: output format ("text" or "json") and the race pass switch.
+  std::string format = "text";
+  bool lint_races = true;
 
   Options() { explore.max_depth = 1u << 20; }
 };
@@ -227,6 +244,10 @@ Options parse_args(int argc, char** argv) {
     }
     else if (a == "--independent") o.independent = true;
     else if (a == "--por") o.explore.partial_order_reduction = true;
+    else if (a == "--por-oracle") o.por_oracle = true;
+    else if (a == "--format") o.format = next();
+    else if (a.rfind("--format=", 0) == 0) o.format = a.substr(9);
+    else if (a == "--no-races") o.lint_races = false;
     else if (a == "--profile") o.profile = true;
     else if (a == "--no-sync-insertion") o.insert_syncs = false;
     else usage(("unknown option " + a).c_str());
@@ -285,6 +306,76 @@ int cmd_dump(const Options& o, const ptx::LoweredModule& mod) {
 int cmd_emit(const Options& o, const ptx::LoweredModule& mod) {
   std::printf("%s", ptx::emit_ptx(pick_kernel(mod, o)).c_str());
   return 0;
+}
+
+int cmd_lint(const Options& o, const ptx::LoweredModule& mod) {
+  if (o.format != "text" && o.format != "json") {
+    usage("unknown --format (use text | json)");
+  }
+  std::vector<const ptx::Program*> kernels;
+  if (o.kernel.empty()) {
+    for (const ptx::Program& k : mod.kernels) kernels.push_back(&k);
+  } else {
+    kernels.push_back(&mod.kernel(o.kernel));
+  }
+  if (kernels.empty()) usage("module has no kernels");
+
+  analysis::LintOptions lo;
+  lo.shared_bytes = mod.shared_bytes;
+  lo.check_races = o.lint_races;
+
+  bool any = false;
+  std::string json = "[";
+  for (const ptx::Program* k : kernels) {
+    const analysis::LintReport report =
+        analysis::lint_kernel(*k, mod.locs_for(*k), lo);
+    any = any || !report.clean();
+    if (o.format == "json") {
+      if (json.size() > 1) json += ",";
+      json += analysis::render_json(report, o.file, k->name());
+    } else {
+      std::printf("%s",
+                  analysis::render_text(report, o.file, k->name()).c_str());
+    }
+  }
+  if (o.format == "json") std::printf("%s]\n", json.c_str());
+  return any ? 1 : 0;
+}
+
+/// Launch specialization for the static analyzer, from the same flags
+/// the explorer launches with: block/grid dims plus every --param value
+/// masked to its slot's width.
+analysis::LaunchEnv make_launch_env(const ptx::Program& prg,
+                                    const Options& o) {
+  analysis::LaunchEnv env;
+  env.known = true;
+  env.ntid[0] = o.launch.block.x;
+  env.ntid[1] = o.launch.block.y;
+  env.ntid[2] = o.launch.block.z;
+  env.nctaid[0] = o.launch.grid.x;
+  env.nctaid[1] = o.launch.grid.y;
+  env.nctaid[2] = o.launch.grid.z;
+  for (const auto& [name, value] : o.launch.params) {
+    for (const ptx::ParamSlot& slot : prg.params()) {
+      if (slot.name != name) continue;
+      const std::uint64_t mask =
+          slot.type.width >= 64 ? ~0ull : (1ull << slot.type.width) - 1;
+      env.params[slot.offset] = value & mask;
+    }
+  }
+  return env;
+}
+
+/// Apply --por-oracle: prove access sites independent under this launch
+/// and hand the pcs to the explorer's reduction.
+void apply_por_oracle(const ptx::Program& prg, const Options& o,
+                      sched::ExploreOptions& eopts) {
+  if (!o.por_oracle) return;
+  eopts.partial_order_reduction = true;
+  eopts.por_independent_pcs =
+      analysis::independent_access_pcs(prg, make_launch_env(prg, o));
+  std::printf("por oracle: %zu access pcs proven independent\n",
+              eopts.por_independent_pcs.size());
 }
 
 int cmd_run(const Options& o, const ptx::LoweredModule& mod) {
@@ -417,6 +508,7 @@ int cmd_check(const Options& o, const ptx::LoweredModule& mod) {
   check::ModelCheckOptions opts;
   opts.explore = o.explore;
   opts.explore.stop_flag = &g_stop;
+  apply_por_oracle(prg, o, opts.explore);
   opts.require_schedule_independence = o.independent;
   opts.expect_exact_steps = o.exact_steps;
   const auto resume = load_resume(o);
@@ -453,6 +545,7 @@ int cmd_validate(const Options& o, const ptx::LoweredModule& mod) {
   check::ValidateOptions opts;
   opts.model.explore = o.explore;
   opts.model.explore.stop_flag = &g_stop;
+  apply_por_oracle(prg, o, opts.model.explore);
   opts.model.require_schedule_independence = o.independent;
   opts.model.expect_exact_steps = o.exact_steps;
   const auto resume = load_resume(o);
@@ -532,6 +625,7 @@ int main(int argc, char** argv) {
 
     if (o.command == "dump") return cmd_dump(o, mod);
     if (o.command == "emit") return cmd_emit(o, mod);
+    if (o.command == "lint") return cmd_lint(o, mod);
     if (o.command == "run") return cmd_run(o, mod);
     if (o.command == "check") return cmd_check(o, mod);
     if (o.command == "validate") return cmd_validate(o, mod);
