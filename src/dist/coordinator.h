@@ -3,8 +3,10 @@
 // multi-host runs), seeds the root state to its hash owner, routes
 // frontier/resolve frames between workers (star topology), detects
 // global quiescence with a two-round probe protocol, drives coordinated
-// checkpoint generations, recovers from worker death by relaunching
-// the fleet from the last committed generation, and finally merges the
+// checkpoint generations, recovers from worker death — piecemeal when
+// possible (only the dead worker is re-forked; survivors roll back
+// in-process to the last committed generation), by relaunching the
+// whole fleet otherwise — and finally merges the
 // per-worker graph parts and replays the serial DFS over them — the
 // same replay the in-process parallel engine uses, so the aggregated
 // ExploreResult is byte-identical to the serial engine's verdict.
@@ -57,6 +59,10 @@ struct DistStats {
   /// (including the coordinator's root seed).
   std::uint64_t frontier_msgs = 0;
   std::uint64_t restarts = 0;
+  /// Of `restarts`, how many replaced only the dead worker (survivors
+  /// rolled back in-process via kRollback) instead of relaunching the
+  /// whole fleet.
+  std::uint64_t piecemeal_restarts = 0;
   std::uint64_t generations = 0;
 
   /// Shard-balance skew: largest partition over the ideal even share

@@ -174,7 +174,7 @@ std::optional<Frame> FrameReader::next() {
   }
   const auto type = static_cast<std::uint8_t>(h[5]);
   if (type < static_cast<std::uint8_t>(FrameType::kSetup) ||
-      type > static_cast<std::uint8_t>(FrameType::kManifest)) {
+      type > static_cast<std::uint8_t>(FrameType::kRollbackAck)) {
     corrupt("unknown frame type " + std::to_string(type));
   }
   if (get_u16(h + 6) != 0) corrupt("nonzero reserved frame field");
@@ -207,6 +207,10 @@ void SetupMsg::encode(BinWriter& w) const {
   w.u64(generation);
   w.u32(die_worker);
   w.u64(die_after_states);
+  w.str(store_spill_dir);
+  w.u64(store_resident_budget_bytes);
+  w.u64(store_bloom_bits);
+  w.u32(store_delta_depth);
 }
 
 SetupMsg SetupMsg::decode(BinReader& r) {
@@ -226,6 +230,41 @@ SetupMsg SetupMsg::decode(BinReader& r) {
   m.generation = r.u64();
   m.die_worker = r.u32();
   m.die_after_states = r.u64();
+  m.store_spill_dir = r.str();
+  m.store_resident_budget_bytes = r.u64();
+  m.store_bloom_bits = r.u64();
+  m.store_delta_depth = r.u32();
+  return m;
+}
+
+void RollbackMsg::encode(BinWriter& w) const {
+  w.u64(generation);
+  w.str(resume_base);
+  w.u32(epoch);
+}
+
+RollbackMsg RollbackMsg::decode(BinReader& r) {
+  RollbackMsg m;
+  m.generation = r.u64();
+  m.resume_base = r.str();
+  m.epoch = r.u32();
+  return m;
+}
+
+void RollbackAckMsg::encode(BinWriter& w) const {
+  w.u32(worker);
+  w.u32(epoch);
+  w.u8(ok);
+  w.str(error);
+}
+
+RollbackAckMsg RollbackAckMsg::decode(BinReader& r) {
+  RollbackAckMsg m;
+  m.worker = r.u32();
+  m.epoch = r.u32();
+  m.ok = r.u8();
+  if (m.ok > 1) throw BinError("bad ok flag in rollback ack");
+  m.error = r.str();
   return m;
 }
 
@@ -341,6 +380,18 @@ void GraphPartMsg::encode(BinWriter& w) const {
   w.u64(resolves_sent);
   w.u64(bytes_sent);
   w.u64(bytes_received);
+  w.u64(store_stats.states);
+  w.u64(store_stats.warp_fragments);
+  w.u64(store_stats.bank_fragments);
+  w.u64(store_stats.resident_bytes);
+  w.u64(store_stats.materialized_bytes);
+  w.u64(store_stats.spilled_bytes);
+  w.u64(store_stats.hot_evictions);
+  w.u64(store_stats.spills);
+  w.u64(store_stats.rematerializations);
+  w.u64(store_stats.delta_fragments);
+  w.u64(store_stats.bloom_negatives);
+  w.u64(store_stats.bloom_false_positives);
 }
 
 GraphPartMsg GraphPartMsg::decode(BinReader& r) {
@@ -356,6 +407,18 @@ GraphPartMsg GraphPartMsg::decode(BinReader& r) {
   m.resolves_sent = r.u64();
   m.bytes_sent = r.u64();
   m.bytes_received = r.u64();
+  m.store_stats.states = r.u64();
+  m.store_stats.warp_fragments = r.u64();
+  m.store_stats.bank_fragments = r.u64();
+  m.store_stats.resident_bytes = r.u64();
+  m.store_stats.materialized_bytes = r.u64();
+  m.store_stats.spilled_bytes = r.u64();
+  m.store_stats.hot_evictions = r.u64();
+  m.store_stats.spills = r.u64();
+  m.store_stats.rematerializations = r.u64();
+  m.store_stats.delta_fragments = r.u64();
+  m.store_stats.bloom_negatives = r.u64();
+  m.store_stats.bloom_false_positives = r.u64();
   return m;
 }
 

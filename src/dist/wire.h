@@ -105,9 +105,17 @@ enum class FrameType : std::uint8_t {
   // on-disk frames (never sent on a socket)
   kWorkerCheckpoint = 14,  // one worker's partition snapshot
   kManifest = 15,          // coordinator's generation commit record
+  // piecemeal recovery (docs/distributed.md): when one worker dies the
+  // survivors roll back in-process instead of the whole fleet being
+  // relaunched.
+  kRollback = 16,     // coordinator -> worker: reload generation g
+  kRollbackAck = 17,  // worker -> coordinator: rollback done
 };
 
-constexpr std::uint8_t kProtoVersion = 2;
+// v3: SetupMsg carries the transient store-tier knobs (they are not
+// part of codec::encode_options, which persists structural fields
+// only) and the kRollback/kRollbackAck recovery frames exist.
+constexpr std::uint8_t kProtoVersion = 3;
 constexpr std::size_t kFrameHeaderSize = 4 + 1 + 1 + 2 + 4 + 8;
 /// Upper bound on one payload: a graph part carries a whole partition,
 /// so the cap is generous — it exists to reject length lies, not to
@@ -170,6 +178,14 @@ struct SetupMsg {
   /// so relaunched workers survive.
   std::uint32_t die_worker = kNoWorker;
   std::uint64_t die_after_states = 0;
+  /// Transient store-tier knobs (sched::ExploreOptions::store_*).  Set
+  /// explicitly because codec::encode_options persists structural
+  /// fields only; the coordinator divides the run's resident budget by
+  /// n_workers so the fleet's total matches the configured bound.
+  std::string store_spill_dir;
+  std::uint64_t store_resident_budget_bytes = 0;
+  std::uint64_t store_bloom_bits = 0;
+  std::uint32_t store_delta_depth = 8;
 
   void encode(support::BinWriter& w) const;
   static SetupMsg decode(support::BinReader& r);
@@ -242,6 +258,32 @@ struct WriteCheckpointMsg {
   static WriteCheckpointMsg decode(support::BinReader& r);
 };
 
+/// Piecemeal recovery: a survivor discards its in-memory partition and
+/// reloads "<base>.g<gen>.w<idx>" — the same file a freshly forked
+/// replacement resumes from — so the whole fleet re-enters the last
+/// committed generation without being re-exec'd.
+struct RollbackMsg {
+  std::uint64_t generation = 0;
+  std::string resume_base;
+  /// Epoch counter for the recovery barrier: frames from before the
+  /// rollback are stale and the coordinator discards work frames until
+  /// every survivor acked this epoch.
+  std::uint32_t epoch = 0;
+
+  void encode(support::BinWriter& w) const;
+  static RollbackMsg decode(support::BinReader& r);
+};
+
+struct RollbackAckMsg {
+  std::uint32_t worker = 0;
+  std::uint32_t epoch = 0;
+  std::uint8_t ok = 0;
+  std::string error;
+
+  void encode(support::BinWriter& w) const;
+  static RollbackAckMsg decode(support::BinReader& r);
+};
+
 struct CheckpointAckMsg {
   std::uint32_t worker = 0;
   std::uint8_t ok = 0;
@@ -283,6 +325,9 @@ struct GraphPartMsg {
   std::uint64_t resolves_sent = 0;   // kResolve frames sent
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  /// This worker's partition-store tier accounting; the coordinator
+  /// sums the parts into ExploreResult::store_stats.
+  sched::StateStore::Stats store_stats;
 
   void encode(support::BinWriter& w) const;
   static GraphPartMsg decode(support::BinReader& r);

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -129,6 +130,9 @@ class Worker {
         case FrameType::kWriteCheckpoint:
           on_write_checkpoint(WriteCheckpointMsg::decode(r));
           break;
+        case FrameType::kRollback:
+          on_rollback(RollbackMsg::decode(r));
+          break;
         case FrameType::kDump:
           on_dump();
           break;
@@ -145,6 +149,15 @@ class Worker {
     }
   }
 
+  [[nodiscard]] sched::StoreOptions store_options() const {
+    sched::StoreOptions so;
+    so.spill_dir = setup_.store_spill_dir;
+    so.resident_budget_bytes = setup_.store_resident_budget_bytes;
+    so.bloom_bits_per_shard = setup_.store_bloom_bits;
+    so.delta_max_depth = setup_.store_delta_depth;
+    return so;
+  }
+
   void on_setup(SetupMsg m) {
     if (m.program_fp != sched::program_fingerprint(prg_) ||
         m.config_fp != sched::config_fingerprint(kc_)) {
@@ -152,7 +165,45 @@ class Worker {
     }
     setup_ = std::move(m);
     have_setup_ = true;
+    // The mirror shares the tier knobs: a reduce-like kernel's foreign
+    // children dominate a worker's footprint just like its owned ones.
+    store_ = std::make_unique<sched::StateStore>(store_options());
+    mirror_ = std::make_unique<sched::StateStore>(store_options());
     if (setup_.resume != 0) restore();
+  }
+
+  /// Piecemeal recovery: discard the in-memory partition and reload
+  /// the committed generation — the in-process equivalent of being
+  /// re-exec'd with a resume SetupMsg.  The worker parks (paused)
+  /// until the coordinator's barrier completes and kResume arrives.
+  void on_rollback(const RollbackMsg& m) {
+    RollbackAckMsg ack;
+    ack.worker = setup_.worker_index;
+    ack.epoch = m.epoch;
+    try {
+      store_ = std::make_unique<sched::StateStore>(store_options());
+      mirror_ = std::make_unique<sched::StateStore>(store_options());
+      nodes_.clear();
+      node_of_.clear();
+      tasks_.clear();
+      mirror_entries_.clear();
+      has_root_ = false;
+      root_local_ = 0;
+      // The coordinator resets its work-frame ledger for the new
+      // epoch; restart ours to keep the quiescence counters balanced.
+      sent_ = 0;
+      processed_ = 0;
+      setup_.resume = 1;
+      setup_.resume_base = m.resume_base;
+      setup_.generation = m.generation;
+      restore();
+      paused_ = true;  // until the coordinator's post-barrier kResume
+      ack.ok = 1;
+    } catch (const std::exception& e) {
+      ack.ok = 0;
+      ack.error = e.what();
+    }
+    send_msg(FrameType::kRollbackAck, ack);
   }
 
   Node* add_node(sched::StateId id) {
@@ -170,7 +221,7 @@ class Worker {
   void die_check() {
     if (setup_.die_worker == setup_.worker_index &&
         setup_.die_after_states != 0 &&
-        store_.size() >= setup_.die_after_states) {
+        store_->size() >= setup_.die_after_states) {
       ::kill(::getpid(), SIGKILL);
     }
   }
@@ -178,7 +229,7 @@ class Worker {
   void on_state(const StateMsg& m) {
     BinReader sr(m.state);
     const sched::StateStore::WireIntern wi =
-        store_.decode_state(sr, setup_.options.max_states);
+        store_->decode_state(sr, setup_.options.max_states);
     if (!sr.done()) throw BinError("trailing bytes in state record");
     if (owner_of(wi.hash, setup_.n_workers) != setup_.worker_index) {
       protocol("received a state this worker does not own");
@@ -247,8 +298,14 @@ class Worker {
     ack.processed = processed_;
     ack.idle = tasks_.empty() ? 1 : 0;
     ack.paused = paused_ ? 1 : 0;
-    ack.owned = store_.size();
-    ack.rss_bytes = sched::current_rss_bytes();
+    ack.owned = store_->size();
+    // Report working-set memory: spilled segments are reclaimable page
+    // cache, so the coordinator's fleet-RSS budget must not see them.
+    std::uint64_t rss = sched::current_rss_bytes();
+    const std::uint64_t spilled = store_->stats().spilled_bytes +
+                                  mirror_->stats().spilled_bytes;
+    rss = rss > spilled ? rss - spilled : 0;
+    ack.rss_bytes = rss;
     send_msg(FrameType::kProbeAck, ack);
   }
 
@@ -259,7 +316,7 @@ class Worker {
   /// foreign partition is interned remotely via kState/kResolve.
   void expand(const Task& t) {
     Node* node = t.node;
-    const sem::Machine state = store_.materialize(node->id);
+    const sem::Machine state = store_->materialize(node->id);
 
     if (sem::terminated(prg_, state.grid)) {
       node->terminal = true;
@@ -300,7 +357,10 @@ class Worker {
       const std::uint64_t h = child.hash();  // memoized pre-intern
       const std::uint32_t owner = owner_of(h, setup_.n_workers);
       if (owner == setup_.worker_index) {
-        const auto r = store_.intern(child, setup_.options.max_states);
+        // The expanding node seeds delta encoding, as in the
+        // in-process engines.
+        const auto r =
+            store_->intern(child, setup_.options.max_states, node->id);
         if (!r.id.valid()) {
           e.overflow = true;
           node->edges.push_back(std::move(e));
@@ -317,7 +377,7 @@ class Worker {
       }
       // Foreign child: dedup through the mirror store so each distinct
       // remote state is shipped (and resolved) exactly once.
-      const auto mr = mirror_.intern(child);
+      const auto mr = mirror_->intern(child);
       const auto edge_index =
           static_cast<std::uint32_t>(node->edges.size());
       if (mr.inserted) {
@@ -325,7 +385,7 @@ class Worker {
         node->edges.push_back(std::move(e));
         mirror_entries_[mr.id.v].waiters.emplace_back(node, edge_index);
         BinWriter sw;
-        mirror_.encode_state(mr.id, sw);
+        mirror_->encode_state(mr.id, sw);
         StateMsg sm;
         sm.target = owner;
         sm.parent = Gid::make(setup_.worker_index, node->id.v);
@@ -394,7 +454,7 @@ class Worker {
       ck.has_root = has_root_ ? 1 : 0;
       ck.root_local = root_local_;
       BinWriter sw;
-      store_.encode(sw);
+      store_->encode(sw);
       ck.store = sw.take();
       ck.nodes = snapshot_nodes();
       ck.frontier.reserve(tasks_.size());
@@ -421,10 +481,11 @@ class Worker {
     part.has_root = has_root_ ? 1 : 0;
     part.root_local = root_local_;
     BinWriter sw;
-    store_.encode(sw);
+    store_->encode(sw);
     part.store = sw.take();
     part.nodes = snapshot_nodes();
-    part.owned = store_.size();
+    part.owned = store_->size();
+    part.store_stats = store_->stats();
     part.frontier_sent = frontier_sent_;
     part.resolves_sent = resolves_sent_;
     part.bytes_sent = bytes_out_;
@@ -464,7 +525,7 @@ class Worker {
     }
     try {
       BinReader sr(ck.store);
-      store_.decode(sr);
+      store_->decode(sr);
       if (!sr.done()) throw BinError("trailing bytes after store");
     } catch (const BinError& e) {
       throw sched::CheckpointError(sched::CheckpointError::Kind::Corrupt,
@@ -509,8 +570,10 @@ class Worker {
   bool paused_ = false;
   bool stop_ = false;
 
-  sched::StateStore store_;   // owned partition
-  sched::StateStore mirror_;  // dedup cache for foreign children
+  // Pointers so a kRollback can discard and rebuild them wholesale
+  // (StateStore is not movable — it owns mutexes and a spill file).
+  std::unique_ptr<sched::StateStore> store_;   // owned partition
+  std::unique_ptr<sched::StateStore> mirror_;  // foreign-child dedup cache
   std::deque<Node> nodes_;    // stable addresses, insertion order
   std::unordered_map<std::uint32_t, Node*> node_of_;  // StateId.v -> node
   std::deque<Task> tasks_;

@@ -64,7 +64,10 @@ std::string to_string(CheckpointError::Kind k);
 /// One snapshot of an in-flight exploration.  Engines construct and
 /// consume these; save()/load() move them to and from disk.
 struct Checkpoint {
-  static constexpr std::uint32_t kFormatVersion = 2;
+  // v3: the embedded store payload carries tier metadata (per-warp-rec
+  // hash/base/depth prefix for delta chains); v2 files are rejected
+  // with VersionMismatch rather than misdecoded.
+  static constexpr std::uint32_t kFormatVersion = 3;
 
   enum class Engine : std::uint8_t { Serial = 0, Parallel = 1 };
   Engine engine = Engine::Serial;

@@ -75,7 +75,7 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
   // by copying, which the copy-on-write memory makes cheap).
   // Interning compares structurally, so a revisit is detected even
   // across different paths and a hash collision cannot fake a visit.
-  auto store = std::make_shared<StateStore>();
+  auto store = std::make_shared<StateStore>(store_options(opts));
   std::unordered_map<std::uint32_t, Color> colors;
   internal::FinalsSet finals;
 
@@ -100,8 +100,11 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
   };
 
   auto enter = [&](sem::Machine&& m) -> bool {
-    // Returns true if a new frame was pushed.
-    const auto r = store->intern(m, opts.max_states);
+    // Returns true if a new frame was pushed.  The parent (the frame
+    // being expanded) seeds delta encoding: a child's warp fragments
+    // are stored as deltas against the parent's where that pays.
+    const StateId parent = stack.empty() ? StateId{} : stack.back().id;
+    const auto r = store->intern(m, opts.max_states, parent);
     if (!r.id.valid()) {
       hit_limit(ExploreResult::Limit::MaxStates);
       return false;
@@ -159,6 +162,9 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
     // did before the cut).
     verify_resume(*resume, Checkpoint::Engine::Serial, prg, kc, opts);
     store = resume->store;
+    // Tier knobs are transient: the resumed run's own budget/spill
+    // settings apply, whatever the checkpointing run used.
+    store->configure(store_options(opts));
     result.states_visited = resume->states_visited;
     result.transitions = resume->transitions;
     result.min_steps_to_termination = resume->min_steps;
@@ -257,7 +263,12 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
         return ExploreResult::Limit::Deadline;
       }
       if (opts.mem_limit_bytes != 0) {
-        const std::uint64_t rss = current_rss_bytes();
+        std::uint64_t rss = current_rss_bytes();
+        // Spilled segments are mmap'd page cache the kernel reclaims
+        // under pressure — they must not count against the budget, or
+        // spilling could never relieve a tripped limit.
+        const std::uint64_t spilled = store->stats().spilled_bytes;
+        rss = rss > spilled ? rss - spilled : 0;
         if (rss != 0 && rss >= opts.mem_limit_bytes) {
           return ExploreResult::Limit::MemLimit;
         }
@@ -310,6 +321,7 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
     result.min_steps_to_termination = 0;
   }
   result.final_ids = finals.take();
+  result.store_stats = store->stats();
   result.store = std::move(store);
   result.exhaustive = !limits_hit && stack.empty();
   return result;

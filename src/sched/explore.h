@@ -93,7 +93,38 @@ struct ExploreOptions {
   /// Limit::Interrupted) once this many distinct states have been
   /// visited (0 = never) — a deterministic kill point.
   std::uint64_t stop_after_states = 0;
+
+  // --- tiered state store (docs/explorer.md) -------------------------
+  // Like the budgets above these are transient resource policy: they
+  // decide where interned bytes live (RAM object / RAM encoding / spill
+  // file), never which states exist or what verdict comes out, so they
+  // are not part of the checkpoint's resume-compatibility fingerprint
+  // and a resumed run may use different values.
+
+  /// Directory for the store's spill segment file (created unlinked —
+  /// a crash cannot leak disk).  Empty disables the cold tier.
+  std::string store_spill_dir;
+  /// Resident-byte budget for the interned store; above it, cold
+  /// fragments are demoted (encoded, then spilled when a spill dir is
+  /// set).  0 keeps everything hot — the pre-tiering behaviour.
+  std::uint64_t store_resident_budget_bytes = 0;
+  /// Bloom bits per visited-state shard (0 = default 1<<17).
+  std::uint64_t store_bloom_bits = 0;
+  /// Longest warp-fragment delta chain; 0 disables delta encoding.
+  std::uint32_t store_delta_depth = 8;
 };
+
+/// The StoreOptions an engine derives from ExploreOptions (all engines
+/// — serial, parallel, distributed workers — map the knobs the same
+/// way, so tiering behaves identically whichever engine runs).
+[[nodiscard]] inline StoreOptions store_options(const ExploreOptions& o) {
+  StoreOptions so;
+  so.spill_dir = o.store_spill_dir;
+  so.resident_budget_bytes = o.store_resident_budget_bytes;
+  so.bloom_bits_per_shard = o.store_bloom_bits;
+  so.delta_max_depth = o.store_delta_depth;
+  return so;
+}
 
 struct Violation {
   enum class Kind : std::uint8_t { Stuck, Fault, Cycle, DepthExceeded };
@@ -137,6 +168,12 @@ struct ExploreResult {
   /// any StateId derived from this exploration resolve against it.
   /// Shared so results can outlive the engine and be copied cheaply.
   std::shared_ptr<const StateStore> store;
+
+  /// Snapshot of the store's byte/tier accounting at the end of the
+  /// run (resident vs spilled bytes, evictions, delta fragments, bloom
+  /// hit rate).  For distributed runs this sums the workers' stores,
+  /// so it reflects where the exploration's memory actually went.
+  StateStore::Stats store_stats;
 
   /// Distinct terminated machine states (deduplicated, DFS first-visit
   /// order).  A singleton means the computation is

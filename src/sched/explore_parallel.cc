@@ -77,11 +77,13 @@ class VisitedShards {
 
   /// Find the node for the state structurally equal to `m`, or intern
   /// `m` and register a fresh node.  The caller must have computed
-  /// m.hash() already (it is the owner thread).
-  InsertResult find_or_insert(const sem::Machine& m, std::uint64_t hash) {
+  /// m.hash() already (it is the owner thread).  `parent` (the node
+  /// being expanded) seeds the store's delta encoding.
+  InsertResult find_or_insert(const sem::Machine& m, std::uint64_t hash,
+                              StateId parent = StateId{}) {
     Shard& s = shards_[shard_of(hash)];
     std::lock_guard<std::mutex> lock(s.mu);
-    const auto r = store_.intern(m, max_states_);
+    const auto r = store_.intern(m, max_states_, parent);
     if (!r.id.valid()) {
       cap_hit_.store(true, std::memory_order_relaxed);
       return {nullptr, false};
@@ -383,7 +385,7 @@ class GraphBuilder {
         continue;
       }
       const std::uint64_t h = child.hash();  // memoized pre-intern
-      const auto r = visited_.find_or_insert(child, h);
+      const auto r = visited_.find_or_insert(child, h, node->id);
       if (r.node == nullptr) {
         e.overflow = true;
         node->edges.push_back(std::move(e));
@@ -462,7 +464,12 @@ class GraphBuilder {
       return ExploreResult::Limit::Deadline;
     }
     if (opts_.mem_limit_bytes != 0) {
-      const std::uint64_t rss = current_rss_bytes();
+      std::uint64_t rss = current_rss_bytes();
+      // Spilled segments are reclaimable page cache, not working-set
+      // memory — exclude them or spilling could never relieve a
+      // tripped limit (see the serial engine's identical adjustment).
+      const std::uint64_t spilled = store_.stats().spilled_bytes;
+      rss = rss > spilled ? rss - spilled : 0;
       if (rss != 0 && rss >= opts_.mem_limit_bytes) {
         return ExploreResult::Limit::MemLimit;
       }
@@ -679,8 +686,10 @@ ExploreResult explore_parallel(const ptx::Program& prg,
   if (resume != nullptr) {
     verify_resume(*resume, Checkpoint::Engine::Parallel, prg, kc, opts);
     store = resume->store;
+    // Tier knobs are transient: the resumed run's own settings apply.
+    store->configure(store_options(opts));
   } else {
-    store = std::make_shared<StateStore>();
+    store = std::make_shared<StateStore>(store_options(opts));
   }
 
   GraphBuilder builder(prg, kc, opts, store, n);
@@ -689,6 +698,7 @@ ExploreResult explore_parallel(const ptx::Program& prg,
   // same empty, non-exhaustive result the serial engine reports.
   const GraphBuilder::Outcome out = builder.build(initial, resume);
   ExploreResult result = replay(out.root, opts, out.stopped);
+  result.store_stats = store->stats();
   result.store = std::move(store);
   result.checkpointed = out.checkpointed;
   return result;

@@ -1,0 +1,86 @@
+#include "support/delta.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "support/binio.h"
+
+namespace cac::support::delta {
+namespace {
+
+constexpr std::uint8_t kCopy = 0;
+constexpr std::uint8_t kLiteral = 1;
+
+}  // namespace
+
+std::string make(std::string_view base, std::string_view target) {
+  // Longest common prefix, then longest common suffix of the rest.
+  const std::size_t max_p = std::min(base.size(), target.size());
+  std::size_t p = 0;
+  while (p < max_p && base[p] == target[p]) ++p;
+  std::size_t s = 0;
+  const std::size_t max_s = max_p - p;
+  while (s < max_s &&
+         base[base.size() - 1 - s] == target[target.size() - 1 - s]) {
+    ++s;
+  }
+
+  BinWriter w;
+  std::uint32_t n_ops = 0;
+  if (p > 0) ++n_ops;
+  if (target.size() - p - s > 0) ++n_ops;
+  if (s > 0) ++n_ops;
+  w.u32(n_ops);
+  if (p > 0) {
+    w.u8(kCopy);
+    w.u32(0);
+    w.u32(static_cast<std::uint32_t>(p));
+  }
+  if (target.size() - p - s > 0) {
+    const std::size_t mid = target.size() - p - s;
+    w.u8(kLiteral);
+    w.u32(static_cast<std::uint32_t>(mid));
+    w.bytes(target.data() + p, mid);
+  }
+  if (s > 0) {
+    w.u8(kCopy);
+    w.u32(static_cast<std::uint32_t>(base.size() - s));
+    w.u32(static_cast<std::uint32_t>(s));
+  }
+  return w.take();
+}
+
+std::string apply(std::string_view base, std::string_view delta) {
+  BinReader r(delta);
+  const std::uint32_t n_ops = r.u32();
+  // Each op costs at least 5 bytes on the wire.
+  if (n_ops > delta.size() / 5 + 1) {
+    throw BinError("implausible delta op count");
+  }
+  std::string out;
+  for (std::uint32_t i = 0; i < n_ops; ++i) {
+    const std::uint8_t tag = r.u8();
+    if (tag == kCopy) {
+      const std::uint64_t off = r.u32();
+      const std::uint64_t len = r.u32();
+      if (off + len > base.size()) {
+        throw BinError("delta copy op reads outside the base fragment");
+      }
+      out.append(base.data() + off, len);
+    } else if (tag == kLiteral) {
+      const std::uint32_t len = r.u32();
+      if (len > r.remaining()) {
+        throw BinError("truncated delta literal op");
+      }
+      std::string lit(len, '\0');
+      r.bytes(lit.data(), len);
+      out.append(lit);
+    } else {
+      throw BinError("unknown delta op tag");
+    }
+  }
+  if (!r.done()) throw BinError("trailing bytes after delta op stream");
+  return out;
+}
+
+}  // namespace cac::support::delta

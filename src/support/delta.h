@@ -1,0 +1,34 @@
+// Byte-level delta encoding for the tiered state store
+// (sched/state_store.h): a warp fragment whose canonical encoding
+// differs from its parent's by a few register values compresses to a
+// handful of copy/literal ops against the parent's bytes.
+//
+// The format is a tiny xdelta-style op stream over support/binio.h:
+//
+//   u32 n_ops, then per op:
+//     u8 0 (copy):    u32 base_offset, u32 len
+//     u8 1 (literal): u32 len, raw bytes
+//
+// make() never fails (worst case: one literal op covering the whole
+// target — callers compare sizes and keep the full encoding when the
+// delta does not pay for itself).  apply() is fully validating: a
+// malformed or out-of-range op stream throws support::BinError before
+// any oversized allocation, matching the binio robustness contract.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cac::support::delta {
+
+/// Encode `target` as an op stream against `base`.  Deterministic and
+/// allocation-light: common prefix + common suffix are emitted as copy
+/// ops, the changed middle as one literal — the shape register-local
+/// semantic steps produce.
+std::string make(std::string_view base, std::string_view target);
+
+/// Reconstruct the target bytes.  Throws support::BinError on a
+/// malformed op stream or ops that read outside `base`.
+std::string apply(std::string_view base, std::string_view delta);
+
+}  // namespace cac::support::delta

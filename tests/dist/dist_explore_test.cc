@@ -314,6 +314,81 @@ TEST(DistExplore, WorkerDeathWithCheckpointRecovers) {
   }
 }
 
+TEST(DistExplore, WorkerDeathPiecemealRestartsOnlyTheDeadWorker) {
+  // With a committed generation on disk, recovery must take the
+  // piecemeal path: survivors roll back in-process (kRollback) while
+  // only the dead worker is re-forked.  The stats pin which path ran,
+  // and the verdict must still be byte-identical to serial.
+  const ptx::Program prg = programs::vector_add_listing2();
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  const sem::Machine init = vecadd_machine(prg, kc, 8);
+  const ExploreResult serial =
+      sched::explore(prg, kc, init, ExploreOptions{});
+
+  const std::string base = testing::TempDir() + "dist_piecemeal";
+  ExploreOptions opts;
+  opts.checkpoint_path = base;
+  opts.checkpoint_every_states = 30;  // several generations before death
+  DistOptions dopts;
+  dopts.n_workers = 3;
+  dopts.die_worker = 1;
+  dopts.die_after_states = 80;
+  const DistResult r = explore_distributed(prg, kc, init, opts, dopts);
+  expect_identical(serial, r.result, "after piecemeal recovery");
+  ASSERT_GE(r.stats.restarts, 1u);
+  EXPECT_GE(r.stats.piecemeal_restarts, 1u);
+  EXPECT_LE(r.stats.piecemeal_restarts, r.stats.restarts);
+
+  std::remove(base.c_str());
+  for (std::uint64_t g = 1; g <= 32; ++g) {
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      std::remove(worker_checkpoint_path(base, g, w).c_str());
+    }
+  }
+}
+
+TEST(DistExplore, PreGenerationDeathFallsBackToFullRelaunch) {
+  // Death before any committed generation cannot roll survivors back
+  // (there is nothing to roll back to), so recovery must take the
+  // full-relaunch path and still reach the serial verdict.
+  const ptx::Program prg = programs::vector_add_listing2();
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  const sem::Machine init = vecadd_machine(prg, kc, 8);
+  const ExploreResult serial =
+      sched::explore(prg, kc, init, ExploreOptions{});
+
+  DistOptions dopts;
+  dopts.n_workers = 2;
+  dopts.die_worker = 1;
+  dopts.die_after_states = 50;  // no checkpoint_path: no generations
+  const DistResult r =
+      explore_distributed(prg, kc, init, ExploreOptions{}, dopts);
+  expect_identical(serial, r.result, "full relaunch");
+  EXPECT_GE(r.stats.restarts, 1u);
+  EXPECT_EQ(r.stats.piecemeal_restarts, 0u);
+}
+
+TEST(DistExplore, TieredStoresMatchSerialAndReportStats) {
+  // Per-worker tiered stores (budget split across the fleet, shared
+  // spill dir) must leave the verdict untouched, and the merged
+  // store_stats must reflect the partitioned stores' activity.
+  const ptx::Program prg = programs::vector_add_listing2();
+  const sem::KernelConfig kc{{1, 1, 1}, {8, 1, 1}, 4};
+  const sem::Machine init = vecadd_machine(prg, kc, 8);
+  const ExploreResult serial =
+      sched::explore(prg, kc, init, ExploreOptions{});
+
+  ExploreOptions opts;
+  opts.store_spill_dir = testing::TempDir();
+  opts.store_resident_budget_bytes = 64 << 10;  // split across workers
+  DistOptions dopts;
+  dopts.n_workers = 3;
+  const DistResult r = explore_distributed(prg, kc, init, opts, dopts);
+  expect_identical(serial, r.result, "tiered dist");
+  EXPECT_EQ(r.result.store_stats.states, serial.states_visited);
+  EXPECT_GT(r.result.store_stats.resident_bytes, 0u);
+}
+
 TEST(DistExplore, TcpTransportMatchesSerial) {
   // Multi-host shape on one host: bind an ephemeral port ourselves
   // (the listen_fd seam), fork workers that tcp_connect and run the

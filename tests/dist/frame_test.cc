@@ -237,7 +237,9 @@ TEST(DistFrame, TruncationNeverYieldsAFrame) {
     FrameReader fr;
     fr.feed(bytes.data(), cut);
     EXPECT_FALSE(fr.next().has_value()) << "prefix length " << cut;
-    if (cut > 0) EXPECT_FALSE(fr.idle());  // a partial frame is pending
+    if (cut > 0) {
+      EXPECT_FALSE(fr.idle());  // a partial frame is pending
+    }
   }
 }
 

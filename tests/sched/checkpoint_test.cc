@@ -267,6 +267,53 @@ TEST(CheckpointResume, ParallelPeriodicCheckpointResumable) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointResume, MidSpillCheckpointResumesByteIdentical) {
+  // Tiering is transparent to checkpoints: a run whose store is
+  // actively evicting and spilling when the snapshot lands must
+  // resume — with the same tier knobs, with different knobs, or with
+  // tiering off — to the uninterrupted verdict.  Tier knobs are
+  // transient (never in the option fingerprint), so the cross-knob
+  // resumes also pin that they don't poison resume validation.
+  const Lattice w(10);
+  ExploreOptions base;
+  base.stop_at_first_violation = false;
+  const ExploreResult full = explore(w.prg, w.kc, w.init, base);
+  ASSERT_TRUE(full.exhaustive);
+
+  const std::string path = temp_path("mid_spill");
+  ExploreOptions cut = base;
+  cut.store_spill_dir = testing::TempDir();
+  cut.store_resident_budget_bytes = 16 << 10;
+  cut.stop_after_states = full.states_visited / 2;
+  cut.checkpoint_path = path;
+  const ExploreResult stopped = explore(w.prg, w.kc, w.init, cut);
+  ASSERT_EQ(stopped.limit_hit, ExploreResult::Limit::Interrupted);
+  ASSERT_TRUE(stopped.checkpointed);
+  // The snapshot really was taken mid-spill.
+  ASSERT_GT(stopped.store_stats.spilled_bytes, 0u);
+
+  struct Variant {
+    const char* what;
+    std::string spill_dir;
+    std::uint64_t budget;
+  };
+  const Variant variants[] = {
+      {"same knobs", testing::TempDir(), 16 << 10},
+      {"tighter budget", testing::TempDir(), 4 << 10},
+      {"tiering off", "", 0},
+  };
+  for (const Variant& v : variants) {
+    const Checkpoint ck = Checkpoint::load(path);
+    ExploreOptions cont = base;
+    cont.store_spill_dir = v.spill_dir;
+    cont.store_resident_budget_bytes = v.budget;
+    const ExploreResult resumed = explore(w.prg, w.kc, w.init, cont, &ck);
+    expect_identical(full, resumed, std::string("mid-spill resume, ") +
+                                        v.what);
+  }
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------
 // Budgets: graceful stop with the precise limit and a usable snapshot.
 
@@ -433,6 +480,24 @@ TEST_F(CorruptionTest, VersionSkewReportedAsVersionMismatch) {
   } catch (const CheckpointError& e) {
     EXPECT_EQ(e.kind(), CheckpointError::Kind::VersionMismatch);
     EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(CorruptionTest, V2FilesRejectedWithVersionMismatch) {
+  // Format v3 changed the embedded store payload (per-warp-record
+  // tier metadata for delta chains), so a v2 file from an older build
+  // must be refused outright — decoding its payload with the v3
+  // layout would misread fragment records.
+  std::string bad = good_;
+  bad[8] = 2;  // header version field; the checksum covers payload only
+  spit(path_, bad);
+  try {
+    Checkpoint::load(path_);
+    FAIL() << "v2 file loaded by a v3 reader";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointError::Kind::VersionMismatch);
+    EXPECT_NE(std::string(e.what()).find("version 2"), std::string::npos)
+        << e.what();
   }
 }
 

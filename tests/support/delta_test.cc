@@ -1,0 +1,136 @@
+// support::delta: the byte-delta codec underneath the tiered state
+// store's warm tier.
+//
+//  * delta::make()/delta::apply() round-trip arbitrary base/target pairs, including
+//    empty strings, identical strings, and disjoint strings;
+//  * a randomized sweep over register-step-shaped edits (small changed
+//    middle, common prefix/suffix) round-trips and actually compresses;
+//  * delta::apply() rejects malformed op streams (truncation, bad op tags,
+//    out-of-range copies, oversized literals) with support::BinError
+//    rather than reading out of bounds or allocating absurdly.
+#include "support/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "support/binio.h"
+
+namespace cac::support::delta {
+namespace {
+
+TEST(DeltaTest, RoundTripsEdgeCases) {
+  const std::string cases[] = {
+      "", "a", "abc", std::string(1000, 'x'),
+      "the quick brown fox jumps over the lazy dog"};
+  for (const auto& base : cases) {
+    for (const auto& target : cases) {
+      const std::string d = delta::make(base, target);
+      EXPECT_EQ(delta::apply(base, d), target)
+          << "base=" << base.size() << "B target=" << target.size() << "B";
+    }
+  }
+}
+
+TEST(DeltaTest, IdenticalInputIsTiny) {
+  const std::string s(4096, 'k');
+  const std::string d = delta::make(s, s);
+  EXPECT_EQ(delta::apply(s, d), s);
+  // One copy op: far smaller than re-encoding the payload.
+  EXPECT_LT(d.size(), 64u);
+}
+
+TEST(DeltaTest, RandomizedStepShapedEditsRoundTripAndCompress) {
+  std::mt19937_64 rng(0xdec0de);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::uniform_int_distribution<std::size_t> len_d(256, 2048);
+    std::string base(len_d(rng), '\0');
+    for (auto& c : base) c = static_cast<char>(byte(rng));
+
+    // A semantic step mutates a handful of nearby bytes (one warp's
+    // registers and pc are contiguous in the canonical encoding) and
+    // leaves the bulk alone — emulate that clustered edit shape.  The
+    // codec is prefix/suffix based, so locality is what makes a delta
+    // pay.
+    std::string target = base;
+    std::uniform_int_distribution<std::size_t> win_d(
+        0, target.size() - 33);
+    const std::size_t win = win_d(rng);
+    std::uniform_int_distribution<std::size_t> pos_d(win, win + 32);
+    std::uniform_int_distribution<int> edits_d(1, 12);
+    const int edits = edits_d(rng);
+    for (int e = 0; e < edits; ++e)
+      target[pos_d(rng)] = static_cast<char>(byte(rng));
+
+    const std::string d = delta::make(base, target);
+    ASSERT_EQ(delta::apply(base, d), target) << "iter " << iter;
+    // Sparse edits must beat storing the target outright (the store
+    // only keeps deltas that pay, but the codec should make them pay
+    // for this shape).
+    EXPECT_LT(d.size(), target.size()) << "iter " << iter;
+  }
+}
+
+TEST(DeltaTest, RandomizedUnrelatedInputsRoundTrip) {
+  std::mt19937_64 rng(0xfeed);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> len_d(0, 512);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::string base(len_d(rng), '\0');
+    std::string target(len_d(rng), '\0');
+    for (auto& c : base) c = static_cast<char>(byte(rng));
+    for (auto& c : target) c = static_cast<char>(byte(rng));
+    const std::string d = delta::make(base, target);
+    EXPECT_EQ(delta::apply(base, d), target) << "iter " << iter;
+  }
+}
+
+TEST(DeltaTest, ApplyRejectsTruncatedStream) {
+  const std::string base = "hello world, this is the base";
+  const std::string d = delta::make(base, "hello there, this is the base");
+  for (std::size_t cut = 0; cut < d.size(); ++cut) {
+    const std::string_view trunc(d.data(), cut);
+    EXPECT_THROW(delta::apply(base, trunc), BinError) << "cut at " << cut;
+  }
+}
+
+TEST(DeltaTest, ApplyRejectsBadOpTag) {
+  BinWriter w;
+  w.u32(1);
+  w.u8(7);  // only 0 (copy) and 1 (literal) exist
+  w.u32(0);
+  w.u32(1);
+  EXPECT_THROW(delta::apply("base", w.take()), BinError);
+}
+
+TEST(DeltaTest, ApplyRejectsCopyOutsideBase) {
+  BinWriter w;
+  w.u32(1);
+  w.u8(0);   // copy
+  w.u32(2);  // offset 2...
+  w.u32(8);  // ...+8 runs past a 4-byte base
+  EXPECT_THROW(delta::apply("base", w.take()), BinError);
+
+  BinWriter w2;
+  w2.u32(1);
+  w2.u8(0);
+  w2.u32(0xffffffffu);  // offset overflow
+  w2.u32(0xffffffffu);
+  EXPECT_THROW(delta::apply("base", w2.take()), BinError);
+}
+
+TEST(DeltaTest, ApplyRejectsOversizedLiteral) {
+  BinWriter w;
+  w.u32(1);
+  w.u8(1);           // literal...
+  w.u32(1u << 30);   // ...claiming 1 GiB with 3 bytes behind it
+  w.bytes("abc", 3);
+  EXPECT_THROW(delta::apply("base", w.take()), BinError);
+}
+
+}  // namespace
+}  // namespace cac::support::delta

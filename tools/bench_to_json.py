@@ -26,6 +26,11 @@ volume, shard-balance skew, and speedup over the matching workers=0
 serial baseline, every BM_AnalysisOracle* instance (bench_analysis)
 lands in an `analysis` section recording the POR state count with and
 without the static independence oracle and the resulting reduction,
+every BM_BigStore* / BM_BigExplore* / BM_StoreBudgetSweep instance
+(bench_bigstore) lands in a `store_tiers` section recording the
+resident-vs-spilled byte split, eviction/spill/rematerialization
+counts, delta-fragment count, and bloom pre-check hit rate of the
+tiered state store under a resident budget,
 and the benchmark processes' peak RSS is recorded as
 `peak_rss_bytes`.
 """
@@ -188,6 +193,45 @@ def analysis_summary(benchmarks: list[dict]) -> list[dict]:
     return out
 
 
+def store_tiers_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize tiered-store benchmarks (bench_bigstore): how the
+    resident budget splits bytes across the hot/warm tier and the
+    spill segment, what eviction and delta encoding cost, and how the
+    budgeted footprint compares per state.  For BM_StoreBudgetSweep
+    instances the residency improvement over the same workload's
+    unbudgeted (budget_pct=100) instance is derived."""
+    unbounded = {}
+    for b in benchmarks:
+        if (b.get("name", "").startswith("BM_StoreBudgetSweep")
+                and b.get("budget_pct") == 100):
+            unbounded[b.get("workload")] = b
+    out = []
+    for b in benchmarks:
+        name = b.get("name", "")
+        if not name.startswith(("BM_BigStore", "BM_BigExplore",
+                                "BM_StoreBudgetSweep")):
+            continue
+        entry = {"name": name}
+        if b.get("label"):
+            entry["workload_name"] = b["label"]
+        for k in ("workload", "budget_pct", "budget_bytes", "states",
+                  "resident_bytes", "spilled_bytes",
+                  "resident_bytes_per_state", "hot_evictions", "spills",
+                  "rematerializations", "delta_fragments",
+                  "bloom_hit_rate", "dedup_ratio", "rss_bytes",
+                  "items_per_second", "real_time", "time_unit"):
+            if k in b:
+                entry[k] = b[k]
+        ref = unbounded.get(b.get("workload"))
+        if (ref and ref is not b and b.get("resident_bytes_per_state")
+                and ref.get("resident_bytes_per_state")):
+            entry["residency_improvement"] = round(
+                ref["resident_bytes_per_state"]
+                / b["resident_bytes_per_state"], 3)
+        out.append(entry)
+    return out
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary", action="append", default=None,
@@ -222,7 +266,7 @@ def main() -> None:
             keep = {k: b[k] for k in
                     ("name", "run_name", "iterations", "real_time",
                      "cpu_time", "time_unit", "bytes_per_second",
-                     "items_per_second")
+                     "items_per_second", "label")
                     if k in b}
             # Counters appear as top-level numeric fields.
             for k, v in b.items():
@@ -252,6 +296,9 @@ def main() -> None:
     analysis = analysis_summary(benchmarks)
     if analysis:
         snapshot["analysis"] = analysis
+    tiers = store_tiers_summary(benchmarks)
+    if tiers:
+        snapshot["store_tiers"] = tiers
     out = Path(args.out)
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {out} ({len(benchmarks)} benchmarks, "

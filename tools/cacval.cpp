@@ -49,6 +49,17 @@
 //   --deadline MS       stop gracefully after MS milliseconds
 //   --mem-limit MIB     stop gracefully when RSS reaches MIB MiB
 //
+// Tiered state store (check/validate; docs/explorer.md):
+//   --store-budget MIB  resident-byte budget for interned states; cold
+//                       fragments are demoted (and spilled, with
+//                       --spill-dir) above it (0 = keep everything hot)
+//   --spill-dir DIR     spill demoted fragments to an unlinked segment
+//                       file in DIR (enables the cold tier)
+//   --bloom-bits N      bloom-filter bits per visited-state shard
+//                       (power of two; default 131072)
+//   --delta-depth N     longest warp-fragment delta chain (default 8;
+//                       0 disables delta encoding)
+//
 // Distributed exploration (check/validate; docs/distributed.md):
 //   --dist-workers N    partition the visited set across N worker
 //                       processes (forked on this host); the verdict is
@@ -241,6 +252,16 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--deadline") o.explore.deadline_ms = parse_u64(next());
     else if (a == "--mem-limit") {
       o.explore.mem_limit_bytes = parse_u64(next()) * (1ull << 20);
+    }
+    else if (a == "--store-budget") {
+      o.explore.store_resident_budget_bytes =
+          parse_u64(next()) * (1ull << 20);
+    }
+    else if (a == "--spill-dir") o.explore.store_spill_dir = next();
+    else if (a == "--bloom-bits") o.explore.store_bloom_bits = parse_u64(next());
+    else if (a == "--delta-depth") {
+      o.explore.store_delta_depth =
+          static_cast<std::uint32_t>(parse_u64(next()));
     }
     else if (a == "--independent") o.independent = true;
     else if (a == "--por") o.explore.partial_order_reduction = true;
@@ -440,6 +461,18 @@ void print_exploration_diagnostics(const sched::ExploreResult& ex,
     std::printf("checkpoint written: %s\n",
                 o.explore.checkpoint_path.c_str());
   }
+  const sched::StateStore::Stats& ss = ex.store_stats;
+  if (ss.states != 0) {
+    std::printf(
+        "store: %llu KiB resident, %llu KiB spilled, %llu evictions, "
+        "%llu delta frags, %llu remats, bloom hit rate %.1f%%\n",
+        static_cast<unsigned long long>(ss.resident_bytes >> 10),
+        static_cast<unsigned long long>(ss.spilled_bytes >> 10),
+        static_cast<unsigned long long>(ss.hot_evictions),
+        static_cast<unsigned long long>(ss.delta_fragments),
+        static_cast<unsigned long long>(ss.rematerializations),
+        100.0 * ss.bloom_hit_rate());
+  }
 }
 
 /// Load the --resume checkpoint, or null.  CheckpointError propagates
@@ -465,10 +498,12 @@ dist::DistOptions make_dist_options(const Options& o) {
 
 void print_dist_stats(const dist::DistStats& s) {
   std::printf("distributed: %zu workers, %llu frontier msgs, "
-              "skew %.2f, %llu restarts, %llu checkpoint generations\n",
+              "skew %.2f, %llu restarts (%llu piecemeal), "
+              "%llu checkpoint generations\n",
               s.workers.size(),
               static_cast<unsigned long long>(s.frontier_msgs), s.skew(),
               static_cast<unsigned long long>(s.restarts),
+              static_cast<unsigned long long>(s.piecemeal_restarts),
               static_cast<unsigned long long>(s.generations));
   for (std::size_t i = 0; i < s.workers.size(); ++i) {
     const dist::DistStats::PerWorker& w = s.workers[i];
