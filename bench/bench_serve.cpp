@@ -1,0 +1,191 @@
+// The verification service itself as the benchmark subject: what a
+// client pays for a cold verification round trip, what the
+// content-addressed verdict cache collapses that to on resubmission,
+// and how many requests/sec the daemon sustains as concurrent clients
+// pile on (1/4/16).
+//
+// Everything runs in-process but over a real AF_UNIX socket with the
+// real frame protocol, so the measured path is exactly what
+// `cacval submit` pays minus process startup.
+//
+// tools/bench_to_json.py snapshots these into BENCH_explore.json
+// (section `serve`), so the cold/cached ratio and the throughput
+// scaling accumulate a trajectory across PRs.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "front/cache.h"
+#include "front/serve.h"
+
+namespace {
+
+using namespace cac;
+
+// A tiny two-thread kernel: one round trip's verification work is a
+// 16-state exploration (~tens of microseconds), so the numbers below
+// measure the service, not the workload.
+const char* kTinyKernel = R"(
+.version 6.0
+.target sm_30
+.address_size 64
+.visible .entry k(
+  .param .u64 out
+)
+{
+  .reg .u32 %r<3>;
+  .reg .u64 %rd<2>;
+  ld.param.u64 %rd1, [out];
+  mov.u32 %r1, %tid.x;
+  st.global.u32 [%rd1], %r1;
+  ret;
+}
+)";
+
+front::CheckRequest tiny_request(std::uint32_t salt) {
+  front::CheckRequest r;
+  r.file = "bench.ptx";
+  r.source = kTinyKernel;
+  r.launch.block = {2, 1, 1};
+  r.launch.warp_size = 1;
+  r.launch.global_bytes = 64;
+  r.launch.params = {{"out", 0}};
+  // The salt lands in an initial cell: structurally distinct request
+  // (fresh cache key), identical amount of exploration work.
+  r.launch.inits = {{32, salt}};
+  return r;
+}
+
+/// One in-process daemon on a fresh AF_UNIX socket.
+struct BenchServer {
+  BenchServer() {
+    dir = std::filesystem::temp_directory_path() /
+          ("cac_bench_serve_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
+    std::filesystem::create_directories(dir);
+    front::ServeOptions opts;
+    opts.unix_path = dir / "sock";
+    opts.workers = 4;
+    server = std::make_unique<front::Server>(std::move(opts));
+    server->start();
+  }
+
+  ~BenchServer() {
+    server->stop();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  front::Client connect() { return front::Client::connect(dir / "sock"); }
+
+  std::filesystem::path dir;
+  std::unique_ptr<front::Server> server;
+  static inline int counter = 0;
+};
+
+/// Cold submissions: every request has a fresh cache key, so each
+/// round trip pays parse + lower + key + explore + respond.
+void BM_ServeColdSubmission(benchmark::State& state) {
+  BenchServer bs;
+  front::Client client = bs.connect();
+  std::uint32_t salt = 1;
+  for (auto _ : state) {
+    const front::Client::Reply r =
+        client.call(front::to_json(front::Request{tiny_request(salt++)}));
+    if (r.doc.str_or("status", "") != "ok" ||
+        r.doc.bool_or("cached", false)) {
+      throw std::runtime_error("cold submission misbehaved: " + r.raw);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["jobs_run"] =
+      static_cast<double>(bs.server->stats().jobs_run);
+}
+BENCHMARK(BM_ServeColdSubmission)->Unit(benchmark::kMicrosecond);
+
+/// Cached resubmission of one verdict: the round trip collapses to
+/// frame + key + LRU hit + verbatim replay.  The cold/cached ratio is
+/// the service's headline number (CI asserts >=100x end to end in
+/// tools/serve_crash_drill.py).
+void BM_ServeCachedSubmission(benchmark::State& state) {
+  BenchServer bs;
+  front::Client client = bs.connect();
+  const std::string payload =
+      front::to_json(front::Request{tiny_request(0)});
+  client.call(payload);  // warm the cache
+  for (auto _ : state) {
+    const front::Client::Reply r = client.call(payload);
+    if (!r.doc.bool_or("cached", false)) {
+      throw std::runtime_error("expected a cache hit: " + r.raw);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeCachedSubmission)->Unit(benchmark::kMicrosecond);
+
+/// Sustained request throughput at N concurrent clients, each its own
+/// connection, all resubmitting warm verdicts round-robin across a
+/// small working set.  items_per_second is the service's requests/sec.
+void BM_ServeThroughput(benchmark::State& state) {
+  const auto clients = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint32_t kWorkingSet = 8;
+  constexpr std::uint32_t kPerClient = 16;  // requests per iteration
+  BenchServer bs;
+  std::vector<std::string> payloads;
+  payloads.reserve(kWorkingSet);
+  {
+    front::Client warm = bs.connect();
+    for (std::uint32_t i = 0; i < kWorkingSet; ++i) {
+      payloads.push_back(
+          front::to_json(front::Request{tiny_request(i)}));
+      warm.call(payloads.back());
+    }
+  }
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        front::Client client = bs.connect();
+        for (std::uint32_t i = 0; i < kPerClient; ++i) {
+          client.call(payloads[(c + i) % kWorkingSet]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(clients) * kPerClient);
+  state.counters["clients"] = clients;
+}
+BENCHMARK(BM_ServeThroughput)
+    ->ArgName("clients")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+/// Custom main so CI can smoke the bench cheaply: `--quick` maps to a
+/// minimal measuring time before the standard benchmark flags parse.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char quick_flag[] = "--benchmark_min_time=0.01";
+  for (auto& a : args) {
+    if (std::strcmp(a, "--quick") == 0) a = quick_flag;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

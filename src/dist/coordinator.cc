@@ -486,6 +486,7 @@ class Coordinator {
       if (!die_cleared_) {
         s.die_worker = dopts_.die_worker;
         s.die_after_states = dopts_.die_after_states;
+        s.die_after_generation = dopts_.die_after_generation;
       }
       queue_msg(i, FrameType::kSetup, s);
     }
@@ -824,8 +825,9 @@ class Coordinator {
   /// relaunch would — at the cost of one fork instead of n.
   /// Preconditions (checked by the caller): fork mode, a committed
   /// generation to roll back to, and the death surfaced in the main
-  /// expansion loop (mid-protocol deaths — checkpoint, dump — unwind
-  /// to the full relaunch path, whose simpler invariants cover them).
+  /// expansion loop or its checkpoint barrier (deaths elsewhere —
+  /// dump, drain — unwind to the full relaunch path, whose simpler
+  /// invariants cover them).
   void piecemeal_recover(std::uint32_t dead) {
     if (dopts_.verbose) {
       std::fprintf(stderr,
@@ -945,7 +947,21 @@ class Coordinator {
       }
       if (stop_reason != Limit::None) break;
       if (periodic && total_owned() >= next_ckpt_at) {
-        write_generation();
+        try {
+          write_generation();
+        } catch (const WorkerDiedSignal& s) {
+          // A death caught mid-barrier abandons the partial
+          // generation (its files are overwritten on the retry, the
+          // barrier's stale acks are dropped by the rollback guard in
+          // dispatch()); survivors roll back to the last committed
+          // generation exactly as for a death in the expansion loop.
+          if (!fork_mode() || committed_gen_ == 0 ||
+              stats_.restarts >= dopts_.max_restarts) {
+            throw;
+          }
+          piecemeal_recover(s.worker);
+          continue;
+        }
         next_ckpt_at = total_owned() + opts_.checkpoint_every_states;
         broadcast_control(FrameType::kResume);
         reset_quiescence();

@@ -40,6 +40,13 @@ struct DistOptions {
   /// the relaunched fleet survives.
   std::uint32_t die_worker = kNoWorker;
   std::uint64_t die_after_states = 0;
+  /// Additionally hold the death until the worker has written its
+  /// checkpoint for generation >= this and been resumed.  The worker
+  /// is only resumed after the coordinator commits the manifest, so a
+  /// death behind this gate is guaranteed to find a committed
+  /// generation on disk — the precondition for piecemeal recovery.
+  /// 0 = no gate.
+  std::uint64_t die_after_generation = 0;
   /// Give up (DistError::PeerDied) after this many fleet relaunches.
   std::uint32_t max_restarts = 5;
   /// Print worker pids and recovery events to stderr.

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -174,6 +175,54 @@ Fd tcp_connect(const std::string& spec) {
   }
   ::freeaddrinfo(res);
   if (!fd.valid()) io_fail("connect to " + spec);
+  return fd;
+}
+
+namespace {
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw DistError(DistError::Kind::Protocol,
+                    "unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Fd unix_listen(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) io_fail("socket");
+  const sockaddr_un addr = unix_addr(path);
+  ::unlink(path.c_str());  // a stale socket file would fail the bind
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    io_fail("bind " + path);
+  }
+  if (::listen(fd.get(), 64) != 0) io_fail("listen on " + path);
+  return fd;
+}
+
+Fd unix_accept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    io_fail("accept");
+  }
+}
+
+Fd unix_connect(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) io_fail("socket");
+  const sockaddr_un addr = unix_addr(path);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    io_fail("connect to " + path);
+  }
   return fd;
 }
 

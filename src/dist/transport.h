@@ -90,4 +90,11 @@ Fd tcp_listen(const std::string& spec);
 Fd tcp_accept(int listen_fd);
 Fd tcp_connect(const std::string& spec);
 
+/// Named AF_UNIX endpoints (`cacval serve --socket PATH` and its
+/// clients).  unix_listen unlinks a stale socket file first; the bound
+/// path is removed by the caller on shutdown, not here.
+Fd unix_listen(const std::string& path);
+Fd unix_accept(int listen_fd);
+Fd unix_connect(const std::string& path);
+
 }  // namespace cac::dist

@@ -174,7 +174,7 @@ std::optional<Frame> FrameReader::next() {
   }
   const auto type = static_cast<std::uint8_t>(h[5]);
   if (type < static_cast<std::uint8_t>(FrameType::kSetup) ||
-      type > static_cast<std::uint8_t>(FrameType::kRollbackAck)) {
+      type > static_cast<std::uint8_t>(FrameType::kServeEvent)) {
     corrupt("unknown frame type " + std::to_string(type));
   }
   if (get_u16(h + 6) != 0) corrupt("nonzero reserved frame field");
@@ -207,6 +207,7 @@ void SetupMsg::encode(BinWriter& w) const {
   w.u64(generation);
   w.u32(die_worker);
   w.u64(die_after_states);
+  w.u64(die_after_generation);
   w.str(store_spill_dir);
   w.u64(store_resident_budget_bytes);
   w.u64(store_bloom_bits);
@@ -230,6 +231,7 @@ SetupMsg SetupMsg::decode(BinReader& r) {
   m.generation = r.u64();
   m.die_worker = r.u32();
   m.die_after_states = r.u64();
+  m.die_after_generation = r.u64();
   m.store_spill_dir = r.str();
   m.store_resident_budget_bytes = r.u64();
   m.store_bloom_bits = r.u64();

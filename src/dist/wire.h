@@ -110,12 +110,21 @@ enum class FrameType : std::uint8_t {
   // relaunched.
   kRollback = 16,     // coordinator -> worker: reload generation g
   kRollbackAck = 17,  // worker -> coordinator: rollback done
+  // verification-as-a-service (docs/serve.md): `cacval serve` and its
+  // clients exchange UTF-8 JSON documents as frame payloads, reusing
+  // this layer's checksummed length-prefixed framing verbatim.
+  kServeRequest = 18,   // client -> server: one job request
+  kServeResponse = 19,  // server -> client: the job's final response
+  kServeEvent = 20,     // server -> client: streamed progress event
 };
 
-// v3: SetupMsg carries the transient store-tier knobs (they are not
-// part of codec::encode_options, which persists structural fields
-// only) and the kRollback/kRollbackAck recovery frames exist.
-constexpr std::uint8_t kProtoVersion = 3;
+// v4: the kServeRequest/kServeResponse/kServeEvent frames exist
+// (JSON payloads for the verification service) and SetupMsg carries
+// die_after_generation.  v3 added the
+// transient store-tier knobs to SetupMsg (they are not part of
+// codec::encode_options, which persists structural fields only) and
+// the kRollback/kRollbackAck recovery frames.
+constexpr std::uint8_t kProtoVersion = 4;
 constexpr std::size_t kFrameHeaderSize = 4 + 1 + 1 + 2 + 4 + 8;
 /// Upper bound on one payload: a graph part carries a whole partition,
 /// so the cap is generous — it exists to reject length lies, not to
@@ -178,6 +187,10 @@ struct SetupMsg {
   /// so relaunched workers survive.
   std::uint32_t die_worker = kNoWorker;
   std::uint64_t die_after_states = 0;
+  /// Hold the death until a checkpoint for generation >= this has been
+  /// written by this worker and the coordinator resumed it (0 = no
+  /// gate); see DistOptions::die_after_generation.
+  std::uint64_t die_after_generation = 0;
   /// Transient store-tier knobs (sched::ExploreOptions::store_*).  Set
   /// explicitly because codec::encode_options persists structural
   /// fields only; the coordinator divides the run's resident budget by

@@ -221,7 +221,12 @@ class Worker {
   void die_check() {
     if (setup_.die_worker == setup_.worker_index &&
         setup_.die_after_states != 0 &&
-        store_->size() >= setup_.die_after_states) {
+        store_->size() >= setup_.die_after_states &&
+        ckpt_written_gen_ >= setup_.die_after_generation) {
+      // The generation gate makes the piecemeal drill deterministic:
+      // die_check only runs while unpaused, and the coordinator
+      // resumes the fleet strictly after committing the manifest, so
+      // ckpt_written_gen_ >= G here implies generation G is committed.
       ::kill(::getpid(), SIGKILL);
     }
   }
@@ -467,6 +472,7 @@ class Worker {
           worker_checkpoint_path(setup_.checkpoint_base, m.generation,
                                  setup_.worker_index),
           FrameType::kWorkerCheckpoint, w.buffer());
+      ckpt_written_gen_ = m.generation;
       ack.ok = 1;
     } catch (const std::exception& e) {
       ack.ok = 0;
@@ -568,6 +574,9 @@ class Worker {
   SetupMsg setup_;
   bool have_setup_ = false;
   bool paused_ = false;
+  /// Highest generation this worker has written a checkpoint for
+  /// (gates the die seam, see die_check()).
+  std::uint64_t ckpt_written_gen_ = 0;
   bool stop_ = false;
 
   // Pointers so a kRollback can discard and rebuild them wholesale

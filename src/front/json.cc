@@ -1,0 +1,418 @@
+#include "front/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cac::front {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- writer ----------------------------------------------------------
+
+void JsonWriter::pre_value() {
+  if (nest_.empty()) {
+    if (!out_.empty()) throw JsonError("second top-level value");
+    return;
+  }
+  const char ctx = nest_.back();
+  if (ctx == 'o') throw JsonError("value in object without a key");
+  if (ctx == 'v') {
+    nest_.back() = 'o';  // key consumed by this value
+    return;
+  }
+  // array
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_obj() {
+  pre_value();
+  out_ += '{';
+  nest_ += 'o';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_obj() {
+  if (nest_.empty() || nest_.back() != 'o') {
+    throw JsonError("end_obj outside an object");
+  }
+  out_ += '}';
+  nest_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_arr() {
+  pre_value();
+  out_ += '[';
+  nest_ += 'a';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_arr() {
+  if (nest_.empty() || nest_.back() != 'a') {
+    throw JsonError("end_arr outside an array");
+  }
+  out_ += ']';
+  nest_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (nest_.empty() || nest_.back() != 'o') {
+    throw JsonError("key outside an object");
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  nest_.back() = 'v';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  pre_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  pre_value();
+  out_.append(json);
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  if (!nest_.empty()) throw JsonError("unbalanced writer");
+  if (out_.empty()) throw JsonError("empty document");
+  return std::move(out_);
+}
+
+// --- parser ----------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (s_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // needed by any producer in this repo; reject them).
+          if (v >= 0xd800 && v <= 0xdfff) fail("surrogate \\u escape");
+          if (v < 0x80) {
+            out += static_cast<char>(v);
+          } else if (v < 0x800) {
+            out += static_cast<char>(0xc0 | (v >> 6));
+            out += static_cast<char>(0x80 | (v & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (v >> 12));
+            out += static_cast<char>(0x80 | ((v >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (v & 0x3f));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    const bool neg = consume('-');
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      fail("malformed number");
+    }
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    bool floating = false;
+    if (consume('.')) {
+      floating = true;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("malformed fraction");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      floating = true;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        fail("malformed exponent");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string text(s_.substr(start, pos_ - start));
+    JsonValue v;
+    if (floating) {
+      v.kind = JsonValue::Kind::Double;
+      v.d = std::strtod(text.c_str(), nullptr);
+      return v;
+    }
+    errno = 0;
+    if (neg) {
+      v.kind = JsonValue::Kind::Int;
+      v.i = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) fail("integer out of range");
+    } else {
+      v.kind = JsonValue::Kind::Uint;
+      v.u = std::strtoull(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) fail("integer out of range");
+    }
+    return v;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::Object;
+      skip_ws();
+      if (consume('}')) return v;
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.obj.emplace_back(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        if (consume(',')) continue;
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::Array;
+      skip_ws();
+      if (consume(']')) return v;
+      for (;;) {
+        v.arr.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (consume(',')) continue;
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_word("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.b = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.b = false;
+      return v;
+    }
+    if (consume_word("null")) return v;
+    return parse_number();
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind == Kind::Uint) return u;
+  if (kind == Kind::Int && i >= 0) return static_cast<std::uint64_t>(i);
+  throw JsonError("json: expected an unsigned integer");
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (kind == Kind::Int) return i;
+  if (kind == Kind::Uint && u <= static_cast<std::uint64_t>(INT64_MAX)) {
+    return static_cast<std::int64_t>(u);
+  }
+  throw JsonError("json: expected an integer");
+}
+
+bool JsonValue::as_bool() const {
+  if (kind != Kind::Bool) throw JsonError("json: expected a bool");
+  return b;
+}
+
+const std::string& JsonValue::as_str() const {
+  if (kind != Kind::String) throw JsonError("json: expected a string");
+  return str;
+}
+
+std::uint64_t JsonValue::u64_or(std::string_view key,
+                                std::uint64_t dflt) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? dflt : v->as_u64();
+}
+
+bool JsonValue::bool_or(std::string_view key, bool dflt) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? dflt : v->as_bool();
+}
+
+std::string JsonValue::str_or(std::string_view key,
+                              const std::string& dflt) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? dflt : v->as_str();
+}
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace cac::front

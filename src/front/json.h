@@ -1,0 +1,111 @@
+// Minimal JSON layer for the verification service (docs/serve.md).
+//
+// Two halves, both dependency-free:
+//
+//  * JsonWriter — an append-only emitter with automatic comma and
+//    nesting management.  Field order is exactly call order, and every
+//    number is emitted as a decimal integer, so two runs that compute
+//    the same values produce byte-identical documents — the property
+//    the verdict cache and the crash drill's "byte-identical verdict"
+//    assertions rest on.
+//  * json_parse — a strict recursive-descent reader used by the server
+//    and client for request/response payloads.  Untrusted input:
+//    malformed documents raise JsonError (never a crash), depth and
+//    size are bounded, and trailing junk is rejected.
+//
+// This is deliberately not a general-purpose JSON library: no floats
+// on the write side (stats are integers; derived ratios are scaled to
+// integer permille), numbers parse into int64/uint64/double as needed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cac::front {
+
+/// Malformed JSON input (parse side) or emitter misuse (write side).
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::string json_escape(std::string_view s);
+
+/// Streaming emitter.  Usage:
+///   JsonWriter w;
+///   w.begin_obj().key("a").value(1).key("b").begin_arr().value("x")
+///    .end_arr().end_obj();
+///   std::string doc = w.take();
+class JsonWriter {
+ public:
+  JsonWriter& begin_obj();
+  JsonWriter& end_obj();
+  JsonWriter& begin_arr();
+  JsonWriter& end_arr();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value_null();
+  /// Splice an already-serialized JSON document in value position.
+  JsonWriter& raw(std::string_view json);
+
+  /// The finished document; the writer must be balanced.
+  std::string take();
+
+ private:
+  void pre_value();
+  std::string out_;
+  /// Nesting stack: 'o' = object (expecting key), 'v' = object
+  /// (expecting value after key), 'a' = array.
+  std::string nest_;
+  std::vector<bool> first_;
+};
+
+/// Parsed JSON value.  Object member order is preserved (vector of
+/// pairs) so documents round-trip deterministically.
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Int, Uint, Double, String,
+                                   Array, Object };
+  Kind kind = Kind::Null;
+  bool b = false;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  [[nodiscard]] bool is_obj() const { return kind == Kind::Object; }
+  [[nodiscard]] bool is_arr() const { return kind == Kind::Array; }
+  /// Object member by key, or nullptr.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+  /// Typed accessors; throw JsonError on a kind mismatch.
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] const std::string& as_str() const;
+  /// Object member coerced with a default when absent.
+  [[nodiscard]] std::uint64_t u64_or(std::string_view key,
+                                     std::uint64_t dflt) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool dflt) const;
+  [[nodiscard]] std::string str_or(std::string_view key,
+                                   const std::string& dflt) const;
+};
+
+/// Strict parse of one complete document; throws JsonError on anything
+/// malformed, over-deep (>64 levels), or followed by trailing junk.
+JsonValue json_parse(std::string_view text);
+
+}  // namespace cac::front

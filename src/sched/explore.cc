@@ -213,6 +213,10 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
       (!opts.checkpoint_path.empty() && opts.checkpoint_every_states != 0)
           ? result.states_visited + opts.checkpoint_every_states
           : ~0ull;
+  std::uint64_t next_progress_at =
+      (opts.progress_fn && opts.progress_every_states != 0)
+          ? result.states_visited + opts.progress_every_states
+          : ~0ull;
   std::uint64_t iter = 0;
 
   auto write_checkpoint = [&] {
@@ -294,6 +298,12 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
       write_checkpoint();
       next_checkpoint_at =
           result.states_visited + opts.checkpoint_every_states;
+    }
+    if (result.states_visited >= next_progress_at) {
+      opts.progress_fn({result.states_visited, result.transitions,
+                        static_cast<std::uint64_t>(stack.size())});
+      next_progress_at =
+          result.states_visited + opts.progress_every_states;
     }
 
     Frame& top = stack.back();

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,6 +94,25 @@ struct ExploreOptions {
   /// Limit::Interrupted) once this many distinct states have been
   /// visited (0 = never) — a deterministic kill point.
   std::uint64_t stop_after_states = 0;
+
+  // --- progress streaming (docs/serve.md) ----------------------------
+
+  /// A point-in-time snapshot of the run handed to progress_fn.
+  struct Progress {
+    std::uint64_t states_visited = 0;
+    std::uint64_t transitions = 0;
+    /// Discovered-but-unexpanded work: DFS stack depth (serial engine).
+    std::uint64_t frontier = 0;
+  };
+  /// When set, called from the engine's cut point every
+  /// progress_every_states further distinct states (serial engine; the
+  /// parallel/distributed engines report completion only).  Transient:
+  /// never checkpointed, never part of resume compatibility, and must
+  /// not mutate the exploration.  `cacval serve` streams these to
+  /// clients as progress events.
+  std::function<void(const Progress&)> progress_fn;
+  /// Cadence for progress_fn (0 disables even when the hook is set).
+  std::uint64_t progress_every_states = 0;
 
   // --- tiered state store (docs/explorer.md) -------------------------
   // Like the budgets above these are transient resource policy: they

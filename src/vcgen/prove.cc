@@ -45,6 +45,7 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
     result.paths += summary.paths.size();
     for (const SymPath& p : summary.paths) {
       if (!p.ok() || !p.exited) {
+        result.inconclusive = true;
         result.detail = "thread " + std::to_string(tid) +
                         ": symbolic path failed: " + p.failure;
         return result;
@@ -145,8 +146,17 @@ ProofResult prove_equivalent(const ptx::Program& a, const ptx::Program& b,
     const ThreadSummary sb = sym_execute_thread(b, kc, tid, env, opts);
     result.paths += sa.paths.size() + sb.paths.size();
     if (!sa.all_ok() || !sb.all_ok()) {
+      std::string why;
+      for (const ThreadSummary* s : {&sa, &sb}) {
+        for (const SymPath& p : s->paths) {
+          if (!p.ok()) { why = p.failure; break; }
+        }
+        if (!why.empty()) break;
+      }
+      result.inconclusive = true;
       result.detail = "thread " + std::to_string(tid) +
-                      ": a symbolic path failed";
+                      ": a symbolic path failed" +
+                      (why.empty() ? "" : ": " + why);
       return result;
     }
     if (sa.paths.size() != sb.paths.size()) {
@@ -200,6 +210,7 @@ ProofResult prove_block_writes(
   result.threads = kc.threads_per_block();
   result.paths = 1;
   if (!s.ok) {
+    result.inconclusive = true;
     result.detail = "block execution failed: " + s.failure;
     return result;
   }

@@ -33,6 +33,12 @@ namespace cac::vcgen {
 
 struct ProofResult {
   bool proved = false;
+  /// Not-proved-but-not-refuted: a symbolic path failed (step/path
+  /// bound exceeded, unsupported construct) before any obligation was
+  /// refuted, so no conclusion follows.  Front ends report this as a
+  /// tripped limit (exit 3) rather than a refutation (exit 1) —
+  /// docs/api.md's exit-code convention.
+  bool inconclusive = false;
   std::string detail;             // first failing obligation, or stats
   std::uint32_t threads = 0;      // threads analyzed
   std::size_t paths = 0;          // total symbolic paths

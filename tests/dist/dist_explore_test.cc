@@ -325,14 +325,20 @@ TEST(DistExplore, WorkerDeathPiecemealRestartsOnlyTheDeadWorker) {
   const ExploreResult serial =
       sched::explore(prg, kc, init, ExploreOptions{});
 
-  const std::string base = testing::TempDir() + "dist_piecemeal";
+  const std::string base = testing::TempDir() + "dist_piecemeal." +
+                           std::to_string(::getpid());
   ExploreOptions opts;
   opts.checkpoint_path = base;
-  opts.checkpoint_every_states = 30;  // several generations before death
+  opts.checkpoint_every_states = 30;
   DistOptions dopts;
   dopts.n_workers = 3;
   dopts.die_worker = 1;
-  dopts.die_after_states = 80;
+  // Die on the first state owned after generation 1 commits: the
+  // generation gate is what guarantees the piecemeal precondition
+  // (committed_gen_ >= 1) regardless of scheduling, making this test
+  // deterministic under load.
+  dopts.die_after_states = 1;
+  dopts.die_after_generation = 1;
   const DistResult r = explore_distributed(prg, kc, init, opts, dopts);
   expect_identical(serial, r.result, "after piecemeal recovery");
   ASSERT_GE(r.stats.restarts, 1u);

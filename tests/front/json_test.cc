@@ -1,0 +1,103 @@
+// The JSON layer under the service: deterministic emission and strict
+// parsing of untrusted payloads.
+#include "front/json.h"
+
+#include <gtest/gtest.h>
+
+namespace cac::front {
+namespace {
+
+TEST(JsonWriter, EmitsInCallOrder) {
+  JsonWriter w;
+  w.begin_obj()
+      .key("b").value(std::uint64_t{2})
+      .key("a").value("x")
+      .key("list").begin_arr().value(true).value_null().end_arr()
+      .end_obj();
+  EXPECT_EQ(w.take(), R"({"b":2,"a":"x","list":[true,null]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_obj().key("s").value("a\"b\\c\n\t\x01").end_obj();
+  EXPECT_EQ(w.take(), "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  JsonWriter w;
+  w.begin_obj().key("inner").raw(R"([1,2,{"k":"v"}])").end_obj();
+  EXPECT_EQ(w.take(), R"({"inner":[1,2,{"k":"v"}]})");
+}
+
+TEST(JsonWriter, SignedAndUnsigned) {
+  JsonWriter w;
+  w.begin_arr()
+      .value(std::int64_t{-5})
+      .value(std::uint64_t{18446744073709551615ull})
+      .end_arr();
+  EXPECT_EQ(w.take(), "[-5,18446744073709551615]");
+}
+
+TEST(JsonWriter, IdenticalInputsIdenticalBytes) {
+  auto emit = [] {
+    JsonWriter w;
+    w.begin_obj().key("n").value(std::uint64_t{7}).key("ok").value(true)
+        .end_obj();
+    return w.take();
+  };
+  EXPECT_EQ(emit(), emit());
+}
+
+TEST(JsonParse, RoundTripsDocument) {
+  const std::string doc =
+      R"({"cmd":"check","n":3,"neg":-4,"ok":true,"arr":[1,"two",null]})";
+  const JsonValue v = json_parse(doc);
+  ASSERT_TRUE(v.is_obj());
+  EXPECT_EQ(v.str_or("cmd", ""), "check");
+  EXPECT_EQ(v.u64_or("n", 0), 3u);
+  EXPECT_EQ(v.get("neg")->as_i64(), -4);
+  EXPECT_TRUE(v.bool_or("ok", false));
+  ASSERT_TRUE(v.get("arr")->is_arr());
+  EXPECT_EQ(v.get("arr")->arr.size(), 3u);
+  EXPECT_EQ(v.get("arr")->arr[1].as_str(), "two");
+}
+
+TEST(JsonParse, PreservesMemberOrder) {
+  const JsonValue v = json_parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(v.obj.size(), 3u);
+  EXPECT_EQ(v.obj[0].first, "z");
+  EXPECT_EQ(v.obj[1].first, "a");
+  EXPECT_EQ(v.obj[2].first, "m");
+}
+
+TEST(JsonParse, DecodesEscapes) {
+  const JsonValue v = json_parse(R"({"s":"a\"b\\c\nA"})");
+  EXPECT_EQ(v.str_or("s", ""), "a\"b\\c\nA");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(json_parse(""), JsonError);
+  EXPECT_THROW(json_parse("{"), JsonError);
+  EXPECT_THROW(json_parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(json_parse("[1,2,]"), JsonError);
+  EXPECT_THROW(json_parse("{} trailing"), JsonError);
+  EXPECT_THROW(json_parse("nul"), JsonError);
+  EXPECT_THROW(json_parse("\"unterminated"), JsonError);
+}
+
+TEST(JsonParse, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_THROW(json_parse(deep), JsonError);
+}
+
+TEST(JsonParse, TypedAccessorsThrowOnMismatch) {
+  const JsonValue v = json_parse(R"({"s":"x","n":1})");
+  EXPECT_THROW(static_cast<void>(v.get("s")->as_u64()), JsonError);
+  EXPECT_THROW(static_cast<void>(v.get("n")->as_str()), JsonError);
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace cac::front

@@ -1,0 +1,263 @@
+// Integration tests for the verification server: concurrent
+// submissions, in-flight dedup, cache-hit replay, journal recovery,
+// and protocol error handling — all in-process over a real AF_UNIX
+// socket.
+#include "front/serve.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "front/cache.h"
+
+namespace cac::front {
+namespace {
+
+std::string data(const std::string& name) {
+  std::ifstream in(std::string(CAC_SOURCE_DIR) + "/tests/data/" + name,
+                   std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+CheckRequest racy_check(std::uint32_t grid_x) {
+  CheckRequest r;
+  r.file = "racy.ptx";
+  r.source = data("racy.ptx");
+  r.launch.grid = {grid_x, 1, 1};
+  r.launch.block = {1, 1, 1};
+  r.launch.warp_size = 1;
+  r.launch.global_bytes = 64;
+  r.launch.params = {{"out", 0}};
+  r.explore.max_depth = 1u << 20;
+  return r;
+}
+
+/// A running server on a fresh socket (and optional state dir) that
+/// tears itself down.
+struct TestServer {
+  explicit TestServer(bool persistent, std::uint32_t workers = 2) {
+    dir = std::filesystem::temp_directory_path() /
+          ("cac_serve_test_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
+    std::filesystem::create_directories(dir);
+    ServeOptions opts;
+    opts.unix_path = dir / "sock";
+    opts.workers = workers;
+    if (persistent) opts.state_dir = dir / "state";
+    server = std::make_unique<Server>(std::move(opts));
+    server->start();
+  }
+
+  ~TestServer() {
+    server->stop();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  Client connect() { return Client::connect(dir / "sock"); }
+
+  std::filesystem::path dir;
+  std::unique_ptr<Server> server;
+  static inline int counter = 0;
+};
+
+TEST(Serve, PingAndStats) {
+  TestServer ts(false);
+  Client client = ts.connect();
+  const Client::Reply pong = client.call(R"({"command":"ping"})");
+  EXPECT_EQ(pong.doc.str_or("status", ""), "ok");
+  EXPECT_TRUE(pong.doc.bool_or("pong", false));
+  const Client::Reply stats = client.call(R"({"command":"stats"})");
+  EXPECT_EQ(stats.doc.str_or("status", ""), "ok");
+  EXPECT_EQ(stats.doc.get("stats")->u64_or("requests", 99), 0u);
+}
+
+TEST(Serve, ColdRunThenByteIdenticalCacheHit) {
+  TestServer ts(false);
+  Client client = ts.connect();
+  const std::string payload = to_json(Request{racy_check(2)});
+  const Client::Reply cold = client.call(payload);
+  ASSERT_EQ(cold.doc.str_or("status", ""), "ok");
+  EXPECT_FALSE(cold.doc.bool_or("cached", true));
+  const Client::Reply warm = client.call(payload);
+  ASSERT_EQ(warm.doc.str_or("status", ""), "ok");
+  EXPECT_TRUE(warm.doc.bool_or("cached", false));
+  // The cached response replays the original results bytes.
+  const auto body = [](const std::string& raw) {
+    const std::size_t at = raw.find("\"results\":");
+    return raw.substr(at);
+  };
+  EXPECT_EQ(body(cold.raw), body(warm.raw));
+  const ServeStats s = ts.server->stats();
+  EXPECT_EQ(s.jobs_run, 1u);
+  EXPECT_EQ(s.cache.hits, 1u);
+}
+
+TEST(Serve, EquivalentSourcesShareACacheEntry) {
+  TestServer ts(false);
+  Client client = ts.connect();
+  CheckRequest a = racy_check(2);
+  CheckRequest b = racy_check(2);
+  b.source = "// cosmetic comment\n" + b.source + "\n";
+  b.file = "renamed.ptx";
+  ASSERT_EQ(cache_key(Request{a}), cache_key(Request{b}));
+  client.call(to_json(Request{a}));
+  const Client::Reply warm = client.call(to_json(Request{b}));
+  EXPECT_TRUE(warm.doc.bool_or("cached", false));
+  EXPECT_EQ(ts.server->stats().jobs_run, 1u);
+}
+
+TEST(Serve, ConcurrentIdenticalSubmissionsRunOnce) {
+  TestServer ts(true, 4);
+  // grid 4 explores long enough (~1s) that all clients overlap one
+  // in-flight execution.
+  const std::string payload = to_json(Request{racy_check(4)});
+  constexpr int kClients = 6;
+  std::vector<std::string> bodies(kClients);
+  std::vector<int> codes(kClients, -1);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        Client client = ts.connect();
+        const Client::Reply r = client.call(payload);
+        const std::size_t at = r.raw.find("\"results\":");
+        bodies[i] = at == std::string::npos ? r.raw : r.raw.substr(at);
+        codes[i] = static_cast<int>(r.doc.u64_or("exit_code", 99));
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(bodies[i], bodies[0]) << "client " << i;
+    EXPECT_EQ(codes[i], codes[0]);
+  }
+  const ServeStats s = ts.server->stats();
+  EXPECT_EQ(s.jobs_run, 1u);  // dedup + cache absorbed the rest
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.jobs_deduped + s.cache.hits,
+            static_cast<std::uint64_t>(kClients - 1));
+}
+
+TEST(Serve, DistinctJobsRunConcurrently) {
+  TestServer ts(false, 4);
+  std::vector<std::uint32_t> grids = {2, 3};
+  std::vector<std::string> statuses(grids.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Client client = ts.connect();
+      const Client::Reply r = client.call(to_json(Request{racy_check(grids[i])}));
+      statuses[i] = r.doc.str_or("status", "");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(statuses[0], "ok");
+  EXPECT_EQ(statuses[1], "ok");
+  EXPECT_EQ(ts.server->stats().jobs_run, 2u);
+}
+
+TEST(Serve, ProgressEventsStream) {
+  TestServer ts(false);
+  Client client = ts.connect();
+  std::string payload = to_json(Request{racy_check(3)});
+  payload.insert(payload.size() - 1, ",\"progress\":50");
+  std::uint64_t events = 0;
+  std::uint64_t last_states = 0;
+  const Client::Reply r = client.call(payload, [&](const JsonValue& ev) {
+    if (ev.str_or("event", "") == "progress") {
+      ++events;
+      last_states = ev.u64_or("states", 0);
+    }
+  });
+  EXPECT_EQ(r.doc.str_or("status", ""), "ok");
+  EXPECT_GT(events, 0u);
+  EXPECT_GT(last_states, 0u);
+}
+
+TEST(Serve, MalformedPayloadIsError) {
+  TestServer ts(false);
+  Client client = ts.connect();
+  const Client::Reply r = client.call("{not json");
+  EXPECT_EQ(r.doc.str_or("status", ""), "error");
+  EXPECT_EQ(r.doc.u64_or("exit_code", 0), 2u);
+  // The connection survives an error response.
+  EXPECT_EQ(client.call(R"({"command":"ping"})").doc.str_or("status", ""),
+            "ok");
+}
+
+TEST(Serve, BadPtxIsUsageError) {
+  TestServer ts(false);
+  Client client = ts.connect();
+  CheckRequest req = racy_check(2);
+  req.source = "definitely not ptx";
+  const Client::Reply r = client.call(to_json(Request{req}));
+  EXPECT_EQ(r.doc.str_or("status", ""), "error");
+  EXPECT_EQ(r.doc.u64_or("exit_code", 0), 2u);
+}
+
+TEST(Serve, VerdictsPersistAcrossRestart) {
+  std::filesystem::path dir;
+  std::string cold_body;
+  const std::string payload = to_json(Request{racy_check(2)});
+  {
+    TestServer ts(true);
+    dir = ts.dir;
+    Client client = ts.connect();
+    const Client::Reply cold = client.call(payload);
+    ASSERT_EQ(cold.doc.str_or("status", ""), "ok");
+    cold_body = cold.raw.substr(cold.raw.find("\"results\":"));
+    // Keep the state dir alive past the TestServer destructor.
+    ServeOptions opts;
+    opts.unix_path = dir / "sock2";
+    opts.state_dir = dir / "state";
+    ts.server->stop();
+    Server second(std::move(opts));
+    second.start();
+    Client c2 = Client::connect(dir / "sock2");
+    const Client::Reply warm = c2.call(payload);
+    EXPECT_TRUE(warm.doc.bool_or("cached", false));
+    EXPECT_EQ(warm.raw.substr(warm.raw.find("\"results\":")), cold_body);
+    EXPECT_GE(second.stats().cache.disk_hits, 1u);
+    second.stop();
+  }
+}
+
+TEST(Serve, OrphanedJournalIsRecovered) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cac_serve_test_orphan_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir / "state" / "jobs");
+  // Plant a journal entry as a SIGKILLed server would leave it.
+  const Request req{racy_check(2)};
+  const CacheKey key = cache_key(req);
+  {
+    std::ofstream out(dir / "state" / "jobs" / (key.hex() + ".req.json"));
+    out << to_json(req);
+  }
+  ServeOptions opts;
+  opts.unix_path = dir / "sock";
+  opts.state_dir = dir / "state";
+  Server server(std::move(opts));
+  server.start();
+  EXPECT_EQ(server.stats().jobs_recovered, 1u);
+  // The recovered job completes and lands in the cache; a submission
+  // of the same request is then served without a fresh execution.
+  Client client = Client::connect(dir / "sock");
+  const Client::Reply r = client.call(to_json(req));
+  EXPECT_EQ(r.doc.str_or("status", ""), "ok");
+  server.stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace cac::front

@@ -232,6 +232,35 @@ def store_tiers_summary(benchmarks: list[dict]) -> list[dict]:
     return out
 
 
+def serve_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize BM_Serve* instances (bench_serve): cold round-trip
+    latency vs cached replay, the derived cache speedup, and sustained
+    requests/sec at each concurrent-client count."""
+    cold = cached = None
+    for b in benchmarks:
+        name = b.get("name", "")
+        if name.startswith("BM_ServeColdSubmission"):
+            cold = b
+        elif name.startswith("BM_ServeCachedSubmission"):
+            cached = b
+    out = []
+    for b in benchmarks:
+        name = b.get("name", "")
+        if not name.startswith("BM_Serve"):
+            continue
+        entry = {"name": name}
+        for k in ("clients", "jobs_run", "items_per_second", "real_time",
+                  "time_unit"):
+            if k in b:
+                entry[k] = b[k]
+        if (b is cached and cold and cold.get("real_time")
+                and b.get("real_time")):
+            entry["cache_speedup"] = round(
+                cold["real_time"] / b["real_time"], 1)
+        out.append(entry)
+    return out
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary", action="append", default=None,
@@ -299,6 +328,9 @@ def main() -> None:
     tiers = store_tiers_summary(benchmarks)
     if tiers:
         snapshot["store_tiers"] = tiers
+    serve = serve_summary(benchmarks)
+    if serve:
+        snapshot["serve"] = serve
     out = Path(args.out)
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {out} ({len(benchmarks)} benchmarks, "

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerate the committed JSON goldens in tests/front/golden/ after an
+# intentional schema change.  The test binary itself writes the files
+# (CAC_UPDATE_GOLDENS), so the goldens are by construction what the
+# GoldenJson suite compares against.
+#
+# Usage: tools/regen_front_goldens.sh [build-dir]   (default: build)
+set -eu
+build="${1:-build}"
+bin="$build/tests/test_front"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (cmake --build $build --target test_front)" >&2
+  exit 2
+fi
+mkdir -p "$(dirname "$0")/../tests/front/golden"
+CAC_UPDATE_GOLDENS=1 "$bin" --gtest_filter='GoldenJson.*'
+echo "goldens regenerated under tests/front/golden/ — review the diff"
