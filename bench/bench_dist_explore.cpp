@@ -24,6 +24,7 @@
 #include "ptx/lower.h"
 #include "sched/explore.h"
 #include "sem/launch.h"
+#include "support/fault.h"
 
 namespace {
 
@@ -116,6 +117,34 @@ BENCHMARK(BM_DistExplore)
     ->Args({4, 0})
     ->Args({0, 1})
     ->Args({2, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The same 2-worker fleet with the fault seam ARMED by a rule that
+/// can never match: every guarded syscall in the coordinator and the
+/// forked workers pays the slow path's lock + rule scan instead of
+/// one relaxed load.  Compared against BM_DistExplore workers=2 this
+/// bounds the chaos harness's observer effect on a real fleet run;
+/// with the seam disabled (every other bench here) the cost is zero
+/// by construction — BM_FaultSeamDisabled in bench_serve pins that.
+void BM_DistExploreSeamArmed(benchmark::State& state) {
+  const Workload w(2);
+  sched::ExploreOptions opts;
+  support::ScopedFaultPlan plan("op=none,path=never-*,nth=1,err=EIO");
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    dist::DistOptions dopts;
+    dopts.n_workers = 2;
+    const dist::DistResult r =
+        dist::explore_distributed(w.prg, w.kc, w.init, opts, dopts);
+    if (!r.result.exhaustive) throw KernelError("dist run not exhaustive");
+    total += r.result.states_visited;
+  }
+  state.counters["workers"] = 2.0;
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DistExploreSeamArmed)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

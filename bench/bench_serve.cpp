@@ -23,6 +23,7 @@
 
 #include "front/cache.h"
 #include "front/serve.h"
+#include "support/fault.h"
 
 namespace {
 
@@ -163,6 +164,12 @@ void BM_ServeThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(clients) * kPerClient);
   state.counters["clients"] = clients;
+  // Health counters (docs/robustness.md): all zero on a healthy box;
+  // a nonzero trajectory in BENCH_explore.json means the bench itself
+  // started absorbing faults.
+  const front::ServeStats ss = bs.server->stats();
+  state.counters["shed_requests"] = static_cast<double>(ss.shed_requests);
+  state.counters["reaped_clients"] = static_cast<double>(ss.reaped_clients);
 }
 BENCHMARK(BM_ServeThroughput)
     ->ArgName("clients")
@@ -171,6 +178,35 @@ BENCHMARK(BM_ServeThroughput)
     ->Arg(16)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/// What a *disabled* fault seam costs per guarded call site: one
+/// relaxed atomic load, nothing else.  This is the
+/// zero-overhead-when-disabled guard — tools/bench_to_json.py
+/// snapshots it (section `fault`), so any work creeping onto the fast
+/// path shows up as this number leaving the ~1ns band.
+void BM_FaultSeamDisabled(benchmark::State& state) {
+  if (support::fault_active()) {
+    throw std::runtime_error("fault seam unexpectedly armed");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::fault_check("write", "bench.ckpt"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultSeamDisabled);
+
+/// The armed-but-missing slow path (a plan is installed, but no rule
+/// matches this site): mutex + rule scan per call.  The gap between
+/// this and BM_FaultSeamDisabled is the chaos harness's own observer
+/// cost on every guarded syscall it does NOT perturb.
+void BM_FaultSeamArmedMiss(benchmark::State& state) {
+  support::ScopedFaultPlan plan("op=connect,path=never-*,nth=1,err=EIO");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::fault_check("write", "bench.ckpt"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultSeamArmedMiss);
 
 }  // namespace
 

@@ -634,6 +634,10 @@ class Coordinator {
         }
         case FrameType::kCheckpointAck: {
           const CheckpointAckMsg m = CheckpointAckMsg::decode(r);
+          // After a failed barrier disabled checkpointing, stragglers'
+          // acks from the abandoned attempt still arrive; they belong
+          // to no live barrier and must not throw (or satisfy) one.
+          if (ckpt_disabled_) break;
           if (m.ok == 0) {
             throw sched::CheckpointError(
                 sched::CheckpointError::Kind::Io,
@@ -946,7 +950,7 @@ class Coordinator {
         stop_reason = Limit::MaxStates;
       }
       if (stop_reason != Limit::None) break;
-      if (periodic && total_owned() >= next_ckpt_at) {
+      if (periodic && !ckpt_disabled_ && total_owned() >= next_ckpt_at) {
         try {
           write_generation();
         } catch (const WorkerDiedSignal& s) {
@@ -961,6 +965,16 @@ class Coordinator {
           }
           piecemeal_recover(s.worker);
           continue;
+        } catch (const sched::CheckpointError& e) {
+          // A full/failing disk on any worker (or under the manifest)
+          // must not end the run: drop checkpointing, resume the
+          // paused fleet, and explore on.  Only resumability is lost.
+          ++ckpt_write_failures_;
+          ckpt_disabled_ = true;
+          std::fprintf(stderr,
+                       "cacval: warning: distributed checkpoint failed; "
+                       "periodic checkpointing disabled: %s\n",
+                       e.what());
         }
         next_ckpt_at = total_owned() + opts_.checkpoint_every_states;
         broadcast_control(FrameType::kResume);
@@ -970,8 +984,21 @@ class Coordinator {
       if (quiescent(/*require_paused=*/false)) break;
     }
 
-    if (stop_reason != Limit::None && !opts_.checkpoint_path.empty()) {
-      write_generation();  // graceful stop: persist the frontier
+    if (stop_reason != Limit::None && !opts_.checkpoint_path.empty() &&
+        !ckpt_disabled_) {
+      try {
+        write_generation();  // graceful stop: persist the frontier
+      } catch (const sched::CheckpointError& e) {
+        // The verdict never depends on persistence: report the loss
+        // and carry on to the dump (workers are already paused and
+        // quiescent at the barrier's cut, which is all kDump needs).
+        ++ckpt_write_failures_;
+        ckpt_disabled_ = true;
+        std::fprintf(stderr,
+                     "cacval: warning: final distributed checkpoint "
+                     "failed; resuming will not be possible: %s\n",
+                     e.what());
+      }
     } else if (stop_reason != Limit::None) {
       // Still need a consistent cut before dumping the graph.
       broadcast_control(FrameType::kPause);
@@ -994,7 +1021,10 @@ class Coordinator {
     DistResult out;
     out.result = replay(g, opts_, stop_reason);
     out.result.checkpointed = checkpointed_;
+    out.result.checkpoint_write_failures = ckpt_write_failures_;
     out.stats = stats_;
+    out.stats.send_retries = transport_counters().send_retries;
+    out.stats.connect_retries = transport_counters().connect_retries;
     out.stats.workers.resize(dopts_.n_workers);
     for (std::uint32_t i = 0; i < dopts_.n_workers; ++i) {
       DistStats::PerWorker& w = out.stats.workers[i];
@@ -1019,6 +1049,7 @@ class Coordinator {
       t.delta_fragments += ss.delta_fragments;
       t.bloom_negatives += ss.bloom_negatives;
       t.bloom_false_positives += ss.bloom_false_positives;
+      t.degraded_spill += ss.degraded_spill;
     }
     return out;
   }
@@ -1053,6 +1084,11 @@ class Coordinator {
   bool stopping_ = false;
   bool die_cleared_ = false;
   bool checkpointed_ = false;
+  /// A checkpoint barrier failed (worker ENOSPC or manifest write):
+  /// checkpointing is off for the rest of the run and stale barrier
+  /// acks are discarded.  The exploration itself continues.
+  bool ckpt_disabled_ = false;
+  std::uint64_t ckpt_write_failures_ = 0;
   std::uint64_t coord_sent_work_ = 0;
 
   // resume / generations

@@ -71,6 +71,10 @@ struct DistStats {
   /// whole fleet.
   std::uint64_t piecemeal_restarts = 0;
   std::uint64_t generations = 0;
+  /// Transient transport faults absorbed by backoff (health signal:
+  /// nonzero means the run survived flaky I/O, not that it failed).
+  std::uint64_t send_retries = 0;
+  std::uint64_t connect_retries = 0;
 
   /// Shard-balance skew: largest partition over the ideal even share
   /// (1.0 = perfectly balanced).  0 when no states were owned.

@@ -9,6 +9,7 @@
 #include "sem/state.h"
 #include "support/binio.h"
 #include "support/hash.h"
+#include "support/io.h"
 
 namespace cac::dist {
 
@@ -22,6 +23,7 @@ std::string to_string(DistError::Kind k) {
     case DistError::Kind::Corrupt: return "corrupt";
     case DistError::Kind::Protocol: return "protocol";
     case DistError::Kind::PeerDied: return "peer-died";
+    case DistError::Kind::Timeout: return "timeout";
   }
   return "?";
 }
@@ -394,6 +396,7 @@ void GraphPartMsg::encode(BinWriter& w) const {
   w.u64(store_stats.delta_fragments);
   w.u64(store_stats.bloom_negatives);
   w.u64(store_stats.bloom_false_positives);
+  w.u64(store_stats.degraded_spill);
 }
 
 GraphPartMsg GraphPartMsg::decode(BinReader& r) {
@@ -421,6 +424,7 @@ GraphPartMsg GraphPartMsg::decode(BinReader& r) {
   m.store_stats.delta_fragments = r.u64();
   m.store_stats.bloom_negatives = r.u64();
   m.store_stats.bloom_false_positives = r.u64();
+  m.store_stats.degraded_spill = r.u64();
   return m;
 }
 
@@ -511,21 +515,10 @@ void encode_machine_as_state(const sem::Machine& m, BinWriter& w) {
 
 void write_frame_file(const std::string& path, FrameType type,
                       std::string_view payload) {
-  const std::string bytes = encode_frame(type, payload);
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    throw sched::CheckpointError(sched::CheckpointError::Kind::Io,
-                                 "cannot open " + tmp + " for writing");
-  }
-  const bool wrote =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
-      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-  std::fclose(f);
-  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw sched::CheckpointError(sched::CheckpointError::Kind::Io,
-                                 "cannot write " + path);
+  try {
+    support::write_file_atomic(path, encode_frame(type, payload));
+  } catch (const support::IoError& e) {
+    throw sched::CheckpointError(sched::CheckpointError::Kind::Io, e.what());
   }
 }
 

@@ -41,6 +41,7 @@ class DistError : public std::runtime_error {
     Corrupt,   // malformed frame: bad magic, checksum, truncation
     Protocol,  // well-formed frame that violates the protocol state
     PeerDied,  // a peer process vanished and recovery is exhausted
+    Timeout,   // a deadline expired waiting on a peer (retryable)
   };
 
   DistError(Kind kind, const std::string& msg)
@@ -118,13 +119,15 @@ enum class FrameType : std::uint8_t {
   kServeEvent = 20,     // server -> client: streamed progress event
 };
 
-// v4: the kServeRequest/kServeResponse/kServeEvent frames exist
+// v5: GraphPartMsg store stats carry degraded_spill (the worker's
+// spill tier failed and it degraded to resident-only).  v4 added the
+// kServeRequest/kServeResponse/kServeEvent frames
 // (JSON payloads for the verification service) and SetupMsg carries
 // die_after_generation.  v3 added the
 // transient store-tier knobs to SetupMsg (they are not part of
 // codec::encode_options, which persists structural fields only) and
 // the kRollback/kRollbackAck recovery frames.
-constexpr std::uint8_t kProtoVersion = 4;
+constexpr std::uint8_t kProtoVersion = 5;
 constexpr std::size_t kFrameHeaderSize = 4 + 1 + 1 + 2 + 4 + 8;
 /// Upper bound on one payload: a graph part carries a whole partition,
 /// so the cap is generous — it exists to reject length lies, not to

@@ -8,6 +8,7 @@
 #include "front/json.h"
 #include "ptx/lower.h"
 #include "support/hash.h"
+#include "support/io.h"
 
 namespace cac::front {
 
@@ -171,32 +172,28 @@ std::optional<VerdictCache::Entry> VerdictCache::get(const CacheKey& key) {
   }
   if (!opts_.dir.empty()) {
     // Fall back to the persistence directory (a pre-restart verdict).
-    std::ifstream in(path_for(key), std::ios::binary);
-    if (in) {
-      std::stringstream ss;
-      ss << in.rdbuf();
-      const std::string text = ss.str();
-      // Layout written by put(): {"exit_code":N,"results":<raw>}
-      const std::string tag = "\"results\":";
-      const std::size_t at = text.find(tag);
-      if (at != std::string::npos && !text.empty() && text.back() == '}') {
-        try {
-          const JsonValue doc = json_parse(text);
-          Entry e;
-          e.exit_code = static_cast<int>(doc.u64_or("exit_code", 0));
-          e.results_json =
-              text.substr(at + tag.size(), text.size() - at - tag.size() - 1);
-          lru_.push_front(Node{key, e});
-          index_[key.hex()] = lru_.begin();
-          resident_bytes_ += e.results_json.size();
-          evict_locked();
-          ++stats_.hits;
-          ++stats_.disk_hits;
-          return e;
-        } catch (const JsonError&) {
-          // Corrupt file (e.g. a torn write from a pre-rename crash
-          // path): treat as a miss; put() will rewrite it.
-        }
+    // Read failures — including injected ones — degrade to a miss.
+    const std::string text = support::read_file_or_empty(path_for(key));
+    // Layout written by put(): {"exit_code":N,"results":<raw>}
+    const std::string tag = "\"results\":";
+    const std::size_t at = text.find(tag);
+    if (at != std::string::npos && !text.empty() && text.back() == '}') {
+      try {
+        const JsonValue doc = json_parse(text);
+        Entry e;
+        e.exit_code = static_cast<int>(doc.u64_or("exit_code", 0));
+        e.results_json =
+            text.substr(at + tag.size(), text.size() - at - tag.size() - 1);
+        lru_.push_front(Node{key, e});
+        index_[key.hex()] = lru_.begin();
+        resident_bytes_ += e.results_json.size();
+        evict_locked();
+        ++stats_.hits;
+        ++stats_.disk_hits;
+        return e;
+      } catch (const JsonError&) {
+        // Corrupt file (e.g. a torn write from a pre-rename crash
+        // path): treat as a miss; put() will rewrite it.
       }
     }
   }
@@ -209,19 +206,13 @@ void VerdictCache::put(const CacheKey& key, Entry entry) {
   if (index_.find(key.hex()) != index_.end()) return;  // idempotent
   if (!opts_.dir.empty()) {
     // Atomic publish: never let a reader (or a crash) observe a torn
-    // entry.  Failures are silent — persistence is best-effort.
-    const std::string path = path_for(key);
-    const std::string tmp = path + ".tmp";
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (out) {
-      out << "{\"exit_code\":" << entry.exit_code << ",\"results\":"
-          << entry.results_json << "}";
-      out.close();
-      if (out.good()) {
-        std::rename(tmp.c_str(), path.c_str());
-      } else {
-        std::remove(tmp.c_str());
-      }
+    // entry.  Persistence is best-effort — a failed write costs only
+    // restart warm-up — but failures are counted, not silent.
+    std::string bytes = "{\"exit_code\":" + std::to_string(entry.exit_code) +
+                        ",\"results\":" + entry.results_json + "}";
+    if (!support::try_write_file_atomic(path_for(key), bytes,
+                                        /*sync=*/false)) {
+      ++stats_.persist_failures;
     }
   }
   resident_bytes_ += entry.results_json.size();

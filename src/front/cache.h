@@ -76,6 +76,9 @@ class VerdictCache {
     std::uint64_t evictions = 0;
     /// Memory misses served from the persistence directory.
     std::uint64_t disk_hits = 0;
+    /// Best-effort disk persists that failed (ENOSPC/EIO).  The entry
+    /// stays resident and correct; only restart warm-up is lost.
+    std::uint64_t persist_failures = 0;
   };
 
   VerdictCache();

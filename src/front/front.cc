@@ -65,6 +65,7 @@ void fill_exploration(Result& r, const sched::ExploreResult& ex,
   r.stats.max_states_limit = eopts.max_states;
   r.stats.max_depth_limit = eopts.max_depth;
   r.stats.store = ex.store_stats;
+  r.stats.checkpoint_write_failures = ex.checkpoint_write_failures;
   r.limit_tripped = ex.limit_hit != sched::ExploreResult::Limit::None;
   r.checkpointed = ex.checkpointed;
   if (ex.checkpointed) r.checkpoint_path = eopts.checkpoint_path;

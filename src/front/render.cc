@@ -69,6 +69,20 @@ std::string render_exploration(const Result& r) {
         100.0 * ss.bloom_hit_rate());
     out += buf;
   }
+  // Absorbed degradations (docs/robustness.md): reported here in the
+  // text rendering only — the verdict and the JSON schema are
+  // unaffected by persistence or capacity faults.
+  if (ss.degraded_spill != 0) {
+    out += "warning: spill tier degraded (" + u64s(ss.degraded_spill) +
+           " failure" + (ss.degraded_spill == 1 ? "" : "s") +
+           "); run completed resident-only\n";
+  }
+  if (r.stats.checkpoint_write_failures != 0) {
+    out += "warning: " + u64s(r.stats.checkpoint_write_failures) +
+           " checkpoint write failure" +
+           (r.stats.checkpoint_write_failures == 1 ? "" : "s") +
+           " (retried next cadence); verdict unaffected\n";
+  }
   return out;
 }
 

@@ -37,12 +37,20 @@ namespace cac::front {
 ///   3 — a limit tripped before a verdict (max-states/max-depth/
 ///       deadline/mem-limit, or the symbolic engine's path/step
 ///       bounds) — the run is inconclusive, not failed.
+///   4 — the server shed the request (queue full); retryable after
+///       the reply's retry_after_ms.
+///   5 — the server was unreachable within the client's timeout
+///       (connect retries exhausted, or it died mid-stream); retryable
+///       — resubmitting an identical request re-attaches to the
+///       journaled job.
 /// (128+signo remains the CLI's signal-interruption status.)
 enum ExitCode : int {
   kExitProved = 0,
   kExitFinding = 1,
   kExitUsage = 2,
   kExitLimit = 3,
+  kExitBusy = 4,
+  kExitUnreachable = 5,
 };
 
 /// `cacval check` / `cacval validate` — exhaustive model checking of
@@ -132,6 +140,11 @@ struct ResultStats {
   /// bytes depend on allocation timing and resume history, so they are
   /// deliberately excluded from the byte-identical JSON schema.
   sched::StateStore::Stats store;
+  /// Checkpoint writes that failed and were retried-next-cadence
+  /// (ENOSPC/EIO).  Text rendering + serve health counters only — a
+  /// machine-dependent fault count has no place in the byte-identical
+  /// JSON schema.
+  std::uint64_t checkpoint_write_failures = 0;
   /// Symbolic block (equiv).
   bool have_sym = false;
   std::uint64_t threads = 0;

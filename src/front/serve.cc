@@ -5,15 +5,16 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <thread>
 #include <utility>
 
 #include "dist/wire.h"
 #include "sched/checkpoint.h"
+#include "support/io.h"
 
 namespace cac::front {
 
@@ -90,26 +91,28 @@ bool file_exists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
-std::string read_file_or_empty(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return "";
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+/// The typed load-shedding reply (docs/robustness.md): retryable, with
+/// an advertised backoff, mapped to kExitBusy by clients.
+std::string make_busy(const std::string& message) {
+  JsonWriter w;
+  w.begin_obj()
+      .key("status").value("busy")
+      .key("error").value(message)
+      .key("retry_after_ms").value(250)
+      .key("exit_code").value(static_cast<int>(kExitBusy))
+      .end_obj();
+  return w.take();
 }
 
-/// Atomic small-file write (tmp + rename); best-effort.
-void write_file_atomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) return;
-  out << bytes;
-  out.close();
-  if (out.good()) {
-    std::rename(tmp.c_str(), path.c_str());
-  } else {
-    std::remove(tmp.c_str());
-  }
+/// Is the client on `fd` still there?  A connection waiting on a slow
+/// job probes with MSG_PEEK so a vanished client can be reaped instead
+/// of anchoring a job nobody will read.
+bool client_alive(int fd) {
+  char b = 0;
+  const ssize_t n = ::recv(fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n > 0) return true;                              // pipelined bytes
+  if (n == 0) return false;                            // orderly EOF
+  return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
 }
 
 }  // namespace
@@ -127,7 +130,16 @@ struct Server::Job {
   std::condition_variable cv;
   bool done = false;
   bool ok = false;
+  /// A worker has dequeued the job (it can no longer be reaped).
+  bool running = false;
+  /// Connections currently blocked on this job.  When the last one
+  /// vanishes before a worker picks the job up, the job is reaped.
+  int waiters = 0;
   std::string error;
+  /// Exit code carried by an error outcome: kExitUsage for
+  /// deterministic failures, kExitUnreachable for a shutdown race
+  /// (retryable — resubmit to the restarted server).
+  int error_exit = kExitUsage;
   VerdictCache::Entry entry;
   /// Progress subscribers (connections that asked for events).  Called
   /// under mu from the exploring thread; must not throw.
@@ -197,6 +209,7 @@ void Server::stop() {
       job->done = true;
       job->ok = false;
       job->error = "server shutting down";
+      job->error_exit = kExitUnreachable;  // retryable: journal survives
       job->cv.notify_all();
     }
     queue_.clear();
@@ -242,6 +255,9 @@ ServeStats Server::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServeStats s = stats_;
   s.cache = cache_.stats();
+  const dist::TransportCounters tc = dist::transport_counters();
+  s.send_retries = tc.send_retries;
+  s.connect_retries = tc.connect_retries;
   return s;
 }
 
@@ -282,6 +298,7 @@ void Server::handle_connection(int fd) {
       std::string response;
       if (frame.type == dist::FrameType::kServeRequest) {
         response = handle_request(fd, write_mu, frame.payload);
+        if (response.empty()) break;  // client vanished mid-wait
       } else {
         response = make_error("unexpected frame type", kExitUsage);
       }
@@ -330,11 +347,19 @@ std::string Server::handle_request(int fd, std::mutex& write_mu,
         .key("jobs_deduped").value(s.jobs_deduped)
         .key("rejected").value(s.rejected)
         .key("errors").value(s.errors)
+        .key("shed_requests").value(s.shed_requests)
+        .key("reaped_clients").value(s.reaped_clients)
+        .key("degraded_spill").value(s.degraded_spill)
+        .key("checkpoint_write_failures").value(s.checkpoint_write_failures)
+        .key("journal_failures").value(s.journal_failures)
+        .key("send_retries").value(s.send_retries)
+        .key("connect_retries").value(s.connect_retries)
         .key("cache_hits").value(s.cache.hits)
         .key("cache_misses").value(s.cache.misses)
         .key("cache_insertions").value(s.cache.insertions)
         .key("cache_evictions").value(s.cache.evictions)
         .key("cache_disk_hits").value(s.cache.disk_hits)
+        .key("cache_persist_failures").value(s.cache.persist_failures)
         .end_obj().end_obj();
     return w.take();
   }
@@ -386,8 +411,11 @@ std::string Server::handle_request(int fd, std::mutex& write_mu,
   const JobPtr job =
       admit(req, key, text, progress_every, false, &error, std::move(sub));
   if (job == nullptr) {
-    // Queue full: a resource limit, not a client mistake.
-    return make_error(error, kExitLimit);
+    // Queue full: shed the request with the typed retryable reply —
+    // the client backs off retry_after_ms and resubmits.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_requests;
+    return make_busy(error);
   }
 
   {
@@ -400,14 +428,63 @@ std::string Server::handle_request(int fd, std::mutex& write_mu,
     }
   }
 
-  std::unique_lock<std::mutex> jl(job->mu);
-  job->cv.wait(jl, [&] { return job->done; });
-  if (!job->ok) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.errors;
-    return make_error(job->error, kExitUsage);
+  // Wait for the verdict, probing the client between waits: a vanished
+  // client must not anchor a queued job nobody will ever read.
+  {
+    std::unique_lock<std::mutex> jl(job->mu);
+    ++job->waiters;
+    while (!job->done) {
+      job->cv.wait_for(jl, std::chrono::milliseconds(100));
+      if (job->done) break;
+      if (!client_alive(fd)) {
+        --job->waiters;
+        const bool last = job->waiters == 0 && !job->running;
+        jl.unlock();
+        if (last) reap_if_queued(job);
+        return "";  // sentinel: close the connection, send nothing
+      }
+    }
+    --job->waiters;
+    if (!job->ok) {
+      const std::string msg = job->error;
+      const int code = job->error_exit;
+      jl.unlock();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.errors;
+      return make_error(msg, code);
+    }
   }
+  std::lock_guard<std::mutex> jl(job->mu);
   return make_response(false, key, elapsed_us(t0), job->entry);
+}
+
+/// Remove `job` from the queue if no worker has claimed it: the last
+/// waiting client vanished, so running it would burn a worker on a
+/// verdict nobody reads.  Queue membership under mu_ is authoritative
+/// (worker_loop pops under mu_), so there is no race with pickup.
+void Server::reap_if_queued(const JobPtr& job) {
+  bool reaped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(queue_.begin(), queue_.end(), job);
+    if (it == queue_.end()) return;  // a worker owns it now
+    {
+      // Re-check under job->mu: a late dedup joiner may be waiting.
+      std::lock_guard<std::mutex> jl(job->mu);
+      if (job->waiters != 0 || job->recovered) return;
+    }
+    queue_.erase(it);
+    inflight_.erase(job->key.hex());
+    ++stats_.reaped_clients;
+    reaped = true;
+  }
+  if (reaped) {
+    journal_erase(*job);
+    if (opts_.verbose) {
+      std::fprintf(stderr, "serve: job %s reaped (client vanished)\n",
+                   job->key.hex().c_str());
+    }
+  }
 }
 
 Server::JobPtr Server::admit(const Request& req, const CacheKey& key,
@@ -466,6 +543,12 @@ void Server::worker_loop() {
       job = queue_.front();
       queue_.pop_front();
       ++stats_.jobs_run;
+    }
+    {
+      // Past this point the job cannot be reaped (reap_if_queued only
+      // touches jobs still in queue_, checked under mu_ above).
+      std::lock_guard<std::mutex> jl(job->mu);
+      job->running = true;
     }
     execute(job);
   }
@@ -534,6 +617,15 @@ void Server::execute(const JobPtr& job) {
   }
   try {
     const std::vector<Result> results = run(req, hooks);
+    {
+      // Health counters: degradations the run absorbed.  None of
+      // these appears in the results JSON (byte-identical verdicts).
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Result& r : results) {
+        stats_.degraded_spill += r.stats.store.degraded_spill;
+        stats_.checkpoint_write_failures += r.stats.checkpoint_write_failures;
+      }
+    }
     VerdictCache::Entry entry;
     entry.exit_code = exit_code_of(results);
     entry.results_json = to_json(results);
@@ -572,9 +664,15 @@ void Server::execute(const JobPtr& job) {
 
 void Server::journal_write(const Job& job) {
   if (opts_.state_dir.empty()) return;
-  write_file_atomic(
-      opts_.state_dir + "/jobs/" + job.key.hex() + ".req.json",
-      job.req_json);
+  // Best-effort: a lost journal entry only costs crash recovery for
+  // this one job; the live execution is unaffected.  Counted, never
+  // silent.
+  if (!support::try_write_file_atomic(
+          opts_.state_dir + "/jobs/" + job.key.hex() + ".req.json",
+          job.req_json, /*sync=*/false)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.journal_failures;
+  }
 }
 
 void Server::journal_erase(const Job& job) {
@@ -602,7 +700,7 @@ void Server::recover_orphans() {
   ::closedir(d);
   for (const std::string& name : names) {
     const std::string path = dir + "/" + name;
-    const std::string text = read_file_or_empty(path);
+    const std::string text = support::read_file_or_empty(path);
     try {
       const Request req = request_from_json(text);
       const CacheKey key = cache_key(req);
@@ -624,37 +722,90 @@ void Server::recover_orphans() {
 
 // --- client ----------------------------------------------------------
 
-Client Client::connect(const std::string& endpoint) {
+namespace {
+
+dist::Fd connect_endpoint(const std::string& endpoint) {
   const bool is_path = endpoint.find('/') != std::string::npos ||
                        endpoint.find(':') == std::string::npos;
-  return Client(is_path ? dist::unix_connect(endpoint)
-                        : dist::tcp_connect(endpoint));
+  return is_path ? dist::unix_connect(endpoint)
+                 : dist::tcp_connect(endpoint);
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& endpoint) {
+  return Client(connect_endpoint(endpoint));
+}
+
+Client Client::connect(const std::string& endpoint,
+                       const dist::RetryPolicy& retry) {
+  return Client(dist::connect_with_retry(
+      [&endpoint] { return connect_endpoint(endpoint); }, retry,
+      "server '" + endpoint + "'"));
 }
 
 Client::Reply Client::call(
     const std::string& request_json,
-    const std::function<void(const JsonValue&)>& on_event) {
+    const std::function<void(const JsonValue&)>& on_event, int deadline_ms) {
   const std::string bytes =
       dist::encode_frame(dist::FrameType::kServeRequest, request_json);
   dist::send_all(fd_.get(), bytes.data(), bytes.size());
-  dist::Frame frame;
   for (;;) {
-    if (!read_frame_blocking(fd_.get(), reader_, frame)) {
+    // The deadline is per frame (inactivity): any event resets it, so
+    // a long exploration streaming progress never times out while a
+    // wedged or dead server does.
+    std::optional<dist::Frame> frame =
+        dist::recv_frame(fd_.get(), reader_, deadline_ms);
+    if (!frame) {
       throw dist::DistError(dist::DistError::Kind::PeerDied,
                             "server closed the connection");
     }
-    if (frame.type == dist::FrameType::kServeEvent) {
-      if (on_event) on_event(json_parse(frame.payload));
+    if (frame->type == dist::FrameType::kServeEvent) {
+      if (on_event) on_event(json_parse(frame->payload));
       continue;
     }
-    if (frame.type == dist::FrameType::kServeResponse) {
+    if (frame->type == dist::FrameType::kServeResponse) {
       Reply r;
-      r.doc = json_parse(frame.payload);
-      r.raw = std::move(frame.payload);
+      r.doc = json_parse(frame->payload);
+      r.raw = std::move(frame->payload);
       return r;
     }
     throw dist::DistError(dist::DistError::Kind::Protocol,
                           "unexpected frame from server");
+  }
+}
+
+SubmitOutcome submit_with_retry(
+    const std::string& endpoint, const std::string& request_json,
+    const SubmitOptions& opts,
+    const std::function<void(const JsonValue&)>& on_event) {
+  SubmitOutcome out;
+  const int attempts = opts.max_attempts < 1 ? 1 : opts.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      Client client = Client::connect(endpoint, opts.connect);
+      out.reply = client.call(request_json, on_event, opts.timeout_ms);
+    } catch (const dist::DistError& e) {
+      switch (e.kind()) {
+        case dist::DistError::Kind::Io:
+        case dist::DistError::Kind::PeerDied:
+        case dist::DistError::Kind::Timeout:
+          // Retryable: the identical resubmission re-attaches to the
+          // same content-addressed job (dedup / cache / journal), so a
+          // reconnect never recomputes or changes a verdict.
+          if (attempt >= attempts) throw;
+          ++out.reconnects;
+          continue;
+        default:
+          throw;  // Corrupt/Protocol: a bug, not a transient
+      }
+    }
+    if (out.reply.doc.str_or("status", "") == "busy" && attempt < attempts) {
+      const std::uint64_t wait = out.reply.doc.u64_or("retry_after_ms", 250);
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+      continue;
+    }
+    return out;
   }
 }
 

@@ -76,6 +76,16 @@ struct ServeStats {
   std::uint64_t jobs_deduped = 0;   // requests that joined an in-flight job
   std::uint64_t rejected = 0;       // queue-full rejections
   std::uint64_t errors = 0;         // error responses sent
+  /// Health counters (docs/robustness.md).  All are "the server
+  /// absorbed a fault" signals — none implies a wrong verdict.
+  std::uint64_t shed_requests = 0;   // typed busy replies (exit 4)
+  std::uint64_t reaped_clients = 0;  // queued jobs whose clients vanished
+  std::uint64_t degraded_spill = 0;  // jobs that lost the spill tier
+  std::uint64_t checkpoint_write_failures = 0;  // retried next cadence
+  std::uint64_t journal_failures = 0;  // best-effort journal writes lost
+  /// Snapshot of the process-wide transport retry counters.
+  std::uint64_t send_retries = 0;
+  std::uint64_t connect_retries = 0;
   VerdictCache::Stats cache;
 };
 
@@ -118,6 +128,8 @@ class Server {
                bool recovered, std::string* error, ProgressSub sub = {});
   void journal_write(const Job& job);
   void journal_erase(const Job& job);
+  /// Drop a still-queued job whose last waiting client vanished.
+  void reap_if_queued(const JobPtr& job);
 
   ServeOptions opts_;
   VerdictCache cache_;
@@ -144,8 +156,14 @@ class Server {
 class Client {
  public:
   /// Endpoint syntax shared with the CLI: a path (contains '/' or no
-  /// ':') connects over AF_UNIX, "host:port" over TCP.
+  /// ':') connects over AF_UNIX, "host:port" over TCP.  Fails
+  /// immediately on a refused connect (DistError(Io)).
   static Client connect(const std::string& endpoint);
+  /// Same, but refused/unreachable connects are retried under the
+  /// policy (the server may be restarting); exhaustion throws
+  /// DistError(Timeout) — the typed retryable "server unreachable".
+  static Client connect(const std::string& endpoint,
+                        const dist::RetryPolicy& retry);
 
   struct Reply {
     std::string raw;  // response payload, verbatim
@@ -153,9 +171,14 @@ class Client {
   };
 
   /// Send one request payload and wait for the response frame;
-  /// progress events invoke `on_event` as they arrive.
+  /// progress events invoke `on_event` as they arrive.  `deadline_ms`
+  /// is a per-frame inactivity timeout: if the server sends nothing
+  /// (response *or* event) for that long, throws DistError(Timeout)
+  /// instead of hanging forever on a wedged server (0 = wait forever).
+  /// A server that dies mid-stream throws DistError(PeerDied).
   Reply call(const std::string& request_json,
-             const std::function<void(const JsonValue&)>& on_event = {});
+             const std::function<void(const JsonValue&)>& on_event = {},
+             int deadline_ms = 0);
 
  private:
   explicit Client(dist::Fd fd) : fd_(std::move(fd)) {}
@@ -163,5 +186,38 @@ class Client {
   dist::Fd fd_;
   dist::FrameReader reader_;
 };
+
+/// One verification submission, hardened end to end: connect with
+/// retry, per-frame inactivity timeout, reconnect-and-resubmit on a
+/// retryable failure (the identical request re-attaches to the same
+/// job server-side via content addressing — in-flight dedup, the
+/// verdict cache, or journal recovery — so a retry never recomputes a
+/// finished verdict and never changes its bytes), and busy replies
+/// honored by sleeping the advertised retry_after_ms.
+struct SubmitOptions {
+  /// Per-frame inactivity deadline passed to Client::call (0 = none).
+  int timeout_ms = 30000;
+  /// Total tries across reconnects and busy backoffs.
+  int max_attempts = 3;
+  /// Connect retry schedule for each attempt.
+  dist::RetryPolicy connect;
+};
+
+struct SubmitOutcome {
+  Client::Reply reply;
+  /// Reconnect-and-resubmit cycles a retryable failure forced (health
+  /// signal; 0 on a clean run).
+  std::uint64_t reconnects = 0;
+};
+
+/// Submit `request_json` to `endpoint` under the hardened policy.
+/// Returns the final reply — which may still be a "busy" envelope if
+/// every attempt was shed (callers map that to kExitBusy).  Throws
+/// DistError(Timeout) once retryable failures exhaust the attempts —
+/// callers map that to kExitUnreachable.
+SubmitOutcome submit_with_retry(
+    const std::string& endpoint, const std::string& request_json,
+    const SubmitOptions& opts = {},
+    const std::function<void(const JsonValue&)>& on_event = {});
 
 }  // namespace cac::front

@@ -9,6 +9,7 @@
 #include "ptx/program.h"
 #include "sched/checkpoint_codec.h"
 #include "support/binio.h"
+#include "support/io.h"
 
 namespace cac::sched {
 
@@ -307,22 +308,13 @@ void Checkpoint::save(const std::string& path) const {
   put_u64(file, fnv1a(payload));
   file += payload;
 
-  // Atomic write-then-rename: the previous checkpoint at `path` stays
-  // intact until the new one is fully on disk.
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    throw CheckpointError(CheckpointError::Kind::Io,
-                          "cannot open " + tmp + " for writing");
-  }
-  const bool wrote =
-      std::fwrite(file.data(), 1, file.size(), f) == file.size() &&
-      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-  std::fclose(f);
-  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw CheckpointError(CheckpointError::Kind::Io,
-                          "cannot write checkpoint to " + path);
+  // Atomic write-then-rename (support::io, which also hosts the fault
+  // seam): the previous checkpoint at `path` stays intact until the
+  // new one is fully on disk.
+  try {
+    support::write_file_atomic(path, file);
+  } catch (const support::IoError& e) {
+    throw CheckpointError(CheckpointError::Kind::Io, e.what());
   }
 }
 

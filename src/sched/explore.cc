@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <unordered_map>
 
@@ -244,8 +245,19 @@ ExploreResult explore(const ptx::Program& prg, const sem::KernelConfig& kc,
       ck.stack.push_back({f.id, static_cast<std::uint64_t>(f.next)});
     }
     ck.path = path;
-    ck.save(opts.checkpoint_path);
-    result.checkpointed = true;
+    try {
+      ck.save(opts.checkpoint_path);
+      result.checkpointed = true;
+    } catch (const CheckpointError& e) {
+      // A full or failing disk must not kill the exploration: log it,
+      // keep going, and let the next cadence retry.  Only resumability
+      // is at stake, never the verdict.
+      ++result.checkpoint_write_failures;
+      std::fprintf(stderr,
+                   "cacval: warning: checkpoint write failed (will retry "
+                   "next cadence): %s\n",
+                   e.what());
+    }
   };
 
   // The cheap flags are polled every iteration (the fault harness

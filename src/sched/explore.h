@@ -184,6 +184,12 @@ struct ExploreResult {
   /// stop) to ExploreOptions::checkpoint_path.
   bool checkpointed = false;
 
+  /// Checkpoint writes that failed (ENOSPC/EIO).  A failed periodic
+  /// write is logged and retried at the next cadence instead of
+  /// aborting the run — the verdict never depends on checkpoint
+  /// persistence, only resumability does.
+  std::uint64_t checkpoint_write_failures = 0;
+
   /// Every visited state lives interned in this store; `final_ids` and
   /// any StateId derived from this exploration resolve against it.
   /// Shared so results can outlive the engine and be copied cheaply.

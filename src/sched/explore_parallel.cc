@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <string>
@@ -213,6 +214,7 @@ class GraphBuilder {
     /// when phase 1 ran to completion.
     ExploreResult::Limit stopped = ExploreResult::Limit::None;
     bool checkpointed = false;
+    std::uint64_t checkpoint_write_failures = 0;
   };
 
   /// Build (or, with `resume`, finish building) the state graph.
@@ -252,6 +254,7 @@ class GraphBuilder {
       save_checkpoint();
     }
     out.checkpointed = checkpointed_;
+    out.checkpoint_write_failures = checkpoint_write_failures_;
     return out;
   }
 
@@ -512,8 +515,18 @@ class GraphBuilder {
         ck.frontier.emplace_back(t.node->id, t.depth);
       }
     }
-    ck.save(opts_.checkpoint_path);
-    checkpointed_ = true;
+    try {
+      ck.save(opts_.checkpoint_path);
+      checkpointed_ = true;
+    } catch (const CheckpointError& e) {
+      // Same policy as the serial engine: log, keep exploring, retry
+      // at the next cadence — persistence failure never ends a run.
+      ++checkpoint_write_failures_;
+      std::fprintf(stderr,
+                   "cacval: warning: checkpoint write failed (will retry "
+                   "next cadence): %s\n",
+                   e.what());
+    }
   }
 
   const ptx::Program& prg_;
@@ -529,6 +542,7 @@ class GraphBuilder {
   std::mutex error_mu_;
   std::string error_;  // first worker exception, guarded by error_mu_
   bool checkpointed_ = false;
+  std::uint64_t checkpoint_write_failures_ = 0;
 
   // Worker control protocol, all guarded by ctl_mu_.
   std::mutex ctl_mu_;
@@ -701,6 +715,7 @@ ExploreResult explore_parallel(const ptx::Program& prg,
   result.store_stats = store->stats();
   result.store = std::move(store);
   result.checkpointed = out.checkpointed;
+  result.checkpoint_write_failures = out.checkpoint_write_failures;
   return result;
 }
 

@@ -6,12 +6,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "support/binio.h"
 #include "support/delta.h"
 #include "support/diag.h"
+#include "support/fault.h"
 
 namespace cac::sched {
 
@@ -93,6 +95,10 @@ void StateStore::SpillFile::open(const std::string& dir) {
     const std::string path = dir + "/cac-spill-" +
                              std::to_string(::getpid()) + "-" +
                              std::to_string(instance.fetch_add(1)) + ".seg";
+    if (int err = support::fault_check("open", path)) {
+      throw KernelError("cannot create spill segment in '" + dir +
+                        "': " + std::strerror(err));
+    }
     const int fd =
         ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0600);
     if (fd < 0) {
@@ -103,6 +109,7 @@ void StateStore::SpillFile::open(const std::string& dir) {
     // SIGKILL) can never leak disk.
     ::unlink(path.c_str());
     fd_ = fd;
+    path_ = path;
     return;
   }
   throw KernelError("cannot create spill segment in '" + dir + "'");
@@ -111,6 +118,10 @@ void StateStore::SpillFile::open(const std::string& dir) {
 std::uint64_t StateStore::SpillFile::append(std::string_view bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) throw KernelError("spill segment not open");
+  if (int err = support::fault_check("write", path_)) {
+    throw KernelError(std::string("spill segment write failed: ") +
+                      std::strerror(err));
+  }
   const std::uint64_t off = size_;
   const char* p = bytes.data();
   std::size_t left = bytes.size();
@@ -166,8 +177,16 @@ void StateStore::configure(const StoreOptions& opts) {
   if (!opts.spill_dir.empty()) {
     const bool was_ready = spill_.ready();
     spill_dir_ = opts.spill_dir;
-    spill_.open(spill_dir_);
-    if (!was_ready) {
+    bool opened = false;
+    try {
+      spill_.open(spill_dir_);
+      opened = true;
+    } catch (const KernelError& e) {
+      // No cold tier, but no reason to abort the run either: eviction
+      // simply stops at the warm tier (same as spill_dir unset).
+      degrade_spill(e.what());
+    }
+    if (opened && !was_ready) {
       // Records that settled without a cold tier can now demote one
       // level further — revive them all for the sweep.
       for (WarpShard& s : warp_shards_) {
@@ -523,8 +542,18 @@ bool StateStore::step_warp(WarpShard& s, WarpRec& rec) {
     rec.warm.reset();
     return true;
   }
-  if (rec.warm && spill_.ready()) {
-    rec.cold_off = spill_.append(*rec.warm);
+  if (rec.warm && spill_usable()) {
+    try {
+      rec.cold_off = spill_.append(*rec.warm);
+    } catch (const KernelError& e) {
+      // ENOSPC/EIO on the segment: keep the payload warm, shut the
+      // cold tier off, and settle below — the verdict never depends on
+      // where bytes live.
+      degrade_spill(e.what());
+      rec.settled = 1;
+      --s.live;
+      return false;
+    }
     rec.cold_len = static_cast<std::uint32_t>(rec.warm->size());
     spilled_bytes_.fetch_add(rec.warm->size(), std::memory_order_relaxed);
     resident_bytes_.fetch_sub(rec.warm->size(), std::memory_order_relaxed);
@@ -563,8 +592,15 @@ bool StateStore::step_bank(BankShard& s, BankRec& rec) {
     rec.warm.reset();
     return true;
   }
-  if (rec.warm && spill_.ready()) {
-    rec.cold_off = spill_.append(*rec.warm);
+  if (rec.warm && spill_usable()) {
+    try {
+      rec.cold_off = spill_.append(*rec.warm);
+    } catch (const KernelError& e) {
+      degrade_spill(e.what());
+      rec.settled = 1;
+      --s.live;
+      return false;
+    }
     rec.cold_len = static_cast<std::uint32_t>(rec.warm->size());
     spilled_bytes_.fetch_add(rec.warm->size(), std::memory_order_relaxed);
     resident_bytes_.fetch_sub(rec.warm->size(), std::memory_order_relaxed);
@@ -885,7 +921,18 @@ StateStore::Stats StateStore::stats() const {
   st.delta_fragments = delta_frags_.load(std::memory_order_relaxed);
   st.bloom_negatives = bloom_neg_.load(std::memory_order_relaxed);
   st.bloom_false_positives = bloom_fp_.load(std::memory_order_relaxed);
+  st.degraded_spill = degraded_spill_.load(std::memory_order_relaxed);
   return st;
+}
+
+void StateStore::degrade_spill(const char* why) {
+  degraded_spill_.fetch_add(1, std::memory_order_relaxed);
+  if (!spill_failed_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "cacval: warning: spill tier disabled, continuing "
+                 "resident-only: %s\n",
+                 why);
+  }
 }
 
 // --- checkpoint codec (format v3) -------------------------------------

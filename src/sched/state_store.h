@@ -191,6 +191,11 @@ class StateStore {
     std::uint64_t delta_fragments = 0;     // payloads stored as deltas
     std::uint64_t bloom_negatives = 0;       // lock-light definite misses
     std::uint64_t bloom_false_positives = 0; // probe found nothing
+    /// Spill-tier operations that failed (ENOSPC/EIO on the segment).
+    /// Nonzero means the cold tier shut itself off and the store ran
+    /// resident-only from that point — a capacity warning, never a
+    /// verdict change.
+    std::uint64_t degraded_spill = 0;
 
     [[nodiscard]] double dedup_ratio() const {
       return resident_bytes == 0
@@ -275,6 +280,9 @@ class StateStore {
     mutable std::mutex mu_;
     int fd_ = -1;
     std::uint64_t size_ = 0;
+    /// Original segment name (the file itself is unlinked-while-open);
+    /// kept as the fault-injection site label.
+    std::string path_;
     mutable char* map_ = nullptr;
     mutable std::uint64_t map_len_ = 0;
   };
@@ -394,6 +402,14 @@ class StateStore {
 
   bool step_warp(WarpShard& s, WarpRec& rec);
   bool step_bank(BankShard& s, BankRec& rec);
+  /// True while the cold tier is usable.  A failed spill operation
+  /// (ENOSPC/EIO) trips `spill_failed_` via degrade_spill() and the
+  /// store runs resident-only from then on: already-spilled payloads
+  /// stay readable, nothing new is appended, the verdict is unaffected.
+  [[nodiscard]] bool spill_usable() const {
+    return spill_.ready() && !spill_failed_.load(std::memory_order_relaxed);
+  }
+  void degrade_spill(const char* why);
   /// Budget check + clock sweeps; called after every insert.
   void maybe_evict();
   /// One bounded sweep over all fragment shards; returns demotions.
@@ -450,6 +466,8 @@ class StateStore {
   std::atomic<std::uint64_t> delta_frags_{0};
   std::atomic<std::uint64_t> bloom_neg_{0};
   std::atomic<std::uint64_t> bloom_fp_{0};
+  std::atomic<bool> spill_failed_{false};
+  std::atomic<std::uint64_t> degraded_spill_{0};
 };
 
 }  // namespace cac::sched

@@ -1,0 +1,259 @@
+#include "support/fault.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace cac::support {
+namespace {
+
+// splitmix64: tiny, seedable, and stable across platforms — the p=
+// rules must fire at the same call sites for a given seed everywhere.
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Classic '*'/'?' glob over the site label.  Iterative backtracking:
+// no recursion, O(n*m) worst case on short labels.
+bool glob_match(std::string_view pat, std::string_view str) {
+  std::size_t p = 0, s = 0, star = std::string_view::npos, mark = 0;
+  while (s < str.size()) {
+    if (p < pat.size() && (pat[p] == '?' || pat[p] == str[s])) {
+      ++p, ++s;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      mark = s;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      s = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+int errno_from_name(const std::string& name) {
+  struct Entry {
+    const char* name;
+    int value;
+  };
+  static constexpr Entry kTable[] = {
+      {"ENOSPC", ENOSPC},         {"EIO", EIO},
+      {"EPIPE", EPIPE},           {"ECONNRESET", ECONNRESET},
+      {"ECONNREFUSED", ECONNREFUSED}, {"ETIMEDOUT", ETIMEDOUT},
+      {"EAGAIN", EAGAIN},         {"EACCES", EACCES},
+      {"EBADF", EBADF},           {"EINTR", EINTR},
+      {"ENOENT", ENOENT},         {"EMFILE", EMFILE},
+  };
+  for (const auto& e : kTable)
+    if (name == e.name) return e.value;
+  char* end = nullptr;
+  long v = std::strtol(name.c_str(), &end, 10);
+  if (end && *end == '\0' && v > 0 && v < 4096) return static_cast<int>(v);
+  throw FaultPlanError("unknown errno '" + name + "'");
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& val) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(val.c_str(), &end, 10);
+  if (!end || *end != '\0' || val.empty())
+    throw FaultPlanError("bad number for " + key + ": '" + val + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+struct Seam {
+  std::mutex mu;
+  FaultPlan plan;
+  std::uint64_t rng = 1;
+  std::uint64_t injections = 0;
+};
+
+Seam& seam() {
+  static Seam s;
+  return s;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_fault_enabled{false};
+
+int fault_check_slow(std::string_view op, std::string_view path) {
+  std::uint64_t delay_ms = 0;
+  int err = 0;
+  {
+    Seam& s = seam();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& rule : s.plan.rules) {
+      if (rule.op != "*" && rule.op != op) continue;
+      if (!glob_match(rule.path, path)) continue;
+      ++rule.matches;
+      if (rule.max_fires != 0 && rule.fired >= rule.max_fires) continue;
+      bool fire = false;
+      if (rule.nth != 0) {
+        fire = rule.matches == rule.nth;
+      } else if (rule.every != 0) {
+        fire = rule.matches % rule.every == 0;
+      } else if (rule.prob > 0.0) {
+        double u = static_cast<double>(splitmix64(s.rng) >> 11) *
+                   0x1.0p-53;  // uniform in [0,1)
+        fire = u < rule.prob;
+      } else {
+        fire = true;  // unconditional rule
+      }
+      if (!fire) continue;
+      ++rule.fired;
+      ++s.injections;
+      delay_ms += rule.delay_ms;
+      if (rule.err != 0 && err == 0) err = rule.err;
+      // First erroring rule wins, but all matching delays accumulate.
+    }
+  }
+  if (delay_ms != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  return err;
+}
+}  // namespace detail
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string part = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim whitespace (plans often arrive from YAML with line breaks).
+    while (!part.empty() && (part.front() == ' ' || part.front() == '\n' ||
+                             part.front() == '\t'))
+      part.erase(part.begin());
+    while (!part.empty() && (part.back() == ' ' || part.back() == '\n' ||
+                             part.back() == '\t'))
+      part.pop_back();
+    if (part.empty()) {
+      if (end == spec.size()) break;
+      continue;
+    }
+    // A bare "seed=N" segment sets the plan seed.
+    if (part.rfind("seed=", 0) == 0 &&
+        part.find(',') == std::string::npos) {
+      plan.seed = parse_u64("seed", part.substr(5));
+      continue;
+    }
+    FaultRule rule;
+    std::size_t fpos = 0;
+    while (fpos <= part.size()) {
+      std::size_t fend = part.find(',', fpos);
+      if (fend == std::string::npos) fend = part.size();
+      std::string field = part.substr(fpos, fend - fpos);
+      fpos = fend + 1;
+      while (!field.empty() && (field.front() == ' ' || field.front() == '\n' ||
+                                field.front() == '\t'))
+        field.erase(field.begin());
+      while (!field.empty() && (field.back() == ' ' || field.back() == '\n' ||
+                                field.back() == '\t'))
+        field.pop_back();
+      if (field.empty()) {
+        if (fend == part.size()) break;
+        continue;
+      }
+      std::size_t eq = field.find('=');
+      if (eq == std::string::npos)
+        throw FaultPlanError("field missing '=': '" + field + "'");
+      std::string key = field.substr(0, eq);
+      std::string val = field.substr(eq + 1);
+      if (key == "op") {
+        rule.op = val;
+      } else if (key == "path") {
+        rule.path = val;
+      } else if (key == "nth") {
+        rule.nth = parse_u64(key, val);
+        if (rule.nth == 0) throw FaultPlanError("nth must be >= 1");
+      } else if (key == "every") {
+        rule.every = parse_u64(key, val);
+        if (rule.every == 0) throw FaultPlanError("every must be >= 1");
+      } else if (key == "p") {
+        char* endp = nullptr;
+        rule.prob = std::strtod(val.c_str(), &endp);
+        if (!endp || *endp != '\0' || rule.prob < 0.0 || rule.prob > 1.0)
+          throw FaultPlanError("p must be in [0,1]: '" + val + "'");
+      } else if (key == "count") {
+        rule.max_fires = parse_u64(key, val);
+      } else if (key == "err") {
+        rule.err = errno_from_name(val);
+      } else if (key == "delay") {
+        rule.delay_ms = parse_u64(key, val);
+      } else {
+        throw FaultPlanError("unknown key '" + key + "'");
+      }
+      if (fend == part.size()) break;
+    }
+    if (rule.nth != 0 && rule.every != 0)
+      throw FaultPlanError("rule has both nth= and every=");
+    // A rule with no err= and no delay= injects the documented default
+    // errno (EIO) rather than silently doing nothing.
+    if (rule.err == 0 && rule.delay_ms == 0) rule.err = EIO;
+    // nth= rules are one-shot by construction; give them max_fires=1 so
+    // the accounting reads uniformly.
+    if (rule.nth != 0 && rule.max_fires == 0) rule.max_fires = 1;
+    plan.rules.push_back(std::move(rule));
+    if (end == spec.size()) break;
+  }
+  return plan;
+}
+
+void fault_install(FaultPlan plan) {
+  Seam& s = seam();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plan = std::move(plan);
+  s.rng = s.plan.seed ? s.plan.seed : 1;
+  s.injections = 0;
+  detail::g_fault_enabled.store(!s.plan.rules.empty(),
+                                std::memory_order_relaxed);
+}
+
+void fault_install(const std::string& spec) {
+  fault_install(FaultPlan::parse(spec));
+}
+
+void fault_clear() {
+  Seam& s = seam();
+  std::lock_guard<std::mutex> lock(s.mu);
+  detail::g_fault_enabled.store(false, std::memory_order_relaxed);
+  s.plan = FaultPlan{};
+  s.injections = 0;
+}
+
+void fault_init_from_env() {
+  const char* spec = std::getenv("CAC_FAULT_PLAN");
+  if (!spec || !*spec) return;
+  try {
+    fault_install(std::string(spec));
+  } catch (const FaultPlanError& e) {
+    // A typo'd plan silently running un-faulted would defeat the chaos
+    // drill; fail loudly instead.
+    std::fprintf(stderr, "cacval: CAC_FAULT_PLAN: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+std::uint64_t fault_injections() {
+  Seam& s = seam();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.injections;
+}
+
+bool fault_active() {
+  return detail::g_fault_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace cac::support

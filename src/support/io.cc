@@ -1,0 +1,103 @@
+#include "support/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "support/fault.h"
+
+namespace cac::support {
+namespace {
+
+std::string err_msg(const char* what, const std::string& path, int err) {
+  std::string m = "cannot ";
+  m += what;
+  m += " ";
+  m += path;
+  m += ": ";
+  m += std::strerror(err);
+  return m;
+}
+
+}  // namespace
+
+std::string read_file(const std::string& path) {
+  if (int err = fault_check("open", path))
+    throw IoError(err_msg("open", path, err), err);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw IoError(err_msg("open", path, errno), errno);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    if (int err = fault_check("read", path)) {
+      std::fclose(f);
+      throw IoError(err_msg("read", path, err), err);
+    }
+    std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    data.append(buf, n);
+    if (n < sizeof buf) {
+      if (std::ferror(f)) {
+        int err = errno;
+        std::fclose(f);
+        throw IoError(err_msg("read", path, err), err);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return data;
+}
+
+std::string read_file_or_empty(const std::string& path) {
+  try {
+    return read_file(path);
+  } catch (const IoError&) {
+    return {};
+  }
+}
+
+void write_file_atomic(const std::string& path, const std::string& data,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  if (int err = fault_check("open", path))
+    throw IoError(err_msg("create", tmp, err), err);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw IoError(err_msg("create", tmp, errno), errno);
+  auto fail = [&](const char* what, int err) {
+    std::fclose(f);
+    ::unlink(tmp.c_str());
+    throw IoError(err_msg(what, tmp, err), err);
+  };
+  if (int err = fault_check("write", path)) fail("write", err);
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), f) != data.size())
+    fail("write", errno ? errno : EIO);
+  if (std::fflush(f) != 0) fail("write", errno ? errno : EIO);
+  if (sync && ::fsync(::fileno(f)) != 0) fail("sync", errno);
+  std::fclose(f);
+  if (int err = fault_check("rename", path)) {
+    ::unlink(tmp.c_str());
+    throw IoError(err_msg("rename", tmp, err), err);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    throw IoError(err_msg("rename", tmp, err), err);
+  }
+}
+
+bool try_write_file_atomic(const std::string& path, const std::string& data,
+                           bool sync) noexcept {
+  try {
+    write_file_atomic(path, data, sync);
+    return true;
+  } catch (const IoError&) {
+    return false;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace cac::support

@@ -1,0 +1,18 @@
+// Every test binary honors CAC_FAULT_PLAN (support/fault.h), the same
+// way the cacval binary does: CI's chaos job re-runs the instrumented
+// suites with a benign plan armed, so every injection/recovery path
+// executes under the sanitizers.  With the variable unset this is a
+// no-op; a malformed plan fails the whole binary loudly rather than
+// silently running un-faulted.
+//
+// This file is compiled directly into each test executable (not into
+// a static library, where an otherwise-unreferenced initializer would
+// be dropped at link time).
+#include "support/fault.h"
+
+namespace {
+[[maybe_unused]] const bool g_fault_env_armed = [] {
+  cac::support::fault_init_from_env();
+  return true;
+}();
+}  // namespace

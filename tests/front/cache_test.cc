@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "support/fault.h"
+
 namespace cac::front {
 namespace {
 
@@ -214,6 +216,56 @@ TEST(VerdictCache, CorruptDiskFileIsAMiss) {
     out << "{\"exit_code\":1,\"resul";  // torn write
   }
   EXPECT_FALSE(cache.get(key_of(5)).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictCache, PersistFailureKeepsEntryResident) {
+  // ENOSPC on the cache's disk tier costs durability, not the verdict:
+  // the entry stays served from memory and the failure is counted.
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "cac_cache_test_enospc";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  VerdictCache::Options opts;
+  opts.dir = dir;
+  VerdictCache cache(opts);
+  const std::string body = R"([{"verdict":"proved","exit_code":0}])";
+  {
+    support::ScopedFaultPlan plan("op=write,path=*.json,every=1,err=ENOSPC");
+    cache.put(key_of(3), entry_of(0, body));
+  }
+  EXPECT_EQ(cache.stats().persist_failures, 1u);
+  const auto hit = cache.get(key_of(3));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->results_json, body);
+  // Nothing (and no .tmp litter) landed on disk.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictCache, DiskReadFaultIsAMissNotACrash) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "cac_cache_test_eio";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  VerdictCache::Options opts;
+  opts.dir = dir;
+  {
+    VerdictCache writer(opts);
+    writer.put(key_of(7), entry_of(1, "[7]"));
+  }
+  VerdictCache fresh(opts);
+  {
+    support::ScopedFaultPlan plan("op=open,path=*.json,every=1,err=EIO");
+    EXPECT_FALSE(fresh.get(key_of(7)).has_value());
+  }
+  // Seam off, the same file reads fine — the fault was transient.
+  EXPECT_TRUE(fresh.get(key_of(7)).has_value());
   std::filesystem::remove_all(dir);
 }
 

@@ -7,13 +7,18 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "dist/transport.h"
+#include "dist/wire.h"
 #include "front/cache.h"
+#include "support/fault.h"
 
 namespace cac::front {
 namespace {
@@ -42,7 +47,8 @@ CheckRequest racy_check(std::uint32_t grid_x) {
 /// A running server on a fresh socket (and optional state dir) that
 /// tears itself down.
 struct TestServer {
-  explicit TestServer(bool persistent, std::uint32_t workers = 2) {
+  explicit TestServer(bool persistent, std::uint32_t workers = 2,
+                      std::size_t queue_limit = 64) {
     dir = std::filesystem::temp_directory_path() /
           ("cac_serve_test_" + std::to_string(::getpid()) + "_" +
            std::to_string(counter++));
@@ -50,6 +56,7 @@ struct TestServer {
     ServeOptions opts;
     opts.unix_path = dir / "sock";
     opts.workers = workers;
+    opts.queue_limit = queue_limit;
     if (persistent) opts.state_dir = dir / "state";
     server = std::make_unique<Server>(std::move(opts));
     server->start();
@@ -255,6 +262,217 @@ TEST(Serve, OrphanedJournalIsRecovered) {
   const Client::Reply r = client.call(to_json(req));
   EXPECT_EQ(r.doc.str_or("status", ""), "ok");
   server.stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------
+// Robustness (docs/robustness.md): load shedding, vanished-client
+// reaping, journal faults, client deadlines, and typed retryable exits.
+
+TEST(ServeRobust, QueueFullSubmissionIsTypedBusy) {
+  // queue_limit=0 pins the queue shut: every fresh submission is shed
+  // with the typed, retryable busy reply rather than a blind error.
+  TestServer ts(false, /*workers=*/1, /*queue_limit=*/0);
+  Client client = ts.connect();
+  const std::string payload = to_json(Request{racy_check(2)});
+  const Client::Reply r = client.call(payload);
+  EXPECT_EQ(r.doc.str_or("status", ""), "busy");
+  EXPECT_EQ(r.doc.u64_or("exit_code", 0), 4u);
+  EXPECT_GT(r.doc.u64_or("retry_after_ms", 0), 0u);
+  EXPECT_GE(ts.server->stats().shed_requests, 1u);
+
+  // submit_with_retry backs off retry_after_ms between attempts; with
+  // the queue still shut it hands back the final busy reply (callers
+  // map that to exit 4) instead of throwing.
+  SubmitOptions sopts;
+  sopts.max_attempts = 2;
+  const SubmitOutcome out =
+      submit_with_retry(ts.dir / "sock", payload, sopts);
+  EXPECT_EQ(out.reply.doc.str_or("status", ""), "busy");
+  EXPECT_EQ(out.reconnects, 0u);
+}
+
+TEST(ServeRobust, StatsReplyReportsHealthCounters) {
+  TestServer ts(false);
+  Client client = ts.connect();
+  const Client::Reply r = client.call(R"({"command":"stats"})");
+  ASSERT_EQ(r.doc.str_or("status", ""), "ok");
+  const JsonValue* s = r.doc.get("stats");
+  ASSERT_NE(s, nullptr);
+  // Fresh server: every health counter present and — unless CI armed
+  // a process-wide CAC_FAULT_PLAN, which legitimately accrues
+  // transport retries — zero.  u64_or's default 99 distinguishes
+  // "absent" from "zero".
+  const bool armed = support::fault_active();
+  for (const char* key :
+       {"shed_requests", "reaped_clients", "degraded_spill",
+        "checkpoint_write_failures", "journal_failures", "send_retries",
+        "connect_retries"}) {
+    if (armed) {
+      EXPECT_NE(s->u64_or(key, 99), 99u) << key;
+    } else {
+      EXPECT_EQ(s->u64_or(key, 99), 0u) << key;
+    }
+  }
+}
+
+TEST(ServeRobust, VanishedClientIsReapedAndItsJobCancelled) {
+  TestServer ts(false, /*workers=*/1);
+  // Pin the only worker on a ~2s job...
+  std::thread busy([&] {
+    Client client = ts.connect();
+    client.call(to_json(Request{racy_check(8)}));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  {
+    // ...then submit a distinct job over a raw connection and vanish
+    // without reading the reply.  The 300ms linger lets the server
+    // accept and journal the job before the socket dies.
+    dist::Fd raw = dist::unix_connect((ts.dir / "sock").string());
+    const std::string frame = dist::encode_frame(
+        dist::FrameType::kServeRequest, to_json(Request{racy_check(3)}));
+    dist::send_all(raw.get(), frame.data(), frame.size());
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }
+  // The server's liveness probe notices within ~100ms and reaps the
+  // queued job nobody will ever read.
+  bool reaped = false;
+  for (int i = 0; i < 100 && !reaped; ++i) {
+    reaped = ts.server->stats().reaped_clients >= 1;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(reaped);
+  busy.join();
+  EXPECT_EQ(ts.server->stats().jobs_run, 1u);  // the orphan never ran
+}
+
+TEST(ServeRobust, JournalWriteFailureIsCountedNotFatal) {
+  TestServer ts(true);
+  support::ScopedFaultPlan plan(
+      "op=write,path=*.req.json,every=1,err=ENOSPC");
+  Client client = ts.connect();
+  const Client::Reply r = client.call(to_json(Request{racy_check(2)}));
+  // Losing the crash-recovery journal costs durability, never the
+  // verdict: the job still runs and replies normally.
+  EXPECT_EQ(r.doc.str_or("status", ""), "ok");
+  EXPECT_GE(ts.server->stats().journal_failures, 1u);
+}
+
+TEST(ServeRobust, ClientCallDeadlineExpiresOnSilentServer) {
+  // A peer that accepts and then says nothing must not hang the
+  // client: the per-frame deadline turns silence into a typed Timeout.
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("cac_serve_silent_" + std::to_string(::getpid()));
+  std::filesystem::remove(path);
+  dist::Fd listener = dist::unix_listen(path.string());
+  std::thread acceptor([&] {
+    dist::Fd conn = dist::unix_accept(listener.get());
+    std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  });
+  Client client = Client::connect(path.string());
+  try {
+    client.call(R"({"command":"ping"})", {}, /*deadline_ms=*/200);
+    FAIL() << "expected a deadline timeout";
+  } catch (const dist::DistError& e) {
+    EXPECT_EQ(e.kind(), dist::DistError::Kind::Timeout);
+  }
+  acceptor.join();
+  std::filesystem::remove(path);
+}
+
+TEST(ServeRobust, SubmitWithRetryConnectsOnceServerIsUp) {
+  // Backoff across connect attempts rides out a server that is not
+  // up yet — the cold-start/restart half of reconnect-and-reattach.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cac_serve_late_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ServeOptions opts;
+  opts.unix_path = dir / "sock";
+  opts.workers = 1;
+  Server server(std::move(opts));
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    server.start();
+  });
+  SubmitOptions sopts;
+  sopts.connect.max_attempts = 20;
+  sopts.connect.initial_backoff_ms = 25;
+  sopts.connect.max_backoff_ms = 100;
+  const SubmitOutcome out =
+      submit_with_retry(dir / "sock", to_json(Request{racy_check(2)}), sopts);
+  EXPECT_EQ(out.reply.doc.str_or("status", ""), "ok");
+  starter.join();
+  server.stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(ServeRobust, ServerDeathMidWaitIsRetryableAndReattachable) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("cac_serve_death_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ServeOptions opts;
+  opts.unix_path = dir / "sock";
+  opts.workers = 1;
+  opts.state_dir = dir / "state";
+  auto server = std::make_unique<Server>(std::move(opts));
+  server->start();
+
+  std::thread busy([&] {
+    try {
+      Client client = Client::connect((dir / "sock").string());
+      client.call(to_json(Request{racy_check(8)}));  // ~2s: pins the worker
+    } catch (const std::exception&) {
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // A second job queues behind the pinned worker; the server then dies
+  // under it.  The waiter must see a RETRYABLE failure — the typed
+  // exit-5 error reply if the response wins the race with teardown,
+  // or a retryable transport error if it does not — never a hang and
+  // never a non-retryable verdict.
+  const std::string queued = to_json(Request{racy_check(3)});
+  std::atomic<int> outcome{-1};  // 0|1 retryable, 2 wrong
+  std::thread waiter([&] {
+    try {
+      Client client = Client::connect((dir / "sock").string());
+      const Client::Reply r = client.call(queued);
+      outcome = (r.doc.str_or("status", "") == "error" &&
+                 r.doc.u64_or("exit_code", 0) == 5)
+                    ? 0
+                    : 2;
+    } catch (const dist::DistError& e) {
+      const auto k = e.kind();
+      outcome = (k == dist::DistError::Kind::PeerDied ||
+                 k == dist::DistError::Kind::Io ||
+                 k == dist::DistError::Kind::Timeout)
+                    ? 1
+                    : 2;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server->stop();
+  busy.join();
+  waiter.join();
+  EXPECT_NE(outcome.load(), 2);
+  EXPECT_NE(outcome.load(), -1);
+
+  // Re-attach: the journal survived the shutdown, so a restarted
+  // server on the same state dir completes the same request.
+  ServeOptions o2;
+  o2.unix_path = dir / "sock2";
+  o2.state_dir = dir / "state";
+  o2.workers = 1;
+  Server second(std::move(o2));
+  second.start();
+  Client client = Client::connect((dir / "sock2").string());
+  const Client::Reply r = client.call(queued);
+  EXPECT_EQ(r.doc.str_or("status", ""), "ok");
+  second.stop();
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
 }

@@ -1,0 +1,192 @@
+// The deterministic fault-injection seam (support/fault.h) and the
+// hardened file-I/O wrapper it gates (support/io.h).
+//
+// The contract under test (docs/robustness.md):
+//
+//  * plans parse exactly per the documented syntax and reject typos
+//    loudly (a malformed plan must never silently run un-faulted);
+//  * nth/every/count fire on deterministic call ordinals, p= fires on
+//    a seeded RNG — the same plan replays the same faults every run;
+//  * path globs select sites, and a cleared seam is inert;
+//  * write_file_atomic never leaves a torn or half-renamed file behind
+//    an injected open/write/rename failure — the old contents survive.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/fault.h"
+#include "support/io.h"
+
+namespace cac::support {
+namespace {
+
+// ---------------------------------------------------------------------
+// Plan parsing
+
+TEST(FaultPlan, ParsesDocumentedSyntax) {
+  const FaultPlan p = FaultPlan::parse(
+      "seed=42; op=write, path=*.ckpt, nth=3, err=ENOSPC;"
+      "op=send,every=5,err=EPIPE;op=recv,delay=50");
+  EXPECT_EQ(p.seed, 42u);
+  ASSERT_EQ(p.rules.size(), 3u);
+
+  EXPECT_EQ(p.rules[0].op, "write");
+  EXPECT_EQ(p.rules[0].path, "*.ckpt");
+  EXPECT_EQ(p.rules[0].nth, 3u);
+  EXPECT_EQ(p.rules[0].err, ENOSPC);
+  EXPECT_EQ(p.rules[0].max_fires, 1u);  // nth defaults to one-shot
+
+  EXPECT_EQ(p.rules[1].op, "send");
+  EXPECT_EQ(p.rules[1].every, 5u);
+  EXPECT_EQ(p.rules[1].err, EPIPE);
+  EXPECT_EQ(p.rules[1].max_fires, 0u);  // unlimited
+
+  EXPECT_EQ(p.rules[2].op, "recv");
+  EXPECT_EQ(p.rules[2].delay_ms, 50u);
+  EXPECT_EQ(p.rules[2].err, 0);  // pure latency
+}
+
+TEST(FaultPlan, NumericErrnoAndDefaults) {
+  const FaultPlan p = FaultPlan::parse("op=open,err=28");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_EQ(p.rules[0].err, 28);
+  EXPECT_EQ(p.rules[0].path, "*");
+  const FaultPlan q = FaultPlan::parse("op=write,nth=1");
+  EXPECT_EQ(q.rules[0].err, EIO);  // default errno
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("op=write,nht=3,err=EIO"), FaultPlanError);
+  EXPECT_THROW(FaultPlan::parse("op=write,err=ENOSUCHERR"), FaultPlanError);
+  EXPECT_THROW(FaultPlan::parse("op=write,nth=0,err=EIO"), FaultPlanError);
+  EXPECT_THROW(FaultPlan::parse("op=write,every=0,err=EIO"), FaultPlanError);
+  EXPECT_THROW(FaultPlan::parse("op=write,p=1.5,err=EIO"), FaultPlanError);
+  EXPECT_THROW(FaultPlan::parse("op=write,nth=2,every=3,err=EIO"),
+               FaultPlanError);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic firing
+
+TEST(FaultCheck, NthFiresExactlyOnce) {
+  ScopedFaultPlan plan("op=write,nth=3,err=ENOSPC");
+  std::vector<int> got;
+  for (int i = 0; i < 6; ++i) got.push_back(fault_check("write", "x.spill"));
+  EXPECT_EQ(got, (std::vector<int>{0, 0, ENOSPC, 0, 0, 0}));
+  EXPECT_EQ(fault_injections(), 1u);
+}
+
+TEST(FaultCheck, EveryFiresPeriodically) {
+  ScopedFaultPlan plan("op=send,every=3,err=EPIPE");
+  std::vector<int> got;
+  for (int i = 0; i < 9; ++i) got.push_back(fault_check("send"));
+  EXPECT_EQ(got, (std::vector<int>{0, 0, EPIPE, 0, 0, EPIPE, 0, 0, EPIPE}));
+}
+
+TEST(FaultCheck, CountCapsFires) {
+  ScopedFaultPlan plan("op=send,every=2,count=2,err=EPIPE");
+  int fires = 0;
+  for (int i = 0; i < 20; ++i) fires += fault_check("send") != 0;
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(FaultCheck, ProbabilisticFiringIsSeededAndDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    FaultPlan p = FaultPlan::parse("op=recv,p=0.5,err=EIO");
+    p.seed = seed;
+    ScopedFaultPlan plan(std::move(p));
+    std::vector<int> got;
+    for (int i = 0; i < 64; ++i) got.push_back(fault_check("recv"));
+    return got;
+  };
+  const std::vector<int> a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b);  // same seed, same schedule
+  EXPECT_NE(a, c);  // different seed, different schedule
+  int fires = 0;
+  for (const int e : a) fires += e != 0;
+  EXPECT_GT(fires, 8);   // p=0.5 over 64 draws: nowhere near 0...
+  EXPECT_LT(fires, 56);  // ...nor 64
+}
+
+TEST(FaultCheck, PathGlobSelectsSites) {
+  ScopedFaultPlan plan("op=write,path=*.spill,every=1,err=ENOSPC");
+  EXPECT_EQ(fault_check("write", "/tmp/run/seg0.spill"), ENOSPC);
+  EXPECT_EQ(fault_check("write", "/tmp/run/state.ckpt"), 0);
+  EXPECT_EQ(fault_check("rename", "/tmp/run/seg0.spill"), 0);  // op gate
+}
+
+TEST(FaultCheck, WildcardOpMatchesEverything) {
+  ScopedFaultPlan plan("op=*,every=1,err=EIO");
+  EXPECT_EQ(fault_check("write", "a"), EIO);
+  EXPECT_EQ(fault_check("send"), EIO);
+  EXPECT_EQ(fault_check("anything-at-all"), EIO);
+}
+
+TEST(FaultCheck, FirstErroringRuleWins) {
+  ScopedFaultPlan plan("op=write,every=1,err=ENOSPC;op=*,every=1,err=EIO");
+  EXPECT_EQ(fault_check("write", "x"), ENOSPC);
+  EXPECT_EQ(fault_check("open", "x"), EIO);
+}
+
+TEST(FaultCheck, ClearedSeamIsInert) {
+  {
+    ScopedFaultPlan plan("op=*,every=1,err=EIO");
+    EXPECT_TRUE(fault_active());
+    EXPECT_NE(fault_check("write", "x"), 0);
+  }
+  EXPECT_FALSE(fault_active());
+  EXPECT_EQ(fault_check("write", "x"), 0);
+  EXPECT_EQ(fault_injections(), 0u);  // counters reset with the plan
+}
+
+// ---------------------------------------------------------------------
+// The hardened file-I/O wrapper under injection
+
+std::string tmp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(IoFault, AtomicWriteSurvivesInjectedWriteFailure) {
+  const std::string path = tmp_path("survives.json");
+  write_file_atomic(path, "original");
+  {
+    ScopedFaultPlan plan("op=write,path=*survives.json,nth=1,err=ENOSPC");
+    EXPECT_FALSE(try_write_file_atomic(path, "torn"));
+  }
+  // The failed write never replaced (or tore) the committed contents,
+  // and no .tmp litter survives to confuse a directory scan.
+  EXPECT_EQ(read_file(path), "original");
+  EXPECT_EQ(read_file_or_empty(path + ".tmp"), "");
+}
+
+TEST(IoFault, AtomicWriteSurvivesInjectedRenameFailure) {
+  const std::string path = tmp_path("norename.json");
+  write_file_atomic(path, "original");
+  {
+    ScopedFaultPlan plan("op=rename,path=*norename.json,nth=1,err=EIO");
+    try {
+      write_file_atomic(path, "unpublished");
+      FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.error_code(), EIO);
+    }
+  }
+  EXPECT_EQ(read_file(path), "original");
+  // ...and the seam off again, the same write goes through.
+  write_file_atomic(path, "updated");
+  EXPECT_EQ(read_file(path), "updated");
+}
+
+TEST(IoFault, InjectedReadFailureDegradesToEmpty) {
+  const std::string path = tmp_path("readable.json");
+  write_file_atomic(path, "payload");
+  ScopedFaultPlan plan("op=open,path=*readable.json,every=1,err=EIO");
+  EXPECT_EQ(read_file_or_empty(path), "");
+  EXPECT_THROW(read_file(path), IoError);
+}
+
+}  // namespace
+}  // namespace cac::support

@@ -250,7 +250,7 @@ def serve_summary(benchmarks: list[dict]) -> list[dict]:
             continue
         entry = {"name": name}
         for k in ("clients", "jobs_run", "items_per_second", "real_time",
-                  "time_unit"):
+                  "time_unit", "shed_requests", "reaped_clients"):
             if k in b:
                 entry[k] = b[k]
         if (b is cached and cold and cold.get("real_time")
@@ -258,6 +258,34 @@ def serve_summary(benchmarks: list[dict]) -> list[dict]:
             entry["cache_speedup"] = round(
                 cold["real_time"] / b["real_time"], 1)
         out.append(entry)
+    return out
+
+
+def fault_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize the fault-injection seam guards (bench_serve): the
+    disabled fast path (must stay ~1ns — the zero-overhead-when-
+    disabled contract) and the armed-but-missing slow path, plus the
+    fleet-level armed-seam run from bench_dist_explore."""
+    out = []
+    disabled = None
+    for b in benchmarks:
+        name = b.get("name", "")
+        if not (name.startswith("BM_FaultSeam")
+                or name.startswith("BM_DistExploreSeamArmed")):
+            continue
+        entry = {"name": name}
+        for k in ("real_time", "time_unit", "items_per_second",
+                  "states_per_sec"):
+            if k in b:
+                entry[k] = b[k]
+        if name.startswith("BM_FaultSeamDisabled"):
+            disabled = entry
+        out.append(entry)
+    for entry in out:
+        if (entry["name"].startswith("BM_FaultSeamArmedMiss") and disabled
+                and disabled.get("real_time") and entry.get("real_time")):
+            entry["armed_overhead"] = round(
+                entry["real_time"] / max(disabled["real_time"], 1e-9), 1)
     return out
 
 
@@ -331,6 +359,9 @@ def main() -> None:
     serve = serve_summary(benchmarks)
     if serve:
         snapshot["serve"] = serve
+    fault = fault_summary(benchmarks)
+    if fault:
+        snapshot["fault"] = fault
     out = Path(args.out)
     out.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {out} ({len(benchmarks)} benchmarks, "

@@ -30,8 +30,15 @@
 //                 [--checkpoint-every N] [--verbose]
 //   cacval submit <check|validate|lint|equiv> FILE [FILE_B]
 //                 --to ENDPOINT [the same flags as the local command]
-//                 [--progress N]
-//   cacval submit <ping|stats|shutdown> --to ENDPOINT
+//                 [--progress N] [--timeout MS] [--retries N]
+//   cacval submit <ping|stats|shutdown> --to ENDPOINT [--timeout MS]
+//
+// Submission hardening (docs/robustness.md): --timeout (default 30000,
+// 0 = wait forever) bounds server inactivity per frame; --retries
+// (default 3) bounds reconnect-and-resubmit cycles.  A shed request
+// exits 4 (busy, retryable after the advertised backoff); an
+// unreachable or mid-stream-dead server exits 5 (retryable —
+// resubmitting re-attaches to the journaled job).
 //
 // Launch options:
 //   --kernel K          kernel name (default: the first kernel)
@@ -59,8 +66,14 @@
 //   1 violation / refutation / race / lint finding,
 //   2 usage or input error (including corrupt checkpoints),
 //   3 a limit tripped before a verdict (inconclusive),
+//   4 the server shed the request (busy; retryable),
+//   5 the server was unreachable within --timeout (retryable),
 //   128+signo when stopped by SIGINT/SIGTERM (after writing a final
 //   checkpoint if --checkpoint was given).
+//
+// Fault injection (docs/robustness.md): the CAC_FAULT_PLAN environment
+// variable installs a deterministic fault plan (support/fault.h) into
+// this process before anything else runs.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -86,6 +99,7 @@
 #include "sched/explore.h"
 #include "sched/scheduler.h"
 #include "sem/launch.h"
+#include "support/fault.h"
 
 using namespace cac;
 
@@ -131,6 +145,10 @@ struct Options {
   /// submit: server endpoint and progress-event cadence.
   std::string to;
   std::uint64_t progress = 0;
+  /// submit: per-frame inactivity timeout (ms; 0 = wait forever) and
+  /// reconnect-and-resubmit attempts.
+  std::uint64_t timeout_ms = 30000;
+  std::uint64_t retries = 3;
 
   Options() { explore.max_depth = 1u << 20; }
 };
@@ -263,6 +281,8 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--sym-paths") o.sym.max_paths = parse_u64(next());
     else if (a == "--to") o.to = next();
     else if (a == "--progress") o.progress = parse_u64(next());
+    else if (a == "--timeout") o.timeout_ms = parse_u64(next());
+    else if (a == "--retries") o.retries = parse_u64(next());
     else usage(("unknown option " + a).c_str());
   }
   if (!o.explore.checkpoint_path.empty() &&
@@ -454,6 +474,11 @@ void print_dist_stats(const dist::DistStats& s) {
               static_cast<unsigned long long>(s.restarts),
               static_cast<unsigned long long>(s.piecemeal_restarts),
               static_cast<unsigned long long>(s.generations));
+  if (s.send_retries != 0 || s.connect_retries != 0) {
+    std::printf("  transport: %llu send retries, %llu connect retries\n",
+                static_cast<unsigned long long>(s.send_retries),
+                static_cast<unsigned long long>(s.connect_retries));
+  }
   for (std::size_t i = 0; i < s.workers.size(); ++i) {
     const dist::DistStats::PerWorker& w = s.workers[i];
     std::printf("  worker %zu: %llu states owned, %llu frontier sent, "
@@ -602,22 +627,50 @@ int cmd_serve(int argc, char** argv) {
   return finish_exit_code(0);
 }
 
+/// Map an exhausted retryable transport failure to the typed
+/// "server unreachable" exit (docs/robustness.md).
+int report_unreachable(const dist::DistError& e) {
+  std::fprintf(stderr, "cacval: server unreachable: %s\n", e.what());
+  return front::kExitUnreachable;
+}
+
+bool retryable(const dist::DistError& e) {
+  switch (e.kind()) {
+    case dist::DistError::Kind::Io:
+    case dist::DistError::Kind::PeerDied:
+    case dist::DistError::Kind::Timeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
 int cmd_submit(int argc, char** argv) {
   if (argc < 3) usage("submit needs a subcommand");
   const std::string sub = argv[2];
   if (sub == "ping" || sub == "stats" || sub == "shutdown") {
     std::string to;
+    std::uint64_t timeout_ms = 30000;
     for (int i = 3; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--to" && i + 1 < argc) to = argv[++i];
+      else if (a == "--timeout" && i + 1 < argc) {
+        timeout_ms = parse_u64(argv[++i]);
+      }
       else usage(("unknown option " + a).c_str());
     }
     if (to.empty()) usage("submit needs --to ENDPOINT");
-    front::Client client = front::Client::connect(to);
-    const front::Client::Reply reply =
-        client.call("{\"command\":\"" + sub + "\"}");
-    std::printf("%s\n", reply.raw.c_str());
-    return reply.doc.str_or("status", "") == "ok" ? 0 : front::kExitUsage;
+    try {
+      front::Client client = front::Client::connect(to, dist::RetryPolicy{});
+      const front::Client::Reply reply =
+          client.call("{\"command\":\"" + sub + "\"}", {},
+                      static_cast<int>(timeout_ms));
+      std::printf("%s\n", reply.raw.c_str());
+      return reply.doc.str_or("status", "") == "ok" ? 0 : front::kExitUsage;
+    } catch (const dist::DistError& e) {
+      if (retryable(e)) return report_unreachable(e);
+      throw;
+    }
   }
 
   // Reuse the regular parser with "submit" stripped, so submit accepts
@@ -642,21 +695,53 @@ int cmd_submit(int argc, char** argv) {
   else if (sub == "equiv") req = make_equiv_request(o);
   else usage(("unknown submit subcommand " + sub).c_str());
 
+  // Keepalive: with a timeout but no user-requested progress cadence,
+  // ask the server for sparse progress events anyway — a long
+  // exploration then keeps resetting the inactivity deadline, so
+  // --timeout distinguishes "slow job" from "wedged server".  The
+  // cadence rides in the envelope, not the request body, so it never
+  // touches the cache key or the verdict.
+  const bool want_events = o.progress != 0;
+  std::uint64_t progress = o.progress;
+  if (progress == 0 && o.timeout_ms != 0) progress = 1u << 16;
+
   std::string payload = front::to_json(req);
-  if (o.progress != 0) {
+  if (progress != 0) {
     // The progress cadence rides in the request envelope, next to the
     // request fields the server journals.
     payload.insert(payload.size() - 1,
-                   ",\"progress\":" + std::to_string(o.progress));
+                   ",\"progress\":" + std::to_string(progress));
   }
 
-  front::Client client = front::Client::connect(o.to);
-  const front::Client::Reply reply = client.call(
-      payload, [](const front::JsonValue& ev) {
-        std::fprintf(stderr, "event: %s states=%llu\n",
-                     ev.str_or("event", "?").c_str(),
-                     static_cast<unsigned long long>(ev.u64_or("states", 0)));
-      });
+  front::SubmitOptions sopts;
+  sopts.timeout_ms = static_cast<int>(o.timeout_ms);
+  sopts.max_attempts = static_cast<int>(o.retries);
+  front::SubmitOutcome outcome;
+  try {
+    outcome = front::submit_with_retry(
+        o.to, payload, sopts, [want_events](const front::JsonValue& ev) {
+          if (!want_events && ev.str_or("event", "") == "progress") return;
+          std::fprintf(stderr, "event: %s states=%llu\n",
+                       ev.str_or("event", "?").c_str(),
+                       static_cast<unsigned long long>(
+                           ev.u64_or("states", 0)));
+        });
+  } catch (const dist::DistError& e) {
+    if (retryable(e)) return report_unreachable(e);
+    throw;
+  }
+  const front::Client::Reply& reply = outcome.reply;
+  if (outcome.reconnects != 0) {
+    std::fprintf(stderr, "cacval: reconnected %llu time(s)\n",
+                 static_cast<unsigned long long>(outcome.reconnects));
+  }
+  if (reply.doc.str_or("status", "") == "busy") {
+    std::fprintf(stderr, "cacval: server busy (retry after %llu ms): %s\n",
+                 static_cast<unsigned long long>(
+                     reply.doc.u64_or("retry_after_ms", 250)),
+                 reply.doc.str_or("error", "queue full").c_str());
+    return front::kExitBusy;
+  }
   if (reply.doc.str_or("status", "") != "ok") {
     std::fprintf(stderr, "cacval: server error: %s\n",
                  reply.doc.str_or("error", "unknown").c_str());
@@ -690,6 +775,7 @@ int cmd_submit(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  support::fault_init_from_env();
   try {
     if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
       return cmd_serve(argc, argv);
