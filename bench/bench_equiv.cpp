@@ -1,0 +1,362 @@
+// The equivalence checker as the benchmark subject (docs/equiv.md):
+// normalizer throughput on random term DAGs, end-to-end proof time as
+// the unroll factor grows (the checker's core scaling axis — more
+// unrolled loads per thread means wider linear combinations to
+// collapse), refutation time including the counterexample search and
+// concrete replay, and what the verdict cache collapses an equiv
+// resubmission to through the real serve socket.
+//
+// tools/bench_to_json.py snapshots these into BENCH_explore.json
+// (section `equiv`), so the proof-time curve and the cold/cached
+// ratio accumulate a trajectory across PRs.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "equiv/normalize.h"
+#include "front/cache.h"
+#include "front/front.h"
+#include "front/serve.h"
+#include "sym/term.h"
+
+namespace {
+
+using namespace cac;
+
+// --- generated kernel pairs ------------------------------------------
+//
+// Reference: a counted N-iteration accumulation loop,
+//   c[tid] = 2 * (a[tid*N] + a[tid*N+1] + ... + a[tid*N+N-1])
+// indexed with mad.lo + mul.wide.  Variant: fully unrolled onto an
+// add-chained pointer, the sum re-associated in reverse, and both
+// multiplications strength-reduced to shifts — the same shapes as the
+// committed examples/equiv/ corpus, scaled by N.
+
+std::string ref_kernel(unsigned n) {
+  std::string s = R"(.version 6.0
+.target sm_30
+.address_size 64
+.visible .entry acc(
+  .param .u64 a,
+  .param .u64 c
+)
+{
+  .reg .pred %p<2>;
+  .reg .u32 %r<10>;
+  .reg .u64 %rd<9>;
+  ld.param.u64 %rd1, [a];
+  ld.param.u64 %rd2, [c];
+  cvta.to.global.u64 %rd3, %rd1;
+  cvta.to.global.u64 %rd4, %rd2;
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, 0;
+  mov.u32 %r3, 0;
+LOOP:
+  setp.ge.u32 %p1, %r2, )" + std::to_string(n) + R"(;
+  @%p1 bra DONE;
+  mad.lo.s32 %r4, %r1, )" + std::to_string(n) + R"(, %r2;
+  mul.wide.s32 %rd5, %r4, 4;
+  add.s64 %rd6, %rd3, %rd5;
+  ld.global.u32 %r5, [%rd6];
+  add.s32 %r3, %r3, %r5;
+  add.s32 %r2, %r2, 1;
+  bra LOOP;
+DONE:
+  mul.lo.s32 %r6, %r3, 2;
+  mul.wide.s32 %rd7, %r1, 4;
+  add.s64 %rd8, %rd4, %rd7;
+  st.global.u32 [%rd8], %r6;
+  ret;
+}
+)";
+  return s;
+}
+
+std::string unrolled_kernel(unsigned n, unsigned log2n) {
+  std::string s = R"(.version 6.0
+.target sm_30
+.address_size 64
+.visible .entry acc(
+  .param .u64 a,
+  .param .u64 c
+)
+{
+  .reg .u32 %r<)" + std::to_string(n + 12) + R"(>;
+  .reg .u64 %rd<9>;
+  ld.param.u64 %rd1, [a];
+  ld.param.u64 %rd2, [c];
+  cvta.to.global.u64 %rd3, %rd1;
+  cvta.to.global.u64 %rd4, %rd2;
+  mov.u32 %r1, %tid.x;
+  shl.b32 %r2, %r1, )" + std::to_string(log2n) + R"(;
+  cvt.s64.s32 %rd5, %r2;
+  shl.b64 %rd5, %rd5, 2;
+  add.s64 %rd6, %rd3, %rd5;
+)";
+  for (unsigned i = 0; i < n; ++i) {
+    if (i != 0) s += "  add.s64 %rd6, %rd6, 4;\n";
+    s += "  ld.global.u32 %r" + std::to_string(10 + i) + ", [%rd6];\n";
+  }
+  // Reverse-order, right-leaning sum: maximally misassociated
+  // relative to the reference's left-leaning loop accumulation.
+  s += "  mov.u32 %r3, %r" + std::to_string(10 + n - 1) + ";\n";
+  for (unsigned i = n - 1; i-- > 0;) {
+    s += "  add.s32 %r3, %r3, %r" + std::to_string(10 + i) + ";\n";
+  }
+  s += R"(  shl.b32 %r4, %r3, 1;
+  cvt.s64.s32 %rd7, %r1;
+  shl.b64 %rd7, %rd7, 2;
+  add.s64 %rd8, %rd4, %rd7;
+  st.global.u32 [%rd8], %r4;
+  ret;
+}
+)";
+  return s;
+}
+
+front::EquivRequest pair_request(std::string src_a, std::string src_b) {
+  front::EquivRequest req;
+  req.file = "a.ptx";
+  req.source = std::move(src_a);
+  req.file_b = "b.ptx";
+  req.source_b = std::move(src_b);
+  req.launch.block = {4, 1, 1};
+  req.launch.warp_size = 4;
+  return req;
+}
+
+// The committed guard_ref/guard_offbyone shapes, inline so the bench
+// has no working-directory dependence: the variant's bounds check is
+// off by one, so thread tid == n writes where the reference skips.
+std::string guard_kernel(const char* cmp) {
+  return std::string(R"(.version 6.0
+.target sm_30
+.address_size 64
+.visible .entry inc_guard(
+  .param .u64 a,
+  .param .u64 c,
+  .param .u32 n
+)
+{
+  .reg .pred %p<2>;
+  .reg .u32 %r<6>;
+  .reg .u64 %rd<8>;
+  ld.param.u64 %rd1, [a];
+  ld.param.u64 %rd2, [c];
+  ld.param.u32 %r1, [n];
+  cvta.to.global.u64 %rd3, %rd1;
+  cvta.to.global.u64 %rd4, %rd2;
+  mov.u32 %r2, %tid.x;
+  setp.)") + cmp + R"(.s32 %p1, %r2, %r1;
+  @%p1 bra SKIP;
+  mul.wide.s32 %rd5, %r2, 4;
+  add.s64 %rd6, %rd3, %rd5;
+  ld.global.u32 %r3, [%rd6];
+  add.s32 %r4, %r3, 1;
+  add.s64 %rd7, %rd4, %rd5;
+  st.global.u32 [%rd7], %r4;
+SKIP:
+  ret;
+}
+)";
+}
+
+// --- normalizer throughput -------------------------------------------
+
+std::uint64_t xorshift64(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+sym::TermRef random_term(sym::TermArena& a, std::uint64_t& rng, int depth) {
+  if (depth <= 0) {
+    switch (xorshift64(rng) % 4) {
+      case 0: return a.var("x", 32);
+      case 1: return a.var("y", 32);
+      case 2: return a.var("z", 32);
+      default: return a.konst(xorshift64(rng) & 0xff, 32);
+    }
+  }
+  switch (xorshift64(rng) % 8) {
+    case 0: return a.add(random_term(a, rng, depth - 1),
+                         random_term(a, rng, depth - 1));
+    case 1: return a.sub(random_term(a, rng, depth - 1),
+                         random_term(a, rng, depth - 1));
+    case 2: return a.mul(random_term(a, rng, depth - 1),
+                         a.konst(xorshift64(rng) & 0xf, 32));
+    case 3: return a.shl(random_term(a, rng, depth - 1),
+                         a.konst(xorshift64(rng) % 8, 32));
+    case 4: return a.band(random_term(a, rng, depth - 1),
+                          random_term(a, rng, depth - 1));
+    case 5: return a.bxor(random_term(a, rng, depth - 1),
+                          random_term(a, rng, depth - 1));
+    case 6: return a.rem(random_term(a, rng, depth - 1),
+                         a.konst(1ull << (xorshift64(rng) % 6), 32), false);
+    default: return a.neg(random_term(a, rng, depth - 1));
+  }
+}
+
+/// Normal forms of a fresh batch of random DAGs per iteration (fresh
+/// arena + normalizer: memoization inside a batch is the real code
+/// path, memoization across iterations would be self-deception).
+void BM_NormalizeRandomTerms(benchmark::State& state) {
+  constexpr int kBatch = 256;
+  std::uint64_t rewrites = 0;
+  for (auto _ : state) {
+    sym::TermArena arena;
+    equiv::Normalizer norm(arena);
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < kBatch; ++i) {
+      benchmark::DoNotOptimize(norm.normalize(random_term(arena, rng, 5)));
+    }
+    rewrites = norm.stats().rewrites;
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["rewrites_per_batch"] = static_cast<double>(rewrites);
+}
+BENCHMARK(BM_NormalizeRandomTerms)->Unit(benchmark::kMillisecond);
+
+// --- end-to-end proof time vs unroll factor --------------------------
+
+void BM_EquivProveUnroll(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  unsigned log2n = 0;
+  while ((1u << log2n) < n) ++log2n;
+  const std::string ref = ref_kernel(n);
+  const std::string unr = unrolled_kernel(n, log2n);
+  std::uint64_t rewrites = 0;
+  std::uint64_t obligations = 0;
+  for (auto _ : state) {
+    const front::Result r = front::run_equiv(pair_request(ref, unr));
+    if (r.verdict != "equivalent" || r.stats.cex_trials != 0) {
+      throw std::runtime_error("expected a symbolic proof: " + r.detail);
+    }
+    rewrites = r.stats.rewrites;
+    obligations = r.stats.obligations;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["unroll"] = n;
+  state.counters["rewrites"] = static_cast<double>(rewrites);
+  state.counters["obligations"] = static_cast<double>(obligations);
+}
+BENCHMARK(BM_EquivProveUnroll)
+    ->ArgName("n")
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// Refutation end to end: symbolic mismatch, counterexample search,
+/// and the two concrete replay explorations that validate it.
+void BM_EquivRefuteWithReplay(benchmark::State& state) {
+  const std::string ref = guard_kernel("ge");
+  const std::string bad = guard_kernel("gt");
+  std::uint64_t trials = 0;
+  for (auto _ : state) {
+    const front::Result r = front::run_equiv(pair_request(ref, bad));
+    if (r.verdict != "not-equivalent" || !r.equiv_cex.replay_validated) {
+      throw std::runtime_error("expected a validated refutation: " +
+                               r.detail);
+    }
+    trials = r.stats.cex_trials;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cex_trials"] = static_cast<double>(trials);
+}
+BENCHMARK(BM_EquivRefuteWithReplay)->Unit(benchmark::kMillisecond);
+
+// --- equiv through the verdict cache ---------------------------------
+
+struct BenchServer {
+  BenchServer() {
+    dir = std::filesystem::temp_directory_path() /
+          ("cac_bench_equiv_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++));
+    std::filesystem::create_directories(dir);
+    front::ServeOptions opts;
+    opts.unix_path = dir / "sock";
+    opts.workers = 2;
+    server = std::make_unique<front::Server>(std::move(opts));
+    server->start();
+  }
+
+  ~BenchServer() {
+    server->stop();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  front::Client connect() { return front::Client::connect(dir / "sock"); }
+
+  std::filesystem::path dir;
+  std::unique_ptr<front::Server> server;
+  static inline int counter = 0;
+};
+
+/// Cold equiv submissions: a fresh cache key per iteration (the salt
+/// rides in sym.max_steps, which is structural but never reached by
+/// this workload — identical proof work, distinct key).
+void BM_EquivServeCold(benchmark::State& state) {
+  BenchServer bs;
+  front::Client client = bs.connect();
+  const std::string ref = ref_kernel(4);
+  const std::string unr = unrolled_kernel(4, 2);
+  std::uint64_t salt = 1;
+  for (auto _ : state) {
+    front::EquivRequest req = pair_request(ref, unr);
+    req.sym.max_steps += salt++;
+    const front::Client::Reply r =
+        client.call(front::to_json(front::Request{req}));
+    if (r.doc.str_or("status", "") != "ok" ||
+        r.doc.bool_or("cached", false)) {
+      throw std::runtime_error("cold equiv submission misbehaved: " + r.raw);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EquivServeCold)->Unit(benchmark::kMillisecond);
+
+/// Cached resubmission of one equiv verdict: frame + key + LRU hit +
+/// verbatim replay of the refutation JSON, counterexample included.
+void BM_EquivServeCachedResubmit(benchmark::State& state) {
+  BenchServer bs;
+  front::Client client = bs.connect();
+  const std::string payload = front::to_json(
+      front::Request{pair_request(guard_kernel("ge"), guard_kernel("gt"))});
+  client.call(payload);  // warm the cache with the refutation
+  for (auto _ : state) {
+    const front::Client::Reply r = client.call(payload);
+    if (!r.doc.bool_or("cached", false)) {
+      throw std::runtime_error("expected an equiv cache hit: " + r.raw);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["jobs_run"] =
+      static_cast<double>(bs.server->stats().jobs_run);
+}
+BENCHMARK(BM_EquivServeCachedResubmit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+/// Custom main so CI can smoke the bench cheaply: `--quick` maps to a
+/// minimal measuring time before the standard benchmark flags parse.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char quick_flag[] = "--benchmark_min_time=0.01";
+  for (auto& a : args) {
+    if (std::strcmp(a, "--quick") == 0) a = quick_flag;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "equiv/align.h"
+
+#include <algorithm>
+
+namespace cac::equiv {
+
+using sym::Op;
+using sym::TermArena;
+using sym::TermNode;
+using sym::TermRef;
+
+std::optional<Cube> cube_of(TermArena& arena, Normalizer& norm,
+                            TermRef cond) {
+  // Path conditions are built as And-chains of branch predicates
+  // (sym/exec.cc forks with band).  Normalize first — that flattens,
+  // sorts, and may already collapse the condition to a constant.
+  const TermRef n = norm.normalize(cond);
+  if (const auto c = arena.const_value(n)) {
+    if (*c == 0) return std::nullopt;  // infeasible path
+    return Cube{};                     // unconditional
+  }
+  Cube cube;
+  std::vector<TermRef> work{n};
+  while (!work.empty()) {
+    const TermRef cur = work.back();
+    work.pop_back();
+    const TermNode node = arena.node(cur);
+    if (node.op == Op::And) {
+      work.push_back(node.a);
+      work.push_back(node.b);
+      continue;
+    }
+    if (node.op == Op::Not) {
+      cube.push_back(Literal{node.a, true});
+      continue;
+    }
+    cube.push_back(Literal{cur, false});
+  }
+  std::sort(cube.begin(), cube.end());
+  cube.erase(std::unique(cube.begin(), cube.end()), cube.end());
+  // l ∧ ¬l: contradictory cube — the normalizer usually catches this
+  // (x & ~x -> 0), but Not-of-And atoms can hide one from it.
+  for (std::size_t i = 0; i + 1 < cube.size(); ++i) {
+    if (cube[i].atom == cube[i + 1].atom && cube[i].neg != cube[i + 1].neg) {
+      return std::nullopt;
+    }
+  }
+  return cube;
+}
+
+namespace {
+
+/// True when every literal of `a` appears in `b` (both sorted):
+/// a ⊆ b means cube b implies cube a, so b is absorbed by a.
+bool subset_of(const Cube& a, const Cube& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// If `a` and `b` differ in exactly one literal and that literal
+/// appears with opposite polarity, return the merged cube without it:
+/// (g ∧ d) ∨ (g ∧ ¬d)  ->  g.
+std::optional<Cube> merge_complementary(const Cube& a, const Cube& b) {
+  if (a.size() != b.size()) return std::nullopt;
+  std::optional<std::size_t> flip;
+  // Sorted cubes with one polarity flip still align index-by-index:
+  // Literal orders by (atom, neg), so the flipped literal occupies the
+  // same position in both.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    if (a[i].atom == b[i].atom && a[i].neg != b[i].neg && !flip) {
+      flip = i;
+      continue;
+    }
+    return std::nullopt;
+  }
+  if (!flip) return std::nullopt;  // identical cubes
+  Cube merged = a;
+  merged.erase(merged.begin() + static_cast<std::ptrdiff_t>(*flip));
+  return merged;
+}
+
+void minimize(Dnf& dnf) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Absorption: drop any cube implied by a more general one.
+    for (std::size_t i = 0; i < dnf.cubes.size(); ++i) {
+      for (std::size_t j = 0; j < dnf.cubes.size(); ++j) {
+        if (i == j) continue;
+        if (subset_of(dnf.cubes[i], dnf.cubes[j])) {
+          dnf.cubes.erase(dnf.cubes.begin() +
+                          static_cast<std::ptrdiff_t>(j));
+          if (j < i) --i;
+          --j;
+          changed = true;
+        }
+      }
+    }
+    // Complementary merge: (g∧d) ∨ (g∧¬d) -> g.
+    for (std::size_t i = 0; i < dnf.cubes.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < dnf.cubes.size(); ++j) {
+        if (auto m = merge_complementary(dnf.cubes[i], dnf.cubes[j])) {
+          dnf.cubes.erase(dnf.cubes.begin() +
+                          static_cast<std::ptrdiff_t>(j));
+          dnf.cubes[i] = std::move(*m);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::sort(dnf.cubes.begin(), dnf.cubes.end());
+  dnf.cubes.erase(std::unique(dnf.cubes.begin(), dnf.cubes.end()),
+                  dnf.cubes.end());
+}
+
+}  // namespace
+
+void dnf_add(Dnf& dnf, Cube cube) {
+  dnf.cubes.push_back(std::move(cube));
+  minimize(dnf);
+}
+
+std::string to_string(const TermArena& arena, const Dnf& dnf) {
+  if (dnf.is_false()) return "false";
+  if (dnf.is_true()) return "true";
+  std::string out;
+  for (std::size_t i = 0; i < dnf.cubes.size(); ++i) {
+    if (i != 0) out += " | ";
+    const Cube& cube = dnf.cubes[i];
+    if (cube.size() > 1) out += "(";
+    for (std::size_t j = 0; j < cube.size(); ++j) {
+      if (j != 0) out += " & ";
+      if (cube[j].neg) out += "!";
+      out += arena.to_string(cube[j].atom);
+    }
+    if (cube.size() > 1) out += ")";
+  }
+  return out;
+}
+
+std::string to_string(const CellKey& cell) {
+  return cell.region + "[" + std::to_string(cell.offset) + "]:" +
+         std::to_string(8 * cell.bytes);
+}
+
+WriteMap build_write_map(TermArena& arena, Normalizer& norm,
+                         const sym::ThreadSummary& summary) {
+  WriteMap map;
+  for (const sym::SymPath& p : summary.paths) {
+    const auto cube = cube_of(arena, norm, p.cond);
+    if (!cube) continue;  // infeasible path contributes nothing
+    for (const sym::SymWrite& w : p.writes) {
+      const CellKey cell{w.region, w.offset, w.bytes};
+      const TermRef value = norm.normalize(w.value);
+      CellWrites& cw = map[cell];
+      auto it = std::find_if(cw.values.begin(), cw.values.end(),
+                             [&](const auto& vg) { return vg.first == value; });
+      if (it == cw.values.end()) {
+        cw.values.emplace_back(value, Dnf{});
+        it = cw.values.end() - 1;
+      }
+      dnf_add(it->second, *cube);
+    }
+  }
+  for (auto& [cell, cw] : map) {
+    std::sort(cw.values.begin(), cw.values.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return map;
+}
+
+std::optional<MapMismatch> compare_write_maps(const TermArena& arena,
+                                              const WriteMap& a,
+                                              const WriteMap& b,
+                                              std::size_t& obligations) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      ++obligations;
+      return MapMismatch{ia->first, "cell-set",
+                         "writes " + to_string(ia->first), "no write"};
+    }
+    if (ia == a.end() || ib->first < ia->first) {
+      ++obligations;
+      return MapMismatch{ib->first, "cell-set", "no write",
+                         "writes " + to_string(ib->first)};
+    }
+    const CellKey& cell = ia->first;
+    const auto& va = ia->second.values;
+    const auto& vb = ib->second.values;
+    // Values are sorted by ref; identical multisets align index-wise.
+    const std::size_t n = std::max(va.size(), vb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ++obligations;
+      if (i >= va.size() || i >= vb.size() ||
+          va[i].first != vb[i].first) {
+        return MapMismatch{
+            cell, "value",
+            i < va.size() ? arena.to_string(va[i].first) : "(none)",
+            i < vb.size() ? arena.to_string(vb[i].first) : "(none)"};
+      }
+      ++obligations;
+      if (!(va[i].second == vb[i].second)) {
+        return MapMismatch{cell, "guard",
+                           arena.to_string(va[i].first) + " under " +
+                               to_string(arena, va[i].second),
+                           arena.to_string(vb[i].first) + " under " +
+                               to_string(arena, vb[i].second)};
+      }
+    }
+    ++ia;
+    ++ib;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cac::equiv

@@ -1,0 +1,109 @@
+// Guard-partition alignment — comparing kernels that branch
+// differently.
+//
+// vcgen::prove_equivalent requires the two kernels' per-thread path
+// partitions to be *identical* (same conditions, path by path).  An
+// unrolled loop breaks that immediately: the reference forks once per
+// iteration (guards g0, g1 -> paths g0∧g1, g0∧¬g1, ¬g0∧g1, ¬g0∧¬g1)
+// while the unrolled body may fork in another order or not at all.
+//
+// This layer erases the path structure.  Each thread summary becomes a
+// canonical *guard -> writes* map: for every written cell and every
+// (normalized) value stored there, the disjunction of the path
+// conditions under which that store happens, minimized to a canonical
+// DNF over normalized literals.  Minimization merges complementary
+// cubes ((g∧d) ∨ (g∧¬d) -> g), removes contradictions and absorbed
+// cubes — exactly the reasoning needed to collapse an unrolled
+// partition back to the reference's guards.  Two kernels are
+// equivalent iff their maps agree cell-for-cell, value-for-value,
+// guard-for-guard — compared structurally in the shared arena.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "equiv/normalize.h"
+#include "sym/exec.h"
+
+namespace cac::equiv {
+
+/// One conjunct of a guard: a normalized non-And atom, possibly
+/// negated.
+struct Literal {
+  sym::TermRef atom = 0;
+  bool neg = false;
+
+  friend bool operator==(const Literal&, const Literal&) = default;
+  friend auto operator<=>(const Literal&, const Literal&) = default;
+};
+
+/// A conjunction of literals, sorted and duplicate-free.  Empty = true.
+using Cube = std::vector<Literal>;
+
+/// Disjunction of cubes, canonically minimized and sorted.  Empty =
+/// false; a single empty cube = true.
+struct Dnf {
+  std::vector<Cube> cubes;
+
+  [[nodiscard]] bool is_false() const { return cubes.empty(); }
+  [[nodiscard]] bool is_true() const {
+    return cubes.size() == 1 && cubes[0].empty();
+  }
+  friend bool operator==(const Dnf&, const Dnf&) = default;
+};
+
+/// Decompose a width-1 path condition into a single cube of normalized
+/// literals (the path condition is a conjunction by construction).
+/// Returns nullopt when the condition is syntactically false.
+std::optional<Cube> cube_of(sym::TermArena& arena, Normalizer& norm,
+                            sym::TermRef cond);
+
+/// dst := dst ∨ cube, then re-minimize to the canonical form:
+/// contradiction removal, absorption, complementary-cube merging, and
+/// a final sort.
+void dnf_add(Dnf& dnf, Cube cube);
+
+std::string to_string(const sym::TermArena& arena, const Dnf& dnf);
+
+/// A written cell.
+struct CellKey {
+  std::string region;
+  std::uint64_t offset = 0;
+  unsigned bytes = 4;
+
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+  friend auto operator<=>(const CellKey&, const CellKey&) = default;
+};
+
+/// Every (value, guard) pair stored to one cell, values normalized and
+/// sorted by ref, guards canonical DNFs.
+struct CellWrites {
+  std::vector<std::pair<sym::TermRef, Dnf>> values;
+};
+
+using WriteMap = std::map<CellKey, CellWrites>;
+
+/// Merge one thread's path partition into the canonical guard->writes
+/// map.  Every path must be ok (caller checks).
+WriteMap build_write_map(sym::TermArena& arena, Normalizer& norm,
+                         const sym::ThreadSummary& summary);
+
+/// First disagreement between two write maps, or nullopt when they
+/// coincide.  `obligations` counts the structural equalities checked.
+struct MapMismatch {
+  CellKey cell;
+  std::string obligation;  // "cell-set" | "value" | "guard"
+  std::string lhs, rhs;    // rendered normalized terms / guards
+};
+std::optional<MapMismatch> compare_write_maps(const sym::TermArena& arena,
+                                              const WriteMap& a,
+                                              const WriteMap& b,
+                                              std::size_t& obligations);
+
+std::string to_string(const CellKey& cell);
+
+}  // namespace cac::equiv

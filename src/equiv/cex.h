@@ -1,0 +1,75 @@
+// Counterexample search — turning a failed symbolic proof into a
+// concrete refutation, or refusing to refute at all.
+//
+// The normalizer is incomplete, so "the canonical write maps differ"
+// does NOT mean the kernels differ (docs/equiv.md).  Before the
+// checker may report not-equivalent it must produce a concrete input
+// valuation on which the two kernels' final Global memories disagree,
+// and that valuation must be *replay-validated*: both kernels are run
+// concretely through the schedule explorer (the same engine `cacval
+// check` trusts, reachable through the RunHooks::explorer seam) and
+// the first diverging store is read out of the real final states.
+//
+// The search is bounded and complete only over its enumeration: small
+// deterministic value sets per input (0, 1, 2, boundary values around
+// the thread count) swept singly and then in pseudo-random
+// combinations, capped by `max_trials`.  Candidates are pre-filtered
+// by evaluating the symbolic summaries (cheap) and only survivors are
+// replayed (expensive).  Exhausting the budget without a validated
+// divergence leaves the verdict inconclusive — never not-equivalent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/model.h"
+#include "sym/exec.h"
+
+namespace cac::equiv {
+
+struct CexOptions {
+  /// Input valuations examined (symbolic pre-filter) before giving up.
+  std::uint64_t max_trials = 256;
+  /// Replay bounds handed to the explorer for validation runs.
+  std::uint64_t replay_max_states = 1u << 18;
+  std::uint64_t replay_max_depth = 1u << 16;
+};
+
+/// A validated concrete refutation.
+struct Counterexample {
+  /// The input valuation, name -> value, sorted by name.  Covers
+  /// scalar parameters and initial memory cells (`arr[off]`); pointer
+  /// parameters are bound to the disjoint region bases chosen for the
+  /// replay and are included here so the run is reproducible verbatim.
+  std::vector<std::pair<std::string, std::uint64_t>> inputs;
+  /// First diverging store, in canonical (region, offset) order.
+  std::string region;
+  std::uint64_t offset = 0;
+  std::uint64_t addr = 0;  // absolute Global address in the replay
+  std::uint32_t value_a = 0;
+  std::uint32_t value_b = 0;
+  bool replay_validated = false;
+};
+
+struct CexSearch {
+  std::optional<Counterexample> found;
+  std::uint64_t trials = 0;   // valuations examined symbolically
+  std::uint64_t replays = 0;  // candidates replayed concretely
+  bool budget_exhausted = false;
+  std::string note;  // why the search stopped without a verdict
+};
+
+/// Search for an input valuation on which the two kernels' final
+/// Global stores differ, given the per-thread symbolic summaries
+/// already computed by the checker.  `explorer` may be empty (falls
+/// back to sched::explore).
+CexSearch search_counterexample(
+    const ptx::Program& a, const ptx::Program& b,
+    const sem::KernelConfig& kc, const sym::SymEnv& env,
+    const std::vector<sym::ThreadSummary>& sum_a,
+    const std::vector<sym::ThreadSummary>& sum_b, const CexOptions& opts,
+    const check::ModelCheckOptions::explorer_type& explorer);
+
+}  // namespace cac::equiv

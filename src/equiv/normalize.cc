@@ -1,0 +1,340 @@
+#include "equiv/normalize.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/bits.h"
+
+namespace cac::equiv {
+
+using sym::Op;
+using sym::TermNode;
+using sym::TermRef;
+
+namespace {
+
+bool is_linear_root(Op op) {
+  return op == Op::Add || op == Op::Sub || op == Op::Neg || op == Op::Mul ||
+         op == Op::Const;
+}
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+unsigned log2_of(std::uint64_t v) {
+  unsigned k = 0;
+  while (v > 1) { v >>= 1; ++k; }
+  return k;
+}
+
+}  // namespace
+
+TermRef Normalizer::normalize(TermRef t) {
+  if (!enabled_) return t;
+  const auto it = memo_.find(t);
+  if (it != memo_.end()) return it->second;
+  const TermRef r = norm_uncached(t);
+  memo_.emplace(t, r);
+  ++stats_.terms;
+  if (r != t) ++stats_.rewrites;
+  return r;
+}
+
+std::uint64_t Normalizer::factorize(TermRef t, unsigned w,
+                                    std::vector<TermRef>& factors) {
+  const TermNode n = arena_.node(t);
+  if (n.op == Op::Const) return truncate(n.value, w);
+  if (n.op == Op::Mul) {
+    const std::uint64_t ca = factorize(n.a, w, factors);
+    const std::uint64_t cb = factorize(n.b, w, factors);
+    return truncate(ca * cb, w);
+  }
+  factors.push_back(t);
+  return 1;
+}
+
+Normalizer::Lin Normalizer::linearize(TermRef t, unsigned w) {
+  const TermNode n = arena_.node(t);
+
+  auto scale = [w](Lin l, std::uint64_t k) {
+    Lin out;
+    if (k == 0) return out;
+    out.c = truncate(l.c * k, w);
+    for (const auto& [base, co] : l.coeff) {
+      const std::uint64_t nk = truncate(co * k, w);
+      if (nk != 0) out.coeff[base] = nk;
+    }
+    return out;
+  };
+  auto accumulate = [w](Lin& into, const Lin& from) {
+    into.c = truncate(into.c + from.c, w);
+    for (const auto& [base, co] : from.coeff) {
+      const std::uint64_t nk = truncate(into.coeff[base] + co, w);
+      if (nk == 0) {
+        into.coeff.erase(base);
+      } else {
+        into.coeff[base] = nk;
+      }
+    }
+  };
+  const std::uint64_t minus_one = low_mask(w);
+
+  switch (n.op) {
+    case Op::Const:
+      return Lin{{}, truncate(n.value, w)};
+    case Op::Add: {
+      Lin l = linearize(n.a, w);
+      accumulate(l, linearize(n.b, w));
+      return l;
+    }
+    case Op::Sub: {
+      Lin l = linearize(n.a, w);
+      accumulate(l, scale(linearize(n.b, w), minus_one));
+      return l;
+    }
+    case Op::Neg:
+      return scale(linearize(n.a, w), minus_one);
+    case Op::Shl: {
+      // x << k  ==  x * 2^k  (0 once the shift leaves the width).
+      const TermRef nb = normalize(n.b);
+      if (const auto k = arena_.const_value(nb)) {
+        const std::uint64_t f = *k >= w ? 0 : truncate(1ull << *k, w);
+        return scale(linearize(n.a, w), f);
+      }
+      break;  // symbolic shift: opaque base
+    }
+    case Op::Mul: {
+      const Lin la = linearize(n.a, w);
+      const Lin lb = linearize(n.b, w);
+      if (la.coeff.empty()) return scale(lb, la.c);
+      if (lb.coeff.empty()) return scale(la, lb.c);
+      const std::size_t terms_a = la.coeff.size() + (la.c != 0 ? 1 : 0);
+      const std::size_t terms_b = lb.coeff.size() + (lb.c != 0 ? 1 : 0);
+      if (terms_a * terms_b <= 8) {
+        // Bounded distribution: (Σ ci·xi)·(Σ dj·yj) expands so the
+        // constant parts keep cancelling across the product.
+        Lin out;
+        // A base is optional: ref 0 is a real term (the arena's first
+        // allocation), so "constant-only side" needs its own state.
+        auto emit = [&](std::optional<TermRef> xa, std::uint64_t ca,
+                        std::optional<TermRef> xb, std::uint64_t cb) {
+          std::vector<TermRef> factors;
+          std::uint64_t k = truncate(ca * cb, w);
+          if (xa) k = truncate(k * factorize(*xa, w, factors), w);
+          if (xb) k = truncate(k * factorize(*xb, w, factors), w);
+          Lin one;
+          if (factors.empty()) {
+            one.c = k;
+          } else if (k != 0) {
+            std::sort(factors.begin(), factors.end());
+            TermRef prod = factors[0];
+            for (std::size_t i = 1; i < factors.size(); ++i) {
+              prod = arena_.mul(prod, factors[i]);
+            }
+            one.coeff[prod] = k;
+          }
+          accumulate(out, one);
+        };
+        for (const auto& [xa, ca] : la.coeff) {
+          for (const auto& [xb, cb] : lb.coeff) emit(xa, ca, xb, cb);
+          if (lb.c != 0) emit(xa, ca, std::nullopt, lb.c);
+        }
+        if (la.c != 0) {
+          for (const auto& [xb, cb] : lb.coeff) emit(std::nullopt, la.c, xb, cb);
+          if (lb.c != 0) emit(std::nullopt, la.c, std::nullopt, lb.c);
+        }
+        return out;
+      }
+      break;  // too wide to distribute: opaque base
+    }
+    default:
+      break;
+  }
+
+  // Opaque base: normalize the subterm; if its normal form is itself
+  // linear-rooted (e.g. a Shl that became a Mul), decompose that.
+  const TermRef b = normalize(t);
+  if (b != t && is_linear_root(arena_.node(b).op)) return linearize(b, w);
+  if (const auto c = arena_.const_value(b)) return Lin{{}, truncate(*c, w)};
+  Lin l;
+  l.coeff[b] = 1;
+  return l;
+}
+
+TermRef Normalizer::rebuild(const Lin& lin, unsigned w) {
+  if (lin.coeff.empty()) return arena_.konst(lin.c, w);
+  TermRef acc = 0;
+  bool first = true;
+  for (const auto& [base, co] : lin.coeff) {  // ref-ascending: canonical
+    const TermRef term =
+        co == 1 ? base : arena_.mul(base, arena_.konst(co, w));
+    acc = first ? term : arena_.add(acc, term);
+    first = false;
+  }
+  if (lin.c != 0) acc = arena_.add(acc, arena_.konst(lin.c, w));
+  return acc;
+}
+
+TermRef Normalizer::flatten_bitop(Op op, TermRef t, unsigned w) {
+  const std::uint64_t mask = low_mask(w);
+  // Gather the leaves of the op's spine, folding constants as we go.
+  std::vector<TermRef> leaves;
+  std::uint64_t cacc = op == Op::And ? mask : 0;
+  std::vector<TermRef> work{arena_.node(t).a, arena_.node(t).b};
+  while (!work.empty()) {
+    const TermRef cur = normalize(work.back());
+    work.pop_back();
+    const TermNode n = arena_.node(cur);
+    if (n.op == op) {
+      work.push_back(n.a);
+      work.push_back(n.b);
+    } else if (n.op == Op::Const) {
+      const std::uint64_t v = truncate(n.value, w);
+      if (op == Op::And) cacc &= v;
+      else if (op == Op::Or) cacc |= v;
+      else cacc ^= v;
+    } else {
+      leaves.push_back(cur);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end());
+  if (op == Op::Xor) {
+    // Pairs cancel: keep each leaf iff it occurs an odd number of times.
+    std::vector<TermRef> odd;
+    for (std::size_t i = 0; i < leaves.size();) {
+      std::size_t j = i;
+      while (j < leaves.size() && leaves[j] == leaves[i]) ++j;
+      if ((j - i) % 2 == 1) odd.push_back(leaves[i]);
+      i = j;
+    }
+    leaves = std::move(odd);
+  } else {
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+  }
+  // Complement pairs: x op ~x is an annihilator (And: 0, Or: ~0) or,
+  // for Xor, folds into the constant (~0).
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const TermRef comp = arena_.bnot(leaves[i]);
+    const auto at = std::lower_bound(leaves.begin(), leaves.end(), comp);
+    if (at == leaves.end() || *at != comp) continue;
+    if (op == Op::And) return arena_.konst(0, w);
+    if (op == Op::Or) return arena_.konst(mask, w);
+    // Xor: drop both, fold ~0 into the constant; restart the scan on
+    // the shrunk list.
+    std::size_t hi = static_cast<std::size_t>(at - leaves.begin());
+    std::size_t lo = i;
+    if (lo > hi) std::swap(lo, hi);
+    leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(hi));
+    leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(lo));
+    cacc ^= mask;
+    i = static_cast<std::size_t>(-1);
+  }
+  if (op == Op::And && cacc == 0) return arena_.konst(0, w);
+  if (op == Op::Or && cacc == mask) return arena_.konst(mask, w);
+  if (leaves.empty()) return arena_.konst(cacc, w);
+  TermRef acc = leaves[0];
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    acc = op == Op::And ? arena_.band(acc, leaves[i])
+          : op == Op::Or ? arena_.bor(acc, leaves[i])
+                         : arena_.bxor(acc, leaves[i]);
+  }
+  const bool identity = (op == Op::And && cacc == mask) ||
+                        (op != Op::And && cacc == 0);
+  if (!identity) {
+    const TermRef k = arena_.konst(cacc, w);
+    acc = op == Op::And ? arena_.band(acc, k)
+          : op == Op::Or ? arena_.bor(acc, k)
+                         : arena_.bxor(acc, k);
+  }
+  return acc;
+}
+
+TermRef Normalizer::norm_uncached(TermRef t) {
+  const TermNode n = arena_.node(t);
+  const unsigned w = n.width;
+  switch (n.op) {
+    case Op::Const:
+    case Op::Var:
+      return t;
+
+    case Op::Add:
+    case Op::Sub:
+    case Op::Neg:
+    case Op::Mul:
+    case Op::Shl:
+      return rebuild(linearize(t, w), w);
+
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+      return flatten_bitop(n.op, t, w);
+
+    case Op::Rem: {
+      // Unsigned strength reduction: x % 2^k  ->  x & (2^k - 1).
+      const TermRef nb = normalize(n.b);
+      if (const auto cb = arena_.const_value(nb); cb && is_pow2(*cb)) {
+        return normalize(
+            arena_.band(normalize(n.a), arena_.konst(*cb - 1, w)));
+      }
+      return arena_.rem(normalize(n.a), nb, /*sgn=*/false);
+    }
+    case Op::Div: {
+      // Unsigned strength reduction: x / 2^k  ->  x >>l k.
+      const TermRef nb = normalize(n.b);
+      if (const auto cb = arena_.const_value(nb); cb && is_pow2(*cb)) {
+        if (*cb == 1) return normalize(n.a);
+        return arena_.lshr(normalize(n.a), arena_.konst(log2_of(*cb), w));
+      }
+      return arena_.div(normalize(n.a), nb, /*sgn=*/false);
+    }
+
+    case Op::RemS:
+      return arena_.rem(normalize(n.a), normalize(n.b), /*sgn=*/true);
+    case Op::DivS:
+      return arena_.div(normalize(n.a), normalize(n.b), /*sgn=*/true);
+    case Op::MulHi:
+      return arena_.mul_hi(normalize(n.a), normalize(n.b), /*sgn=*/false);
+    case Op::MulHiS:
+      return arena_.mul_hi(normalize(n.a), normalize(n.b), /*sgn=*/true);
+    case Op::MinU:
+      return arena_.min(normalize(n.a), normalize(n.b), /*sgn=*/false);
+    case Op::MinS:
+      return arena_.min(normalize(n.a), normalize(n.b), /*sgn=*/true);
+    case Op::MaxU:
+      return arena_.max(normalize(n.a), normalize(n.b), /*sgn=*/false);
+    case Op::MaxS:
+      return arena_.max(normalize(n.a), normalize(n.b), /*sgn=*/true);
+    case Op::LShr:
+      return arena_.lshr(normalize(n.a), normalize(n.b));
+    case Op::AShr:
+      return arena_.ashr(normalize(n.a), normalize(n.b));
+
+    case Op::Not:
+      return arena_.bnot(normalize(n.a));
+    case Op::Popc:
+      return arena_.popc(normalize(n.a));
+    case Op::Clz:
+      return arena_.clz(normalize(n.a));
+    case Op::Brev:
+      return arena_.brev(normalize(n.a));
+
+    case Op::ZExt:
+      return arena_.zext(normalize(n.a), w);
+    case Op::SExt:
+      return arena_.sext(normalize(n.a), w);
+    case Op::Trunc:
+      return arena_.trunc(normalize(n.a), w);
+
+    case Op::Eq:
+      return arena_.eq(normalize(n.a), normalize(n.b));
+    case Op::LtU:
+      return arena_.lt(normalize(n.a), normalize(n.b), /*sgn=*/false);
+    case Op::LtS:
+      return arena_.lt(normalize(n.a), normalize(n.b), /*sgn=*/true);
+
+    case Op::Ite:
+      return arena_.ite(normalize(n.a), normalize(n.b), normalize(n.c));
+  }
+  return t;  // unreachable; keeps -Wreturn-type quiet
+}
+
+}  // namespace cac::equiv

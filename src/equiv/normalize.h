@@ -1,0 +1,88 @@
+// Term normalization — the rewrite engine that lets independently
+// written kernels prove equivalent structurally.
+//
+// The arena's smart constructors (sym/term.h) fold constants and fix a
+// local operand order, which is enough when two programs *lower* to the
+// same computation.  Real reference-vs-optimized pairs need more: an
+// unrolled loop builds `((x + a0) + a1) + a2` where the reference
+// builds `x + ((a0 + a1) + a2)`, a strength-reduced kernel computes
+// `x << 3` where the reference computes `x * 8`, and so on.  The
+// Normalizer closes that gap with a global rewrite to a canonical
+// form:
+//
+//  * linear combinations — Add/Sub/Neg chains, multiplications by
+//    constants, and left shifts by constants all collapse into
+//    `c0 + c1*t1 + ... + cn*tn` with the symbolic bases sorted by
+//    term ref and the constant last (add-chain collapsing,
+//    `x*2^k == x<<k`, `x+x == 2*x`, distribution over constant
+//    factors);
+//  * strength-reduction identities — `x %u 2^k -> x & (2^k-1)`,
+//    `x /u 2^k -> x >>l k`;
+//  * AC flattening — And/Or/Xor chains flatten, sort, deduplicate
+//    (Xor: cancel pairs), and fold identities/annihilators including
+//    `x & ~x -> 0`, `x | ~x -> ~0`;
+//  * everything else rebuilds bottom-up through the arena's smart
+//    constructors with normalized children.
+//
+// Soundness invariant (pinned by tests/equiv/normalize_test.cc):
+// `evaluate(normalize(t)) == evaluate(t)` for every valuation — each
+// rule is an algebraic identity modulo 2^width.  The normalizer is
+// deliberately *incomplete*: two equivalent terms may still normalize
+// differently, which is why a failed structural proof is never a
+// refutation by itself (docs/equiv.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sym/term.h"
+
+namespace cac::equiv {
+
+struct NormalizeStats {
+  std::uint64_t terms = 0;     // distinct terms normalized
+  std::uint64_t rewrites = 0;  // terms whose normal form differs
+};
+
+class Normalizer {
+ public:
+  /// `enabled = false` makes normalize() the identity — the guard
+  /// alignment layer still runs, but only the arena's smart-constructor
+  /// forms apply (the `--no-normalize` ablation knob).
+  explicit Normalizer(sym::TermArena& arena, bool enabled = true)
+      : arena_(arena), enabled_(enabled) {}
+
+  /// The canonical form of `t`.  Memoized: normalizing a DAG is linear
+  /// in its distinct nodes.
+  sym::TermRef normalize(sym::TermRef t);
+
+  [[nodiscard]] const NormalizeStats& stats() const { return stats_; }
+
+ private:
+  /// Linear-combination view `c + Σ coeff_i * base_i` of a normalized
+  /// term (coefficients modulo 2^width; bases are non-constant
+  /// normalized terms keyed by ref, so the rebuild order is canonical).
+  struct Lin {
+    std::map<sym::TermRef, std::uint64_t> coeff;
+    std::uint64_t c = 0;
+  };
+
+  sym::TermRef norm_uncached(sym::TermRef t);
+  Lin linearize(sym::TermRef t, unsigned w);
+  sym::TermRef rebuild(const Lin& lin, unsigned w);
+  /// Canonical opaque product of two normalized non-constant factors:
+  /// flattens Mul spines, extracts the constant coefficient, sorts the
+  /// symbolic factors.  Returns the coefficient; appends factors.
+  std::uint64_t factorize(sym::TermRef t, unsigned w,
+                          std::vector<sym::TermRef>& factors);
+  sym::TermRef flatten_bitop(sym::Op op, sym::TermRef t, unsigned w);
+
+  sym::TermArena& arena_;
+  bool enabled_ = true;
+  std::unordered_map<sym::TermRef, sym::TermRef> memo_;
+  NormalizeStats stats_;
+};
+
+}  // namespace cac::equiv

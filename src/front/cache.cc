@@ -115,6 +115,14 @@ std::string canonical(const EquivRequest& e) {
   // proved.
   put_u64(s, e.sym.max_steps);
   put_u64(s, e.sym.max_paths);
+  // Checker configuration is structural too: mode and the
+  // normalize/counterexample switches each change the verdict class a
+  // request can produce.  cex_inputs is a transient budget — excluded;
+  // the budget-exhausted inconclusive it could skew is never cached
+  // (see cacheable()).
+  put_str(s, e.mode);
+  put_bool(s, e.normalize);
+  put_bool(s, e.counterexample);
   return s;
 }
 
@@ -145,6 +153,9 @@ CacheKey cache_key(const Request& req) {
 
 bool cacheable(const std::vector<Result>& results) {
   for (const Result& r : results) {
+    // Equiv: an inconclusive that exists only because the transient
+    // cex budget ran out must not shadow a future, better-funded run.
+    if (r.stats.cex_budget_tripped) return false;
     if (!r.stats.have_explore) continue;  // lint/equiv are deterministic
     const std::string& l = r.stats.limit_hit;
     if (l == "deadline" || l == "mem-limit" || l == "interrupted") {

@@ -6,6 +6,7 @@
 #include "analysis/disjoint.h"
 #include "analysis/lint.h"
 #include "check/validate.h"
+#include "equiv/check.h"
 #include "ptx/lower.h"
 #include "sym/exec.h"
 #include "vcgen/prove.h"
@@ -233,38 +234,78 @@ std::vector<Result> run_lint(const LintRequest& req) {
   return out;
 }
 
-Result run_equiv(const EquivRequest& req) {
+Result run_equiv(const EquivRequest& req, const RunHooks& hooks) {
   const ptx::LoweredModule mod_a = lower(req.source, req.insert_syncs);
   const ptx::LoweredModule mod_b = lower(req.source_b, req.insert_syncs);
   const ptx::Program& a = pick_kernel(mod_a, req.kernel);
   const ptx::Program& b =
       pick_kernel(mod_b, req.kernel_b.empty() ? req.kernel : req.kernel_b);
 
+  equiv::EquivOptions opts;
+  if (req.mode == "lowering") {
+    opts.mode = equiv::Mode::kLowering;
+  } else if (req.mode == "normalized" || req.mode.empty()) {
+    opts.mode = equiv::Mode::kNormalized;
+  } else {
+    throw sem::LaunchArgError("unknown equiv mode '" + req.mode +
+                         "' (expected 'normalized' or 'lowering')");
+  }
+  opts.normalize = req.normalize;
+  opts.counterexample = req.counterexample;
+  opts.sym = req.sym;
+  opts.cex.max_trials = req.cex_inputs;
+
   sym::TermArena arena;
-  const sym::SymEnv env = sym::SymEnv::symbolic(arena, a);
-  const vcgen::ProofResult pr =
-      vcgen::prove_equivalent(a, b, req.launch.to_config(), env, req.sym);
+  const sym::SymEnv env = equiv::make_union_env(arena, a, b);
+  const equiv::EquivResult er = equiv::check_equivalence(
+      a, b, req.launch.to_config(), env, opts, hooks.explorer);
 
   Result r;
   r.command = "equiv";
   r.file = req.file;
   r.kernel = a.name();
   r.kernel_b = b.name();
-  r.detail = pr.detail;
+  r.detail = er.detail;
   r.stats.have_sym = true;
-  r.stats.threads = pr.threads;
-  r.stats.paths = pr.paths;
-  r.stats.obligations = pr.obligations;
-  if (pr.proved) {
-    r.verdict = "equivalent";
-    r.exit_code = kExitProved;
-  } else if (pr.inconclusive) {
-    r.verdict = "inconclusive";
-    r.exit_code = kExitLimit;
-    r.limit_tripped = true;
-  } else {
-    r.verdict = "not-equivalent";
-    r.exit_code = kExitFinding;
+  r.stats.threads = er.threads;
+  r.stats.paths = er.paths;
+  r.stats.obligations = er.obligations;
+  r.stats.rewrites = er.rewrites;
+  r.stats.cex_trials = er.cex_trials;
+  r.stats.cex_budget_tripped = er.cex_budget_tripped;
+  if (er.failure) {
+    r.equiv_failure.present = true;
+    r.equiv_failure.thread = er.failure->thread;
+    r.equiv_failure.path_index = er.failure->path_index;
+    r.equiv_failure.obligation = er.failure->obligation;
+    r.equiv_failure.cell = er.failure->cell;
+    r.equiv_failure.lhs = er.failure->lhs;
+    r.equiv_failure.rhs = er.failure->rhs;
+  }
+  if (er.cex) {
+    r.equiv_cex.present = true;
+    r.equiv_cex.inputs = er.cex->inputs;
+    r.equiv_cex.region = er.cex->region;
+    r.equiv_cex.offset = er.cex->offset;
+    r.equiv_cex.addr = er.cex->addr;
+    r.equiv_cex.value_a = er.cex->value_a;
+    r.equiv_cex.value_b = er.cex->value_b;
+    r.equiv_cex.replay_validated = er.cex->replay_validated;
+  }
+  switch (er.verdict) {
+    case equiv::EquivVerdict::kEquivalent:
+      r.verdict = "equivalent";
+      r.exit_code = kExitProved;
+      break;
+    case equiv::EquivVerdict::kInconclusive:
+      r.verdict = "inconclusive";
+      r.exit_code = kExitLimit;
+      r.limit_tripped = true;
+      break;
+    case equiv::EquivVerdict::kNotEquivalent:
+      r.verdict = "not-equivalent";
+      r.exit_code = kExitFinding;
+      break;
   }
   return r;
 }
@@ -274,7 +315,7 @@ std::vector<Result> run(const Request& req, const RunHooks& hooks) {
     return {run_check(*c, hooks)};
   }
   if (const auto* l = std::get_if<LintRequest>(&req)) return run_lint(*l);
-  return {run_equiv(std::get<EquivRequest>(req))};
+  return {run_equiv(std::get<EquivRequest>(req), hooks)};
 }
 
 int exit_code_of(const std::vector<Result>& results) {

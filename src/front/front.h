@@ -47,8 +47,10 @@ Result run_check(const CheckRequest& req, const RunHooks& hooks = {});
 /// One Result per kernel, module order.
 std::vector<Result> run_lint(const LintRequest& req);
 
-/// Symbolic equivalence of two kernels.  Returns exactly one Result.
-Result run_equiv(const EquivRequest& req);
+/// Symbolic equivalence of two kernels (docs/equiv.md).  Returns
+/// exactly one Result.  Hooks: the counterexample search replays
+/// candidate valuations through hooks.explorer when set.
+Result run_equiv(const EquivRequest& req, const RunHooks& hooks = {});
 
 /// Dispatch on the request variant.
 std::vector<Result> run(const Request& req, const RunHooks& hooks = {});

@@ -102,13 +102,39 @@ std::string equiv_word(const Result& r) {
   return "INCONCLUSIVE";
 }
 
+/// Equiv extras below the pinned verdict line: the first failing
+/// obligation and the replay-validated counterexample, when present.
+std::string render_equiv_extras(const Result& r) {
+  std::string out;
+  if (r.equiv_failure.present) {
+    const EquivFailure& f = r.equiv_failure;
+    out += "failing obligation: " + f.obligation + " (thread " +
+           u64s(f.thread) + ", path " + u64s(f.path_index) + ")";
+    if (!f.cell.empty()) out += " at " + f.cell;
+    out += "\n";
+    if (!f.lhs.empty() || !f.rhs.empty()) {
+      out += "  lhs: " + f.lhs + "\n  rhs: " + f.rhs + "\n";
+    }
+  }
+  if (r.equiv_cex.present) {
+    const EquivCex& c = r.equiv_cex;
+    out += "counterexample (replay-validated):\n";
+    for (const auto& [name, value] : c.inputs) {
+      out += "  " + name + " = " + u64s(value) + "\n";
+    }
+    out += "  diverging store: " + c.region + "[" + u64s(c.offset) +
+           "] = " + u64s(c.value_a) + " vs " + u64s(c.value_b) + "\n";
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string render_text(const Result& r) {
   if (r.command == "lint") return render_lint(r);
   if (r.command == "equiv") {
     return r.kernel + " == " + r.kernel_b + ": " + equiv_word(r) + " (" +
-           r.detail + ")\n";
+           r.detail + ")\n" + render_equiv_extras(r);
   }
   if (r.command == "validate") {
     return r.text + render_exploration(r) + render_counterexample(r);

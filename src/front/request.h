@@ -88,7 +88,8 @@ struct LintRequest {
   bool insert_syncs = true;
 };
 
-/// `cacval equiv` — symbolic equivalence of two kernels.
+/// `cacval equiv` — symbolic equivalence of two kernels
+/// (docs/equiv.md).
 struct EquivRequest {
   std::string file;
   std::string source;
@@ -99,6 +100,20 @@ struct EquivRequest {
   sem::LaunchSpec launch;
   bool insert_syncs = true;
   sym::SymExecOptions sym;  // path/step bounds for the symbolic engine
+  /// Checker mode: "normalized" (guard-alignment checker with term
+  /// normalization, the default) or "lowering" (the legacy
+  /// path-by-path vcgen::prove_equivalent).  Structural.
+  std::string mode = "normalized";
+  /// Normalized mode: run the term rewrite engine.  Structural.
+  bool normalize = true;
+  /// Normalized mode: search for a replay-validated counterexample on
+  /// symbolic mismatch.  Structural (it decides not-equivalent vs
+  /// inconclusive).
+  bool counterexample = true;
+  /// Counterexample search budget (input valuations examined).
+  /// Transient: excluded from the cache key; a budget-exhausted
+  /// inconclusive is never cached.
+  std::uint64_t cex_inputs = 256;
 };
 
 /// Any request, as the serve protocol and the job journal carry it.
@@ -150,9 +165,42 @@ struct ResultStats {
   std::uint64_t threads = 0;
   std::uint64_t paths = 0;
   std::uint64_t obligations = 0;
+  /// Normalizer + counterexample-search accounting (equiv).
+  std::uint64_t rewrites = 0;
+  std::uint64_t cex_trials = 0;
+  /// The cex search budget tripped before a verdict — the inconclusive
+  /// depends on a transient budget, so the verdict cache skips it.
+  /// Not serialized (transient by definition).
+  bool cex_budget_tripped = false;
   /// POR oracle (check/validate with por_oracle).
   bool por_oracle = false;
   std::uint64_t por_oracle_pcs = 0;
+};
+
+/// Equiv: the first failing proof obligation, structured — why the two
+/// kernels' symbolic summaries differ even when no counterexample was
+/// found (the ProofResult-reporting satellite of docs/equiv.md).
+struct EquivFailure {
+  bool present = false;
+  std::uint32_t thread = 0;
+  std::uint64_t path_index = 0;
+  std::string obligation;  // "engine"|"path-count"|...|"guard"|"value"
+  std::string cell;        // disputed cell, when one applies
+  std::string lhs, rhs;    // normalized renderings of the two sides
+};
+
+/// Equiv: a replay-validated concrete refutation — the input valuation
+/// plus the first diverging store, read back from real explorer runs
+/// of both kernels.
+struct EquivCex {
+  bool present = false;
+  std::vector<std::pair<std::string, std::uint64_t>> inputs;
+  std::string region;
+  std::uint64_t offset = 0;
+  std::uint64_t addr = 0;
+  std::uint32_t value_a = 0;
+  std::uint32_t value_b = 0;
+  bool replay_validated = false;
 };
 
 /// The structured outcome of any front-end run.  `to_json` (front.h)
@@ -175,6 +223,9 @@ struct Result {
   std::vector<Diagnostic> findings;
   /// Refutations: the replayable counterexample schedule, rendered.
   std::vector<std::string> counterexample;
+  /// Equiv only: structured first failure / validated counterexample.
+  EquivFailure equiv_failure;
+  EquivCex equiv_cex;
   ResultStats stats;
   /// The full human-readable report (validate's composite table).
   /// CLI-only; deliberately not part of the JSON schema.

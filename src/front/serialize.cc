@@ -44,6 +44,8 @@ void write_stats(JsonWriter& w, const ResultStats& s) {
         .key("threads").value(s.threads)
         .key("paths").value(static_cast<std::uint64_t>(s.paths))
         .key("obligations").value(static_cast<std::uint64_t>(s.obligations))
+        .key("rewrites").value(s.rewrites)
+        .key("cex_trials").value(s.cex_trials)
         .end_obj();
   }
   if (s.por_oracle) {
@@ -72,6 +74,31 @@ void write_json(JsonWriter& w, const Result& r) {
   w.key("counterexample").begin_arr();
   for (const std::string& c : r.counterexample) w.value(c);
   w.end_arr();
+  if (r.equiv_failure.present) {
+    w.key("failure").begin_obj()
+        .key("thread").value(r.equiv_failure.thread)
+        .key("path_index").value(r.equiv_failure.path_index)
+        .key("obligation").value(r.equiv_failure.obligation)
+        .key("cell").value(r.equiv_failure.cell)
+        .key("lhs").value(r.equiv_failure.lhs)
+        .key("rhs").value(r.equiv_failure.rhs)
+        .end_obj();
+  }
+  if (r.equiv_cex.present) {
+    w.key("cex").begin_obj();
+    w.key("inputs").begin_arr();
+    for (const auto& [name, value] : r.equiv_cex.inputs) {
+      w.begin_arr().value(name).value(value).end_arr();
+    }
+    w.end_arr();
+    w.key("region").value(r.equiv_cex.region)
+        .key("offset").value(r.equiv_cex.offset)
+        .key("addr").value(r.equiv_cex.addr)
+        .key("value_a").value(r.equiv_cex.value_a)
+        .key("value_b").value(r.equiv_cex.value_b)
+        .key("replay_validated").value(r.equiv_cex.replay_validated)
+        .end_obj();
+  }
   w.key("stats");
   write_stats(w, r.stats);
   w.end_obj();
@@ -186,6 +213,10 @@ void write_equiv(JsonWriter& w, const EquivRequest& e) {
       .key("max_steps").value(e.sym.max_steps)
       .key("max_paths").value(static_cast<std::uint64_t>(e.sym.max_paths))
       .end_obj();
+  w.key("mode").value(e.mode)
+      .key("normalize").value(e.normalize)
+      .key("counterexample").value(e.counterexample)
+      .key("cex_inputs").value(e.cex_inputs);
   w.end_obj();
 }
 
@@ -296,6 +327,10 @@ EquivRequest parse_equiv(const JsonValue& v) {
     e.sym.max_paths = static_cast<std::size_t>(
         sym->u64_or("max_paths", e.sym.max_paths));
   }
+  e.mode = v.str_or("mode", e.mode);
+  e.normalize = v.bool_or("normalize", e.normalize);
+  e.counterexample = v.bool_or("counterexample", e.counterexample);
+  e.cex_inputs = v.u64_or("cex_inputs", e.cex_inputs);
   return e;
 }
 

@@ -48,6 +48,8 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
         result.inconclusive = true;
         result.detail = "thread " + std::to_string(tid) +
                         ": symbolic path failed: " + p.failure;
+        result.failure =
+            ProofResult::Failure{tid, 0, "engine", "", p.failure, ""};
         return result;
       }
     }
@@ -55,6 +57,9 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
       if (summary.paths.size() != 1) {
         result.detail = "thread " + std::to_string(tid) + ": expected one " +
                         "path, found " + std::to_string(summary.paths.size());
+        result.failure = ProofResult::Failure{
+            tid, 0, "path-count", "", "1",
+            std::to_string(summary.paths.size())};
         return result;
       }
       const auto expected = spec.writes(arena, tid);
@@ -63,6 +68,10 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
         result.detail = "thread " + std::to_string(tid) + ": stores " +
                         describe_writes(arena, summary.paths[0].writes) +
                         " != expected " + describe_writes(arena, expected);
+        result.failure = ProofResult::Failure{
+            tid, 0, "stores", "",
+            describe_writes(arena, summary.paths[0].writes),
+            describe_writes(arena, expected)};
         return result;
       }
       continue;
@@ -75,6 +84,9 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
         result.detail = "thread " + std::to_string(tid) +
                         ": concrete guard but " +
                         std::to_string(summary.paths.size()) + " paths";
+        result.failure = ProofResult::Failure{
+            tid, 0, "path-count", "", "1",
+            std::to_string(summary.paths.size())};
         return result;
       }
       const auto expected =
@@ -84,6 +96,10 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
         result.detail = "thread " + std::to_string(tid) + ": stores " +
                         describe_writes(arena, summary.paths[0].writes) +
                         " != expected " + describe_writes(arena, expected);
+        result.failure = ProofResult::Failure{
+            tid, 0, "stores", "",
+            describe_writes(arena, summary.paths[0].writes),
+            describe_writes(arena, expected)};
         return result;
       }
       continue;
@@ -94,6 +110,9 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
       result.detail = "thread " + std::to_string(tid) + ": expected the " +
                       "{guard, !guard} partition, found " +
                       std::to_string(summary.paths.size()) + " paths";
+      result.failure = ProofResult::Failure{
+          tid, 0, "path-count", "", "2",
+          std::to_string(summary.paths.size())};
       return result;
     }
     const TermRef not_guard = arena.lnot(guard);
@@ -109,6 +128,11 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
           arena.to_string(summary.paths[0].cond) + ", " +
           arena.to_string(summary.paths[1].cond) +
           "} do not match the guard " + arena.to_string(guard);
+      result.failure = ProofResult::Failure{
+          tid, 0, "path-condition", "",
+          arena.to_string(summary.paths[0].cond) + ", " +
+              arena.to_string(summary.paths[1].cond),
+          arena.to_string(guard)};
       return result;
     }
     const auto expected = spec.writes(arena, tid);
@@ -117,12 +141,17 @@ ProofResult prove_guarded_writes(const ptx::Program& prg,
       result.detail = "thread " + std::to_string(tid) + " (guard): stores " +
                       describe_writes(arena, on->writes) + " != expected " +
                       describe_writes(arena, expected);
+      result.failure = ProofResult::Failure{
+          tid, 0, "stores", "", describe_writes(arena, on->writes),
+          describe_writes(arena, expected)};
       return result;
     }
     if (!off->writes.empty()) {
       result.detail = "thread " + std::to_string(tid) +
                       " (!guard): unexpected stores " +
                       describe_writes(arena, off->writes);
+      result.failure = ProofResult::Failure{
+          tid, 1, "stores", "", describe_writes(arena, off->writes), "{ }"};
       return result;
     }
   }
@@ -157,6 +186,7 @@ ProofResult prove_equivalent(const ptx::Program& a, const ptx::Program& b,
       result.detail = "thread " + std::to_string(tid) +
                       ": a symbolic path failed" +
                       (why.empty() ? "" : ": " + why);
+      result.failure = ProofResult::Failure{tid, 0, "engine", "", why, ""};
       return result;
     }
     if (sa.paths.size() != sb.paths.size()) {
@@ -164,6 +194,9 @@ ProofResult prove_equivalent(const ptx::Program& a, const ptx::Program& b,
                       " has " + std::to_string(sa.paths.size()) +
                       " paths, " + b.name() + " has " +
                       std::to_string(sb.paths.size());
+      result.failure = ProofResult::Failure{
+          tid, 0, "path-count", "", std::to_string(sa.paths.size()),
+          std::to_string(sb.paths.size())};
       return result;
     }
     // Paths are sorted by condition ref; identical partitions align.
@@ -176,6 +209,9 @@ ProofResult prove_equivalent(const ptx::Program& a, const ptx::Program& b,
                         ": path conditions differ: " +
                         arena.to_string(pa.cond) + " vs " +
                         arena.to_string(pb.cond);
+        result.failure = ProofResult::Failure{
+            tid, i, "path-condition", "", arena.to_string(pa.cond),
+            arena.to_string(pb.cond)};
         return result;
       }
       ++result.obligations;
@@ -185,6 +221,9 @@ ProofResult prove_equivalent(const ptx::Program& a, const ptx::Program& b,
             arena.to_string(pa.cond) + ": " +
             describe_writes(arena, pa.writes) + " vs " +
             describe_writes(arena, pb.writes);
+        result.failure = ProofResult::Failure{
+            tid, i, "stores", "", describe_writes(arena, pa.writes),
+            describe_writes(arena, pb.writes)};
         return result;
       }
     }
@@ -212,6 +251,8 @@ ProofResult prove_block_writes(
   if (!s.ok) {
     result.inconclusive = true;
     result.detail = "block execution failed: " + s.failure;
+    result.failure =
+        ProofResult::Failure{0, 0, "engine", "", s.failure, ""};
     return result;
   }
   // Shared memory is block-private scratch that dies with the kernel:
@@ -225,6 +266,9 @@ ProofResult prove_block_writes(
   if (!writes_equal(observable, want)) {
     result.detail = "block stores " + describe_writes(arena, observable) +
                     " != expected " + describe_writes(arena, want);
+    result.failure = ProofResult::Failure{
+        0, 0, "stores", "", describe_writes(arena, observable),
+        describe_writes(arena, want)};
     return result;
   }
   result.proved = true;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "sym/exec.h"
@@ -43,6 +44,22 @@ struct ProofResult {
   std::uint32_t threads = 0;      // threads analyzed
   std::size_t paths = 0;          // total symbolic paths
   std::size_t obligations = 0;    // term equalities discharged
+
+  /// The first failing obligation, structured — what `detail` renders.
+  /// `obligation` names the check that failed: "engine" (a symbolic
+  /// path died), "path-count" / "path-condition" (partition mismatch),
+  /// "stores" (write sets differ), "guard" (guard->writes maps differ,
+  /// equiv's normalized mode), "cell-set" / "value" (per-cell
+  /// disagreements).  `lhs`/`rhs` carry the two sides' normalized
+  /// renderings; `cell` the disputed cell when one applies.
+  struct Failure {
+    std::uint32_t thread = 0;
+    std::size_t path_index = 0;
+    std::string obligation;
+    std::string cell;
+    std::string lhs, rhs;
+  };
+  std::optional<Failure> failure;
 };
 
 /// Expected behaviour of one thread under its guard.

@@ -1,0 +1,133 @@
+// The counterexample machinery's contract (src/equiv/cex.h): every
+// not-equivalent verdict carries a concrete input valuation whose
+// divergence was read back from real explorer runs — and these tests
+// re-derive the diverging values from the reported inputs by hand, so
+// a replay that "validated" the wrong thing cannot pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "front/cache.h"
+#include "front/front.h"
+
+namespace cac::front {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string corpus(const std::string& name) {
+  return read_file(std::string(CAC_SOURCE_DIR) + "/examples/equiv/" + name);
+}
+
+EquivRequest pair_request(const std::string& a, const std::string& b) {
+  EquivRequest req;
+  req.file = a;
+  req.source = corpus(a);
+  req.file_b = b;
+  req.source_b = corpus(b);
+  req.launch.block = {4, 1, 1};
+  req.launch.warp_size = 4;
+  return req;
+}
+
+/// Input cell `<region>[<byte offset>]` from the cex valuation; cells
+/// absent from the valuation replayed as zero.
+std::uint64_t input_or_zero(const EquivCex& cex, const std::string& name) {
+  for (const auto& [n, v] : cex.inputs) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::uint32_t trunc32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v);
+}
+
+TEST(EquivCex, WrongAccumulationDivergenceMatchesTheKernelSemantics) {
+  // mask_ref computes d[t] = (a[t]-b[t])+c[t]; mask_wrongacc computes
+  // a[t]-(b[t]+c[t]).  Whatever valuation the search lands on, the
+  // reported store values must equal those expressions evaluated on
+  // the reported inputs — and they can only differ when c[t] != 0.
+  const Result r =
+      run_equiv(pair_request("mask_ref.ptx", "mask_wrongacc.ptx"));
+  ASSERT_EQ(r.verdict, "not-equivalent") << r.detail;
+  const EquivCex& cex = r.equiv_cex;
+  ASSERT_TRUE(cex.present);
+  EXPECT_TRUE(cex.replay_validated);
+  EXPECT_EQ(cex.region, "d");
+  const std::string off = std::to_string(cex.offset);
+  const std::uint64_t a = input_or_zero(cex, "a[" + off + "]");
+  const std::uint64_t b = input_or_zero(cex, "b[" + off + "]");
+  const std::uint64_t c = input_or_zero(cex, "c[" + off + "]");
+  EXPECT_NE(trunc32(c), 0u);
+  EXPECT_EQ(cex.value_a, trunc32(a - b + c));
+  EXPECT_EQ(cex.value_b, trunc32(a - b - c));
+}
+
+TEST(EquivCex, GuardOffByOneDivergesExactlyAtTheBoundaryThread) {
+  // guard_ref writes c[t] = a[t]+1 for t < n; guard_offbyone for
+  // t <= n.  The only cell that can diverge is c[n]: unwritten (0) on
+  // the reference side, a[n]+1 on the broken side.
+  const Result r =
+      run_equiv(pair_request("guard_ref.ptx", "guard_offbyone.ptx"));
+  ASSERT_EQ(r.verdict, "not-equivalent") << r.detail;
+  const EquivCex& cex = r.equiv_cex;
+  ASSERT_TRUE(cex.present);
+  EXPECT_TRUE(cex.replay_validated);
+  EXPECT_EQ(cex.region, "c");
+  const std::uint64_t n = input_or_zero(cex, "n");
+  EXPECT_EQ(cex.offset, 4 * n);
+  EXPECT_EQ(cex.value_a, 0u);
+  const std::uint64_t a_n =
+      input_or_zero(cex, "a[" + std::to_string(cex.offset) + "]");
+  EXPECT_EQ(cex.value_b, trunc32(a_n + 1));
+}
+
+TEST(EquivCex, SearchIsDeterministic) {
+  const EquivRequest req =
+      pair_request("mask_ref.ptx", "mask_wrongacc.ptx");
+  const std::vector<Result> first = run(Request{req});
+  const std::vector<Result> second = run(Request{req});
+  EXPECT_EQ(to_json(first), to_json(second));
+}
+
+TEST(EquivCex, ExhaustedBudgetIsInconclusiveAndNeverCached) {
+  // One trial covers only the all-zeros valuation, on which the mask
+  // kernels agree — the search budget trips before a witness exists.
+  // The verdict must degrade to inconclusive (refuting without a
+  // witness would be unsound) and must be refused by the verdict
+  // cache: a larger budget could resolve the same request differently.
+  EquivRequest req = pair_request("mask_ref.ptx", "mask_wrongacc.ptx");
+  req.cex_inputs = 1;
+  const std::vector<Result> results = run(Request{req});
+  ASSERT_EQ(results.size(), 1u);
+  const Result& r = results.front();
+  EXPECT_EQ(r.verdict, "inconclusive") << r.detail;
+  EXPECT_EQ(r.exit_code, kExitLimit);
+  EXPECT_FALSE(r.equiv_cex.present);
+  EXPECT_TRUE(r.stats.cex_budget_tripped);
+  EXPECT_FALSE(cacheable(results));
+
+  // The full-budget refutation of the identical pair IS cacheable.
+  const std::vector<Result> full =
+      run(Request{pair_request("mask_ref.ptx", "mask_wrongacc.ptx")});
+  EXPECT_TRUE(cacheable(full));
+}
+
+TEST(EquivCex, TrialCountIsReportedForRefutations) {
+  const Result r =
+      run_equiv(pair_request("guard_ref.ptx", "guard_offbyone.ptx"));
+  EXPECT_GT(r.stats.cex_trials, 0u);
+}
+
+}  // namespace
+}  // namespace cac::front

@@ -1,0 +1,142 @@
+// Pins the examples/equiv/ corpus verdicts (examples/equiv/README.md):
+// four pairs PROVED symbolically with zero counterexample trials, two
+// pairs REFUTED with a replay-validated concrete witness, and the
+// documented ablation behavior of --no-normalize / --no-cex.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "front/front.h"
+
+namespace cac::front {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string corpus(const std::string& name) {
+  return read_file(std::string(CAC_SOURCE_DIR) + "/examples/equiv/" + name);
+}
+
+/// The corpus launch pinned by examples/equiv/README.md.
+EquivRequest pair_request(const std::string& a, const std::string& b) {
+  EquivRequest req;
+  req.file = a;
+  req.source = corpus(a);
+  req.file_b = b;
+  req.source_b = corpus(b);
+  req.launch.block = {4, 1, 1};
+  req.launch.warp_size = 4;
+  return req;
+}
+
+void expect_proved(const std::string& a, const std::string& b) {
+  const Result r = run_equiv(pair_request(a, b));
+  EXPECT_EQ(r.verdict, "equivalent") << a << " vs " << b << ": " << r.detail;
+  EXPECT_EQ(r.exit_code, kExitProved);
+  // Discharged symbolically: the counterexample machinery never ran.
+  EXPECT_EQ(r.stats.cex_trials, 0u) << a << " vs " << b;
+  EXPECT_FALSE(r.equiv_failure.present);
+  EXPECT_FALSE(r.equiv_cex.present);
+}
+
+void expect_refuted(const std::string& a, const std::string& b) {
+  const Result r = run_equiv(pair_request(a, b));
+  EXPECT_EQ(r.verdict, "not-equivalent") << a << " vs " << b << ": "
+                                         << r.detail;
+  EXPECT_EQ(r.exit_code, kExitFinding);
+  // A not-equivalent verdict is only ever issued with a concrete,
+  // replay-validated witness (docs/equiv.md, soundness).
+  ASSERT_TRUE(r.equiv_cex.present) << a << " vs " << b;
+  EXPECT_TRUE(r.equiv_cex.replay_validated);
+  EXPECT_NE(r.equiv_cex.value_a, r.equiv_cex.value_b);
+  EXPECT_TRUE(r.equiv_failure.present);
+}
+
+TEST(EquivCorpus, VecaddUnroll2Proved) {
+  expect_proved("vecadd_ref.ptx", "vecadd_unroll2.ptx");
+}
+
+TEST(EquivCorpus, VecaddUnroll4Proved) {
+  expect_proved("vecadd_ref4.ptx", "vecadd_unroll4.ptx");
+}
+
+TEST(EquivCorpus, ScaleStrengthReductionProved) {
+  expect_proved("scale_ref.ptx", "scale_strength.ptx");
+}
+
+TEST(EquivCorpus, SaxpyReorderedProved) {
+  expect_proved("saxpy_ref.ptx", "saxpy_reordered.ptx");
+}
+
+TEST(EquivCorpus, GuardOffByOneRefuted) {
+  expect_refuted("guard_ref.ptx", "guard_offbyone.ptx");
+}
+
+TEST(EquivCorpus, WrongAccumulationRefuted) {
+  expect_refuted("mask_ref.ptx", "mask_wrongacc.ptx");
+}
+
+TEST(EquivCorpus, ProvedPairsNeedTheNormalizer) {
+  // The first three PROVED pairs rely on the rewrite engine; without
+  // it the checker degrades to inconclusive — never to not-equivalent,
+  // because the kernels ARE equivalent and a refutation would be
+  // unsound (no witness can exist).
+  const std::pair<std::string, std::string> pairs[] = {
+      {"vecadd_ref.ptx", "vecadd_unroll2.ptx"},
+      {"vecadd_ref4.ptx", "vecadd_unroll4.ptx"},
+      {"scale_ref.ptx", "scale_strength.ptx"}};
+  for (const auto& [a, b] : pairs) {
+    EquivRequest req = pair_request(a, b);
+    req.normalize = false;
+    req.counterexample = false;
+    const Result r = run_equiv(req);
+    EXPECT_EQ(r.verdict, "inconclusive") << a << " vs " << b;
+    EXPECT_EQ(r.exit_code, kExitLimit);
+    EXPECT_TRUE(r.limit_tripped);
+    // The structured failure names the un-aligned obligation.
+    EXPECT_TRUE(r.equiv_failure.present);
+  }
+}
+
+TEST(EquivCorpus, SaxpyAlignsWithoutTheNormalizer) {
+  // Commuted operands and inverted guard polarity canonicalize at the
+  // term-arena level, so this pair proves even with --no-normalize.
+  EquivRequest req = pair_request("saxpy_ref.ptx", "saxpy_reordered.ptx");
+  req.normalize = false;
+  const Result r = run_equiv(req);
+  EXPECT_EQ(r.verdict, "equivalent") << r.detail;
+  EXPECT_EQ(r.stats.rewrites, 0u);
+}
+
+TEST(EquivCorpus, RefutedPairsDegradeToInconclusiveWithoutCex) {
+  const std::pair<std::string, std::string> pairs[] = {
+      {"guard_ref.ptx", "guard_offbyone.ptx"},
+      {"mask_ref.ptx", "mask_wrongacc.ptx"}};
+  for (const auto& [a, b] : pairs) {
+    EquivRequest req = pair_request(a, b);
+    req.counterexample = false;
+    const Result r = run_equiv(req);
+    EXPECT_EQ(r.verdict, "inconclusive") << a << " vs " << b;
+    EXPECT_EQ(r.exit_code, kExitLimit);
+    EXPECT_FALSE(r.equiv_cex.present);
+  }
+}
+
+TEST(EquivCorpus, NormalizerRewritesAreCounted) {
+  const Result r =
+      run_equiv(pair_request("vecadd_ref.ptx", "vecadd_unroll2.ptx"));
+  EXPECT_GT(r.stats.rewrites, 0u);
+  EXPECT_TRUE(r.stats.have_sym);
+  EXPECT_GT(r.stats.obligations, 0u);
+}
+
+}  // namespace
+}  // namespace cac::front

@@ -1,0 +1,198 @@
+// Property and directed tests for the equivalence checker's term
+// normalizer (equiv/normalize.h).  The load-bearing property: a
+// rewrite may change a term's shape but never its meaning — for every
+// sampled valuation, the normal form evaluates to the same value as
+// the original.
+#include "equiv/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bits.h"
+#include "sym/term.h"
+
+namespace cac::equiv {
+namespace {
+
+using sym::TermArena;
+using sym::TermRef;
+
+std::uint64_t xorshift64(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// A random 32-bit term over three variables, depth-bounded.  Only
+/// operations the normalizer actually rewrites are drawn frequently;
+/// a few opaque ones (div by non-const, min) keep it honest about
+/// terms it must leave alone.
+TermRef random_term(TermArena& a, std::uint64_t& rng, int depth) {
+  const std::vector<TermRef> leaves = {
+      a.var("x", 32), a.var("y", 32), a.var("z", 32),
+      a.konst(xorshift64(rng) & 0xff, 32)};
+  if (depth <= 0) return leaves[xorshift64(rng) % leaves.size()];
+  switch (xorshift64(rng) % 12) {
+    case 0: return a.add(random_term(a, rng, depth - 1),
+                         random_term(a, rng, depth - 1));
+    case 1: return a.sub(random_term(a, rng, depth - 1),
+                         random_term(a, rng, depth - 1));
+    case 2: return a.mul(random_term(a, rng, depth - 1),
+                         a.konst(xorshift64(rng) & 0xf, 32));
+    case 3: return a.mul(random_term(a, rng, depth - 1),
+                         random_term(a, rng, depth - 1));
+    case 4: return a.band(random_term(a, rng, depth - 1),
+                          random_term(a, rng, depth - 1));
+    case 5: return a.bor(random_term(a, rng, depth - 1),
+                         random_term(a, rng, depth - 1));
+    case 6: return a.bxor(random_term(a, rng, depth - 1),
+                          random_term(a, rng, depth - 1));
+    case 7: return a.shl(random_term(a, rng, depth - 1),
+                         a.konst(xorshift64(rng) % 40, 32));
+    case 8: return a.neg(random_term(a, rng, depth - 1));
+    case 9: return a.bnot(random_term(a, rng, depth - 1));
+    case 10: return a.rem(random_term(a, rng, depth - 1),
+                          a.konst(1ull << (xorshift64(rng) % 6), 32), false);
+    case 11: return a.min(random_term(a, rng, depth - 1),
+                          random_term(a, rng, depth - 1), false);
+  }
+  return leaves[0];
+}
+
+using Valuation = std::unordered_map<std::string, std::uint64_t>;
+
+Valuation random_valuation(std::uint64_t& rng) {
+  return {{"x", xorshift64(rng)},
+          {"y", xorshift64(rng)},
+          {"z", xorshift64(rng)}};
+}
+
+TEST(Normalize, PreservesEvaluationOnRandomTerms) {
+  TermArena arena;
+  Normalizer norm(arena);
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 300; ++i) {
+    const TermRef t = random_term(arena, rng, 4);
+    const TermRef n = norm.normalize(t);
+    for (int k = 0; k < 8; ++k) {
+      Valuation v = random_valuation(rng);
+      ASSERT_EQ(arena.evaluate(t, v), arena.evaluate(n, v))
+          << "term: " << arena.to_string(t)
+          << "\nnormal: " << arena.to_string(n);
+    }
+  }
+}
+
+TEST(Normalize, IsIdempotent) {
+  TermArena arena;
+  Normalizer norm(arena);
+  std::uint64_t rng = 0x123456789abcdefull;
+  for (int i = 0; i < 200; ++i) {
+    const TermRef t = random_term(arena, rng, 4);
+    const TermRef n = norm.normalize(t);
+    EXPECT_EQ(norm.normalize(n), n) << arena.to_string(t);
+  }
+}
+
+TEST(Normalize, StrengthReductionAlignsMulAndShift) {
+  TermArena arena;
+  Normalizer norm(arena);
+  const TermRef x = arena.var("x", 32);
+  EXPECT_EQ(norm.normalize(arena.mul(x, arena.konst(8, 32))),
+            norm.normalize(arena.shl(x, arena.konst(3, 32))));
+  EXPECT_EQ(norm.normalize(arena.mul(x, arena.konst(2, 32))),
+            norm.normalize(arena.add(x, x)));
+}
+
+TEST(Normalize, UnsignedRemAndDivByPowerOfTwoBecomeMaskAndShift) {
+  TermArena arena;
+  Normalizer norm(arena);
+  const TermRef x = arena.var("x", 32);
+  EXPECT_EQ(norm.normalize(arena.rem(x, arena.konst(16, 32), false)),
+            norm.normalize(arena.band(x, arena.konst(15, 32))));
+  EXPECT_EQ(norm.normalize(arena.div(x, arena.konst(8, 32), false)),
+            norm.normalize(arena.lshr(x, arena.konst(3, 32))));
+}
+
+TEST(Normalize, AddChainsCollapseIntoLinearForm) {
+  TermArena arena;
+  Normalizer norm(arena);
+  const TermRef x = arena.var("x", 32);
+  const TermRef y = arena.var("y", 32);
+  // ((x+y)+x)+y == 2x + 2y == (x+x) + (y+y)
+  EXPECT_EQ(
+      norm.normalize(arena.add(arena.add(arena.add(x, y), x), y)),
+      norm.normalize(arena.add(arena.add(x, x), arena.add(y, y))));
+  // x - y == x + (-1)*y
+  EXPECT_EQ(norm.normalize(arena.sub(x, y)),
+            norm.normalize(
+                arena.add(x, arena.mul(y, arena.konst(0xffffffffull, 32)))));
+}
+
+TEST(Normalize, DistributesBoundedProducts) {
+  TermArena arena;
+  Normalizer norm(arena);
+  const TermRef x = arena.var("x", 32);
+  const TermRef y = arena.var("y", 32);
+  // 2*(x+y) == 2x + 2y == (x+x) + (y+y)
+  EXPECT_EQ(
+      norm.normalize(arena.mul(arena.add(x, y), arena.konst(2, 32))),
+      norm.normalize(arena.add(arena.add(x, x), arena.add(y, y))));
+  // (x+1)*(y+1) == x*y + x + y + 1
+  EXPECT_EQ(
+      norm.normalize(
+          arena.mul(arena.add(x, arena.konst(1, 32)),
+                    arena.add(y, arena.konst(1, 32)))),
+      norm.normalize(arena.add(
+          arena.add(arena.mul(x, y), x), arena.add(y, arena.konst(1, 32)))));
+}
+
+TEST(Normalize, BitopFlatteningFindsComplementsAndDuplicates) {
+  TermArena arena;
+  Normalizer norm(arena);
+  const TermRef x = arena.var("x", 32);
+  const TermRef y = arena.var("y", 32);
+  EXPECT_EQ(norm.normalize(arena.band(arena.band(x, y), arena.bnot(x))),
+            arena.konst(0, 32));
+  EXPECT_EQ(norm.normalize(arena.bor(arena.bor(x, y), arena.bnot(x))),
+            arena.konst(0xffffffffull, 32));
+  // x ^ y ^ x == y
+  EXPECT_EQ(norm.normalize(arena.bxor(arena.bxor(x, y), x)),
+            norm.normalize(y));
+}
+
+TEST(Normalize, ShiftBeyondWidthIsZeroLikeTheConcreteSemantics) {
+  TermArena arena;
+  Normalizer norm(arena);
+  const TermRef x = arena.var("x", 32);
+  // cac::shl (support/bits.h) zeroes a >=width shift; the linearizer
+  // must agree.
+  EXPECT_EQ(cac::shl(0xdeadbeefull, 40, 32), 0u);
+  EXPECT_EQ(norm.normalize(arena.shl(x, arena.konst(40, 32))),
+            arena.konst(0, 32));
+}
+
+TEST(Normalize, DisabledNormalizerIsIdentity) {
+  TermArena arena;
+  Normalizer off(arena, /*enabled=*/false);
+  const TermRef x = arena.var("x", 32);
+  const TermRef t = arena.mul(arena.add(x, x), arena.konst(6, 32));
+  EXPECT_EQ(off.normalize(t), t);
+  EXPECT_EQ(off.stats().rewrites, 0u);
+}
+
+TEST(Normalize, CountsRewrites) {
+  TermArena arena;
+  Normalizer norm(arena);
+  const TermRef x = arena.var("x", 32);
+  norm.normalize(arena.mul(arena.add(x, x), arena.konst(6, 32)));
+  EXPECT_GT(norm.stats().rewrites, 0u);
+  EXPECT_GT(norm.stats().terms, 0u);
+}
+
+}  // namespace
+}  // namespace cac::equiv

@@ -31,6 +31,10 @@ every BM_BigStore* / BM_BigExplore* / BM_StoreBudgetSweep instance
 resident-vs-spilled byte split, eviction/spill/rematerialization
 counts, delta-fragment count, and bloom pre-check hit rate of the
 tiered state store under a resident budget,
+every BM_Equiv* / BM_NormalizeRandomTerms instance (bench_equiv) lands
+in an `equiv` section recording normalizer throughput, the proof-time
+curve over the unroll factor, refutation latency including concrete
+replay, and the cold/cached equiv round-trip ratio through serve,
 and the benchmark processes' peak RSS is recorded as
 `peak_rss_bytes`.
 """
@@ -261,6 +265,40 @@ def serve_summary(benchmarks: list[dict]) -> list[dict]:
     return out
 
 
+def equiv_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize bench_equiv: BM_NormalizeRandomTerms throughput,
+    BM_EquivProveUnroll proof times per unroll factor, the refutation
+    round trip, and the serve cold/cached equiv ratio (derived as
+    `cache_speedup` on the cached instance)."""
+    cold = cached = None
+    for b in benchmarks:
+        name = b.get("name", "")
+        if name.startswith("BM_EquivServeCold"):
+            cold = b
+        elif name.startswith("BM_EquivServeCachedResubmit"):
+            cached = b
+    out = []
+    for b in benchmarks:
+        name = b.get("name", "")
+        if not name.startswith(("BM_Equiv", "BM_NormalizeRandomTerms")):
+            continue
+        entry = {"name": name}
+        for k in ("unroll", "rewrites", "obligations", "cex_trials",
+                  "rewrites_per_batch", "jobs_run", "items_per_second",
+                  "real_time", "time_unit"):
+            if k in b:
+                entry[k] = b[k]
+        if (b is cached and cold and cold.get("real_time")
+                and b.get("real_time")):
+            # Units differ (ms vs us); normalize through time_unit.
+            scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+            ct = cold["real_time"] * scale.get(cold.get("time_unit"), 1e-3)
+            wt = b["real_time"] * scale.get(b.get("time_unit"), 1e-6)
+            entry["cache_speedup"] = round(ct / max(wt, 1e-12), 1)
+        out.append(entry)
+    return out
+
+
 def fault_summary(benchmarks: list[dict]) -> list[dict]:
     """Summarize the fault-injection seam guards (bench_serve): the
     disabled fast path (must stay ~1ns — the zero-overhead-when-
@@ -359,6 +397,9 @@ def main() -> None:
     serve = serve_summary(benchmarks)
     if serve:
         snapshot["serve"] = serve
+    equiv = equiv_summary(benchmarks)
+    if equiv:
+        snapshot["equiv"] = equiv
     fault = fault_summary(benchmarks)
     if fault:
         snapshot["fault"] = fault

@@ -20,7 +20,11 @@
 //   cacval dist-worker FILE.ptx [launch options] --dist-connect HOST:PORT
 //   cacval equiv  FILE_A.ptx FILE_B.ptx [--kernel K] [--kernel-b K2]
 //                 [--block ...] [--sym-steps N] [--sym-paths N]
-//                 [--format=json]
+//                 [--mode normalized|lowering] [--no-normalize]
+//                 [--no-cex] [--cex-inputs N] [--format=json]
+//   cacval equiv  --batch PAIRS.txt [shared flags as above]
+//                 (each line: FILE_A FILE_B [KERNEL [KERNEL_B]];
+//                  '#' comments; one Result per pair, worst exit code)
 //
 // Verification as a service (docs/serve.md):
 //   cacval serve  --socket PATH | --tcp HOST:PORT
@@ -142,6 +146,14 @@ struct Options {
   bool lint_races = true;
   /// Symbolic bounds (equiv).
   sym::SymExecOptions sym;
+  /// Equiv checker configuration (docs/equiv.md).
+  std::string eq_mode = "normalized";
+  bool eq_normalize = true;
+  bool eq_cex = true;
+  std::uint64_t cex_inputs = 256;
+  /// Equiv batch mode: a pair-list file instead of two positional
+  /// files.
+  std::string batch;
   /// submit: server endpoint and progress-event cadence.
   std::string to;
   std::uint64_t progress = 0;
@@ -205,9 +217,18 @@ Options parse_args(int argc, char** argv) {
   o.file = argv[2];
   int first_flag = 3;
   if (o.command == "equiv") {
-    if (argc < 4) usage("equiv needs two files");
-    o.file_b = argv[3];
-    first_flag = 4;
+    if (o.file == "--batch") {
+      // `cacval equiv --batch PAIRS.txt` — the pair list replaces the
+      // two positional files.
+      if (argc < 4) usage("--batch needs a pair-list file");
+      o.batch = argv[3];
+      o.file.clear();
+      first_flag = 4;
+    } else {
+      if (argc < 4) usage("equiv needs two files (or --batch FILE)");
+      o.file_b = argv[3];
+      first_flag = 4;
+    }
   }
   // Launch-configuration flags are parsed by the shared library
   // routine; everything it does not recognize comes back for the
@@ -279,6 +300,11 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--no-sync-insertion") o.insert_syncs = false;
     else if (a == "--sym-steps") o.sym.max_steps = parse_u64(next());
     else if (a == "--sym-paths") o.sym.max_paths = parse_u64(next());
+    else if (a == "--mode") o.eq_mode = next();
+    else if (a == "--no-normalize") o.eq_normalize = false;
+    else if (a == "--no-cex") o.eq_cex = false;
+    else if (a == "--cex-inputs") o.cex_inputs = parse_u64(next());
+    else if (a == "--batch") o.batch = next();
     else if (a == "--to") o.to = next();
     else if (a == "--progress") o.progress = parse_u64(next());
     else if (a == "--timeout") o.timeout_ms = parse_u64(next());
@@ -365,7 +391,56 @@ front::EquivRequest make_equiv_request(const Options& o) {
   r.launch = o.launch;
   r.insert_syncs = o.insert_syncs;
   r.sym = o.sym;
+  r.mode = o.eq_mode;
+  r.normalize = o.eq_normalize;
+  r.counterexample = o.eq_cex;
+  r.cex_inputs = o.cex_inputs;
   return r;
+}
+
+/// One line of an equiv --batch pair list.
+struct BatchPair {
+  std::string file_a, file_b, kernel, kernel_b;
+};
+
+std::vector<BatchPair> read_batch(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open " + path).c_str());
+  std::vector<BatchPair> pairs;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (ss >> t) {
+      if (t[0] == '#') break;  // trailing comment
+      tok.push_back(t);
+    }
+    if (tok.empty()) continue;
+    if (tok.size() < 2 || tok.size() > 4) {
+      usage(("batch line needs FILE_A FILE_B [KERNEL [KERNEL_B]]: " + line)
+                .c_str());
+    }
+    BatchPair p;
+    p.file_a = tok[0];
+    p.file_b = tok[1];
+    if (tok.size() > 2) p.kernel = tok[2];
+    if (tok.size() > 3) p.kernel_b = tok[3];
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+/// The per-pair request: the batch line's files and kernels over the
+/// command line's shared launch/sym/checker flags.
+front::EquivRequest make_equiv_request_for(const Options& o,
+                                           const BatchPair& p) {
+  Options per = o;
+  per.file = p.file_a;
+  per.file_b = p.file_b;
+  if (!p.kernel.empty()) per.kernel = p.kernel;
+  if (!p.kernel_b.empty()) per.kernel_b = p.kernel_b;
+  return make_equiv_request(per);
 }
 
 /// Print one request's results in the selected format and return the
@@ -567,7 +642,15 @@ int cmd_dist_worker(const Options& o, const ptx::LoweredModule& mod) {
 
 int cmd_equiv(const Options& o) {
   std::vector<front::Result> results;
-  results.push_back(front::run_equiv(make_equiv_request(o)));
+  if (!o.batch.empty()) {
+    const std::vector<BatchPair> pairs = read_batch(o.batch);
+    if (pairs.empty()) usage("batch file has no pairs");
+    for (const BatchPair& p : pairs) {
+      results.push_back(front::run_equiv(make_equiv_request_for(o, p)));
+    }
+  } else {
+    results.push_back(front::run_equiv(make_equiv_request(o)));
+  }
   return emit_results(o, results);
 }
 
@@ -645,6 +728,10 @@ bool retryable(const dist::DistError& e) {
   }
 }
 
+int worse_exit(int a, int b);
+int submit_request(const Options& o, bool envelope,
+                   const front::Request& req);
+
 int cmd_submit(int argc, char** argv) {
   if (argc < 3) usage("submit needs a subcommand");
   const std::string sub = argv[2];
@@ -688,13 +775,48 @@ int cmd_submit(int argc, char** argv) {
   const Options o =
       parse_args(static_cast<int>(filtered.size()), filtered.data());
   if (o.to.empty()) usage("submit needs --to ENDPOINT");
-  front::Request req;
-  if (sub == "check") req = make_check_request(o, false);
-  else if (sub == "validate") req = make_check_request(o, true);
-  else if (sub == "lint") req = make_lint_request(o);
-  else if (sub == "equiv") req = make_equiv_request(o);
+  std::vector<front::Request> reqs;
+  if (sub == "check") reqs.push_back(make_check_request(o, false));
+  else if (sub == "validate") reqs.push_back(make_check_request(o, true));
+  else if (sub == "lint") reqs.push_back(make_lint_request(o));
+  else if (sub == "equiv" && !o.batch.empty()) {
+    // Batch submit: one request per pair, so every pair lands in the
+    // server's verdict cache under its own key.
+    const std::vector<BatchPair> pairs = read_batch(o.batch);
+    if (pairs.empty()) usage("batch file has no pairs");
+    for (const BatchPair& p : pairs) {
+      reqs.push_back(make_equiv_request_for(o, p));
+    }
+  }
+  else if (sub == "equiv") reqs.push_back(make_equiv_request(o));
   else usage(("unknown submit subcommand " + sub).c_str());
 
+  int worst = 0;
+  for (const front::Request& req : reqs) {
+    worst = worse_exit(worst, submit_request(o, envelope, req));
+  }
+  return worst;
+}
+
+/// Exit-code severity for aggregating a batch of submits: transport
+/// failures dominate, then usage, finding, limit, clean — the same
+/// ordering front::exit_code_of uses, extended with the serve codes.
+int worse_exit(int a, int b) {
+  const auto rank = [](int c) {
+    switch (c) {
+      case front::kExitUnreachable: return 5;
+      case front::kExitBusy: return 4;
+      case front::kExitUsage: return 3;
+      case front::kExitFinding: return 2;
+      case front::kExitLimit: return 1;
+      default: return 0;
+    }
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+int submit_request(const Options& o, bool envelope,
+                   const front::Request& req) {
   // Keepalive: with a timeout but no user-requested progress cadence,
   // ask the server for sparse progress events anyway — a long
   // exploration then keeps resetting the inactivity deadline, so
