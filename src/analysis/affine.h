@@ -62,8 +62,18 @@ struct Term {
   friend bool operator==(const Term&, const Term&) = default;
 };
 
-/// ⊤ or an affine expression.  All arithmetic is overflow-checked;
-/// any operation that would overflow int64 yields ⊤.
+/// ⊤ or an affine expression with an optional modulo component:
+///
+///     c + Σ k_i · s_i  +  q · ((m_c + Σ m_j · s_j) mod m)
+///
+/// The modulo component (modulus() == 0 when absent) is what `rem` and
+/// power-of-two `and`-masks produce; it keeps strided/cyclic index
+/// idioms (`tid % pitch`, `tid & 31`) out of ⊤ so the perf passes can
+/// model them per lane.  It is only ever built from a provably
+/// nonnegative inner expression, so the PTX truncated remainder
+/// coincides with the mathematical mod and the component's value lies
+/// in [0, m).  All arithmetic is overflow-checked; any operation that
+/// would overflow int64 yields ⊤.
 class AffineExpr {
  public:
   AffineExpr() = default;  // ⊤
@@ -73,9 +83,20 @@ class AffineExpr {
   static AffineExpr symbol(const Sym& s);
 
   [[nodiscard]] bool is_top() const { return top_; }
-  [[nodiscard]] bool is_const() const { return !top_ && terms_.empty(); }
+  [[nodiscard]] bool is_const() const {
+    return !top_ && terms_.empty() && modulus_ == 0;
+  }
   [[nodiscard]] std::int64_t constant_term() const { return c_; }
   [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+
+  /// Modulo component accessors; modulus() == 0 means "no component".
+  [[nodiscard]] bool has_mod() const { return modulus_ != 0; }
+  [[nodiscard]] std::int64_t modulus() const { return modulus_; }
+  [[nodiscard]] std::int64_t mod_scale() const { return mod_scale_; }
+  [[nodiscard]] std::int64_t mod_constant() const { return mod_c_; }
+  [[nodiscard]] const std::vector<Term>& mod_terms() const {
+    return mod_terms_;
+  }
 
   [[nodiscard]] AffineExpr add(const AffineExpr& o) const;
   [[nodiscard]] AffineExpr sub(const AffineExpr& o) const;
@@ -83,6 +104,17 @@ class AffineExpr {
   /// non-linear special case `ctaid.d * ntid.d` -> GidBase{d}.
   [[nodiscard]] AffineExpr mul(const AffineExpr& o) const;
   [[nodiscard]] AffineExpr scaled(std::int64_t k) const;
+  /// `*this mod m` (m a constant > 1): exact when the value is
+  /// provably nonnegative, with coefficients canonicalized into
+  /// [0, m) so e.g. (34·tid) mod 32 == (2·tid) mod 32 structurally.
+  /// ⊤ when nonnegativity cannot be shown or a modulo component is
+  /// already present (no nesting).
+  [[nodiscard]] AffineExpr rem(std::int64_t m) const;
+
+  /// Every symbol is nonnegative except an unvalued Param; true when
+  /// the constant and all coefficients (affine and modulo) are >= 0 and
+  /// no Param term appears with the wrong sign potential.
+  [[nodiscard]] bool provably_nonneg() const;
 
   friend bool operator==(const AffineExpr&, const AffineExpr&) = default;
 
@@ -92,6 +124,10 @@ class AffineExpr {
   bool top_ = true;
   std::int64_t c_ = 0;
   std::vector<Term> terms_;
+  std::int64_t modulus_ = 0;    // 0: no modulo component
+  std::int64_t mod_scale_ = 0;  // q
+  std::int64_t mod_c_ = 0;      // m_c, in [0, modulus)
+  std::vector<Term> mod_terms_;  // coefficients in [0, modulus)
 };
 
 /// Launch specialization.  When `known`, ntid/nctaid evaluate to
@@ -106,6 +142,19 @@ struct LaunchEnv {
   std::unordered_map<std::uint32_t, std::uint64_t> params;
 };
 
+/// A path fact `expr cmp 0` that holds on every execution reaching the
+/// program point carrying it — harvested from setp + predicated-branch
+/// edges (`if (tid < n)` narrows the domain on the taken edge) and
+/// intersected at joins.
+struct Guard {
+  AffineExpr expr;  // lhs - rhs of the originating setp
+  ptx::CmpOp cmp = ptx::CmpOp::Eq;
+  friend bool operator==(const Guard&, const Guard&) = default;
+};
+
+/// The guard that holds when `g` does NOT (Eq<->Ne, Lt<->Ge, Gt<->Le).
+Guard negate(const Guard& g);
+
 /// A Shared/Global memory access site of the program.
 struct AccessSite {
   std::uint32_t pc = 0;
@@ -114,15 +163,40 @@ struct AccessSite {
   bool atomic = false;  // Atom
   unsigned width = 4;   // bytes accessed per thread
   AffineExpr addr;      // per-thread address, or ⊤
+  /// Path facts holding at this site (every path from entry passes the
+  /// guards).  Feed to expr_range for path-sensitive bounds.
+  std::vector<Guard> guards;
 };
 
+/// Full analysis output: access sites plus per-branch guard facts.
+struct ProgramFacts {
+  std::vector<AccessSite> sites;  // pc order
+  /// For each predicated branch (pc of the IPBra) whose predicate has a
+  /// tracked affine comparison: the fact that holds on the *taken*
+  /// edge, branch polarity already applied.
+  std::unordered_map<std::uint32_t, Guard> taken_facts;
+};
+
+ProgramFacts analyze_program(const ptx::Program& prg,
+                             const LaunchEnv& env = {});
+
 /// Run the abstract interpreter and collect every Shared/Global
-/// Ld/St/Atom site in pc order.
+/// Ld/St/Atom site in pc order (analyze_program().sites).
 std::vector<AccessSite> analyze_addresses(const ptx::Program& prg,
                                           const LaunchEnv& env = {});
 
 /// Value range [lo, hi] of a symbol under the launch, when finite.
 std::optional<std::pair<std::int64_t, std::int64_t>> sym_range(
     const Sym& s, const LaunchEnv& env);
+
+/// Value range [lo, hi] of an expression under the launch, when every
+/// needed bound is finite.  Guards tighten single-symbol constraints:
+/// a fact `k·s + c cmp 0` clips s's range, so `if (tid < n)` bounds a
+/// tid-indexed access even when ntid alone would not.  Symbols other
+/// than Param are intrinsically >= 0; a modulo component contributes
+/// scale·[0, modulus-1].
+std::optional<std::pair<std::int64_t, std::int64_t>> expr_range(
+    const AffineExpr& e, const LaunchEnv& env,
+    const std::vector<Guard>& guards = {});
 
 }  // namespace cac::analysis

@@ -1,0 +1,132 @@
+#include "analysis/costmodel.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cac::analysis {
+
+namespace {
+
+bool is_tid_x(const Sym& s) {
+  return s.kind == Sym::Kind::Tid && s.dim == 0;
+}
+
+/// Warp-uniform symbols under the x-major warp assumption: everything
+/// except tid.x (tid.y/tid.z only vary across warps when ntid.x is a
+/// multiple of 32, which the model assumes / checks).
+bool warp_uniform(const Sym& s) { return !is_tid_x(s); }
+
+}  // namespace
+
+std::optional<WarpOffsets> warp_offsets(const AffineExpr& addr,
+                                        const LaunchEnv& env) {
+  if (addr.is_top()) return std::nullopt;
+  // A known launch whose block is narrower than a warp in x breaks the
+  // "32 consecutive tid.x values" lane model.
+  if (env.known && env.ntid[0] % kWarpLanes != 0) return std::nullopt;
+
+  std::int64_t k_tid = 0;  // linear tid.x coefficient
+  for (const Term& t : addr.terms()) {
+    if (is_tid_x(t.sym)) {
+      k_tid = t.coeff;
+    } else if (!warp_uniform(t.sym)) {
+      return std::nullopt;
+    }
+  }
+
+  // Modulo component: evaluable per lane only when the inner varies
+  // through tid.x alone.  A warp-uniform symbol inside the inner whose
+  // coefficient does not vanish mod m shifts the cycle by an unknown
+  // phase -> unknown.
+  std::int64_t mod_k_tid = 0;
+  std::int64_t mod_m = 0, mod_scale = 0, mod_c = 0;
+  if (addr.has_mod()) {
+    mod_m = addr.modulus();
+    mod_scale = addr.mod_scale();
+    mod_c = addr.mod_constant();
+    for (const Term& t : addr.mod_terms()) {
+      if (is_tid_x(t.sym)) {
+        mod_k_tid = t.coeff;
+      } else if (t.coeff % mod_m != 0) {
+        return std::nullopt;
+      }
+    }
+    if (mod_k_tid == 0) {
+      // Warp-uniform modulo value: folds into the base.
+      mod_m = 0;
+      mod_scale = 0;
+    }
+  }
+
+  WarpOffsets out;
+  for (unsigned lane = 0; lane < kWarpLanes; ++lane) {
+    std::int64_t off = k_tid * static_cast<std::int64_t>(lane);
+    if (mod_m != 0) {
+      // Inner is nonnegative by the rem() construction invariant.
+      const std::int64_t inner =
+          (mod_c + mod_k_tid * static_cast<std::int64_t>(lane)) % mod_m;
+      off += mod_scale * inner;
+    }
+    out.byte_off[lane] = off;
+  }
+  return out;
+}
+
+unsigned global_transactions(const WarpOffsets& off, unsigned width) {
+  if (width == 0) width = 1;
+  std::set<std::int64_t> segments;
+  for (const std::int64_t o : off.byte_off) {
+    const std::int64_t first = o;
+    const std::int64_t last = o + static_cast<std::int64_t>(width) - 1;
+    auto seg = [](std::int64_t b) {
+      // Floor division (offsets can sit below the lane-0 segment).
+      std::int64_t q = b / kSegmentBytes;
+      if (b % kSegmentBytes != 0 && b < 0) --q;
+      return q;
+    };
+    for (std::int64_t s = seg(first); s <= seg(last); ++s) segments.insert(s);
+  }
+  return static_cast<unsigned>(segments.size());
+}
+
+unsigned ideal_transactions(unsigned width) {
+  if (width == 0) width = 1;
+  return (kWarpLanes * width + kSegmentBytes - 1) / kSegmentBytes;
+}
+
+unsigned shared_conflict_degree(const WarpOffsets& off, unsigned width) {
+  if (width == 0) width = 1;
+  // Hardware services <=4-byte accesses in one phase of 32 lanes and
+  // 8-byte accesses as two half-warp phases (wider vectors would be
+  // quarter phases); conflicts exist only within a phase.
+  const unsigned phases = width <= kBankBytes ? 1 : (width == 8 ? 2 : 4);
+  const unsigned lanes_per_phase = kWarpLanes / phases;
+  unsigned worst = 1;
+  for (unsigned p = 0; p < phases; ++p) {
+    // bank -> distinct words touched (same word broadcasts).
+    std::set<std::pair<std::int64_t, std::int64_t>> bank_words;
+    std::array<unsigned, kSharedBanks> per_bank{};
+    for (unsigned l = p * lanes_per_phase; l < (p + 1) * lanes_per_phase;
+         ++l) {
+      const std::int64_t o = off.byte_off[l];
+      const std::int64_t first_word = o >= 0 ? o / kBankBytes
+                                             : (o - (kBankBytes - 1)) /
+                                                   kBankBytes;
+      const std::int64_t last = o + static_cast<std::int64_t>(width) - 1;
+      const std::int64_t last_word = last >= 0 ? last / kBankBytes
+                                               : (last - (kBankBytes - 1)) /
+                                                     kBankBytes;
+      for (std::int64_t wword = first_word; wword <= last_word; ++wword) {
+        const std::int64_t bank =
+            ((wword % kSharedBanks) + kSharedBanks) % kSharedBanks;
+        if (bank_words.emplace(bank, wword).second) {
+          ++per_bank[static_cast<std::size_t>(bank)];
+        }
+      }
+    }
+    for (const unsigned n : per_bank) worst = std::max(worst, std::max(n, 1u));
+  }
+  return worst;
+}
+
+}  // namespace cac::analysis

@@ -1,0 +1,58 @@
+// The hardware cost model behind the performance lint passes
+// (docs/analysis.md): a 32-lane warp issuing one memory instruction,
+// priced against 128-byte global-memory segments and a 32-bank × 4-byte
+// shared memory.
+//
+// The model is *exact per warp* whenever the per-lane byte offsets can
+// be derived from a site's affine address expression (warp_offsets),
+// and silent otherwise — `unknown` is never turned into a finding, so
+// a cost the model reports is the cost the hardware pays under the
+// stated alignment assumptions (warp base 128-byte aligned, warps
+// formed along x with ntid.x a multiple of 32).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "analysis/affine.h"
+
+namespace cac::analysis {
+
+inline constexpr unsigned kWarpLanes = 32;
+inline constexpr unsigned kSegmentBytes = 128;  // global transaction size
+inline constexpr unsigned kSharedBanks = 32;
+inline constexpr unsigned kBankBytes = 4;  // bank word width
+
+/// Byte offset of each lane's access relative to lane 0, derived from
+/// the tid.x-dependent part of an address expression (linear terms plus
+/// a tid.x-only modulo component).
+struct WarpOffsets {
+  std::array<std::int64_t, kWarpLanes> byte_off{};
+};
+
+/// Derive the per-lane offsets, or nullopt when the expression is ⊤,
+/// has a lane-dependence the model cannot evaluate exactly (e.g. a
+/// modulo over a warp-varying non-tid.x inner), or the launch places
+/// warp boundaries off the x axis (known ntid.x not a multiple of 32).
+/// tid.y/tid.z and all block/grid symbols are warp-uniform under the
+/// x-major warp assumption and fold into the (dropped) base.
+std::optional<WarpOffsets> warp_offsets(const AffineExpr& addr,
+                                        const LaunchEnv& env = {});
+
+/// Number of distinct 128-byte segments the warp touches when every
+/// lane accesses `width` bytes at its offset (warp base assumed
+/// segment-aligned).
+unsigned global_transactions(const WarpOffsets& off, unsigned width);
+
+/// The best case for a fully-coalesced access of `width` bytes/lane:
+/// ceil(32·width / 128).
+unsigned ideal_transactions(unsigned width);
+
+/// Maximum number of distinct words mapped to one bank within a
+/// hardware access phase (full warp for <=4-byte accesses, half-warps
+/// for 8-byte) — 1 means conflict-free; lanes reading the same word
+/// broadcast and never conflict.
+unsigned shared_conflict_degree(const WarpOffsets& off, unsigned width);
+
+}  // namespace cac::analysis

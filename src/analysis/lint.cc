@@ -7,6 +7,7 @@
 #include <optional>
 #include <set>
 
+#include "analysis/perf.h"
 #include "ptx/cfg.h"
 #include "ptx/defuse.h"
 
@@ -146,22 +147,6 @@ void lint_uninit(const ptx::Program& prg, const Cfg& cfg,
 
 // --- affine access passes ----------------------------------------------
 
-/// Value range of an affine expression under the launch, when every
-/// symbol has a finite range.
-std::optional<std::pair<std::int64_t, std::int64_t>> expr_range(
-    const AffineExpr& e, const LaunchEnv& env) {
-  if (e.is_top()) return std::nullopt;
-  std::int64_t lo = e.constant_term(), hi = lo;
-  for (const Term& t : e.terms()) {
-    const auto r = sym_range(t.sym, env);
-    if (!r) return std::nullopt;
-    const std::int64_t a = t.coeff * r->first, b = t.coeff * r->second;
-    lo += std::min(a, b);
-    hi += std::max(a, b);
-  }
-  return std::make_pair(lo, hi);
-}
-
 void lint_shared_overflow(const std::vector<AccessSite>& sites,
                           const LintOptions& opts,
                           const std::vector<SourceLoc>& locs,
@@ -170,7 +155,9 @@ void lint_shared_overflow(const std::vector<AccessSite>& sites,
   const auto limit = static_cast<std::int64_t>(opts.shared_bytes);
   for (const AccessSite& s : sites) {
     if (s.space != ptx::Space::Shared) continue;
-    const auto r = expr_range(s.addr, opts.launch);
+    // Path-sensitive: the guards on the site clip the range, so an
+    // access dominated by `if (tid < n)` is judged under that bound.
+    const auto r = expr_range(s.addr, opts.launch, s.guards);
     if (!r) continue;
     if (r->first < 0 || r->second + static_cast<std::int64_t>(s.width) >
                             limit) {
@@ -214,6 +201,9 @@ std::string to_string(Pass p) {
     case Pass::UninitRegister: return "uninit-register";
     case Pass::SharedOverflow: return "shared-overflow";
     case Pass::RaceCandidate: return "race-candidate";
+    case Pass::UncoalescedGlobal: return "uncoalesced-global";
+    case Pass::SharedBankConflict: return "shared-bank-conflict";
+    case Pass::DivergentRegion: return "divergent-region";
   }
   return "?";
 }
@@ -229,6 +219,41 @@ std::size_t LintReport::errors() const {
       }));
 }
 
+namespace {
+
+/// Fold the perf passes' typed findings into lint findings: always
+/// warnings, the structured cost carried alongside the message.
+void fold_perf(const ptx::Program& prg, const std::vector<SourceLoc>& locs,
+               const LintOptions& opts, std::vector<Finding>& out) {
+  const PerfReport perf = analyze_perf(prg, locs, opts.launch);
+  for (const PerfFinding& p : perf.findings) {
+    Finding f;
+    f.severity = Severity::Warning;
+    f.pc = p.pc;
+    f.loc = p.loc;
+    f.message = p.message;
+    switch (p.kind) {
+      case PerfKind::UncoalescedGlobal:
+        f.pass = Pass::UncoalescedGlobal;
+        f.cost.emplace_back("transactions_per_warp", p.transactions_per_warp);
+        f.cost.emplace_back("ideal_transactions", p.ideal_transactions);
+        break;
+      case PerfKind::SharedBankConflict:
+        f.pass = Pass::SharedBankConflict;
+        f.cost.emplace_back("conflict_degree", p.conflict_degree);
+        break;
+      case PerfKind::DivergentRegion:
+        f.pass = Pass::DivergentRegion;
+        f.cost.emplace_back("divergent_insns", p.divergent_insns);
+        f.cost.emplace_back("global_loads", p.global_loads);
+        break;
+    }
+    out.push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
 LintReport lint_kernel(const ptx::Program& prg,
                        const std::vector<SourceLoc>& locs,
                        const LintOptions& opts) {
@@ -240,6 +265,7 @@ LintReport lint_kernel(const ptx::Program& prg,
   const std::vector<AccessSite> sites = analyze_addresses(prg, opts.launch);
   lint_shared_overflow(sites, opts, locs, report.findings);
   if (opts.check_races) lint_races(prg, opts, locs, report.findings);
+  if (opts.perf) fold_perf(prg, locs, opts, report.findings);
   std::stable_sort(report.findings.begin(), report.findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.pc != b.pc
@@ -308,7 +334,18 @@ std::string render_json(const LintReport& report, const std::string& file,
            to_string(f.severity) + "\",\"pc\":" + std::to_string(f.pc) +
            ",\"line\":" + std::to_string(f.loc.line) +
            ",\"column\":" + std::to_string(f.loc.column) +
-           ",\"message\":\"" + json_escape(f.message) + "\"}";
+           ",\"message\":\"" + json_escape(f.message) + "\"";
+    if (!f.cost.empty()) {
+      out += ",\"cost\":{";
+      bool first_cost = true;
+      for (const auto& [key, value] : f.cost) {
+        if (!first_cost) out += ",";
+        first_cost = false;
+        out += "\"" + key + "\":" + std::to_string(value);
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += "]}";
   return out;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/disjoint.h"
@@ -31,6 +32,11 @@ enum class Pass : std::uint8_t {
   UninitRegister,
   SharedOverflow,
   RaceCandidate,
+  // Performance passes (analysis/perf.h) — always Severity::Warning,
+  // never part of the correctness exit code.
+  UncoalescedGlobal,
+  SharedBankConflict,
+  DivergentRegion,
 };
 
 enum class Severity : std::uint8_t { Warning, Error };
@@ -44,6 +50,10 @@ struct Finding {
   std::uint32_t pc = 0;
   SourceLoc loc;  // {0,0} when the program has no source
   std::string message;
+  /// Structured cost of a perf finding (transactions_per_warp /
+  /// conflict_degree / divergent_insns ...), in emission order; empty
+  /// for correctness findings.
+  std::vector<std::pair<std::string, std::uint64_t>> cost;
 };
 
 struct LintOptions {
@@ -56,6 +66,9 @@ struct LintOptions {
   /// Run the pairwise race-candidate classification (quadratic in the
   /// number of access sites).
   bool check_races = true;
+  /// Run the performance passes (analysis/perf.h) and fold their
+  /// findings in as warnings.
+  bool perf = false;
 };
 
 struct LintReport {

@@ -100,6 +100,7 @@ std::string canonical(const LintRequest& l) {
   put_module(s, l.source, l.insert_syncs);
   put_str(s, l.kernel);
   put_bool(s, l.races);
+  put_bool(s, l.perf);
   return s;
 }
 

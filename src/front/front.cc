@@ -203,6 +203,7 @@ std::vector<Result> run_lint(const LintRequest& req) {
   analysis::LintOptions lo;
   lo.shared_bytes = mod.shared_bytes;
   lo.check_races = req.races;
+  lo.perf = req.perf;
 
   std::vector<Result> out;
   out.reserve(kernels.size());
@@ -214,12 +215,20 @@ std::vector<Result> run_lint(const LintRequest& req) {
     r.file = req.file;
     r.kernel = k->name();
     r.verdict = report.clean() ? "clean" : "findings";
+    const std::size_t errors = report.errors();
+    const std::size_t warnings = report.findings.size() - errors;
     r.detail = report.clean()
                    ? "no findings"
                    : std::to_string(report.findings.size()) + " finding" +
                          (report.findings.size() == 1 ? "" : "s") + " (" +
-                         std::to_string(report.errors()) + " errors)";
-    r.exit_code = report.clean() ? kExitProved : kExitFinding;
+                         std::to_string(errors) + " errors)";
+    if (warnings != 0) {
+      r.detail += ", " + std::to_string(warnings) + " warning" +
+                  (warnings == 1 ? "" : "s");
+    }
+    // Warnings (the perf passes) are exit-code-neutral: only errors
+    // make lint's exit non-zero.
+    r.exit_code = errors != 0 ? kExitFinding : kExitProved;
     for (const analysis::Finding& f : report.findings) {
       Diagnostic d;
       d.pass = analysis::to_string(f.pass);
@@ -227,6 +236,7 @@ std::vector<Result> run_lint(const LintRequest& req) {
       d.pc = f.pc;
       d.loc = f.loc;
       d.message = f.message;
+      d.cost = f.cost;
       r.findings.push_back(std::move(d));
     }
     out.push_back(std::move(r));

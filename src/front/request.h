@@ -86,6 +86,11 @@ struct LintRequest {
   std::string kernel;  // empty = every kernel in the module
   bool races = true;
   bool insert_syncs = true;
+  /// Run the performance passes (uncoalesced-global /
+  /// shared-bank-conflict / divergent-region) and fold their findings
+  /// in as exit-code-neutral warnings.  Structural: participates in
+  /// the verdict-cache key.
+  bool perf = false;
 };
 
 /// `cacval equiv` — symbolic equivalence of two kernels
@@ -137,6 +142,10 @@ struct Diagnostic {
   std::string message;
   /// Violations: length of the schedule reaching the violating state.
   std::uint64_t steps = 0;
+  /// Perf findings: structured cost (transactions_per_warp /
+  /// conflict_degree / divergent_insns ...), in emission order.  Empty
+  /// for correctness findings; rendered as a JSON object when present.
+  std::vector<std::pair<std::string, std::uint64_t>> cost;
 };
 
 struct ResultStats {

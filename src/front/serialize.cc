@@ -5,6 +5,7 @@
 // store-tier accounting, no checkpoint paths), so equal verdicts are
 // byte-identical documents.  docs/api.md documents the schema; the
 // golden-file tests (tests/front/result_json_test.cc) pin it.
+#include <algorithm>
 #include <utility>
 
 #include "front/front.h"
@@ -21,8 +22,34 @@ void write_diag(JsonWriter& w, const Diagnostic& d) {
       .key("line").value(d.loc.line)
       .key("column").value(d.loc.column)
       .key("message").value(d.message)
-      .key("steps").value(d.steps)
-      .end_obj();
+      .key("steps").value(d.steps);
+  if (!d.cost.empty()) {
+    w.key("cost").begin_obj();
+    for (const auto& [name, value] : d.cost) w.key(name).value(value);
+    w.end_obj();
+  }
+  w.end_obj();
+}
+
+/// Emission order for findings: (line, column, pass), stably — the
+/// producing pass's internal ordering (e.g. the race pairer's) must
+/// not leak into the schema, so equal verdicts stay byte-identical
+/// across option sets that happen to produce the same findings
+/// (`--no-races` on/off, `--perf` orderings).
+std::vector<const Diagnostic*> emission_order(
+    const std::vector<Diagnostic>& findings) {
+  std::vector<const Diagnostic*> order;
+  order.reserve(findings.size());
+  for (const Diagnostic& d : findings) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     if (a->loc.line != b->loc.line)
+                       return a->loc.line < b->loc.line;
+                     if (a->loc.column != b->loc.column)
+                       return a->loc.column < b->loc.column;
+                     return a->pass < b->pass;
+                   });
+  return order;
 }
 
 void write_stats(JsonWriter& w, const ResultStats& s) {
@@ -69,7 +96,7 @@ void write_json(JsonWriter& w, const Result& r) {
       .key("exit_code").value(r.exit_code)
       .key("limit_tripped").value(r.limit_tripped);
   w.key("findings").begin_arr();
-  for (const Diagnostic& d : r.findings) write_diag(w, d);
+  for (const Diagnostic* d : emission_order(r.findings)) write_diag(w, *d);
   w.end_arr();
   w.key("counterexample").begin_arr();
   for (const std::string& c : r.counterexample) w.value(c);
@@ -194,6 +221,7 @@ void write_lint(JsonWriter& w, const LintRequest& l) {
       .key("kernel").value(l.kernel)
       .key("races").value(l.races)
       .key("insert_syncs").value(l.insert_syncs)
+      .key("perf").value(l.perf)
       .end_obj();
 }
 
@@ -309,6 +337,7 @@ LintRequest parse_lint(const JsonValue& v) {
   l.kernel = v.str_or("kernel", "");
   l.races = v.bool_or("races", true);
   l.insert_syncs = v.bool_or("insert_syncs", true);
+  l.perf = v.bool_or("perf", false);
   return l;
 }
 

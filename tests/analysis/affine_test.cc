@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "analysis/disjoint.h"
+#include "analysis/lint.h"
 #include "programs/corpus.h"
 #include "ptx/lower.h"
 
@@ -192,6 +193,158 @@ TEST(ClassifyPair, TopIsMayConflict) {
   const AccessSite a{0, ptx::Space::Global, true, false, 4,
                      AffineExpr::top()};
   EXPECT_EQ(classify_pair(a, a), PairVerdict::MayConflict);
+}
+
+// --- the modulo component ----------------------------------------------
+
+TEST(AffineMod, ConstantAndCanonicalization) {
+  EXPECT_EQ(AffineExpr::constant(13).rem(8).constant_term(), 5);
+  // (34·tid) mod 32 and (2·tid) mod 32 are the same function — the
+  // canonicalized coefficients make them structurally equal.
+  const AffineExpr tid = AffineExpr::symbol(kTidX);
+  EXPECT_EQ(tid.scaled(34).rem(32), tid.scaled(2).rem(32));
+  const AffineExpr e = tid.rem(2);
+  ASSERT_TRUE(e.has_mod());
+  EXPECT_EQ(e.modulus(), 2);
+  EXPECT_EQ(e.mod_scale(), 1);
+  ASSERT_EQ(e.mod_terms().size(), 1u);
+  EXPECT_EQ(e.mod_terms()[0].sym, kTidX);
+}
+
+TEST(AffineMod, RequiresProvableNonnegativity) {
+  const AffineExpr tid = AffineExpr::symbol(kTidX);
+  EXPECT_TRUE(tid.provably_nonneg());
+  // tid - 1 may be negative at tid = 0: PTX rem truncates toward
+  // zero, so the mathematical-mod reading would be wrong.
+  EXPECT_TRUE(tid.sub(AffineExpr::constant(1)).rem(4).is_top());
+  // An unvalued parameter has unknown sign.
+  const AffineExpr param = AffineExpr::symbol(Sym{Sym::Kind::Param, 0, 0});
+  EXPECT_FALSE(param.provably_nonneg());
+  EXPECT_TRUE(param.rem(4).is_top());
+}
+
+TEST(AffineMod, RemaskFoldsNestingDoesNot) {
+  const AffineExpr tid = AffineExpr::symbol(kTidX);
+  // (tid mod 32) mod 8 == tid mod 8 when 8 divides 32.
+  EXPECT_EQ(tid.rem(32).rem(8), tid.rem(8));
+  // A non-divisor re-mask would need nested mods: ⊤.
+  EXPECT_TRUE(tid.rem(32).rem(5).is_top());
+  // So would mod of a mixed affine+mod expression.
+  EXPECT_TRUE(tid.rem(8).add(tid).rem(4).is_top());
+}
+
+TEST(AffineMod, ScaledAndAdded) {
+  // sh[4·(tid mod 8) + 64] — the cyclic-buffer idiom stays exact.
+  const AffineExpr tid = AffineExpr::symbol(kTidX);
+  const AffineExpr e =
+      tid.rem(8).scaled(4).add(AffineExpr::constant(64));
+  ASSERT_TRUE(e.has_mod());
+  EXPECT_EQ(e.mod_scale(), 4);
+  EXPECT_EQ(e.constant_term(), 64);
+  // The range needs no launch: the component lies in [0, 7]·4.
+  const auto r = expr_range(e, LaunchEnv{});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::pair<std::int64_t, std::int64_t>{64, 92}));
+}
+
+TEST(AffineMod, MulWithModGoesToTop) {
+  const AffineExpr m = AffineExpr::symbol(kTidX).rem(4);
+  EXPECT_TRUE(m.mul(AffineExpr::symbol(kNTidX)).is_top());
+}
+
+// --- path-sensitive guards ---------------------------------------------
+
+TEST(AffineGuards, GuardTightensRange) {
+  const AffineExpr tid = AffineExpr::symbol(kTidX);
+  // Fact: tid - 16 < 0, i.e. tid < 16 — bounds tid without a launch.
+  const Guard g{tid.sub(AffineExpr::constant(16)), ptx::CmpOp::Lt};
+  EXPECT_FALSE(expr_range(tid.scaled(4), LaunchEnv{}).has_value());
+  const auto r = expr_range(tid.scaled(4), LaunchEnv{}, {g});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::pair<std::int64_t, std::int64_t>{0, 60}));
+  // The negation bounds from below instead.
+  const auto rn = expr_range(tid.scaled(4), LaunchEnv{}, {negate(g)});
+  EXPECT_FALSE(rn.has_value());  // no upper bound
+}
+
+TEST(AffineGuards, NegateRoundTrips) {
+  const Guard g{AffineExpr::symbol(kTidX), ptx::CmpOp::Lt};
+  EXPECT_EQ(negate(negate(g)), g);
+  EXPECT_EQ(negate(g).cmp, ptx::CmpOp::Ge);
+  EXPECT_EQ(negate(Guard{g.expr, ptx::CmpOp::Eq}).cmp, ptx::CmpOp::Ne);
+}
+
+TEST(AffineGuards, BranchEdgesCarryFacts) {
+  // vecadd: the guarded body holds `gid - size < 0`; the taken edge of
+  // the @%p1 bra holds the Ge fact.
+  const ptx::Program prg = vecadd();
+  const ProgramFacts facts = analyze_program(prg);
+  ASSERT_EQ(facts.sites.size(), 3u);
+  for (const AccessSite& s : facts.sites) {
+    ASSERT_EQ(s.guards.size(), 1u) << "pc " << s.pc;
+    EXPECT_EQ(s.guards[0].cmp, ptx::CmpOp::Lt);
+  }
+  ASSERT_EQ(facts.taken_facts.size(), 1u);
+  EXPECT_EQ(facts.taken_facts.begin()->second.cmp, ptx::CmpOp::Ge);
+}
+
+TEST(AffineGuards, GuardSuppressesSharedOverflow) {
+  // st.shared at 4·tid under `if (tid < 8)`: without the guard a
+  // 32-thread launch provably overflows the 32-byte layout; the guard
+  // proves the access in bounds, so the lint stays quiet.
+  const char* guarded = R"(
+.version 6.0
+.target sm_30
+.address_size 64
+.visible .entry guarded()
+{
+  .reg .pred %p<2>;
+  .reg .u32 %r<5>;
+  .shared .align 4 .b8 sh[32];
+  mov.u32 %r1, %tid.x;
+  setp.ge.u32 %p1, %r1, 8;
+  @%p1 bra DONE;
+  mov.u32 %r2, sh;
+  shl.b32 %r3, %r1, 2;
+  add.u32 %r4, %r2, %r3;
+  st.shared.u32 [%r4], %r1;
+DONE:
+  ret;
+}
+)";
+  const char* unguarded = R"(
+.version 6.0
+.target sm_30
+.address_size 64
+.visible .entry unguarded()
+{
+  .reg .u32 %r<5>;
+  .shared .align 4 .b8 sh[32];
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, sh;
+  shl.b32 %r3, %r1, 2;
+  add.u32 %r4, %r2, %r3;
+  st.shared.u32 [%r4], %r1;
+  ret;
+}
+)";
+  LintOptions opts;
+  opts.shared_bytes = 32;
+  opts.check_races = false;
+  opts.launch.known = true;
+  opts.launch.ntid[0] = 32;
+
+  const ptx::LoweredModule bad = ptx::load_ptx(unguarded);
+  const LintReport rb =
+      lint_kernel(bad.kernels.front(), {}, opts);
+  ASSERT_EQ(rb.findings.size(), 1u);
+  EXPECT_EQ(rb.findings[0].pass, Pass::SharedOverflow);
+
+  const ptx::LoweredModule good = ptx::load_ptx(guarded);
+  const LintReport rg =
+      lint_kernel(good.kernels.front(), {}, opts);
+  EXPECT_TRUE(rg.clean())
+      << render_text(rg, "guarded.ptx", "guarded");
 }
 
 }  // namespace

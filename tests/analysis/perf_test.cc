@@ -1,0 +1,333 @@
+// The performance lint passes: every kernel of examples/buggy/perf/
+// yields exactly its pinned findings with exact cost numbers, the
+// clean control and the well-formed corpus kernels stay silent, and
+// the static transaction/conflict verdicts agree with a concrete
+// address-trace replay through the semantics on a one-warp launch.
+#include "analysis/perf.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/costmodel.h"
+#include "analysis/lint.h"
+#include "programs/corpus.h"
+#include "ptx/lower.h"
+#include "sched/scheduler.h"
+#include "sem/launch.h"
+#include "sem/step.h"
+
+namespace cac::analysis {
+namespace {
+
+std::string read_perf(const std::string& name) {
+  const std::string path =
+      std::string(CAC_SOURCE_DIR "/examples/buggy/perf/") + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+PerfReport perf_source(const std::string& text, const LaunchEnv& env = {}) {
+  const ptx::LoweredModule mod = ptx::load_ptx(text);
+  EXPECT_EQ(mod.kernels.size(), 1u);
+  const ptx::Program& prg = mod.kernels.front();
+  return analyze_perf(prg, mod.locs_for(prg), env);
+}
+
+// --- the seeded perf corpus, exact costs pinned ------------------------
+
+TEST(PerfCorpus, StridedVecAdd) {
+  const PerfReport r = perf_source(read_perf("strided_vecadd.ptx"));
+  ASSERT_EQ(r.findings.size(), 3u);
+  for (const PerfFinding& f : r.findings) {
+    EXPECT_EQ(f.kind, PerfKind::UncoalescedGlobal);
+    EXPECT_EQ(f.transactions_per_warp, 4u);
+    EXPECT_EQ(f.ideal_transactions, 1u);
+  }
+  EXPECT_EQ(r.findings[0].loc.line, 39u);  // ld B
+  EXPECT_EQ(r.findings[1].loc.line, 40u);  // ld A
+  EXPECT_EQ(r.findings[2].loc.line, 45u);  // st C
+  EXPECT_NE(r.findings[2].message.find("store"), std::string::npos);
+}
+
+TEST(PerfCorpus, TransposeColMajor) {
+  const PerfReport r = perf_source(read_perf("transpose_colmajor.ptx"));
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, PerfKind::SharedBankConflict);
+  EXPECT_EQ(r.findings[0].conflict_degree, 32u);
+  EXPECT_EQ(r.findings[0].loc.line, 18u);
+}
+
+TEST(PerfCorpus, PitchPow2) {
+  const PerfReport r = perf_source(read_perf("pitch_pow2.ptx"));
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].kind, PerfKind::SharedBankConflict);
+  EXPECT_EQ(r.findings[0].conflict_degree, 16u);
+  EXPECT_EQ(r.findings[0].loc.line, 19u);
+}
+
+TEST(PerfCorpus, DivergentReduce) {
+  const PerfReport r = perf_source(read_perf("divergent_reduce.ptx"));
+  ASSERT_EQ(r.findings.size(), 1u);
+  const PerfFinding& f = r.findings[0];
+  EXPECT_EQ(f.kind, PerfKind::DivergentRegion);
+  EXPECT_EQ(f.loc.line, 23u);  // the @%p1 bra
+  EXPECT_EQ(f.divergent_insns, 6u);
+  EXPECT_EQ(f.global_loads, 1u);
+  EXPECT_NE(f.message.find("1 global load"), std::string::npos);
+}
+
+TEST(PerfCorpus, CoalescedCopyIsClean) {
+  const PerfReport r = perf_source(read_perf("coalesced_copy.ptx"));
+  EXPECT_TRUE(r.clean()) << r.findings.size() << " unexpected finding(s): "
+                         << (r.findings.empty() ? ""
+                                                : r.findings[0].message);
+}
+
+// The boundary guard (`gid < n`) is affine, hence monotone across the
+// warp — the divergent branch it feeds must never be flagged.
+TEST(PerfCorpus, BoundaryGuardNotFlagged) {
+  for (const char* name : {"strided_vecadd.ptx", "coalesced_copy.ptx"}) {
+    const PerfReport r = perf_source(read_perf(name));
+    for (const PerfFinding& f : r.findings) {
+      EXPECT_NE(f.kind, PerfKind::DivergentRegion) << name;
+    }
+  }
+}
+
+// --- existing well-formed kernels stay silent --------------------------
+
+TEST(PerfClean, CoalescedCorpusKernels) {
+  for (const auto& [text, kernel] :
+       std::vector<std::pair<std::string, std::string>>{
+           {programs::vector_add_ptx(), "add_vector"},
+           {programs::saxpy_ptx(), "saxpy"},
+           {programs::copy_v2_ptx(), "copy_v2"}}) {
+    const ptx::LoweredModule mod = ptx::load_ptx(text);
+    const ptx::Program prg = mod.kernel(kernel);
+    const PerfReport r = analyze_perf(prg, mod.locs_for(prg));
+    for (const PerfFinding& f : r.findings) {
+      EXPECT_NE(f.kind, PerfKind::UncoalescedGlobal)
+          << kernel << ": " << f.message;
+    }
+  }
+}
+
+// --- the cost model, directly ------------------------------------------
+
+TEST(CostModel, IdealTransactions) {
+  EXPECT_EQ(ideal_transactions(1), 1u);
+  EXPECT_EQ(ideal_transactions(4), 1u);
+  EXPECT_EQ(ideal_transactions(8), 2u);
+}
+
+TEST(CostModel, BroadcastIsConflictFree) {
+  WarpOffsets off;  // every lane reads the same word
+  EXPECT_EQ(shared_conflict_degree(off, 4), 1u);
+}
+
+TEST(CostModel, StrideOne64BitIsConflictFree) {
+  // 8-byte accesses at stride 8 span two words per lane, but the
+  // hardware issues them as two half-warp phases — no conflict.
+  WarpOffsets off;
+  for (unsigned l = 0; l < kWarpLanes; ++l) off.byte_off[l] = 8 * l;
+  EXPECT_EQ(shared_conflict_degree(off, 8), 1u);
+  EXPECT_EQ(global_transactions(off, 8), 2u);
+}
+
+TEST(CostModel, TopAddressIsUnknown) {
+  EXPECT_FALSE(warp_offsets(AffineExpr::top()).has_value());
+}
+
+TEST(CostModel, OffAxisWarpIsUnknown) {
+  // A known launch whose ntid.x is not a multiple of the warp size
+  // breaks the x-major warp assumption: no verdict, not a wrong one.
+  LaunchEnv env;
+  env.known = true;
+  env.ntid[0] = 20;
+  const AffineExpr addr =
+      AffineExpr::symbol(Sym{Sym::Kind::Tid, 0, 0}).scaled(4);
+  EXPECT_FALSE(warp_offsets(addr, env).has_value());
+  EXPECT_TRUE(warp_offsets(addr).has_value());
+}
+
+TEST(CostModel, ModuloAddressEvaluatesPerLane) {
+  // tid % 8 scaled by 4: lanes cycle through two words repeatedly —
+  // distinct words 8, all in banks 0..7, one word per bank.
+  const AffineExpr tid = AffineExpr::symbol(Sym{Sym::Kind::Tid, 0, 0});
+  const AffineExpr addr = tid.rem(8).scaled(4);
+  const auto off = warp_offsets(addr);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(off->byte_off[0], 0);
+  EXPECT_EQ(off->byte_off[7], 28);
+  EXPECT_EQ(off->byte_off[8], 0);
+  EXPECT_EQ(shared_conflict_degree(*off, 4), 1u);
+}
+
+// --- static verdicts vs a concrete address trace -----------------------
+
+/// Replay one warp (block of 32, warp size 32) and collect, per
+/// executed memory instruction, the set of lane accesses it issued.
+void replay_accesses(const ptx::Program& prg, sem::Launch& launch,
+                     const sem::KernelConfig& kc,
+                     std::vector<std::vector<sem::StepEvents::Access>>& out) {
+  sem::Machine m = launch.machine();
+  sched::RoundRobinScheduler sched;
+  sem::StepOptions step_opts;
+  step_opts.log_accesses = true;
+  sem::StepEvents events;
+  for (std::uint64_t step = 0; step < 10000; ++step) {
+    if (sem::terminated(prg, m.grid)) return;
+    const auto eligible = sem::eligible_choices(prg, m.grid);
+    ASSERT_FALSE(eligible.empty()) << "stuck during replay";
+    const sem::Choice c = sched.pick(eligible, m);
+    events.clear();
+    const sem::StepResult sr =
+        sem::apply_choice(prg, kc, m, c, step_opts, &events);
+    ASSERT_TRUE(sr.ok()) << sr.fault;
+    if (!events.accesses.empty()) out.push_back(events.accesses);
+  }
+}
+
+unsigned segments_touched(const std::vector<sem::StepEvents::Access>& warp) {
+  std::set<std::uint64_t> segs;
+  for (const auto& a : warp) {
+    for (std::uint32_t b = 0; b < a.len; ++b) {
+      segs.insert((a.addr + b) / kSegmentBytes);
+    }
+  }
+  return static_cast<unsigned>(segs.size());
+}
+
+unsigned dynamic_conflict_degree(
+    const std::vector<sem::StepEvents::Access>& warp) {
+  std::map<std::uint64_t, std::set<std::uint64_t>> words_per_bank;
+  for (const auto& a : warp) {
+    const std::uint64_t word = a.addr / kBankBytes;
+    words_per_bank[word % kSharedBanks].insert(word);
+  }
+  unsigned degree = 1;
+  for (const auto& [bank, words] : words_per_bank) {
+    degree = std::max<unsigned>(degree, words.size());
+  }
+  return degree;
+}
+
+TEST(PerfCrossCheck, StridedVecAddTransactionsMatchReplay) {
+  const ptx::LoweredModule mod =
+      ptx::load_ptx(read_perf("strided_vecadd.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+
+  // Static verdict: 4 transactions per warp at every site.
+  const PerfReport r = analyze_perf(prg, mod.locs_for(prg));
+  ASSERT_EQ(r.findings.size(), 3u);
+
+  // Concrete replay: one full warp, arrays at 128-byte-aligned bases.
+  const sem::KernelConfig kc{{1, 1, 1}, {32, 1, 1}, 32};
+  sem::Launch launch(prg, kc, mem::MemSizes{2048, 0, 0, 0, 1});
+  launch.param("arr_A", 0).param("arr_B", 512).param("arr_C", 1024)
+      .param("size", 32);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    launch.global_u32(16 * i, i);
+    launch.global_u32(512 + 16 * i, i);
+  }
+  std::vector<std::vector<sem::StepEvents::Access>> trace;
+  replay_accesses(prg, launch, kc, trace);
+
+  unsigned global_steps = 0;
+  for (const auto& warp : trace) {
+    if (warp.front().space != ptx::Space::Global) continue;
+    ++global_steps;
+    EXPECT_EQ(warp.size(), 32u);
+    EXPECT_EQ(segments_touched(warp), 4u);
+  }
+  EXPECT_EQ(global_steps, 3u);  // two loads + one store
+}
+
+TEST(PerfCrossCheck, CoalescedCopyIsOneTransactionInReplay) {
+  const ptx::LoweredModule mod =
+      ptx::load_ptx(read_perf("coalesced_copy.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+  ASSERT_TRUE(analyze_perf(prg, mod.locs_for(prg)).clean());
+
+  const sem::KernelConfig kc{{1, 1, 1}, {32, 1, 1}, 32};
+  sem::Launch launch(prg, kc, mem::MemSizes{512, 0, 0, 0, 1});
+  launch.param("src", 0).param("dst", 256).param("size", 32);
+  for (std::uint32_t i = 0; i < 32; ++i) launch.global_u32(4 * i, i);
+  std::vector<std::vector<sem::StepEvents::Access>> trace;
+  replay_accesses(prg, launch, kc, trace);
+
+  unsigned global_steps = 0;
+  for (const auto& warp : trace) {
+    if (warp.front().space != ptx::Space::Global) continue;
+    ++global_steps;
+    EXPECT_EQ(segments_touched(warp), 1u);  // the ideal the model claims
+  }
+  EXPECT_EQ(global_steps, 2u);  // one load + one store
+}
+
+TEST(PerfCrossCheck, TransposeConflictDegreeMatchesReplay) {
+  const ptx::LoweredModule mod =
+      ptx::load_ptx(read_perf("transpose_colmajor.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+  const PerfReport r = analyze_perf(prg, mod.locs_for(prg));
+  ASSERT_EQ(r.findings.size(), 1u);
+
+  const sem::KernelConfig kc{{1, 1, 1}, {32, 1, 1}, 32};
+  sem::Launch launch(prg, kc, mem::MemSizes{64, 0, 4096, 0, 1});
+  std::vector<std::vector<sem::StepEvents::Access>> trace;
+  replay_accesses(prg, launch, kc, trace);
+
+  unsigned shared_steps = 0;
+  for (const auto& warp : trace) {
+    if (warp.front().space != ptx::Space::Shared) continue;
+    ++shared_steps;
+    EXPECT_EQ(dynamic_conflict_degree(warp), r.findings[0].conflict_degree);
+  }
+  EXPECT_EQ(shared_steps, 1u);
+}
+
+// --- the lint integration ----------------------------------------------
+
+TEST(PerfLint, FindingsFoldInAsWarnings) {
+  const ptx::LoweredModule mod =
+      ptx::load_ptx(read_perf("strided_vecadd.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+  LintOptions opts;
+  opts.shared_bytes = mod.shared_bytes;
+  opts.perf = true;
+  const LintReport r = lint_kernel(prg, mod.locs_for(prg), opts);
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.errors(), 0u);  // warnings are exit-code-neutral
+  for (const Finding& f : r.findings) {
+    EXPECT_EQ(f.pass, Pass::UncoalescedGlobal);
+    EXPECT_EQ(f.severity, Severity::Warning);
+    ASSERT_EQ(f.cost.size(), 2u);
+    EXPECT_EQ(f.cost[0].first, "transactions_per_warp");
+    EXPECT_EQ(f.cost[0].second, 4u);
+    EXPECT_EQ(f.cost[1].first, "ideal_transactions");
+    EXPECT_EQ(f.cost[1].second, 1u);
+  }
+}
+
+TEST(PerfLint, OffByDefault) {
+  const ptx::LoweredModule mod =
+      ptx::load_ptx(read_perf("strided_vecadd.ptx"));
+  const ptx::Program& prg = mod.kernels.front();
+  LintOptions opts;
+  opts.shared_bytes = mod.shared_bytes;
+  const LintReport r = lint_kernel(prg, mod.locs_for(prg), opts);
+  EXPECT_TRUE(r.clean());
+}
+
+}  // namespace
+}  // namespace cac::analysis

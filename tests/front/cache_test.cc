@@ -91,6 +91,27 @@ TEST(CacheKey, StructuralOptionsIncluded) {
   EXPECT_NE(cache_key(Request{a}), cache_key(Request{f}));
 }
 
+TEST(CacheKey, LintPerfIsStructural) {
+  // The perf passes change what the verdict contains, so `--perf` is
+  // part of a lint verdict's identity; display names and formatting
+  // still wash out.
+  LintRequest a;
+  a.file = "a.ptx";
+  a.source = kVecAdd;
+  LintRequest b = a;
+  b.perf = true;
+  EXPECT_NE(cache_key(Request{a}), cache_key(Request{b}));
+
+  LintRequest c = b;
+  c.file = "renamed.ptx";
+  c.source = std::string("// comment\n") + kVecAdd + "\n";
+  EXPECT_EQ(cache_key(Request{b}), cache_key(Request{c}));
+
+  LintRequest d = a;
+  d.races = false;
+  EXPECT_NE(cache_key(Request{a}), cache_key(Request{d}));
+}
+
 TEST(CacheKey, KernelSourceIsContent) {
   const CheckRequest a = base_request();
   CheckRequest b = base_request();

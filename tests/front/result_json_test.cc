@@ -126,6 +126,29 @@ TEST(GoldenJson, LintFindings) {
   EXPECT_EQ(exit_code_of(results), kExitFinding);
 }
 
+TEST(GoldenJson, LintPerfWarnings) {
+  LintRequest req;
+  req.file = "strided_vecadd.ptx";
+  req.source = buggy("perf/strided_vecadd.ptx");
+  req.perf = true;
+  const std::vector<Result> results = run(Request{req});
+  expect_golden("lint_perf_strided.json", to_json(results));
+  // Perf findings are warnings: never part of the correctness exit.
+  EXPECT_EQ(exit_code_of(results), kExitProved);
+}
+
+TEST(GoldenJson, FindingOrderIsCanonical) {
+  // Equal verdicts serialize byte-identically even across option sets
+  // that change the producer's internal emission order but not the
+  // finding set itself.
+  LintRequest a;
+  a.file = "divergent_barrier.ptx";
+  a.source = buggy("divergent_barrier.ptx");
+  LintRequest b = a;
+  b.races = false;
+  EXPECT_EQ(to_json(run(Request{a})), to_json(run(Request{b})));
+}
+
 TEST(GoldenJson, EquivProved) {
   EquivRequest req;
   req.file = "vecadd.ptx";
@@ -159,8 +182,11 @@ TEST(RequestRoundTrip, LintAndEquiv) {
   lint.file = "global_race.ptx";
   lint.source = buggy("global_race.ptx");
   lint.races = false;
+  lint.perf = true;
   const Request lreq{lint};
-  EXPECT_EQ(cache_key(lreq), cache_key(request_from_json(to_json(lreq))));
+  const Request lback = request_from_json(to_json(lreq));
+  EXPECT_EQ(cache_key(lreq), cache_key(lback));
+  EXPECT_TRUE(std::get<LintRequest>(lback).perf);
 
   EquivRequest eq;
   eq.file = "vecadd.ptx";

@@ -107,6 +107,38 @@ TEST(Serve, ColdRunThenByteIdenticalCacheHit) {
   EXPECT_EQ(s.cache.hits, 1u);
 }
 
+TEST(Serve, LintPerfVerdictIsCachedByteIdentically) {
+  TestServer ts(false);
+  Client client = ts.connect();
+  LintRequest req;
+  req.file = "strided_vecadd.ptx";
+  std::ifstream in(std::string(CAC_SOURCE_DIR) +
+                       "/examples/buggy/perf/strided_vecadd.ptx",
+                   std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  req.source = ss.str();
+  req.perf = true;
+  const std::string payload = to_json(Request{req});
+  const Client::Reply cold = client.call(payload);
+  ASSERT_EQ(cold.doc.str_or("status", ""), "ok");
+  EXPECT_FALSE(cold.doc.bool_or("cached", true));
+  EXPECT_EQ(cold.doc.u64_or("exit_code", 99), 0u);  // warnings only
+  const Client::Reply warm = client.call(payload);
+  EXPECT_TRUE(warm.doc.bool_or("cached", false));
+  const auto body = [](const std::string& raw) {
+    const std::size_t at = raw.find("\"results\":");
+    return raw.substr(at);
+  };
+  EXPECT_EQ(body(cold.raw), body(warm.raw));
+  // Dropping --perf is a different verdict: a miss, not a stale hit.
+  LintRequest noperf = req;
+  noperf.perf = false;
+  const Client::Reply other = client.call(to_json(Request{noperf}));
+  EXPECT_FALSE(other.doc.bool_or("cached", true));
+  EXPECT_EQ(ts.server->stats().jobs_run, 2u);
+}
+
 TEST(Serve, EquivalentSourcesShareACacheEntry) {
   TestServer ts(false);
   Client client = ts.connect();

@@ -31,6 +31,9 @@ every BM_BigStore* / BM_BigExplore* / BM_StoreBudgetSweep instance
 resident-vs-spilled byte split, eviction/spill/rematerialization
 counts, delta-fragment count, and bloom pre-check hit rate of the
 tiered state store under a resident budget,
+every BM_PerfLint* instance (bench_perf_lint) lands in a `perf_lint`
+section recording static perf-pass throughput on the clean corpus vs
+an all-offender kernel,
 every BM_Equiv* / BM_NormalizeRandomTerms instance (bench_equiv) lands
 in an `equiv` section recording normalizer throughput, the proof-time
 curve over the unroll factor, refutation latency including concrete
@@ -193,6 +196,25 @@ def analysis_summary(benchmarks: list[dict]) -> list[dict]:
             if ref.get("real_time") and b.get("real_time"):
                 entry["speedup_vs_por"] = round(
                     ref["real_time"] / b["real_time"], 3)
+        out.append(entry)
+    return out
+
+
+def perf_lint_summary(benchmarks: list[dict]) -> list[dict]:
+    """Summarize BM_PerfLint* instances (bench_perf_lint): kernels
+    priced per second by the static performance passes, split into the
+    clean-corpus common case and the all-offender kernel, with the
+    per-run finding counts re-asserted by the bench itself."""
+    out = []
+    for b in benchmarks:
+        name = b.get("name", "")
+        if not name.startswith("BM_PerfLint"):
+            continue
+        entry = {"name": name}
+        for k in ("kernels", "findings", "kernels_per_sec",
+                  "real_time", "time_unit"):
+            if k in b:
+                entry[k] = b[k]
         out.append(entry)
     return out
 
@@ -391,6 +413,9 @@ def main() -> None:
     analysis = analysis_summary(benchmarks)
     if analysis:
         snapshot["analysis"] = analysis
+    perf_lint = perf_lint_summary(benchmarks)
+    if perf_lint:
+        snapshot["perf_lint"] = perf_lint
     tiers = store_tiers_summary(benchmarks)
     if tiers:
         snapshot["store_tiers"] = tiers

@@ -9,6 +9,9 @@
 //   cacval dump   FILE.ptx [--kernel K] [--no-sync-insertion]
 //   cacval emit   FILE.ptx [--kernel K]
 //   cacval lint   FILE.ptx [--kernel K] [--format=json] [--no-races]
+//                 [--perf] (adds the static performance passes —
+//                  uncoalesced-global / shared-bank-conflict /
+//                  divergent-region — as exit-code-neutral warnings)
 //   cacval run    FILE.ptx [launch options] [--profile]
 //   cacval check  FILE.ptx [launch options] [--expect ADDR=U32]...
 //                 [--independent] [--exact-steps N] [--por] [--por-oracle]
@@ -144,6 +147,7 @@ struct Options {
   /// Output format ("text" or "json") for lint/check/validate/equiv.
   std::string format = "text";
   bool lint_races = true;
+  bool lint_perf = false;
   /// Symbolic bounds (equiv).
   sym::SymExecOptions sym;
   /// Equiv checker configuration (docs/equiv.md).
@@ -296,6 +300,7 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--format") o.format = next();
     else if (a.rfind("--format=", 0) == 0) o.format = a.substr(9);
     else if (a == "--no-races") o.lint_races = false;
+    else if (a == "--perf") o.lint_perf = true;
     else if (a == "--profile") o.profile = true;
     else if (a == "--no-sync-insertion") o.insert_syncs = false;
     else if (a == "--sym-steps") o.sym.max_steps = parse_u64(next());
@@ -377,6 +382,7 @@ front::LintRequest make_lint_request(const Options& o) {
   r.kernel = o.kernel;
   r.races = o.lint_races;
   r.insert_syncs = o.insert_syncs;
+  r.perf = o.lint_perf;
   return r;
 }
 
